@@ -1,0 +1,322 @@
+//! In-memory artifact registry with hash-based deduplication.
+
+use crate::artifact::{Artifact, ArtifactBuilder};
+use crate::dag::DependencyGraph;
+use crate::error::ArtifactError;
+use crate::uuid::Uuid;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry holding every artifact of an experiment session.
+///
+/// Enforces the paper's uniqueness rules:
+///
+/// * an artifact is identified by its content hash — registering the same
+///   content with identical metadata returns the existing record instead
+///   of creating a duplicate;
+/// * registering the same content with *different* metadata is an error
+///   (duplicate artifacts are not permitted in the database);
+/// * if the content at a path changes (different hash), a brand-new
+///   artifact with a fresh UUID is created even when every other
+///   attribute matches — the hash is the "safety net" of the paper.
+#[derive(Debug)]
+pub struct ArtifactRegistry {
+    by_id: HashMap<Uuid, Arc<Artifact>>,
+    by_hash: HashMap<String, Uuid>,
+    by_name: HashMap<String, Vec<Uuid>>,
+    graph: DependencyGraph,
+    rng: SmallRng,
+    dedup_hits: usize,
+}
+
+/// Aggregate counters describing a registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Total registered artifacts.
+    pub artifacts: usize,
+    /// Registration calls deduplicated against an existing record.
+    pub deduplicated: usize,
+    /// Distinct artifact names.
+    pub names: usize,
+}
+
+impl Default for ArtifactRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtifactRegistry {
+    /// Creates an empty registry with a fixed identity seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x5eed_a27e_fac7)
+    }
+
+    /// Creates an empty registry whose UUID stream derives from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        ArtifactRegistry {
+            by_id: HashMap::new(),
+            by_hash: HashMap::new(),
+            by_name: HashMap::new(),
+            graph: DependencyGraph::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            dedup_hits: 0,
+        }
+    }
+
+    /// Registers an artifact, or returns the existing record when the
+    /// identical registration was already made.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArtifactError::MissingField`] — required metadata absent.
+    /// * [`ArtifactError::UnknownInput`] — an input id is unregistered.
+    /// * [`ArtifactError::ConflictingDuplicate`] — same content hash
+    ///   registered before with different metadata.
+    pub fn register(&mut self, builder: ArtifactBuilder) -> Result<Arc<Artifact>, ArtifactError> {
+        builder.validate()?;
+        for input in &builder.inputs {
+            if !self.by_id.contains_key(input) {
+                return Err(ArtifactError::UnknownInput {
+                    input: *input,
+                    artifact: builder.name.clone(),
+                });
+            }
+        }
+        let content = builder.content.clone().expect("validated above");
+        let hash = content.fingerprint().to_hex();
+
+        if let Some(existing_id) = self.by_hash.get(&hash) {
+            let existing = &self.by_id[existing_id];
+            if let Some(conflict) = conflict_between(existing, &builder) {
+                return Err(ArtifactError::ConflictingDuplicate {
+                    existing: *existing_id,
+                    conflict,
+                });
+            }
+            self.dedup_hits += 1;
+            return Ok(Arc::clone(existing));
+        }
+
+        let id = Uuid::new_v4(&mut self.rng);
+        let git = content.git_info().cloned();
+        let artifact = Arc::new(Artifact::from_parts(id, builder, hash.clone(), git));
+        self.graph.add_node(id);
+        for input in artifact.inputs() {
+            // Inputs pre-exist, so edges always point backwards in
+            // registration order and can never form a cycle; the graph
+            // still checks as a defensive invariant.
+            self.graph
+                .add_edge(*input, id)
+                .expect("edges to pre-existing nodes cannot form a cycle");
+        }
+        self.by_hash.insert(hash, id);
+        self.by_name.entry(artifact.name().to_owned()).or_default().push(id);
+        self.by_id.insert(id, Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    /// Looks up an artifact by id.
+    pub fn get(&self, id: Uuid) -> Option<Arc<Artifact>> {
+        self.by_id.get(&id).cloned()
+    }
+
+    /// Looks up an artifact by id, erroring when absent.
+    pub fn try_get(&self, id: Uuid) -> Result<Arc<Artifact>, ArtifactError> {
+        self.get(id).ok_or_else(|| ArtifactError::NotFound { query: id.to_string() })
+    }
+
+    /// All registrations (historic versions included) under `name`, in
+    /// registration order.
+    pub fn versions_of(&self, name: &str) -> Vec<Arc<Artifact>> {
+        self.by_name
+            .get(name)
+            .map(|ids| ids.iter().map(|id| Arc::clone(&self.by_id[id])).collect())
+            .unwrap_or_default()
+    }
+
+    /// The most recent registration under `name`.
+    pub fn latest(&self, name: &str) -> Option<Arc<Artifact>> {
+        self.by_name.get(name).and_then(|ids| ids.last()).map(|id| Arc::clone(&self.by_id[id]))
+    }
+
+    /// Finds an artifact by its content hash.
+    pub fn by_hash(&self, hash: &str) -> Option<Arc<Artifact>> {
+        self.by_hash.get(hash).map(|id| Arc::clone(&self.by_id[id]))
+    }
+
+    /// Every artifact `id` transitively depends on, in topological order
+    /// (dependencies before dependents). Used to reconstruct everything
+    /// needed to reproduce a run.
+    pub fn closure(&self, id: Uuid) -> Result<Vec<Arc<Artifact>>, ArtifactError> {
+        self.try_get(id)?;
+        Ok(self
+            .graph
+            .ancestors_topological(id)
+            .into_iter()
+            .map(|node| Arc::clone(&self.by_id[&node]))
+            .collect())
+    }
+
+    /// Artifacts that (directly) used `id` as an input.
+    pub fn dependents(&self, id: Uuid) -> Vec<Arc<Artifact>> {
+        self.graph
+            .successors(id)
+            .iter()
+            .map(|node| Arc::clone(&self.by_id[node]))
+            .collect()
+    }
+
+    /// Iterates over all registered artifacts in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Artifact>> {
+        self.by_id.values()
+    }
+
+    /// Number of registered artifacts.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Aggregate counters for reporting.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            artifacts: self.by_id.len(),
+            deduplicated: self.dedup_hits,
+            names: self.by_name.len(),
+        }
+    }
+
+}
+
+fn conflict_between(existing: &Artifact, incoming: &ArtifactBuilder) -> Option<String> {
+    if existing.name() != incoming.name {
+        return Some(format!("name {:?} vs {:?}", existing.name(), incoming.name));
+    }
+    if existing.kind() != &incoming.kind {
+        return Some(format!("kind {} vs {}", existing.kind(), incoming.kind));
+    }
+    if existing.command() != incoming.command {
+        return Some("creation command differs".to_owned());
+    }
+    if existing.path() != incoming.path {
+        return Some(format!("path {:?} vs {:?}", existing.path(), incoming.path));
+    }
+    if existing.inputs() != incoming.inputs.as_slice() {
+        return Some("input set differs".to_owned());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ArtifactKind, ContentSource};
+
+    fn binary(name: &str, data: &[u8]) -> ArtifactBuilder {
+        Artifact::builder(name, ArtifactKind::Binary)
+            .command(format!("make {name}"))
+            .path(format!("out/{name}"))
+            .documentation("test artifact")
+            .content(ContentSource::bytes(data.to_vec()))
+    }
+
+    #[test]
+    fn identical_registration_dedupes() {
+        let mut r = ArtifactRegistry::new();
+        let a = r.register(binary("tool", b"bits")).unwrap();
+        let b = r.register(binary("tool", b"bits")).unwrap();
+        assert_eq!(a.id(), b.id());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.stats().deduplicated, 1);
+    }
+
+    #[test]
+    fn changed_content_creates_new_artifact() {
+        let mut r = ArtifactRegistry::new();
+        let v1 = r.register(binary("tool", b"v1")).unwrap();
+        let v2 = r.register(binary("tool", b"v2")).unwrap();
+        assert_ne!(v1.id(), v2.id());
+        assert_eq!(r.versions_of("tool").len(), 2);
+        assert_eq!(r.latest("tool").unwrap().id(), v2.id());
+    }
+
+    #[test]
+    fn conflicting_metadata_is_rejected() {
+        let mut r = ArtifactRegistry::new();
+        r.register(binary("tool", b"bits")).unwrap();
+        let err = r.register(binary("other-tool", b"bits")).unwrap_err();
+        assert!(matches!(err, ArtifactError::ConflictingDuplicate { .. }));
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        let mut r = ArtifactRegistry::new();
+        let ghost = Uuid::new_v3("test", "ghost");
+        let err = r.register(binary("tool", b"x").input(ghost)).unwrap_err();
+        assert!(matches!(err, ArtifactError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn closure_returns_dependencies_in_topological_order() {
+        let mut r = ArtifactRegistry::new();
+        let repo = r
+            .register(
+                Artifact::builder("repo", ArtifactKind::GitRepo)
+                    .documentation("src")
+                    .content(ContentSource::git("https://x", "rev1")),
+            )
+            .unwrap();
+        let bin = r.register(binary("bin", b"elf").input(repo.id())).unwrap();
+        let disk = r.register(binary("disk", b"img").input(bin.id())).unwrap();
+        let closure = r.closure(disk.id()).unwrap();
+        let ids: Vec<_> = closure.iter().map(|a| a.id()).collect();
+        assert_eq!(ids, vec![repo.id(), bin.id(), disk.id()]);
+    }
+
+    #[test]
+    fn dependents_are_tracked() {
+        let mut r = ArtifactRegistry::new();
+        let repo = r
+            .register(
+                Artifact::builder("repo", ArtifactKind::GitRepo)
+                    .documentation("src")
+                    .content(ContentSource::git("https://x", "rev1")),
+            )
+            .unwrap();
+        let bin = r.register(binary("bin", b"elf").input(repo.id())).unwrap();
+        let dependents = r.dependents(repo.id());
+        assert_eq!(dependents.len(), 1);
+        assert_eq!(dependents[0].id(), bin.id());
+    }
+
+    #[test]
+    fn lookup_by_hash_and_id() {
+        let mut r = ArtifactRegistry::new();
+        let a = r.register(binary("tool", b"bits")).unwrap();
+        assert_eq!(r.by_hash(a.hash()).unwrap().id(), a.id());
+        assert_eq!(r.get(a.id()).unwrap().name(), "tool");
+        assert!(r.try_get(Uuid::NIL).is_err());
+    }
+
+    #[test]
+    fn git_artifacts_record_provenance() {
+        let mut r = ArtifactRegistry::new();
+        let repo = r
+            .register(
+                Artifact::builder("repo", ArtifactKind::GitRepo)
+                    .documentation("src")
+                    .content(ContentSource::git("https://example.org/s.git", "deadbeef")),
+            )
+            .unwrap();
+        let git = repo.git().unwrap();
+        assert_eq!(git.url, "https://example.org/s.git");
+        assert_eq!(git.revision, "deadbeef");
+    }
+}

@@ -1,0 +1,200 @@
+//! UUID generation for artifact identity.
+//!
+//! The paper's framework assigns every artifact a UUID in addition to its
+//! content hash: the hash identifies *content*, the UUID identifies the
+//! *registration* (two artifacts may wrap the same bytes under different
+//! roles). We implement random (version 4) and name-based (version 3,
+//! MD5-derived) UUIDs in-repo — ~80 lines — instead of adding a dependency.
+
+use crate::hash::Md5;
+use std::fmt;
+use std::str::FromStr;
+
+/// A 128-bit universally unique identifier.
+///
+/// ```
+/// use simart_artifact::Uuid;
+///
+/// let a = Uuid::new_v3("artifacts", "gem5-binary");
+/// let b = Uuid::new_v3("artifacts", "gem5-binary");
+/// assert_eq!(a, b); // name-based UUIDs are deterministic
+/// assert_eq!(a.to_string().len(), 36);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid([u8; 16]);
+
+impl Uuid {
+    /// The all-zero nil UUID.
+    pub const NIL: Uuid = Uuid([0u8; 16]);
+
+    /// Creates a random (version 4) UUID from the provided RNG.
+    ///
+    /// Taking the RNG as an argument keeps identity generation
+    /// deterministic when the caller seeds it — important for
+    /// reproducible experiment transcripts.
+    pub fn new_v4<R: rand::RngCore>(rng: &mut R) -> Uuid {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        Uuid(Self::set_version(bytes, 4))
+    }
+
+    /// Creates a deterministic, name-based (version 3) UUID from a
+    /// namespace string and a name, via MD5.
+    pub fn new_v3(namespace: &str, name: &str) -> Uuid {
+        let mut h = Md5::new();
+        h.update(namespace.as_bytes());
+        h.update(&[0]);
+        h.update(name.as_bytes());
+        Uuid(Self::set_version(h.finalize().0, 3))
+    }
+
+    /// Builds a UUID from raw bytes, stamping no version bits.
+    pub fn from_bytes(bytes: [u8; 16]) -> Uuid {
+        Uuid(bytes)
+    }
+
+    /// The raw bytes of this UUID.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// The UUID version number encoded in the identifier (0 for raw UUIDs).
+    pub fn version(&self) -> u8 {
+        self.0[6] >> 4
+    }
+
+    /// Whether this is the nil UUID.
+    pub fn is_nil(&self) -> bool {
+        self.0 == [0u8; 16]
+    }
+
+    fn set_version(mut bytes: [u8; 16], version: u8) -> [u8; 16] {
+        bytes[6] = (bytes[6] & 0x0f) | (version << 4);
+        bytes[8] = (bytes[8] & 0x3f) | 0x80; // RFC 4122 variant
+        bytes
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, byte) in self.0.iter().enumerate() {
+            if matches!(i, 4 | 6 | 8 | 10) {
+                f.write_str("-")?;
+            }
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uuid({self})")
+    }
+}
+
+impl serde::Serialize for Uuid {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Uuid {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// Error returned when parsing a malformed UUID string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseUuidError;
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid UUID syntax")
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for Uuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 || s.len() != 36 {
+            return Err(ParseUuidError);
+        }
+        let dash_positions: Vec<usize> =
+            s.char_indices().filter(|(_, c)| *c == '-').map(|(i, _)| i).collect();
+        if dash_positions != [8, 13, 18, 23] {
+            return Err(ParseUuidError);
+        }
+        let mut bytes = [0u8; 16];
+        for (i, slot) in bytes.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).map_err(|_| ParseUuidError)?;
+        }
+        Ok(Uuid(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v4_has_version_and_variant_bits() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let u = Uuid::new_v4(&mut rng);
+            assert_eq!(u.version(), 4);
+            assert_eq!(u.as_bytes()[8] & 0xc0, 0x80);
+        }
+    }
+
+    #[test]
+    fn v4_is_deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(Uuid::new_v4(&mut a), Uuid::new_v4(&mut b));
+    }
+
+    #[test]
+    fn v3_distinguishes_namespace_and_name() {
+        let a = Uuid::new_v3("ns1", "x");
+        let b = Uuid::new_v3("ns2", "x");
+        let c = Uuid::new_v3("ns1", "y");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.version(), 3);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let u = Uuid::new_v4(&mut rng);
+            let s = u.to_string();
+            assert_eq!(s.parse::<Uuid>().unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        assert!("".parse::<Uuid>().is_err());
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("00000000000000000000000000000000".parse::<Uuid>().is_err());
+        assert!("0000000-00000-0000-0000-000000000000".parse::<Uuid>().is_err());
+        assert!("00000000-0000-0000-0000-000000000000".parse::<Uuid>().is_ok());
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(Uuid::NIL.is_nil());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!Uuid::new_v4(&mut rng).is_nil());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for hashing, identity, and the provenance DAG.
+
+use proptest::prelude::*;
+use simart_artifact::dag::DependencyGraph;
+use simart_artifact::hash::{Digest, Md5};
+use simart_artifact::{Artifact, ArtifactKind, ArtifactRegistry, ContentSource, Uuid};
+
+proptest! {
+    /// Streaming MD5 over any chunking equals the one-shot digest
+    /// (exercises every padding/boundary path of RFC 1321).
+    #[test]
+    fn md5_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                               chunk in 1usize..512) {
+        let oneshot = Md5::digest(&data);
+        let mut hasher = Md5::new();
+        for piece in data.chunks(chunk) {
+            hasher.update(piece);
+        }
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// Hex encoding of digests round-trips.
+    #[test]
+    fn md5_hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let digest = Md5::digest(&data);
+        prop_assert_eq!(Digest::from_hex(&digest.to_hex()), Some(digest));
+    }
+
+    /// Appending a byte always changes the digest (MD5 is
+    /// length-extension-distinct for our fingerprint use).
+    #[test]
+    fn md5_extension_changes_digest(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                    extra in any::<u8>()) {
+        let base = Md5::digest(&data);
+        let mut extended = data.clone();
+        extended.push(extra);
+        prop_assert_ne!(Md5::digest(&extended), base);
+    }
+
+    /// UUID display/parse round-trips for arbitrary bytes.
+    #[test]
+    fn uuid_round_trip(bytes in any::<[u8; 16]>()) {
+        let uuid = Uuid::from_bytes(bytes);
+        prop_assert_eq!(uuid.to_string().parse::<Uuid>().unwrap(), uuid);
+    }
+
+    /// Name-based UUIDs are injective over (namespace, name) pairs in
+    /// practice: distinct names never collide in a small sample.
+    #[test]
+    fn uuid_v3_distinct_names(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        prop_assume!(a != b);
+        prop_assert_ne!(Uuid::new_v3("ns", &a), Uuid::new_v3("ns", &b));
+    }
+
+    /// Arbitrary edge insertions never create a cycle: the graph either
+    /// rejects the edge or stays topologically sortable.
+    #[test]
+    fn dag_stays_acyclic(edges in proptest::collection::vec((0u64..24, 0u64..24), 0..80)) {
+        let mut graph = DependencyGraph::new();
+        let id = |n: u64| Uuid::new_v3("props-dag", &n.to_string());
+        for (from, to) in edges {
+            let _ = graph.add_edge(id(from), id(to));
+        }
+        let order = graph.topological_order().expect("graph must stay acyclic");
+        // Every edge respects the order.
+        let position = |node: Uuid| order.iter().position(|n| *n == node).unwrap();
+        for node in &order {
+            for succ in graph.successors(*node) {
+                prop_assert!(position(*node) < position(*succ));
+            }
+        }
+    }
+
+    /// Registering arbitrary content: identical content+metadata always
+    /// dedupes, distinct content always yields distinct identity.
+    #[test]
+    fn registry_identity(contents in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 1..20)) {
+        let mut registry = ArtifactRegistry::new();
+        let mut seen: Vec<(Vec<u8>, Uuid)> = Vec::new();
+        for content in contents {
+            let artifact = registry.register(
+                Artifact::builder("blob", ArtifactKind::Binary)
+                    .documentation("property test blob")
+                    .content(ContentSource::bytes(content.clone())),
+            );
+            match artifact {
+                Ok(artifact) => {
+                    if let Some((_, prior)) = seen.iter().find(|(c, _)| *c == content) {
+                        prop_assert_eq!(artifact.id(), *prior, "same content same identity");
+                    } else {
+                        for (_, other) in &seen {
+                            prop_assert_ne!(artifact.id(), *other);
+                        }
+                        seen.push((content, artifact.id()));
+                    }
+                }
+                Err(e) => prop_assert!(false, "registration failed: {e}"),
+            }
+        }
+        prop_assert_eq!(registry.len(), seen.len());
+    }
+}

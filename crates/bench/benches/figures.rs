@@ -1,0 +1,108 @@
+//! Criterion benches: one per paper figure, measuring the simulation
+//! machinery that regenerates it (small, fast slices — the full
+//! regeneration binaries are `usecase1`/`usecase2`/`usecase3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simart::gpu::alloc::AllocPolicy;
+use simart::gpu::{workloads, Gpu};
+use simart::sim::compat::{evaluate, figure8_configs};
+use simart::sim::os::OsImage;
+use simart::sim::system::Fidelity;
+use simart::sim::workload::{parsec_profile, InputSize};
+use simart_bench::{usecase1, usecase2};
+
+/// Figure 6: one PARSEC run per OS at smoke fidelity.
+fn fig6_parsec_run(c: &mut Criterion) {
+    let profile = parsec_profile("blackscholes").expect("profile exists");
+    let mut group = c.benchmark_group("fig6_parsec_exec_time");
+    group.sample_size(10);
+    for os in OsImage::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(os), &os, |b, os| {
+            let config = usecase1::system_config(*os, 2, Fidelity::Smoke);
+            b.iter(|| config.run_workload(&profile, InputSize::SimSmall).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: the 8-core scaling run that anchors the speedup series.
+fn fig7_scaling_run(c: &mut Criterion) {
+    let profile = parsec_profile("ferret").expect("profile exists");
+    let mut group = c.benchmark_group("fig7_scaling");
+    group.sample_size(10);
+    for cores in [1u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, cores| {
+            let config = usecase1::system_config(OsImage::Ubuntu2004, *cores, Fidelity::Smoke);
+            b.iter(|| config.run_workload(&profile, InputSize::SimSmall).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 8: evaluating the full 480-configuration compatibility
+/// matrix, plus one representative detailed boot.
+fn fig8_boot_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_boot_matrix");
+    group.sample_size(10);
+    group.bench_function("compat_eval_480", |b| {
+        b.iter(|| {
+            figure8_configs()
+                .iter()
+                .filter(|config| evaluate(config).is_success())
+                .count()
+        })
+    });
+    let config = figure8_configs().into_iter().find(|c| evaluate(c).is_success()).expect("some boot succeeds");
+    group.bench_function("detailed_boot", |b| {
+        let system = usecase2::system_config(&config, Fidelity::Smoke);
+        b.iter(|| system.boot_only().expect("boots"));
+    });
+    group.finish();
+}
+
+/// Figure 9: one contended and one oversubscribed kernel under both
+/// allocators.
+fn fig9_register_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_register_allocators");
+    group.sample_size(10);
+    let gpu = Gpu::table3().scaled_down(8);
+    for app in ["FAMutex", "MatrixTranspose"] {
+        let kernel = workloads::by_name(app).expect("workload exists");
+        for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
+            group.bench_with_input(
+                BenchmarkId::new(app, policy),
+                &policy,
+                |b, policy| b.iter(|| gpu.run(&kernel, *policy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: the same kernel under simplistic vs improved dependence
+/// tracking (the design choice DESIGN.md calls out as the root cause of
+/// Figure 9's surprise).
+fn ablation_dependence_tracking(c: &mut Criterion) {
+    use simart::gpu::config::GpuConfig;
+    let mut group = c.benchmark_group("ablation_dependence_tracking");
+    group.sample_size(10);
+    let kernel = workloads::by_name("fwd_pool").expect("workload exists");
+    for (label, config) in [
+        ("simplistic", GpuConfig::table3()),
+        ("improved", GpuConfig::table3_improved_tracking()),
+    ] {
+        let gpu = Gpu::with_config(config).scaled_down(8);
+        group.bench_function(label, |b| b.iter(|| gpu.run(&kernel, AllocPolicy::Dynamic)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig6_parsec_run,
+    fig7_scaling_run,
+    fig8_boot_matrix,
+    fig9_register_allocators,
+    ablation_dependence_tracking
+);
+criterion_main!(figures);

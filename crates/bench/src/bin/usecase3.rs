@@ -1,0 +1,71 @@
+//! Regenerates Table III and Figure 9 (use-case 3): GPU register
+//! allocation.
+//!
+//! ```text
+//! cargo run -p simart-bench --bin usecase3 --release [-- --quick]
+//! ```
+
+use simart::gpu::config::GpuConfig;
+use simart::report::{BarChart, Table};
+use simart_bench::usecase3;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 4 } else { 1 };
+
+    let config = GpuConfig::table3();
+    let mut table3 = Table::new("Table III: Key Configuration Parameters for Use-Case 3", &[
+        "Component", "Value",
+    ]);
+    table3.row_strs(&["Number of CUs", "4"]);
+    table3.row(&["SIMD16s (vector ALUs)".into(), format!("{} per CU", config.simds_per_cu)]);
+    table3.row(&["GPU Frequency".into(), format!("{} MHz", config.clock_mhz)]);
+    table3.row(&[
+        "Max Wavefronts".into(),
+        format!("{} per SIMD16 ({} per CU)", config.max_wavefronts_per_simd, config.max_wavefronts_per_cu()),
+    ]);
+    table3.row(&["Vector Registers".into(), format!("{}K per CU", config.vregs_per_cu / 1024)]);
+    table3.row(&["Scalar Registers".into(), format!("{}K per CU", config.sregs_per_cu / 1024)]);
+    table3.row(&["LDS".into(), format!("{} KB per CU", config.lds_bytes_per_cu / 1024)]);
+    table3.row(&[
+        "L1 instruction cache".into(),
+        format!("{} KB shared between every 4 CUs", config.l1i_bytes / 1024),
+    ]);
+    table3.row(&["L1 data caches (1 per CU)".into(), format!("{} KB per CU", config.l1d_bytes_per_cu / 1024)]);
+    table3.row(&["Unified L2 cache".into(), format!("{} KB", config.l2_bytes / 1024)]);
+    table3.row_strs(&["Main Memory", "1 channel, DDR3_1600_8x8"]);
+    println!("{}", table3.render());
+
+    eprintln!("running 58 GPU simulations (29 workloads x 2 allocators)...");
+    let data = usecase3::run(scale);
+
+    let mut results = Table::new("Use-case 3 raw results (shader ticks)", &[
+        "application", "input", "simple", "dynamic", "dyn speedup", "occupancy s/d", "retries s/d",
+    ]);
+    for row in &data.rows {
+        results.row(&[
+            row.app.clone(),
+            row.input.clone(),
+            row.simple_ticks.to_string(),
+            row.dynamic_ticks.to_string(),
+            format!("{:.3}", row.dynamic_speedup()),
+            format!("{}/{}", row.occupancy.0, row.occupancy.1),
+            format!("{}/{}", row.lock_retries.0, row.lock_retries.1),
+        ]);
+    }
+    println!("{}", results.render());
+
+    let mut chart = BarChart::new(
+        "Figure 9: dynamic register allocator speedup, normalized to simple (1.0 = parity)",
+        "x",
+    );
+    for row in &data.rows {
+        chart.bar(row.app.clone(), row.dynamic_speedup());
+    }
+    println!("{}", chart.render(48));
+
+    println!(
+        "geomean dynamic/simple = {:.3}  (paper: simple ahead by ~8% on average => ~0.93)",
+        data.geomean_dynamic_speedup()
+    );
+}

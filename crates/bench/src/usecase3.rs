@@ -1,0 +1,182 @@
+//! Use-case 3: GPU register-allocation study (Tables III/IV, Figure 9).
+//!
+//! Runs every Table IV application on the Table III machine under both
+//! register allocators (inside the pinned ROCm environment the
+//! GCN-docker resource provides) and reports the speedup of each
+//! allocator normalized to *simple* — the paper's Figure 9.
+
+use simart::gpu::alloc::AllocPolicy;
+use simart::gpu::{workloads, Gpu};
+use simart::resources::environment::RocmStack;
+
+/// One Figure 9 data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Uc3Row {
+    /// Application name.
+    pub app: String,
+    /// Table IV input size label.
+    pub input: String,
+    /// Shader ticks under the simple allocator.
+    pub simple_ticks: u64,
+    /// Shader ticks under the dynamic allocator.
+    pub dynamic_ticks: u64,
+    /// Peak occupancy under each allocator.
+    pub occupancy: (u32, u32),
+    /// Lock retries under each allocator.
+    pub lock_retries: (u64, u64),
+}
+
+impl Uc3Row {
+    /// Dynamic-allocator speedup normalized to simple (>1 = dynamic
+    /// faster), the Figure 9 metric.
+    pub fn dynamic_speedup(&self) -> f64 {
+        self.simple_ticks as f64 / self.dynamic_ticks as f64
+    }
+}
+
+/// Complete use-case 3 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Uc3Data {
+    /// One row per Table IV application.
+    pub rows: Vec<Uc3Row>,
+}
+
+impl Uc3Data {
+    /// Looks up one application's row.
+    pub fn get(&self, app: &str) -> Option<&Uc3Row> {
+        self.rows.iter().find(|r| r.app == app)
+    }
+
+    /// Geometric-mean dynamic speedup across all applications. The
+    /// paper reports the *simple* allocator ahead by ≈8 % on average,
+    /// i.e. a value around 0.92.
+    pub fn geomean_dynamic_speedup(&self) -> f64 {
+        let log_sum: f64 = self.rows.iter().map(|r| r.dynamic_speedup().ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+}
+
+/// Runs the full study. `scale_down` divides per-wavefront instruction
+/// counts (1 = full fidelity; tests use 4).
+///
+/// # Panics
+///
+/// Panics if the pinned ROCm environment cannot build a workload — the
+/// exact failure mode the GCN-docker resource exists to prevent.
+pub fn run(scale_down: u32) -> Uc3Data {
+    let environment = RocmStack::gcn_docker();
+    let unsupported = environment.unsupported_workloads();
+    assert!(
+        unsupported.is_empty(),
+        "environment {environment} cannot build {unsupported:?}"
+    );
+
+    let gpu = Gpu::table3().scaled_down(scale_down);
+    let mut rows = Vec::new();
+    for name in workloads::ALL {
+        let kernel = workloads::by_name(name).expect("Table IV workload resolves");
+        let simple = gpu.run(&kernel, AllocPolicy::Simple);
+        let dynamic = gpu.run(&kernel, AllocPolicy::Dynamic);
+        rows.push(Uc3Row {
+            app: name.to_owned(),
+            input: kernel.input.clone(),
+            simple_ticks: simple.ticks,
+            dynamic_ticks: dynamic.ticks,
+            occupancy: (simple.peak_occupancy, dynamic.peak_occupancy),
+            lock_retries: (simple.lock_retries, dynamic.lock_retries),
+        });
+    }
+    Uc3Data { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Uc3Data {
+        // Full scale: the calibrated operating point of the GPU model.
+        run(1)
+    }
+
+    #[test]
+    fn covers_all_29_applications() {
+        let d = data();
+        assert_eq!(d.rows.len(), 29);
+        for row in &d.rows {
+            assert!(row.simple_ticks > 0 && row.dynamic_ticks > 0, "{}", row.app);
+        }
+    }
+
+    #[test]
+    fn shape_simple_wins_on_average() {
+        let d = data();
+        let geomean = d.geomean_dynamic_speedup();
+        assert!(
+            (0.80..1.0).contains(&geomean),
+            "simple allocator ahead on average (paper ≈8%), got geomean {geomean:.3}"
+        );
+    }
+
+    #[test]
+    fn shape_famutex_suffers_most_among_mutexes() {
+        let d = data();
+        let famutex = d.get("FAMutex").unwrap().dynamic_speedup();
+        assert!(famutex < 0.65, "dynamic much worse on FAMutex (paper 61% worse): {famutex:.3}");
+        for other in ["SpinMutexEBO", "SleepMutex"] {
+            let s = d.get(other).unwrap().dynamic_speedup();
+            assert!(s < 0.85, "{other} suffers: {s:.3}");
+            assert!(famutex <= s + 0.05, "FAMutex worst: {famutex:.3} vs {other} {s:.3}");
+        }
+    }
+
+    #[test]
+    fn shape_pool_layers_suffer() {
+        let d = data();
+        for app in ["bwd_pool", "fwd_pool"] {
+            let s = d.get(app).unwrap().dynamic_speedup();
+            assert!((0.6..0.95).contains(&s), "{app} dynamic worse (paper ~22%): {s:.3}");
+        }
+    }
+
+    #[test]
+    fn shape_small_kernels_are_flat() {
+        let d = data();
+        for app in ["2dshfl", "dynamic_shared", "sharedMemory", "shfl", "unroll"] {
+            let s = d.get(app).unwrap().dynamic_speedup();
+            assert!(
+                (0.99..1.01).contains(&s),
+                "{app} has too little work to differ: {s:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_oversubscribed_compute_kernels_benefit() {
+        let d = data();
+        for app in ["inline_asm", "MatrixTranspose", "stream", "PENNANT"] {
+            let s = d.get(app).unwrap().dynamic_speedup();
+            assert!(s > 1.05, "{app} benefits from the dynamic allocator: {s:.3}");
+        }
+        // And some of the DNNMark layers ("some", per the paper).
+        let dnn_winners = ["bwd_bypass", "fwd_bypass", "bwd_bn", "fwd_bn"]
+            .iter()
+            .filter(|app| d.get(app).unwrap().dynamic_speedup() > 1.05)
+            .count();
+        assert!(dnn_winners >= 2, "some DNNMark layers benefit ({dnn_winners})");
+    }
+
+    #[test]
+    fn dynamic_reaches_higher_occupancy_when_oversubscribed() {
+        let d = data();
+        let row = d.get("PENNANT").unwrap();
+        assert_eq!(row.occupancy.0, 4, "simple: one wavefront per SIMD");
+        assert!(row.occupancy.1 >= 32, "dynamic fills the machine");
+    }
+
+    #[test]
+    fn mutex_contention_shows_up_as_lock_retries() {
+        let d = data();
+        let row = d.get("FAMutex").unwrap();
+        assert!(row.lock_retries.1 > row.lock_retries.0 * 3);
+    }
+}

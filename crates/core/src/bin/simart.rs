@@ -1,0 +1,239 @@
+//! `simart` — the command-line front end.
+//!
+//! ```text
+//! simart catalog                     list the resource catalog (Table I)
+//! simart boot [options]              boot one full-system configuration
+//! simart parsec <app> [options]      boot + run one PARSEC application
+//! simart gpu <app> [--alloc X]       run one GPU kernel
+//! simart selftest                    run the bundled test programs
+//! simart matrix                      triage the Figure 8 boot matrix
+//! ```
+
+use simart::gpu::alloc::AllocPolicy;
+use simart::gpu::{workloads, Gpu};
+use simart::report::Table;
+use simart::resources::{tests_resource, Catalog};
+use simart::sim::compat::{evaluate, figure8_configs};
+use simart::sim::cpu::CpuKind;
+use simart::sim::kernel::{BootKind, KernelVersion};
+use simart::sim::mem::MemKind;
+use simart::sim::os::OsImage;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::ticks::format_ticks;
+use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("catalog") => catalog(),
+        Some("boot") => boot(&args[1..]),
+        Some("parsec") => workload_cmd(&args[1..], "parsec"),
+        Some("npb") => workload_cmd(&args[1..], "npb"),
+        Some("gapbs") => workload_cmd(&args[1..], "gapbs"),
+        Some("gpu") => gpu(&args[1..]),
+        Some("selftest") => selftest(),
+        Some("matrix") => matrix(),
+        _ => {
+            eprintln!(
+                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|selftest|matrix> [options]\n\
+                 \n\
+                 boot options:   --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
+                 \u{20}               --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
+                 parsec options: <app> --os 18.04|20.04 --cores N\n\
+                 gpu options:    <app> --alloc simple|dynamic"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn catalog() -> i32 {
+    let catalog = Catalog::standard();
+    let mut table = Table::new("Resources", &["name", "type", "variant"]);
+    for resource in catalog.iter() {
+        table.row(&[
+            resource.name.to_owned(),
+            resource.kind.to_string(),
+            resource.variant.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    0
+}
+
+fn parse_cpu(s: &str) -> Option<CpuKind> {
+    Some(match s {
+        "kvm" => CpuKind::Kvm,
+        "atomic" => CpuKind::AtomicSimple,
+        "timing" => CpuKind::TimingSimple,
+        "o3" => CpuKind::O3,
+        _ => return None,
+    })
+}
+
+fn parse_mem(s: &str) -> Option<MemKind> {
+    Some(match s {
+        "classic" => MemKind::classic_fast(),
+        "coherent" => MemKind::classic_coherent(),
+        "mi" => MemKind::RubyMi,
+        "mesi" => MemKind::RubyMesiTwoLevel,
+        _ => return None,
+    })
+}
+
+fn parse_kernel(s: &str) -> Option<KernelVersion> {
+    Some(match s {
+        "4.4" => KernelVersion::V4_4,
+        "4.9" => KernelVersion::V4_9,
+        "4.14" => KernelVersion::V4_14,
+        "4.15" => KernelVersion::V4_15,
+        "4.19" => KernelVersion::V4_19,
+        "5.4" => KernelVersion::V5_4,
+        _ => return None,
+    })
+}
+
+fn boot(args: &[String]) -> i32 {
+    let cpu = flag(args, "--cpu").and_then(|s| parse_cpu(&s)).unwrap_or(CpuKind::TimingSimple);
+    let cores: u32 = flag(args, "--cores").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let mem = flag(args, "--mem").and_then(|s| parse_mem(&s)).unwrap_or(MemKind::classic_fast());
+    let kernel =
+        flag(args, "--kernel").and_then(|s| parse_kernel(&s)).unwrap_or(KernelVersion::V5_4);
+    let boot_kind = match flag(args, "--boot").as_deref() {
+        Some("kernel") => BootKind::KernelOnly,
+        _ => BootKind::Systemd,
+    };
+    let config = match SystemConfig::builder()
+        .cpu(cpu)
+        .cores(cores)
+        .memory(mem)
+        .kernel(kernel)
+        .boot(boot_kind)
+        .fidelity(Fidelity::Standard)
+        .build()
+    {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match config.boot_only() {
+        Ok(output) => {
+            println!("configuration : {}", config.label());
+            println!("outcome       : {}", output.outcome);
+            println!("boot time     : {}", format_ticks(output.sim_ticks));
+            println!("instructions  : {}", output.instructions);
+            println!("host estimate : {:.1}s", output.host_seconds);
+            if output.outcome.is_success() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn workload_cmd(args: &[String], suite: &str) -> i32 {
+    let Some(app) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: simart {suite} <app> [--os 18.04|20.04] [--cores N]");
+        return 2;
+    };
+    let profile = match suite {
+        "parsec" => parsec_profile(app),
+        "npb" => npb_profile(app),
+        _ => gapbs_profile(app),
+    };
+    let Some(profile) = profile else {
+        eprintln!("error: unknown {suite} application `{app}`");
+        return 2;
+    };
+    let os = match flag(args, "--os").as_deref() {
+        Some("20.04") => OsImage::Ubuntu2004,
+        _ => OsImage::Ubuntu1804,
+    };
+    let cores: u32 = flag(args, "--cores").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let config = match SystemConfig::builder()
+        .cores(cores)
+        .os(os)
+        .fidelity(Fidelity::Standard)
+        .build()
+    {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match config.run_workload(&profile, InputSize::SimMedium) {
+        Ok(output) => {
+            println!("{app} on {os} with {cores} core(s):");
+            println!("  outcome      : {}", output.outcome);
+            println!("  exec time    : {}", format_ticks(output.sim_ticks));
+            println!("  instructions : {}", output.instructions);
+            println!("  IPC/core     : {:.3}", output.stats.scalar("workload.utilization"));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn gpu(args: &[String]) -> i32 {
+    let Some(app) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: simart gpu <app> [--alloc simple|dynamic]");
+        return 2;
+    };
+    let Some(kernel) = workloads::by_name(app) else {
+        eprintln!("error: unknown GPU workload `{app}` (see `simart gpu --list`)");
+        return 2;
+    };
+    let policy = match flag(args, "--alloc").as_deref() {
+        Some("dynamic") => AllocPolicy::Dynamic,
+        _ => AllocPolicy::Simple,
+    };
+    let result = Gpu::table3().run(&kernel, policy);
+    println!("{app} under the {policy} register allocator:");
+    println!("  shader ticks  : {}", result.ticks);
+    println!("  instructions  : {}", result.instructions);
+    println!("  occupancy/CU  : {}", result.peak_occupancy);
+    println!("  lock retries  : {}", result.lock_retries);
+    0
+}
+
+fn selftest() -> i32 {
+    let mut failures = 0;
+    for (name, passed) in tests_resource::run_all() {
+        println!("{}  {name}", if passed { "PASS" } else { "FAIL" });
+        if !passed {
+            failures += 1;
+        }
+    }
+    i32::from(failures > 0)
+}
+
+fn matrix() -> i32 {
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for config in figure8_configs() {
+        *counts.entry(evaluate(&config).label()).or_insert(0) += 1;
+    }
+    let mut table = Table::new("Figure 8 outcome totals (480 configurations)", &[
+        "outcome", "count",
+    ]);
+    for (outcome, count) in counts {
+        table.row(&[outcome.to_owned(), count.to_string()]);
+    }
+    println!("{}", table.render());
+    0
+}

@@ -1,0 +1,483 @@
+//! The [`Experiment`] session: the paper's Figure 2 workflow as one
+//! object.
+//!
+//! 1. the user registers artifacts (①), whose records and payloads land
+//!    in the database (②);
+//! 2. run objects are created (③) and passed to the task library (④);
+//! 3. an executor runs them (⑤) and results are stored back (⑥/⑦);
+//! 4. the database can be queried at any time (⑧).
+
+use parking_lot::Mutex;
+use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry};
+use simart_db::{ArtifactStore, Database, DbError, Filter, Value};
+use simart_run::{FsRun, RunError, RunStatus, RunStore};
+use simart_tasks::{Scheduler, Task, TaskReport, TaskState};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by experiment orchestration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// Artifact registration failed.
+    Artifact(ArtifactError),
+    /// Run creation or persistence failed.
+    Run(RunError),
+    /// Database failure.
+    Db(DbError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Artifact(e) => write!(f, "artifact error: {e}"),
+            ExperimentError::Run(e) => write!(f, "run error: {e}"),
+            ExperimentError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Artifact(e) => Some(e),
+            ExperimentError::Run(e) => Some(e),
+            ExperimentError::Db(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArtifactError> for ExperimentError {
+    fn from(e: ArtifactError) -> Self {
+        ExperimentError::Artifact(e)
+    }
+}
+
+impl From<RunError> for ExperimentError {
+    fn from(e: RunError) -> Self {
+        ExperimentError::Run(e)
+    }
+}
+
+impl From<DbError> for ExperimentError {
+    fn from(e: DbError) -> Self {
+        ExperimentError::Db(e)
+    }
+}
+
+/// What executing one run produced (returned by the user's executor
+/// closure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Short outcome label (`success`, `kernel-panic`, …).
+    pub outcome: String,
+    /// Simulated ticks of the measured phase.
+    pub sim_ticks: u64,
+    /// Archived payload (stats dump).
+    pub payload: Vec<u8>,
+    /// Whether the run counts as successful.
+    pub success: bool,
+}
+
+/// Aggregate summary of a launched batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchSummary {
+    /// Runs that completed successfully.
+    pub done: usize,
+    /// Runs that failed (simulation-level failure or executor error).
+    pub failed: usize,
+    /// Runs killed on timeout.
+    pub timed_out: usize,
+    /// Runs skipped because the identical experiment was already
+    /// recorded in the database.
+    pub skipped_duplicates: usize,
+}
+
+impl LaunchSummary {
+    /// Total runs examined.
+    pub fn total(&self) -> usize {
+        self.done + self.failed + self.timed_out + self.skipped_duplicates
+    }
+}
+
+/// An experiment session: registry + database + run store, with launch
+/// orchestration.
+#[derive(Clone)]
+pub struct Experiment {
+    name: String,
+    db: Database,
+    registry: Arc<Mutex<ArtifactRegistry>>,
+    artifacts: ArtifactStore,
+    runs: RunStore,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .field("artifacts", &self.artifacts.len())
+            .field("runs", &self.runs.len())
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Creates an experiment backed by a fresh in-memory database.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a fresh database; constraint installation on a
+    /// fresh store is infallible.
+    pub fn new(name: impl Into<String>) -> Experiment {
+        Self::with_database(name, Database::in_memory()).expect("fresh database has no conflicts")
+    }
+
+    /// Creates an experiment over an existing database (e.g. one loaded
+    /// from disk to extend previous results).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the database's existing contents violate artifact or
+    /// run uniqueness constraints.
+    pub fn with_database(
+        name: impl Into<String>,
+        db: Database,
+    ) -> Result<Experiment, ExperimentError> {
+        let artifacts = ArtifactStore::new(&db)?;
+        let runs = RunStore::new(&db)?;
+        Ok(Experiment {
+            name: name.into(),
+            db,
+            registry: Arc::new(Mutex::new(ArtifactRegistry::new())),
+            artifacts,
+            runs,
+        })
+    }
+
+    /// The experiment's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The run store.
+    pub fn runs(&self) -> &RunStore {
+        &self.runs
+    }
+
+    /// Registers an artifact (workflow steps ① and ②: the registry
+    /// assigns identity, the database archives the record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry and persistence failures.
+    pub fn register_artifact(
+        &self,
+        builder: ArtifactBuilder,
+    ) -> Result<Arc<Artifact>, ExperimentError> {
+        let artifact = self.registry.lock().register(builder)?;
+        self.artifacts.save(&artifact, None)?;
+        Ok(artifact)
+    }
+
+    /// Runs a closure with access to the artifact registry (for
+    /// resource helpers that register several artifacts at once).
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the closure returns; newly registered artifacts
+    /// are persisted afterwards.
+    pub fn with_registry<T>(
+        &self,
+        f: impl FnOnce(&mut ArtifactRegistry) -> Result<T, ArtifactError>,
+    ) -> Result<T, ExperimentError> {
+        let mut registry = self.registry.lock();
+        let result = f(&mut registry)?;
+        // Persist anything new.
+        for artifact in registry.iter() {
+            self.artifacts.save(artifact, None)?;
+        }
+        Ok(result)
+    }
+
+    /// Number of registered artifacts.
+    pub fn artifact_count(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// Creates a full-system run builder against this experiment's
+    /// registry, yielding the built run (workflow step ③).
+    ///
+    /// # Errors
+    ///
+    /// Propagates run-construction failures.
+    pub fn create_fs_run(
+        &self,
+        configure: impl FnOnce(simart_run::FsRunBuilder<'_>) -> simart_run::FsRunBuilder<'_>,
+    ) -> Result<FsRun, ExperimentError> {
+        let registry = self.registry.lock();
+        let builder = FsRun::create(&registry);
+        Ok(configure(builder).build()?)
+    }
+
+    /// Launches runs through a scheduler (steps ④–⑦).
+    ///
+    /// `execute` maps a run to its [`ExecOutcome`]; typically it builds
+    /// a [`simart_fullsim::system::SystemConfig`] from the run's
+    /// parameters and simulates it. Runs whose hash is already in the
+    /// database are *skipped* (the same experiment is never measured
+    /// twice), mirroring the framework's dedup discipline.
+    pub fn launch<S: Scheduler + ?Sized>(
+        &self,
+        runs: Vec<FsRun>,
+        scheduler: &S,
+        execute: impl Fn(&FsRun) -> Result<ExecOutcome, String> + Send + Sync + Clone + 'static,
+    ) -> LaunchSummary {
+        let mut summary = LaunchSummary::default();
+        let mut handles = Vec::new();
+        for mut fs_run in runs {
+            match self.runs.record(&fs_run) {
+                Ok(()) => {}
+                Err(RunError::DuplicateRun { .. }) => {
+                    summary.skipped_duplicates += 1;
+                    continue;
+                }
+                Err(_) => {
+                    summary.failed += 1;
+                    continue;
+                }
+            }
+            let _ = fs_run.transition(RunStatus::Queued);
+            let _ = self.runs.set_status(fs_run.id(), RunStatus::Queued);
+
+            let store = self.runs.clone();
+            let execute = execute.clone();
+            let timeout = fs_run.timeout();
+            let name = format!("{}/{}", self.name, fs_run.run_hash());
+            let task = Task::new(name, move || {
+                let mut run = fs_run.clone();
+                let _ = run.transition(RunStatus::Running);
+                let _ = store.set_status(run.id(), RunStatus::Running);
+                match execute(&run) {
+                    Ok(outcome) => {
+                        let status =
+                            if outcome.success { RunStatus::Done } else { RunStatus::Failed };
+                        let _ = store.set_status(run.id(), status);
+                        let _ = store.attach_results(
+                            run.id(),
+                            outcome.sim_ticks,
+                            &outcome.outcome,
+                            &outcome.payload,
+                        );
+                        if outcome.success {
+                            Ok(outcome.outcome)
+                        } else {
+                            Err(outcome.outcome)
+                        }
+                    }
+                    Err(err) => {
+                        let _ = store.set_status(run.id(), RunStatus::Failed);
+                        Err(err)
+                    }
+                }
+            })
+            .timeout(timeout);
+            handles.push(scheduler.submit(task));
+        }
+        for handle in handles {
+            let report: TaskReport = handle.wait();
+            match report.state {
+                TaskState::Succeeded => summary.done += 1,
+                TaskState::Failed => summary.failed += 1,
+                TaskState::TimedOut => summary.timed_out += 1,
+            }
+        }
+        summary
+    }
+
+    /// Queries run documents (workflow step ⑧).
+    pub fn query_runs(&self, filter: &Filter) -> Vec<Value> {
+        self.db.collection(RunStore::COLLECTION).find(filter)
+    }
+
+    /// Finds every run that used the given artifact — the
+    /// reproducibility query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from corrupt records.
+    pub fn runs_using(&self, artifact: ArtifactId) -> Result<Vec<FsRun>, ExperimentError> {
+        Ok(self.runs.find_by_artifact(artifact)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simart_artifact::{ArtifactKind, ContentSource};
+    use simart_tasks::PoolScheduler;
+
+    fn experiment_with_components() -> (Experiment, [ArtifactId; 5]) {
+        let experiment = Experiment::new("test");
+        let repo = experiment
+            .register_artifact(
+                Artifact::builder("sim-repo", ArtifactKind::GitRepo)
+                    .documentation("src")
+                    .content(ContentSource::git("https://x", "rev1")),
+            )
+            .unwrap();
+        let binary = experiment
+            .register_artifact(
+                Artifact::builder("sim", ArtifactKind::Binary)
+                    .documentation("bin")
+                    .content(ContentSource::bytes(b"elf".to_vec()))
+                    .input(repo.id()),
+            )
+            .unwrap();
+        let script = experiment
+            .register_artifact(
+                Artifact::builder("script", ArtifactKind::RunScript)
+                    .documentation("cfg")
+                    .content(ContentSource::bytes(b"py".to_vec())),
+            )
+            .unwrap();
+        let kernel = experiment
+            .register_artifact(
+                Artifact::builder("vmlinux", ArtifactKind::Kernel)
+                    .documentation("kernel")
+                    .content(ContentSource::bytes(b"krn".to_vec())),
+            )
+            .unwrap();
+        let disk = experiment
+            .register_artifact(
+                Artifact::builder("disk", ArtifactKind::DiskImage)
+                    .documentation("img")
+                    .content(ContentSource::bytes(b"img".to_vec())),
+            )
+            .unwrap();
+        let ids = [binary.id(), repo.id(), script.id(), kernel.id(), disk.id()];
+        (experiment, ids)
+    }
+
+    fn make_run(experiment: &Experiment, ids: [ArtifactId; 5], app: &str) -> FsRun {
+        let [binary, repo, script, kernel, disk] = ids;
+        experiment
+            .create_fs_run(|b| {
+                b.simulator(binary, "sim")
+                    .simulator_repo(repo)
+                    .run_script(script, "run.py")
+                    .kernel(kernel, "vmlinux")
+                    .disk_image(disk, "disk.img")
+                    .param(app)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn artifacts_are_mirrored_into_the_database() {
+        let (experiment, _) = experiment_with_components();
+        assert_eq!(experiment.artifact_count(), 5);
+        assert_eq!(
+            experiment.database().collection("artifacts").len(),
+            5,
+            "registry and database stay in sync"
+        );
+    }
+
+    #[test]
+    fn launch_executes_and_archives_results() {
+        let (experiment, ids) = experiment_with_components();
+        let runs: Vec<FsRun> =
+            ["a", "b", "c"].iter().map(|app| make_run(&experiment, ids, app)).collect();
+        let run_ids: Vec<_> = runs.iter().map(|r| r.id()).collect();
+        let pool = PoolScheduler::new(2);
+        let summary = experiment.launch(runs, &pool, |run| {
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: 1000 + run.params()[0].len() as u64,
+                payload: format!("stats for {}", run.params()[0]).into_bytes(),
+                success: true,
+            })
+        });
+        assert_eq!(summary.done, 3);
+        assert_eq!(summary.total(), 3);
+        for id in run_ids {
+            let stored = experiment.runs().load(id).unwrap();
+            assert_eq!(stored.status(), RunStatus::Done);
+            assert!(experiment.runs().load_results(id).is_some());
+        }
+    }
+
+    #[test]
+    fn duplicate_runs_are_skipped() {
+        let (experiment, ids) = experiment_with_components();
+        let first = vec![make_run(&experiment, ids, "same")];
+        let second = vec![make_run(&experiment, ids, "same")];
+        let pool = PoolScheduler::new(1);
+        let ok = |_: &FsRun| {
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: 1,
+                payload: vec![],
+                success: true,
+            })
+        };
+        let s1 = experiment.launch(first, &pool, ok);
+        assert_eq!(s1.done, 1);
+        let s2 = experiment.launch(second, &pool, ok);
+        assert_eq!(s2.skipped_duplicates, 1);
+        assert_eq!(s2.done, 0);
+    }
+
+    #[test]
+    fn failures_are_recorded() {
+        let (experiment, ids) = experiment_with_components();
+        let runs = vec![make_run(&experiment, ids, "doomed")];
+        let id = runs[0].id();
+        let pool = PoolScheduler::new(1);
+        let summary =
+            experiment.launch(runs, &pool, |_| Err("simulated crash".to_owned()));
+        assert_eq!(summary.failed, 1);
+        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Failed);
+    }
+
+    #[test]
+    fn query_runs_via_database() {
+        let (experiment, ids) = experiment_with_components();
+        let runs = vec![make_run(&experiment, ids, "q1"), make_run(&experiment, ids, "q2")];
+        let pool = PoolScheduler::new(2);
+        experiment.launch(runs, &pool, |_| {
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: 42,
+                payload: vec![],
+                success: true,
+            })
+        });
+        let done = experiment.query_runs(&Filter::eq("status", "done"));
+        assert_eq!(done.len(), 2);
+        let with_results = experiment.query_runs(&Filter::gte("results.simTicks", 1i64));
+        assert_eq!(with_results.len(), 2);
+    }
+
+    #[test]
+    fn runs_using_traces_artifact_impact() {
+        let (experiment, ids) = experiment_with_components();
+        let runs = vec![make_run(&experiment, ids, "x")];
+        let pool = PoolScheduler::new(1);
+        experiment.launch(runs, &pool, |_| {
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: 1,
+                payload: vec![],
+                success: true,
+            })
+        });
+        let kernel = ids[3];
+        assert_eq!(experiment.runs_using(kernel).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Plain-text reporting: tables and bar charts for experiment results.
+//!
+//! The paper pipes its database into Jupyter + matplotlib; a Rust CLI
+//! reproduction renders the same data as aligned text tables and
+//! horizontal ASCII bar charts, which is what the `simart-bench`
+//! binaries print for every figure.
+
+use std::fmt::Write as _;
+
+/// A fixed-column text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Table {
+        let owned: Vec<String> = cells.iter().map(|c| (*c).to_owned()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown (for dropping
+    /// results straight into EXPERIMENTS-style reports).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        out.push_str(&format!(
+            "| {} |\n",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(" | ")
+        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "| {} |\n",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(" | ")
+            ));
+        }
+        out
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(columns);
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                parts.push(format!("{cell:<width$}", width = widths[i]));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let _ = writeln!(
+            out,
+            "|{}|",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        );
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar chart for labeled values (one bar per
+/// series entry), with support for negative values around a zero axis.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    entries: Vec<(String, f64)>,
+    unit: String,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> BarChart {
+        BarChart { title: title.into(), entries: Vec::new(), unit: unit.into() }
+    }
+
+    /// Adds one labeled bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut BarChart {
+        self.entries.push((label.into(), value));
+        self
+    }
+
+    /// Renders the chart with bars scaled to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if self.entries.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let label_width = self.entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max_abs = self
+            .entries
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        for (label, value) in &self.entries {
+            let bar_len = ((value.abs() / max_abs) * width as f64).round() as usize;
+            let bar: String = if *value >= 0.0 {
+                "#".repeat(bar_len)
+            } else {
+                "-".repeat(bar_len)
+            };
+            let _ = writeln!(
+                out,
+                "{label:<label_width$} | {bar} {value:.3}{}",
+                self.unit,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = Table::new("Demo", &["app", "ticks"]);
+        table.row_strs(&["blackscholes", "120"]);
+        table.row_strs(&["x", "7"]);
+        let rendered = table.render();
+        assert!(rendered.contains("== Demo =="));
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len(), "aligned rows");
+        assert!(!table.is_empty());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn markdown_rendering_escapes_pipes() {
+        let mut table = Table::new("MD", &["a", "b"]);
+        table.row_strs(&["x|y", "z"]);
+        let md = table.render_markdown();
+        assert!(md.starts_with("### MD"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("\n|---|---|\n"), "separator is exactly one pipe per column");
+        assert!(md.contains("x\\|y"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = Table::new("Pad", &["a", "b", "c"]);
+        table.row_strs(&["only-one"]);
+        let rendered = table.render();
+        assert!(rendered.contains("only-one"));
+    }
+
+    #[test]
+    fn chart_scales_bars() {
+        let mut chart = BarChart::new("Speedup", "x");
+        chart.bar("fast", 4.0);
+        chart.bar("slow", 1.0);
+        chart.bar("regression", -2.0);
+        let rendered = chart.render(20);
+        assert!(rendered.contains("####################"), "max bar fills width");
+        assert!(rendered.contains("#####"), "quarter bar");
+        assert!(rendered.contains("----------"), "negative bars drawn with dashes");
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let chart = BarChart::new("Empty", "");
+        assert!(chart.render(10).contains("(no data)"));
+    }
+}

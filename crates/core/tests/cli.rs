@@ -1,0 +1,72 @@
+//! End-to-end tests of the `simart` CLI binary.
+
+use std::process::Command;
+
+fn simart(args: &[&str]) -> (String, String, i32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (_, stderr, code) = simart(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage: simart"));
+}
+
+#[test]
+fn catalog_lists_all_resources() {
+    let (stdout, _, code) = simart(&["catalog"]);
+    assert_eq!(code, 0);
+    for name in ["boot-exit", "parsec", "GCN-docker", "gem5-tests"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn boot_reports_success_and_failure_via_exit_code() {
+    let (stdout, _, code) =
+        simart(&["boot", "--cpu", "kvm", "--cores", "4", "--mem", "mesi", "--kernel", "5.4"]);
+    assert_eq!(code, 0, "kvm boots everywhere: {stdout}");
+    assert!(stdout.contains("outcome       : success"));
+
+    // Atomic CPU on Ruby is the canonical unsupported configuration.
+    let (stdout, _, code) = simart(&["boot", "--cpu", "atomic", "--mem", "mi"]);
+    assert_eq!(code, 1, "unsupported boot exits nonzero: {stdout}");
+    assert!(stdout.contains("unsupported"));
+}
+
+#[test]
+fn gpu_subcommand_validates_workloads() {
+    let (stdout, _, code) = simart(&["gpu", "2dshfl"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("shader ticks"));
+
+    let (_, stderr, code) = simart(&["gpu", "not-a-kernel"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown GPU workload"));
+}
+
+#[test]
+fn selftest_passes() {
+    let (stdout, _, code) = simart(&["selftest"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert_eq!(stdout.matches("PASS").count(), 5);
+    assert_eq!(stdout.matches("FAIL").count(), 0);
+}
+
+#[test]
+fn matrix_totals_match_figure_8() {
+    let (stdout, _, code) = simart(&["matrix"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("| kernel-panic | 27"));
+    assert!(stdout.contains("| sim-crash    | 11"));
+    assert!(stdout.contains("| deadlock     | 4"));
+}

@@ -1,0 +1,410 @@
+//! Document collections.
+
+use crate::error::DbError;
+use crate::query::{Filter, SortOrder};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A named set of documents with unique `_id`s.
+///
+/// Collections are cheap `Arc` handles; clones share storage, and all
+/// operations are thread-safe (the paper's framework writes results from
+/// many concurrent simulation tasks into one database).
+#[derive(Debug, Clone)]
+pub struct Collection {
+    name: String,
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Documents ordered by `_id` for deterministic iteration.
+    docs: BTreeMap<String, Value>,
+    /// Field paths with a unique constraint, each mapping rendered value
+    /// -> owning id.
+    unique: HashMap<String, HashMap<String, String>>,
+}
+
+impl Collection {
+    pub(crate) fn new(name: impl Into<String>) -> Collection {
+        Collection { name: name.into(), inner: Arc::new(RwLock::new(Inner::default())) }
+    }
+
+    /// The collection's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a unique constraint on `path`. Existing documents are
+    /// checked immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UniqueViolation`] when two existing documents
+    /// already collide on `path`; the constraint is not installed then.
+    pub fn ensure_unique(&self, path: impl Into<String>) -> Result<(), DbError> {
+        let path = path.into();
+        let mut inner = self.inner.write();
+        let mut index: HashMap<String, String> = HashMap::new();
+        for (id, doc) in &inner.docs {
+            if let Some(value) = doc.at(&path) {
+                if value.is_null() {
+                    continue;
+                }
+                let key = crate::json::to_json(value);
+                if let Some(existing) = index.insert(key.clone(), id.clone()) {
+                    let _ = existing;
+                    return Err(DbError::UniqueViolation {
+                        collection: self.name.clone(),
+                        field: path,
+                        value: key,
+                    });
+                }
+            }
+        }
+        inner.unique.insert(path, index);
+        Ok(())
+    }
+
+    /// Inserts a document.
+    ///
+    /// The document must be a map carrying a string `_id` field.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::InvalidDocument`] — not a map / missing `_id`.
+    /// * [`DbError::DuplicateId`] — `_id` already present.
+    /// * [`DbError::UniqueViolation`] — a unique index would be violated.
+    pub fn insert(&self, doc: Value) -> Result<(), DbError> {
+        let id = id_of(&doc)?;
+        let mut inner = self.inner.write();
+        if inner.docs.contains_key(&id) {
+            return Err(DbError::DuplicateId { collection: self.name.clone(), id });
+        }
+        // Validate unique constraints before mutating anything.
+        let mut staged: Vec<(String, String)> = Vec::new();
+        for (path, index) in &inner.unique {
+            if let Some(value) = doc.at(path) {
+                if value.is_null() {
+                    continue;
+                }
+                let key = crate::json::to_json(value);
+                if index.contains_key(&key) {
+                    return Err(DbError::UniqueViolation {
+                        collection: self.name.clone(),
+                        field: path.clone(),
+                        value: key,
+                    });
+                }
+                staged.push((path.clone(), key));
+            }
+        }
+        for (path, key) in staged {
+            inner.unique.get_mut(&path).expect("staged from unique map").insert(key, id.clone());
+        }
+        inner.docs.insert(id, doc);
+        Ok(())
+    }
+
+    /// Inserts the document, or replaces any existing document with the
+    /// same `_id` (upsert). Returns the replaced document, if any.
+    pub fn upsert(&self, doc: Value) -> Result<Option<Value>, DbError> {
+        let id = id_of(&doc)?;
+        let previous = {
+            let mut inner = self.inner.write();
+            let previous = inner.docs.remove(&id);
+            if let Some(prev) = &previous {
+                deindex(&mut inner, &id, prev);
+            }
+            previous
+        };
+        match self.insert(doc) {
+            Ok(()) => Ok(previous),
+            Err(err) => {
+                // Restore the previous document on constraint failure so
+                // upsert is atomic from the caller's perspective.
+                if let Some(prev) = previous {
+                    let mut inner = self.inner.write();
+                    reindex(&mut inner, &id, &prev);
+                    inner.docs.insert(id, prev);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Fetches a document by `_id`.
+    pub fn get(&self, id: &str) -> Option<Value> {
+        self.inner.read().docs.get(id).cloned()
+    }
+
+    /// Returns all documents matching `filter`, ordered by `_id`.
+    pub fn find(&self, filter: &Filter) -> Vec<Value> {
+        self.inner.read().docs.values().filter(|d| filter.matches(d)).cloned().collect()
+    }
+
+    /// Returns the first matching document.
+    pub fn find_one(&self, filter: &Filter) -> Option<Value> {
+        self.inner.read().docs.values().find(|d| filter.matches(d)).cloned()
+    }
+
+    /// Returns matching documents sorted by a field path.
+    pub fn find_sorted(&self, filter: &Filter, sort_path: &str, order: SortOrder) -> Vec<Value> {
+        let mut results = self.find(filter);
+        results.sort_by(|a, b| {
+            let va = a.at(sort_path).unwrap_or(&Value::Null);
+            let vb = b.at(sort_path).unwrap_or(&Value::Null);
+            let ord = va.compare(vb);
+            match order {
+                SortOrder::Ascending => ord,
+                SortOrder::Descending => ord.reverse(),
+            }
+        });
+        results
+    }
+
+    /// Counts documents matching `filter`.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.inner.read().docs.values().filter(|d| filter.matches(d)).count()
+    }
+
+    /// Deletes the document with the given `_id`, returning it.
+    pub fn delete(&self, id: &str) -> Option<Value> {
+        let mut inner = self.inner.write();
+        let doc = inner.docs.remove(id)?;
+        deindex(&mut inner, id, &doc);
+        Some(doc)
+    }
+
+    /// Deletes every matching document, returning how many were removed.
+    pub fn delete_many(&self, filter: &Filter) -> usize {
+        let ids: Vec<String> = {
+            let inner = self.inner.read();
+            inner
+                .docs
+                .iter()
+                .filter(|(_, d)| filter.matches(d))
+                .map(|(id, _)| id.clone())
+                .collect()
+        };
+        let mut removed = 0;
+        for id in ids {
+            if self.delete(&id).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Applies `update` to every matching document (the `_id` field is
+    /// protected). Returns how many documents changed.
+    pub fn update_many(&self, filter: &Filter, update: impl Fn(&mut Value)) -> usize {
+        let mut inner = self.inner.write();
+        let ids: Vec<String> = inner
+            .docs
+            .iter()
+            .filter(|(_, d)| filter.matches(d))
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &ids {
+            let mut doc = inner.docs.get(id).cloned().expect("id listed above");
+            deindex(&mut inner, id, &doc);
+            update(&mut doc);
+            doc.set_at("_id", Value::Str(id.clone()));
+            reindex(&mut inner, id, &doc);
+            inner.docs.insert(id.clone(), doc);
+        }
+        ids.len()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().docs.is_empty()
+    }
+
+    /// Snapshot of all documents (ordered by `_id`).
+    pub fn all(&self) -> Vec<Value> {
+        self.inner.read().docs.values().cloned().collect()
+    }
+
+    /// Projects one field from every matching document.
+    pub fn distinct(&self, filter: &Filter, path: &str) -> Vec<Value> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut out = Vec::new();
+        for doc in self.inner.read().docs.values().filter(|d| filter.matches(d)) {
+            if let Some(v) = doc.at(path) {
+                let key = crate::json::to_json(v);
+                if seen.insert(key) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn id_of(doc: &Value) -> Result<String, DbError> {
+    let map = doc
+        .as_map()
+        .ok_or_else(|| DbError::InvalidDocument { reason: "document must be a map".into() })?;
+    map.get("_id")
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| DbError::InvalidDocument { reason: "document must carry a string `_id`".into() })
+}
+
+fn deindex(inner: &mut Inner, id: &str, doc: &Value) {
+    for (path, index) in inner.unique.iter_mut() {
+        if let Some(value) = doc.at(path) {
+            if !value.is_null() {
+                let key = crate::json::to_json(value);
+                if index.get(&key).map(String::as_str) == Some(id) {
+                    index.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+fn reindex(inner: &mut Inner, id: &str, doc: &Value) {
+    for (path, index) in inner.unique.iter_mut() {
+        if let Some(value) = doc.at(path) {
+            if !value.is_null() {
+                index.insert(crate::json::to_json(value), id.to_owned());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: &str, extra: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        let mut map: Vec<(String, Value)> = vec![("_id".into(), Value::from(id))];
+        map.extend(extra.into_iter().map(|(k, v)| (k.to_owned(), v)));
+        map.into_iter().collect()
+    }
+
+    #[test]
+    fn insert_get_delete_round_trip() {
+        let c = Collection::new("runs");
+        c.insert(doc("a", [("n", Value::from(1i64))])).unwrap();
+        assert_eq!(c.get("a").unwrap().at("n").and_then(Value::as_int), Some(1));
+        assert_eq!(c.len(), 1);
+        assert!(c.delete("a").is_some());
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids_and_bad_documents() {
+        let c = Collection::new("runs");
+        c.insert(doc("a", [])).unwrap();
+        assert!(matches!(c.insert(doc("a", [])), Err(DbError::DuplicateId { .. })));
+        assert!(matches!(c.insert(Value::from(3i64)), Err(DbError::InvalidDocument { .. })));
+        assert!(matches!(
+            c.insert(Value::map([("x", Value::from(1i64))])),
+            Err(DbError::InvalidDocument { .. })
+        ));
+    }
+
+    #[test]
+    fn unique_constraint_enforced() {
+        let c = Collection::new("artifacts");
+        c.ensure_unique("hash").unwrap();
+        c.insert(doc("a", [("hash", Value::from("h1"))])).unwrap();
+        let err = c.insert(doc("b", [("hash", Value::from("h1"))])).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Null / missing values are exempt.
+        c.insert(doc("c", [("hash", Value::Null)])).unwrap();
+        c.insert(doc("d", [])).unwrap();
+        // Deleting frees the key.
+        c.delete("a");
+        c.insert(doc("e", [("hash", Value::from("h1"))])).unwrap();
+    }
+
+    #[test]
+    fn ensure_unique_rejects_preexisting_collisions() {
+        let c = Collection::new("x");
+        c.insert(doc("a", [("k", Value::from(1i64))])).unwrap();
+        c.insert(doc("b", [("k", Value::from(1i64))])).unwrap();
+        assert!(c.ensure_unique("k").is_err());
+        // Constraint was not installed.
+        c.insert(doc("c", [("k", Value::from(1i64))])).unwrap();
+    }
+
+    #[test]
+    fn upsert_replaces_and_restores_on_conflict() {
+        let c = Collection::new("x");
+        c.ensure_unique("k").unwrap();
+        c.insert(doc("a", [("k", Value::from("ka"))])).unwrap();
+        c.insert(doc("b", [("k", Value::from("kb"))])).unwrap();
+        // Plain replace.
+        let old = c.upsert(doc("a", [("k", Value::from("ka2"))])).unwrap();
+        assert_eq!(old.unwrap().at("k").and_then(Value::as_str), Some("ka"));
+        // Conflicting upsert fails and leaves the old doc in place.
+        let err = c.upsert(doc("a", [("k", Value::from("kb"))])).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        assert_eq!(c.get("a").unwrap().at("k").and_then(Value::as_str), Some("ka2"));
+    }
+
+    #[test]
+    fn find_sort_count_distinct() {
+        let c = Collection::new("x");
+        for (id, app, t) in [("1", "dedup", 5i64), ("2", "vips", 3), ("3", "dedup", 9)] {
+            c.insert(doc(id, [("app", Value::from(app)), ("t", Value::from(t))])).unwrap();
+        }
+        assert_eq!(c.count(&Filter::eq("app", "dedup")), 2);
+        let sorted = c.find_sorted(&Filter::All, "t", SortOrder::Descending);
+        let ts: Vec<i64> = sorted.iter().filter_map(|d| d.at("t").and_then(Value::as_int)).collect();
+        assert_eq!(ts, vec![9, 5, 3]);
+        let apps = c.distinct(&Filter::All, "app");
+        assert_eq!(apps.len(), 2);
+        assert!(c.find_one(&Filter::eq("app", "vips")).is_some());
+    }
+
+    #[test]
+    fn update_many_reindexes_and_protects_id() {
+        let c = Collection::new("x");
+        c.ensure_unique("k").unwrap();
+        c.insert(doc("a", [("k", Value::from("v1")), ("status", Value::from("running"))]))
+            .unwrap();
+        let n = c.update_many(&Filter::eq("status", "running"), |d| {
+            d.set_at("status", Value::from("done"));
+            d.set_at("k", Value::from("v2"));
+            d.set_at("_id", Value::from("hacked"));
+        });
+        assert_eq!(n, 1);
+        let got = c.get("a").expect("_id update must be ignored");
+        assert_eq!(got.at("status").and_then(Value::as_str), Some("done"));
+        // Old key freed, new key owned.
+        c.insert(doc("b", [("k", Value::from("v1"))])).unwrap();
+        assert!(c.insert(doc("c", [("k", Value::from("v2"))])).is_err());
+    }
+
+    #[test]
+    fn delete_many_by_filter() {
+        let c = Collection::new("x");
+        for i in 0..10i64 {
+            c.insert(doc(&i.to_string(), [("even", Value::from(i % 2 == 0))])).unwrap();
+        }
+        assert_eq!(c.delete_many(&Filter::eq("even", true)), 5);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let c = Collection::new("x");
+        let c2 = c.clone();
+        c.insert(doc("a", [])).unwrap();
+        assert_eq!(c2.len(), 1);
+    }
+}

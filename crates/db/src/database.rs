@@ -1,0 +1,204 @@
+//! The top-level database: named collections + blob store + persistence.
+
+use crate::blobstore::BlobStore;
+use crate::collection::Collection;
+use crate::error::DbError;
+use crate::json;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An embedded document database.
+///
+/// Mirrors how the paper's framework uses MongoDB: a handful of named
+/// collections (`artifacts`, `runs`, …) plus a file store. Handles are
+/// cheap clones sharing storage.
+///
+/// Persistence is directory-based: [`Database::save`] writes one
+/// `.jsonl` file per collection (one document per line) and a `blobs/`
+/// directory with one file per content hash; [`Database::load`] reads
+/// the same layout back.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    collections: Arc<RwLock<BTreeMap<String, Collection>>>,
+    blobs: BlobStore,
+}
+
+impl Database {
+    /// Creates an empty in-memory database.
+    pub fn in_memory() -> Database {
+        Database::default()
+    }
+
+    /// Gets (creating on first use) the named collection.
+    pub fn collection(&self, name: &str) -> Collection {
+        let mut collections = self.collections.write();
+        collections.entry(name.to_owned()).or_insert_with(|| Collection::new(name)).clone()
+    }
+
+    /// Whether a collection with this name exists already.
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// The database's blob store.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// Drops a collection, returning whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Persists the database to a directory (created if needed).
+    ///
+    /// Layout: `<dir>/<collection>.jsonl` + `<dir>/blobs/<hash>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures as [`DbError::Io`].
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for name in self.collection_names() {
+            let collection = self.collection(&name);
+            let path = dir.join(format!("{name}.jsonl"));
+            let mut file = fs::File::create(&path)?;
+            for doc in collection.all() {
+                writeln!(file, "{}", json::to_json(&doc))?;
+            }
+        }
+        let blob_dir = dir.join("blobs");
+        fs::create_dir_all(&blob_dir)?;
+        for key in self.blobs.keys() {
+            let path = blob_dir.join(key.to_hex());
+            if !path.exists() {
+                fs::write(&path, self.blobs.get(key).expect("key just listed"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a database previously written by [`Database::save`].
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::Io`] — directory unreadable.
+    /// * [`DbError::Parse`] — corrupted document line.
+    /// * [`DbError::DuplicateId`] / [`DbError::InvalidDocument`] —
+    ///   inconsistent persisted data.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        let dir = dir.as_ref();
+        let db = Database::in_memory();
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        entries.sort();
+        for path in entries {
+            if path.extension().map(|e| e == "jsonl").unwrap_or(false) {
+                let name = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .ok_or_else(|| DbError::InvalidDocument {
+                        reason: format!("bad collection filename {path:?}"),
+                    })?
+                    .to_owned();
+                let collection = db.collection(&name);
+                for line in fs::read_to_string(&path)?.lines() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    collection.insert(json::from_json(line)?)?;
+                }
+            }
+        }
+        let blob_dir = dir.join("blobs");
+        if blob_dir.is_dir() {
+            for entry in fs::read_dir(&blob_dir)? {
+                let entry = entry?;
+                db.blobs.put(fs::read(entry.path())?);
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+    use crate::value::Value;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-db-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn collections_are_created_on_demand_and_shared() {
+        let db = Database::in_memory();
+        assert!(!db.has_collection("runs"));
+        let c1 = db.collection("runs");
+        let c2 = db.collection("runs");
+        c1.insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        assert_eq!(c2.len(), 1);
+        assert_eq!(db.collection_names(), vec!["runs".to_owned()]);
+        assert!(db.drop_collection("runs"));
+        assert!(!db.drop_collection("runs"));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let db = Database::in_memory();
+        let runs = db.collection("runs");
+        for i in 0..5i64 {
+            runs.insert(Value::map([
+                ("_id", Value::from(format!("run-{i}"))),
+                ("ticks", Value::from(i * 1000)),
+                ("nested", Value::map([("ok", Value::from(i % 2 == 0))])),
+            ]))
+            .unwrap();
+        }
+        let key = db.blobs().put(b"result archive".to_vec());
+        db.save(&dir).unwrap();
+
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 5);
+        assert_eq!(
+            restored.collection("runs").count(&Filter::eq("nested.ok", true)),
+            3
+        );
+        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"result archive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_lines() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("runs.jsonl"), "{\"_id\":\"a\"}\nnot json\n").unwrap();
+        assert!(matches!(Database::load(&dir), Err(DbError::Parse { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let dir = temp_dir("empty");
+        let db = Database::in_memory();
+        db.save(&dir).unwrap();
+        let restored = Database::load(&dir).unwrap();
+        assert!(restored.collection_names().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

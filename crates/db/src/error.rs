@@ -1,0 +1,81 @@
+//! Error type for database operations.
+
+use std::fmt;
+
+/// Errors produced by the embedded document database.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DbError {
+    /// A document with the same `_id` already exists in the collection.
+    DuplicateId {
+        /// Collection name.
+        collection: String,
+        /// The colliding id.
+        id: String,
+    },
+    /// A unique-key constraint was violated.
+    UniqueViolation {
+        /// Collection name.
+        collection: String,
+        /// The constrained field path.
+        field: String,
+        /// Rendered value that collided.
+        value: String,
+    },
+    /// Document rejected because it is not a map or lacks an `_id` string.
+    InvalidDocument {
+        /// Why the document was rejected.
+        reason: String,
+    },
+    /// A lookup found nothing.
+    NotFound {
+        /// What was searched for.
+        query: String,
+    },
+    /// Malformed persisted JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Cause.
+        message: String,
+    },
+    /// Filesystem failure during persistence.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateId { collection, id } => {
+                write!(f, "duplicate _id {id:?} in collection {collection:?}")
+            }
+            DbError::UniqueViolation { collection, field, value } => write!(
+                f,
+                "unique constraint on {collection:?}.{field} violated by value {value}"
+            ),
+            DbError::InvalidDocument { reason } => {
+                write!(f, "invalid document: {reason}")
+            }
+            DbError::NotFound { query } => write!(f, "no document matches {query:?}"),
+            DbError::Parse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            DbError::Io(err) => write!(f, "i/o failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(err: std::io::Error) -> DbError {
+        DbError::Io(err)
+    }
+}

@@ -1,0 +1,59 @@
+//! # simart-db
+//!
+//! An embedded document database: the reproduction's stand-in for the
+//! MongoDB instance the paper uses to store artifacts, run records, and
+//! result files.
+//!
+//! The framework uses its database as a *provenance log*: insert
+//! documents keyed by UUID, deduplicate file content, and query records
+//! back by field values. This crate provides exactly those capabilities
+//! with zero external services:
+//!
+//! * [`Value`] — a JSON-like document model with its own text
+//!   serialization (used for on-disk persistence);
+//! * [`Collection`] — ordered document storage with unique-id and
+//!   secondary unique-key constraints plus a [`Filter`] query engine;
+//! * [`BlobStore`] — content-addressed byte storage (the GridFS
+//!   analogue) that deduplicates identical uploads;
+//! * [`Database`] — a named set of collections plus a blob store, with
+//!   optional directory-backed persistence;
+//! * [`ArtifactStore`] — typed artifact ↔ document mapping so
+//!   `simart-artifact` records round-trip through the database.
+//!
+//! ```
+//! use simart_db::{Database, Value, Filter};
+//!
+//! # fn main() -> Result<(), simart_db::DbError> {
+//! let db = Database::in_memory();
+//! let runs = db.collection("runs");
+//! runs.insert(Value::map([
+//!     ("_id", Value::from("run-1")),
+//!     ("status", Value::from("success")),
+//!     ("sim_ticks", Value::from(91_000_000i64)),
+//! ]))?;
+//! let done = runs.find(&Filter::eq("status", "success"));
+//! assert_eq!(done.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+mod artifact_store;
+mod blobstore;
+mod collection;
+mod database;
+mod error;
+pub mod json;
+mod query;
+mod value;
+
+pub use aggregate::{group_reduce, reduce, Reduce};
+pub use artifact_store::ArtifactStore;
+pub use blobstore::{BlobKey, BlobStore};
+pub use collection::Collection;
+pub use database::Database;
+pub use error::DbError;
+pub use query::{Filter, SortOrder};
+pub use value::Value;

@@ -1,0 +1,87 @@
+//! The KVM CPU: virtualization passthrough.
+//!
+//! gem5's `KvmCPU` executes guest code directly on the host with no
+//! micro-architectural timing; it is used to fast-forward boot and
+//! warm-up phases. We model that by committing instructions at a fixed
+//! optimistic rate and touching no timing state at all.
+
+use super::{CpuKind, CpuModel, CpuRunResult};
+use crate::isa::InstStream;
+use crate::mem::MemorySystem;
+use crate::stats::Stats;
+
+/// Effective instructions per cycle when running under virtualization
+/// (no stalls are modeled — fidelity is intentionally minimal).
+const KVM_IPC: u64 = 8;
+
+/// The KVM passthrough CPU model.
+#[derive(Debug, Default)]
+pub struct KvmCpu {
+    committed: u64,
+}
+
+impl KvmCpu {
+    /// Creates the model.
+    pub fn new() -> KvmCpu {
+        KvmCpu::default()
+    }
+}
+
+impl CpuModel for KvmCpu {
+    fn kind(&self) -> CpuKind {
+        CpuKind::Kvm
+    }
+
+    fn run(
+        &mut self,
+        _core: usize,
+        stream: &mut InstStream,
+        budget: u64,
+        _mem: &mut dyn MemorySystem,
+    ) -> CpuRunResult {
+        // Consume the stream so downstream phases stay aligned, but do
+        // no timing: the guest runs on the "host".
+        for _ in 0..budget {
+            let _ = stream.next_inst();
+        }
+        self.committed += budget;
+        CpuRunResult { instructions: budget, cycles: budget.div_ceil(KVM_IPC) }
+    }
+
+    fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
+        stats.set_count(&format!("{prefix}.committedInsts"), self.committed);
+        stats.set_scalar(&format!("{prefix}.ipc"), KVM_IPC as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddressProfile, InstMix};
+    use crate::mem::{build, MemKind};
+
+    #[test]
+    fn kvm_never_touches_memory_timing() {
+        let mut cpu = KvmCpu::new();
+        let mut mem = build(MemKind::RubyMi, 1);
+        let mut stream =
+            InstStream::new("kvm", 0, InstMix::default_int(), AddressProfile::friendly());
+        cpu.run(0, &mut stream, 10_000, mem.as_mut());
+        let mut stats = Stats::new();
+        mem.dump_stats("mem", &mut stats);
+        assert_eq!(stats.count("mem.hits") + stats.count("mem.misses"), 0);
+    }
+
+    #[test]
+    fn cycles_reflect_fixed_ipc() {
+        let mut cpu = KvmCpu::new();
+        let mut mem = build(MemKind::classic_fast(), 1);
+        let mut stream =
+            InstStream::new("kvm", 0, InstMix::default_int(), AddressProfile::friendly());
+        let result = cpu.run(0, &mut stream, 1000, mem.as_mut());
+        assert_eq!(result.cycles, 125);
+        let mut stats = Stats::new();
+        cpu.dump_stats("cpu", &mut stats);
+        assert_eq!(stats.count("cpu.committedInsts"), 1000);
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type for simulator configuration.
+
+use std::fmt;
+
+/// Errors raised while building or running a simulated system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration is structurally invalid (bad core count,
+    /// missing component, …) — distinct from *unsupported* runtime
+    /// combinations, which are reported as boot outcomes.
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+}
+
+impl SimError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> SimError {
+        SimError::InvalidConfig { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

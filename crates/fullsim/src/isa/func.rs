@@ -1,0 +1,275 @@
+//! A functional interpreter for a small register machine — the
+//! substrate behind the `gem5 tests` resource (asmtest/insttest-style
+//! instruction and syscall tests).
+//!
+//! Unlike the statistical streams the timing models consume, these
+//! programs have real semantics: 32 integer registers, a sparse word
+//! memory, branches, and an exit syscall. Test programs assert
+//! architectural results (register/memory values), giving the project
+//! a functional-correctness suite alongside the timing models.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A functional instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncInst {
+    /// `rd = rs1 + rs2`
+    Add {
+        /// destination register
+        rd: u8,
+        /// first source
+        rs1: u8,
+        /// second source
+        rs2: u8,
+    },
+    /// `rd = rs1 + imm`
+    Addi {
+        /// destination register
+        rd: u8,
+        /// source register
+        rs1: u8,
+        /// immediate
+        imm: i64,
+    },
+    /// `rd = rs1 * rs2`
+    Mul {
+        /// destination register
+        rd: u8,
+        /// first source
+        rs1: u8,
+        /// second source
+        rs2: u8,
+    },
+    /// `rd = memory[rs1 + offset]`
+    Load {
+        /// destination register
+        rd: u8,
+        /// base-address register
+        rs1: u8,
+        /// byte offset
+        offset: i64,
+    },
+    /// `memory[rs1 + offset] = rs2`
+    Store {
+        /// base-address register
+        rs1: u8,
+        /// value register
+        rs2: u8,
+        /// byte offset
+        offset: i64,
+    },
+    /// `if rs1 == rs2 { pc += target_delta }` (relative branch)
+    Beq {
+        /// first compare register
+        rs1: u8,
+        /// second compare register
+        rs2: u8,
+        /// relative instruction offset
+        delta: i64,
+    },
+    /// `if rs1 != rs2 { pc += target_delta }`
+    Bne {
+        /// first compare register
+        rs1: u8,
+        /// second compare register
+        rs2: u8,
+        /// relative instruction offset
+        delta: i64,
+    },
+    /// Terminates the program (the m5-exit analogue).
+    Halt,
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// Executed a `Halt`.
+    Halted,
+    /// Ran off the end of the program.
+    FellThrough,
+    /// Exceeded the step budget (likely an infinite loop).
+    FuelExhausted,
+    /// Jumped outside the program.
+    BadBranch {
+        /// The offending target.
+        target: i64,
+    },
+}
+
+impl fmt::Display for Stop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stop::Halted => f.write_str("halted"),
+            Stop::FellThrough => f.write_str("fell through"),
+            Stop::FuelExhausted => f.write_str("fuel exhausted"),
+            Stop::BadBranch { target } => write!(f, "branch to invalid target {target}"),
+        }
+    }
+}
+
+/// Architectural state after execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncResult {
+    /// Why execution stopped.
+    pub stop: Stop,
+    /// Final register file (`x0` is hardwired to zero).
+    pub regs: [i64; 32],
+    /// Final memory contents (word-addressed, sparse).
+    pub memory: BTreeMap<i64, i64>,
+    /// Dynamic instructions executed.
+    pub executed: u64,
+}
+
+impl FuncResult {
+    /// Reads a register.
+    pub fn reg(&self, r: u8) -> i64 {
+        self.regs[r as usize]
+    }
+
+    /// Reads a memory word (0 when untouched).
+    pub fn mem(&self, addr: i64) -> i64 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+/// Executes `program` with the given initial register values, for at
+/// most `fuel` dynamic instructions.
+pub fn execute(program: &[FuncInst], init_regs: &[(u8, i64)], fuel: u64) -> FuncResult {
+    let mut regs = [0i64; 32];
+    for (r, v) in init_regs {
+        if *r != 0 {
+            regs[*r as usize] = *v;
+        }
+    }
+    let mut memory: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut pc: i64 = 0;
+    let mut executed = 0;
+    let stop = loop {
+        if executed >= fuel {
+            break Stop::FuelExhausted;
+        }
+        if pc < 0 || pc as usize >= program.len() {
+            break if pc as usize == program.len() {
+                Stop::FellThrough
+            } else {
+                Stop::BadBranch { target: pc }
+            };
+        }
+        let inst = program[pc as usize];
+        executed += 1;
+        let mut next = pc + 1;
+        match inst {
+            FuncInst::Add { rd, rs1, rs2 } => {
+                let value = regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
+                write_reg(&mut regs, rd, value);
+            }
+            FuncInst::Addi { rd, rs1, imm } => {
+                let value = regs[rs1 as usize].wrapping_add(imm);
+                write_reg(&mut regs, rd, value);
+            }
+            FuncInst::Mul { rd, rs1, rs2 } => {
+                let value = regs[rs1 as usize].wrapping_mul(regs[rs2 as usize]);
+                write_reg(&mut regs, rd, value);
+            }
+            FuncInst::Load { rd, rs1, offset } => {
+                let addr = regs[rs1 as usize].wrapping_add(offset);
+                let value = memory.get(&addr).copied().unwrap_or(0);
+                write_reg(&mut regs, rd, value);
+            }
+            FuncInst::Store { rs1, rs2, offset } => {
+                let addr = regs[rs1 as usize].wrapping_add(offset);
+                memory.insert(addr, regs[rs2 as usize]);
+            }
+            FuncInst::Beq { rs1, rs2, delta } => {
+                if regs[rs1 as usize] == regs[rs2 as usize] {
+                    next = pc + delta;
+                }
+            }
+            FuncInst::Bne { rs1, rs2, delta } => {
+                if regs[rs1 as usize] != regs[rs2 as usize] {
+                    next = pc + delta;
+                }
+            }
+            FuncInst::Halt => break Stop::Halted,
+        }
+        pc = next;
+    };
+    FuncResult { stop, regs, memory, executed }
+}
+
+fn write_reg(regs: &mut [i64; 32], rd: u8, value: i64) {
+    if rd != 0 {
+        regs[rd as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let program = [FuncInst::Addi { rd: 0, rs1: 0, imm: 99 }, FuncInst::Halt];
+        let result = execute(&program, &[], 10);
+        assert_eq!(result.reg(0), 0);
+        assert_eq!(result.stop, Stop::Halted);
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let program = [
+            FuncInst::Addi { rd: 1, rs1: 0, imm: 6 },
+            FuncInst::Addi { rd: 2, rs1: 0, imm: 7 },
+            FuncInst::Mul { rd: 3, rs1: 1, rs2: 2 },
+            FuncInst::Store { rs1: 0, rs2: 3, offset: 0x100 },
+            FuncInst::Load { rd: 4, rs1: 0, offset: 0x100 },
+            FuncInst::Halt,
+        ];
+        let result = execute(&program, &[], 100);
+        assert_eq!(result.reg(3), 42);
+        assert_eq!(result.reg(4), 42);
+        assert_eq!(result.mem(0x100), 42);
+        assert_eq!(result.executed, 6);
+    }
+
+    #[test]
+    fn loops_terminate_via_branches() {
+        // sum = 1 + 2 + ... + 10
+        let program = [
+            FuncInst::Addi { rd: 1, rs1: 0, imm: 0 },  // i = 0
+            FuncInst::Addi { rd: 2, rs1: 0, imm: 0 },  // sum = 0
+            FuncInst::Addi { rd: 3, rs1: 0, imm: 10 }, // limit
+            FuncInst::Beq { rs1: 1, rs2: 3, delta: 4 }, // while i != limit
+            FuncInst::Addi { rd: 1, rs1: 1, imm: 1 },  //   i += 1
+            FuncInst::Add { rd: 2, rs1: 2, rs2: 1 },   //   sum += i
+            FuncInst::Beq { rs1: 0, rs2: 0, delta: -3 }, // loop
+            FuncInst::Halt,
+        ];
+        let result = execute(&program, &[], 1000);
+        assert_eq!(result.stop, Stop::Halted);
+        assert_eq!(result.reg(2), 55);
+    }
+
+    #[test]
+    fn infinite_loops_run_out_of_fuel() {
+        let program = [FuncInst::Beq { rs1: 0, rs2: 0, delta: 0 }];
+        let result = execute(&program, &[], 100);
+        assert_eq!(result.stop, Stop::FuelExhausted);
+        assert_eq!(result.executed, 100);
+    }
+
+    #[test]
+    fn wild_branches_are_trapped() {
+        let program = [FuncInst::Beq { rs1: 0, rs2: 0, delta: -5 }];
+        let result = execute(&program, &[], 100);
+        assert_eq!(result.stop, Stop::BadBranch { target: -5 });
+    }
+
+    #[test]
+    fn initial_registers_are_honoured() {
+        let program = [FuncInst::Add { rd: 3, rs1: 1, rs2: 2 }, FuncInst::Halt];
+        let result = execute(&program, &[(1, 40), (2, 2)], 10);
+        assert_eq!(result.reg(3), 42);
+    }
+}

@@ -1,0 +1,370 @@
+//! A small RISC-like instruction set and deterministic instruction
+//! streams.
+//!
+//! Real benchmark binaries cannot ship with this reproduction, so
+//! workloads are lowered to statistical instruction streams over a
+//! compact ISA. A stream is *deterministic*: the same (workload, os,
+//! thread) triple always yields the same instruction sequence, which is
+//! what lets two simulations of the same configuration produce
+//! bit-identical statistics.
+
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub mod func;
+
+/// Operation classes of the simulated ISA.
+///
+/// Deliberately mirrors gem5's `OpClass` taxonomy at the granularity
+/// the timing models need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logic, shifts).
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMul,
+    /// Floating-point add/mul.
+    FpAlu,
+    /// Floating-point divide/sqrt (long latency).
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Atomic read-modify-write (locks, barriers).
+    Atomic,
+    /// Memory fence.
+    Fence,
+    /// System call (traps into the simulated kernel).
+    Syscall,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order used by instruction-mix
+    /// tables.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Atomic,
+        OpClass::Fence,
+        OpClass::Syscall,
+    ];
+
+    /// Whether this class accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store | OpClass::Atomic)
+    }
+
+    /// Execution latency in cycles on a simple in-order pipeline
+    /// (excluding memory time).
+    pub fn base_latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::FpAlu => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load | OpClass::Store => 1, // plus memory time
+            OpClass::Atomic => 2,                // plus memory time
+            OpClass::Fence => 2,
+            OpClass::Syscall => 60,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "IntAlu",
+            OpClass::IntMul => "IntMul",
+            OpClass::FpAlu => "FpAlu",
+            OpClass::FpDiv => "FpDiv",
+            OpClass::Load => "Load",
+            OpClass::Store => "Store",
+            OpClass::Branch => "Branch",
+            OpClass::Atomic => "Atomic",
+            OpClass::Fence => "Fence",
+            OpClass::Syscall => "Syscall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Relative frequencies of each [`OpClass`] in a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstMix {
+    weights: [f64; 10],
+}
+
+impl InstMix {
+    /// Builds a mix from `(class, weight)` pairs; unlisted classes get
+    /// weight zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative.
+    pub fn new(entries: &[(OpClass, f64)]) -> InstMix {
+        let mut weights = [0.0; 10];
+        for (class, weight) in entries {
+            assert!(*weight >= 0.0, "negative weight for {class}");
+            let idx = OpClass::ALL.iter().position(|c| c == class).expect("class in ALL");
+            weights[idx] += weight;
+        }
+        assert!(weights.iter().sum::<f64>() > 0.0, "instruction mix cannot be all zeros");
+        InstMix { weights }
+    }
+
+    /// A generic integer-dominated mix used as a default.
+    pub fn default_int() -> InstMix {
+        InstMix::new(&[
+            (OpClass::IntAlu, 0.45),
+            (OpClass::IntMul, 0.03),
+            (OpClass::Load, 0.25),
+            (OpClass::Store, 0.12),
+            (OpClass::Branch, 0.14),
+            (OpClass::Syscall, 0.01),
+        ])
+    }
+
+    /// The normalized fraction of the given class.
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        self.weights[idx] / self.weights.iter().sum::<f64>()
+    }
+
+    /// Draws one class from the mix.
+    pub fn sample(&self, rng: &mut DetRng) -> OpClass {
+        OpClass::ALL[rng.weighted_index(&self.weights)]
+    }
+
+    /// Returns a copy with the weight of `class` scaled by `factor`.
+    /// Used to model, e.g., newer compilers emitting more vector FP ops.
+    pub fn scaled(&self, class: OpClass, factor: f64) -> InstMix {
+        let mut weights = self.weights;
+        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        weights[idx] *= factor;
+        InstMix { weights }
+    }
+}
+
+/// A single dynamic instruction in a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Effective address for memory operations (0 otherwise).
+    pub addr: u64,
+    /// Destination register (0-31); consumers model dependencies with it.
+    pub dst: u8,
+    /// First source register.
+    pub src1: u8,
+    /// Second source register.
+    pub src2: u8,
+    /// For branches: whether the branch is taken.
+    pub taken: bool,
+}
+
+/// Parameters shaping the memory reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressProfile {
+    /// Size of the hot working set in bytes.
+    pub working_set: u64,
+    /// Fraction of accesses that hit the sequential/stride pattern
+    /// (the rest scatter uniformly over the working set).
+    pub locality: f64,
+    /// Fraction of memory accesses that target data shared between
+    /// threads (drives coherence traffic).
+    pub shared_fraction: f64,
+}
+
+impl AddressProfile {
+    /// A cache-friendly default (64 KiB hot set, strong locality).
+    pub fn friendly() -> AddressProfile {
+        AddressProfile { working_set: 64 << 10, locality: 0.9, shared_fraction: 0.05 }
+    }
+}
+
+/// A deterministic, lazily generated instruction stream for one thread.
+#[derive(Debug, Clone)]
+pub struct InstStream {
+    mix: InstMix,
+    addrs: AddressProfile,
+    rng: DetRng,
+    cursor: u64,
+    stride_pos: u64,
+    tile_base: u64,
+    thread: u32,
+    branch_bias: f64,
+}
+
+/// Base virtual address of the shared region (all threads).
+const SHARED_BASE: u64 = 0x7000_0000;
+/// Base virtual address of a thread's private region.
+const PRIVATE_BASE: u64 = 0x1000_0000;
+/// Cache-line-sized generation stride.
+const LINE: u64 = 64;
+
+impl InstStream {
+    /// Creates the stream for a (label, thread) pair. `label` should
+    /// fingerprint the workload + OS so different setups diverge.
+    pub fn new(label: &str, thread: u32, mix: InstMix, addrs: AddressProfile) -> InstStream {
+        let rng = DetRng::from_label(&format!("{label}/t{thread}"));
+        InstStream {
+            mix,
+            addrs,
+            rng,
+            cursor: 0,
+            stride_pos: 0,
+            tile_base: 0,
+            thread,
+            branch_bias: 0.88,
+        }
+    }
+
+    /// The number of instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Generates the next instruction.
+    pub fn next_inst(&mut self) -> Inst {
+        let op = self.mix.sample(&mut self.rng);
+        self.cursor += 1;
+        let addr = if op.is_memory() { self.next_addr(op) } else { 0 };
+        // Destinations cycle through a 24-register window; sources read
+        // values produced a random (1..=16) instructions earlier, giving
+        // realistic dependency distances: some tight chains, plenty of
+        // independent work for wide machines to overlap.
+        let dst = (self.cursor % 24 + 1) as u8;
+        let d1 = 1 + self.rng.below(16);
+        let d2 = 1 + self.rng.below(16);
+        let src1 = ((self.cursor + 24 - d1 % 24) % 24 + 1) as u8;
+        let src2 = ((self.cursor + 24 - d2 % 24) % 24 + 1) as u8;
+        let taken = op == OpClass::Branch && self.rng.chance(self.branch_bias);
+        Inst { op, addr, dst, src1, src2, taken }
+    }
+
+    fn next_addr(&mut self, op: OpClass) -> u64 {
+        let shared = op == OpClass::Atomic || self.rng.chance(self.addrs.shared_fraction);
+        let (base, span) = if shared {
+            // Shared region is deliberately small so threads collide on
+            // the same lines, creating coherence traffic.
+            (SHARED_BASE, (self.addrs.working_set / 8).max(LINE * 16))
+        } else {
+            (
+                PRIVATE_BASE + self.thread as u64 * 0x0100_0000,
+                self.addrs.working_set.max(LINE * 4),
+            )
+        };
+        if self.rng.chance(self.addrs.locality) {
+            // Local accesses walk a bounded tile (an inner-loop working
+            // window), hopping to a new tile occasionally. This makes
+            // the reference stream *stationary*: its cache behaviour
+            // reaches steady state within a few thousand accesses even
+            // for multi-megabyte working sets, which is what lets
+            // sampled simulation extrapolate safely.
+            const TILE: u64 = 32 << 10;
+            let tile_span = span.min(TILE);
+            self.stride_pos = (self.stride_pos + LINE) % tile_span;
+            if self.stride_pos == 0 && span > tile_span {
+                // Finished a tile pass: move to another tile.
+                self.tile_base = self.rng.below(span / tile_span) * tile_span;
+            }
+            base + self.tile_base + self.stride_pos
+        } else {
+            base + self.rng.below(span / LINE) * LINE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_normalize() {
+        let mix = InstMix::new(&[(OpClass::IntAlu, 3.0), (OpClass::Load, 1.0)]);
+        assert!((mix.fraction(OpClass::IntAlu) - 0.75).abs() < 1e-12);
+        assert!((mix.fraction(OpClass::Load) - 0.25).abs() < 1e-12);
+        assert_eq!(mix.fraction(OpClass::FpDiv), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zeros")]
+    fn empty_mix_panics() {
+        let _ = InstMix::new(&[]);
+    }
+
+    #[test]
+    fn sampling_tracks_mix() {
+        let mix = InstMix::new(&[(OpClass::IntAlu, 0.7), (OpClass::Load, 0.3)]);
+        let mut rng = DetRng::from_label("mix");
+        let n = 20_000;
+        let loads = (0..n).filter(|_| mix.sample(&mut rng) == OpClass::Load).count();
+        let frac = loads as f64 / n as f64;
+        assert!((0.27..0.33).contains(&frac), "load fraction {frac}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_thread() {
+        let make = |thread| {
+            let mut s = InstStream::new("wl", thread, InstMix::default_int(), AddressProfile::friendly());
+            (0..100).map(|_| s.next_inst()).collect::<Vec<_>>()
+        };
+        assert_eq!(make(0), make(0));
+        assert_ne!(make(0), make(1));
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let insts = |label: &str| {
+            let mut s =
+                InstStream::new(label, 0, InstMix::default_int(), AddressProfile::friendly());
+            (0..64).map(|_| s.next_inst().op).collect::<Vec<_>>()
+        };
+        assert_ne!(insts("ubuntu-18.04/dedup"), insts("ubuntu-20.04/dedup"));
+    }
+
+    #[test]
+    fn memory_ops_get_addresses_others_do_not() {
+        let mut s = InstStream::new("wl", 0, InstMix::default_int(), AddressProfile::friendly());
+        for _ in 0..500 {
+            let inst = s.next_inst();
+            if inst.op.is_memory() {
+                assert_ne!(inst.addr, 0);
+                assert_eq!(inst.addr % LINE, 0, "addresses are line-aligned");
+            } else {
+                assert_eq!(inst.addr, 0);
+            }
+        }
+        assert_eq!(s.generated(), 500);
+    }
+
+    #[test]
+    fn private_addresses_partition_by_thread() {
+        let profile = AddressProfile { working_set: 1 << 20, locality: 1.0, shared_fraction: 0.0 };
+        let mix = InstMix::new(&[(OpClass::Load, 1.0)]);
+        let mut t0 = InstStream::new("wl", 0, mix.clone(), profile);
+        let mut t1 = InstStream::new("wl", 1, mix, profile);
+        for _ in 0..100 {
+            let a0 = t0.next_inst().addr;
+            let a1 = t1.next_inst().addr;
+            assert!(a0 < PRIVATE_BASE + 0x0100_0000);
+            assert!(a1 >= PRIVATE_BASE + 0x0100_0000);
+        }
+    }
+
+    #[test]
+    fn scaled_mix_changes_one_class() {
+        let mix = InstMix::new(&[(OpClass::IntAlu, 1.0), (OpClass::FpAlu, 1.0)]);
+        let scaled = mix.scaled(OpClass::FpAlu, 3.0);
+        assert!(scaled.fraction(OpClass::FpAlu) > mix.fraction(OpClass::FpAlu));
+    }
+}

@@ -1,0 +1,226 @@
+//! A generic set-associative cache with true LRU replacement.
+//!
+//! The per-line payload type `S` carries whatever state the enclosing
+//! memory system needs: a dirty bit for Classic caches, a coherence
+//! state for Ruby L1s.
+
+/// Cache line size in bytes (fixed at 64 across the simulator).
+pub const LINE_BYTES: u64 = 64;
+
+/// Result of probing a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The line is resident.
+    Hit,
+    /// The line is absent.
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<S> {
+    tag: u64,
+    state: S,
+    last_use: u64,
+}
+
+/// A set-associative cache of line-granularity entries.
+///
+/// ```
+/// use simart_fullsim::mem::cache::SetAssocCache;
+///
+/// // 32 KiB, 8-way: dirty-bit payload.
+/// let mut l1 = SetAssocCache::<bool>::new(32 * 1024, 8);
+/// assert!(l1.probe(0x1000).is_none());
+/// l1.insert(0x1000, false);
+/// assert!(l1.probe(0x1000).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<S> {
+    sets: Vec<Vec<Entry<S>>>,
+    ways: usize,
+    set_mask: u64,
+    use_clock: u64,
+}
+
+impl<S> SetAssocCache<S> {
+    /// Creates a cache of `capacity_bytes` with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the set count derived from capacity / ways / 64-byte
+    /// lines is a nonzero power of two.
+    pub fn new(capacity_bytes: u64, ways: usize) -> SetAssocCache<S> {
+        assert!(ways > 0, "associativity must be positive");
+        let lines = capacity_bytes / LINE_BYTES;
+        let set_count = (lines as usize) / ways;
+        assert!(
+            set_count > 0 && set_count.is_power_of_two(),
+            "cache geometry must give a power-of-two set count (got {set_count})"
+        );
+        SetAssocCache {
+            sets: (0..set_count).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: set_count as u64 - 1,
+            use_clock: 0,
+        }
+    }
+
+    fn line_of(addr: u64) -> u64 {
+        addr / LINE_BYTES
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (Self::line_of(addr) & self.set_mask) as usize
+    }
+
+    /// Probes for `addr`, returning mutable access to its state and
+    /// refreshing LRU on a hit.
+    pub fn probe(&mut self, addr: u64) -> Option<&mut S> {
+        let tag = Self::line_of(addr);
+        let set = self.set_of(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        self.sets[set].iter_mut().find(|e| e.tag == tag).map(|e| {
+            e.last_use = clock;
+            &mut e.state
+        })
+    }
+
+    /// Peeks at `addr` without touching LRU state.
+    pub fn peek(&self, addr: u64) -> Option<&S> {
+        let tag = Self::line_of(addr);
+        let set = self.set_of(addr);
+        self.sets[set].iter().find(|e| e.tag == tag).map(|e| &e.state)
+    }
+
+    /// Inserts a line (which must not already be resident), evicting the
+    /// LRU line of the set if full. Returns the evicted `(addr, state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident — callers must probe first.
+    pub fn insert(&mut self, addr: u64, state: S) -> Option<(u64, S)> {
+        let tag = Self::line_of(addr);
+        let set = self.set_of(addr);
+        assert!(
+            !self.sets[set].iter().any(|e| e.tag == tag),
+            "inserting already-resident line {addr:#x}"
+        );
+        self.use_clock += 1;
+        let entry = Entry { tag, state, last_use: self.use_clock };
+        if self.sets[set].len() < self.ways {
+            self.sets[set].push(entry);
+            return None;
+        }
+        let victim_idx = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(i, _)| i)
+            .expect("set is full, so non-empty");
+        let victim = std::mem::replace(&mut self.sets[set][victim_idx], entry);
+        Some((victim.tag * LINE_BYTES, victim.state))
+    }
+
+    /// Removes a line, returning its state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<S> {
+        let tag = Self::line_of(addr);
+        let set = self.set_of(addr);
+        let idx = self.sets[set].iter().position(|e| e.tag == tag)?;
+        Some(self.sets[set].swap_remove(idx).state)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(line_addr, state)` of all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &S)> {
+        self.sets.iter().flatten().map(|e| (e.tag * LINE_BYTES, &e.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = SetAssocCache::<u32>::new(4096, 4);
+        assert!(c.probe(0x40).is_none());
+        c.insert(0x40, 7);
+        assert_eq!(c.probe(0x7f).copied(), Some(7), "same line as 0x40");
+        assert!(c.probe(0x80).is_none(), "next line misses");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2 sets * 2 ways * 64B = 256B cache.
+        let mut c = SetAssocCache::<char>::new(256, 2);
+        // All these map to set 0 (line numbers 0,2,4,6 with 2 sets).
+        let a = 0; // line 0
+        let b = 2 * LINE_BYTES;
+        let d = 4 * LINE_BYTES;
+        c.insert(a, 'a');
+        c.insert(b, 'b');
+        c.probe(a); // refresh a; b becomes LRU
+        let evicted = c.insert(d, 'd').expect("set full");
+        assert_eq!(evicted, (b, 'b'));
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(d).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_insert_panics() {
+        let mut c = SetAssocCache::<()>::new(4096, 4);
+        c.insert(0x40, ());
+        c.insert(0x40, ());
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::<u8>::new(4096, 4);
+        c.insert(0x100, 9);
+        assert_eq!(c.invalidate(0x100), Some(9));
+        assert_eq!(c.invalidate(0x100), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_perturb_lru() {
+        let mut c = SetAssocCache::<char>::new(256, 2);
+        let a = 0; // line 0
+        let b = 2 * LINE_BYTES;
+        let d = 4 * LINE_BYTES;
+        c.insert(a, 'a');
+        c.insert(b, 'b');
+        c.peek(a); // does NOT refresh a
+        let evicted = c.insert(d, 'd').expect("set full");
+        assert_eq!(evicted.1, 'a', "a stays LRU despite peek");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = SetAssocCache::<()>::new(4096, 4);
+        for i in 0..1000u64 {
+            c.probe(i * LINE_BYTES);
+            if c.peek(i * LINE_BYTES).is_none() {
+                c.insert(i * LINE_BYTES, ());
+            }
+        }
+        assert!(c.len() <= 64, "4 KiB of 64B lines");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::<()>::new(4096, 3);
+    }
+}

@@ -1,0 +1,472 @@
+//! Ruby-style directory coherence: the `MI_example` and
+//! `MESI_Two_Level` protocols.
+//!
+//! These are real line-state machines, not latency tables: every L1
+//! keeps per-line coherence state, a directory tracks owners and
+//! sharers, and protocol transitions (fetches, forwards, invalidations,
+//! downgrades) both cost latency and are counted in the statistics.
+//! MI's pathology — *every* access needs exclusive ownership, so
+//! read-shared lines ping-pong — emerges directly from the state
+//! machine, as does MESI's cheap read sharing.
+
+use super::cache::SetAssocCache;
+use super::dram::Ddr3Channel;
+use super::{AccessKind, MemKind, MemorySystem};
+use crate::stats::Stats;
+use std::collections::HashMap;
+
+/// Coherence state of a line in an L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoState {
+    /// Modified: exclusive and dirty.
+    M,
+    /// Exclusive: exclusive and clean (MESI only).
+    E,
+    /// Shared: read-only copy (MESI only).
+    S,
+}
+
+/// Protocol selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Two-state MI: every access requires exclusive ownership.
+    Mi,
+    /// MESI with a shared inclusive L2.
+    MesiTwoLevel,
+}
+
+#[derive(Debug, Default, Clone)]
+struct DirEntry {
+    owner: Option<usize>,
+    sharers: u64,
+}
+
+/// Latency constants in CPU cycles (Ruby pays more per hop than the
+/// Classic stack — "slower but models detailed memory").
+mod lat {
+    /// L1 hit under Ruby.
+    pub const L1: u64 = 3;
+    /// Directory lookup.
+    pub const DIR: u64 = 18;
+    /// Forward/invalidate round-trip to a remote L1.
+    pub const REMOTE: u64 = 38;
+    /// Shared L2 hit (MESI only).
+    pub const L2: u64 = 14;
+}
+
+/// A directory-based coherent memory system.
+#[derive(Debug)]
+pub struct RubySystem {
+    protocol: Protocol,
+    l1: Vec<SetAssocCache<CoState>>,
+    l2: SetAssocCache<bool>,
+    dram: Ddr3Channel,
+    directory: HashMap<u64, DirEntry>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    downgrades: u64,
+    forwards: u64,
+    writebacks: u64,
+    upgrades: u64,
+}
+
+impl RubySystem {
+    /// Builds an `MI_example` system.
+    pub fn new_mi(cores: usize) -> RubySystem {
+        Self::new(Protocol::Mi, cores)
+    }
+
+    /// Builds a `MESI_Two_Level` system.
+    pub fn new_mesi(cores: usize) -> RubySystem {
+        Self::new(Protocol::MesiTwoLevel, cores)
+    }
+
+    fn new(protocol: Protocol, cores: usize) -> RubySystem {
+        RubySystem {
+            protocol,
+            l1: (0..cores).map(|_| SetAssocCache::new(32 * 1024, 8)).collect(),
+            l2: SetAssocCache::new(1024 * 1024, 16),
+            dram: Ddr3Channel::new(),
+            directory: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            downgrades: 0,
+            forwards: 0,
+            writebacks: 0,
+            upgrades: 0,
+        }
+    }
+
+    /// The active protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Coherence state of `addr` in `core`'s L1, if resident. Exposed
+    /// so external invariant checks (e.g. property tests asserting
+    /// single-writer/multiple-reader safety) can observe protocol state
+    /// without touching it.
+    pub fn l1_state(&self, core: usize, addr: u64) -> Option<CoState> {
+        self.l1[core].peek(addr).copied()
+    }
+
+    fn line(addr: u64) -> u64 {
+        addr / super::cache::LINE_BYTES
+    }
+
+    /// Invalidates every remote copy of `addr`, returning added latency.
+    fn invalidate_remotes(&mut self, requester: usize, addr: u64) -> u64 {
+        let line = Self::line(addr);
+        let entry = self.directory.entry(line).or_default().clone();
+        let mut extra = 0;
+        if let Some(owner) = entry.owner {
+            if owner != requester {
+                if let Some(state) = self.l1[owner].invalidate(addr) {
+                    self.forwards += 1;
+                    extra += lat::REMOTE;
+                    if state == CoState::M {
+                        self.writebacks += 1;
+                    }
+                }
+            }
+        }
+        let mut sharers = entry.sharers;
+        while sharers != 0 {
+            let core = sharers.trailing_zeros() as usize;
+            sharers &= sharers - 1;
+            if core != requester && self.l1[core].invalidate(addr).is_some() {
+                self.invalidations += 1;
+                extra += lat::REMOTE / 2; // invalidations pipeline
+            }
+        }
+        let entry = self.directory.entry(line).or_default();
+        entry.owner = None;
+        entry.sharers = 0;
+        extra
+    }
+
+    /// Downgrades a remote M/E owner to S (MESI read), returning latency.
+    fn downgrade_owner(&mut self, requester: usize, addr: u64) -> u64 {
+        let line = Self::line(addr);
+        let entry = self.directory.entry(line).or_default();
+        let owner = entry.owner;
+        let mut extra = 0;
+        if let Some(owner) = owner {
+            if owner != requester {
+                if let Some(state) = self.l1[owner].probe(addr) {
+                    if matches!(*state, CoState::M | CoState::E) {
+                        if *state == CoState::M {
+                            self.writebacks += 1;
+                        }
+                        *state = CoState::S;
+                        self.downgrades += 1;
+                        extra += lat::REMOTE;
+                    }
+                }
+                let entry = self.directory.entry(line).or_default();
+                entry.owner = None;
+                entry.sharers |= 1 << owner;
+            }
+        }
+        extra
+    }
+
+    fn fill_l1(&mut self, core: usize, addr: u64, state: CoState) {
+        if let Some((victim_addr, victim_state)) = self.l1[core].insert(addr, state) {
+            // Keep the directory consistent with the eviction.
+            let line = Self::line(victim_addr);
+            if let Some(entry) = self.directory.get_mut(&line) {
+                if entry.owner == Some(core) {
+                    entry.owner = None;
+                }
+                entry.sharers &= !(1 << core);
+            }
+            if victim_state == CoState::M {
+                self.writebacks += 1;
+            }
+        }
+    }
+
+    fn record_dir(&mut self, core: usize, addr: u64, state: CoState) {
+        let entry = self.directory.entry(Self::line(addr)).or_default();
+        match state {
+            CoState::M | CoState::E => {
+                entry.owner = Some(core);
+                entry.sharers = 0;
+            }
+            CoState::S => {
+                entry.sharers |= 1 << core;
+            }
+        }
+    }
+
+    fn l2_or_dram(&mut self, addr: u64, is_write: bool) -> u64 {
+        if self.protocol == Protocol::MesiTwoLevel {
+            if self.l2.probe(addr).is_some() {
+                return lat::L2;
+            }
+            let latency = lat::L2 + self.dram.access(addr, is_write);
+            if let Some((victim, _)) = self.l2.insert(addr, false) {
+                // Inclusive L2: back-invalidate L1 copies of the victim.
+                for core in 0..self.l1.len() {
+                    if self.l1[core].invalidate(victim).is_some() {
+                        self.invalidations += 1;
+                    }
+                }
+                self.directory.remove(&Self::line(victim));
+            }
+            latency
+        } else {
+            self.dram.access(addr, is_write)
+        }
+    }
+
+    fn access_mi(&mut self, core: usize, addr: u64, _kind: AccessKind) -> u64 {
+        // MI: any access needs the line in M.
+        if self.l1[core].probe(addr).is_some() {
+            self.hits += 1;
+            return lat::L1;
+        }
+        self.misses += 1;
+        let mut latency = lat::L1 + lat::DIR;
+        let owner = self.directory.get(&Self::line(addr)).and_then(|e| e.owner);
+        let had_remote_owner = matches!(owner, Some(o) if o != core);
+        latency += self.invalidate_remotes(core, addr);
+        if !had_remote_owner {
+            // No remote copy to forward from: fetch from memory.
+            latency += self.l2_or_dram(addr, true);
+        }
+        self.fill_l1(core, addr, CoState::M);
+        self.record_dir(core, addr, CoState::M);
+        latency
+    }
+
+    fn access_mesi(&mut self, core: usize, addr: u64, kind: AccessKind) -> u64 {
+        let needs_write = kind.needs_write();
+        if let Some(state) = self.l1[core].probe(addr) {
+            match (*state, needs_write) {
+                (CoState::M, _) | (CoState::E, false) | (CoState::S, false) => {
+                    self.hits += 1;
+                    return lat::L1;
+                }
+                (CoState::E, true) => {
+                    // Silent E -> M upgrade.
+                    *state = CoState::M;
+                    self.hits += 1;
+                    self.record_dir(core, addr, CoState::M);
+                    return lat::L1;
+                }
+                (CoState::S, true) => {
+                    // Upgrade: invalidate other sharers.
+                    self.upgrades += 1;
+                    let extra = self.invalidate_remotes(core, addr);
+                    let state =
+                        self.l1[core].probe(addr).expect("line resident during upgrade");
+                    *state = CoState::M;
+                    self.record_dir(core, addr, CoState::M);
+                    return lat::L1 + lat::DIR + extra;
+                }
+            }
+        }
+        // Miss.
+        self.misses += 1;
+        let mut latency = lat::L1 + lat::DIR;
+        if needs_write {
+            let had_remote_owner = matches!(
+                self.directory.get(&Self::line(addr)).and_then(|e| e.owner),
+                Some(o) if o != core
+            );
+            latency += self.invalidate_remotes(core, addr);
+            if !had_remote_owner {
+                latency += self.l2_or_dram(addr, true);
+            }
+            self.fill_l1(core, addr, CoState::M);
+            self.record_dir(core, addr, CoState::M);
+        } else {
+            let forwarded = self.downgrade_owner(core, addr);
+            latency += forwarded;
+            let entry = self.directory.entry(Self::line(addr)).or_default();
+            let has_sharers = entry.sharers != 0;
+            if forwarded == 0 {
+                // No owner forwarded the data; fetch it from L2/DRAM.
+                latency += self.l2_or_dram(addr, false);
+            }
+            let grant = if has_sharers { CoState::S } else { CoState::E };
+            self.fill_l1(core, addr, grant);
+            self.record_dir(core, addr, grant);
+        }
+        latency
+    }
+}
+
+impl MemorySystem for RubySystem {
+    fn access(&mut self, core: usize, addr: u64, kind: AccessKind) -> u64 {
+        match self.protocol {
+            Protocol::Mi => self.access_mi(core, addr, kind),
+            Protocol::MesiTwoLevel => self.access_mesi(core, addr, kind),
+        }
+    }
+
+    fn kind(&self) -> MemKind {
+        match self.protocol {
+            Protocol::Mi => MemKind::RubyMi,
+            Protocol::MesiTwoLevel => MemKind::RubyMesiTwoLevel,
+        }
+    }
+
+    fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
+        stats.set_count(&format!("{prefix}.hits"), self.hits);
+        stats.set_count(&format!("{prefix}.misses"), self.misses);
+        stats.set_count(&format!("{prefix}.invalidations"), self.invalidations);
+        stats.set_count(&format!("{prefix}.downgrades"), self.downgrades);
+        stats.set_count(&format!("{prefix}.forwards"), self.forwards);
+        stats.set_count(&format!("{prefix}.writebacks"), self.writebacks);
+        stats.set_count(&format!("{prefix}.upgrades"), self.upgrades);
+        self.dram.dump_stats(&format!("{prefix}.dram"), stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SWMR safety check: at any point, a line is either in M/E at
+    /// exactly one core, or in S at any number of cores — never both.
+    fn assert_swmr(sys: &RubySystem, addr: u64) {
+        let mut exclusive = 0;
+        let mut shared = 0;
+        for l1 in &sys.l1 {
+            match l1.peek(addr) {
+                Some(CoState::M) | Some(CoState::E) => exclusive += 1,
+                Some(CoState::S) => shared += 1,
+                None => {}
+            }
+        }
+        assert!(
+            exclusive <= 1 && (exclusive == 0 || shared == 0),
+            "SWMR violated: {exclusive} exclusive, {shared} shared"
+        );
+    }
+
+    #[test]
+    fn mi_read_sharing_ping_pongs() {
+        let mut sys = RubySystem::new_mi(2);
+        let addr = 0x9000;
+        sys.access(0, addr, AccessKind::Read);
+        assert_swmr(&sys, addr);
+        // A second core reading the same line must steal exclusive
+        // ownership under MI.
+        let steal = sys.access(1, addr, AccessKind::Read);
+        assert!(steal > lat::L1 + lat::DIR);
+        assert_eq!(sys.forwards, 1);
+        assert_swmr(&sys, addr);
+        // And back again: the ping-pong that makes MI slow.
+        sys.access(0, addr, AccessKind::Read);
+        assert_eq!(sys.forwards, 2);
+    }
+
+    #[test]
+    fn mesi_read_sharing_is_cheap() {
+        let mut sys = RubySystem::new_mesi(4);
+        let addr = 0x9000;
+        sys.access(0, addr, AccessKind::Read); // E at core 0
+        sys.access(1, addr, AccessKind::Read); // downgrade to S, share
+        sys.access(2, addr, AccessKind::Read);
+        assert_swmr(&sys, addr);
+        // Re-reads all hit locally — no more protocol traffic.
+        let forwards_before = sys.forwards + sys.invalidations + sys.downgrades;
+        for core in 0..3 {
+            assert_eq!(sys.access(core, addr, AccessKind::Read), lat::L1);
+        }
+        assert_eq!(sys.forwards + sys.invalidations + sys.downgrades, forwards_before);
+    }
+
+    #[test]
+    fn mesi_first_read_grants_exclusive() {
+        let mut sys = RubySystem::new_mesi(2);
+        sys.access(0, 0x9000, AccessKind::Read);
+        assert_eq!(sys.l1[0].peek(0x9000), Some(&CoState::E));
+        // Silent E->M upgrade on write: a pure L1 hit.
+        let write = sys.access(0, 0x9000, AccessKind::Write);
+        assert_eq!(write, lat::L1);
+        assert_eq!(sys.l1[0].peek(0x9000), Some(&CoState::M));
+    }
+
+    #[test]
+    fn mesi_write_to_shared_invalidates() {
+        let mut sys = RubySystem::new_mesi(4);
+        let addr = 0xa000;
+        for core in 0..4 {
+            sys.access(core, addr, AccessKind::Read);
+        }
+        let upgrade = sys.access(2, addr, AccessKind::Write);
+        assert!(upgrade > lat::L1);
+        assert!(sys.invalidations >= 3);
+        assert_eq!(sys.l1[2].peek(addr), Some(&CoState::M));
+        for core in [0usize, 1, 3] {
+            assert_eq!(sys.l1[core].peek(addr), None);
+        }
+        assert_swmr(&sys, addr);
+    }
+
+    #[test]
+    fn mesi_dirty_data_forwards_with_writeback() {
+        let mut sys = RubySystem::new_mesi(2);
+        let addr = 0xb000;
+        sys.access(0, addr, AccessKind::Write); // M at core 0
+        sys.access(1, addr, AccessKind::Read); // must downgrade + writeback
+        assert_eq!(sys.writebacks, 1);
+        assert_eq!(sys.downgrades, 1);
+        assert_eq!(sys.l1[0].peek(addr), Some(&CoState::S));
+        assert_swmr(&sys, addr);
+    }
+
+    #[test]
+    fn swmr_holds_under_random_traffic() {
+        use crate::rng::DetRng;
+        for protocol in [Protocol::Mi, Protocol::MesiTwoLevel] {
+            let mut sys = RubySystem::new(protocol, 4);
+            let mut rng = DetRng::from_label("swmr-traffic");
+            let addrs: Vec<u64> = (0..16).map(|i| 0xc000 + i * 64).collect();
+            for _ in 0..2000 {
+                let core = rng.below(4) as usize;
+                let addr = addrs[rng.below(16) as usize];
+                let kind = if rng.chance(0.3) { AccessKind::Write } else { AccessKind::Read };
+                sys.access(core, addr, kind);
+            }
+            for addr in addrs {
+                assert_swmr(&sys, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn mi_is_slower_than_mesi_on_read_shared_data() {
+        let run = |mut sys: RubySystem| {
+            let mut total = 0;
+            for round in 0..200 {
+                for core in 0..4 {
+                    let _ = round;
+                    total += sys.access(core, 0xd000, AccessKind::Read);
+                }
+            }
+            total
+        };
+        let mi = run(RubySystem::new_mi(4));
+        let mesi = run(RubySystem::new_mesi(4));
+        assert!(mi > mesi * 3, "MI {mi} should dwarf MESI {mesi}");
+    }
+
+    #[test]
+    fn stats_dump_contains_protocol_counters() {
+        let mut sys = RubySystem::new_mesi(2);
+        sys.access(0, 0x1000, AccessKind::Read);
+        sys.access(1, 0x1000, AccessKind::Write);
+        let mut stats = Stats::new();
+        sys.dump_stats("ruby", &mut stats);
+        assert!(stats.contains("ruby.misses"));
+        assert!(stats.contains("ruby.dram.reads"));
+    }
+}

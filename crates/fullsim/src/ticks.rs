@@ -1,0 +1,109 @@
+//! Simulated time: ticks and clock domains.
+//!
+//! Following gem5, one tick is one **picosecond** of simulated time, so
+//! a 1 GHz clock advances 1000 ticks per cycle.
+
+/// A point in (or duration of) simulated time, in picoseconds.
+pub type Tick = u64;
+
+/// Ticks per second of simulated time (1 THz tick rate).
+pub const TICKS_PER_SECOND: Tick = 1_000_000_000_000;
+
+/// A fixed-frequency clock domain that converts cycles to ticks.
+///
+/// ```
+/// use simart_fullsim::ticks::Clock;
+///
+/// let clk = Clock::from_mhz(3000); // 3 GHz CPU clock
+/// assert_eq!(clk.period(), 333);
+/// assert_eq!(clk.cycles_to_ticks(3), 999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    period_ticks: Tick,
+}
+
+impl Clock {
+    /// A clock from its frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Clock {
+        assert!(mhz > 0, "clock frequency must be positive");
+        Clock { period_ticks: TICKS_PER_SECOND / (mhz * 1_000_000) }
+    }
+
+    /// A clock from its frequency in GHz.
+    pub fn from_ghz(ghz: u64) -> Clock {
+        Clock::from_mhz(ghz * 1000)
+    }
+
+    /// The clock period in ticks.
+    pub fn period(&self) -> Tick {
+        self.period_ticks
+    }
+
+    /// Converts a cycle count to ticks.
+    pub fn cycles_to_ticks(&self, cycles: u64) -> Tick {
+        cycles.saturating_mul(self.period_ticks)
+    }
+
+    /// Converts ticks to whole cycles (rounding down).
+    pub fn ticks_to_cycles(&self, ticks: Tick) -> u64 {
+        ticks / self.period_ticks
+    }
+
+    /// The frequency in Hz.
+    pub fn frequency_hz(&self) -> u64 {
+        TICKS_PER_SECOND / self.period_ticks
+    }
+}
+
+/// Formats a tick count as engineering-notation seconds, for reports.
+pub fn format_ticks(ticks: Tick) -> String {
+    let seconds = ticks as f64 / TICKS_PER_SECOND as f64;
+    if seconds >= 1.0 {
+        format!("{seconds:.3}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3}ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3}us", seconds * 1e6)
+    } else {
+        format!("{:.3}ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_conversions() {
+        let clk = Clock::from_ghz(1);
+        assert_eq!(clk.period(), 1000);
+        assert_eq!(clk.cycles_to_ticks(5), 5000);
+        assert_eq!(clk.ticks_to_cycles(5999), 5);
+        assert_eq!(clk.frequency_hz(), 1_000_000_000);
+    }
+
+    #[test]
+    fn three_ghz_rounds_down() {
+        let clk = Clock::from_mhz(3000);
+        assert_eq!(clk.period(), 333);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Clock::from_mhz(0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_ticks(TICKS_PER_SECOND * 2), "2.000s");
+        assert_eq!(format_ticks(TICKS_PER_SECOND / 1000), "1.000ms");
+        assert_eq!(format_ticks(1_500_000), "1.500us");
+        assert_eq!(format_ticks(1500), "1.500ns");
+    }
+}

@@ -1,0 +1,21 @@
+use simart_gpu::{alloc::AllocPolicy, workloads, Gpu};
+
+fn main() {
+    let gpu = Gpu::table3();
+    let mut ratios = Vec::new();
+    for name in workloads::ALL {
+        let k = workloads::by_name(name).unwrap();
+        let s = gpu.run(&k, AllocPolicy::Simple);
+        let d = gpu.run(&k, AllocPolicy::Dynamic);
+        // Fig 9 metric: speedup of dynamic normalized to simple.
+        let ratio = s.ticks as f64 / d.ticks as f64;
+
+        ratios.push(ratio);
+        println!("{name:28} simple={:>12} dynamic={:>12} dyn/simple speedup={ratio:.3} (retries s={} d={}, occ s={} d={}, l1 s={:.2} d={:.2}, dram s={} d={})",
+            s.ticks, d.ticks, s.lock_retries, d.lock_retries, s.peak_occupancy, d.peak_occupancy,
+            s.stats.scalar("gpu.mem.l1HitRate"), d.stats.scalar("gpu.mem.l1HitRate"),
+            s.stats.count("gpu.mem.dramAccesses"), d.stats.count("gpu.mem.dramAccesses"));
+    }
+    let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    println!("geomean dynamic speedup vs simple = {:.3} (paper: simple ~8% better => ~0.926)", geo.exp());
+}

@@ -1,0 +1,670 @@
+//! The GPU machine simulator: wavefront scheduling across compute
+//! units.
+//!
+//! Event-driven at instruction granularity: at every step the wavefront
+//! that can issue earliest (its own readiness vs. its SIMD's
+//! availability) executes one instruction. This captures exactly the
+//! trade-off the paper's use-case 3 studies:
+//!
+//! * more resident wavefronts → memory latency hides behind other
+//!   wavefronts' issue (the dynamic allocator's win);
+//! * but the model's *simplistic dependence tracking* charges a
+//!   scoreboard-scan penalty that grows with occupancy, spinning
+//!   mutexes burn SIMD issue slots, atomics to hot lines serialize, and
+//!   tiny L1s thrash (the dynamic allocator's losses).
+//!
+//! All time is tracked in millicycles (1/1000 GPU cycle) in integer
+//! arithmetic, keeping the simulation deterministic.
+
+use crate::alloc::{AllocPolicy, RegisterFile};
+use crate::config::{DependenceTracking, GpuConfig};
+use crate::kernel::{GpuKernel, GpuOp, SyncProfile};
+use crate::memory::GpuMemory;
+use simart_fullsim::rng::DetRng;
+use simart_fullsim::stats::Stats;
+use std::collections::HashMap;
+
+/// Millicycles per cycle.
+const MC: u64 = 1000;
+/// Scoreboard-scan penalty per *issued instruction* per extra resident
+/// wavefront beyond one per SIMD, in millicycles. The penalty extends
+/// the SIMD's busy time (issue logic serializes), so it only bites at
+/// high occupancy. This is the "overly simplistic dependence tracking"
+/// knob.
+const SCOREBOARD_MC_PER_WF: u64 = 90;
+/// Memory-pipe replay: when an access misses the L1, the simplistic
+/// dependence tracking re-issues the memory instruction while the miss
+/// is outstanding, burning SIMD issue slots in proportion to how many
+/// wavefronts are resident (they all replay against the same busy
+/// pipe). Millicycles of extra SIMD busy time per miss per resident
+/// wavefront beyond one per SIMD.
+const MISS_REPLAY_MC_PER_WF: u64 = 400;
+/// Atomics always occupy the (single, per-CU) memory pipe and are
+/// replayed while pending, like misses but costlier.
+const ATOMIC_REPLAY_MC_PER_WF: u64 = 1800;
+/// Probability that an instruction consumes an outstanding memory
+/// result and must wait for it (`s_waitcnt`). Below 1.0 because the
+/// compiler schedules independent work between loads and uses.
+const CONSUMER_FRACTION: f64 = 0.30;
+/// Extra cycles before a vector ALU result is ready (in-order
+/// wavefronts wait for it before their next issue when the compiler
+/// could not schedule independent work in between). A lone wavefront
+/// loses some SIMD slots to this; resident peers fill them.
+const VALU_RESULT_MC: u64 = 4 * MC;
+/// Base address of the kernel-wide shared data region.
+const SHARED_BASE: u64 = 0x2000_0000;
+/// Base cost of a lock acquire/release atomic, cycles.
+const LOCK_ATOMIC_CYCLES: f64 = 90.0;
+/// Additional cycles per unit of interference at the lock line. The
+/// interference from N spinners polling at rate 1/spin_intensity grows
+/// sub-linearly (they back off), hence the square root.
+const LOCK_CONFLICT_CYCLES: f64 = 60.0;
+
+/// Cost in cycles of touching a lock line while `waiters` wavefronts
+/// poll it with the given spin intensity (lower intensity = harder
+/// polling = more interference at the atomic unit).
+fn lock_op_cycles(waiters: u32, spin_intensity: f64) -> u64 {
+    let interference = (waiters as f64 / spin_intensity.max(0.05)).sqrt();
+    (LOCK_ATOMIC_CYCLES + LOCK_CONFLICT_CYCLES * interference) as u64
+}
+
+/// Aggregate result of simulating one kernel dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineResult {
+    /// Total GPU cycles to drain the dispatch.
+    pub cycles: u64,
+    /// Instructions executed (excluding spin retries).
+    pub instructions: u64,
+    /// Failed lock-acquire attempts.
+    pub lock_retries: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Peak wavefronts resident on any CU.
+    pub peak_occupancy: u32,
+    /// Detailed statistics.
+    pub stats: Stats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WfState {
+    Active,
+    AtBarrier,
+    Done,
+}
+
+#[derive(Debug)]
+struct Wavefront {
+    cu: usize,
+    simd: usize,
+    wg: usize,
+    ready_mc: u64,
+    /// When this wavefront last issued (for round-robin arbitration
+    /// among wavefronts that are ready at the same time).
+    last_issue_mc: u64,
+    /// Completion time of the newest outstanding global memory access;
+    /// the wavefront only stalls on it at consumer instructions.
+    pending_mem_mc: u64,
+    executed: u32,
+    state: WfState,
+    rng: DetRng,
+    stride_pos: u64,
+    base_addr: u64,
+    // Mutex bookkeeping.
+    acquisitions_left: u32,
+    next_acquire_at: u32,
+    holding: bool,
+    hold_remaining: u32,
+    lock_line: u64,
+    spinning: bool,
+    // Barrier bookkeeping.
+    barriers_left: u32,
+    next_barrier_at: u32,
+}
+
+/// Simulates one kernel dispatch on the configured machine.
+pub fn simulate(config: &GpuConfig, kernel: &GpuKernel, policy: AllocPolicy) -> MachineResult {
+    Machine::new(config, kernel, policy).run()
+}
+
+struct Machine<'a> {
+    config: &'a GpuConfig,
+    kernel: &'a GpuKernel,
+    mem: GpuMemory,
+    regs: Vec<RegisterFile>,
+    lds_used: Vec<u64>,
+    simd_free_mc: Vec<Vec<u64>>,
+    wavefronts: Vec<Wavefront>,
+    wg_remaining_wfs: HashMap<usize, u32>,
+    next_wg: usize,
+    lock_holder: HashMap<u64, usize>,
+    lock_waiters: HashMap<u64, u32>,
+    lock_retries: u64,
+    barriers_done: u64,
+    instructions: u64,
+    scoreboard_stall_mc: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn new(config: &'a GpuConfig, kernel: &'a GpuKernel, policy: AllocPolicy) -> Machine<'a> {
+        let mut machine = Machine {
+            config,
+            kernel,
+            mem: GpuMemory::new(config.cus, config.l1d_bytes_per_cu, config.l2_bytes),
+            regs: (0..config.cus).map(|_| RegisterFile::new(config, policy)).collect(),
+            lds_used: vec![0; config.cus],
+            simd_free_mc: vec![vec![0; config.simds_per_cu]; config.cus],
+            wavefronts: Vec::new(),
+            wg_remaining_wfs: HashMap::new(),
+            next_wg: 0,
+            lock_holder: HashMap::new(),
+            lock_waiters: HashMap::new(),
+            lock_retries: 0,
+            barriers_done: 0,
+            instructions: 0,
+            scoreboard_stall_mc: 0,
+        };
+        machine.fill_all_cus(0);
+        machine
+    }
+
+    /// Admits pending workgroups wherever they fit, starting at `now`.
+    fn fill_all_cus(&mut self, now_mc: u64) {
+        loop {
+            let mut admitted_any = false;
+            for cu in 0..self.config.cus {
+                if self.next_wg >= self.kernel.workgroups as usize {
+                    return;
+                }
+                if self.try_admit_wg(cu, now_mc) {
+                    admitted_any = true;
+                }
+            }
+            if !admitted_any {
+                return;
+            }
+        }
+    }
+
+    /// Tries to admit one whole workgroup onto `cu`.
+    fn try_admit_wg(&mut self, cu: usize, now_mc: u64) -> bool {
+        if self.next_wg >= self.kernel.workgroups as usize {
+            return false;
+        }
+        let wfs = self.kernel.wavefronts_per_wg;
+        if self.lds_used[cu] + self.kernel.lds_per_wg > self.config.lds_bytes_per_cu {
+            return false;
+        }
+        // Tentatively admit; roll back if the whole WG does not fit.
+        let mut placed: Vec<usize> = Vec::with_capacity(wfs as usize);
+        for _ in 0..wfs {
+            match self.regs[cu].try_admit(self.kernel) {
+                Some(simd) => placed.push(simd),
+                None => {
+                    for simd in placed {
+                        self.regs[cu].release(self.kernel, simd);
+                    }
+                    return false;
+                }
+            }
+        }
+        let wg = self.next_wg;
+        self.next_wg += 1;
+        self.lds_used[cu] += self.kernel.lds_per_wg;
+        self.wg_remaining_wfs.insert(wg, wfs);
+        for (i, simd) in placed.into_iter().enumerate() {
+            let global_id = (wg as u32) * wfs + i as u32;
+            let wavefront = self.make_wavefront(global_id, cu, simd, wg, now_mc);
+            self.wavefronts.push(wavefront);
+        }
+        true
+    }
+
+    fn make_wavefront(
+        &self,
+        global_id: u32,
+        cu: usize,
+        simd: usize,
+        wg: usize,
+        now_mc: u64,
+    ) -> Wavefront {
+        let insts = self.kernel.insts_per_wf;
+        let (acquisitions, first_acquire, lock_line) = match self.kernel.sync {
+            SyncProfile::Mutex { acquisitions, unique_locks, .. } => {
+                let gap = insts / (acquisitions + 1);
+                let line = if unique_locks { 0x4000 + global_id as u64 } else { 1 };
+                (acquisitions, gap, line)
+            }
+            _ => (0, u32::MAX, 0),
+        };
+        let (barriers, first_barrier) = match self.kernel.sync {
+            SyncProfile::Barrier { episodes } => (episodes, insts / (episodes + 1)),
+            _ => (0, u32::MAX),
+        };
+        Wavefront {
+            cu,
+            simd,
+            wg,
+            ready_mc: now_mc,
+            last_issue_mc: 0,
+            pending_mem_mc: 0,
+            executed: 0,
+            state: WfState::Active,
+            // Seeded independently of the allocation policy: the same
+            // wavefront executes the same instructions either way.
+            rng: DetRng::from_label(&format!("{}/wf{global_id}", self.kernel.name)),
+            stride_pos: 0,
+            base_addr: 0x1000_0000 + global_id as u64 * self.kernel.working_set_per_wf.max(64),
+            acquisitions_left: acquisitions,
+            next_acquire_at: first_acquire,
+            holding: false,
+            hold_remaining: 0,
+            lock_line,
+            spinning: false,
+            barriers_left: barriers,
+            next_barrier_at: first_barrier,
+        }
+    }
+
+    fn run(mut self) -> MachineResult {
+        let mut finish_mc: u64 = 0;
+        loop {
+            // Pick the wavefront that can issue earliest; break ties in
+            // favour of the one that has waited longest (round-robin),
+            // then by index for determinism.
+            let mut best: Option<(u64, u64, usize)> = None;
+            for (idx, wf) in self.wavefronts.iter().enumerate() {
+                if wf.state != WfState::Active {
+                    continue;
+                }
+                let t = wf.ready_mc.max(self.simd_free_mc[wf.cu][wf.simd]);
+                let key = (t, wf.last_issue_mc, idx);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+            let Some((t, _, idx)) = best else {
+                // No active wavefront: release a waiting barrier cohort,
+                // or we are done.
+                if self.release_barrier() {
+                    continue;
+                }
+                break;
+            };
+            let end = self.step(idx, t);
+            finish_mc = finish_mc.max(end);
+        }
+        let peak = self.regs.iter().map(RegisterFile::peak_resident).max().unwrap_or(0);
+        let cycles = finish_mc.div_ceil(MC).max(1);
+        let mut stats = Stats::new();
+        stats.set_count("gpu.cycles", cycles);
+        stats.set_count("gpu.instructions", self.instructions);
+        stats.set_count("gpu.lockRetries", self.lock_retries);
+        stats.set_count("gpu.barriers", self.barriers_done);
+        stats.set_count("gpu.peakOccupancyPerCu", peak as u64);
+        stats.set_count("gpu.scoreboardStallCycles", self.scoreboard_stall_mc / MC);
+        self.mem.dump_stats("gpu.mem", &mut stats);
+        MachineResult {
+            cycles,
+            instructions: self.instructions,
+            lock_retries: self.lock_retries,
+            barriers: self.barriers_done,
+            peak_occupancy: peak,
+            stats,
+        }
+    }
+
+    /// Millicycles of occupancy-scaled issue stall, zero under the
+    /// improved dependence tracker.
+    fn tracking_penalty_mc(&self, per_wf_mc: u64, resident: u64) -> u64 {
+        match self.config.dep_tracking {
+            DependenceTracking::Simplistic => {
+                per_wf_mc * resident.saturating_sub(self.config.simds_per_cu as u64)
+            }
+            DependenceTracking::Improved => 0,
+        }
+    }
+
+    /// Executes one issue slot for wavefront `idx` at time `t`; returns
+    /// the completion time of whatever it did.
+    fn step(&mut self, idx: usize, t: u64) -> u64 {
+        // Scoreboard scan: the simplistic dependence-tracking logic
+        // serializes issue, so every instruction extends the SIMD's busy
+        // time in proportion to CU occupancy beyond one WF per SIMD.
+        let cu = self.wavefronts[idx].cu;
+        let resident = self.regs[cu].resident() as u64;
+        let sb_mc = self.tracking_penalty_mc(SCOREBOARD_MC_PER_WF, resident);
+        self.scoreboard_stall_mc += sb_mc;
+        let occupancy_mc = sb_mc
+            + self.config.cycles_per_vector_inst(self.kernel.threads_per_wf as usize) * MC;
+
+        self.wavefronts[idx].last_issue_mc = t;
+
+        // Mutex protocol first: acquire attempts gate progress.
+        if let SyncProfile::Mutex { hold_insts, spin_intensity, .. } = self.kernel.sync {
+            let wf = &self.wavefronts[idx];
+            if !wf.holding && wf.acquisitions_left > 0 && wf.executed >= wf.next_acquire_at {
+                return self.attempt_lock(idx, t, hold_insts, spin_intensity, occupancy_mc);
+            }
+        }
+
+        // Regular instruction.
+        let weights = self.kernel.mix.weights();
+        let ops = [GpuOp::Valu, GpuOp::Salu, GpuOp::GlobalMem, GpuOp::Lds, GpuOp::Atomic];
+        let (op, addr) = {
+            let wf = &mut self.wavefronts[idx];
+            let op = ops[wf.rng.weighted_index(&weights)];
+            let addr = if op == GpuOp::GlobalMem {
+                let ws = self.kernel.working_set_per_wf.max(64);
+                if self.kernel.shared_data {
+                    // Kernel-wide tiles/tables: every wavefront walks the
+                    // same region, so caches stay effective at any
+                    // occupancy.
+                    SHARED_BASE + wf.rng.below(ws / 64) * 64
+                } else {
+                    wf.stride_pos = (wf.stride_pos + 64) % ws;
+                    wf.base_addr + wf.stride_pos
+                }
+            } else {
+                0
+            };
+            (op, addr)
+        };
+        let (busy_mc, complete_mc) = match op {
+            GpuOp::Valu => (occupancy_mc, t + occupancy_mc + VALU_RESULT_MC),
+            GpuOp::Salu => (MC, t + MC),
+            GpuOp::GlobalMem => {
+                let is_write = self.wavefronts[idx].rng.chance(0.3);
+                let (latency, l1_hit) = self.mem.global_access(cu, addr, is_write, t);
+                let replay_mc = if l1_hit {
+                    0
+                } else {
+                    self.tracking_penalty_mc(MISS_REPLAY_MC_PER_WF, resident)
+                };
+                self.scoreboard_stall_mc += replay_mc;
+                let done = t + occupancy_mc + latency * MC;
+                let wf = &mut self.wavefronts[idx];
+                wf.pending_mem_mc = wf.pending_mem_mc.max(done);
+                // With probability CONSUMER_FRACTION the next instruction
+                // uses this result immediately (`s_waitcnt` right after
+                // the load): the wavefront blocks until the data lands.
+                // Otherwise the access completes in the background and
+                // only the end-of-kernel drain waits for it.
+                let blocking = wf.rng.chance(CONSUMER_FRACTION);
+                let next_ready = if blocking { done } else { t + occupancy_mc };
+                (occupancy_mc + replay_mc, next_ready)
+            }
+            GpuOp::Lds => (occupancy_mc, t + occupancy_mc + self.mem.lds_access() * MC),
+            GpuOp::Atomic => {
+                let line = self.wavefronts[idx].rng.below(16);
+                let latency = self.mem.atomic_access(0x8000 + line);
+                let replay_mc = self.tracking_penalty_mc(ATOMIC_REPLAY_MC_PER_WF, resident);
+                self.scoreboard_stall_mc += replay_mc;
+                // Atomics wait for completion (waitcnt 0 semantics).
+                (occupancy_mc + replay_mc, t + occupancy_mc + latency * MC)
+            }
+        };
+        self.simd_free_mc[cu][self.wavefronts[idx].simd] = t + busy_mc;
+        self.instructions += 1;
+
+        let wf = &mut self.wavefronts[idx];
+        wf.ready_mc = complete_mc;
+        wf.executed += 1;
+        if wf.holding {
+            wf.hold_remaining = wf.hold_remaining.saturating_sub(1);
+        }
+        let release_needed = wf.holding && wf.hold_remaining == 0;
+        if release_needed {
+            self.release_lock(idx, complete_mc);
+        }
+        self.after_instruction(idx, complete_mc);
+        let wf = &self.wavefronts[idx];
+        if wf.state == WfState::Done || wf.state == WfState::AtBarrier {
+            // Kernel end / barrier implies `s_waitcnt 0`: all outstanding
+            // memory must land (this is where a saturated DRAM channel's
+            // queue becomes visible).
+            let drained = complete_mc.max(wf.pending_mem_mc);
+            self.wavefronts[idx].ready_mc = drained;
+            drained
+        } else {
+            complete_mc
+        }
+    }
+
+    fn attempt_lock(
+        &mut self,
+        idx: usize,
+        t: u64,
+        hold_insts: u32,
+        spin_intensity: f64,
+        occupancy_mc: u64,
+    ) -> u64 {
+        let line = self.wavefronts[idx].lock_line;
+        let waiters_now = self.lock_waiters.get(&line).copied().unwrap_or(0);
+        let atomic_latency = lock_op_cycles(waiters_now, spin_intensity) * MC;
+        let cu = self.wavefronts[idx].cu;
+        let simd = self.wavefronts[idx].simd;
+        // The acquire attempt is a vector atomic: it occupies the SIMD
+        // whether or not it succeeds — spinning burns issue slots — and
+        // replays against the memory pipe like any other atomic.
+        let resident = self.regs[cu].resident() as u64;
+        let replay_mc = self.tracking_penalty_mc(ATOMIC_REPLAY_MC_PER_WF, resident);
+        self.scoreboard_stall_mc += replay_mc;
+        self.simd_free_mc[cu][simd] = t + occupancy_mc + replay_mc;
+        match self.lock_holder.get(&line) {
+            None => {
+                self.lock_holder.insert(line, idx);
+                if self.wavefronts[idx].spinning {
+                    if let Some(w) = self.lock_waiters.get_mut(&line) {
+                        *w = w.saturating_sub(1);
+                    }
+                }
+                let wf = &mut self.wavefronts[idx];
+                wf.spinning = false;
+                wf.holding = true;
+                wf.hold_remaining = hold_insts.max(1);
+                wf.acquisitions_left -= 1;
+                wf.ready_mc = t + occupancy_mc + atomic_latency;
+                wf.ready_mc
+            }
+            Some(_) => {
+                self.lock_retries += 1;
+                let already_counted = self.wavefronts[idx].spinning;
+                let entry = self.lock_waiters.entry(line).or_insert(0);
+                if !already_counted {
+                    *entry += 1;
+                }
+                let waiters = *entry;
+                let backoff_mc =
+                    (spin_intensity * (35.0 + 14.0 * waiters as f64) * MC as f64) as u64;
+                let wf = &mut self.wavefronts[idx];
+                wf.spinning = true;
+                wf.ready_mc = t + occupancy_mc + atomic_latency + backoff_mc;
+                wf.ready_mc
+            }
+        }
+    }
+
+    fn release_lock(&mut self, idx: usize, t: u64) {
+        let line = self.wavefronts[idx].lock_line;
+        let spin = match self.kernel.sync {
+            SyncProfile::Mutex { spin_intensity, .. } => spin_intensity,
+            _ => 1.0,
+        };
+        let waiters = self.lock_waiters.get(&line).copied().unwrap_or(0);
+        // The holder's release competes with every poll in flight.
+        let release_latency = lock_op_cycles(waiters, spin) * MC;
+        debug_assert_eq!(self.lock_holder.get(&line), Some(&idx), "release by non-holder");
+        self.lock_holder.remove(&line);
+        let wf = &mut self.wavefronts[idx];
+        wf.holding = false;
+        wf.ready_mc = t + release_latency;
+        let gap = self.kernel.insts_per_wf / (wf.acquisitions_left.max(1) + 1);
+        wf.next_acquire_at = wf.executed + gap.max(1);
+    }
+
+    fn after_instruction(&mut self, idx: usize, now_mc: u64) {
+        let insts_per_wf = self.kernel.insts_per_wf;
+        let wf = &mut self.wavefronts[idx];
+        if wf.barriers_left > 0 && wf.executed >= wf.next_barrier_at {
+            wf.state = WfState::AtBarrier;
+            return;
+        }
+        if wf.executed >= insts_per_wf && !wf.holding {
+            wf.state = WfState::Done;
+            let (cu, simd, wg) = (wf.cu, wf.simd, wf.wg);
+            self.regs[cu].release(self.kernel, simd);
+            let remaining = self
+                .wg_remaining_wfs
+                .get_mut(&wg)
+                .expect("workgroup registered at admission");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.lds_used[cu] -= self.kernel.lds_per_wg;
+                self.wg_remaining_wfs.remove(&wg);
+            }
+            self.fill_all_cus(now_mc);
+        }
+    }
+
+    /// Releases the waiting barrier cohort (all currently resident
+    /// wavefronts), returning whether anything was released.
+    fn release_barrier(&mut self) -> bool {
+        let waiting: Vec<usize> = self
+            .wavefronts
+            .iter()
+            .enumerate()
+            .filter(|(_, wf)| wf.state == WfState::AtBarrier)
+            .map(|(i, _)| i)
+            .collect();
+        if waiting.is_empty() {
+            return false;
+        }
+        self.barriers_done += 1;
+        let arrival = waiting.iter().map(|i| self.wavefronts[*i].ready_mc).max().unwrap_or(0);
+        // Tree barrier: log2(n) rounds of atomics.
+        let rounds = (waiting.len() as f64).log2().ceil().max(1.0) as u64;
+        let cost_mc = rounds * self.mem.atomic_access(0x7fff) * MC;
+        let insts_per_wf = self.kernel.insts_per_wf;
+        for i in waiting {
+            let wf = &mut self.wavefronts[i];
+            wf.state = WfState::Active;
+            wf.ready_mc = arrival + cost_mc;
+            wf.barriers_left -= 1;
+            let gap = insts_per_wf / (wf.barriers_left + 1).max(1);
+            wf.next_barrier_at =
+                if wf.barriers_left == 0 { u32::MAX } else { wf.executed + gap.max(1) };
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GpuInstMix;
+
+    fn kernel(wgs: u32, sync: SyncProfile) -> GpuKernel {
+        GpuKernel {
+            name: "cu-test".into(),
+            input: String::new(),
+            workgroups: wgs,
+            wavefronts_per_wg: 4,
+            threads_per_wf: 64,
+            vregs_per_wf: 64,
+            sregs_per_wf: 16,
+            lds_per_wg: 1024,
+            insts_per_wf: 120,
+            mix: GpuInstMix::compute(),
+            sync,
+            working_set_per_wf: 2048,
+            shared_data: false,
+        }
+    }
+
+    #[test]
+    fn all_instructions_retire() {
+        let config = GpuConfig::table3();
+        let k = kernel(8, SyncProfile::None);
+        let result = simulate(&config, &k, AllocPolicy::Simple);
+        assert_eq!(result.instructions, 8 * 4 * 120);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn dynamic_reaches_higher_occupancy() {
+        let config = GpuConfig::table3();
+        let k = kernel(40, SyncProfile::None);
+        let simple = simulate(&config, &k, AllocPolicy::Simple);
+        let dynamic = simulate(&config, &k, AllocPolicy::Dynamic);
+        assert_eq!(simple.peak_occupancy, 4, "one per SIMD");
+        assert!(dynamic.peak_occupancy > 16, "dynamic fills the CU");
+        assert_eq!(simple.instructions, dynamic.instructions);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let config = GpuConfig::table3();
+        let k = kernel(12, SyncProfile::Mutex {
+            hold_insts: 10,
+            acquisitions: 3,
+            unique_locks: false,
+            spin_intensity: 1.0,
+        });
+        let a = simulate(&config, &k, AllocPolicy::Dynamic);
+        let b = simulate(&config, &k, AllocPolicy::Dynamic);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.lock_retries, b.lock_retries);
+    }
+
+    #[test]
+    fn contended_mutex_produces_retries_and_they_grow_with_occupancy() {
+        let config = GpuConfig::table3();
+        let k = kernel(16, SyncProfile::Mutex {
+            hold_insts: 15,
+            acquisitions: 4,
+            unique_locks: false,
+            spin_intensity: 0.5,
+        });
+        let simple = simulate(&config, &k, AllocPolicy::Simple);
+        let dynamic = simulate(&config, &k, AllocPolicy::Dynamic);
+        assert!(dynamic.lock_retries > simple.lock_retries * 2,
+            "dynamic {} vs simple {}", dynamic.lock_retries, simple.lock_retries);
+    }
+
+    #[test]
+    fn unique_locks_avoid_retries() {
+        let config = GpuConfig::table3();
+        let k = kernel(16, SyncProfile::Mutex {
+            hold_insts: 15,
+            acquisitions: 4,
+            unique_locks: true,
+            spin_intensity: 0.5,
+        });
+        let result = simulate(&config, &k, AllocPolicy::Dynamic);
+        assert_eq!(result.lock_retries, 0);
+        // Critical sections may extend a wavefront slightly past its
+        // nominal instruction budget.
+        assert!(result.instructions >= 16 * 4 * 120);
+    }
+
+    #[test]
+    fn barriers_complete_without_deadlock() {
+        let config = GpuConfig::table3();
+        let k = kernel(8, SyncProfile::Barrier { episodes: 3 });
+        for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
+            let result = simulate(&config, &k, policy);
+            assert!(result.barriers > 0, "{policy}");
+            assert_eq!(result.instructions, 8 * 4 * 120, "{policy}");
+        }
+    }
+
+    #[test]
+    fn lds_capacity_limits_residency() {
+        let config = GpuConfig::table3();
+        let mut k = kernel(40, SyncProfile::None);
+        k.lds_per_wg = 40 * 1024; // only one WG per CU fits
+        let result = simulate(&config, &k, AllocPolicy::Dynamic);
+        assert!(result.peak_occupancy <= 4, "one WG (4 WFs) per CU");
+        assert_eq!(result.instructions, 40 * 4 * 120);
+    }
+}

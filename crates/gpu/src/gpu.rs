@@ -1,0 +1,127 @@
+//! The top-level GPU object.
+
+use crate::alloc::AllocPolicy;
+use crate::config::GpuConfig;
+use crate::cu::{simulate, MachineResult};
+use crate::kernel::GpuKernel;
+use simart_fullsim::stats::Stats;
+use simart_fullsim::ticks::Tick;
+
+/// A simulated GPU ready to run kernel dispatches.
+#[derive(Debug, Clone, Default)]
+pub struct Gpu {
+    config: GpuConfig,
+    /// Divides per-wavefront instruction counts, for fast smoke tests.
+    scale_down: u32,
+}
+
+/// Result of running one kernel on the GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuRunResult {
+    /// Simulated time in ticks (gem5 convention: shader ticks).
+    pub ticks: Tick,
+    /// GPU cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Failed lock acquisitions.
+    pub lock_retries: u64,
+    /// Peak wavefronts resident on any CU.
+    pub peak_occupancy: u32,
+    /// Full statistics.
+    pub stats: Stats,
+}
+
+impl Gpu {
+    /// A GPU with the paper's Table III configuration.
+    pub fn table3() -> Gpu {
+        Gpu { config: GpuConfig::table3(), scale_down: 1 }
+    }
+
+    /// A GPU with a custom configuration.
+    pub fn with_config(config: GpuConfig) -> Gpu {
+        Gpu { config, scale_down: 1 }
+    }
+
+    /// Returns a copy whose kernel instruction counts are divided by
+    /// `factor` — cheaper simulations with the same qualitative
+    /// behaviour, for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled_down(mut self, factor: u32) -> Gpu {
+        assert!(factor > 0, "scale factor must be positive");
+        self.scale_down = factor;
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` under the given register-allocation policy.
+    pub fn run(&self, kernel: &GpuKernel, policy: AllocPolicy) -> GpuRunResult {
+        let mut scaled = kernel.clone();
+        scaled.insts_per_wf = (kernel.insts_per_wf / self.scale_down).max(8);
+        if let crate::kernel::SyncProfile::Mutex { hold_insts, acquisitions, unique_locks, spin_intensity } =
+            scaled.sync
+        {
+            scaled.sync = crate::kernel::SyncProfile::Mutex {
+                hold_insts: (hold_insts / self.scale_down).max(2),
+                acquisitions,
+                unique_locks,
+                spin_intensity,
+            };
+        }
+        let MachineResult { cycles, instructions, lock_retries, peak_occupancy, stats, .. } =
+            simulate(&self.config, &scaled, policy);
+        let ticks = self.config.clock().cycles_to_ticks(cycles);
+        GpuRunResult { ticks, cycles, instructions, lock_retries, peak_occupancy, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GpuInstMix, SyncProfile};
+
+    fn kernel() -> GpuKernel {
+        GpuKernel {
+            name: "g".into(),
+            input: String::new(),
+            workgroups: 16,
+            wavefronts_per_wg: 4,
+            threads_per_wf: 64,
+            vregs_per_wf: 64,
+            sregs_per_wf: 16,
+            lds_per_wg: 0,
+            insts_per_wf: 200,
+            mix: GpuInstMix::compute(),
+            sync: SyncProfile::None,
+            working_set_per_wf: 2048,
+            shared_data: false,
+        }
+    }
+
+    #[test]
+    fn ticks_follow_one_ghz_clock() {
+        let result = Gpu::table3().run(&kernel(), AllocPolicy::Simple);
+        assert_eq!(result.ticks, result.cycles * 1000);
+    }
+
+    #[test]
+    fn scaled_down_runs_fewer_instructions() {
+        let full = Gpu::table3().run(&kernel(), AllocPolicy::Simple);
+        let scaled = Gpu::table3().scaled_down(4).run(&kernel(), AllocPolicy::Simple);
+        assert!(scaled.instructions < full.instructions);
+        assert!(scaled.cycles < full.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = Gpu::table3().scaled_down(0);
+    }
+}

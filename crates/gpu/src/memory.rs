@@ -1,0 +1,226 @@
+//! The GPU memory path: per-CU L1D, shared L2, DRAM, and atomics.
+//!
+//! GPU latencies are long (hundreds of cycles to DRAM) and the L1s are
+//! tiny (16 KB), so cache behaviour under rising occupancy is what
+//! separates the two register allocators on memory-bound kernels: more
+//! resident wavefronts thrash the L1 and queue at the atomic unit.
+
+use simart_fullsim::mem::cache::SetAssocCache;
+use simart_fullsim::mem::dram::Ddr3Channel;
+use simart_fullsim::stats::Stats;
+
+/// GPU-scale latency constants, in GPU cycles.
+mod lat {
+    /// L1D hit (GPU L1s are not latency-optimized).
+    pub const L1: u64 = 12;
+    /// L2 hit, beyond L1.
+    pub const L2: u64 = 60;
+    /// DRAM fixed overhead beyond the DDR3 device timing.
+    pub const DRAM_EXTRA: u64 = 120;
+    /// Base cost of a global atomic (L2-resident atomic unit).
+    pub const ATOMIC: u64 = 30;
+    /// Additional serialization per recent atomic on the same line.
+    pub const ATOMIC_CONFLICT: u64 = 25;
+    /// LDS access.
+    pub const LDS: u64 = 8;
+    /// DRAM channel service time per access (bandwidth bound): one 64B
+    /// burst on the single DDR3-1600 channel, in GPU cycles.
+    pub const DRAM_SERVICE: u64 = 9;
+    /// L2 port service time per L1-missing access (bandwidth bound).
+    pub const L2_SERVICE: u64 = 4;
+}
+
+/// The GPU's memory system (all CUs share L2 and DRAM).
+#[derive(Debug)]
+pub struct GpuMemory {
+    l1: Vec<SetAssocCache<()>>,
+    l2: SetAssocCache<()>,
+    dram: Ddr3Channel,
+    /// Sliding pressure counter per atomic line: decays as other
+    /// accesses happen, grows with conflicts.
+    atomic_pressure: std::collections::HashMap<u64, u64>,
+    /// The single DRAM channel is busy until this time (millicycles):
+    /// requests arriving faster than one burst per [`lat::DRAM_SERVICE`]
+    /// cycles queue behind it. This is what bounds the benefit of piling
+    /// on wavefronts for bandwidth-bound kernels.
+    channel_busy_mc: u64,
+    /// L2 port occupancy, same mechanism as the DRAM channel.
+    l2_busy_mc: u64,
+    accesses: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    dram_accesses: u64,
+    queue_delay_mc: u64,
+    atomics: u64,
+}
+
+impl GpuMemory {
+    /// Builds the memory path for `cus` compute units with the given
+    /// L1/L2 capacities.
+    pub fn new(cus: usize, l1_bytes: u64, l2_bytes: u64) -> GpuMemory {
+        GpuMemory {
+            l1: (0..cus).map(|_| SetAssocCache::new(l1_bytes, 8)).collect(),
+            l2: SetAssocCache::new(l2_bytes, 16),
+            dram: Ddr3Channel::new(),
+            atomic_pressure: std::collections::HashMap::new(),
+            channel_busy_mc: 0,
+            l2_busy_mc: 0,
+            accesses: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            dram_accesses: 0,
+            queue_delay_mc: 0,
+            atomics: 0,
+        }
+    }
+
+    /// A global load/store from `cu` issued at `now_mc` (millicycles),
+    /// returning `(latency_cycles, l1_hit)`.
+    pub fn global_access(&mut self, cu: usize, addr: u64, is_write: bool, now_mc: u64) -> (u64, bool) {
+        self.accesses += 1;
+        if self.l1[cu].probe(addr).is_some() {
+            self.l1_hits += 1;
+            return (lat::L1, true);
+        }
+        let mut latency = lat::L1 + lat::L2;
+        // Every L1 miss crosses the shared L2 port.
+        let l2_queue_mc = self.l2_busy_mc.saturating_sub(now_mc);
+        self.queue_delay_mc += l2_queue_mc;
+        self.l2_busy_mc = self.l2_busy_mc.max(now_mc) + lat::L2_SERVICE * 1000;
+        latency += l2_queue_mc / 1000;
+        if self.l2.probe(addr).is_none() {
+            self.dram_accesses += 1;
+            // Bandwidth: queue behind the channel's current burst.
+            let queue_mc = self.channel_busy_mc.saturating_sub(now_mc);
+            self.queue_delay_mc += queue_mc;
+            self.channel_busy_mc =
+                self.channel_busy_mc.max(now_mc) + lat::DRAM_SERVICE * 1000;
+            latency += queue_mc / 1000;
+            latency += lat::DRAM_EXTRA + self.dram.access(addr, is_write);
+            if let Some((victim, _)) = self.l2.insert(addr, ()) {
+                for l1 in &mut self.l1 {
+                    l1.invalidate(victim);
+                }
+            }
+        } else {
+            self.l2_hits += 1;
+        }
+        if self.l1[cu].peek(addr).is_none() {
+            self.l1[cu].insert(addr, ());
+        }
+        (latency, false)
+    }
+
+    /// An LDS access (never leaves the CU).
+    pub fn lds_access(&self) -> u64 {
+        lat::LDS
+    }
+
+    /// A global atomic on `line`: serializes against recent atomics to
+    /// the same line.
+    pub fn atomic_access(&mut self, line: u64) -> u64 {
+        self.atomics += 1;
+        let pressure = self.atomic_pressure.entry(line).or_insert(0);
+        let latency = lat::ATOMIC + *pressure * lat::ATOMIC_CONFLICT;
+        *pressure = (*pressure + 1).min(12);
+        // Other lines relax as this one is hammered.
+        if self.atomics.is_multiple_of(4) {
+            for (other, p) in self.atomic_pressure.iter_mut() {
+                if *other != line && *p > 0 {
+                    *p -= 1;
+                }
+            }
+        }
+        latency
+    }
+
+    /// Fraction of global accesses served by the L1.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Dumps statistics under `prefix`.
+    pub fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
+        stats.set_count(&format!("{prefix}.accesses"), self.accesses);
+        stats.set_count(&format!("{prefix}.l1Hits"), self.l1_hits);
+        stats.set_count(&format!("{prefix}.l2Hits"), self.l2_hits);
+        stats.set_count(&format!("{prefix}.dramAccesses"), self.dram_accesses);
+        stats.set_count(&format!("{prefix}.atomics"), self.atomics);
+        stats.set_count(&format!("{prefix}.queueDelayCycles"), self.queue_delay_mc / 1000);
+        stats.set_scalar(&format!("{prefix}.l1HitRate"), self.l1_hit_rate());
+        self.dram.dump_stats(&format!("{prefix}.dram"), stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_hits_l1() {
+        let mut mem = GpuMemory::new(4, 16 * 1024, 256 * 1024);
+        let (cold, cold_hit) = mem.global_access(0, 0x1000, false, 0);
+        let (warm, warm_hit) = mem.global_access(0, 0x1000, false, 1_000_000);
+        assert!(cold > warm);
+        assert!(!cold_hit && warm_hit);
+        assert_eq!(warm, lat::L1);
+    }
+
+    #[test]
+    fn l2_shared_across_cus() {
+        let mut mem = GpuMemory::new(4, 16 * 1024, 256 * 1024);
+        mem.global_access(0, 0x2000, false, 0);
+        let (other_cu, _) = mem.global_access(1, 0x2000, false, 1_000_000);
+        assert_eq!(other_cu, lat::L1 + lat::L2);
+    }
+
+    #[test]
+    fn thrash_grows_with_working_set() {
+        // Stream 8 wavefront-sized regions (fits 16 KB) vs 64 (thrashes).
+        let run = |regions: u64| {
+            let mut mem = GpuMemory::new(1, 16 * 1024, 256 * 1024);
+            for _round in 0..4 {
+                for r in 0..regions {
+                    for line in 0..16u64 {
+                        mem.global_access(0, r * 0x10_0000 + line * 64, false, 0);
+                    }
+                }
+            }
+            mem.l1_hit_rate()
+        };
+        assert!(run(8) > 0.7);
+        assert!(run(64) < 0.2);
+    }
+
+    #[test]
+    fn atomic_contention_escalates_and_decays() {
+        let mut mem = GpuMemory::new(1, 16 * 1024, 256 * 1024);
+        let first = mem.atomic_access(7);
+        let second = mem.atomic_access(7);
+        let third = mem.atomic_access(7);
+        assert!(first < second && second < third);
+        // A different line starts cheap.
+        assert_eq!(mem.atomic_access(9), first);
+        // Hammering line 9 decays line 7's pressure.
+        for _ in 0..40 {
+            mem.atomic_access(9);
+        }
+        let relaxed = mem.atomic_access(7);
+        assert!(relaxed < third);
+    }
+
+    #[test]
+    fn stats_dump() {
+        let mut mem = GpuMemory::new(2, 16 * 1024, 256 * 1024);
+        mem.global_access(0, 0, false, 0);
+        mem.atomic_access(1);
+        let mut stats = Stats::new();
+        mem.dump_stats("gpu.mem", &mut stats);
+        assert_eq!(stats.count("gpu.mem.accesses"), 1);
+        assert_eq!(stats.count("gpu.mem.atomics"), 1);
+    }
+}

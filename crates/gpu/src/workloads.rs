@@ -1,0 +1,328 @@
+//! The 29 GPU benchmarks of the paper's Table IV, as kernel
+//! descriptors.
+//!
+//! Grid shapes and instruction counts are *scaled* (the real inputs run
+//! billions of instructions) but preserve each application's character:
+//! whether it oversubscribes the machine, its register demand, its
+//! memory-vs-compute balance, its cache sensitivity, and its
+//! synchronization behaviour. Those properties are what determine how
+//! the two register allocators compare (Figure 9).
+
+use crate::kernel::{GpuInstMix, GpuKernel, SyncProfile};
+
+/// All 29 Table IV application names, in the table's order.
+pub const ALL: [&str; 29] = [
+    "2dshfl",
+    "dynamic_shared",
+    "inline_asm",
+    "MatrixTranspose",
+    "sharedMemory",
+    "shfl",
+    "stream",
+    "unroll",
+    "SpinMutexEBO",
+    "FAMutex",
+    "SleepMutex",
+    "SpinMutexEBOUniq",
+    "FAMutexUniq",
+    "SleepMutexUniq",
+    "LFTreeBarrUniq",
+    "LFTreeBarrUniqLocalExch",
+    "bwd_bypass",
+    "bwd_bn",
+    "bwd_composed_model",
+    "bwd_pool",
+    "bwd_softmax",
+    "fwd_bypass",
+    "fwd_bn",
+    "fwd_composed_model",
+    "fwd_pool",
+    "fwd_softmax",
+    "HACC",
+    "LULESH",
+    "PENNANT",
+];
+
+/// The benchmark suite an application belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// HIP sample applications.
+    HipSamples,
+    /// HeteroSync fine-grained synchronization microbenchmarks.
+    HeteroSync,
+    /// DNNMark DNN primitive layers.
+    DnnMark,
+    /// DOE proxy applications.
+    Proxy,
+}
+
+/// Suite of a Table IV application.
+pub fn suite_of(name: &str) -> Option<Suite> {
+    let hip = ["2dshfl", "dynamic_shared", "inline_asm", "MatrixTranspose", "sharedMemory", "shfl", "stream", "unroll"];
+    let hs = [
+        "SpinMutexEBO", "FAMutex", "SleepMutex", "SpinMutexEBOUniq", "FAMutexUniq",
+        "SleepMutexUniq", "LFTreeBarrUniq", "LFTreeBarrUniqLocalExch",
+    ];
+    let dnn = [
+        "bwd_bypass", "bwd_bn", "bwd_composed_model", "bwd_pool", "bwd_softmax",
+        "fwd_bypass", "fwd_bn", "fwd_composed_model", "fwd_pool", "fwd_softmax",
+    ];
+    if hip.contains(&name) {
+        Some(Suite::HipSamples)
+    } else if hs.contains(&name) {
+        Some(Suite::HeteroSync)
+    } else if dnn.contains(&name) {
+        Some(Suite::DnnMark)
+    } else if ["HACC", "LULESH", "PENNANT"].contains(&name) {
+        Some(Suite::Proxy)
+    } else {
+        None
+    }
+}
+
+/// Input-size label from Table IV.
+pub fn input_of(name: &str) -> &'static str {
+    match name {
+        "2dshfl" | "shfl" | "unroll" => "4x4",
+        "dynamic_shared" => "16x16",
+        "inline_asm" | "MatrixTranspose" => "1024x1024",
+        "sharedMemory" => "64x64",
+        "stream" => "32x32",
+        name if name.starts_with("Spin") || name.starts_with("FAMutex") || name.starts_with("Sleep") => {
+            "10 Ld/St/thr/CS, 8 WGs/CU, 2 iters"
+        }
+        name if name.starts_with("LFTreeBarr") => "10 Ld/St/thr/barrier, 8 WGs/CU, 2 iters",
+        "bwd_bypass" | "bwd_bn" | "bwd_softmax" | "fwd_bypass" | "fwd_bn" | "fwd_softmax" => {
+            "NCHW = 100, 1000, 1, 1"
+        }
+        "bwd_composed_model" | "fwd_composed_model" => "NCHW = 32, 32, 3, 1",
+        "bwd_pool" | "fwd_pool" => "NCHW = 100, 3, 256, 256",
+        "HACC" => "0.5 0.1 64 0.1 100 N 12 rcb (forceTreeTest)",
+        "LULESH" => "1 iteration",
+        "PENNANT" => "noh",
+        _ => "unknown",
+    }
+}
+
+fn base(name: &str, workgroups: u32, wf_per_wg: u32, insts: u32, mix: GpuInstMix) -> GpuKernel {
+    GpuKernel {
+        name: name.to_owned(),
+        input: input_of(name).to_owned(),
+        workgroups,
+        wavefronts_per_wg: wf_per_wg,
+        threads_per_wf: 64,
+        vregs_per_wf: 96,
+        sregs_per_wf: 24,
+        lds_per_wg: 0,
+        insts_per_wf: insts,
+        mix,
+        sync: SyncProfile::None,
+        working_set_per_wf: 2048,
+            shared_data: false,
+    }
+}
+
+fn mutex(name: &str, spin_intensity: f64, unique_locks: bool) -> GpuKernel {
+    // 8 WGs/CU x 4 CUs, 256-thread WGs (4 wavefronts), 2 iterations with
+    // several critical sections each ("10 Ld/St per thread per CS").
+    let mut k = base(name, 32, 4, 360, GpuInstMix {
+        valu: 0.30,
+        salu: 0.08,
+        global_mem: 0.42,
+        lds: 0.10,
+        atomic: 0.10,
+    });
+    k.sync = SyncProfile::Mutex { hold_insts: 30, acquisitions: 6, unique_locks, spin_intensity };
+    k.working_set_per_wf = 1024;
+    k.vregs_per_wf = 64;
+    k
+}
+
+/// Builds the kernel descriptor for a Table IV application, or `None`
+/// for an unknown name.
+pub fn by_name(name: &str) -> Option<GpuKernel> {
+    let k = match name {
+        // ---- HIP samples ----
+        // Tiny grids: a handful of wavefronts, nothing to oversubscribe.
+        "2dshfl" | "shfl" | "unroll" => base(name, 1, 1, 220, GpuInstMix::compute()),
+        "dynamic_shared" => {
+            let mut k = base(name, 1, 4, 260, GpuInstMix::lds_tiled());
+            k.lds_per_wg = 2048;
+            k
+        }
+        "sharedMemory" => {
+            let mut k = base(name, 4, 4, 260, GpuInstMix::lds_tiled());
+            k.lds_per_wg = 4096;
+            k
+        }
+        // Large grids with plenty of independent work: the dynamic
+        // allocator's best case.
+        "inline_asm" => {
+            let mut k = base(name, 96, 4, 300, GpuInstMix::compute());
+            k.vregs_per_wf = 48; // lean kernels, occupancy-friendly
+            k
+        }
+        "MatrixTranspose" => {
+            let mut k = base(name, 128, 4, 280, GpuInstMix {
+                valu: 0.30, salu: 0.05, global_mem: 0.42, lds: 0.22, atomic: 0.01,
+            });
+            k.vregs_per_wf = 56;
+            k.lds_per_wg = 2048;
+            // All wavefronts walk the same matrix tiles: L2-resident.
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        "stream" => {
+            let mut k = base(name, 64, 4, 320, GpuInstMix::streaming());
+            k.vregs_per_wf = 40;
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        // ---- HeteroSync ----
+        "SpinMutexEBO" => mutex(name, 1.0, false),
+        "FAMutex" => mutex(name, 0.08, false), // ticket lock polls hardest
+        "SleepMutex" => mutex(name, 2.6, false),
+        "SpinMutexEBOUniq" => mutex(name, 1.0, true),
+        "FAMutexUniq" => mutex(name, 0.08, true),
+        "SleepMutexUniq" => mutex(name, 2.6, true),
+        "LFTreeBarrUniq" | "LFTreeBarrUniqLocalExch" => {
+            let mut k = base(name, 32, 4, 360, GpuInstMix {
+                valu: 0.32, salu: 0.08, global_mem: 0.40,
+                lds: if name.ends_with("LocalExch") { 0.16 } else { 0.10 },
+                atomic: 0.10,
+            });
+            k.sync = SyncProfile::Barrier { episodes: 4 };
+            k.working_set_per_wf = 1024;
+            k.vregs_per_wf = 64;
+            k
+        }
+        // ---- DNNMark ----
+        // Elementwise layers over 100k activations: oversubscribed,
+        // streaming, cache-insensitive.
+        "bwd_bypass" | "fwd_bypass" => {
+            let mut k = base(name, 64, 4, 260, GpuInstMix::streaming());
+            k.vregs_per_wf = 40;
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        "bwd_bn" | "fwd_bn" => {
+            let mut k = base(name, 64, 4, 300, GpuInstMix {
+                valu: 0.44, salu: 0.06, global_mem: 0.40, lds: 0.08, atomic: 0.02,
+            });
+            k.vregs_per_wf = 48;
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        // Tiny composed models: everything resident at once either way.
+        "bwd_composed_model" | "fwd_composed_model" => {
+            let mut k = base(name, 4, 4, 280, GpuInstMix::compute());
+            k.vregs_per_wf = 96;
+            k
+        }
+        // Pooling over 100x3x256x256: hot per-wavefront tiles that fit
+        // the L1 at low occupancy and thrash it at full occupancy.
+        "bwd_pool" | "fwd_pool" => {
+            let mut k = base(name, 160, 4, 280, GpuInstMix {
+                valu: 0.34, salu: 0.05, global_mem: 0.48, lds: 0.12, atomic: 0.01,
+            });
+            k.vregs_per_wf = 48;
+            k.working_set_per_wf = 1024;
+            k
+        }
+        "bwd_softmax" | "fwd_softmax" => {
+            let mut k = base(name, 48, 4, 280, GpuInstMix {
+                valu: 0.46, salu: 0.06, global_mem: 0.38, lds: 0.08, atomic: 0.02,
+            });
+            k.vregs_per_wf = 48;
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        // ---- DOE proxy apps ----
+        // Limited additional work to schedule: flat.
+        "HACC" => {
+            let mut k = base(name, 24, 4, 340, GpuInstMix::compute());
+            k.vregs_per_wf = 1400; // force-kernel register pressure caps occupancy
+            k
+        }
+        "LULESH" => {
+            let mut k = base(name, 36, 4, 340, GpuInstMix {
+                valu: 0.58, salu: 0.08, global_mem: 0.26, lds: 0.06, atomic: 0.02,
+            });
+            k.vregs_per_wf = 1800; // register-hungry hydrodynamics kernels cap occupancy
+            k
+        }
+        // Plenty of mesh zones to overlap: dynamic wins.
+        "PENNANT" => {
+            let mut k = base(name, 120, 4, 300, GpuInstMix {
+                valu: 0.46, salu: 0.06, global_mem: 0.38, lds: 0.08, atomic: 0.02,
+            });
+            k.vregs_per_wf = 56;
+            k.working_set_per_wf = 12 * 1024;
+            k.shared_data = true;
+            k
+        }
+        _ => return None,
+    };
+    Some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_29_applications_resolve() {
+        assert_eq!(ALL.len(), 29);
+        for name in ALL {
+            let k = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(k.name, name);
+            assert!(suite_of(name).is_some(), "{name} has no suite");
+            assert!(!input_of(name).is_empty());
+        }
+        assert!(by_name("not-a-kernel").is_none());
+    }
+
+    #[test]
+    fn suite_membership_counts() {
+        let count = |suite: Suite| ALL.iter().filter(|n| suite_of(n) == Some(suite)).count();
+        assert_eq!(count(Suite::HipSamples), 8);
+        assert_eq!(count(Suite::HeteroSync), 8);
+        assert_eq!(count(Suite::DnnMark), 10);
+        assert_eq!(count(Suite::Proxy), 3);
+    }
+
+    #[test]
+    fn heterosync_uses_table_iv_grid() {
+        // "8 WGs/CU" on a 4-CU machine.
+        let k = by_name("FAMutex").unwrap();
+        assert_eq!(k.workgroups, 32);
+        assert!(matches!(k.sync, SyncProfile::Mutex { unique_locks: false, .. }));
+        let uniq = by_name("FAMutexUniq").unwrap();
+        assert!(matches!(uniq.sync, SyncProfile::Mutex { unique_locks: true, .. }));
+    }
+
+    #[test]
+    fn small_kernels_do_not_oversubscribe() {
+        for name in ["2dshfl", "shfl", "unroll", "dynamic_shared", "sharedMemory"] {
+            let k = by_name(name).unwrap();
+            assert!(!k.oversubscribes(160), "{name}");
+        }
+        for name in ["inline_asm", "MatrixTranspose", "bwd_pool", "PENNANT"] {
+            let k = by_name(name).unwrap();
+            assert!(k.oversubscribes(160), "{name}");
+        }
+    }
+
+    #[test]
+    fn inputs_match_table_iv() {
+        assert_eq!(input_of("MatrixTranspose"), "1024x1024");
+        assert_eq!(input_of("fwd_pool"), "NCHW = 100, 3, 256, 256");
+        assert_eq!(input_of("PENNANT"), "noh");
+        assert_eq!(input_of("FAMutex"), "10 Ld/St/thr/CS, 8 WGs/CU, 2 iters");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the GPU model: register accounting,
+//! instruction conservation, and determinism.
+
+use proptest::prelude::*;
+use simart_gpu::alloc::{AllocPolicy, RegisterFile};
+use simart_gpu::config::GpuConfig;
+use simart_gpu::cu::simulate;
+use simart_gpu::kernel::{GpuInstMix, GpuKernel, SyncProfile};
+
+fn kernel(workgroups: u32, wf_per_wg: u32, vregs: u32, insts: u32) -> GpuKernel {
+    GpuKernel {
+        name: format!("prop-{workgroups}-{wf_per_wg}-{vregs}-{insts}"),
+        input: String::new(),
+        workgroups,
+        wavefronts_per_wg: wf_per_wg,
+        threads_per_wf: 64,
+        vregs_per_wf: vregs,
+        sregs_per_wf: 16,
+        lds_per_wg: 0,
+        insts_per_wf: insts,
+        mix: GpuInstMix::compute(),
+        sync: SyncProfile::None,
+        working_set_per_wf: 2048,
+        shared_data: false,
+    }
+}
+
+proptest! {
+    /// The register file never overcommits under arbitrary
+    /// admit/release sequences, for both policies.
+    #[test]
+    fn register_file_never_overcommits(
+        ops in proptest::collection::vec(any::<bool>(), 0..128),
+        vregs in 8u32..1024,
+        dynamic in any::<bool>(),
+    ) {
+        let config = GpuConfig::table3();
+        let policy = if dynamic { AllocPolicy::Dynamic } else { AllocPolicy::Simple };
+        let mut rf = RegisterFile::new(&config, policy);
+        let k = kernel(100, 1, vregs, 10);
+        let mut held: Vec<usize> = Vec::new();
+        for admit in ops {
+            if admit {
+                if let Some(simd) = rf.try_admit(&k) {
+                    held.push(simd);
+                }
+            } else if let Some(simd) = held.pop() {
+                rf.release(&k, simd);
+            }
+            prop_assert!(rf.vregs_used() <= config.vregs_per_cu);
+            prop_assert_eq!(rf.vregs_used(), held.len() as u32 * vregs);
+            prop_assert_eq!(rf.resident(), held.len() as u32);
+            let cap = match policy {
+                AllocPolicy::Simple => config.simds_per_cu as u32,
+                AllocPolicy::Dynamic => config.max_wavefronts_per_cu() as u32,
+            };
+            prop_assert!(rf.resident() <= cap);
+        }
+    }
+
+    /// Every dispatched instruction retires, exactly once, whatever the
+    /// grid shape or policy (sync-free kernels).
+    #[test]
+    fn instruction_conservation(
+        workgroups in 1u32..24,
+        wf_per_wg in 1u32..4,
+        insts in 8u32..80,
+        dynamic in any::<bool>(),
+    ) {
+        let config = GpuConfig::table3();
+        let policy = if dynamic { AllocPolicy::Dynamic } else { AllocPolicy::Simple };
+        let k = kernel(workgroups, wf_per_wg, 64, insts);
+        let result = simulate(&config, &k, policy);
+        prop_assert_eq!(result.instructions, (workgroups * wf_per_wg * insts) as u64);
+        prop_assert!(result.cycles > 0);
+        prop_assert!(result.peak_occupancy as usize <= config.max_wavefronts_per_cu());
+    }
+
+    /// Simulation is a pure function of (kernel, policy).
+    #[test]
+    fn simulation_determinism(workgroups in 1u32..12, insts in 8u32..64) {
+        let config = GpuConfig::table3();
+        let k = kernel(workgroups, 2, 64, insts);
+        for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
+            let a = simulate(&config, &k, policy);
+            let b = simulate(&config, &k, policy);
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.stats.dump(), b.stats.dump());
+        }
+    }
+
+    /// More work never takes (meaningfully) less time. The two grids
+    /// share a kernel name so their common wavefronts execute identical
+    /// streams; a small tolerance absorbs cache-warming interactions
+    /// between wavefronts.
+    #[test]
+    fn monotonic_in_workgroups(base in 1u32..16, extra in 1u32..16) {
+        let config = GpuConfig::table3();
+        let mut small_kernel = kernel(base, 2, 64, 40);
+        small_kernel.name = "prop-monotone".to_owned();
+        let mut large_kernel = kernel(base + extra, 2, 64, 40);
+        large_kernel.name = "prop-monotone".to_owned();
+        let small = simulate(&config, &small_kernel, AllocPolicy::Simple);
+        let large = simulate(&config, &large_kernel, AllocPolicy::Simple);
+        prop_assert!(large.cycles * 20 >= small.cycles * 19,
+            "{} wgs took {} cycles, {} wgs took {}",
+            base, small.cycles, base + extra, large.cycles);
+    }
+}

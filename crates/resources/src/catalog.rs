@@ -1,0 +1,254 @@
+//! The Table I resource catalog.
+
+use crate::ResourceKind;
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Resource name as listed in Table I.
+    pub name: &'static str,
+    /// Category.
+    pub kind: ResourceKind,
+    /// Table I description (abridged).
+    pub description: &'static str,
+    /// Whether pre-built binaries/images may be distributed (SPEC
+    /// licensing forbids it — only build scripts ship).
+    pub prebuilt_distributable: bool,
+    /// Simulator build variant the resource targets.
+    pub variant: &'static str,
+}
+
+/// The resource catalog.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    resources: Vec<Resource>,
+}
+
+impl Catalog {
+    /// The standard catalog: the 17 resources of the paper's Table I.
+    pub fn standard() -> Catalog {
+        let r = |name, kind, description, prebuilt_distributable, variant| Resource {
+            name,
+            kind,
+            description,
+            prebuilt_distributable,
+            variant,
+        };
+        Catalog {
+            resources: vec![
+                r(
+                    "boot-exit",
+                    ResourceKind::BenchmarkTest,
+                    "Scripts and binaries booting and exiting a Linux kernel with an Ubuntu 18.04 \
+                     server user-land in full system mode; serves as the FS-mode test suite",
+                    true,
+                    "X86",
+                ),
+                r(
+                    "gapbs",
+                    ResourceKind::Benchmark,
+                    "GAP Benchmark Suite with a Linux kernel and Ubuntu 18.04 server user-land",
+                    true,
+                    "X86",
+                ),
+                r(
+                    "hack-back",
+                    ResourceKind::Benchmark,
+                    "Creates a checkpoint after boot, then executes a host-provided script",
+                    true,
+                    "X86",
+                ),
+                r(
+                    "linux-kernel",
+                    ResourceKind::Kernel,
+                    "Kernel configurations and documentation for compiling Linux kernels",
+                    true,
+                    "any",
+                ),
+                r(
+                    "npb",
+                    ResourceKind::Benchmark,
+                    "NAS Parallel Benchmarks in full system mode",
+                    true,
+                    "X86",
+                ),
+                r(
+                    "parsec",
+                    ResourceKind::Benchmark,
+                    "Princeton Application Repository for Shared-Memory Computers benchmark suite \
+                     in full system mode",
+                    true,
+                    "X86",
+                ),
+                r(
+                    "riscv-fs",
+                    ResourceKind::Test,
+                    "Berkeley boot loader with Linux kernel payload and disk image for RISC-V \
+                     full system simulation",
+                    true,
+                    "RISCV",
+                ),
+                r(
+                    "spec-2006",
+                    ResourceKind::Benchmark,
+                    "SPEC CPU 2006 in full system mode; licensing forbids pre-made disk images",
+                    false,
+                    "X86",
+                ),
+                r(
+                    "spec-2017",
+                    ResourceKind::Benchmark,
+                    "SPEC CPU 2017 in full system mode; licensing forbids pre-made disk images",
+                    false,
+                    "X86",
+                ),
+                r(
+                    "GCN-docker",
+                    ResourceKind::Environment,
+                    "Docker image with ROCm 1.6 and GCC 5.4 to build and run GPU applications on \
+                     simulated AMD GCN3 GPUs",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "HeteroSync",
+                    ResourceKind::Benchmark,
+                    "Fine-grained synchronization microbenchmarks for tightly-coupled GPUs",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "DNNMark",
+                    ResourceKind::Benchmark,
+                    "Primitive deep neural network layer benchmarks",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "halo-finder",
+                    ResourceKind::Application,
+                    "GPU-accelerated HACC halo finder (DOE cosmology application)",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "Pennant",
+                    ResourceKind::Application,
+                    "Unstructured-mesh mini-app for advanced architecture research",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "LULESH",
+                    ResourceKind::Application,
+                    "DOE hydrodynamics proxy application",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "hip-samples",
+                    ResourceKind::Application,
+                    "HIP sample applications showcasing GPU programming concepts",
+                    true,
+                    "GCN3_X86",
+                ),
+                r(
+                    "gem5-tests",
+                    ResourceKind::Test,
+                    "asmtest (RISC-V), insttest (SPARC), riscv-tests, simple (m5ops/ARM \
+                     semi-hosting), square (AMD GPU)",
+                    true,
+                    "any",
+                ),
+            ],
+        }
+    }
+
+    /// Looks up a resource by name (case-sensitive, as listed).
+    pub fn find(&self, name: &str) -> Option<&Resource> {
+        self.resources.iter().find(|r| r.name == name)
+    }
+
+    /// All resources of a category.
+    pub fn by_kind(&self, kind: ResourceKind) -> Vec<&Resource> {
+        self.resources.iter().filter(|r| r.kind == kind).collect()
+    }
+
+    /// All resources targeting a simulator variant.
+    pub fn by_variant(&self, variant: &str) -> Vec<&Resource> {
+        self.resources.iter().filter(|r| r.variant == variant).collect()
+    }
+
+    /// Iterates over all resources in Table I order.
+    pub fn iter(&self) -> impl Iterator<Item = &Resource> {
+        self.resources.iter()
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_has_seventeen_entries() {
+        assert_eq!(Catalog::standard().len(), 17);
+    }
+
+    #[test]
+    fn spec_suites_ship_scripts_only() {
+        let catalog = Catalog::standard();
+        for name in ["spec-2006", "spec-2017"] {
+            let spec = catalog.find(name).unwrap();
+            assert!(!spec.prebuilt_distributable, "{name} must not ship images");
+        }
+        assert!(catalog.find("parsec").unwrap().prebuilt_distributable);
+    }
+
+    #[test]
+    fn gpu_resources_target_gcn3() {
+        let catalog = Catalog::standard();
+        let gcn = catalog.by_variant("GCN3_X86");
+        assert_eq!(gcn.len(), 7, "docker env + HeteroSync + DNNMark + 4 apps");
+        assert!(gcn.iter().any(|r| r.name == "GCN-docker"));
+    }
+
+    #[test]
+    fn kinds_partition_sensibly() {
+        let catalog = Catalog::standard();
+        assert_eq!(catalog.by_kind(ResourceKind::Kernel).len(), 1);
+        assert_eq!(catalog.by_kind(ResourceKind::Environment).len(), 1);
+        assert_eq!(catalog.by_kind(ResourceKind::BenchmarkTest).len(), 1);
+        assert!(catalog.by_kind(ResourceKind::Benchmark).len() >= 6);
+        // Every entry is reachable through some kind query.
+        let total: usize = [
+            ResourceKind::Benchmark,
+            ResourceKind::BenchmarkTest,
+            ResourceKind::Test,
+            ResourceKind::Kernel,
+            ResourceKind::Application,
+            ResourceKind::Environment,
+        ]
+        .iter()
+        .map(|k| catalog.by_kind(*k).len())
+        .sum();
+        assert_eq!(total, catalog.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let catalog = Catalog::standard();
+        assert!(catalog.find("boot-exit").is_some());
+        assert!(catalog.find("nonexistent").is_none());
+        assert_eq!(catalog.iter().next().unwrap().name, "boot-exit");
+    }
+}

@@ -1,0 +1,103 @@
+//! Pre-built disk images the resources provide.
+
+use crate::packfile::{DiskImageSpec, PackerTemplate};
+use simart_fullsim::os::OsImage;
+use simart_fullsim::workload::PARSEC_APPS;
+
+/// Builds the PARSEC disk image for the given Ubuntu release —
+/// the images the paper's use-case 1 compares.
+pub fn parsec_image(os: OsImage) -> DiskImageSpec {
+    let gcc = os.profile().gcc_version;
+    PackerTemplate::new(format!("parsec-{os}"), os)
+        .shell(
+            "toolchain",
+            format!("apt-get update && apt-get install -y build-essential gcc-{gcc}"),
+        )
+        .shell("parsec-fetch", "git clone https://example.org/parsec-benchmark.git")
+        .install("parsec", &PARSEC_APPS)
+        .build()
+}
+
+/// Builds the boot-exit disk image used by the Figure 8 boot tests:
+/// an Ubuntu 18.04 server user-land that exits immediately after boot.
+pub fn boot_exit_image() -> DiskImageSpec {
+    PackerTemplate::new("boot-exit", OsImage::Ubuntu1804)
+        .shell("m5-exit", "install -m 0755 m5 /sbin/m5 && echo 'm5 exit' >> /etc/rc.local")
+        .build()
+}
+
+/// Builds the NAS Parallel Benchmarks image.
+pub fn npb_image() -> DiskImageSpec {
+    PackerTemplate::new("npb", OsImage::Ubuntu1804)
+        .shell("toolchain", "apt-get install -y gfortran build-essential")
+        .install("npb", &["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"])
+        .build()
+}
+
+/// Builds the GAP Benchmark Suite image.
+pub fn gapbs_image() -> DiskImageSpec {
+    PackerTemplate::new("gapbs", OsImage::Ubuntu1804)
+        .shell("toolchain", "apt-get install -y build-essential")
+        .install("gapbs", &["bc", "bfs", "cc", "pr", "sssp", "tc"])
+        .build()
+}
+
+/// SPEC images cannot be distributed; this returns the *template* a
+/// license holder runs against their own `.iso`, mirroring the
+/// resources' scripts-only policy.
+pub fn spec2006_template(iso_path: &str) -> PackerTemplate {
+    PackerTemplate::new("spec-2006", OsImage::Ubuntu1804)
+        .shell("mount-iso", format!("mount -o loop {iso_path} /mnt/spec"))
+        .shell("install", "/mnt/spec/install.sh -d /opt/spec2006")
+        .install("spec2006", &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsec_images_carry_all_ten_apps() {
+        for os in OsImage::ALL {
+            let image = parsec_image(os);
+            assert_eq!(image.os, os);
+            for app in PARSEC_APPS {
+                assert!(image.has_app("parsec", app), "{os} missing {app}");
+            }
+        }
+    }
+
+    #[test]
+    fn parsec_images_differ_across_releases() {
+        let bionic = parsec_image(OsImage::Ubuntu1804);
+        let focal = parsec_image(OsImage::Ubuntu2004);
+        assert_ne!(bionic.fingerprint, focal.fingerprint);
+        // The build transcript documents the different tool-chains.
+        assert!(bionic.build_transcript.contains("gcc-7.4"));
+        assert!(focal.build_transcript.contains("gcc-9.3"));
+    }
+
+    #[test]
+    fn boot_exit_is_minimal() {
+        let image = boot_exit_image();
+        assert!(image.installed.is_empty(), "no benchmarks, just boot+exit");
+        assert!(image.build_transcript.contains("m5 exit"));
+    }
+
+    #[test]
+    fn suite_images_build_deterministically() {
+        assert_eq!(npb_image(), npb_image());
+        assert_eq!(gapbs_image(), gapbs_image());
+        assert!(npb_image().has_app("npb", "cg"));
+        assert!(gapbs_image().has_app("gapbs", "bfs"));
+    }
+
+    #[test]
+    fn spec_ships_template_not_image() {
+        let template = spec2006_template("/iso/spec2006.iso");
+        assert!(template
+            .provisioners()
+            .iter()
+            .any(|p| matches!(p, crate::Provisioner::Shell { script, .. } if script.contains("/iso/spec2006.iso"))));
+    }
+}

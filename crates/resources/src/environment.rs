@@ -1,0 +1,122 @@
+//! The GPU build-environment resource (the GCN docker image).
+//!
+//! The paper devotes a section to how hard it is to install the exact
+//! ROCm 1.6 stack the GCN3 GPU model needs, and ships a docker image
+//! that pins it. This module models that environment and the
+//! compatibility checks it performs: GPU workloads declare the stack
+//! they need, and the environment validates it before a run.
+
+use simart_gpu::workloads;
+use std::fmt;
+
+/// A pinned GPU software stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RocmStack {
+    /// ROCm release.
+    pub rocm_version: &'static str,
+    /// Host compiler.
+    pub gcc_version: &'static str,
+    /// Libraries installed (HIP and friends).
+    pub libraries: Vec<&'static str>,
+}
+
+impl RocmStack {
+    /// The stack the GCN-docker resource pins: ROCm 1.6 with GCC 5.4.
+    pub fn gcn_docker() -> RocmStack {
+        RocmStack {
+            rocm_version: "1.6",
+            gcc_version: "5.4",
+            libraries: vec!["HIP", "MIOpen", "rocBLAS", "ROCm-Device-Libs"],
+        }
+    }
+
+    /// Whether this stack can build and run the named Table IV
+    /// workload.
+    ///
+    /// All Table IV applications run on ROCm 1.6 with the matching
+    /// HIP/MIOpen/rocBLAS libraries; DNNMark additionally needs MIOpen
+    /// and rocBLAS.
+    pub fn supports(&self, workload: &str) -> bool {
+        if workloads::by_name(workload).is_none() {
+            return false;
+        }
+        if self.rocm_version != "1.6" {
+            return false;
+        }
+        match workloads::suite_of(workload) {
+            Some(workloads::Suite::DnnMark) => {
+                self.libraries.contains(&"MIOpen") && self.libraries.contains(&"rocBLAS")
+            }
+            Some(_) => self.libraries.contains(&"HIP"),
+            None => false,
+        }
+    }
+
+    /// Validates the whole Table IV set, returning unsupported names.
+    pub fn unsupported_workloads(&self) -> Vec<&'static str> {
+        workloads::ALL.iter().copied().filter(|w| !self.supports(w)).collect()
+    }
+}
+
+impl fmt::Display for RocmStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ROCm {} / GCC {}", self.rocm_version, self.gcc_version)
+    }
+}
+
+/// The dockerfile the resource ships, as reproducible documentation
+/// (users may run it directly, avoid docker overheads by following it,
+/// or use it as a starting point for modified libraries).
+pub fn gcn_dockerfile() -> String {
+    let stack = RocmStack::gcn_docker();
+    let mut out = String::from("FROM ubuntu:16.04\n");
+    out.push_str(&format!("RUN apt-get update && apt-get install -y gcc-{}\n", stack.gcc_version));
+    out.push_str(&format!("RUN install-rocm.sh --version {}\n", stack.rocm_version));
+    for lib in &stack.libraries {
+        out.push_str(&format!("RUN install-rocm-lib.sh {lib}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docker_stack_supports_every_table_iv_workload() {
+        let stack = RocmStack::gcn_docker();
+        assert!(stack.unsupported_workloads().is_empty());
+        assert!(stack.supports("FAMutex"));
+        assert!(stack.supports("fwd_pool"));
+        assert!(stack.supports("PENNANT"));
+        assert!(!stack.supports("not-a-workload"));
+    }
+
+    #[test]
+    fn wrong_rocm_version_breaks_everything() {
+        let mut stack = RocmStack::gcn_docker();
+        stack.rocm_version = "4.0";
+        assert_eq!(stack.unsupported_workloads().len(), workloads::ALL.len());
+    }
+
+    #[test]
+    fn dnnmark_needs_miopen() {
+        let mut stack = RocmStack::gcn_docker();
+        stack.libraries.retain(|l| *l != "MIOpen");
+        assert!(!stack.supports("fwd_softmax"));
+        assert!(stack.supports("MatrixTranspose"), "HIP samples unaffected");
+    }
+
+    #[test]
+    fn dockerfile_documents_the_pinned_stack() {
+        let dockerfile = gcn_dockerfile();
+        assert!(dockerfile.contains("gcc-5.4"));
+        assert!(dockerfile.contains("--version 1.6"));
+        assert!(dockerfile.contains("MIOpen"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(RocmStack::gcn_docker().to_string(), "ROCm 1.6 / GCC 5.4");
+    }
+}

@@ -1,0 +1,80 @@
+//! Kernel resources: the Linux binaries gem5-resources ships.
+
+use simart_fullsim::kernel::KernelVersion;
+
+/// A compiled kernel resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelResource {
+    /// Kernel version line.
+    pub version: KernelVersion,
+    /// Configuration fragments applied on top of the defconfig.
+    pub config: Vec<String>,
+}
+
+impl KernelResource {
+    /// The standard resource configuration for a version (the configs
+    /// the paper's linux-kernel resource documents).
+    pub fn standard(version: KernelVersion) -> KernelResource {
+        KernelResource {
+            version,
+            config: vec![
+                "CONFIG_SERIAL_8250=y".to_owned(),
+                "CONFIG_IDE_GENERIC=y".to_owned(),
+                "CONFIG_DEVTMPFS=y".to_owned(),
+                "CONFIG_EXT4_FS=y".to_owned(),
+            ],
+        }
+    }
+
+    /// All kernels the resources provide: the five Figure 8 LTS lines
+    /// plus the Ubuntu stock kernels used by use-case 1.
+    pub fn all_provided() -> Vec<KernelResource> {
+        let mut kernels: Vec<KernelResource> =
+            KernelVersion::FIGURE8.iter().map(|v| Self::standard(*v)).collect();
+        if !KernelVersion::FIGURE8.contains(&KernelVersion::V4_15) {
+            kernels.push(Self::standard(KernelVersion::V4_15));
+        }
+        kernels
+    }
+
+    /// The artifact content descriptor for this kernel binary.
+    pub fn content_descriptor(&self) -> String {
+        format!("vmlinux-{}:{}", self.version.release(), self.config.join(","))
+    }
+
+    /// The conventional binary filename.
+    pub fn binary_name(&self) -> String {
+        format!("vmlinux-{}", self.version.release())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provides_six_kernels() {
+        let kernels = KernelResource::all_provided();
+        assert_eq!(kernels.len(), 6, "five LTS lines + Ubuntu 18.04's 4.15");
+        assert!(kernels.iter().any(|k| k.version == KernelVersion::V4_15));
+        assert!(kernels.iter().any(|k| k.version == KernelVersion::V5_4));
+    }
+
+    #[test]
+    fn descriptors_distinguish_versions_and_configs() {
+        let a = KernelResource::standard(KernelVersion::V4_19);
+        let b = KernelResource::standard(KernelVersion::V5_4);
+        assert_ne!(a.content_descriptor(), b.content_descriptor());
+        let mut custom = KernelResource::standard(KernelVersion::V4_19);
+        custom.config.push("CONFIG_NUMA=y".to_owned());
+        assert_ne!(a.content_descriptor(), custom.content_descriptor());
+    }
+
+    #[test]
+    fn binary_names_carry_the_release() {
+        assert_eq!(
+            KernelResource::standard(KernelVersion::V5_4).binary_name(),
+            "vmlinux-5.4.51"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the resource substrates.
+
+use proptest::prelude::*;
+use simart_fullsim::os::OsImage;
+use simart_resources::{PackerTemplate, Provisioner};
+
+fn provisioner_strategy() -> impl Strategy<Value = Provisioner> {
+    prop_oneof![
+        ("[a-z]{1,8}", "[a-z ./-]{0,24}").prop_map(|(name, script)| Provisioner::Shell {
+            name,
+            script
+        }),
+        ("[a-z/]{1,16}", "[a-z/]{1,16}").prop_map(|(source, destination)| {
+            Provisioner::FileCopy { source, destination }
+        }),
+        ("[a-z]{1,8}", proptest::collection::vec("[a-z]{1,8}".prop_map(String::from), 0..4))
+            .prop_map(|(suite, apps)| Provisioner::InstallBenchmark { suite, apps }),
+    ]
+}
+
+proptest! {
+    /// Identical templates always build identical images; any change to
+    /// the provisioner list changes the fingerprint.
+    #[test]
+    fn packer_builds_are_deterministic_and_content_sensitive(
+        provisioners in proptest::collection::vec(provisioner_strategy(), 0..8),
+        os in prop_oneof![Just(OsImage::Ubuntu1804), Just(OsImage::Ubuntu2004)],
+    ) {
+        let build = |provs: &[Provisioner]| {
+            let mut template = PackerTemplate::new("prop-image", os);
+            for p in provs {
+                template = template.provisioner(p.clone());
+            }
+            template.build()
+        };
+        let a = build(&provisioners);
+        let b = build(&provisioners);
+        prop_assert_eq!(&a, &b, "identical templates build identical images");
+
+        // Appending any provisioner changes the fingerprint.
+        let mut extended = provisioners.clone();
+        extended.push(Provisioner::Shell { name: "extra".into(), script: "true".into() });
+        let c = build(&extended);
+        prop_assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    /// Installed-app queries agree with the provisioner list.
+    #[test]
+    fn installed_apps_match_provisioners(
+        apps in proptest::collection::vec("[a-z]{1,8}".prop_map(String::from), 1..6),
+    ) {
+        let template = PackerTemplate::new("apps", OsImage::Ubuntu1804)
+            .provisioner(Provisioner::InstallBenchmark { suite: "suite".into(), apps: apps.clone() });
+        let image = template.build();
+        for app in &apps {
+            prop_assert!(image.has_app("suite", app));
+        }
+        prop_assert!(!image.has_app("suite", "definitely-not-installed"));
+        prop_assert!(!image.has_app("other", &apps[0]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for run construction and persistence.
+
+use simart_artifact::ArtifactId;
+use std::fmt;
+
+/// Errors building or storing run objects.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A required component was not supplied to the builder.
+    MissingComponent {
+        /// Which component.
+        component: &'static str,
+    },
+    /// A referenced artifact is not registered.
+    UnknownArtifact {
+        /// The dangling id.
+        id: ArtifactId,
+        /// Which component referenced it.
+        component: &'static str,
+    },
+    /// A referenced artifact has the wrong kind (e.g. a disk image
+    /// where a kernel is expected).
+    WrongKind {
+        /// Which component.
+        component: &'static str,
+        /// Kind actually found.
+        found: String,
+    },
+    /// Database failure while persisting or loading runs.
+    Db(simart_db::DbError),
+    /// The same run (identical hash) was already recorded.
+    DuplicateRun {
+        /// The run hash that collided.
+        hash: String,
+    },
+    /// A stored run document is malformed.
+    Corrupt {
+        /// Why it could not be decoded.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MissingComponent { component } => {
+                write!(f, "run is missing required component `{component}`")
+            }
+            RunError::UnknownArtifact { id, component } => {
+                write!(f, "component `{component}` references unregistered artifact {id}")
+            }
+            RunError::WrongKind { component, found } => {
+                write!(f, "component `{component}` has wrong artifact kind {found}")
+            }
+            RunError::Db(err) => write!(f, "database failure: {err}"),
+            RunError::DuplicateRun { hash } => {
+                write!(f, "run with hash {hash} is already recorded")
+            }
+            RunError::Corrupt { reason } => write!(f, "corrupt run record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Db(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<simart_db::DbError> for RunError {
+    fn from(err: simart_db::DbError) -> RunError {
+        RunError::Db(err)
+    }
+}

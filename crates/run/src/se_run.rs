@@ -1,0 +1,190 @@
+//! Syscall-emulation run objects (`createSERun` in the original
+//! framework).
+//!
+//! SE-mode runs need no kernel or disk image: just the simulator, a
+//! run script, and a statically linked workload binary.
+
+use crate::error::RunError;
+use crate::status::RunStatus;
+use simart_artifact::hash::Md5;
+use simart_artifact::{ArtifactId, ArtifactKind, ArtifactRegistry, Uuid};
+use std::time::Duration;
+
+/// A syscall-emulation run description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeRun {
+    id: Uuid,
+    hash: String,
+    simulator: ArtifactId,
+    run_script: ArtifactId,
+    workload: ArtifactId,
+    params: Vec<String>,
+    timeout: Duration,
+    status: RunStatus,
+}
+
+impl SeRun {
+    /// Creates an SE run from its three artifacts and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unregistered artifacts and wrong kinds, like
+    /// [`crate::FsRun`].
+    pub fn create(
+        registry: &ArtifactRegistry,
+        simulator: ArtifactId,
+        run_script: ArtifactId,
+        workload: ArtifactId,
+        params: impl IntoIterator<Item = impl Into<String>>,
+        timeout: Duration,
+    ) -> Result<SeRun, RunError> {
+        let check = |id: ArtifactId,
+                     component: &'static str,
+                     accepted: &[ArtifactKind]|
+         -> Result<(), RunError> {
+            let artifact =
+                registry.get(id).ok_or(RunError::UnknownArtifact { id, component })?;
+            if !accepted.contains(artifact.kind()) {
+                return Err(RunError::WrongKind {
+                    component,
+                    found: artifact.kind().to_string(),
+                });
+            }
+            Ok(())
+        };
+        check(simulator, "simulator", &[ArtifactKind::Binary])?;
+        check(run_script, "run_script", &[ArtifactKind::RunScript, ArtifactKind::GitRepo])?;
+        check(workload, "workload", &[ArtifactKind::Binary, ArtifactKind::BenchmarkSuite])?;
+
+        let params: Vec<String> = params.into_iter().map(Into::into).collect();
+        let mut hasher = Md5::new();
+        for id in [simulator, run_script, workload] {
+            hasher.update(registry.get(id).expect("checked above").hash().as_bytes());
+            hasher.update(b"/");
+        }
+        for param in &params {
+            hasher.update(param.as_bytes());
+            hasher.update(b"\x1f");
+        }
+        let hash = hasher.finalize().to_hex();
+        let id = Uuid::new_v3("simart-se-run", &hash);
+        Ok(SeRun {
+            id,
+            hash,
+            simulator,
+            run_script,
+            workload,
+            params,
+            timeout,
+            status: RunStatus::Created,
+        })
+    }
+
+    /// The run's unique id.
+    pub fn id(&self) -> Uuid {
+        self.id
+    }
+
+    /// The run's identity hash.
+    pub fn run_hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// The workload binary artifact.
+    pub fn workload(&self) -> ArtifactId {
+        self.workload
+    }
+
+    /// Run parameters.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Current status.
+    pub fn status(&self) -> RunStatus {
+        self.status
+    }
+
+    /// Timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Advances the lifecycle, like [`crate::FsRun::transition`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the current status when the transition is illegal.
+    pub fn transition(&mut self, next: RunStatus) -> Result<(), RunStatus> {
+        if self.status.can_transition_to(next) {
+            self.status = next;
+            Ok(())
+        } else {
+            Err(self.status)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simart_artifact::{Artifact, ContentSource};
+
+    fn setup() -> (ArtifactRegistry, ArtifactId, ArtifactId, ArtifactId) {
+        let mut registry = ArtifactRegistry::new();
+        let sim = registry
+            .register(
+                Artifact::builder("sim", ArtifactKind::Binary)
+                    .documentation("bin")
+                    .content(ContentSource::bytes(b"elf".to_vec())),
+            )
+            .unwrap();
+        let script = registry
+            .register(
+                Artifact::builder("script", ArtifactKind::RunScript)
+                    .documentation("cfg")
+                    .content(ContentSource::bytes(b"py".to_vec())),
+            )
+            .unwrap();
+        let workload = registry
+            .register(
+                Artifact::builder("bench", ArtifactKind::Binary)
+                    .documentation("a static benchmark binary")
+                    .content(ContentSource::bytes(b"bench".to_vec())),
+            )
+            .unwrap();
+        (registry, sim.id(), script.id(), workload.id())
+    }
+
+    #[test]
+    fn se_run_identity_is_stable() {
+        let (registry, sim, script, workload) = setup();
+        let a = SeRun::create(&registry, sim, script, workload, ["-n", "4"], Duration::from_secs(60))
+            .unwrap();
+        let b = SeRun::create(&registry, sim, script, workload, ["-n", "4"], Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(a.id(), b.id());
+        let c = SeRun::create(&registry, sim, script, workload, ["-n", "8"], Duration::from_secs(60))
+            .unwrap();
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn se_run_validates_kinds() {
+        let (registry, sim, script, _) = setup();
+        let err =
+            SeRun::create(&registry, script, script, sim, Vec::<String>::new(), Duration::from_secs(1))
+                .unwrap_err();
+        assert!(matches!(err, RunError::WrongKind { component: "simulator", .. }));
+    }
+
+    #[test]
+    fn se_run_lifecycle() {
+        let (registry, sim, script, workload) = setup();
+        let mut run =
+            SeRun::create(&registry, sim, script, workload, ["x"], Duration::from_secs(1)).unwrap();
+        run.transition(RunStatus::Running).unwrap();
+        run.transition(RunStatus::Failed).unwrap();
+        assert!(run.status().is_terminal());
+    }
+}

@@ -1,0 +1,125 @@
+//! Run lifecycle states.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Lifecycle of a run record, as stored in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    /// Created, not yet handed to a scheduler.
+    Created,
+    /// Queued at a scheduler.
+    Queued,
+    /// Executing.
+    Running,
+    /// Finished successfully; results attached.
+    Done,
+    /// Finished unsuccessfully (simulation-level failure).
+    Failed,
+    /// Killed after exceeding its timeout.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// Whether the run has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut)
+    }
+
+    /// Whether the transition `self -> next` is legal.
+    pub fn can_transition_to(self, next: RunStatus) -> bool {
+        use RunStatus::*;
+        matches!(
+            (self, next),
+            (Created, Queued)
+                | (Created, Running)
+                | (Queued, Running)
+                | (Running, Done)
+                | (Running, Failed)
+                | (Running, TimedOut)
+        )
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunStatus::Created => "created",
+            RunStatus::Queued => "queued",
+            RunStatus::Running => "running",
+            RunStatus::Done => "done",
+            RunStatus::Failed => "failed",
+            RunStatus::TimedOut => "timed-out",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error parsing a [`RunStatus`] from its stored string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRunStatusError(pub(crate) String);
+
+impl fmt::Display for ParseRunStatusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown run status {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRunStatusError {}
+
+impl FromStr for RunStatus {
+    type Err = ParseRunStatusError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "created" => RunStatus::Created,
+            "queued" => RunStatus::Queued,
+            "running" => RunStatus::Running,
+            "done" => RunStatus::Done,
+            "failed" => RunStatus::Failed,
+            "timed-out" => RunStatus::TimedOut,
+            other => return Err(ParseRunStatusError(other.to_owned())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_lifecycle_transitions() {
+        assert!(RunStatus::Created.can_transition_to(RunStatus::Queued));
+        assert!(RunStatus::Queued.can_transition_to(RunStatus::Running));
+        assert!(RunStatus::Running.can_transition_to(RunStatus::Done));
+        assert!(RunStatus::Running.can_transition_to(RunStatus::TimedOut));
+        // Terminal states are sinks.
+        assert!(!RunStatus::Done.can_transition_to(RunStatus::Running));
+        assert!(!RunStatus::Failed.can_transition_to(RunStatus::Queued));
+        // No skipping backwards.
+        assert!(!RunStatus::Running.can_transition_to(RunStatus::Created));
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!RunStatus::Created.is_terminal());
+        assert!(!RunStatus::Running.is_terminal());
+        assert!(RunStatus::Done.is_terminal());
+        assert!(RunStatus::TimedOut.is_terminal());
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for status in [
+            RunStatus::Created,
+            RunStatus::Queued,
+            RunStatus::Running,
+            RunStatus::Done,
+            RunStatus::Failed,
+            RunStatus::TimedOut,
+        ] {
+            assert_eq!(status.to_string().parse::<RunStatus>().unwrap(), status);
+        }
+        assert!("bogus".parse::<RunStatus>().is_err());
+    }
+}

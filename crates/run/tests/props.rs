@@ -1,0 +1,131 @@
+//! Property-based tests for run identity: the hash that makes "one
+//! unique experiment" checkable.
+
+use proptest::prelude::*;
+use simart_artifact::{Artifact, ArtifactKind, ArtifactRegistry, ContentSource};
+use simart_run::{FsRun, RunStatus};
+
+fn registry() -> (ArtifactRegistry, [simart_artifact::ArtifactId; 5]) {
+    let mut registry = ArtifactRegistry::new();
+    let repo = registry
+        .register(
+            Artifact::builder("repo", ArtifactKind::GitRepo)
+                .documentation("src")
+                .content(ContentSource::git("https://x", "rev")),
+        )
+        .unwrap();
+    let binary = registry
+        .register(
+            Artifact::builder("bin", ArtifactKind::Binary)
+                .documentation("bin")
+                .content(ContentSource::bytes(b"elf".to_vec())),
+        )
+        .unwrap();
+    let script = registry
+        .register(
+            Artifact::builder("script", ArtifactKind::RunScript)
+                .documentation("cfg")
+                .content(ContentSource::bytes(b"py".to_vec())),
+        )
+        .unwrap();
+    let kernel = registry
+        .register(
+            Artifact::builder("kernel", ArtifactKind::Kernel)
+                .documentation("krn")
+                .content(ContentSource::bytes(b"krn".to_vec())),
+        )
+        .unwrap();
+    let disk = registry
+        .register(
+            Artifact::builder("disk", ArtifactKind::DiskImage)
+                .documentation("img")
+                .content(ContentSource::bytes(b"img".to_vec())),
+        )
+        .unwrap();
+    let ids = [binary.id(), repo.id(), script.id(), kernel.id(), disk.id()];
+    (registry, ids)
+}
+
+fn build(
+    registry: &ArtifactRegistry,
+    ids: [simart_artifact::ArtifactId; 5],
+    params: &[String],
+    paths: (&str, &str),
+) -> FsRun {
+    let [binary, repo, script, kernel, disk] = ids;
+    FsRun::create(registry)
+        .simulator(binary, paths.0)
+        .simulator_repo(repo)
+        .run_script(script, "run.py")
+        .kernel(kernel, "vmlinux")
+        .disk_image(disk, paths.1)
+        .params(params.iter().cloned())
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// Identical parameter vectors give identical run identity; any
+    /// difference in the vector gives a different identity.
+    #[test]
+    fn run_hash_is_injective_over_params(
+        a in proptest::collection::vec("[a-z0-9]{0,8}", 0..6),
+        b in proptest::collection::vec("[a-z0-9]{0,8}", 0..6),
+    ) {
+        let (registry, ids) = registry();
+        let run_a = build(&registry, ids, &a, ("sim", "disk.img"));
+        let run_b = build(&registry, ids, &b, ("sim", "disk.img"));
+        if a == b {
+            prop_assert_eq!(run_a.run_hash(), run_b.run_hash());
+            prop_assert_eq!(run_a.id(), run_b.id());
+        } else {
+            prop_assert_ne!(run_a.run_hash(), run_b.run_hash());
+        }
+    }
+
+    /// Host paths never affect identity (they say where things live,
+    /// not what the experiment is).
+    #[test]
+    fn run_hash_ignores_paths(
+        params in proptest::collection::vec("[a-z0-9]{0,8}", 0..4),
+        path_a in "[a-z/]{1,16}",
+        path_b in "[a-z/]{1,16}",
+    ) {
+        let (registry, ids) = registry();
+        let run_a = build(&registry, ids, &params, (&path_a, "x.img"));
+        let run_b = build(&registry, ids, &params, (&path_b, "y.img"));
+        prop_assert_eq!(run_a.run_hash(), run_b.run_hash());
+    }
+
+    /// The status machine only ever reaches a terminal state through
+    /// Running, whatever transition sequence is attempted.
+    #[test]
+    fn lifecycle_safety(steps in proptest::collection::vec(0u8..6, 0..16)) {
+        let (registry, ids) = registry();
+        let mut run = build(&registry, ids, &["x".to_owned()], ("sim", "d.img"));
+        let all = [
+            RunStatus::Created,
+            RunStatus::Queued,
+            RunStatus::Running,
+            RunStatus::Done,
+            RunStatus::Failed,
+            RunStatus::TimedOut,
+        ];
+        let mut was_running = false;
+        for step in steps {
+            let target = all[step as usize];
+            let before = run.status();
+            if run.transition(target).is_ok() {
+                prop_assert!(before.can_transition_to(target));
+                if target == RunStatus::Running {
+                    was_running = true;
+                }
+                if target.is_terminal() {
+                    prop_assert!(was_running, "terminal states only follow Running");
+                }
+            } else {
+                prop_assert_eq!(run.status(), before, "failed transitions change nothing");
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The broker/worker executor (the Celery analogue).
+//!
+//! Tasks flow through a named broker queue; detached workers register
+//! with the broker and pull work. The structure mirrors a distributed
+//! Celery deployment collapsed into one process: the queue carries task
+//! metadata + payload, workers ack by reporting, and per-queue
+//! statistics are observable while the system runs.
+
+use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
+use crate::Scheduler;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = (Task, Sender<TaskReport>);
+
+#[derive(Debug, Default)]
+struct BrokerStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A broker queue with attached worker threads.
+#[derive(Debug)]
+pub struct BrokerScheduler {
+    queue: Option<Sender<Job>>,
+    stats: Arc<BrokerStats>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl BrokerScheduler {
+    /// Starts a broker with `workers` attached worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> BrokerScheduler {
+        assert!(workers > 0, "a broker needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let stats = Arc::new(BrokerStats::default());
+        let handles = (0..workers)
+            .map(|i| Self::spawn_worker(i, rx.clone(), Arc::clone(&stats)))
+            .collect();
+        BrokerScheduler {
+            queue: Some(tx),
+            stats,
+            workers: Mutex::new(handles),
+            worker_count: workers,
+        }
+    }
+
+    fn spawn_worker(
+        index: usize,
+        rx: Receiver<Job>,
+        stats: Arc<BrokerStats>,
+    ) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("simart-broker-worker-{index}"))
+            .spawn(move || {
+                while let Ok((task, report_tx)) = rx.recv() {
+                    execute_reporting(task, report_tx);
+                    stats.completed.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .expect("spawning broker worker")
+    }
+
+    /// Number of attached workers.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.stats.submitted.load(Ordering::SeqCst)
+    }
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> u64 {
+        self.stats.completed.load(Ordering::SeqCst)
+    }
+
+    /// Tasks currently queued or running.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted().saturating_sub(self.completed())
+    }
+}
+
+impl Scheduler for BrokerScheduler {
+    fn submit(&self, task: Task) -> TaskHandle {
+        let name = task.name().to_owned();
+        let (tx, rx) = bounded(1);
+        self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        self.queue
+            .as_ref()
+            .expect("queue alive until drop")
+            .send((task, tx))
+            .expect("workers alive until drop");
+        TaskHandle { receiver: rx, name }
+    }
+
+    fn name(&self) -> &'static str {
+        "broker"
+    }
+}
+
+impl Drop for BrokerScheduler {
+    fn drop(&mut self) {
+        self.queue.take();
+        for worker in self.workers.get_mut().drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn tracks_in_flight_counts() {
+        let broker = BrokerScheduler::new(2);
+        assert_eq!(broker.workers(), 2);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                broker.submit(Task::new(format!("t{i}"), || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(String::new())
+                }))
+            })
+            .collect();
+        assert_eq!(broker.submitted(), 4);
+        for handle in handles {
+            handle.wait();
+        }
+        assert_eq!(broker.completed(), 4);
+        assert_eq!(broker.in_flight(), 0);
+    }
+
+    #[test]
+    fn retries_flow_through_broker() {
+        let broker = BrokerScheduler::new(2);
+        let tries = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&tries);
+        let report = broker
+            .submit(
+                Task::new("flaky", move || {
+                    if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                        Err("first attempt fails".to_owned())
+                    } else {
+                        Ok("second attempt works".to_owned())
+                    }
+                })
+                .retries(2),
+            )
+            .wait();
+        assert!(report.state.is_success());
+        assert_eq!(report.attempts, 2);
+    }
+}

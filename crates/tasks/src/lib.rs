@@ -1,0 +1,134 @@
+//! # simart-tasks
+//!
+//! Task scheduling for simulation runs — the analogue of the paper's
+//! `gem5art-tasks` package, which hands run objects to Celery, the
+//! Python `multiprocessing` library, or no scheduler at all.
+//!
+//! Three schedulers share one [`Scheduler`] interface:
+//!
+//! * [`SerialScheduler`] — runs tasks inline ("no job scheduler at
+//!   all");
+//! * [`PoolScheduler`] — a fixed thread pool (the `multiprocessing`
+//!   analogue);
+//! * [`BrokerScheduler`] — a broker queue drained by detached workers,
+//!   with retries and per-task timeouts (the Celery analogue).
+//!
+//! Every submission returns a [`TaskHandle`] whose
+//! [`TaskHandle::wait`] yields the final [`TaskReport`]. Like the
+//! paper's framework, a task that exceeds its timeout is *terminated*
+//! (reported as [`TaskState::TimedOut`]) rather than left to run the
+//! cluster dry.
+//!
+//! ```
+//! use simart_tasks::{PoolScheduler, Scheduler, Task};
+//!
+//! let pool = PoolScheduler::new(4);
+//! let handles: Vec<_> = (0..8)
+//!     .map(|i| pool.submit(Task::new(format!("sim-{i}"), move || Ok(format!("ticks={}", i * 100)))))
+//!     .collect();
+//! for handle in handles {
+//!     assert!(handle.wait().state.is_success());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod broker;
+mod pool;
+mod serial;
+mod task;
+
+pub use broker::BrokerScheduler;
+pub use pool::PoolScheduler;
+pub use serial::SerialScheduler;
+pub use task::{Task, TaskHandle, TaskReport, TaskState};
+
+/// A task scheduler: accepts tasks, returns handles to their results.
+pub trait Scheduler {
+    /// Submits a task for execution.
+    fn submit(&self, task: Task) -> TaskHandle;
+
+    /// A short name for reports ("serial", "pool", "broker").
+    fn name(&self) -> &'static str;
+}
+
+/// Submits every task and waits for all reports, preserving order.
+pub fn run_all<S: Scheduler + ?Sized>(
+    scheduler: &S,
+    tasks: impl IntoIterator<Item = Task>,
+) -> Vec<TaskReport> {
+    let handles: Vec<TaskHandle> = tasks.into_iter().map(|t| scheduler.submit(t)).collect();
+    handles.into_iter().map(TaskHandle::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn schedulers() -> Vec<Box<dyn Scheduler>> {
+        vec![
+            Box::new(SerialScheduler::new()),
+            Box::new(PoolScheduler::new(4)),
+            Box::new(BrokerScheduler::new(4)),
+        ]
+    }
+
+    #[test]
+    fn all_schedulers_run_tasks_to_completion() {
+        for scheduler in schedulers() {
+            let reports = run_all(
+                scheduler.as_ref(),
+                (0..10).map(|i| Task::new(format!("t{i}"), move || Ok(format!("out-{i}")))),
+            );
+            assert_eq!(reports.len(), 10, "{}", scheduler.name());
+            for (i, report) in reports.iter().enumerate() {
+                assert!(report.state.is_success());
+                assert_eq!(report.output.as_deref(), Some(format!("out-{i}").as_str()));
+                assert_eq!(report.attempts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_reported_not_panicked() {
+        for scheduler in schedulers() {
+            let report = scheduler
+                .submit(Task::new("boom", || Err("simulation exploded".to_owned())))
+                .wait();
+            assert_eq!(report.state, TaskState::Failed, "{}", scheduler.name());
+            assert_eq!(report.error.as_deref(), Some("simulation exploded"));
+        }
+    }
+
+    #[test]
+    fn panicking_tasks_are_contained() {
+        for scheduler in schedulers() {
+            let report = scheduler
+                .submit(Task::new("panic", || panic!("unexpected condition")))
+                .wait();
+            assert_eq!(report.state, TaskState::Failed, "{}", scheduler.name());
+            assert!(report.error.as_deref().unwrap_or("").contains("panic"));
+        }
+    }
+
+    #[test]
+    fn timeouts_terminate_runaway_tasks() {
+        for scheduler in schedulers() {
+            let task = Task::new("runaway", || {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(String::new())
+            })
+            .timeout(Duration::from_millis(50));
+            let report = scheduler.submit(task).wait();
+            assert_eq!(report.state, TaskState::TimedOut, "{}", scheduler.name());
+            assert!(report.duration < Duration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn scheduler_names() {
+        let names: Vec<&str> = schedulers().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["serial", "pool", "broker"]);
+    }
+}

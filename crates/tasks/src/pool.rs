@@ -1,0 +1,133 @@
+//! The thread-pool executor (the `multiprocessing` analogue).
+
+use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
+use crate::Scheduler;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = (Task, Sender<TaskReport>);
+
+/// A fixed pool of worker threads draining a shared queue.
+///
+/// Dropping the pool signals shutdown and joins the workers; queued
+/// tasks still run to completion first.
+#[derive(Debug)]
+pub struct PoolScheduler {
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl PoolScheduler {
+    /// Creates a pool with `size` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> PoolScheduler {
+        assert!(size > 0, "a pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("simart-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok((task, report_tx)) = rx.recv() {
+                            execute_reporting(task, report_tx);
+                        }
+                    })
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        PoolScheduler { queue: Some(tx), workers, size }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Scheduler for PoolScheduler {
+    fn submit(&self, task: Task) -> TaskHandle {
+        let name = task.name().to_owned();
+        let (tx, rx) = bounded(1);
+        self.queue
+            .as_ref()
+            .expect("queue alive until drop")
+            .send((task, tx))
+            .expect("workers alive until drop");
+        TaskHandle { receiver: rx, name }
+    }
+
+    fn name(&self) -> &'static str {
+        "pool"
+    }
+}
+
+impl Drop for PoolScheduler {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.queue.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_tasks_concurrently() {
+        let pool = PoolScheduler::new(4);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                pool.submit(Task::new(format!("t{i}"), move || {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    Ok(String::new())
+                }))
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.wait().state.is_success());
+        }
+        assert!(peak.load(Ordering::SeqCst) > 1, "tasks overlapped");
+        assert!(peak.load(Ordering::SeqCst) <= 4, "bounded by pool size");
+    }
+
+    #[test]
+    fn drop_drains_queued_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = PoolScheduler::new(2);
+            for i in 0..6 {
+                let counter = Arc::clone(&counter);
+                let _handle = pool.submit(Task::new(format!("t{i}"), move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(String::new())
+                }));
+            }
+            // Pool dropped here.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = PoolScheduler::new(0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The serial (no-scheduler) executor.
+
+use crate::task::{execute_reporting, Task, TaskHandle};
+use crate::Scheduler;
+use crossbeam::channel::bounded;
+
+/// Runs each task inline on the submitting thread — the paper's "no
+/// job scheduler at all" mode. Useful for debugging a single run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialScheduler;
+
+impl SerialScheduler {
+    /// Creates the serial scheduler.
+    pub fn new() -> SerialScheduler {
+        SerialScheduler
+    }
+}
+
+impl Scheduler for SerialScheduler {
+    fn submit(&self, task: Task) -> TaskHandle {
+        let name = task.name().to_owned();
+        let (tx, rx) = bounded(1);
+        execute_reporting(task, tx);
+        TaskHandle { receiver: rx, name }
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_inline_and_in_order() {
+        let scheduler = SerialScheduler::new();
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let log = std::sync::Arc::clone(&log);
+            let handle = scheduler.submit(Task::new(format!("t{i}"), move || {
+                log.lock().unwrap().push(i);
+                Ok(String::new())
+            }));
+            // Already finished by the time submit returns.
+            assert!(handle.try_wait().is_some());
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Task definitions, handles, and reports.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The work a task performs: returns its textual output or an error
+/// message (results proper are written to the database by the closure).
+/// `Fn` (not `FnOnce`) so failed attempts can be retried.
+pub type TaskFn = Arc<dyn Fn() -> Result<String, String> + Send + Sync + 'static>;
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Completed and returned output.
+    Succeeded,
+    /// Returned an error (possibly after retries).
+    Failed,
+    /// Exceeded its timeout and was terminated.
+    TimedOut,
+}
+
+impl TaskState {
+    /// Whether the task succeeded.
+    pub fn is_success(self) -> bool {
+        self == TaskState::Succeeded
+    }
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskState::Succeeded => f.write_str("succeeded"),
+            TaskState::Failed => f.write_str("failed"),
+            TaskState::TimedOut => f.write_str("timed-out"),
+        }
+    }
+}
+
+/// A schedulable unit of work.
+#[derive(Clone)]
+pub struct Task {
+    pub(crate) name: String,
+    pub(crate) work: TaskFn,
+    pub(crate) timeout: Option<Duration>,
+    pub(crate) max_retries: u32,
+}
+
+impl Task {
+    /// Creates a task from a name and its work closure.
+    pub fn new(
+        name: impl Into<String>,
+        work: impl Fn() -> Result<String, String> + Send + Sync + 'static,
+    ) -> Task {
+        Task { name: name.into(), work: Arc::new(work), timeout: None, max_retries: 0 }
+    }
+
+    /// Sets a wall-clock timeout (the paper's framework kills gem5 jobs
+    /// that exceed theirs).
+    pub fn timeout(mut self, timeout: Duration) -> Task {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Allows up to `retries` re-executions after failures
+    /// (broker/Celery-style). Timeouts are terminal and never retried.
+    pub fn retries(mut self, retries: u32) -> Task {
+        self.max_retries = retries;
+        self
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.name)
+            .field("timeout", &self.timeout)
+            .field("max_retries", &self.max_retries)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Final report of a task execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskReport {
+    /// Task name.
+    pub name: String,
+    /// Terminal state.
+    pub state: TaskState,
+    /// Task output on success.
+    pub output: Option<String>,
+    /// Error message on failure/timeout.
+    pub error: Option<String>,
+    /// Number of execution attempts made.
+    pub attempts: u32,
+    /// Wall-clock duration across all attempts.
+    pub duration: Duration,
+}
+
+/// Handle to a submitted task.
+#[derive(Debug)]
+pub struct TaskHandle {
+    pub(crate) receiver: Receiver<TaskReport>,
+    pub(crate) name: String,
+}
+
+impl TaskHandle {
+    /// Blocks until the task finishes, returning its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler dropped the task without reporting — a
+    /// scheduler bug, not a task failure.
+    pub fn wait(self) -> TaskReport {
+        self.receiver
+            .recv()
+            .unwrap_or_else(|_| panic!("scheduler dropped task {:?} without a report", self.name))
+    }
+
+    /// Non-blocking poll; returns the report when finished.
+    pub fn try_wait(&self) -> Option<TaskReport> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Executes one task (with retries and timeout), reporting through
+/// `report_tx`. Shared by all schedulers.
+pub(crate) fn execute_reporting(task: Task, report_tx: Sender<TaskReport>) {
+    let Task { name, work, timeout, max_retries } = task;
+    let started = Instant::now();
+    let mut attempts = 0;
+    let (state, output, error) = loop {
+        attempts += 1;
+        match run_attempt(Arc::clone(&work), timeout) {
+            AttemptOutcome::Success(output) => break (TaskState::Succeeded, Some(output), None),
+            AttemptOutcome::Error(err) => {
+                if attempts > max_retries {
+                    break (TaskState::Failed, None, Some(err));
+                }
+            }
+            AttemptOutcome::TimedOut => {
+                break (
+                    TaskState::TimedOut,
+                    None,
+                    Some(format!("task exceeded its timeout of {timeout:?}")),
+                )
+            }
+        }
+    };
+    let report =
+        TaskReport { name, state, output, error, attempts, duration: started.elapsed() };
+    // A dropped handle is fine: the result is simply unobserved.
+    let _ = report_tx.send(report);
+}
+
+enum AttemptOutcome {
+    Success(String),
+    Error(String),
+    TimedOut,
+}
+
+fn run_attempt(work: TaskFn, timeout: Option<Duration>) -> AttemptOutcome {
+    match timeout {
+        None => match run_caught(&work) {
+            Ok(output) => AttemptOutcome::Success(output),
+            Err(err) => AttemptOutcome::Error(err),
+        },
+        Some(limit) => {
+            // Run the work on a watchdog-observed thread; on timeout the
+            // runaway thread is detached (it cannot be force-killed
+            // safely) and the task is reported as terminated.
+            let (tx, rx) = bounded(1);
+            std::thread::spawn(move || {
+                let _ = tx.send(run_caught(&work));
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(output)) => AttemptOutcome::Success(output),
+                Ok(Err(err)) => AttemptOutcome::Error(err),
+                Err(_) => AttemptOutcome::TimedOut,
+            }
+        }
+    }
+}
+
+fn run_caught(work: &TaskFn) -> Result<String, String> {
+    match catch_unwind(AssertUnwindSafe(|| work())) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Err(format!("task panicked: {message}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn task_builder_records_options() {
+        let task = Task::new("t", || Ok(String::new()))
+            .timeout(Duration::from_secs(1))
+            .retries(3);
+        assert_eq!(task.name(), "t");
+        assert_eq!(task.timeout, Some(Duration::from_secs(1)));
+        assert_eq!(task.max_retries, 3);
+        assert!(format!("{task:?}").contains("\"t\""));
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(TaskState::Succeeded.to_string(), "succeeded");
+        assert_eq!(TaskState::TimedOut.to_string(), "timed-out");
+        assert!(TaskState::Succeeded.is_success());
+        assert!(!TaskState::Failed.is_success());
+    }
+
+    #[test]
+    fn execute_reporting_success_path() {
+        let (tx, rx) = bounded(1);
+        execute_reporting(Task::new("ok", || Ok("done".to_owned())), tx);
+        let report = rx.recv().unwrap();
+        assert!(report.state.is_success());
+        assert_eq!(report.output.as_deref(), Some("done"));
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn retries_rerun_until_success() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&counter);
+        let task = Task::new("flaky", move || {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_owned())
+            } else {
+                Ok("recovered".to_owned())
+            }
+        })
+        .retries(5);
+        let (tx, rx) = bounded(1);
+        execute_reporting(task, tx);
+        let report = rx.recv().unwrap();
+        assert!(report.state.is_success());
+        assert_eq!(report.attempts, 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retries_exhaust_to_failure() {
+        let task = Task::new("hopeless", || Err("always".to_owned())).retries(2);
+        let (tx, rx) = bounded(1);
+        execute_reporting(task, tx);
+        let report = rx.recv().unwrap();
+        assert_eq!(report.state, TaskState::Failed);
+        assert_eq!(report.attempts, 3);
+    }
+
+    #[test]
+    fn timeouts_are_not_retried() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&counter);
+        let task = Task::new("slow", move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_secs(10));
+            Ok(String::new())
+        })
+        .timeout(Duration::from_millis(30))
+        .retries(5);
+        let (tx, rx) = bounded(1);
+        execute_reporting(task, tx);
+        let report = rx.recv().unwrap();
+        assert_eq!(report.state, TaskState::TimedOut);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn dropped_handle_does_not_panic_worker() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        execute_reporting(Task::new("orphan", || Ok(String::new())), tx);
+    }
+}

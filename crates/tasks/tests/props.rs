@@ -1,0 +1,86 @@
+//! Property-based tests: every scheduler delivers exactly one report
+//! per task under arbitrary workloads of successes, failures, and
+//! panics.
+
+use proptest::prelude::*;
+use simart_tasks::{run_all, BrokerScheduler, PoolScheduler, SerialScheduler, Task, TaskState};
+
+#[derive(Debug, Clone, Copy)]
+enum Behavior {
+    Succeed,
+    Fail,
+    Panic,
+}
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    prop_oneof![Just(Behavior::Succeed), Just(Behavior::Fail), Just(Behavior::Panic)]
+}
+
+fn make_task(index: usize, behavior: Behavior) -> Task {
+    Task::new(format!("t{index}"), move || match behavior {
+        Behavior::Succeed => Ok(format!("out-{index}")),
+        Behavior::Fail => Err(format!("err-{index}")),
+        Behavior::Panic => panic!("panic-{index}"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Order, states, and outputs are preserved one-to-one for every
+    /// scheduler.
+    #[test]
+    fn every_task_gets_exactly_one_faithful_report(
+        behaviors in proptest::collection::vec(behavior_strategy(), 0..24),
+        scheduler_kind in 0u8..3,
+    ) {
+        let tasks: Vec<Task> =
+            behaviors.iter().enumerate().map(|(i, b)| make_task(i, *b)).collect();
+        let reports = match scheduler_kind {
+            0 => run_all(&SerialScheduler::new(), tasks),
+            1 => run_all(&PoolScheduler::new(3), tasks),
+            _ => run_all(&BrokerScheduler::new(3), tasks),
+        };
+        prop_assert_eq!(reports.len(), behaviors.len());
+        for (i, (report, behavior)) in reports.iter().zip(&behaviors).enumerate() {
+            prop_assert_eq!(&report.name, &format!("t{i}"));
+            match behavior {
+                Behavior::Succeed => {
+                    prop_assert_eq!(report.state, TaskState::Succeeded);
+                    let expected = format!("out-{i}");
+                    prop_assert_eq!(report.output.as_deref(), Some(expected.as_str()));
+                }
+                Behavior::Fail => {
+                    prop_assert_eq!(report.state, TaskState::Failed);
+                    let expected = format!("err-{i}");
+                    prop_assert_eq!(report.error.as_deref(), Some(expected.as_str()));
+                }
+                Behavior::Panic => {
+                    prop_assert_eq!(report.state, TaskState::Failed);
+                    prop_assert!(report.error.as_deref().unwrap_or("").contains("panic"));
+                }
+            }
+        }
+    }
+
+    /// Retries always converge: a task that succeeds on attempt k ≤
+    /// retries reports success with exactly k attempts.
+    #[test]
+    fn retry_counts_are_exact(fail_first in 0u32..4, extra_retries in 0u32..3) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&counter);
+        let task = Task::new("flaky", move || {
+            if seen.fetch_add(1, Ordering::SeqCst) < fail_first {
+                Err("transient".to_owned())
+            } else {
+                Ok("done".to_owned())
+            }
+        })
+        .retries(fail_first + extra_retries);
+        let reports = run_all(&SerialScheduler::new(), [task]);
+        prop_assert_eq!(reports[0].state, TaskState::Succeeded);
+        prop_assert_eq!(reports[0].attempts, fail_first + 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Database tour: run a small sweep, then slice the results with the
+//! query and aggregation layers, render Markdown, and persist the
+//! database to disk — everything the paper does in Jupyter, in Rust.
+//!
+//! ```text
+//! cargo run --example database_tour --release
+//! ```
+
+use simart::cross::CrossProduct;
+use simart::db::{aggregate, Database, Filter, Reduce, Value};
+use simart::report::Table;
+use simart::resources::{disks, kernels::KernelResource, suite};
+use simart::sim::kernel::KernelVersion;
+use simart::sim::os::OsImage;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::workload::{parsec_profile, InputSize};
+use simart::tasks::PoolScheduler;
+use simart::{ExecOutcome, Experiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let experiment = Experiment::new("database-tour");
+    let (simulator, repo, script, kernel, disk) = experiment.with_registry(|r| {
+        let [repo, bin, script] = suite::register_simulator(r, "20.1.0.4", "X86")?;
+        let kernel = suite::register_kernel(r, &KernelResource::standard(KernelVersion::V5_4))?;
+        let disk = suite::register_disk_image(r, &disks::parsec_image(OsImage::Ubuntu2004))?;
+        Ok((bin.id(), repo.id(), script.id(), kernel.id(), disk.id()))
+    })?;
+
+    // A small sweep: 3 apps x 3 core counts.
+    let sweep = CrossProduct::new()
+        .axis("app", ["blackscholes", "dedup", "swaptions"])
+        .axis("cores", ["1", "2", "8"]);
+    let runs: Vec<_> = sweep
+        .iter()
+        .map(|combo| {
+            experiment
+                .create_fs_run(|b| {
+                    b.simulator(simulator, "sim")
+                        .simulator_repo(repo)
+                        .run_script(script, "run.py")
+                        .kernel(kernel, "vmlinux")
+                        .disk_image(disk, "disk.img")
+                        .params(combo.params())
+                })
+                .expect("valid run")
+        })
+        .collect();
+
+    let pool = PoolScheduler::new(4);
+    let summary = experiment.launch(runs, &pool, |run| {
+        let profile = parsec_profile(&run.params()[0]).ok_or("unknown app")?;
+        let cores = run.params()[1].parse().map_err(|e| format!("{e}"))?;
+        let config = SystemConfig::builder()
+            .cores(cores)
+            .os(OsImage::Ubuntu2004)
+            .fidelity(Fidelity::Smoke)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let out = config.run_workload(&profile, InputSize::SimSmall).map_err(|e| e.to_string())?;
+        Ok(ExecOutcome {
+            outcome: out.outcome.label().into(),
+            sim_ticks: out.sim_ticks,
+            payload: out.stats.dump().into_bytes(),
+            success: out.outcome.is_success(),
+        })
+    });
+    println!("launched: {summary:?}\n");
+
+    // Query + aggregate: mean simulated time per application.
+    let runs_collection = experiment.database().collection("runs");
+    let means = aggregate::group_reduce(
+        &runs_collection,
+        &Filter::eq("status", "done"),
+        "params.0",
+        "results.simTicks",
+        Reduce::Mean,
+    );
+    let mut table = Table::new("Mean simulated ticks per application", &["app", "mean ticks"]);
+    for (app, mean) in &means {
+        table.row(&[app.clone(), format!("{mean:.0}")]);
+    }
+    println!("{}", table.render());
+    println!("same table as Markdown:\n\n{}", table.render_markdown());
+
+    // Targeted query: which runs beat 2 simulated seconds?
+    let fast = runs_collection.find(
+        &Filter::eq("status", "done").and(Filter::lt(
+            "results.simTicks",
+            2_000_000_000_000i64,
+        )),
+    );
+    println!("{} run(s) finished under 2 simulated seconds:", fast.len());
+    for doc in fast {
+        let params = doc.at("params").and_then(Value::as_array).unwrap();
+        println!(
+            "  {} on {} core(s)",
+            params[0].as_str().unwrap_or("?"),
+            params[1].as_str().unwrap_or("?")
+        );
+    }
+
+    // Persist everything; a collaborator can `Database::load` it.
+    let dir = std::env::temp_dir().join("simart-database-tour");
+    let _ = std::fs::remove_dir_all(&dir);
+    experiment.database().save(&dir)?;
+    let restored = Database::load(&dir)?;
+    println!(
+        "\ndatabase persisted to {} ({} runs, {} artifacts) and reloaded successfully",
+        dir.display(),
+        restored.collection("runs").len(),
+        restored.collection("artifacts").len()
+    );
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! GPU register-allocator exploration (use-case 3 in miniature):
+//! sweep one synchronization-heavy and one throughput-friendly kernel
+//! across both allocators and inspect *why* each wins.
+//!
+//! ```text
+//! cargo run --example gpu_regalloc --release
+//! ```
+
+use simart::gpu::alloc::AllocPolicy;
+use simart::gpu::{workloads, Gpu};
+use simart::report::Table;
+use simart::resources::environment::RocmStack;
+
+fn main() {
+    // The environment resource validates the tool-chain the GPU model
+    // needs — the check the GCN-docker image performs for real users.
+    let env = RocmStack::gcn_docker();
+    println!("build environment: {env}\n");
+
+    let gpu = Gpu::table3();
+    let mut table = Table::new("Register allocators head to head", &[
+        "kernel", "allocator", "shader ticks", "occupancy/CU", "lock retries", "l1 hit rate",
+    ]);
+    for app in ["FAMutex", "MatrixTranspose", "fwd_pool", "2dshfl"] {
+        assert!(env.supports(app), "{app} must build under {env}");
+        let kernel = workloads::by_name(app).expect("known workload");
+        for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
+            let result = gpu.run(&kernel, policy);
+            table.row(&[
+                app.to_owned(),
+                policy.to_string(),
+                result.ticks.to_string(),
+                result.peak_occupancy.to_string(),
+                result.lock_retries.to_string(),
+                format!("{:.2}", result.stats.scalar("gpu.mem.l1HitRate")),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "FAMutex: more resident wavefronts -> more spinning -> the lock chain dilates.\n\
+         MatrixTranspose: independent tiles -> occupancy hides memory latency.\n\
+         fwd_pool: per-wavefront tiles fit the L1 at low occupancy and thrash it at 40.\n\
+         2dshfl: one wavefront total -> the allocators are indistinguishable."
+    );
+}

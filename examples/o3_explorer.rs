@@ -1,0 +1,54 @@
+//! Design-space exploration with the out-of-order CPU model: the kind
+//! of architectural study the framework exists to make reproducible.
+//! Sweeps ROB size and issue width over a memory-bound and a
+//! compute-bound workload.
+//!
+//! ```text
+//! cargo run --example o3_explorer --release
+//! ```
+
+use simart::report::Table;
+use simart::sim::cpu::{CpuModel, O3Config, O3Cpu};
+use simart::sim::isa::InstStream;
+use simart::sim::mem::{build, MemKind};
+use simart::sim::workload::parsec_profile;
+
+fn main() {
+    let workloads = [
+        ("streamcluster", "memory-bound"),
+        ("swaptions", "compute-bound"),
+    ];
+    let mut table = Table::new("O3 design space: IPC by ROB size and issue width", &[
+        "workload", "character", "ROB", "width", "IPC",
+    ]);
+    for (app, character) in workloads {
+        let profile = parsec_profile(app).expect("known app");
+        for rob_size in [32, 96, 192, 384] {
+            for width in [2u64, 4, 8] {
+                let mut cpu = O3Cpu::new(O3Config {
+                    rob_size,
+                    fetch_width: width,
+                    issue_width: width,
+                    ..O3Config::default()
+                });
+                let mut mem = build(MemKind::classic_coherent(), 1);
+                let mut stream =
+                    InstStream::new(&format!("o3x/{app}"), 0, profile.mix.clone(), profile.addrs);
+                let result = cpu.run(0, &mut stream, 40_000, mem.as_mut());
+                table.row(&[
+                    app.to_owned(),
+                    character.to_owned(),
+                    rob_size.to_string(),
+                    width.to_string(),
+                    format!("{:.3}", 1.0 / result.cpi()),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "The memory-bound workload keeps gaining from a deeper ROB (more loads in flight);\n\
+         the compute-bound one saturates early and wants issue width instead — the classic\n\
+         trade-off, regenerable deterministically on every run."
+    );
+}

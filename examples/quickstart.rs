@@ -1,0 +1,78 @@
+//! Quickstart: the complete framework workflow in ~60 lines.
+//!
+//! Registers the artifacts of a tiny experiment, creates one
+//! full-system run, executes it through the simulator, and queries the
+//! database for the archived results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use simart::db::Filter;
+use simart::resources::{disks, kernels::KernelResource, suite};
+use simart::sim::kernel::KernelVersion;
+use simart::sim::os::OsImage;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::workload::{parsec_profile, InputSize};
+use simart::tasks::SerialScheduler;
+use simart::{ExecOutcome, Experiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An experiment session: artifact registry + database.
+    let experiment = Experiment::new("quickstart");
+
+    // 2. Register every input as an artifact (steps 1-2 of the paper's
+    //    workflow). The resource helpers fill in reproduction docs.
+    let (simulator, repo, script, kernel, disk) = experiment.with_registry(|registry| {
+        let [repo, binary, script] = suite::register_simulator(registry, "20.1.0.4", "X86")?;
+        let kernel =
+            suite::register_kernel(registry, &KernelResource::standard(KernelVersion::V5_4))?;
+        let disk =
+            suite::register_disk_image(registry, &disks::parsec_image(OsImage::Ubuntu2004))?;
+        Ok((binary.id(), repo.id(), script.id(), kernel.id(), disk.id()))
+    })?;
+    println!("registered {} artifacts", experiment.artifact_count());
+
+    // 3. Create a run object: one unique experiment.
+    let run = experiment.create_fs_run(|b| {
+        b.simulator(simulator, "gem5/build/X86/gem5.opt")
+            .simulator_repo(repo)
+            .run_script(script, "configs/run_parsec.py")
+            .kernel(kernel, "vmlinux-5.4.51")
+            .disk_image(disk, "disks/parsec-ubuntu-20.04.img")
+            .param("blackscholes")
+            .param("2")
+    })?;
+    println!("created run {} (hash {})", run.id(), run.run_hash());
+
+    // 4-7. Launch it: boot the simulated system, run the benchmark,
+    //       archive results.
+    let summary = experiment.launch(vec![run], &SerialScheduler::new(), |run| {
+        let profile = parsec_profile(&run.params()[0]).ok_or("unknown app")?;
+        let config = SystemConfig::builder()
+            .cores(run.params()[1].parse().map_err(|e| format!("{e}"))?)
+            .os(OsImage::Ubuntu2004)
+            .fidelity(Fidelity::Smoke)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let output = config.run_workload(&profile, InputSize::SimSmall).map_err(|e| e.to_string())?;
+        Ok(ExecOutcome {
+            outcome: output.outcome.label().to_owned(),
+            sim_ticks: output.sim_ticks,
+            payload: output.stats.dump().into_bytes(),
+            success: output.outcome.is_success(),
+        })
+    });
+    println!("launch summary: {summary:?}");
+
+    // 8. Query the database.
+    for doc in experiment.query_runs(&Filter::eq("status", "done")) {
+        let ticks = doc.at("results.simTicks").and_then(simart::db::Value::as_int).unwrap_or(0);
+        println!(
+            "run {} -> {} simulated ticks",
+            doc.at("hash").and_then(simart::db::Value::as_str).unwrap_or("?"),
+            ticks
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Survey of the other benchmark resources: NPB and GAPBS, run in both
+//! full-system and syscall-emulation modes.
+//!
+//! ```text
+//! cargo run --example suite_survey --release
+//! ```
+
+use simart::report::Table;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::workload::{gapbs_profile, npb_profile, InputSize, GAPBS_APPS, NPB_APPS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig::builder().cores(8).fidelity(Fidelity::Smoke).build()?;
+
+    let mut npb = Table::new("NAS Parallel Benchmarks (8 cores, SE mode)", &[
+        "kernel", "insts", "exec time (sim s)", "IPC/core",
+    ]);
+    for app in NPB_APPS {
+        let profile = npb_profile(app).expect("known kernel");
+        let out = config.run_se_workload(&profile, InputSize::SimSmall)?;
+        npb.row(&[
+            app.to_owned(),
+            out.instructions.to_string(),
+            format!("{:.4}", out.sim_seconds()),
+            format!("{:.3}", out.stats.scalar("workload.utilization")),
+        ]);
+    }
+    println!("{}", npb.render());
+
+    let mut gapbs = Table::new("GAP Benchmark Suite (8 cores, full system)", &[
+        "kernel", "insts", "exec time (sim s)", "IPC/core",
+    ]);
+    for app in GAPBS_APPS {
+        let profile = gapbs_profile(app).expect("known kernel");
+        let out = config.run_workload(&profile, InputSize::SimSmall)?;
+        gapbs.row(&[
+            app.to_owned(),
+            out.instructions.to_string(),
+            format!("{:.4}", out.sim_seconds()),
+            format!("{:.3}", out.stats.scalar("workload.utilization")),
+        ]);
+    }
+    println!("{}", gapbs.render());
+    println!(
+        "Graph kernels (GAPBS) run at a fraction of the NPB kernels' IPC: poor locality \
+         over a 512 MiB graph defeats the cache hierarchy — visible directly in the stats."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Cross-crate determinism: the property the whole reproducibility
+//! story rests on. Identical configurations must produce bit-identical
+//! simulation results, whatever the substrate.
+
+use simart::gpu::alloc::AllocPolicy;
+use simart::gpu::{workloads, Gpu};
+use simart::sim::cpu::CpuKind;
+use simart::sim::mem::MemKind;
+use simart::sim::os::OsImage;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::workload::{parsec_profile, InputSize};
+
+fn fs_config(cores: u32) -> SystemConfig {
+    SystemConfig::builder()
+        .cpu(CpuKind::TimingSimple)
+        .cores(cores)
+        .memory(MemKind::classic_coherent())
+        .os(OsImage::Ubuntu1804)
+        .fidelity(Fidelity::Smoke)
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn full_system_runs_are_bit_identical() {
+    let profile = parsec_profile("streamcluster").unwrap();
+    for cores in [1, 4] {
+        let a = fs_config(cores).run_workload(&profile, InputSize::SimSmall).unwrap();
+        let b = fs_config(cores).run_workload(&profile, InputSize::SimSmall).unwrap();
+        assert_eq!(a.sim_ticks, b.sim_ticks);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.stats.dump(), b.stats.dump(), "every statistic matches");
+    }
+}
+
+#[test]
+fn boots_are_bit_identical_across_memory_systems() {
+    for mem in [MemKind::classic_coherent(), MemKind::RubyMi, MemKind::RubyMesiTwoLevel] {
+        let build = || {
+            SystemConfig::builder()
+                .cpu(CpuKind::O3)
+                .cores(1)
+                .memory(mem)
+                .fidelity(Fidelity::Smoke)
+                .build()
+                .expect("valid")
+        };
+        let a = build().boot_only().unwrap();
+        let b = build().boot_only().unwrap();
+        assert_eq!(a.outcome, b.outcome, "{mem}");
+        assert_eq!(a.sim_ticks, b.sim_ticks, "{mem}");
+    }
+}
+
+#[test]
+fn gpu_runs_are_bit_identical() {
+    let gpu = Gpu::table3().scaled_down(4);
+    for app in ["FAMutex", "MatrixTranspose", "LFTreeBarrUniq"] {
+        let kernel = workloads::by_name(app).unwrap();
+        for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
+            let a = gpu.run(&kernel, policy);
+            let b = gpu.run(&kernel, policy);
+            assert_eq!(a, b, "{app}/{policy}");
+        }
+    }
+}
+
+#[test]
+fn different_configurations_diverge() {
+    // Determinism must not collapse into insensitivity: the knobs the
+    // paper studies genuinely change results.
+    let profile = parsec_profile("ferret").unwrap();
+    let one = fs_config(1).run_workload(&profile, InputSize::SimSmall).unwrap();
+    let eight = fs_config(8).run_workload(&profile, InputSize::SimSmall).unwrap();
+    assert_ne!(one.sim_ticks, eight.sim_ticks);
+
+    let bionic = fs_config(2).run_workload(&profile, InputSize::SimSmall).unwrap();
+    let focal = SystemConfig::builder()
+        .cpu(CpuKind::TimingSimple)
+        .cores(2)
+        .memory(MemKind::classic_coherent())
+        .os(OsImage::Ubuntu2004)
+        .fidelity(Fidelity::Smoke)
+        .build()
+        .unwrap()
+        .run_workload(&profile, InputSize::SimSmall)
+        .unwrap();
+    assert_ne!(bionic.sim_ticks, focal.sim_ticks);
+}

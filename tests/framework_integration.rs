@@ -1,0 +1,168 @@
+//! Cross-crate framework integration: artifacts + runs + schedulers +
+//! database interacting the way a real experiment does.
+
+use simart::artifact::{Artifact, ArtifactKind, ContentSource};
+use simart::db::Filter;
+use simart::run::RunStatus;
+use simart::tasks::{BrokerScheduler, PoolScheduler, Scheduler, SerialScheduler};
+use simart::{ExecOutcome, Experiment};
+use std::time::Duration;
+
+fn experiment_with_components(
+    name: &str,
+) -> (Experiment, [simart::artifact::ArtifactId; 5]) {
+    let experiment = Experiment::new(name);
+    let repo = experiment
+        .register_artifact(
+            Artifact::builder("sim-repo", ArtifactKind::GitRepo)
+                .documentation("src")
+                .content(ContentSource::git("https://x", "rev1")),
+        )
+        .unwrap();
+    let binary = experiment
+        .register_artifact(
+            Artifact::builder("sim", ArtifactKind::Binary)
+                .documentation("bin")
+                .content(ContentSource::bytes(b"elf".to_vec()))
+                .input(repo.id()),
+        )
+        .unwrap();
+    let script = experiment
+        .register_artifact(
+            Artifact::builder("script", ArtifactKind::RunScript)
+                .documentation("cfg")
+                .content(ContentSource::bytes(b"py".to_vec())),
+        )
+        .unwrap();
+    let kernel = experiment
+        .register_artifact(
+            Artifact::builder("vmlinux", ArtifactKind::Kernel)
+                .documentation("kernel")
+                .content(ContentSource::bytes(b"krn".to_vec())),
+        )
+        .unwrap();
+    let disk = experiment
+        .register_artifact(
+            Artifact::builder("disk", ArtifactKind::DiskImage)
+                .documentation("img")
+                .content(ContentSource::bytes(b"img".to_vec())),
+        )
+        .unwrap();
+    (experiment, [binary.id(), repo.id(), script.id(), kernel.id(), disk.id()])
+}
+
+fn make_runs(
+    experiment: &Experiment,
+    ids: [simart::artifact::ArtifactId; 5],
+    tags: &[&str],
+    timeout_s: u64,
+) -> Vec<simart::run::FsRun> {
+    let [binary, repo, script, kernel, disk] = ids;
+    tags.iter()
+        .map(|tag| {
+            experiment
+                .create_fs_run(|b| {
+                    b.simulator(binary, "sim")
+                        .simulator_repo(repo)
+                        .run_script(script, "run.py")
+                        .kernel(kernel, "vmlinux")
+                        .disk_image(disk, "disk.img")
+                        .param(*tag)
+                        .timeout_seconds(timeout_s)
+                })
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn every_scheduler_drives_the_same_experiment() {
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("serial", Box::new(SerialScheduler::new())),
+        ("pool", Box::new(PoolScheduler::new(4))),
+        ("broker", Box::new(BrokerScheduler::new(4))),
+    ];
+    for (name, scheduler) in schedulers {
+        let (experiment, ids) = experiment_with_components(name);
+        let runs = make_runs(&experiment, ids, &["a", "b", "c", "d"], 3600);
+        let summary = experiment.launch(runs, scheduler.as_ref(), |run| {
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: run.params()[0].len() as u64 * 100,
+                payload: b"stats".to_vec(),
+                success: true,
+            })
+        });
+        assert_eq!(summary.done, 4, "{name}");
+        assert_eq!(
+            experiment.query_runs(&Filter::eq("status", "done")).len(),
+            4,
+            "{name}: all runs archived"
+        );
+    }
+}
+
+#[test]
+fn timeouts_mark_runs_timed_out() {
+    let (experiment, ids) = experiment_with_components("timeouts");
+    // Timeout of zero seconds: the watchdog fires before the work ends.
+    let runs = make_runs(&experiment, ids, &["slow"], 0);
+    let id = runs[0].id();
+    let pool = PoolScheduler::new(1);
+    let summary = experiment.launch(runs, &pool, |_| {
+        std::thread::sleep(Duration::from_millis(300));
+        Ok(ExecOutcome {
+            outcome: "success".into(),
+            sim_ticks: 1,
+            payload: vec![],
+            success: true,
+        })
+    });
+    assert_eq!(summary.timed_out, 1);
+    // The run record reflects the kill (it may still be `running` in
+    // the database because the worker was terminated — the framework
+    // reports the timeout through the launch summary, and the record
+    // is not `done`).
+    let stored = experiment.runs().load(id).unwrap();
+    assert_ne!(stored.status(), RunStatus::Done);
+}
+
+#[test]
+fn provenance_closure_spans_registry_and_runs() {
+    let (experiment, ids) = experiment_with_components("closure");
+    let runs = make_runs(&experiment, ids, &["x"], 3600);
+    let pool = PoolScheduler::new(1);
+    experiment.launch(runs, &pool, |_| {
+        Ok(ExecOutcome {
+            outcome: "success".into(),
+            sim_ticks: 7,
+            payload: vec![],
+            success: true,
+        })
+    });
+    // The kernel artifact knows which runs used it...
+    let kernel = ids[3];
+    let dependents = experiment.runs_using(kernel).unwrap();
+    assert_eq!(dependents.len(), 1);
+    // ...and the run's results are recoverable.
+    assert!(experiment.runs().load_results(dependents[0].id()).is_some());
+}
+
+#[test]
+fn concurrent_launches_share_one_database_safely() {
+    let (experiment, ids) = experiment_with_components("concurrent");
+    let tags: Vec<String> = (0..32).map(|i| format!("run-{i}")).collect();
+    let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+    let runs = make_runs(&experiment, ids, &tag_refs, 3600);
+    let pool = PoolScheduler::new(8);
+    let summary = experiment.launch(runs, &pool, |run| {
+        Ok(ExecOutcome {
+            outcome: "success".into(),
+            sim_ticks: run.params()[0].len() as u64,
+            payload: run.params()[0].clone().into_bytes(),
+            success: true,
+        })
+    });
+    assert_eq!(summary.done, 32);
+    assert_eq!(experiment.runs().find_by_status(RunStatus::Done).unwrap().len(), 32);
+}

@@ -1,0 +1,143 @@
+//! The reproducibility story, end to end: an experiment recorded in
+//! the database can be reconstructed **from the database alone** and
+//! re-executed to identical results.
+
+use simart::db::{Database, Filter, Value};
+use simart::resources::{disks, kernels::KernelResource, suite};
+use simart::sim::kernel::KernelVersion;
+use simart::sim::os::OsImage;
+use simart::sim::system::Fidelity;
+use simart::sim::workload::{parsec_profile, InputSize};
+use simart::tasks::PoolScheduler;
+use simart::{ExecOutcome, Experiment};
+use simart_bench::usecase1;
+
+fn execute(params: &[String]) -> (u64, String) {
+    let app = &params[0];
+    let os = match params[1].as_str() {
+        "ubuntu-18.04" => OsImage::Ubuntu1804,
+        _ => OsImage::Ubuntu2004,
+    };
+    let cores: u32 = params[2].parse().expect("core count");
+    let profile = parsec_profile(app).expect("known app");
+    let config = usecase1::system_config(os, cores, Fidelity::Smoke);
+    let output = config.run_workload(&profile, InputSize::SimSmall).expect("runs");
+    (output.sim_ticks, output.stats.dump())
+}
+
+#[test]
+fn experiments_reproduce_from_database_records_alone() {
+    let dir = std::env::temp_dir().join(format!("simart-prov-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: run a small experiment and persist the database.
+    let original_results: Vec<(String, u64)> = {
+        let experiment = Experiment::new("provenance");
+        let (simulator, repo, script, kernel, disk) = experiment
+            .with_registry(|registry| {
+                let [repo, binary, script] =
+                    suite::register_simulator(registry, "20.1.0.4", "X86")?;
+                let kernel = suite::register_kernel(
+                    registry,
+                    &KernelResource::standard(KernelVersion::V5_4),
+                )?;
+                let disk = suite::register_disk_image(
+                    registry,
+                    &disks::parsec_image(OsImage::Ubuntu2004),
+                )?;
+                Ok((binary.id(), repo.id(), script.id(), kernel.id(), disk.id()))
+            })
+            .unwrap();
+
+        let runs: Vec<_> = ["blackscholes", "dedup"]
+            .iter()
+            .map(|app| {
+                experiment
+                    .create_fs_run(|b| {
+                        b.simulator(simulator, "sim")
+                            .simulator_repo(repo)
+                            .run_script(script, "run.py")
+                            .kernel(kernel, "vmlinux")
+                            .disk_image(disk, "disk.img")
+                            .param(*app)
+                            .param("ubuntu-20.04")
+                            .param("2")
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let pool = PoolScheduler::new(2);
+        let summary = experiment.launch(runs, &pool, |run| {
+            let (ticks, dump) = execute(run.params());
+            Ok(ExecOutcome {
+                outcome: "success".into(),
+                sim_ticks: ticks,
+                payload: dump.into_bytes(),
+                success: true,
+            })
+        });
+        assert_eq!(summary.done, 2);
+        experiment.database().save(&dir).unwrap();
+
+        experiment
+            .query_runs(&Filter::eq("status", "done"))
+            .iter()
+            .map(|doc| {
+                (
+                    doc.at("params.0").and_then(Value::as_str).unwrap().to_owned(),
+                    doc.at("results.simTicks").and_then(Value::as_int).unwrap() as u64,
+                )
+            })
+            .collect()
+    };
+
+    // Phase 2: a different "researcher" loads only the database and
+    // re-executes the experiments described by the run records.
+    let restored = Database::load(&dir).unwrap();
+    let run_docs = restored.collection("runs").find(&Filter::eq("status", "done"));
+    assert_eq!(run_docs.len(), 2);
+    for doc in run_docs {
+        let params: Vec<String> = doc
+            .at("params")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|p| p.as_str().unwrap().to_owned())
+            .collect();
+        let (ticks, _) = execute(&params);
+        let recorded =
+            doc.at("results.simTicks").and_then(Value::as_int).unwrap() as u64;
+        assert_eq!(
+            ticks, recorded,
+            "re-executing {params:?} from the database reproduces the recorded result"
+        );
+        // Artifact provenance is also intact: every input is resolvable.
+        let inputs = doc.at("inputs").and_then(Value::as_array).unwrap();
+        for input in inputs {
+            let id = input.as_str().unwrap();
+            assert!(
+                restored.collection("artifacts").get(id).is_some(),
+                "input artifact {id} archived with the run"
+            );
+        }
+    }
+    let _ = original_results;
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn artifact_documentation_survives_the_database() {
+    let experiment = Experiment::new("docs");
+    experiment
+        .with_registry(|registry| {
+            suite::register_kernel(registry, &KernelResource::standard(KernelVersion::V4_19))
+                .map(|_| ())
+        })
+        .unwrap();
+    let docs = experiment.database().collection("artifacts").all();
+    assert_eq!(docs.len(), 1);
+    let documentation = docs[0].at("documentation").and_then(Value::as_str).unwrap();
+    assert!(documentation.contains("4.19.83"), "reproduction docs stored: {documentation}");
+    let command = docs[0].at("command").and_then(Value::as_str).unwrap();
+    assert!(command.contains("git checkout"), "creation command stored: {command}");
+}

@@ -1,0 +1,65 @@
+//! Validation of the sampling methodology: the detailed-sample-and-
+//! extrapolate approach (SMARTS-style) must converge — higher fidelity
+//! should refine, not contradict, lower fidelity.
+
+use simart::sim::os::OsImage;
+use simart::sim::system::{Fidelity, SystemConfig};
+use simart::sim::workload::{parsec_profile, InputSize};
+
+fn exec_seconds(app: &str, fidelity: Fidelity) -> f64 {
+    let profile = parsec_profile(app).expect("known app");
+    SystemConfig::builder()
+        .cores(2)
+        .os(OsImage::Ubuntu1804)
+        .fidelity(fidelity)
+        .build()
+        .expect("valid")
+        .run_workload(&profile, InputSize::SimSmall)
+        .expect("runs")
+        .sim_seconds()
+}
+
+#[test]
+fn fidelity_levels_agree_within_tolerance() {
+    for app in ["blackscholes", "dedup", "streamcluster"] {
+        let smoke = exec_seconds(app, Fidelity::Smoke);
+        let standard = exec_seconds(app, Fidelity::Standard);
+        let detailed = exec_seconds(app, Fidelity::Detailed);
+        // Sampled CPI estimates converge: Standard and Detailed agree
+        // tightly; Smoke is a coarser estimate but still in range.
+        let fine_ratio = standard / detailed;
+        assert!(
+            (0.9..1.1).contains(&fine_ratio),
+            "{app}: standard {standard:.4}s vs detailed {detailed:.4}s (ratio {fine_ratio:.3})"
+        );
+        let coarse_ratio = smoke / detailed;
+        assert!(
+            (0.75..1.25).contains(&coarse_ratio),
+            "{app}: smoke {smoke:.4}s vs detailed {detailed:.4}s (ratio {coarse_ratio:.3})"
+        );
+    }
+}
+
+#[test]
+fn conclusions_are_fidelity_stable() {
+    // The paper-level findings must not depend on sample size: the
+    // 18.04-vs-20.04 ordering holds at every fidelity.
+    for fidelity in [Fidelity::Smoke, Fidelity::Standard] {
+        let profile = parsec_profile("ferret").unwrap();
+        let run = |os: OsImage| {
+            SystemConfig::builder()
+                .cores(2)
+                .os(os)
+                .fidelity(fidelity)
+                .build()
+                .unwrap()
+                .run_workload(&profile, InputSize::SimSmall)
+                .unwrap()
+                .sim_ticks
+        };
+        assert!(
+            run(OsImage::Ubuntu1804) > run(OsImage::Ubuntu2004),
+            "ordering holds at {fidelity:?}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end shape assertions for the paper's three use-cases: the
+//! qualitative findings of the evaluation section, checked against the
+//! full reproduction pipeline (see DESIGN.md §3 for the target list).
+
+use simart::sim::compat::o3_counts;
+use simart::sim::cpu::CpuKind;
+use simart::sim::os::OsImage;
+use simart::sim::system::Fidelity;
+use simart_bench::{usecase1, usecase2, usecase3};
+
+#[test]
+fn use_case_1_cross_stack_findings() {
+    let data = usecase1::run(Fidelity::Smoke);
+    assert_eq!(data.rows.len(), 60);
+
+    // Finding 1: applications typically take longer on Ubuntu 18.04.
+    let fig6 = data.figure6();
+    let positive = fig6.iter().filter(|(_, _, d)| *d > 0.0).count();
+    assert!(positive * 10 >= fig6.len() * 9, "{positive}/{} positive", fig6.len());
+
+    // Finding 2: the gap narrows as core count rises (suite-wide).
+    let avg_diff = |cores: u32| {
+        let diffs: Vec<f64> =
+            fig6.iter().filter(|(_, c, _)| *c == cores).map(|(_, _, d)| *d).collect();
+        diffs.iter().sum::<f64>() / diffs.len() as f64
+    };
+    assert!(avg_diff(1) > avg_diff(2));
+    assert!(avg_diff(2) > avg_diff(8));
+
+    // Finding 3: 20.04 executes more instructions at higher utilization.
+    for row in data.rows.iter().filter(|r| r.os == OsImage::Ubuntu2004) {
+        let bionic = data.get(&row.app, OsImage::Ubuntu1804, row.cores).unwrap();
+        assert!(row.instructions > bionic.instructions, "{}", row.app);
+        assert!(row.utilization > bionic.utilization, "{}", row.app);
+    }
+}
+
+#[test]
+fn use_case_2_boot_matrix_findings() {
+    let data = usecase2::run(Fidelity::Smoke);
+    assert_eq!(data.rows.len(), 480);
+
+    // kvm works in all cases; Atomic only with Classic memory; Timing
+    // fails only >1 core on the (incoherent) Classic system.
+    assert_eq!(data.success_rate(CpuKind::Kvm), 1.0);
+    assert_eq!(data.outcome_counts(CpuKind::AtomicSimple)["unsupported"], 80);
+    assert_eq!(data.outcome_counts(CpuKind::TimingSimple)["unsupported"], 30);
+
+    // O3: ~40% success with the paper's exact failure breakdown.
+    let o3 = data.outcome_counts(CpuKind::O3);
+    assert_eq!(o3["kernel-panic"], o3_counts::PANICS, "27 kernel panics");
+    assert_eq!(o3["sim-crash"], o3_counts::CRASHES, "11 segfaults");
+    assert_eq!(o3["deadlock"], o3_counts::DEADLOCKS, "4 MI_example deadlocks");
+    let rate = data.success_rate(CpuKind::O3);
+    assert!((0.35..=0.45).contains(&rate), "O3 success rate {rate}");
+}
+
+#[test]
+fn use_case_3_register_allocation_findings() {
+    let data = usecase3::run(1);
+    assert_eq!(data.rows.len(), 29);
+
+    // Headline: the simple allocator wins on average (paper: ~8%).
+    let geomean = data.geomean_dynamic_speedup();
+    assert!((0.80..1.00).contains(&geomean), "geomean {geomean:.3}");
+
+    // FAMutex is the worst case for the dynamic allocator.
+    let famutex = data.get("FAMutex").unwrap().dynamic_speedup();
+    assert!(famutex < 0.65, "FAMutex {famutex:.3}");
+
+    // Pool layers suffer; transpose/stream/PENNANT benefit.
+    assert!(data.get("fwd_pool").unwrap().dynamic_speedup() < 0.95);
+    assert!(data.get("MatrixTranspose").unwrap().dynamic_speedup() > 1.05);
+    assert!(data.get("PENNANT").unwrap().dynamic_speedup() > 1.05);
+
+    // Small kernels show little or no difference.
+    for app in ["2dshfl", "shfl", "unroll"] {
+        let s = data.get(app).unwrap().dynamic_speedup();
+        assert!((0.98..1.02).contains(&s), "{app} {s:.3}");
+    }
+}
