@@ -5,10 +5,14 @@
 //! simart boot [options]              boot one full-system configuration
 //! simart parsec <app> [options]      boot + run one PARSEC application
 //! simart gpu <app> [--alloc X]       run one GPU kernel
+//! simart campaign [options]          run (or resume) a persisted boot campaign
 //! simart selftest                    run the bundled test programs
 //! simart matrix                      triage the Figure 8 boot matrix
 //! ```
 
+use simart::artifact::{Artifact, ArtifactId, ArtifactKind, ContentSource};
+use simart::cross::CrossProduct;
+use simart::db::Database;
 use simart::gpu::alloc::AllocPolicy;
 use simart::gpu::{workloads, Gpu};
 use simart::report::Table;
@@ -21,6 +25,9 @@ use simart::sim::os::OsImage;
 use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::ticks::format_ticks;
 use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
+use simart::tasks::{FaultInjector, PoolScheduler, RetryPolicy};
+use simart::{ExecOutcome, Experiment, LaunchOptions};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,16 +38,19 @@ fn main() {
         Some("npb") => workload_cmd(&args[1..], "npb"),
         Some("gapbs") => workload_cmd(&args[1..], "gapbs"),
         Some("gpu") => gpu(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         Some("selftest") => selftest(),
         Some("matrix") => matrix(),
         _ => {
             eprintln!(
-                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|selftest|matrix> [options]\n\
+                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|selftest|matrix> [options]\n\
                  \n\
-                 boot options:   --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
-                 \u{20}               --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
-                 parsec options: <app> --os 18.04|20.04 --cores N\n\
-                 gpu options:    <app> --alloc simple|dynamic"
+                 boot options:     --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
+                 \u{20}                 --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
+                 parsec options:   <app> --os 18.04|20.04 --cores N\n\
+                 gpu options:      <app> --alloc simple|dynamic\n\
+                 campaign options: --db DIR  --resume  --retries N\n\
+                 \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)"
             );
             2
         }
@@ -210,6 +220,164 @@ fn gpu(args: &[String]) -> i32 {
     println!("  occupancy/CU  : {}", result.peak_occupancy);
     println!("  lock retries  : {}", result.lock_retries);
     0
+}
+
+/// Registers the fixed artifact set every campaign session uses.
+///
+/// Contents are byte-identical across sessions, so artifact ids and
+/// run hashes are stable and `--resume` can match stored records.
+fn register_campaign_artifacts(
+    experiment: &Experiment,
+) -> Result<[ArtifactId; 5], simart::ExperimentError> {
+    let repo = experiment.register_artifact(
+        Artifact::builder("sim-repo", ArtifactKind::GitRepo)
+            .documentation("simulator sources")
+            .content(ContentSource::git("https://example.org/simart", "campaign-rev")),
+    )?;
+    let binary = experiment.register_artifact(
+        Artifact::builder("sim", ArtifactKind::Binary)
+            .documentation("simulator binary")
+            .content(ContentSource::bytes(b"simart-binary".to_vec()))
+            .input(repo.id()),
+    )?;
+    let script = experiment.register_artifact(
+        Artifact::builder("boot-script", ArtifactKind::RunScript)
+            .documentation("boot configuration")
+            .content(ContentSource::bytes(b"boot-config".to_vec())),
+    )?;
+    let kernel = experiment.register_artifact(
+        Artifact::builder("vmlinux", ArtifactKind::Kernel)
+            .documentation("linux kernel")
+            .content(ContentSource::bytes(b"vmlinux-5.4".to_vec())),
+    )?;
+    let disk = experiment.register_artifact(
+        Artifact::builder("disk", ArtifactKind::DiskImage)
+            .documentation("ubuntu image")
+            .content(ContentSource::bytes(b"ubuntu-18.04.img".to_vec())),
+    )?;
+    Ok([binary.id(), repo.id(), script.id(), kernel.id(), disk.id()])
+}
+
+/// Boots the configuration one campaign run describes.
+fn execute_campaign_run(run: &simart::run::FsRun) -> Result<ExecOutcome, String> {
+    let params = run.params();
+    let cpu = params
+        .first()
+        .and_then(|s| parse_cpu(s))
+        .ok_or_else(|| format!("bad cpu parameter {:?}", params.first()))?;
+    let cores: u32 = params
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad core count {:?}", params.get(1)))?;
+    let config = SystemConfig::builder()
+        .cpu(cpu)
+        .cores(cores)
+        .fidelity(Fidelity::Standard)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let output = config.boot_only().map_err(|e| e.to_string())?;
+    Ok(ExecOutcome {
+        outcome: output.outcome.to_string(),
+        sim_ticks: output.sim_ticks,
+        payload: format!(
+            "outcome={} ticks={} instructions={}",
+            output.outcome, output.sim_ticks, output.instructions
+        )
+        .into_bytes(),
+        success: output.outcome.is_success(),
+    })
+}
+
+fn campaign(args: &[String]) -> i32 {
+    let db_dir = flag(args, "--db").map(std::path::PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let retries: u32 = flag(args, "--retries").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let fault_rate: f64 = flag(args, "--fault-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let fault_seed: u64 = flag(args, "--fault-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let db = match &db_dir {
+        Some(dir) if dir.is_dir() => match Database::load(dir) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("error: cannot load database from {}: {e}", dir.display());
+                return 2;
+            }
+        },
+        _ => Database::in_memory(),
+    };
+    let experiment = match Experiment::with_database("campaign", db) {
+        Ok(experiment) => experiment,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let [binary, repo, script, kernel, disk] = match register_campaign_artifacts(&experiment) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    let sweep = CrossProduct::new()
+        .axis("cpu", ["kvm", "atomic", "timing"])
+        .axis("cores", ["1", "2"]);
+    let mut runs = Vec::with_capacity(sweep.len());
+    for combo in sweep.iter() {
+        let run = experiment.create_fs_run(|b| {
+            let mut b = b
+                .simulator(binary, "sim")
+                .simulator_repo(repo)
+                .run_script(script, "boot.cfg")
+                .kernel(kernel, "vmlinux-5.4")
+                .disk_image(disk, "ubuntu.img");
+            for param in combo.params() {
+                b = b.param(param);
+            }
+            b
+        });
+        match run {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("error: cannot create run for {}: {e}", combo.label());
+                return 2;
+            }
+        }
+    }
+
+    let mut options =
+        if resume { LaunchOptions::resuming() } else { LaunchOptions::default() };
+    if retries > 0 {
+        options = options.retry_policy(RetryPolicy::immediate(retries + 1));
+    }
+    if fault_rate > 0.0 {
+        options = options.fault(Arc::new(FaultInjector::new(fault_seed).errors(fault_rate)));
+    }
+
+    let pool = PoolScheduler::new(2);
+    let summary = experiment.launch_with(runs, &pool, execute_campaign_run, &options);
+    println!(
+        "campaign: {} runs — fresh {}, requeued {}, skipped done {}, skipped duplicates {}",
+        summary.total(),
+        summary.fresh,
+        summary.requeued,
+        summary.skipped_done,
+        summary.skipped_duplicates,
+    );
+    println!(
+        "outcomes: done {}, failed {}, timed out {}, retried {}",
+        summary.done, summary.failed, summary.timed_out, summary.retried,
+    );
+
+    if let Some(dir) = db_dir {
+        if let Err(e) = experiment.database().save(&dir) {
+            eprintln!("error: cannot save database to {}: {e}", dir.display());
+            return 2;
+        }
+        println!("database saved to {}", dir.display());
+    }
+    i32::from(summary.failed + summary.timed_out > 0)
 }
 
 fn selftest() -> i32 {

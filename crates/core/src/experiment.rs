@@ -11,8 +11,9 @@ use parking_lot::Mutex;
 use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry};
 use simart_db::{ArtifactStore, Database, DbError, Filter, Value};
 use simart_run::{FsRun, RunError, RunStatus, RunStore};
-use simart_tasks::{Scheduler, Task, TaskReport, TaskState};
+use simart_tasks::{FaultInjector, RetryPolicy, Scheduler, Task, TaskReport, TaskState};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Errors surfaced by experiment orchestration.
@@ -91,12 +92,57 @@ pub struct LaunchSummary {
     /// Runs skipped because the identical experiment was already
     /// recorded in the database.
     pub skipped_duplicates: usize,
+    /// Runs skipped on resume because they already finished
+    /// successfully (their results are never silently redone).
+    pub skipped_done: usize,
+    /// Runs re-queued on resume: previously failed, timed out, or
+    /// stranded mid-flight by a crashed session.
+    pub requeued: usize,
+    /// Runs recorded and executed for the first time by this launch.
+    pub fresh: usize,
+    /// Runs that needed more than one attempt (whatever their final
+    /// state).
+    pub retried: usize,
 }
 
 impl LaunchSummary {
-    /// Total runs examined.
+    /// Total runs examined (executed + skipped).
     pub fn total(&self) -> usize {
-        self.done + self.failed + self.timed_out + self.skipped_duplicates
+        self.done + self.failed + self.timed_out + self.skipped_duplicates + self.skipped_done
+    }
+}
+
+/// Fault-tolerance knobs for [`Experiment::launch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct LaunchOptions {
+    /// Retry policy applied to every run's task (default: single
+    /// attempt, no backoff).
+    pub retry_policy: RetryPolicy,
+    /// Optional deterministic fault injector threaded into every task.
+    pub fault: Option<Arc<FaultInjector>>,
+    /// Resume mode: instead of skipping duplicate runs outright,
+    /// consult their stored status — `Done` runs are skipped, while
+    /// failed, timed-out, and stranded (`Queued`/`Running`/`Retrying`)
+    /// runs are re-queued and executed again under the same record.
+    pub resume: bool,
+}
+
+impl LaunchOptions {
+    /// Options for resuming an interrupted campaign.
+    pub fn resuming() -> LaunchOptions {
+        LaunchOptions { resume: true, ..LaunchOptions::default() }
+    }
+
+    /// Sets the retry policy.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> LaunchOptions {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Sets the fault injector.
+    pub fn fault(mut self, injector: Arc<FaultInjector>) -> LaunchOptions {
+        self.fault = Some(injector);
+        self
     }
 }
 
@@ -231,42 +277,119 @@ impl Experiment {
     /// parameters and simulates it. Runs whose hash is already in the
     /// database are *skipped* (the same experiment is never measured
     /// twice), mirroring the framework's dedup discipline.
+    ///
+    /// Equivalent to [`Experiment::launch_with`] with default
+    /// [`LaunchOptions`] (one attempt, no fault injection, no resume).
     pub fn launch<S: Scheduler + ?Sized>(
         &self,
         runs: Vec<FsRun>,
         scheduler: &S,
         execute: impl Fn(&FsRun) -> Result<ExecOutcome, String> + Send + Sync + Clone + 'static,
     ) -> LaunchSummary {
+        self.launch_with(runs, scheduler, execute, &LaunchOptions::default())
+    }
+
+    /// [`Experiment::launch`] with fault-tolerance options: a
+    /// [`RetryPolicy`] honored by the task layer, an optional
+    /// deterministic [`FaultInjector`], and resume mode.
+    ///
+    /// Provenance discipline: every status change and attempt is logged
+    /// on the run record, and the *terminal* status (`Done`, `Failed`,
+    /// `TimedOut`) is written exactly once per launched run — here,
+    /// after the task's report arrives, never from inside the attempt
+    /// closure. A detached attempt that straggles in after its run
+    /// timed out cannot overwrite the terminal state because store
+    /// transitions enforce the lifecycle.
+    pub fn launch_with<S: Scheduler + ?Sized>(
+        &self,
+        runs: Vec<FsRun>,
+        scheduler: &S,
+        execute: impl Fn(&FsRun) -> Result<ExecOutcome, String> + Send + Sync + Clone + 'static,
+        options: &LaunchOptions,
+    ) -> LaunchSummary {
         let mut summary = LaunchSummary::default();
         let mut handles = Vec::new();
         for mut fs_run in runs {
             match self.runs.record(&fs_run) {
-                Ok(()) => {}
+                Ok(()) => {
+                    summary.fresh += 1;
+                    let _ = fs_run.transition(RunStatus::Queued);
+                    let _ = self.runs.transition(fs_run.id(), RunStatus::Queued);
+                }
                 Err(RunError::DuplicateRun { .. }) => {
-                    summary.skipped_duplicates += 1;
-                    continue;
+                    if !options.resume {
+                        summary.skipped_duplicates += 1;
+                        continue;
+                    }
+                    // Resume: pick up the *stored* record (same id, so
+                    // provenance accumulates on one document).
+                    let stored = match self.runs.find_by_hash(fs_run.run_hash()) {
+                        Ok(Some(stored)) => stored,
+                        _ => {
+                            summary.failed += 1;
+                            continue;
+                        }
+                    };
+                    match stored.status() {
+                        RunStatus::Done => {
+                            summary.skipped_done += 1;
+                            continue;
+                        }
+                        RunStatus::Queued => {
+                            // Stranded in the queue; already in the
+                            // right state to relaunch.
+                            summary.requeued += 1;
+                        }
+                        RunStatus::Created => {
+                            let _ = self.runs.transition(stored.id(), RunStatus::Queued);
+                            summary.requeued += 1;
+                        }
+                        RunStatus::Running
+                        | RunStatus::Retrying
+                        | RunStatus::Failed
+                        | RunStatus::TimedOut => {
+                            let _ = self.runs.transition(stored.id(), RunStatus::Queued);
+                            summary.requeued += 1;
+                        }
+                    }
+                    fs_run = stored;
                 }
                 Err(_) => {
                     summary.failed += 1;
                     continue;
                 }
             }
-            let _ = fs_run.transition(RunStatus::Queued);
-            let _ = self.runs.set_status(fs_run.id(), RunStatus::Queued);
 
             let store = self.runs.clone();
             let execute = execute.clone();
+            let policy = options.retry_policy.clone();
+            let fault = options.fault.clone();
             let timeout = fs_run.timeout();
+            let run_id = fs_run.id();
             let name = format!("{}/{}", self.name, fs_run.run_hash());
+            let fault_name = name.clone();
+            // 1-based attempt counter for this run, shared across the
+            // per-attempt invocations of the closure below.
+            let attempt_counter = Arc::new(AtomicU32::new(0));
             let task = Task::new(name, move || {
-                let mut run = fs_run.clone();
-                let _ = run.transition(RunStatus::Running);
-                let _ = store.set_status(run.id(), RunStatus::Running);
-                match execute(&run) {
+                let attempt = attempt_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                let delay_before = policy.delay_before(attempt);
+                let run = fs_run.clone();
+                // Queued -> Running on the first attempt, Retrying ->
+                // Running afterwards.
+                let _ = store.transition(run.id(), RunStatus::Running);
+                // Faults are injected around the executor (not around
+                // the bookkeeping) so injected errors still leave a
+                // complete provenance trail. Injected panics unwind
+                // here and are caught by the task layer.
+                let result = match &fault {
+                    Some(injector) => {
+                        injector.inject(&fault_name, attempt).and_then(|()| execute(&run))
+                    }
+                    None => execute(&run),
+                };
+                let (disposition, result) = match result {
                     Ok(outcome) => {
-                        let status =
-                            if outcome.success { RunStatus::Done } else { RunStatus::Failed };
-                        let _ = store.set_status(run.id(), status);
                         let _ = store.attach_results(
                             run.id(),
                             outcome.sim_ticks,
@@ -274,26 +397,51 @@ impl Experiment {
                             &outcome.payload,
                         );
                         if outcome.success {
-                            Ok(outcome.outcome)
+                            ("succeeded", Ok(outcome.outcome))
                         } else {
-                            Err(outcome.outcome)
+                            ("errored", Err(outcome.outcome))
                         }
                     }
-                    Err(err) => {
-                        let _ = store.set_status(run.id(), RunStatus::Failed);
-                        Err(err)
-                    }
+                    Err(err) => ("errored", Err(err)),
+                };
+                let _ = store.record_attempt(run.id(), disposition, delay_before);
+                if result.is_err() {
+                    // Park the run for a possible retry; the terminal
+                    // status (if retries are exhausted) is written by
+                    // the post-wait loop, exactly once.
+                    let _ = store.transition(run.id(), RunStatus::Retrying);
                 }
+                result
             })
-            .timeout(timeout);
-            handles.push(scheduler.submit(task));
+            .timeout(timeout)
+            .retry_policy(options.retry_policy.clone());
+            handles.push((run_id, scheduler.submit(task)));
         }
-        for handle in handles {
+        for (run_id, handle) in handles {
             let report: TaskReport = handle.wait();
             match report.state {
-                TaskState::Succeeded => summary.done += 1,
-                TaskState::Failed => summary.failed += 1,
-                TaskState::TimedOut => summary.timed_out += 1,
+                TaskState::Succeeded => {
+                    summary.done += 1;
+                    let _ = self.runs.transition(run_id, RunStatus::Done);
+                }
+                TaskState::Failed => {
+                    summary.failed += 1;
+                    let _ = self.runs.transition(run_id, RunStatus::Failed);
+                }
+                TaskState::TimedOut => {
+                    summary.timed_out += 1;
+                    // The attempt never returned, so record it here
+                    // before sealing the terminal status.
+                    let _ = self.runs.record_attempt(
+                        run_id,
+                        "timed-out",
+                        options.retry_policy.delay_before(report.attempts),
+                    );
+                    let _ = self.runs.transition(run_id, RunStatus::TimedOut);
+                }
+            }
+            if report.attempts > 1 {
+                summary.retried += 1;
             }
         }
         summary
@@ -442,6 +590,172 @@ mod tests {
         let summary =
             experiment.launch(runs, &pool, |_| Err("simulated crash".to_owned()));
         assert_eq!(summary.failed, 1);
+        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Failed);
+    }
+
+    #[test]
+    fn retry_policy_reruns_flaky_executors() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let (experiment, ids) = experiment_with_components();
+        let runs = vec![make_run(&experiment, ids, "flaky")];
+        let id = runs[0].id();
+        let pool = PoolScheduler::new(1);
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        let options = LaunchOptions::default()
+            .retry_policy(RetryPolicy::immediate(3));
+        let summary = experiment.launch_with(
+            runs,
+            &pool,
+            move |_| {
+                if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".to_owned())
+                } else {
+                    Ok(ExecOutcome {
+                        outcome: "success".into(),
+                        sim_ticks: 7,
+                        payload: vec![],
+                        success: true,
+                    })
+                }
+            },
+            &options,
+        );
+        assert_eq!(summary.done, 1);
+        assert_eq!(summary.retried, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Done);
+        let history = experiment.runs().attempt_history(id).unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[2].disposition, "succeeded");
+        // Terminal status appears exactly once in the provenance log.
+        let terminal: Vec<_> = experiment
+            .runs()
+            .events(id)
+            .into_iter()
+            .filter(|e| ["status:done", "status:failed", "status:timed-out"].contains(&e.as_str()))
+            .collect();
+        assert_eq!(terminal, vec!["status:done"]);
+    }
+
+    #[test]
+    fn resume_skips_done_and_requeues_failed() {
+        let (experiment, ids) = experiment_with_components();
+        let good = make_run(&experiment, ids, "good");
+        let bad = make_run(&experiment, ids, "bad");
+        let good_id = good.id();
+        let bad_id = bad.id();
+        let pool = PoolScheduler::new(2);
+        let run_batch = |resume: bool, fail_bad: bool| {
+            let runs = vec![
+                make_run(&experiment, ids, "good"),
+                make_run(&experiment, ids, "bad"),
+            ];
+            let options =
+                if resume { LaunchOptions::resuming() } else { LaunchOptions::default() };
+            experiment.launch_with(
+                runs,
+                &pool,
+                move |run: &FsRun| {
+                    if fail_bad && run.params()[0] == "bad" {
+                        Err("boom".to_owned())
+                    } else {
+                        Ok(ExecOutcome {
+                            outcome: "success".into(),
+                            sim_ticks: 1,
+                            payload: vec![],
+                            success: true,
+                        })
+                    }
+                },
+                &options,
+            )
+        };
+        // First launch with the original run objects: good done, bad failed.
+        let options = LaunchOptions::default();
+        let s1 = experiment.launch_with(
+            vec![good, bad],
+            &pool,
+            |run: &FsRun| {
+                if run.params()[0] == "bad" {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(ExecOutcome {
+                        outcome: "success".into(),
+                        sim_ticks: 1,
+                        payload: vec![],
+                        success: true,
+                    })
+                }
+            },
+            &options,
+        );
+        assert_eq!((s1.done, s1.failed, s1.fresh), (1, 1, 2));
+        // Non-resume relaunch: both are duplicates, nothing runs.
+        let s2 = run_batch(false, true);
+        assert_eq!(s2.skipped_duplicates, 2);
+        assert_eq!(s2.total(), 2);
+        // Resume: the done run is skipped, the failed one re-queued and
+        // (healed) succeeds on the same record.
+        let s3 = run_batch(true, false);
+        assert_eq!((s3.skipped_done, s3.requeued, s3.done), (1, 1, 1));
+        assert_eq!(experiment.runs().load(bad_id).unwrap().status(), RunStatus::Done);
+        assert_eq!(experiment.runs().load(good_id).unwrap().status(), RunStatus::Done);
+        // The healed run kept one record: no duplicate documents.
+        assert_eq!(experiment.runs().len(), 2);
+    }
+
+    #[test]
+    fn resume_requeues_stranded_running_runs() {
+        let (experiment, ids) = experiment_with_components();
+        let run = make_run(&experiment, ids, "stranded");
+        let id = run.id();
+        experiment.runs().record(&run).unwrap();
+        // Simulate a crashed session: the run was mid-flight.
+        experiment.runs().set_status(id, RunStatus::Running).unwrap();
+        let pool = PoolScheduler::new(1);
+        let summary = experiment.launch_with(
+            vec![make_run(&experiment, ids, "stranded")],
+            &pool,
+            |_| {
+                Ok(ExecOutcome {
+                    outcome: "success".into(),
+                    sim_ticks: 9,
+                    payload: vec![],
+                    success: true,
+                })
+            },
+            &LaunchOptions::resuming(),
+        );
+        assert_eq!((summary.requeued, summary.done), (1, 1));
+        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Done);
+    }
+
+    #[test]
+    fn fault_injection_flows_through_launch() {
+        let (experiment, ids) = experiment_with_components();
+        let runs = vec![make_run(&experiment, ids, "faulted")];
+        let id = runs[0].id();
+        let pool = PoolScheduler::new(1);
+        let injector = Arc::new(simart_tasks::FaultInjector::new(5).errors(1.0));
+        let options = LaunchOptions::default()
+            .retry_policy(RetryPolicy::immediate(2))
+            .fault(Arc::clone(&injector));
+        let summary = experiment.launch_with(
+            runs,
+            &pool,
+            |_| {
+                Ok(ExecOutcome {
+                    outcome: "success".into(),
+                    sim_ticks: 1,
+                    payload: vec![],
+                    success: true,
+                })
+            },
+            &options,
+        );
+        assert_eq!(summary.failed, 1);
+        assert_eq!(injector.injected_errors(), 2, "both attempts were injected");
         assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Failed);
     }
 

@@ -52,4 +52,4 @@ pub mod cross;
 mod experiment;
 pub mod report;
 
-pub use experiment::{ExecOutcome, Experiment, ExperimentError, LaunchSummary};
+pub use experiment::{ExecOutcome, Experiment, ExperimentError, LaunchOptions, LaunchSummary};

@@ -63,6 +63,41 @@ fn selftest_passes() {
 }
 
 #[test]
+fn campaign_persists_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("simart-cli-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = dir.to_str().unwrap();
+
+    // Session 1: every run fails under a saturating fault injector —
+    // this is the "crashed/flaky campaign" whose state is persisted.
+    let (stdout, _, code) = simart(&["campaign", "--db", db, "--fault-rate", "1.0"]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("fresh 6"), "{stdout}");
+    assert!(stdout.contains("failed 6"), "{stdout}");
+    assert!(stdout.contains("database saved"), "{stdout}");
+
+    // Session 2 without --resume: the stored runs are duplicates.
+    let (stdout, _, code) = simart(&["campaign", "--db", db]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("skipped duplicates 6"), "{stdout}");
+
+    // Session 3 with --resume and no faults: all six are re-queued
+    // under their original records and succeed this time.
+    let (stdout, _, code) = simart(&["campaign", "--db", db, "--resume"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("requeued 6"), "{stdout}");
+    assert!(stdout.contains("done 6"), "{stdout}");
+
+    // Session 4 with --resume: everything is already done.
+    let (stdout, _, code) = simart(&["campaign", "--db", db, "--resume"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("skipped done 6"), "{stdout}");
+    assert!(stdout.contains("done 0"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn matrix_totals_match_figure_8() {
     let (stdout, _, code) = simart(&["matrix"]);
     assert_eq!(code, 0);

@@ -63,32 +63,58 @@ impl Database {
     ///
     /// Layout: `<dir>/<collection>.jsonl` + `<dir>/blobs/<hash>`.
     ///
+    /// The save is crash-safe per file: each collection is written to a
+    /// `.jsonl.tmp` sibling, synced, and atomically renamed over the
+    /// final name, so an interruption at any point leaves every
+    /// `.jsonl` either the previous snapshot or the new one — never a
+    /// torn mix. Blobs are content-addressed and written the same way.
+    /// Leftover `.tmp` files from an earlier interrupted save are
+    /// removed first and are ignored by [`Database::load`].
+    ///
     /// # Errors
     ///
     /// Propagates filesystem failures as [`DbError::Io`].
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
+        remove_stale_tmp_files(dir)?;
         for name in self.collection_names() {
             let collection = self.collection(&name);
-            let path = dir.join(format!("{name}.jsonl"));
-            let mut file = fs::File::create(&path)?;
-            for doc in collection.all() {
-                writeln!(file, "{}", json::to_json(&doc))?;
+            let tmp = dir.join(format!("{name}.jsonl.tmp"));
+            {
+                let mut file = fs::File::create(&tmp)?;
+                for doc in collection.all() {
+                    writeln!(file, "{}", json::to_json(&doc))?;
+                }
+                file.sync_all()?;
             }
+            fs::rename(&tmp, dir.join(format!("{name}.jsonl")))?;
         }
         let blob_dir = dir.join("blobs");
         fs::create_dir_all(&blob_dir)?;
+        remove_stale_tmp_files(&blob_dir)?;
         for key in self.blobs.keys() {
             let path = blob_dir.join(key.to_hex());
             if !path.exists() {
-                fs::write(&path, self.blobs.get(key).expect("key just listed"))?;
+                let tmp = blob_dir.join(format!("{}.tmp", key.to_hex()));
+                {
+                    let mut file = fs::File::create(&tmp)?;
+                    file.write_all(&self.blobs.get(key).expect("key just listed"))?;
+                    file.sync_all()?;
+                }
+                fs::rename(&tmp, &path)?;
             }
         }
         Ok(())
     }
 
     /// Loads a database previously written by [`Database::save`].
+    ///
+    /// Recovery from interrupted saves is automatic: `.tmp` files
+    /// (torn partial writes) are ignored, and blob files whose content
+    /// does not hash to their filename are discarded rather than
+    /// loaded, so a crashed save can never corrupt the loaded state —
+    /// the previous snapshot wins.
     ///
     /// # Errors
     ///
@@ -124,11 +150,37 @@ impl Database {
         if blob_dir.is_dir() {
             for entry in fs::read_dir(&blob_dir)? {
                 let entry = entry?;
-                db.blobs.put(fs::read(entry.path())?);
+                // Only files named by a valid content hash are blobs;
+                // anything else (.tmp leftovers, strays) is a torn or
+                // foreign write and is skipped.
+                let Some(key) = entry
+                    .file_name()
+                    .to_str()
+                    .and_then(crate::blobstore::BlobKey::from_hex)
+                else {
+                    continue;
+                };
+                let data = fs::read(entry.path())?;
+                if crate::blobstore::BlobKey::for_content(&data) != key {
+                    continue;
+                }
+                db.blobs.put(data);
             }
         }
         Ok(db)
     }
+}
+
+/// Removes `*.tmp` leftovers of an interrupted save from `dir`.
+fn remove_stale_tmp_files(dir: &Path) -> Result<(), DbError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_file() && path.extension().map(|e| e == "tmp").unwrap_or(false) {
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -189,6 +241,70 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("runs.jsonl"), "{\"_id\":\"a\"}\nnot json\n").unwrap();
         assert!(matches!(Database::load(&dir), Err(DbError::Parse { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_snapshot_loadable() {
+        let dir = temp_dir("interrupted");
+        let db = Database::in_memory();
+        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        let key = db.blobs().put(b"good blob".to_vec());
+        db.save(&dir).unwrap();
+
+        // Simulate a save that died mid-write: a torn collection tmp
+        // file and a torn blob tmp file are left behind, but the real
+        // files were never replaced.
+        fs::write(dir.join("runs.jsonl.tmp"), "{\"_id\":\"r2\",\"truncat").unwrap();
+        fs::write(dir.join("blobs").join(format!("{}.tmp", key.to_hex())), b"gar").unwrap();
+
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 1);
+        assert!(restored.collection("runs").get("r1").is_some());
+        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"good blob");
+
+        // The next save clears the torn leftovers.
+        restored.save(&dir).unwrap();
+        assert!(!dir.join("runs.jsonl.tmp").exists());
+        assert!(!dir.join("blobs").join(format!("{}.tmp", key.to_hex())).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_blobs_are_discarded_on_load() {
+        let dir = temp_dir("torn-blob");
+        let db = Database::in_memory();
+        let key = db.blobs().put(b"intact".to_vec());
+        db.save(&dir).unwrap();
+
+        // A blob whose content no longer matches its filename (torn or
+        // tampered) must not be loaded under that key.
+        let fake = crate::blobstore::BlobKey::for_content(b"never stored");
+        fs::write(dir.join("blobs").join(fake.to_hex()), b"mismatched content").unwrap();
+
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"intact");
+        assert!(restored.blobs().get(fake).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_atomic_per_collection_file() {
+        let dir = temp_dir("atomic");
+        let db = Database::in_memory();
+        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.save(&dir).unwrap();
+        // After a completed save no tmp files remain.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().map(|x| x == "tmp").unwrap_or(false))
+            .collect();
+        assert!(leftovers.is_empty());
+        // Overwriting saves replace content wholesale.
+        db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+        db.save(&dir).unwrap();
+        assert_eq!(Database::load(&dir).unwrap().collection("runs").len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

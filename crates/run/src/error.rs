@@ -39,6 +39,13 @@ pub enum RunError {
         /// Why it could not be decoded.
         reason: String,
     },
+    /// A requested status change violates the run lifecycle.
+    IllegalTransition {
+        /// Current status.
+        from: crate::status::RunStatus,
+        /// Requested status.
+        to: crate::status::RunStatus,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -58,6 +65,9 @@ impl fmt::Display for RunError {
                 write!(f, "run with hash {hash} is already recorded")
             }
             RunError::Corrupt { reason } => write!(f, "corrupt run record: {reason}"),
+            RunError::IllegalTransition { from, to } => {
+                write!(f, "illegal run status transition {from} -> {to}")
+            }
         }
     }
 }

@@ -12,6 +12,9 @@ pub enum RunStatus {
     Queued,
     /// Executing.
     Running,
+    /// An attempt failed; the run is waiting out its backoff before
+    /// the next attempt.
+    Retrying,
     /// Finished successfully; results attached.
     Done,
     /// Finished unsuccessfully (simulation-level failure).
@@ -26,7 +29,21 @@ impl RunStatus {
         matches!(self, RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut)
     }
 
+    /// Whether the run was interrupted mid-flight (a non-terminal,
+    /// non-fresh state) — what a crashed session leaves behind.
+    pub fn is_stranded(self) -> bool {
+        matches!(self, RunStatus::Queued | RunStatus::Running | RunStatus::Retrying)
+    }
+
     /// Whether the transition `self -> next` is legal.
+    ///
+    /// Forward progress is `Created -> Queued -> Running -> Done`.
+    /// Fault tolerance adds the retry loop (`Running -> Retrying ->
+    /// Running`) and the rerun edges back to `Queued`: failed and
+    /// timed-out runs can be re-queued explicitly, and stranded
+    /// `Running`/`Retrying` runs are re-queued when a crashed session
+    /// resumes. `Done` stays a sink — finished results are never
+    /// silently redone.
     pub fn can_transition_to(self, next: RunStatus) -> bool {
         use RunStatus::*;
         matches!(
@@ -37,6 +54,16 @@ impl RunStatus {
                 | (Running, Done)
                 | (Running, Failed)
                 | (Running, TimedOut)
+                // Retry loop within one session.
+                | (Running, Retrying)
+                | (Retrying, Running)
+                | (Retrying, Failed)
+                | (Retrying, TimedOut)
+                // Rerun/resume edges back into the queue.
+                | (Failed, Queued)
+                | (TimedOut, Queued)
+                | (Running, Queued)
+                | (Retrying, Queued)
         )
     }
 }
@@ -47,6 +74,7 @@ impl fmt::Display for RunStatus {
             RunStatus::Created => "created",
             RunStatus::Queued => "queued",
             RunStatus::Running => "running",
+            RunStatus::Retrying => "retrying",
             RunStatus::Done => "done",
             RunStatus::Failed => "failed",
             RunStatus::TimedOut => "timed-out",
@@ -75,6 +103,7 @@ impl FromStr for RunStatus {
             "created" => RunStatus::Created,
             "queued" => RunStatus::Queued,
             "running" => RunStatus::Running,
+            "retrying" => RunStatus::Retrying,
             "done" => RunStatus::Done,
             "failed" => RunStatus::Failed,
             "timed-out" => RunStatus::TimedOut,
@@ -93,19 +122,48 @@ mod tests {
         assert!(RunStatus::Queued.can_transition_to(RunStatus::Running));
         assert!(RunStatus::Running.can_transition_to(RunStatus::Done));
         assert!(RunStatus::Running.can_transition_to(RunStatus::TimedOut));
-        // Terminal states are sinks.
+        // Done is a sink: finished results are never silently redone.
         assert!(!RunStatus::Done.can_transition_to(RunStatus::Running));
-        assert!(!RunStatus::Failed.can_transition_to(RunStatus::Queued));
+        assert!(!RunStatus::Done.can_transition_to(RunStatus::Queued));
         // No skipping backwards.
         assert!(!RunStatus::Running.can_transition_to(RunStatus::Created));
+        assert!(!RunStatus::Queued.can_transition_to(RunStatus::Created));
+    }
+
+    #[test]
+    fn retry_and_rerun_transitions() {
+        // In-session retry loop.
+        assert!(RunStatus::Running.can_transition_to(RunStatus::Retrying));
+        assert!(RunStatus::Retrying.can_transition_to(RunStatus::Running));
+        assert!(RunStatus::Retrying.can_transition_to(RunStatus::Failed));
+        assert!(RunStatus::Retrying.can_transition_to(RunStatus::TimedOut));
+        // Failed/timed-out runs can be re-queued for another go.
+        assert!(RunStatus::Failed.can_transition_to(RunStatus::Queued));
+        assert!(RunStatus::TimedOut.can_transition_to(RunStatus::Queued));
+        // Stranded in-flight runs are re-queued on resume.
+        assert!(RunStatus::Running.can_transition_to(RunStatus::Queued));
+        assert!(RunStatus::Retrying.can_transition_to(RunStatus::Queued));
+        // Retrying cannot leap straight to Done.
+        assert!(!RunStatus::Retrying.can_transition_to(RunStatus::Done));
     }
 
     #[test]
     fn terminal_classification() {
         assert!(!RunStatus::Created.is_terminal());
         assert!(!RunStatus::Running.is_terminal());
+        assert!(!RunStatus::Retrying.is_terminal());
         assert!(RunStatus::Done.is_terminal());
         assert!(RunStatus::TimedOut.is_terminal());
+    }
+
+    #[test]
+    fn stranded_classification() {
+        assert!(RunStatus::Queued.is_stranded());
+        assert!(RunStatus::Running.is_stranded());
+        assert!(RunStatus::Retrying.is_stranded());
+        assert!(!RunStatus::Created.is_stranded());
+        assert!(!RunStatus::Done.is_stranded());
+        assert!(!RunStatus::Failed.is_stranded());
     }
 
     #[test]
@@ -114,6 +172,7 @@ mod tests {
             RunStatus::Created,
             RunStatus::Queued,
             RunStatus::Running,
+            RunStatus::Retrying,
             RunStatus::Done,
             RunStatus::Failed,
             RunStatus::TimedOut,

@@ -64,7 +64,12 @@ impl RunStore {
         doc_to_run(&doc)
     }
 
-    /// Updates a run's status in the database.
+    /// Updates a run's status in the database, appending a
+    /// `status:<new>` entry to the run's provenance event log.
+    ///
+    /// This is the *unchecked* write — it does not validate the
+    /// lifecycle and exists for administrative repair and for
+    /// simulating crashes in tests. Prefer [`RunStore::transition`].
     ///
     /// # Errors
     ///
@@ -75,11 +80,134 @@ impl RunStore {
             .collection(Self::COLLECTION)
             .update_many(&Filter::eq("_id", id.to_string()), |doc| {
                 doc.set_at("status", Value::from(status.to_string()));
+                push_event(doc, &format!("status:{status}"));
             });
         if n == 0 {
             return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
         }
         Ok(())
+    }
+
+    /// Moves a run to `next`, enforcing the lifecycle: the change is
+    /// refused (and nothing is written) unless the run's current
+    /// status [can transition](RunStatus::can_transition_to) to `next`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::IllegalTransition`] on a lifecycle violation;
+    /// propagates lookup failures.
+    pub fn transition(&self, id: Uuid, next: RunStatus) -> Result<(), RunError> {
+        let from = self.load(id)?.status();
+        if !from.can_transition_to(next) {
+            return Err(RunError::IllegalTransition { from, to: next });
+        }
+        self.set_status(id, next)
+    }
+
+    /// Appends one attempt to the run's attempt history (bumping the
+    /// attempt counter and logging an `attempt:<n>:<disposition>`
+    /// provenance event) and returns the new attempt count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup failures.
+    pub fn record_attempt(
+        &self,
+        id: Uuid,
+        disposition: &str,
+        delay_before: Duration,
+    ) -> Result<u32, RunError> {
+        let recorded = std::cell::Cell::new(0u32);
+        let n = self
+            .db
+            .collection(Self::COLLECTION)
+            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+                let count = doc.at("attemptCount").and_then(Value::as_int).unwrap_or(0) as u32 + 1;
+                recorded.set(count);
+                doc.set_at("attemptCount", Value::from(u64::from(count)));
+                let mut attempts: Vec<Value> = doc
+                    .at("attempts")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::to_vec)
+                    .unwrap_or_default();
+                attempts.push(Value::map([
+                    ("index", Value::from(u64::from(count))),
+                    ("disposition", Value::from(disposition)),
+                    ("delayMs", Value::from(delay_before.as_millis() as u64)),
+                ]));
+                doc.set_at("attempts", Value::array(attempts));
+                push_event(doc, &format!("attempt:{count}:{disposition}"));
+            });
+        if n == 0 {
+            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+        }
+        Ok(recorded.get())
+    }
+
+    /// Number of attempts recorded for a run (0 when none, or when the
+    /// run is unknown).
+    pub fn attempt_count(&self, id: Uuid) -> u32 {
+        self.db
+            .collection(Self::COLLECTION)
+            .get(&id.to_string())
+            .and_then(|doc| doc.at("attemptCount").and_then(Value::as_int))
+            .unwrap_or(0) as u32
+    }
+
+    /// The run's attempt history, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and decode failures.
+    pub fn attempt_history(&self, id: Uuid) -> Result<Vec<RunAttempt>, RunError> {
+        let corrupt = |why: &str| RunError::Corrupt { reason: why.to_owned() };
+        let doc = self
+            .db
+            .collection(Self::COLLECTION)
+            .get(&id.to_string())
+            .ok_or_else(|| RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }))?;
+        let Some(attempts) = doc.at("attempts").and_then(Value::as_array) else {
+            return Ok(Vec::new());
+        };
+        attempts
+            .iter()
+            .map(|entry| {
+                Ok(RunAttempt {
+                    index: entry
+                        .at("index")
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| corrupt("attempt without index"))?
+                        as u32,
+                    disposition: entry
+                        .at("disposition")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| corrupt("attempt without disposition"))?
+                        .to_owned(),
+                    delay_ms: entry
+                        .at("delayMs")
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| corrupt("attempt without delayMs"))?
+                        as u64,
+                })
+            })
+            .collect()
+    }
+
+    /// The run's provenance event log (status changes and attempts, in
+    /// write order). Empty for unknown runs.
+    pub fn events(&self, id: Uuid) -> Vec<String> {
+        self.db
+            .collection(Self::COLLECTION)
+            .get(&id.to_string())
+            .and_then(|doc| {
+                doc.at("events").and_then(Value::as_array).map(|events| {
+                    events
+                        .iter()
+                        .filter_map(|e| e.as_str().map(str::to_owned))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .unwrap_or_default()
     }
 
     /// Attaches results: summary statistics fields plus an archived
@@ -115,6 +243,21 @@ impl RunStore {
         let doc = self.db.collection(Self::COLLECTION).get(&id.to_string())?;
         let key = BlobKey::from_hex(doc.at("results.payload")?.as_str()?)?;
         self.db.blobs().get(key)
+    }
+
+    /// Finds the run with the given hash (unique per experiment), if
+    /// recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures.
+    pub fn find_by_hash(&self, hash: &str) -> Result<Option<FsRun>, RunError> {
+        self.db
+            .collection(Self::COLLECTION)
+            .find(&Filter::eq("hash", hash))
+            .first()
+            .map(doc_to_run)
+            .transpose()
     }
 
     /// All runs in the given status.
@@ -155,6 +298,30 @@ impl RunStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// One recorded attempt of a run — the persisted mirror of the task
+/// layer's attempt records. `delay_ms` is the scheduled backoff before
+/// the attempt, so histories are deterministic for a fixed retry seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunAttempt {
+    /// 1-based attempt number.
+    pub index: u32,
+    /// How the attempt ended ("succeeded", "errored", "timed-out").
+    pub disposition: String,
+    /// Backoff delay scheduled before this attempt, in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// Appends one entry to a run document's provenance event log.
+fn push_event(doc: &mut Value, event: &str) {
+    let mut events: Vec<Value> = doc
+        .at("events")
+        .and_then(Value::as_array)
+        .map(<[Value]>::to_vec)
+        .unwrap_or_default();
+    events.push(Value::from(event));
+    doc.set_at("events", Value::array(events));
 }
 
 fn run_to_doc(run: &FsRun) -> Value {
@@ -307,6 +474,9 @@ mod tests {
         store.record(&run).unwrap();
         let loaded = store.load(run.id()).unwrap();
         assert_eq!(loaded, run);
+        let by_hash = store.find_by_hash(run.run_hash()).unwrap().unwrap();
+        assert_eq!(by_hash.id(), run.id());
+        assert!(store.find_by_hash("no-such-hash").unwrap().is_none());
     }
 
     #[test]
@@ -339,6 +509,80 @@ mod tests {
         assert_eq!(store.load_results(run.id()).unwrap().as_ref(), b"stats dump here");
         let doc = store.load(run.id()).unwrap();
         let _ = doc; // run decodes fine with results attached
+    }
+
+    #[test]
+    fn transition_enforces_the_lifecycle() {
+        let (registry, ids, _db, store) = setup();
+        let run = make_run(&registry, ids, "lifecycle");
+        store.record(&run).unwrap();
+        store.transition(run.id(), RunStatus::Queued).unwrap();
+        store.transition(run.id(), RunStatus::Running).unwrap();
+        store.transition(run.id(), RunStatus::Done).unwrap();
+        // Done is a sink — even the unchecked-looking rerun edge fails.
+        let err = store.transition(run.id(), RunStatus::Queued).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::IllegalTransition { from: RunStatus::Done, to: RunStatus::Queued }
+        ));
+        assert_eq!(store.load(run.id()).unwrap().status(), RunStatus::Done);
+    }
+
+    #[test]
+    fn failed_runs_can_be_requeued() {
+        let (registry, ids, _db, store) = setup();
+        let run = make_run(&registry, ids, "requeue");
+        store.record(&run).unwrap();
+        store.transition(run.id(), RunStatus::Queued).unwrap();
+        store.transition(run.id(), RunStatus::Running).unwrap();
+        store.transition(run.id(), RunStatus::Failed).unwrap();
+        store.transition(run.id(), RunStatus::Queued).unwrap();
+        assert_eq!(store.load(run.id()).unwrap().status(), RunStatus::Queued);
+    }
+
+    #[test]
+    fn status_changes_accumulate_in_the_event_log() {
+        let (registry, ids, _db, store) = setup();
+        let run = make_run(&registry, ids, "events");
+        store.record(&run).unwrap();
+        store.transition(run.id(), RunStatus::Queued).unwrap();
+        store.transition(run.id(), RunStatus::Running).unwrap();
+        store.transition(run.id(), RunStatus::Done).unwrap();
+        assert_eq!(
+            store.events(run.id()),
+            vec!["status:queued", "status:running", "status:done"]
+        );
+        assert!(store.events(Uuid::NIL).is_empty());
+    }
+
+    #[test]
+    fn attempts_are_recorded_with_history_and_events() {
+        let (registry, ids, _db, store) = setup();
+        let run = make_run(&registry, ids, "attempts");
+        store.record(&run).unwrap();
+        assert_eq!(store.attempt_count(run.id()), 0);
+        assert!(store.attempt_history(run.id()).unwrap().is_empty());
+        assert_eq!(
+            store.record_attempt(run.id(), "errored", Duration::ZERO).unwrap(),
+            1
+        );
+        assert_eq!(
+            store.record_attempt(run.id(), "succeeded", Duration::from_millis(250)).unwrap(),
+            2
+        );
+        assert_eq!(store.attempt_count(run.id()), 2);
+        assert_eq!(
+            store.attempt_history(run.id()).unwrap(),
+            vec![
+                RunAttempt { index: 1, disposition: "errored".to_owned(), delay_ms: 0 },
+                RunAttempt { index: 2, disposition: "succeeded".to_owned(), delay_ms: 250 },
+            ]
+        );
+        assert_eq!(
+            store.events(run.id()),
+            vec!["attempt:1:errored", "attempt:2:succeeded"]
+        );
+        assert!(store.record_attempt(Uuid::NIL, "errored", Duration::ZERO).is_err());
     }
 
     #[test]

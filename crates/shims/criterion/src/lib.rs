@@ -1,0 +1,145 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock harness implementing the API the `figures`
+//! bench uses: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a fixed number of
+//! timed iterations and prints mean time per iteration.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed() / self.samples.max(1) as u32;
+        println!("    {:>12?} /iter over {} iters", per_iter, self.samples.max(1));
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut BenchmarkGroup {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks a closure under a string id.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut BenchmarkGroup {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher { samples: self.sample_size };
+        routine(&mut bencher);
+        self
+    }
+
+    /// Benchmarks a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut BenchmarkGroup {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher { samples: self.sample_size };
+        routine(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, sample_size: 10 }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        println!("bench {id}");
+        let mut bencher = Bencher { samples: 10 };
+        routine(&mut bencher);
+        self
+    }
+}
+
+/// Declares a benchmark group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

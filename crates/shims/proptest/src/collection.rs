@@ -1,0 +1,94 @@
+//! Collection strategies (`vec`, `btree_map`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Strategy for vectors whose lengths fall in `len` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let len = self.len.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap`s with up to `len.end - 1` entries (duplicate
+/// keys collapse, as in upstream proptest).
+pub fn btree_map<K, V>(keys: K, values: V, len: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    assert!(len.start < len.end, "empty length range");
+    BTreeMapStrategy { keys, values, len }
+}
+
+/// The result of [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    len: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let len = self.len.start + rng.below(span) as usize;
+        (0..len).map(|_| (self.keys.generate(rng), self.values.generate(rng))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strat = vec(any::<u8>(), 2..6);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_generates_entries() {
+        let strat = btree_map("[a-z]{1,6}", any::<u64>(), 1..8);
+        let mut rng = TestRng::for_case("map", 0);
+        let mut nonempty = 0;
+        for _ in 0..50 {
+            let m = strat.generate(&mut rng);
+            assert!(m.len() < 8);
+            nonempty += usize::from(!m.is_empty());
+        }
+        assert!(nonempty > 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Strategies: deterministic value generators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A generator of values for property tests.
+///
+/// Object-safe core (`generate`) plus sized combinators, mirroring the
+/// parts of proptest's `Strategy` the workspace uses.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a bounded-depth recursive strategy: `f` receives the
+    /// strategy for the next-shallower level. `_max_size` and `_items`
+    /// are accepted for API compatibility; depth alone bounds recursion
+    /// here.
+    fn prop_recursive<G, F>(self, depth: u32, _max_size: u32, _items: u32, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        G: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> G,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            // Each level is an even split between staying at the leaf
+            // and descending one level deeper, so generated sizes stay
+            // bounded.
+            let deeper = f(current).boxed();
+            current = Union::new(vec![self.clone().boxed(), deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among several strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric spread of magnitudes.
+        let mantissa = rng.unit() * 2.0 - 1.0;
+        let exponent = (rng.below(61) as i32) - 30;
+        mantissa * (2.0f64).powi(exponent)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for byte in &mut out {
+            *byte = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// `&str` character-class patterns (`"[a-z0-9]{1,8}"`) act as string
+/// strategies, mirroring proptest's regex-literal support for the
+/// subset the test suites use. Patterns that don't parse as a single
+/// `[class]{m,n}` group generate the literal text itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((alphabet, min, max)) => {
+                debug_assert!(!alphabet.is_empty(), "empty character class in {self:?}");
+                let len = min + rng.below((max - min + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[chars]{m,n}` into (alphabet, min, max). Supports ranges
+/// (`a-z`), escapes (`\\-`, `\\.`), and literal unicode characters.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, tail) = rest.split_at(close);
+    let tail = tail.strip_prefix(']')?;
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if max < min {
+        return None;
+    }
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let c = if c == '\\' { chars.next()? } else { c };
+        if chars.peek() == Some(&'-') {
+            // Lookahead: `x-y` range unless the dash is the last char.
+            let mut ahead = chars.clone();
+            ahead.next(); // consume '-'
+            match ahead.next() {
+                Some(mut end) => {
+                    if end == '\\' {
+                        end = ahead.next()?;
+                    }
+                    chars = ahead;
+                    for code in (c as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            alphabet.push(ch);
+                        }
+                    }
+                    continue;
+                }
+                None => {}
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u32..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn class_patterns_parse() {
+        let (alphabet, min, max) = parse_class_pattern("[a-c]{1,4}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (1, 4));
+        let (alphabet, _, _) = parse_class_pattern("[a-z ./-]{0,24}").unwrap();
+        assert!(alphabet.contains(&'-') && alphabet.contains(&'.') && alphabet.contains(&' '));
+        let (alphabet, _, _) = parse_class_pattern("[a-zA-Z0-9 _\\-\\.\u{e9}\u{4e16}]{0,12}").unwrap();
+        assert!(alphabet.contains(&'\u{e9}') && alphabet.contains(&'-') && alphabet.contains(&'Z'));
+    }
+
+    #[test]
+    fn string_strategy_respects_lengths() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{2,5}".generate(&mut r);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_union_draws_all_arms() {
+        let union = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut r = rng();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(union.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        for _ in 0..50 {
+            let _tree = strat.generate(&mut r);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic case generation for the [`proptest!`](crate::proptest)
+//! macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The deterministic RNG handed to strategies.
+///
+/// xoshiro256++ seeded from the test name and case index, so every
+/// case is reproducible by rerunning the test binary.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut sm = fnv1a(test_name.as_bytes()) ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        TestRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases per property (overridable via `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Per-suite configuration, mirroring upstream's
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u64) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` once per generated case, labelling failures with the
+/// case index so they can be reproduced.
+pub fn run_cases(test_name: &str, body: impl FnMut(&mut TestRng)) {
+    run_cases_n(test_name, cases(), body);
+}
+
+/// [`run_cases`] with an explicit case count (from `proptest_config`).
+pub fn run_cases_n(test_name: &str, total: u64, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..total {
+        let mut rng = TestRng::for_case(test_name, case);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest shim: {test_name} failed at case {case}/{total}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_cases_executes_all() {
+        std::env::remove_var("PROPTEST_CASES");
+        let mut count = 0;
+        run_cases("counting", |_| count += 1);
+        assert_eq!(count, cases());
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline shim for the `serde` crate.
+//!
+//! simart uses serde derives as provenance markers — no serialization
+//! format crate is wired up (the document database has its own JSON
+//! codec). This shim provides the trait skeleton so hand-written impls
+//! (`Uuid`) compile, and re-exports no-op derive macros.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization support (default methods error: no format backend).
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let _ = serializer;
+        Err(ser::Error::custom("serialization unsupported by the offline serde shim"))
+    }
+}
+
+/// A data-format serializer (string-only in this shim).
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a string value.
+    fn serialize_str(self, value: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialization support (default methods error: no format backend).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        Err(de::Error::custom("deserialization unsupported by the offline serde shim"))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {}
+
+/// A data-format deserializer.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    use super::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    use super::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}

@@ -6,7 +6,7 @@
 //! metadata + payload, workers ack by reporting, and per-queue
 //! statistics are observable while the system runs.
 
-use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
+use crate::task::{execute, Task, TaskHandle, TaskReport};
 use crate::Scheduler;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -20,12 +20,18 @@ type Job = (Task, Sender<TaskReport>);
 struct BrokerStats {
     submitted: AtomicU64,
     completed: AtomicU64,
+    dropped: AtomicU64,
+    detached_workers: AtomicU64,
 }
 
 /// A broker queue with attached worker threads.
 #[derive(Debug)]
 pub struct BrokerScheduler {
-    queue: Option<Sender<Job>>,
+    queue: Mutex<Option<Sender<Job>>>,
+    /// The broker's own view of the queue, used by [`shutdown_now`]
+    /// (`BrokerScheduler::shutdown_now`) to drain jobs the workers will
+    /// never run.
+    pending: Receiver<Job>,
     stats: Arc<BrokerStats>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
@@ -45,7 +51,8 @@ impl BrokerScheduler {
             .map(|i| Self::spawn_worker(i, rx.clone(), Arc::clone(&stats)))
             .collect();
         BrokerScheduler {
-            queue: Some(tx),
+            queue: Mutex::new(Some(tx)),
+            pending: rx,
             stats,
             workers: Mutex::new(handles),
             worker_count: workers,
@@ -61,11 +68,33 @@ impl BrokerScheduler {
             .name(format!("simart-broker-worker-{index}"))
             .spawn(move || {
                 while let Ok((task, report_tx)) = rx.recv() {
-                    execute_reporting(task, report_tx);
+                    let report = execute(task);
+                    if report.detached {
+                        stats.detached_workers.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let _ = report_tx.send(report);
                     stats.completed.fetch_add(1, Ordering::SeqCst);
                 }
             })
             .expect("spawning broker worker")
+    }
+
+    /// Closes the queue and discards still-queued jobs without running
+    /// them (in-progress tasks finish). Handles of discarded tasks
+    /// resolve to synthesized "scheduler dropped task" failure reports;
+    /// later submissions are dropped the same way. Returns the number
+    /// of jobs discarded by this call.
+    pub fn shutdown_now(&self) -> u64 {
+        let _ = self.queue.lock().take();
+        let mut discarded = 0u64;
+        // Race with workers draining the same queue is fine: each job
+        // goes to exactly one side.
+        while let Ok((_task, report_tx)) = self.pending.try_recv() {
+            drop(report_tx);
+            discarded += 1;
+        }
+        self.stats.dropped.fetch_add(discarded, Ordering::SeqCst);
+        discarded
     }
 
     /// Number of attached workers.
@@ -83,9 +112,22 @@ impl BrokerScheduler {
         self.stats.completed.load(Ordering::SeqCst)
     }
 
+    /// Tasks dropped without execution (shutdown or post-shutdown
+    /// submission).
+    pub fn dropped(&self) -> u64 {
+        self.stats.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Worker threads detached (leaked) by task timeouts. Each
+    /// timed-out task leaves one runaway worker thread behind; this
+    /// counter makes the leak observable instead of silent.
+    pub fn detached_workers(&self) -> u64 {
+        self.stats.detached_workers.load(Ordering::SeqCst)
+    }
+
     /// Tasks currently queued or running.
     pub fn in_flight(&self) -> u64 {
-        self.submitted().saturating_sub(self.completed())
+        self.submitted().saturating_sub(self.completed() + self.dropped())
     }
 }
 
@@ -94,11 +136,17 @@ impl Scheduler for BrokerScheduler {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
         self.stats.submitted.fetch_add(1, Ordering::SeqCst);
-        self.queue
-            .as_ref()
-            .expect("queue alive until drop")
-            .send((task, tx))
-            .expect("workers alive until drop");
+        match self.queue.lock().as_ref() {
+            Some(sender) => {
+                sender.send((task, tx)).expect("workers alive until drop");
+            }
+            None => {
+                // Shut down: drop the report sender so the handle
+                // resolves to a synthesized failure.
+                self.stats.dropped.fetch_add(1, Ordering::SeqCst);
+                drop(tx);
+            }
+        }
         TaskHandle { receiver: rx, name }
     }
 
@@ -109,7 +157,7 @@ impl Scheduler for BrokerScheduler {
 
 impl Drop for BrokerScheduler {
     fn drop(&mut self) {
-        self.queue.take();
+        self.queue.get_mut().take();
         for worker in self.workers.get_mut().drain(..) {
             let _ = worker.join();
         }
@@ -119,6 +167,7 @@ impl Drop for BrokerScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::TaskState;
     use std::time::Duration;
 
     #[test]
@@ -160,5 +209,65 @@ mod tests {
             .wait();
         assert!(report.state.is_success());
         assert_eq!(report.attempts, 2);
+    }
+
+    #[test]
+    fn shutdown_drops_queued_tasks_with_failure_reports() {
+        let broker = BrokerScheduler::new(1);
+        // Gate the single worker on the first task so the rest stay
+        // queued while we shut down.
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let first = broker.submit(Task::new("gated", move || {
+            let _ = gate_rx.recv();
+            Ok("released".to_owned())
+        }));
+        let queued: Vec<_> = (0..3)
+            .map(|i| broker.submit(Task::new(format!("queued-{i}"), || Ok(String::new()))))
+            .collect();
+        // Give the worker time to pick up the gated task.
+        std::thread::sleep(Duration::from_millis(50));
+        let discarded = broker.shutdown_now();
+        assert_eq!(discarded, 3, "the three queued tasks are discarded");
+        assert_eq!(broker.dropped(), 3);
+        gate_tx.send(()).unwrap();
+        let report = first.wait();
+        assert!(report.state.is_success(), "in-progress task finishes");
+        for handle in queued {
+            let report = handle.wait();
+            assert_eq!(report.state, TaskState::Failed);
+            assert_eq!(report.attempts, 0);
+            assert!(report
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("scheduler dropped task"));
+        }
+        // Submissions after shutdown are dropped the same way.
+        let late = broker.submit(Task::new("late", || Ok(String::new()))).wait();
+        assert_eq!(late.state, TaskState::Failed);
+        assert_eq!(broker.dropped(), 4);
+    }
+
+    #[test]
+    fn timed_out_tasks_count_detached_workers() {
+        let broker = BrokerScheduler::new(2);
+        let report = broker
+            .submit(
+                Task::new("runaway", || {
+                    std::thread::sleep(Duration::from_millis(300));
+                    Ok(String::new())
+                })
+                .timeout(Duration::from_millis(30)),
+            )
+            .wait();
+        assert_eq!(report.state, TaskState::TimedOut);
+        assert!(report.detached);
+        assert_eq!(broker.detached_workers(), 1);
+        // A well-behaved task leaves the counter alone.
+        let ok = broker.submit(Task::new("fine", || Ok(String::new()))).wait();
+        assert!(ok.state.is_success());
+        assert_eq!(broker.detached_workers(), 1);
+        // Let the runaway worker finish before the test exits.
+        std::thread::sleep(Duration::from_millis(300));
     }
 }

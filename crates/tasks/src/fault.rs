@@ -1,0 +1,286 @@
+//! Deterministic fault injection for exercising retry and recovery
+//! paths.
+//!
+//! A [`FaultInjector`] is attached to tasks (see
+//! [`Task::fault_injector`](crate::Task::fault_injector)) and consulted
+//! once per attempt. Whether a fault fires — and which kind — is a pure
+//! function of `(seed, task name, attempt)`, so a failing campaign can
+//! be replayed exactly: same seed, same faults, same attempt histories.
+//!
+//! Three fault kinds cover the failure modes the schedulers must
+//! survive: panics (caught and converted to task failures), spurious
+//! errors (retried under the task's [`RetryPolicy`](crate::RetryPolicy)),
+//! and injected delays (which push slow tasks into their deadlines).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The attempt panics (callers catch it and report a failure).
+    Panic,
+    /// The attempt returns an error without running the real work.
+    SpuriousError,
+    /// The attempt is delayed before the real work runs.
+    Delay(Duration),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Panic => f.write_str("panic"),
+            Fault::SpuriousError => f.write_str("spurious error"),
+            Fault::Delay(d) => write!(f, "delay({d:?})"),
+        }
+    }
+}
+
+/// Deterministic, seeded fault injector.
+///
+/// Rates are probabilities in [0, 1] per attempt; they are evaluated in
+/// the order panic → error → delay from a single uniform draw, so the
+/// combined rate is their sum (clamped at 1).
+pub struct FaultInjector {
+    seed: u64,
+    panic_rate: f64,
+    error_rate: f64,
+    delay_rate: f64,
+    max_delay: Duration,
+    injected_panics: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_delays: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires; enable fault kinds with the
+    /// builder methods.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            seed,
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: Duration::ZERO,
+            injected_panics: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_delays: AtomicU64::new(0),
+        }
+    }
+
+    /// Panics a fraction `rate` of attempts.
+    pub fn panics(mut self, rate: f64) -> FaultInjector {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fails a fraction `rate` of attempts with a spurious error.
+    pub fn errors(mut self, rate: f64) -> FaultInjector {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delays a fraction `rate` of attempts by up to `max_delay`.
+    pub fn delays(mut self, rate: f64, max_delay: Duration) -> FaultInjector {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// The injector's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault (if any) for this `(task, attempt)` pair. Pure: equal
+    /// inputs on equal seeds give equal answers, and calling it does
+    /// not count as an injection.
+    pub fn fault_for(&self, task: &str, attempt: u32) -> Option<Fault> {
+        let stream = self.seed ^ fnv1a(task.as_bytes());
+        let category = unit_draw(stream, u64::from(attempt) << 1);
+        let panic_edge = self.panic_rate;
+        let error_edge = panic_edge + self.error_rate;
+        let delay_edge = error_edge + self.delay_rate;
+        if category < panic_edge {
+            Some(Fault::Panic)
+        } else if category < error_edge {
+            Some(Fault::SpuriousError)
+        } else if category < delay_edge {
+            let magnitude = unit_draw(stream, (u64::from(attempt) << 1) | 1);
+            Some(Fault::Delay(Duration::from_secs_f64(
+                self.max_delay.as_secs_f64() * magnitude,
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Applies the fault for this attempt, if any: sleeps on a delay,
+    /// returns `Err` on a spurious error, and panics on a panic fault.
+    /// Injections are counted in the observability counters.
+    pub fn inject(&self, task: &str, attempt: u32) -> Result<(), String> {
+        match self.fault_for(task, attempt) {
+            None => Ok(()),
+            Some(Fault::Delay(delay)) => {
+                self.injected_delays.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(delay);
+                Ok(())
+            }
+            Some(Fault::SpuriousError) => {
+                self.injected_errors.fetch_add(1, Ordering::SeqCst);
+                Err(format!("injected fault: spurious error ({task} attempt {attempt})"))
+            }
+            Some(Fault::Panic) => {
+                self.injected_panics.fetch_add(1, Ordering::SeqCst);
+                panic!("injected fault: panic ({task} attempt {attempt})");
+            }
+        }
+    }
+
+    /// Panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::SeqCst)
+    }
+
+    /// Spurious errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::SeqCst)
+    }
+
+    /// Delays injected so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays.load(Ordering::SeqCst)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_panics() + self.injected_errors() + self.injected_delays()
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.seed)
+            .field("panic_rate", &self.panic_rate)
+            .field("error_rate", &self.error_rate)
+            .field("delay_rate", &self.delay_rate)
+            .field("max_delay", &self.max_delay)
+            .field("injected_total", &self.injected_total())
+            .finish()
+    }
+}
+
+/// FNV-1a over the task name, mixing it into the per-task stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Deterministic draw in [0, 1): SplitMix64 finalizer over
+/// `(stream, counter)`.
+fn unit_draw(stream: u64, counter: u64) -> f64 {
+    let mut z = stream ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let injector = FaultInjector::new(1);
+        for attempt in 1..100 {
+            assert_eq!(injector.fault_for("any", attempt), None);
+        }
+        assert_eq!(injector.injected_total(), 0);
+    }
+
+    #[test]
+    fn full_panic_rate_always_fires() {
+        let injector = FaultInjector::new(2).panics(1.0);
+        for attempt in 1..20 {
+            assert_eq!(injector.fault_for("t", attempt), Some(Fault::Panic));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = FaultInjector::new(99).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
+        let b = FaultInjector::new(99).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
+        let c = FaultInjector::new(100).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
+        let plan = |inj: &FaultInjector| -> Vec<Option<Fault>> {
+            (1..64).map(|attempt| inj.fault_for("task-x", attempt)).collect()
+        };
+        assert_eq!(plan(&a), plan(&b));
+        assert_ne!(plan(&a), plan(&c));
+    }
+
+    #[test]
+    fn decisions_vary_by_task_name() {
+        let injector = FaultInjector::new(7).errors(0.5);
+        let by_task = |name: &str| -> Vec<bool> {
+            (1..64).map(|attempt| injector.fault_for(name, attempt).is_some()).collect()
+        };
+        assert_ne!(by_task("run-a"), by_task("run-b"));
+    }
+
+    #[test]
+    fn spurious_errors_are_returned_and_counted() {
+        let injector = FaultInjector::new(3).errors(1.0);
+        let result = injector.inject("t", 1);
+        assert!(result.unwrap_err().contains("injected fault"));
+        assert_eq!(injector.injected_errors(), 1);
+        assert_eq!(injector.injected_total(), 1);
+    }
+
+    #[test]
+    fn panic_faults_panic_and_are_counted() {
+        let injector = FaultInjector::new(4).panics(1.0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = injector.inject("t", 1);
+        }));
+        assert!(caught.is_err());
+        assert_eq!(injector.injected_panics(), 1);
+    }
+
+    #[test]
+    fn delay_faults_sleep_within_bound() {
+        let injector = FaultInjector::new(5).delays(1.0, Duration::from_millis(10));
+        match injector.fault_for("t", 1) {
+            Some(Fault::Delay(d)) => assert!(d <= Duration::from_millis(10)),
+            other => panic!("expected a delay fault, got {other:?}"),
+        }
+        assert!(injector.inject("t", 1).is_ok());
+        assert_eq!(injector.injected_delays(), 1);
+    }
+
+    #[test]
+    fn rates_partition_the_unit_interval() {
+        let injector =
+            FaultInjector::new(11).panics(0.25).errors(0.25).delays(0.25, Duration::from_millis(1));
+        let mut counts = [0u32; 4];
+        for attempt in 1..=400 {
+            match injector.fault_for("mix", attempt) {
+                Some(Fault::Panic) => counts[0] += 1,
+                Some(Fault::SpuriousError) => counts[1] += 1,
+                Some(Fault::Delay(_)) => counts[2] += 1,
+                None => counts[3] += 1,
+            }
+        }
+        // Each category should land near 100 of 400 draws.
+        for count in counts {
+            assert!((40..=160).contains(&count), "skewed draw distribution: {counts:?}");
+        }
+    }
+}

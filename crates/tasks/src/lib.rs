@@ -19,6 +19,14 @@
 //! (reported as [`TaskState::TimedOut`]) rather than left to run the
 //! cluster dry.
 //!
+//! Fault tolerance is first-class: a [`RetryPolicy`] gives tasks
+//! deterministic backoff schedules (fixed or exponential, seeded
+//! jitter, per-attempt and total deadlines), and a seeded
+//! [`FaultInjector`] deterministically injects panics, spurious
+//! errors, and delays to exercise those paths. Reports carry the full
+//! per-attempt history ([`AttemptRecord`]), which is bit-identical
+//! across runs with equal seeds.
+//!
 //! ```
 //! use simart_tasks::{PoolScheduler, Scheduler, Task};
 //!
@@ -34,14 +42,18 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod fault;
 mod pool;
+mod retry;
 mod serial;
 mod task;
 
 pub use broker::BrokerScheduler;
+pub use fault::{Fault, FaultInjector};
 pub use pool::PoolScheduler;
+pub use retry::{Backoff, RetryPolicy};
 pub use serial::SerialScheduler;
-pub use task::{Task, TaskHandle, TaskReport, TaskState};
+pub use task::{AttemptDisposition, AttemptRecord, Task, TaskHandle, TaskReport, TaskState};
 
 /// A task scheduler: accepts tasks, returns handles to their results.
 pub trait Scheduler {
@@ -124,6 +136,52 @@ mod tests {
             assert_eq!(report.state, TaskState::TimedOut, "{}", scheduler.name());
             assert!(report.duration < Duration::from_secs(5));
         }
+    }
+
+    #[test]
+    fn retry_policies_apply_on_every_scheduler() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        for scheduler in schedulers() {
+            let counter = Arc::new(AtomicU32::new(0));
+            let seen = Arc::clone(&counter);
+            let policy = RetryPolicy::fixed(Duration::from_millis(1)).max_attempts(4);
+            let report = scheduler
+                .submit(
+                    Task::new("flaky", move || {
+                        if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                            Err("transient".to_owned())
+                        } else {
+                            Ok("recovered".to_owned())
+                        }
+                    })
+                    .retry_policy(policy),
+                )
+                .wait();
+            assert!(report.state.is_success(), "{}", scheduler.name());
+            assert_eq!(report.attempts, 3, "{}", scheduler.name());
+            assert_eq!(report.history.len(), 3, "{}", scheduler.name());
+            counter.store(0, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_identical_across_schedulers() {
+        use std::sync::Arc;
+        let history_on = |scheduler: Box<dyn Scheduler>| {
+            let injector = Arc::new(FaultInjector::new(77).errors(0.6));
+            scheduler
+                .submit(
+                    Task::new("replayed", || Ok("ok".to_owned()))
+                        .fault_injector(injector)
+                        .retries(6),
+                )
+                .wait()
+                .history
+        };
+        let histories: Vec<_> = schedulers().into_iter().map(history_on).collect();
+        assert_eq!(histories[0], histories[1]);
+        assert_eq!(histories[1], histories[2]);
     }
 
     #[test]

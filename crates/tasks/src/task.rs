@@ -1,5 +1,7 @@
 //! Task definitions, handles, and reports.
 
+use crate::fault::FaultInjector;
+use crate::retry::RetryPolicy;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,13 +41,49 @@ impl fmt::Display for TaskState {
     }
 }
 
+/// How a single attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttemptDisposition {
+    /// The attempt returned output.
+    Succeeded,
+    /// The attempt returned an error or panicked.
+    Errored,
+    /// The attempt outlived its deadline.
+    TimedOut,
+}
+
+impl fmt::Display for AttemptDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttemptDisposition::Succeeded => f.write_str("succeeded"),
+            AttemptDisposition::Errored => f.write_str("errored"),
+            AttemptDisposition::TimedOut => f.write_str("timed-out"),
+        }
+    }
+}
+
+/// One entry of a task's attempt history. Contains only deterministic
+/// fields (no wall-clock measurements), so two runs under the same
+/// retry policy, seed, and fault plan produce identical histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub index: u32,
+    /// How the attempt ended.
+    pub disposition: AttemptDisposition,
+    /// Backoff delay scheduled before this attempt (zero for the
+    /// first).
+    pub delay_before: Duration,
+}
+
 /// A schedulable unit of work.
 #[derive(Clone)]
 pub struct Task {
     pub(crate) name: String,
     pub(crate) work: TaskFn,
     pub(crate) timeout: Option<Duration>,
-    pub(crate) max_retries: u32,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) fault: Option<Arc<FaultInjector>>,
 }
 
 impl Task {
@@ -54,26 +92,53 @@ impl Task {
         name: impl Into<String>,
         work: impl Fn() -> Result<String, String> + Send + Sync + 'static,
     ) -> Task {
-        Task { name: name.into(), work: Arc::new(work), timeout: None, max_retries: 0 }
+        Task {
+            name: name.into(),
+            work: Arc::new(work),
+            timeout: None,
+            policy: RetryPolicy::none(),
+            fault: None,
+        }
     }
 
     /// Sets a wall-clock timeout (the paper's framework kills gem5 jobs
-    /// that exceed theirs).
+    /// that exceed theirs). Takes precedence over the retry policy's
+    /// per-attempt deadline.
     pub fn timeout(mut self, timeout: Duration) -> Task {
         self.timeout = Some(timeout);
         self
     }
 
-    /// Allows up to `retries` re-executions after failures
+    /// Allows up to `retries` immediate re-executions after failures
     /// (broker/Celery-style). Timeouts are terminal and never retried.
+    /// Sugar for an immediate [`RetryPolicy`] with `retries + 1`
+    /// attempts.
     pub fn retries(mut self, retries: u32) -> Task {
-        self.max_retries = retries;
+        self.policy = self.policy.max_attempts(retries + 1);
+        self
+    }
+
+    /// Installs a full retry policy (attempts, backoff, jitter,
+    /// deadlines), replacing any previous policy or `retries` setting.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Task {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a fault injector consulted once per attempt.
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Task {
+        self.fault = Some(injector);
         self
     }
 
     /// The task's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The task's retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 }
 
@@ -82,7 +147,8 @@ impl fmt::Debug for Task {
         f.debug_struct("Task")
             .field("name", &self.name)
             .field("timeout", &self.timeout)
-            .field("max_retries", &self.max_retries)
+            .field("policy", &self.policy)
+            .field("fault", &self.fault.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -102,6 +168,29 @@ pub struct TaskReport {
     pub attempts: u32,
     /// Wall-clock duration across all attempts.
     pub duration: Duration,
+    /// Whether a watchdogged worker thread was detached (leaked) when
+    /// the task timed out. Detached workers keep running until their
+    /// work returns; brokers count them in their stats.
+    pub detached: bool,
+    /// Per-attempt history, in order.
+    pub history: Vec<AttemptRecord>,
+}
+
+impl TaskReport {
+    /// A synthesized failure report for a task the scheduler dropped
+    /// without executing (e.g. a broker shut down with work queued).
+    pub(crate) fn dropped_by_scheduler(name: String) -> TaskReport {
+        TaskReport {
+            name,
+            state: TaskState::Failed,
+            output: None,
+            error: Some("scheduler dropped task without a report".to_owned()),
+            attempts: 0,
+            duration: Duration::ZERO,
+            detached: false,
+            history: Vec::new(),
+        }
+    }
 }
 
 /// Handle to a submitted task.
@@ -114,14 +203,16 @@ pub struct TaskHandle {
 impl TaskHandle {
     /// Blocks until the task finishes, returning its report.
     ///
-    /// # Panics
-    ///
-    /// Panics if the scheduler dropped the task without reporting — a
-    /// scheduler bug, not a task failure.
+    /// If the scheduler dropped the task without reporting (e.g. it was
+    /// shut down with the task still queued), a synthesized
+    /// [`TaskState::Failed`] report is returned with zero attempts and
+    /// a "scheduler dropped task" error — submitters always get a
+    /// report, never a panic.
     pub fn wait(self) -> TaskReport {
-        self.receiver
-            .recv()
-            .unwrap_or_else(|_| panic!("scheduler dropped task {:?} without a report", self.name))
+        match self.receiver.recv() {
+            Ok(report) => report,
+            Err(_) => TaskReport::dropped_by_scheduler(self.name),
+        }
     }
 
     /// Non-blocking poll; returns the report when finished.
@@ -135,34 +226,105 @@ impl TaskHandle {
     }
 }
 
-/// Executes one task (with retries and timeout), reporting through
-/// `report_tx`. Shared by all schedulers.
-pub(crate) fn execute_reporting(task: Task, report_tx: Sender<TaskReport>) {
-    let Task { name, work, timeout, max_retries } = task;
+/// Executes one task to completion — retries with backoff, per-attempt
+/// and total deadlines, fault injection — and returns its report.
+/// Shared by all schedulers.
+pub(crate) fn execute(task: Task) -> TaskReport {
+    let Task { name, work, timeout, policy, fault } = task;
+    let attempt_deadline = timeout.or(policy.per_attempt_deadline());
     let started = Instant::now();
-    let mut attempts = 0;
+    let mut attempts = 0u32;
+    let mut history = Vec::new();
+    let mut detached = false;
+    let mut delay_before = Duration::ZERO;
     let (state, output, error) = loop {
         attempts += 1;
-        match run_attempt(Arc::clone(&work), timeout) {
+        let attempt_work = wrap_with_faults(&work, &fault, &name, attempts);
+        let outcome = run_attempt(attempt_work, attempt_deadline);
+        history.push(AttemptRecord {
+            index: attempts,
+            disposition: match outcome {
+                AttemptOutcome::Success(_) => AttemptDisposition::Succeeded,
+                AttemptOutcome::Error(_) => AttemptDisposition::Errored,
+                AttemptOutcome::TimedOut => AttemptDisposition::TimedOut,
+            },
+            delay_before,
+        });
+        match outcome {
             AttemptOutcome::Success(output) => break (TaskState::Succeeded, Some(output), None),
-            AttemptOutcome::Error(err) => {
-                if attempts > max_retries {
-                    break (TaskState::Failed, None, Some(err));
-                }
-            }
             AttemptOutcome::TimedOut => {
+                // The watchdogged worker cannot be killed safely; it is
+                // detached and keeps running until its work returns.
+                detached = true;
                 break (
                     TaskState::TimedOut,
                     None,
-                    Some(format!("task exceeded its timeout of {timeout:?}")),
-                )
+                    Some(format!("task exceeded its timeout of {attempt_deadline:?}")),
+                );
+            }
+            AttemptOutcome::Error(err) => {
+                if attempts >= policy.attempts_allowed() {
+                    break (TaskState::Failed, None, Some(err));
+                }
+                let delay = policy.delay_before(attempts + 1);
+                if let Some(total) = policy.total_budget() {
+                    if started.elapsed() + delay > total {
+                        break (
+                            TaskState::Failed,
+                            None,
+                            Some(format!(
+                                "{err} (total retry deadline {total:?} exhausted \
+                                 after {attempts} attempts)"
+                            )),
+                        );
+                    }
+                }
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                delay_before = delay;
             }
         }
     };
-    let report =
-        TaskReport { name, state, output, error, attempts, duration: started.elapsed() };
+    TaskReport {
+        name,
+        state,
+        output,
+        error,
+        attempts,
+        duration: started.elapsed(),
+        detached,
+        history,
+    }
+}
+
+/// Executes one task, reporting through `report_tx`.
+pub(crate) fn execute_reporting(task: Task, report_tx: Sender<TaskReport>) {
     // A dropped handle is fine: the result is simply unobserved.
-    let _ = report_tx.send(report);
+    let _ = report_tx.send(execute(task));
+}
+
+/// Wraps the work closure so any injected fault fires *inside* the
+/// attempt: injected panics are caught, injected delays are subject to
+/// the attempt deadline.
+fn wrap_with_faults(
+    work: &TaskFn,
+    fault: &Option<Arc<FaultInjector>>,
+    name: &str,
+    attempt: u32,
+) -> TaskFn {
+    match fault {
+        None => Arc::clone(work),
+        Some(injector) => {
+            let injector = Arc::clone(injector);
+            let inner = Arc::clone(work);
+            let task_name = name.to_owned();
+            Arc::new(move || {
+                injector.inject(&task_name, attempt)?;
+                inner()
+            })
+        }
+    }
 }
 
 enum AttemptOutcome {
@@ -220,7 +382,7 @@ mod tests {
             .retries(3);
         assert_eq!(task.name(), "t");
         assert_eq!(task.timeout, Some(Duration::from_secs(1)));
-        assert_eq!(task.max_retries, 3);
+        assert_eq!(task.policy().attempts_allowed(), 4);
         assert!(format!("{task:?}").contains("\"t\""));
     }
 
@@ -240,6 +402,15 @@ mod tests {
         assert!(report.state.is_success());
         assert_eq!(report.output.as_deref(), Some("done"));
         assert!(report.error.is_none());
+        assert!(!report.detached);
+        assert_eq!(
+            report.history,
+            vec![AttemptRecord {
+                index: 1,
+                disposition: AttemptDisposition::Succeeded,
+                delay_before: Duration::ZERO,
+            }]
+        );
     }
 
     #[test]
@@ -260,6 +431,8 @@ mod tests {
         assert!(report.state.is_success());
         assert_eq!(report.attempts, 3);
         assert_eq!(counter.load(Ordering::SeqCst), 3);
+        assert_eq!(report.history.len(), 3);
+        assert_eq!(report.history[2].disposition, AttemptDisposition::Succeeded);
     }
 
     #[test]
@@ -270,6 +443,10 @@ mod tests {
         let report = rx.recv().unwrap();
         assert_eq!(report.state, TaskState::Failed);
         assert_eq!(report.attempts, 3);
+        assert!(report
+            .history
+            .iter()
+            .all(|a| a.disposition == AttemptDisposition::Errored));
     }
 
     #[test]
@@ -288,6 +465,7 @@ mod tests {
         let report = rx.recv().unwrap();
         assert_eq!(report.state, TaskState::TimedOut);
         assert_eq!(report.attempts, 1);
+        assert!(report.detached, "timed-out watchdog worker is detached");
     }
 
     #[test]
@@ -295,5 +473,95 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         execute_reporting(Task::new("orphan", || Ok(String::new())), tx);
+    }
+
+    #[test]
+    fn wait_on_dropped_scheduler_returns_failed_report() {
+        let (tx, rx) = bounded::<TaskReport>(1);
+        let handle = TaskHandle { receiver: rx, name: "ghost".to_owned() };
+        drop(tx);
+        let report = handle.wait();
+        assert_eq!(report.state, TaskState::Failed);
+        assert_eq!(report.attempts, 0);
+        assert!(report.error.as_deref().unwrap_or("").contains("scheduler dropped task"));
+    }
+
+    #[test]
+    fn backoff_delays_are_honored() {
+        let policy = RetryPolicy::fixed(Duration::from_millis(25)).max_attempts(3);
+        let task =
+            Task::new("backoff", || Err("always".to_owned())).retry_policy(policy);
+        let started = Instant::now();
+        let report = execute(task);
+        assert_eq!(report.state, TaskState::Failed);
+        assert_eq!(report.attempts, 3);
+        assert!(started.elapsed() >= Duration::from_millis(50), "two backoff sleeps");
+        assert_eq!(report.history[0].delay_before, Duration::ZERO);
+        assert_eq!(report.history[1].delay_before, Duration::from_millis(25));
+        assert_eq!(report.history[2].delay_before, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn total_deadline_stops_retrying() {
+        let policy = RetryPolicy::fixed(Duration::from_millis(40))
+            .max_attempts(100)
+            .total_deadline(Duration::from_millis(60));
+        let task = Task::new("budgeted", || Err("always".to_owned())).retry_policy(policy);
+        let report = execute(task);
+        assert_eq!(report.state, TaskState::Failed);
+        assert!(report.attempts < 100, "deadline cut retries short");
+        assert!(report.error.as_deref().unwrap_or("").contains("deadline"));
+    }
+
+    #[test]
+    fn policy_attempt_deadline_applies_without_task_timeout() {
+        let task = Task::new("slow", || {
+            std::thread::sleep(Duration::from_secs(10));
+            Ok(String::new())
+        })
+        .retry_policy(RetryPolicy::none().attempt_deadline(Duration::from_millis(30)));
+        let report = execute(task);
+        assert_eq!(report.state, TaskState::TimedOut);
+        assert!(report.detached);
+    }
+
+    #[test]
+    fn injected_spurious_errors_are_retried() {
+        // Seed chosen so the injector fires on some attempts; error
+        // rate 1.0 makes every attempt fail via injection.
+        let injector = Arc::new(FaultInjector::new(1).errors(1.0));
+        let task = Task::new("faulted", || Ok("real work".to_owned()))
+            .fault_injector(Arc::clone(&injector))
+            .retries(2);
+        let report = execute(task);
+        assert_eq!(report.state, TaskState::Failed);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(injector.injected_errors(), 3);
+        assert!(report.error.as_deref().unwrap_or("").contains("injected fault"));
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_retried() {
+        let injector = Arc::new(FaultInjector::new(2).panics(1.0));
+        let task = Task::new("panicky", || Ok(String::new()))
+            .fault_injector(Arc::clone(&injector))
+            .retries(1);
+        let report = execute(task);
+        assert_eq!(report.state, TaskState::Failed);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(injector.injected_panics(), 2);
+        assert!(report.error.as_deref().unwrap_or("").contains("panic"));
+    }
+
+    #[test]
+    fn fault_histories_are_reproducible() {
+        let run = |seed: u64| {
+            let injector = Arc::new(FaultInjector::new(seed).errors(0.5));
+            let task = Task::new("replay", || Ok("ok".to_owned()))
+                .fault_injector(injector)
+                .retries(8);
+            execute(task).history
+        };
+        assert_eq!(run(1234), run(1234));
     }
 }
