@@ -1,0 +1,35 @@
+//! # simart-analyze
+//!
+//! The analysis layer: static provenance linting and dynamic race
+//! detection for simart databases and schedulers.
+//!
+//! The rest of the workspace *records* provenance (artifacts, runs,
+//! lifecycle events) the way the gem5art paper prescribes; this crate
+//! *audits* it. Two engines:
+//!
+//! * **[`lint`]** — a read-only pass over a [`simart_db::Database`]
+//!   (in memory or on disk) emitting typed, severity-ranked
+//!   [`diag::Diagnostic`]s with stable `SAxxxx` codes: dangling
+//!   references, DAG cycles/orphans, missing or tampered blobs,
+//!   lifecycle event-log violations, missed deduplication.
+//!   [`prelaunch`] extends the same reporting to experiment
+//!   cross-products before any simulation is launched.
+//! * **[`race`]** — a vector-clock happens-before checker replaying
+//!   [`tracepoint`] event traces recorded by the instrumented sync
+//!   shims and `simart-tasks`, flagging unsynchronized conflicting
+//!   accesses. Instrumentation is compile-time gated (`race-detect`
+//!   feature → `tracepoint/enabled`): production builds record
+//!   nothing and pay nothing.
+//!
+//! Both engines ship self-tests (`lint::self_test`,
+//! `race::self_test`) wired into `simart check --self-test` so CI
+//! proves the detectors actually detect.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+pub mod prelaunch;
+pub mod race;
+
+pub use diag::{Diagnostic, LintCode, LintLevels, Severity};

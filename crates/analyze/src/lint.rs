@@ -1,0 +1,498 @@
+//! The provenance linter: a read-only pass over a simart database that
+//! cross-checks artifacts, runs, blobs, and event logs against the
+//! invariants the write paths are supposed to maintain.
+//!
+//! The write paths (`ArtifactRegistry`, `RunStore`) enforce these
+//! invariants going *forward*; the linter re-derives them over data at
+//! rest, so hand-edits, partial saves, version skew, and plain bugs
+//! surface as typed [`Diagnostic`]s instead of silent corruption — the
+//! static half of the paper's "trust the provenance you recorded"
+//! story.
+
+use crate::diag::{sort_diagnostics, Diagnostic, LintCode};
+use simart_artifact::dag::{DependencyGraph, GraphIssue};
+use simart_artifact::Uuid;
+use simart_db::{BlobKey, Database, DbError, Value};
+use simart_run::RunStatus;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// Lints an in-memory database, returning all findings sorted in the
+/// stable report order. Read-only: looks only at collections that
+/// already exist.
+pub fn lint_database(db: &Database) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let artifact_ids = lint_artifacts(db, &mut diagnostics);
+    lint_runs(db, &artifact_ids, &mut diagnostics);
+    sort_diagnostics(&mut diagnostics);
+    diagnostics
+}
+
+/// Lints a database directory on disk: loads it, runs
+/// [`lint_database`], and additionally scans `blobs/` for files whose
+/// content does not hash to their file name (SA0005) — exactly the
+/// blobs `Database::load` silently discards.
+///
+/// # Errors
+///
+/// Propagates load failures (missing directory, corrupt JSONL).
+pub fn lint_dir(dir: &Path) -> Result<Vec<Diagnostic>, DbError> {
+    let db = Database::load(dir)?;
+    let mut diagnostics = lint_database(&db);
+    diagnostics.extend(scan_blob_files(dir));
+    sort_diagnostics(&mut diagnostics);
+    Ok(diagnostics)
+}
+
+/// Lints every artifact document; returns the set of declared artifact
+/// ids so the run pass can resolve references.
+fn lint_artifacts(db: &Database, diagnostics: &mut Vec<Diagnostic>) -> HashSet<String> {
+    let mut ids = HashSet::new();
+    if !db.has_collection("artifacts") {
+        return ids;
+    }
+    let docs = db.collection("artifacts").all();
+    for doc in &docs {
+        if let Some(id) = doc.at("_id").and_then(Value::as_str) {
+            ids.insert(id.to_owned());
+        }
+    }
+
+    let mut graph = DependencyGraph::new();
+    let mut by_hash: HashMap<String, Vec<String>> = HashMap::new();
+    for doc in &docs {
+        let Some(id) = doc.at("_id").and_then(Value::as_str) else { continue };
+        let subject = format!("artifact:{id}");
+        let Ok(uuid) = id.parse::<Uuid>() else {
+            diagnostics.push(Diagnostic::new(
+                LintCode::OrphanArtifactInput,
+                subject,
+                format!("artifact id '{id}' is not a valid uuid"),
+            ));
+            continue;
+        };
+        graph.add_node(uuid);
+        for input in doc.at("inputs").and_then(Value::as_array).unwrap_or(&[]) {
+            let Some(input) = input.as_str() else { continue };
+            match input.parse::<Uuid>() {
+                Ok(input_id) => graph.add_edge_unchecked(input_id, uuid),
+                Err(_) => diagnostics.push(Diagnostic::new(
+                    LintCode::OrphanArtifactInput,
+                    subject.clone(),
+                    format!("input '{input}' is not a valid uuid"),
+                )),
+            }
+        }
+        if let Some(payload) = doc.at("payload").and_then(Value::as_str) {
+            check_blob_ref(db, &subject, payload, diagnostics);
+        }
+        if let Some(hash) = doc.at("hash").and_then(Value::as_str) {
+            by_hash.entry(hash.to_owned()).or_default().push(id.to_owned());
+        }
+    }
+
+    for issue in graph.validate() {
+        match issue {
+            GraphIssue::Cycle { members } => {
+                let names: Vec<String> = members.iter().map(Uuid::to_string).collect();
+                diagnostics.push(Diagnostic::new(
+                    LintCode::ArtifactCycle,
+                    format!("artifact:{}", names[0]),
+                    format!("artifact dependency cycle through [{}]", names.join(", ")),
+                ));
+            }
+            GraphIssue::Orphan { node, referenced_by } => {
+                let refs: Vec<String> = referenced_by.iter().map(Uuid::to_string).collect();
+                diagnostics.push(Diagnostic::new(
+                    LintCode::OrphanArtifactInput,
+                    format!("artifact:{node}"),
+                    format!(
+                        "input {node} is referenced by [{}] but no artifact document declares it",
+                        refs.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (hash, dup_ids) in by_hash {
+        if dup_ids.len() > 1 {
+            let mut dup_ids = dup_ids;
+            dup_ids.sort();
+            diagnostics.push(Diagnostic::new(
+                LintCode::DuplicateArtifact,
+                format!("hash:{hash}"),
+                format!(
+                    "artifacts [{}] share content hash {hash} but were not deduplicated",
+                    dup_ids.join(", ")
+                ),
+            ));
+        }
+    }
+    ids
+}
+
+/// Lints every run document: reference resolution, blob refs, event-log
+/// replay, and run-hash dedup.
+fn lint_runs(db: &Database, artifact_ids: &HashSet<String>, diagnostics: &mut Vec<Diagnostic>) {
+    if !db.has_collection("runs") {
+        return;
+    }
+    let docs = db.collection("runs").all();
+    let mut by_hash: HashMap<String, Vec<String>> = HashMap::new();
+    for doc in &docs {
+        let id = doc.at("_id").and_then(Value::as_str).unwrap_or("<missing _id>");
+        let subject = format!("run:{id}");
+
+        for input in doc.at("inputs").and_then(Value::as_array).unwrap_or(&[]) {
+            let Some(input) = input.as_str() else { continue };
+            if !artifact_ids.contains(input) {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::DanglingArtifactRef,
+                    subject.clone(),
+                    format!("input artifact {input} is not in the artifact collection"),
+                ));
+            }
+        }
+        if let Some(payload) = doc.at("results.payload").and_then(Value::as_str) {
+            check_blob_ref(db, &subject, payload, diagnostics);
+        }
+        if let Some(hash) = doc.at("hash").and_then(Value::as_str) {
+            by_hash.entry(hash.to_owned()).or_default().push(id.to_owned());
+        }
+        replay_events(doc, &subject, diagnostics);
+    }
+    for (hash, dup_ids) in by_hash {
+        if dup_ids.len() > 1 {
+            let mut dup_ids = dup_ids;
+            dup_ids.sort();
+            diagnostics.push(Diagnostic::new(
+                LintCode::DuplicateRunHash,
+                format!("hash:{hash}"),
+                format!(
+                    "runs [{}] share run hash {hash}; duplicate experiments should be refused",
+                    dup_ids.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Replays a run's provenance event log against the lifecycle rules:
+/// every `status:` event must be a legal transition from the replayed
+/// state (SA0006), `retrying` needs a prior failed attempt (SA0007),
+/// and the document's `status` field must match the replay (SA0011).
+fn replay_events(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) {
+    let mut current = RunStatus::Created;
+    let mut saw_failed_attempt = false;
+    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
+        let Some(event) = event.as_str() else { continue };
+        if let Some(status) = event.strip_prefix("status:") {
+            let Ok(next) = status.parse::<RunStatus>() else {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::LifecycleViolation,
+                    subject.to_owned(),
+                    format!("event log names unknown status '{status}'"),
+                ));
+                continue;
+            };
+            if !current.can_transition_to(next) {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::LifecycleViolation,
+                    subject.to_owned(),
+                    format!("event log records illegal transition {current} -> {next}"),
+                ));
+            }
+            if next == RunStatus::Retrying && !saw_failed_attempt {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::RetryWithoutFailure,
+                    subject.to_owned(),
+                    "run entered retrying with no prior failed attempt on record".to_owned(),
+                ));
+            }
+            current = next;
+        } else if let Some(attempt) = event.strip_prefix("attempt:") {
+            if !attempt.ends_with(":succeeded") {
+                saw_failed_attempt = true;
+            }
+        }
+    }
+    if let Some(status) = doc.at("status").and_then(Value::as_str) {
+        if status.parse::<RunStatus>().ok() != Some(current) {
+            diagnostics.push(Diagnostic::new(
+                LintCode::StatusEventMismatch,
+                subject.to_owned(),
+                format!(
+                    "document status '{status}' disagrees with event-log replay '{current}'"
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks one blob-key reference against the in-memory blob store
+/// (SA0004 for unparseable keys and for keys absent from the store).
+fn check_blob_ref(db: &Database, subject: &str, hex: &str, diagnostics: &mut Vec<Diagnostic>) {
+    match BlobKey::from_hex(hex) {
+        None => diagnostics.push(Diagnostic::new(
+            LintCode::MissingBlob,
+            subject.to_owned(),
+            format!("payload reference '{hex}' is not a valid blob key"),
+        )),
+        Some(key) if !db.blobs().contains(key) => diagnostics.push(Diagnostic::new(
+            LintCode::MissingBlob,
+            subject.to_owned(),
+            format!("payload blob {hex} is not in the blob store"),
+        )),
+        Some(_) => {}
+    }
+}
+
+/// Scans `<dir>/blobs/` for content-hash mismatches (SA0005): every
+/// non-`.tmp` file must hash to its own file name, because the store is
+/// content-addressed. `Database::load` silently drops offenders; the
+/// lint makes that loud.
+fn scan_blob_files(dir: &Path) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let blob_dir = dir.join("blobs");
+    let Ok(entries) = std::fs::read_dir(&blob_dir) else {
+        return diagnostics;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_file() || path.extension().is_some_and(|e| e == "tmp") {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let subject = format!("blob:{name}");
+        if BlobKey::from_hex(&name).is_none() {
+            diagnostics.push(Diagnostic::new(
+                LintCode::HashMismatch,
+                subject,
+                "file name in blobs/ is not a blob key".to_owned(),
+            ));
+            continue;
+        }
+        let Ok(content) = std::fs::read(&path) else {
+            diagnostics.push(Diagnostic::new(
+                LintCode::HashMismatch,
+                subject,
+                "blob file is unreadable".to_owned(),
+            ));
+            continue;
+        };
+        let actual = BlobKey::for_content(&content).to_hex();
+        if actual != name {
+            diagnostics.push(Diagnostic::new(
+                LintCode::HashMismatch,
+                subject,
+                format!("blob content hashes to {actual}, not to its file name"),
+            ));
+        }
+    }
+    diagnostics
+}
+
+/// Runs the linter against a freshly seeded database containing one
+/// instance of every static defect class (plus a clean control
+/// database) and verifies each expected code fires — the linter's
+/// own smoke test, wired into CI via `simart check --self-test`.
+///
+/// # Errors
+///
+/// Returns a description of the first expectation that failed.
+pub fn self_test() -> Result<String, String> {
+    // A clean database must lint clean.
+    let clean = Database::in_memory();
+    seed_artifact(&clean, uuid("clean-a"), &[], "hash-clean", None);
+    seed_run(&clean, "run-clean", "rh-clean", "done", &[uuid("clean-a")], &[
+        "status:queued",
+        "status:running",
+        "status:done",
+    ]);
+    let diags = lint_database(&clean);
+    if !diags.is_empty() {
+        return Err(format!("clean database produced findings: {diags:?}"));
+    }
+
+    // A dirty database must trip every static lint.
+    let db = Database::in_memory();
+    // SA0008: duplicate content hash.
+    seed_artifact(&db, uuid("dup-1"), &[], "hash-dup", None);
+    seed_artifact(&db, uuid("dup-2"), &[], "hash-dup", None);
+    // SA0002: cycle a <-> b. SA0003: orphan input on c.
+    seed_artifact(&db, uuid("cyc-a"), &[uuid("cyc-b")], "hash-a", None);
+    seed_artifact(&db, uuid("cyc-b"), &[uuid("cyc-a")], "hash-b", None);
+    seed_artifact(&db, uuid("art-c"), &[uuid("never-registered")], "hash-c", None);
+    // SA0004: payload key absent from the blob store.
+    seed_artifact(&db, uuid("art-d"), &[], "hash-d", Some(&"0".repeat(32)));
+    // SA0001: run referencing an unknown artifact.
+    seed_run(&db, "run-1", "rh-1", "done", &[uuid("ghost")], &[
+        "status:queued",
+        "status:running",
+        "status:done",
+    ]);
+    // SA0006: terminal status written twice.
+    seed_run(&db, "run-2", "rh-2", "done", &[], &[
+        "status:queued",
+        "status:running",
+        "status:done",
+        "status:done",
+    ]);
+    // SA0007: retrying with no prior failed attempt (running -> retrying
+    // is itself legal, so only SA0007 fires).
+    seed_run(&db, "run-3", "rh-3", "retrying", &[], &[
+        "status:queued",
+        "status:running",
+        "status:retrying",
+    ]);
+    // SA0009: duplicate run hash.
+    seed_run(&db, "run-4", "rh-dup", "created", &[], &[]);
+    seed_run(&db, "run-5", "rh-dup", "created", &[], &[]);
+    // SA0011: status field drifted from the event log.
+    seed_run(&db, "run-6", "rh-6", "done", &[], &["status:queued", "status:running"]);
+
+    let diags = lint_database(&db);
+    let expect = [
+        LintCode::DanglingArtifactRef,
+        LintCode::ArtifactCycle,
+        LintCode::OrphanArtifactInput,
+        LintCode::MissingBlob,
+        LintCode::LifecycleViolation,
+        LintCode::RetryWithoutFailure,
+        LintCode::DuplicateArtifact,
+        LintCode::DuplicateRunHash,
+        LintCode::StatusEventMismatch,
+    ];
+    for code in expect {
+        if !diags.iter().any(|d| d.code == code) {
+            return Err(format!("seeded defect for {code} was not detected; got {diags:?}"));
+        }
+    }
+
+    // SA0005 needs a database on disk with a tampered blob file.
+    let dir = std::env::temp_dir().join(format!("simart-check-selftest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk = Database::in_memory();
+    disk.blobs().put(b"intact".to_vec());
+    disk.save(&dir).map_err(|e| format!("saving self-test db: {e}"))?;
+    let fake = BlobKey::for_content(b"original content").to_hex();
+    std::fs::write(dir.join("blobs").join(fake), b"tampered")
+        .map_err(|e| format!("seeding tampered blob: {e}"))?;
+    let disk_diags = lint_dir(&dir).map_err(|e| format!("linting self-test dir: {e}"))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    if !disk_diags.iter().any(|d| d.code == LintCode::HashMismatch) {
+        return Err(format!("tampered blob was not detected; got {disk_diags:?}"));
+    }
+
+    // SA0010 comes from prelaunch cross-product validation.
+    let catalog = simart_resources::Catalog::standard();
+    let axes =
+        vec![("benchmark".to_owned(), vec!["no-such-suite".to_owned(), "npb".to_owned()])];
+    let pre = crate::prelaunch::validate_axes(&axes, &catalog);
+    if !pre.iter().any(|d| d.code == LintCode::UnknownResource) {
+        return Err(format!("unknown resource was not detected; got {pre:?}"));
+    }
+    if pre.len() != 1 {
+        return Err(format!("catalog resource 'npb' was wrongly flagged: {pre:?}"));
+    }
+
+    Ok(format!(
+        "lint self-test: clean database clean; all {} seeded defect classes detected",
+        expect.len() + 2
+    ))
+}
+
+fn uuid(name: &str) -> String {
+    Uuid::new_v3("simart-analyze-selftest", name).to_string()
+}
+
+fn seed_artifact(db: &Database, id: String, inputs: &[String], hash: &str, payload: Option<&str>) {
+    let mut doc = Value::map([
+        ("_id", Value::from(id)),
+        ("name", Value::from("seeded")),
+        ("kind", Value::from("binary")),
+        ("hash", Value::from(hash)),
+        ("inputs", Value::array(inputs.iter().map(|i| Value::from(i.clone())))),
+    ]);
+    if let Some(payload) = payload {
+        doc.set_at("payload", Value::from(payload));
+    }
+    db.collection("artifacts").insert(doc).expect("seeding artifact");
+}
+
+fn seed_run(
+    db: &Database,
+    id: &str,
+    hash: &str,
+    status: &str,
+    inputs: &[String],
+    events: &[&str],
+) {
+    db.collection("runs")
+        .insert(Value::map([
+            ("_id", Value::from(id)),
+            ("hash", Value::from(hash)),
+            ("status", Value::from(status)),
+            ("inputs", Value::array(inputs.iter().map(|i| Value::from(i.clone())))),
+            ("events", Value::array(events.iter().map(|e| Value::from(*e)))),
+        ]))
+        .expect("seeding run");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        self_test().expect("lint self-test");
+    }
+
+    #[test]
+    fn empty_database_is_clean() {
+        assert!(lint_database(&Database::in_memory()).is_empty());
+    }
+
+    #[test]
+    fn registry_written_database_is_clean() {
+        use simart_artifact::{Artifact, ArtifactKind, ArtifactRegistry, ContentSource};
+        let mut registry = ArtifactRegistry::new();
+        let repo = registry
+            .register(
+                Artifact::builder("repo", ArtifactKind::GitRepo)
+                    .documentation("src")
+                    .content(ContentSource::git("https://x", "rev")),
+            )
+            .expect("register repo");
+        registry
+            .register(
+                Artifact::builder("bin", ArtifactKind::Binary)
+                    .documentation("bin")
+                    .content(ContentSource::bytes(b"elf".to_vec()))
+                    .input(repo.id()),
+            )
+            .expect("register binary");
+        let db = Database::in_memory();
+        let store = simart_db::ArtifactStore::new(&db).expect("store");
+        for artifact in registry.iter() {
+            store.save(artifact, None).expect("save artifact");
+        }
+        assert!(lint_database(&db).is_empty());
+    }
+
+    #[test]
+    fn each_seeded_defect_maps_to_its_code() {
+        let db = Database::in_memory();
+        seed_run(&db, "r", "h", "failed", &[uuid("nope")], &[
+            "status:queued",
+            "status:done", // queued -> done is illegal
+        ]);
+        let diags = lint_database(&db);
+        let codes: Vec<LintCode> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&LintCode::DanglingArtifactRef));
+        assert!(codes.contains(&LintCode::LifecycleViolation));
+        assert!(codes.contains(&LintCode::StatusEventMismatch));
+        assert!(!codes.contains(&LintCode::DuplicateRunHash));
+    }
+}

@@ -1,0 +1,72 @@
+//! Pre-launch validation of experiment cross-products.
+//!
+//! A cross-product axis that names workloads/resources must only
+//! reference entries present in the resource catalog — a typo'd suite
+//! name should fail `simart check` (and the campaign prelaunch gate)
+//! before any simulation time is spent, not 40 minutes into a batch.
+
+use crate::diag::{sort_diagnostics, Diagnostic, LintCode};
+use simart_resources::Catalog;
+
+/// Axis names treated as resource references. Other axes ("cpu",
+/// "cores", …) are free-form parameters and are not checked.
+pub const RESOURCE_AXES: &[&str] = &["resource", "benchmark", "suite", "workload", "image"];
+
+/// Validates a cross-product's axes against the catalog: every value of
+/// a [resource axis](RESOURCE_AXES) must name a catalog resource
+/// (SA0010).
+pub fn validate_axes(axes: &[(String, Vec<String>)], catalog: &Catalog) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for (axis, values) in axes {
+        if !RESOURCE_AXES.contains(&axis.as_str()) {
+            continue;
+        }
+        for value in values {
+            if catalog.find(value).is_none() {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::UnknownResource,
+                    format!("axis:{axis}"),
+                    format!("axis '{axis}' references '{value}', which is not in the catalog"),
+                ));
+            }
+        }
+    }
+    sort_diagnostics(&mut diagnostics);
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axes(pairs: &[(&str, &[&str])]) -> Vec<(String, Vec<String>)> {
+        pairs
+            .iter()
+            .map(|(a, vs)| ((*a).to_owned(), vs.iter().map(|v| (*v).to_owned()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn catalog_resources_pass() {
+        let catalog = Catalog::standard();
+        let diags = validate_axes(&axes(&[("benchmark", &["npb", "parsec"])]), &catalog);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_resources_are_flagged() {
+        let catalog = Catalog::standard();
+        let diags = validate_axes(&axes(&[("suite", &["npb", "spec-2038"])]), &catalog);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::UnknownResource);
+        assert!(diags[0].message.contains("spec-2038"));
+    }
+
+    #[test]
+    fn non_resource_axes_are_ignored() {
+        let catalog = Catalog::standard();
+        let diags =
+            validate_axes(&axes(&[("cpu", &["kvm", "atomic"]), ("cores", &["1", "2"])]), &catalog);
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Vector-clock happens-before race detection over recorded
+//! [`tracepoint`] event traces.
+//!
+//! The instrumented crates (the `parking_lot`/`crossbeam` shims and
+//! `simart-tasks`) record synchronization events; [`check`] replays a
+//! drained trace, builds the happens-before relation, and flags every
+//! pair of conflicting `Read`/`Write` accesses to the same object that
+//! the relation leaves unordered.
+//!
+//! Happens-before edges, besides program order within a thread:
+//!
+//! * `LockRelease(o)` → the next `LockAcquire(o)`;
+//! * `ChanSend(o)` / `Enqueue(o)` → the matching `ChanRecv(o)` /
+//!   `Dequeue(o)` (per-object FIFO pairing);
+//! * `TaskSubmit(t)` / `TaskRequeue(t)` / `TaskFinish(t)` → the next
+//!   `TaskStart(t)`.
+//!
+//! The checker itself is a pure function over `&[Event]`, so it works
+//! on hand-built traces without any feature flag; capturing a *live*
+//! trace requires the `race-detect` feature (which turns on
+//! `tracepoint/enabled`).
+
+use crate::diag::{Diagnostic, LintCode};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use tracepoint::{Event, ObjectId, Op, ThreadId};
+
+/// A pair of conflicting accesses left unordered by happens-before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Race {
+    /// The object both accesses touched.
+    pub object: ObjectId,
+    /// The earlier access (by recording order).
+    pub first: Event,
+    /// The later access.
+    pub second: Event,
+}
+
+/// A thread's vector clock: its knowledge of every thread's progress.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(BTreeMap<ThreadId, u64>);
+
+impl VClock {
+    fn get(&self, thread: ThreadId) -> u64 {
+        self.0.get(&thread).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, thread: ThreadId) {
+        *self.0.entry(thread).or_insert(0) += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (thread, clock) in &other.0 {
+            let mine = self.0.entry(*thread).or_insert(0);
+            *mine = (*mine).max(*clock);
+        }
+    }
+}
+
+/// One recorded `Read`/`Write`, reduced to its epoch: the accessing
+/// thread and that thread's own clock component at access time.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    thread: ThreadId,
+    clock: u64,
+    write: bool,
+    event: Event,
+}
+
+/// Replays a trace and returns every conflicting unordered access pair
+/// (two accesses to the same object, at least one a write, on different
+/// threads, with neither happening-before the other).
+pub fn check(events: &[Event]) -> Vec<Race> {
+    let mut events: Vec<Event> = events.to_vec();
+    events.sort_by_key(|e| e.seq);
+
+    let mut clocks: HashMap<ThreadId, VClock> = HashMap::new();
+    let mut lock_release: HashMap<ObjectId, VClock> = HashMap::new();
+    let mut queued: HashMap<ObjectId, VecDeque<VClock>> = HashMap::new();
+    let mut task_origin: HashMap<ObjectId, VClock> = HashMap::new();
+    let mut accesses: HashMap<ObjectId, Vec<Access>> = HashMap::new();
+    let mut races = Vec::new();
+
+    for event in events {
+        let mut vc = clocks.remove(&event.thread).unwrap_or_default();
+        match event.op {
+            Op::LockAcquire(o) => {
+                if let Some(release) = lock_release.get(&o) {
+                    vc.join(release);
+                }
+            }
+            Op::LockRelease(o) => {
+                lock_release.insert(o, vc.clone());
+            }
+            Op::ChanSend(o) | Op::Enqueue(o) => {
+                queued.entry(o).or_default().push_back(vc.clone());
+            }
+            Op::ChanRecv(o) | Op::Dequeue(o) => {
+                if let Some(sent) = queued.get_mut(&o).and_then(VecDeque::pop_front) {
+                    vc.join(&sent);
+                }
+            }
+            Op::TaskSubmit(o) | Op::TaskRequeue(o) | Op::TaskFinish(o) => {
+                task_origin.entry(o).or_default().join(&vc);
+            }
+            Op::TaskStart(o) => {
+                if let Some(origin) = task_origin.get(&o) {
+                    vc.join(origin);
+                }
+            }
+            Op::Read(o) | Op::Write(o) => {
+                let write = matches!(event.op, Op::Write(_));
+                let history = accesses.entry(o).or_default();
+                for prior in history.iter() {
+                    let conflicting = prior.thread != event.thread && (prior.write || write);
+                    // `prior` happened-before this access iff this
+                    // thread has seen the prior thread progress at
+                    // least to the prior access's epoch.
+                    let ordered = vc.get(prior.thread) >= prior.clock;
+                    if conflicting && !ordered {
+                        races.push(Race { object: o, first: prior.event, second: event });
+                    }
+                }
+                // Epoch: tick first so clock is nonzero and unique per
+                // access on this thread.
+                vc.tick(event.thread);
+                history.push(Access {
+                    thread: event.thread,
+                    clock: vc.get(event.thread),
+                    write,
+                    event,
+                });
+                clocks.insert(event.thread, vc);
+                continue;
+            }
+        }
+        vc.tick(event.thread);
+        clocks.insert(event.thread, vc);
+    }
+    races
+}
+
+/// Converts races to SA0101 diagnostics (one per race, deterministic
+/// order by object then sequence numbers).
+pub fn race_diagnostics(races: &[Race]) -> Vec<Diagnostic> {
+    let mut races: Vec<Race> = races.to_vec();
+    races.sort_by_key(|r| (r.object, r.first.seq, r.second.seq));
+    races
+        .iter()
+        .map(|race| {
+            let label = tracepoint::lookup_label(race.object)
+                .map(|l| format!(" ({l})"))
+                .unwrap_or_default();
+            Diagnostic::new(
+                LintCode::DataRace,
+                format!("object:{}{label}", race.object),
+                format!(
+                    "unsynchronized {} by thread {} (seq {}) conflicts with {} by thread {} \
+                     (seq {})",
+                    race.first.op,
+                    race.first.thread,
+                    race.first.seq,
+                    race.second.op,
+                    race.second.thread,
+                    race.second.seq,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Captures two live traces and checks the detector both fires and
+/// stays silent: a deliberately racy pair of threads writing one object
+/// with no synchronization must be flagged, and the same writes guarded
+/// by a (traced) mutex must not be.
+///
+/// # Errors
+///
+/// Returns a description of whichever expectation failed.
+#[cfg(feature = "race-detect")]
+pub fn self_test() -> Result<String, String> {
+    use std::sync::Arc;
+
+    // Phase 1: deliberately racy — no synchronization between writers.
+    tracepoint::enable();
+    let target = tracepoint::fresh_id();
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                tracepoint::record(Op::Write(target));
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().map_err(|_| "racy writer panicked".to_owned())?;
+    }
+    let racy: Vec<Event> =
+        tracepoint::drain().into_iter().filter(|e| e.op.object() == target).collect();
+    let races = check(&racy);
+    if !races.iter().any(|r| r.object == target) {
+        tracepoint::disable();
+        return Err(format!(
+            "deliberately racy trace was not flagged (trace: {racy:?})"
+        ));
+    }
+
+    // Phase 2: the same two writes, each under a traced mutex — the
+    // lock release/acquire edge orders them.
+    let guarded = tracepoint::fresh_id();
+    let lock = Arc::new(parking_lot::Mutex::new(()));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let writers: Vec<_> = (0..2)
+        .map(|_| {
+            let lock = Arc::clone(&lock);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let guard = lock.lock();
+                tracepoint::record(Op::Write(guarded));
+                drop(guard);
+                let _ = tx.send(tracepoint::current_thread());
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().map_err(|_| "guarded writer panicked".to_owned())?;
+    }
+    let threads: Vec<tracepoint::ThreadId> = rx.try_iter().collect();
+    let synced: Vec<Event> =
+        tracepoint::drain().into_iter().filter(|e| threads.contains(&e.thread)).collect();
+    tracepoint::disable();
+    let races = check(&synced);
+    if let Some(race) = races.iter().find(|r| r.object == guarded) {
+        return Err(format!(
+            "synchronized trace was wrongly flagged: {race:?} (trace: {synced:?})"
+        ));
+    }
+    Ok("race self-test: racy trace flagged, synchronized trace clean".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, thread: ThreadId, op: Op) -> Event {
+        Event { seq, thread, op }
+    }
+
+    #[test]
+    fn unsynchronized_conflicting_writes_race() {
+        let races = check(&[ev(0, 0, Op::Write(7)), ev(1, 1, Op::Write(7))]);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].object, 7);
+        let diags = race_diagnostics(&races);
+        assert_eq!(diags[0].code, LintCode::DataRace);
+        assert!(diags[0].message.contains("thread 0"));
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        assert!(check(&[ev(0, 0, Op::Read(7)), ev(1, 1, Op::Read(7))]).is_empty());
+    }
+
+    #[test]
+    fn distinct_objects_do_not_race() {
+        assert!(check(&[ev(0, 0, Op::Write(7)), ev(1, 1, Op::Write(8))]).is_empty());
+    }
+
+    #[test]
+    fn lock_orders_critical_sections() {
+        let trace = [
+            ev(0, 0, Op::LockAcquire(1)),
+            ev(1, 0, Op::Write(7)),
+            ev(2, 0, Op::LockRelease(1)),
+            ev(3, 1, Op::LockAcquire(1)),
+            ev(4, 1, Op::Write(7)),
+            ev(5, 1, Op::LockRelease(1)),
+        ];
+        assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn lock_on_a_different_object_does_not_order() {
+        let trace = [
+            ev(0, 0, Op::LockAcquire(1)),
+            ev(1, 0, Op::Write(7)),
+            ev(2, 0, Op::LockRelease(1)),
+            ev(3, 1, Op::LockAcquire(2)),
+            ev(4, 1, Op::Write(7)),
+            ev(5, 1, Op::LockRelease(2)),
+        ];
+        assert_eq!(check(&trace).len(), 1);
+    }
+
+    #[test]
+    fn channel_send_orders_receiver() {
+        let trace = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::ChanSend(2)),
+            ev(2, 1, Op::ChanRecv(2)),
+            ev(3, 1, Op::Write(7)),
+        ];
+        assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn task_submit_orders_task_start() {
+        let trace = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::TaskSubmit(3)),
+            ev(2, 1, Op::TaskStart(3)),
+            ev(3, 1, Op::Read(7)),
+        ];
+        assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn retry_requeue_orders_the_next_attempt() {
+        let trace = [
+            ev(0, 1, Op::Write(7)),
+            ev(1, 1, Op::TaskRequeue(3)),
+            ev(2, 2, Op::TaskStart(3)),
+            ev(3, 2, Op::Write(7)),
+        ];
+        assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn write_after_unrelated_recv_still_races() {
+        // Receiver joined a clock, but the racing writer never sent.
+        let trace = [
+            ev(0, 0, Op::ChanSend(2)),
+            ev(1, 1, Op::ChanRecv(2)),
+            ev(2, 1, Op::Write(7)),
+            ev(3, 2, Op::Write(7)),
+        ];
+        assert_eq!(check(&trace).len(), 1);
+    }
+
+    #[cfg(feature = "race-detect")]
+    #[test]
+    fn live_self_test_passes() {
+        self_test().expect("race self-test");
+    }
+}

@@ -71,6 +71,29 @@ proptest! {
         }
     }
 
+    /// A rejected edge insertion leaves the graph bit-identical: build a
+    /// random graph, then replay every rejected edge again and check the
+    /// graph compares equal to a snapshot taken before the retry.
+    #[test]
+    fn dag_rejected_edge_leaves_graph_identical(
+        edges in proptest::collection::vec((0u64..16, 0u64..16), 1..60)) {
+        let mut graph = DependencyGraph::new();
+        let id = |n: u64| Uuid::new_v3("props-dag-reject", &n.to_string());
+        let mut rejected = Vec::new();
+        for (from, to) in edges {
+            if graph.add_edge(id(from), id(to)).is_err() {
+                rejected.push((id(from), id(to)));
+            }
+        }
+        let snapshot = graph.clone();
+        for (from, to) in rejected {
+            prop_assert!(graph.add_edge(from, to).is_err(), "still cyclic");
+            prop_assert_eq!(&graph, &snapshot, "rejected edge must not mutate the graph");
+        }
+        // And a clean graph validates clean.
+        prop_assert!(graph.validate().is_empty());
+    }
+
     /// Registering arbitrary content: identical content+metadata always
     /// dedupes, distinct content always yields distinct identity.
     #[test]

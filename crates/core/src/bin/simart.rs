@@ -6,10 +6,13 @@
 //! simart parsec <app> [options]      boot + run one PARSEC application
 //! simart gpu <app> [--alloc X]       run one GPU kernel
 //! simart campaign [options]          run (or resume) a persisted boot campaign
+//! simart check [options]             lint a run database's provenance
 //! simart selftest                    run the bundled test programs
 //! simart matrix                      triage the Figure 8 boot matrix
 //! ```
 
+use simart::analyze::diag::{has_errors, render_json, render_text};
+use simart::analyze::{lint, prelaunch, LintLevels};
 use simart::artifact::{Artifact, ArtifactId, ArtifactKind, ContentSource};
 use simart::cross::CrossProduct;
 use simart::db::Database;
@@ -39,18 +42,21 @@ fn main() {
         Some("gapbs") => workload_cmd(&args[1..], "gapbs"),
         Some("gpu") => gpu(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
+        Some("check") => check(&args[1..]),
         Some("selftest") => selftest(),
         Some("matrix") => matrix(),
         _ => {
             eprintln!(
-                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|selftest|matrix> [options]\n\
+                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|check|selftest|matrix> [options]\n\
                  \n\
                  boot options:     --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
                  \u{20}                 --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
                  parsec options:   <app> --os 18.04|20.04 --cores N\n\
                  gpu options:      <app> --alloc simple|dynamic\n\
-                 campaign options: --db DIR  --resume  --retries N\n\
-                 \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)"
+                 campaign options: --db DIR  --resume  --retries N  --suite NAME\n\
+                 \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
+                 check options:    --db DIR  --format text|json  --deny LINT  --allow LINT\n\
+                 \u{20}                 --self-test (LINT: warnings, SAxxxx, or a lint name)"
             );
             2
         }
@@ -60,6 +66,16 @@ fn main() {
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// All values of a repeatable `--name value` flag, in order.
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn catalog() -> i32 {
@@ -320,9 +336,20 @@ fn campaign(args: &[String]) -> i32 {
         }
     };
 
-    let sweep = CrossProduct::new()
+    let mut sweep = CrossProduct::new()
         .axis("cpu", ["kvm", "atomic", "timing"])
         .axis("cores", ["1", "2"]);
+    let suites = flag_values(args, "--suite");
+    if !suites.is_empty() {
+        sweep = sweep.axis("benchmark", suites);
+    }
+    // Pre-launch gate: a typo'd resource name fails here, before any
+    // simulation time is spent.
+    let gate = prelaunch::validate_axes(sweep.axes(), &Catalog::standard());
+    if has_errors(&gate) {
+        eprint!("{}", render_text(&gate));
+        return 1;
+    }
     let mut runs = Vec::with_capacity(sweep.len());
     for combo in sweep.iter() {
         let run = experiment.create_fs_run(|b| {
@@ -378,6 +405,78 @@ fn campaign(args: &[String]) -> i32 {
         println!("database saved to {}", dir.display());
     }
     i32::from(summary.failed + summary.timed_out > 0)
+}
+
+/// `simart check` — the provenance linter front end.
+///
+/// Exit codes: 0 clean, 1 error-severity findings (or a failed
+/// self-test), 2 usage/IO problems.
+fn check(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--self-test") {
+        return check_self_test();
+    }
+
+    let mut levels = LintLevels::new();
+    for spec in flag_values(args, "--deny") {
+        if let Err(e) = levels.deny(&spec) {
+            eprintln!("error: --deny {spec}: {e}");
+            return 2;
+        }
+    }
+    for spec in flag_values(args, "--allow") {
+        if let Err(e) = levels.allow(&spec) {
+            eprintln!("error: --allow {spec}: {e}");
+            return 2;
+        }
+    }
+    let format = flag(args, "--format").unwrap_or_else(|| "text".to_owned());
+    if format != "text" && format != "json" {
+        eprintln!("error: unknown format `{format}` (expected text or json)");
+        return 2;
+    }
+    let Some(dir) = flag(args, "--db") else {
+        eprintln!("usage: simart check --db DIR [--format text|json] [--deny LINT] [--allow LINT]");
+        return 2;
+    };
+
+    let diagnostics = match lint::lint_dir(std::path::Path::new(&dir)) {
+        Ok(diagnostics) => levels.apply(diagnostics),
+        Err(e) => {
+            eprintln!("error: cannot lint database at {dir}: {e}");
+            return 2;
+        }
+    };
+    if format == "json" {
+        println!("{}", render_json(&diagnostics));
+    } else {
+        print!("{}", render_text(&diagnostics));
+    }
+    i32::from(has_errors(&diagnostics))
+}
+
+/// Proves the detectors detect: seeds one instance of every defect
+/// class and checks each lint fires (plus, in `race-detect` builds,
+/// the live race-detector round trip).
+fn check_self_test() -> i32 {
+    let mut failed = false;
+    match lint::self_test() {
+        Ok(summary) => println!("PASS  {summary}"),
+        Err(e) => {
+            println!("FAIL  lint self-test: {e}");
+            failed = true;
+        }
+    }
+    #[cfg(feature = "race-detect")]
+    match simart::analyze::race::self_test() {
+        Ok(summary) => println!("PASS  {summary}"),
+        Err(e) => {
+            println!("FAIL  race self-test: {e}");
+            failed = true;
+        }
+    }
+    #[cfg(not(feature = "race-detect"))]
+    println!("SKIP  race self-test (build with --features race-detect to enable)");
+    i32::from(failed)
 }
 
 fn selftest() -> i32 {

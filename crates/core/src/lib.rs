@@ -30,6 +30,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`analyze`] | `simart-analyze` | provenance linting + race detection |
 //! | [`artifact`] | `simart-artifact` | provenance records |
 //! | [`db`] | `simart-db` | embedded document database |
 //! | [`run`] | `simart-run` | run objects |
@@ -40,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use simart_analyze as analyze;
 pub use simart_artifact as artifact;
 pub use simart_db as db;
 pub use simart_fullsim as sim;

@@ -1,0 +1,223 @@
+//! Golden-file tests for the `simart check` CLI: a clean fixture
+//! database exits 0 with empty reports, and every seeded defect class
+//! surfaces its stable SA code in both the text and JSON formats, with
+//! byte-exact output for a fixed fixture.
+
+use simart::artifact::Uuid;
+use simart::db::{BlobKey, Database, Value};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn uuid(name: &str) -> String {
+    Uuid::new_v3("check-cli", name).to_string()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simart-check-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_check(db_dir: &PathBuf, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simart"))
+        .arg("check")
+        .arg("--db")
+        .arg(db_dir)
+        .args(extra)
+        .output()
+        .expect("running simart check")
+}
+
+fn seed_artifact(db: &Database, id: &str, inputs: &[&str], hash: &str, payload: Option<&str>) {
+    let mut doc = Value::map([
+        ("_id", Value::from(id)),
+        ("name", Value::from("fixture")),
+        ("kind", Value::from("binary")),
+        ("hash", Value::from(hash)),
+        ("inputs", Value::array(inputs.iter().map(|i| Value::from(*i)))),
+    ]);
+    if let Some(payload) = payload {
+        doc.set_at("payload", Value::from(payload));
+    }
+    db.collection("artifacts").insert(doc).expect("seed artifact");
+}
+
+fn seed_run(db: &Database, id: &str, hash: &str, status: &str, inputs: &[&str], events: &[&str]) {
+    db.collection("runs")
+        .insert(Value::map([
+            ("_id", Value::from(id)),
+            ("hash", Value::from(hash)),
+            ("status", Value::from(status)),
+            ("inputs", Value::array(inputs.iter().map(|i| Value::from(*i)))),
+            ("events", Value::array(events.iter().map(|e| Value::from(*e)))),
+        ]))
+        .expect("seed run");
+}
+
+#[test]
+fn clean_database_exits_zero_with_empty_reports() {
+    let dir = temp_dir("clean");
+    let db = Database::in_memory();
+    let a = uuid("clean-artifact");
+    seed_artifact(&db, &a, &[], "hash-clean", None);
+    seed_run(&db, "run-1", "rh-1", "done", &[&a], &[
+        "status:queued",
+        "status:running",
+        "status:done",
+    ]);
+    db.save(&dir).expect("save fixture");
+
+    let text = run_check(&dir, &[]);
+    assert_eq!(text.status.code(), Some(0), "{text:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&text.stdout),
+        "check: 0 errors, 0 warnings\n"
+    );
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert_eq!(json.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&json.stdout).trim(), "[]");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_database_is_a_usage_error() {
+    let dir = temp_dir("missing").join("nope");
+    let out = run_check(&dir, &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+/// One seeded defect per static lint code; each must surface its SA
+/// code in both output formats, and the text report must match the
+/// golden rendering byte for byte.
+#[test]
+fn every_seeded_defect_reports_its_code() {
+    let dir = temp_dir("defects");
+    let db = Database::in_memory();
+    let (cyc_a, cyc_b) = (uuid("cyc-a"), uuid("cyc-b"));
+    let orphan = uuid("orphan-input");
+    let ghost = uuid("ghost");
+    let holder = uuid("orphan-holder");
+    // SA0002: cycle. SA0003: orphan input. SA0004: missing payload blob.
+    // SA0008: duplicate hash.
+    seed_artifact(&db, &cyc_a, &[&cyc_b], "hash-a", None);
+    seed_artifact(&db, &cyc_b, &[&cyc_a], "hash-b", None);
+    seed_artifact(&db, &holder, &[&orphan], "hash-dup", None);
+    seed_artifact(&db, &uuid("dup"), &[], "hash-dup", Some(&"0".repeat(32)));
+    // SA0001 + SA0006 + SA0011: dangling input, illegal transition, and
+    // a status field that disagrees with the replay.
+    seed_run(&db, "run-bad", "rh-bad", "done", &[&ghost], &["status:queued", "status:done"]);
+    // SA0007: retrying without a failed attempt.
+    seed_run(&db, "run-retry", "rh-retry", "retrying", &[], &[
+        "status:queued",
+        "status:running",
+        "status:retrying",
+    ]);
+    // SA0009: duplicate run hash.
+    seed_run(&db, "run-dup-1", "rh-dup", "created", &[], &[]);
+    seed_run(&db, "run-dup-2", "rh-dup", "created", &[], &[]);
+    db.save(&dir).expect("save fixture");
+    // SA0005: a blob file whose content does not hash to its name.
+    let fake = BlobKey::for_content(b"what the file should hold").to_hex();
+    std::fs::write(dir.join("blobs").join(&fake), b"tampered").expect("tamper blob");
+    let actual_hash = BlobKey::for_content(b"tampered").to_hex();
+
+    let text = run_check(&dir, &[]);
+    assert_eq!(text.status.code(), Some(1), "{text:?}");
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    let golden = format!(
+        "error[SA0001] dangling-artifact-ref: input artifact {ghost} is not in the artifact collection (run:run-bad)\n\
+         error[SA0002] artifact-cycle: artifact dependency cycle through [{m0}, {m1}] (artifact:{m0})\n\
+         error[SA0003] orphan-artifact-input: input {orphan} is referenced by [{holder}] but no artifact document declares it (artifact:{orphan})\n\
+         error[SA0004] missing-blob: payload blob {zeros} is not in the blob store (artifact:{dup})\n\
+         error[SA0005] hash-mismatch: blob content hashes to {actual_hash}, not to its file name (blob:{fake})\n\
+         error[SA0006] lifecycle-violation: event log records illegal transition queued -> done (run:run-bad)\n\
+         warning[SA0007] retry-without-failure: run entered retrying with no prior failed attempt on record (run:run-retry)\n\
+         warning[SA0008] duplicate-artifact: artifacts [{d0}, {d1}] share content hash hash-dup but were not deduplicated (hash:hash-dup)\n\
+         warning[SA0009] duplicate-run-hash: runs [run-dup-1, run-dup-2] share run hash rh-dup; duplicate experiments should be refused (hash:rh-dup)\n\
+         check: 6 errors, 3 warnings\n",
+        m0 = std::cmp::min(&cyc_a, &cyc_b),
+        m1 = std::cmp::max(&cyc_a, &cyc_b),
+        zeros = "0".repeat(32),
+        dup = uuid("dup"),
+        d0 = std::cmp::min(holder.clone(), uuid("dup")),
+        d1 = std::cmp::max(holder.clone(), uuid("dup")),
+    );
+    assert_eq!(stdout, golden);
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert_eq!(json.status.code(), Some(1));
+    let json_out = String::from_utf8_lossy(&json.stdout);
+    for code in
+        ["SA0001", "SA0002", "SA0003", "SA0004", "SA0005", "SA0006", "SA0007", "SA0008", "SA0009"]
+    {
+        assert!(stdout.contains(code), "text output lacks {code}: {stdout}");
+        assert!(json_out.contains(&format!("\"code\":\"{code}\"")), "json lacks {code}");
+    }
+    // SA0011 rides along on run-bad (status 'done' vs replay 'done'?
+    // no: replay ends 'done' there). Check it separately below.
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_event_mismatch_is_reported() {
+    let dir = temp_dir("sa0011");
+    let db = Database::in_memory();
+    seed_run(&db, "run-drift", "rh", "done", &[], &["status:queued", "status:running"]);
+    db.save(&dir).expect("save fixture");
+    let out = run_check(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "warning-only report: {stdout}");
+    assert!(stdout.contains("warning[SA0011] status-event-mismatch"), "{stdout}");
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert!(String::from_utf8_lossy(&json.stdout).contains("\"code\":\"SA0011\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deny_warnings_makes_warnings_fatal_and_allow_suppresses() {
+    let dir = temp_dir("levels");
+    let db = Database::in_memory();
+    seed_run(&db, "run-dup-1", "rh-dup", "created", &[], &[]);
+    seed_run(&db, "run-dup-2", "rh-dup", "created", &[], &[]);
+    db.save(&dir).expect("save fixture");
+
+    // Default: a warning, exit 0.
+    let out = run_check(&dir, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[SA0009]"));
+
+    // --deny warnings: promoted to error, exit 1.
+    let deny = run_check(&dir, &["--deny", "warnings"]);
+    assert_eq!(deny.status.code(), Some(1), "{deny:?}");
+    assert!(String::from_utf8_lossy(&deny.stdout).contains("error[SA0009]"));
+
+    // --deny by name works too.
+    let by_name = run_check(&dir, &["--deny", "duplicate-run-hash"]);
+    assert_eq!(by_name.status.code(), Some(1));
+
+    // --allow suppresses the finding entirely.
+    let allow = run_check(&dir, &["--allow", "SA0009"]);
+    assert_eq!(allow.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&allow.stdout),
+        "check: 0 errors, 0 warnings\n"
+    );
+
+    // Unknown lint names are usage errors.
+    let bogus = run_check(&dir, &["--deny", "no-such-lint"]);
+    assert_eq!(bogus.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn self_test_subcommand_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(["check", "--self-test"])
+        .output()
+        .expect("running self-test");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("PASS  lint self-test"), "{stdout}");
+}

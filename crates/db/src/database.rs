@@ -96,10 +96,13 @@ impl Database {
         for key in self.blobs.keys() {
             let path = blob_dir.join(key.to_hex());
             if !path.exists() {
+                // The store is append-only, but don't let a racing
+                // mutation turn a missing key into a panic mid-save.
+                let Some(content) = self.blobs.get(key) else { continue };
                 let tmp = blob_dir.join(format!("{}.tmp", key.to_hex()));
                 {
                     let mut file = fs::File::create(&tmp)?;
-                    file.write_all(&self.blobs.get(key).expect("key just listed"))?;
+                    file.write_all(&content)?;
                     file.sync_all()?;
                 }
                 fs::rename(&tmp, &path)?;

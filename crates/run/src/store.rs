@@ -122,7 +122,8 @@ impl RunStore {
             .db
             .collection(Self::COLLECTION)
             .update_many(&Filter::eq("_id", id.to_string()), |doc| {
-                let count = doc.at("attemptCount").and_then(Value::as_int).unwrap_or(0) as u32 + 1;
+                let prior = doc.at("attemptCount").and_then(Value::as_int).unwrap_or(0);
+                let count = u32::try_from(prior).unwrap_or(0).saturating_add(1);
                 recorded.set(count);
                 doc.set_at("attemptCount", Value::from(u64::from(count)));
                 let mut attempts: Vec<Value> = doc
@@ -133,7 +134,10 @@ impl RunStore {
                 attempts.push(Value::map([
                     ("index", Value::from(u64::from(count))),
                     ("disposition", Value::from(disposition)),
-                    ("delayMs", Value::from(delay_before.as_millis() as u64)),
+                    (
+                        "delayMs",
+                        Value::from(u64::try_from(delay_before.as_millis()).unwrap_or(u64::MAX)),
+                    ),
                 ]));
                 doc.set_at("attempts", Value::array(attempts));
                 push_event(doc, &format!("attempt:{count}:{disposition}"));
@@ -151,7 +155,8 @@ impl RunStore {
             .collection(Self::COLLECTION)
             .get(&id.to_string())
             .and_then(|doc| doc.at("attemptCount").and_then(Value::as_int))
-            .unwrap_or(0) as u32
+            .and_then(|n| u32::try_from(n).ok())
+            .unwrap_or(0)
     }
 
     /// The run's attempt history, oldest first.
@@ -176,8 +181,8 @@ impl RunStore {
                     index: entry
                         .at("index")
                         .and_then(Value::as_int)
-                        .ok_or_else(|| corrupt("attempt without index"))?
-                        as u32,
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| corrupt("attempt without index"))?,
                     disposition: entry
                         .at("disposition")
                         .and_then(Value::as_str)
@@ -186,8 +191,8 @@ impl RunStore {
                     delay_ms: entry
                         .at("delayMs")
                         .and_then(Value::as_int)
-                        .ok_or_else(|| corrupt("attempt without delayMs"))?
-                        as u64,
+                        .and_then(|n| u64::try_from(n).ok())
+                        .ok_or_else(|| corrupt("attempt without delayMs"))?,
                 })
             })
             .collect()
@@ -390,8 +395,10 @@ fn doc_to_run(doc: &Value) -> Result<FsRun, RunError> {
         .parse::<RunStatus>()
         .map_err(|e| corrupt(&e.to_string()))?;
     let timeout = Duration::from_secs(
-        doc.at("timeoutSeconds").and_then(Value::as_int).ok_or_else(|| corrupt("missing timeout"))?
-            as u64,
+        doc.at("timeoutSeconds")
+            .and_then(Value::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| corrupt("missing timeout"))?,
     );
     Ok(FsRun::from_stored_parts(
         id,

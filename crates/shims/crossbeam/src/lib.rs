@@ -21,6 +21,8 @@ pub mod channel {
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        #[cfg(feature = "trace")]
+        trace_id: u64,
     }
 
     /// Sending half of a channel. Cloneable.
@@ -92,6 +94,8 @@ pub mod channel {
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            #[cfg(feature = "trace")]
+            trace_id: tracepoint::fresh_id(),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
@@ -140,6 +144,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             queue.push_back(value);
             drop(queue);
+            #[cfg(feature = "trace")]
+            tracepoint::record(tracepoint::Op::ChanSend(self.shared.trace_id));
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -151,6 +157,9 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    #[cfg(feature = "trace")]
+                    tracepoint::record(tracepoint::Op::ChanRecv(self.shared.trace_id));
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -164,7 +173,12 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    drop(queue);
+                    #[cfg(feature = "trace")]
+                    tracepoint::record(tracepoint::Op::ChanRecv(self.shared.trace_id));
+                    Ok(value)
+                }
                 None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -178,6 +192,9 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    #[cfg(feature = "trace")]
+                    tracepoint::record(tracepoint::Op::ChanRecv(self.shared.trace_id));
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -265,6 +282,29 @@ mod tests {
         let a = std::thread::spawn(move || rx.iter().count());
         let b = std::thread::spawn(move || rx2.iter().count());
         assert_eq!(a.join().unwrap() + b.join().unwrap(), 64);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn channel_ops_emit_send_recv_events() {
+        tracepoint::enable();
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        let events = tracepoint::drain();
+        tracepoint::disable();
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e.op, tracepoint::Op::ChanSend(_)))
+            .count();
+        let recvs = events
+            .iter()
+            .filter(|e| matches!(e.op, tracepoint::Op::ChanRecv(_)))
+            .count();
+        assert_eq!(sends, 2);
+        assert_eq!(recvs, 2);
     }
 
     #[test]

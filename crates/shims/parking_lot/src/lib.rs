@@ -4,80 +4,226 @@
 //! workspace vendors the minimal API surface it actually uses: a
 //! [`Mutex`] and an [`RwLock`] whose guards are returned directly
 //! (poison is swallowed, as parking_lot does by construction).
+//!
+//! With the `trace` cargo feature, every lock acquire/release emits a
+//! `tracepoint` event for the simart-analyze race detector. The guards
+//! are thin newtypes over the std guards either way; without the
+//! feature they carry no extra state and no `Drop` impl, so tracing
+//! support costs nothing when disabled.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+#[cfg(feature = "trace")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lazily assigns (on first use) and returns a lock's trace id.
+#[cfg(feature = "trace")]
+fn trace_id(slot: &AtomicU64) -> u64 {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = tracepoint::fresh_id();
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(raced) => raced,
+    }
+}
 
 /// A mutual-exclusion lock whose `lock` never returns a poison error.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "trace")]
+    id: AtomicU64,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "trace")]
+    id: u64,
+    inner: sync::MutexGuard<'a, T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "trace")]
+            id: AtomicU64::new(0),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "trace")]
+        {
+            let id = trace_id(&self.id);
+            tracepoint::record(tracepoint::Op::LockAcquire(id));
+            MutexGuard { id, inner }
+        }
+        #[cfg(not(feature = "trace"))]
+        MutexGuard { inner }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "trace")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        tracepoint::record(tracepoint::Op::LockRelease(self.id));
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
 /// A reader-writer lock whose guards are returned without poison.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "trace")]
+    id: AtomicU64,
+    inner: sync::RwLock<T>,
+}
+
+/// RAII guard for [`RwLock::read`].
+///
+/// Traced as a full acquire/release pair: conservative (two concurrent
+/// readers appear ordered to the detector) but never hides a
+/// writer-involved race behind a missing edge.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "trace")]
+    id: u64,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "trace")]
+    id: u64,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "trace")]
+            id: AtomicU64::new(0),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "trace")]
+        {
+            let id = trace_id(&self.id);
+            tracepoint::record(tracepoint::Op::LockAcquire(id));
+            RwLockReadGuard { id, inner }
+        }
+        #[cfg(not(feature = "trace"))]
+        RwLockReadGuard { inner }
     }
 
     /// Acquires an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "trace")]
+        {
+            let id = trace_id(&self.id);
+            tracepoint::record(tracepoint::Op::LockAcquire(id));
+            RwLockWriteGuard { id, inner }
+        }
+        #[cfg(not(feature = "trace"))]
+        RwLockWriteGuard { inner }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "trace")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        tracepoint::record(tracepoint::Op::LockRelease(self.id));
+    }
+}
+
+#[cfg(feature = "trace")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        tracepoint::record(tracepoint::Op::LockRelease(self.id));
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
@@ -98,5 +244,28 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn locks_emit_acquire_release_pairs() {
+        tracepoint::enable();
+        let m = Mutex::new(0);
+        {
+            let mut guard = m.lock();
+            *guard += 1;
+        }
+        let events = tracepoint::drain();
+        tracepoint::disable();
+        let acquires = events
+            .iter()
+            .filter(|e| matches!(e.op, tracepoint::Op::LockAcquire(_)))
+            .count();
+        let releases = events
+            .iter()
+            .filter(|e| matches!(e.op, tracepoint::Op::LockRelease(_)))
+            .count();
+        assert!(acquires >= 1);
+        assert_eq!(acquires, releases);
     }
 }

@@ -1,0 +1,303 @@
+//! Concurrency-event tracepoints for the simart race detector.
+//!
+//! Sync primitives (`crates/shims/parking_lot`, `crates/shims/crossbeam`)
+//! and the task layer (`simart-tasks`) call [`record`] at every
+//! synchronization-relevant operation: lock acquire/release, channel
+//! send/recv, task submit/start/finish, broker enqueue/dequeue, and
+//! shared-state reads/writes. The recorded [`Event`] stream is replayed
+//! by `simart-analyze`'s vector-clock happens-before checker.
+//!
+//! The event *types* are always available (the checker needs them to
+//! replay hand-built traces), but **recording only compiles in with the
+//! `enabled` cargo feature**. Without it, [`record`] is an empty
+//! `#[inline(always)]` function, no global state exists, and tracing
+//! adds literally zero instructions to the instrumented crates. With
+//! the feature on, recording is additionally gated at runtime by
+//! [`enable`]/[`disable`] so instrumented binaries only pay for tracing
+//! inside an explicitly started capture window.
+//!
+//! This crate deliberately depends on nothing (std only) — it sits
+//! *below* the sync shims, so it must not use them.
+
+use std::fmt;
+
+/// A process-unique id for a traced object (lock, channel, task, or
+/// shared document). Allocated by [`fresh_id`]; `0` is never returned,
+/// so instrumented primitives can use `0` as "not yet assigned".
+pub type ObjectId = u64;
+
+/// A small dense thread identifier assigned on first use per thread.
+pub type ThreadId = u32;
+
+/// What happened at a tracepoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A mutex/rwlock-writer lock was acquired.
+    LockAcquire(ObjectId),
+    /// A mutex/rwlock-writer lock was released.
+    LockRelease(ObjectId),
+    /// A message was enqueued on a channel.
+    ChanSend(ObjectId),
+    /// A message was dequeued from a channel.
+    ChanRecv(ObjectId),
+    /// A task was submitted to a scheduler.
+    TaskSubmit(ObjectId),
+    /// A worker started executing a task (first or retry attempt).
+    TaskStart(ObjectId),
+    /// A task finished (terminal report produced).
+    TaskFinish(ObjectId),
+    /// A failed task was re-queued for a retry attempt.
+    TaskRequeue(ObjectId),
+    /// A job entered a broker/pool work queue.
+    Enqueue(ObjectId),
+    /// A job left a broker/pool work queue.
+    Dequeue(ObjectId),
+    /// A shared object (run record, task state) was read.
+    Read(ObjectId),
+    /// A shared object (run record, task state) was written.
+    Write(ObjectId),
+}
+
+impl Op {
+    /// The object the operation touches.
+    pub fn object(self) -> ObjectId {
+        match self {
+            Op::LockAcquire(o)
+            | Op::LockRelease(o)
+            | Op::ChanSend(o)
+            | Op::ChanRecv(o)
+            | Op::TaskSubmit(o)
+            | Op::TaskStart(o)
+            | Op::TaskFinish(o)
+            | Op::TaskRequeue(o)
+            | Op::Enqueue(o)
+            | Op::Dequeue(o)
+            | Op::Read(o)
+            | Op::Write(o) => o,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::LockAcquire(o) => write!(f, "lock-acquire({o})"),
+            Op::LockRelease(o) => write!(f, "lock-release({o})"),
+            Op::ChanSend(o) => write!(f, "chan-send({o})"),
+            Op::ChanRecv(o) => write!(f, "chan-recv({o})"),
+            Op::TaskSubmit(o) => write!(f, "task-submit({o})"),
+            Op::TaskStart(o) => write!(f, "task-start({o})"),
+            Op::TaskFinish(o) => write!(f, "task-finish({o})"),
+            Op::TaskRequeue(o) => write!(f, "task-requeue({o})"),
+            Op::Enqueue(o) => write!(f, "enqueue({o})"),
+            Op::Dequeue(o) => write!(f, "dequeue({o})"),
+            Op::Read(o) => write!(f, "read({o})"),
+            Op::Write(o) => write!(f, "write({o})"),
+        }
+    }
+}
+
+/// One recorded tracepoint hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    /// Thread that hit the tracepoint.
+    pub thread: ThreadId,
+    /// What happened.
+    pub op: Op,
+}
+
+#[cfg(feature = "enabled")]
+mod recording {
+    use super::{Event, ObjectId, Op, ThreadId};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static NEXT_OBJECT: AtomicU64 = AtomicU64::new(1);
+    static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+    // std Mutex on purpose: this crate sits below the parking_lot shim
+    // and must not trace its own bookkeeping.
+    fn events() -> &'static Mutex<Vec<Event>> {
+        static EVENTS: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+        EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    fn labels() -> &'static Mutex<HashMap<ObjectId, String>> {
+        static LABELS: OnceLock<Mutex<HashMap<ObjectId, String>>> = OnceLock::new();
+        LABELS.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    thread_local! {
+        static THREAD_ID: ThreadId = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn enable() {
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+
+    pub fn fresh_id() -> ObjectId {
+        NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn current_thread() -> ThreadId {
+        THREAD_ID.with(|id| *id)
+    }
+
+    pub fn record(op: Op) {
+        if !is_enabled() {
+            return;
+        }
+        let event = Event {
+            seq: SEQ.fetch_add(1, Ordering::SeqCst),
+            thread: current_thread(),
+            op,
+        };
+        events().lock().unwrap_or_else(|e| e.into_inner()).push(event);
+    }
+
+    pub fn label(id: ObjectId, name: &str) {
+        if !is_enabled() {
+            return;
+        }
+        labels().lock().unwrap_or_else(|e| e.into_inner()).insert(id, name.to_owned());
+    }
+
+    pub fn lookup_label(id: ObjectId) -> Option<String> {
+        labels().lock().unwrap_or_else(|e| e.into_inner()).get(&id).cloned()
+    }
+
+    pub fn drain() -> Vec<Event> {
+        let mut events = events().lock().unwrap_or_else(|e| e.into_inner());
+        let mut drained = std::mem::take(&mut *events);
+        drained.sort_by_key(|e| e.seq);
+        drained
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use recording::{current_thread, disable, drain, enable, fresh_id, is_enabled, label,
+    lookup_label, record};
+
+/// No-op stand-ins compiled when the `enabled` feature is off: the
+/// whole tracing surface folds to nothing.
+#[cfg(not(feature = "enabled"))]
+mod disabled {
+    use super::{Event, ObjectId, Op, ThreadId};
+
+    /// Recording disabled at compile time: always `false`.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn enable() {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn disable() {}
+
+    /// Ids still allocate so instrumented code is feature-agnostic, but
+    /// from a plain counter with no trace state behind it.
+    #[inline(always)]
+    pub fn fresh_id() -> ObjectId {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Always thread 0 without the `enabled` feature.
+    #[inline(always)]
+    pub fn current_thread() -> ThreadId {
+        0
+    }
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn record(_op: Op) {}
+
+    /// No-op without the `enabled` feature.
+    #[inline(always)]
+    pub fn label(_id: ObjectId, _name: &str) {}
+
+    /// Always `None` without the `enabled` feature.
+    #[inline(always)]
+    pub fn lookup_label(_id: ObjectId) -> Option<String> {
+        None
+    }
+
+    /// Always empty without the `enabled` feature.
+    #[inline(always)]
+    pub fn drain() -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use disabled::{current_thread, disable, drain, enable, fresh_id, is_enabled, label,
+    lookup_label, record};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique_and_nonzero() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        enable();
+        record(Op::Write(7));
+        record(Op::LockAcquire(1));
+        assert!(drain().is_empty(), "no trace state exists without the feature");
+        assert!(!is_enabled());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_build_records_inside_capture_window() {
+        // Runtime-gated: nothing recorded before enable().
+        disable();
+        let _ = drain();
+        record(Op::Write(7));
+        assert!(drain().is_empty());
+        enable();
+        record(Op::Write(7));
+        record(Op::Read(7));
+        label(7, "doc");
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, Op::Write(7));
+        assert_eq!(events[1].op, Op::Read(7));
+        assert!(events[0].seq < events[1].seq);
+        assert_eq!(lookup_label(7).as_deref(), Some("doc"));
+    }
+
+    #[test]
+    fn ops_expose_their_object() {
+        assert_eq!(Op::ChanSend(3).object(), 3);
+        assert_eq!(Op::TaskStart(9).object(), 9);
+        assert_eq!(Op::Write(1).to_string(), "write(1)");
+    }
+}

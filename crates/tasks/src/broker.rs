@@ -7,7 +7,7 @@
 //! statistics are observable while the system runs.
 
 use crate::task::{execute, Task, TaskHandle, TaskReport};
-use crate::Scheduler;
+use crate::{trace, Scheduler};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +35,7 @@ pub struct BrokerScheduler {
     stats: Arc<BrokerStats>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
+    queue_trace_id: u64,
 }
 
 impl BrokerScheduler {
@@ -47,8 +48,9 @@ impl BrokerScheduler {
         assert!(workers > 0, "a broker needs at least one worker");
         let (tx, rx) = unbounded::<Job>();
         let stats = Arc::new(BrokerStats::default());
+        let queue_trace_id = trace::fresh_id();
         let handles = (0..workers)
-            .map(|i| Self::spawn_worker(i, rx.clone(), Arc::clone(&stats)))
+            .map(|i| Self::spawn_worker(i, rx.clone(), Arc::clone(&stats), queue_trace_id))
             .collect();
         BrokerScheduler {
             queue: Mutex::new(Some(tx)),
@@ -56,6 +58,7 @@ impl BrokerScheduler {
             stats,
             workers: Mutex::new(handles),
             worker_count: workers,
+            queue_trace_id,
         }
     }
 
@@ -63,11 +66,13 @@ impl BrokerScheduler {
         index: usize,
         rx: Receiver<Job>,
         stats: Arc<BrokerStats>,
+        queue_trace_id: u64,
     ) -> JoinHandle<()> {
         std::thread::Builder::new()
             .name(format!("simart-broker-worker-{index}"))
             .spawn(move || {
                 while let Ok((task, report_tx)) = rx.recv() {
+                    trace::dequeue(queue_trace_id);
                     let report = execute(task);
                     if report.detached {
                         stats.detached_workers.fetch_add(1, Ordering::SeqCst);
@@ -136,8 +141,10 @@ impl Scheduler for BrokerScheduler {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
         self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        trace::task_submit(task.trace_id);
         match self.queue.lock().as_ref() {
             Some(sender) => {
+                trace::enqueue(self.queue_trace_id);
                 sender.send((task, tx)).expect("workers alive until drop");
             }
             None => {

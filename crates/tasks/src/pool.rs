@@ -1,7 +1,7 @@
 //! The thread-pool executor (the `multiprocessing` analogue).
 
 use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
-use crate::Scheduler;
+use crate::{trace, Scheduler};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::thread::JoinHandle;
 
@@ -16,6 +16,7 @@ pub struct PoolScheduler {
     queue: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    queue_trace_id: u64,
 }
 
 impl PoolScheduler {
@@ -27,6 +28,7 @@ impl PoolScheduler {
     pub fn new(size: usize) -> PoolScheduler {
         assert!(size > 0, "a pool needs at least one worker");
         let (tx, rx) = unbounded::<Job>();
+        let queue_trace_id = trace::fresh_id();
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
@@ -34,13 +36,14 @@ impl PoolScheduler {
                     .name(format!("simart-pool-{i}"))
                     .spawn(move || {
                         while let Ok((task, report_tx)) = rx.recv() {
+                            trace::dequeue(queue_trace_id);
                             execute_reporting(task, report_tx);
                         }
                     })
                     .expect("spawning pool worker")
             })
             .collect();
-        PoolScheduler { queue: Some(tx), workers, size }
+        PoolScheduler { queue: Some(tx), workers, size, queue_trace_id }
     }
 
     /// Number of worker threads.
@@ -53,6 +56,8 @@ impl Scheduler for PoolScheduler {
     fn submit(&self, task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
+        trace::task_submit(task.trace_id);
+        trace::enqueue(self.queue_trace_id);
         self.queue
             .as_ref()
             .expect("queue alive until drop")

@@ -1,7 +1,7 @@
 //! The serial (no-scheduler) executor.
 
 use crate::task::{execute_reporting, Task, TaskHandle};
-use crate::Scheduler;
+use crate::{trace, Scheduler};
 use crossbeam::channel::bounded;
 
 /// Runs each task inline on the submitting thread — the paper's "no
@@ -20,6 +20,7 @@ impl Scheduler for SerialScheduler {
     fn submit(&self, task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
+        trace::task_submit(task.trace_id);
         execute_reporting(task, tx);
         TaskHandle { receiver: rx, name }
     }

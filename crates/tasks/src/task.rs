@@ -2,6 +2,7 @@
 
 use crate::fault::FaultInjector;
 use crate::retry::RetryPolicy;
+use crate::trace;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,6 +85,9 @@ pub struct Task {
     pub(crate) timeout: Option<Duration>,
     pub(crate) policy: RetryPolicy,
     pub(crate) fault: Option<Arc<FaultInjector>>,
+    /// Id for race-detector tracepoints (`0` when tracing is compiled
+    /// out). Clones share the id: they are the same logical task.
+    pub(crate) trace_id: u64,
 }
 
 impl Task {
@@ -98,6 +102,7 @@ impl Task {
             timeout: None,
             policy: RetryPolicy::none(),
             fault: None,
+            trace_id: trace::fresh_id(),
         }
     }
 
@@ -230,7 +235,7 @@ impl TaskHandle {
 /// and total deadlines, fault injection — and returns its report.
 /// Shared by all schedulers.
 pub(crate) fn execute(task: Task) -> TaskReport {
-    let Task { name, work, timeout, policy, fault } = task;
+    let Task { name, work, timeout, policy, fault, trace_id } = task;
     let attempt_deadline = timeout.or(policy.per_attempt_deadline());
     let started = Instant::now();
     let mut attempts = 0u32;
@@ -239,6 +244,7 @@ pub(crate) fn execute(task: Task) -> TaskReport {
     let mut delay_before = Duration::ZERO;
     let (state, output, error) = loop {
         attempts += 1;
+        trace::task_start(trace_id);
         let attempt_work = wrap_with_faults(&work, &fault, &name, attempts);
         let outcome = run_attempt(attempt_work, attempt_deadline);
         history.push(AttemptRecord {
@@ -283,9 +289,11 @@ pub(crate) fn execute(task: Task) -> TaskReport {
                     std::thread::sleep(delay);
                 }
                 delay_before = delay;
+                trace::task_requeue(trace_id);
             }
         }
     };
+    trace::task_finish(trace_id);
     TaskReport {
         name,
         state,

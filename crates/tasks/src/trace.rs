@@ -1,0 +1,62 @@
+//! Scheduler tracepoint facade for the simart-analyze race detector.
+//!
+//! Every hook forwards to the `tracepoint` crate under the
+//! `race-trace` feature and compiles to an empty `#[inline(always)]`
+//! function without it, so instrumentation call sites stay
+//! feature-agnostic and cost nothing in normal builds.
+
+/// Allocates a process-unique trace id for a task or queue (`0` when
+/// tracing is compiled out).
+#[inline(always)]
+pub(crate) fn fresh_id() -> u64 {
+    #[cfg(feature = "race-trace")]
+    {
+        tracepoint::fresh_id()
+    }
+    #[cfg(not(feature = "race-trace"))]
+    {
+        0
+    }
+}
+
+/// A task was handed to a scheduler.
+#[inline(always)]
+pub(crate) fn task_submit(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::TaskSubmit(_id));
+}
+
+/// An execution attempt of a task began (first or retry).
+#[inline(always)]
+pub(crate) fn task_start(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::TaskStart(_id));
+}
+
+/// A task produced its terminal report.
+#[inline(always)]
+pub(crate) fn task_finish(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::TaskFinish(_id));
+}
+
+/// A failed task was scheduled for another attempt.
+#[inline(always)]
+pub(crate) fn task_requeue(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::TaskRequeue(_id));
+}
+
+/// A job entered a pool/broker work queue.
+#[inline(always)]
+pub(crate) fn enqueue(_queue: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::Enqueue(_queue));
+}
+
+/// A job left a pool/broker work queue.
+#[inline(always)]
+pub(crate) fn dequeue(_queue: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::Dequeue(_queue));
+}
