@@ -25,7 +25,7 @@
 //! `race::self_test`) wired into `simart check --self-test` so CI
 //! proves the detectors actually detect.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod diag;
 pub mod lint;

@@ -68,6 +68,8 @@ impl Md5 {
 
     /// One-shot convenience: hash `data` and return the digest.
     pub fn digest(data: &[u8]) -> Digest {
+        let _timer = simart_observe::timer("artifact.hash_us");
+        simart_observe::count("artifact.hashed_bytes", data.len() as u64);
         let mut h = Md5::new();
         h.update(data);
         h.finalize()

@@ -6,6 +6,7 @@
 //! simart parsec <app> [options]      boot + run one PARSEC application
 //! simart gpu <app> [--alloc X]       run one GPU kernel
 //! simart campaign [options]          run (or resume) a persisted boot campaign
+//! simart metrics [options]           report profiling metrics from a saved campaign
 //! simart check [options]             lint a run database's provenance
 //! simart selftest                    run the bundled test programs
 //! simart matrix                      triage the Figure 8 boot matrix
@@ -42,19 +43,21 @@ fn main() {
         Some("gapbs") => workload_cmd(&args[1..], "gapbs"),
         Some("gpu") => gpu(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
+        Some("metrics") => metrics(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("selftest") => selftest(),
         Some("matrix") => matrix(),
         _ => {
             eprintln!(
-                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|check|selftest|matrix> [options]\n\
+                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|metrics|check|selftest|matrix> [options]\n\
                  \n\
                  boot options:     --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
                  \u{20}                 --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
                  parsec options:   <app> --os 18.04|20.04 --cores N\n\
                  gpu options:      <app> --alloc simple|dynamic\n\
-                 campaign options: --db DIR  --resume  --retries N  --suite NAME\n\
+                 campaign options: --db DIR  --resume  --retries N  --suite NAME  --trace-out FILE\n\
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
+                 metrics options:  --db DIR  --format text|json\n\
                  check options:    --db DIR  --format text|json  --deny LINT  --allow LINT\n\
                  \u{20}                 --self-test (LINT: warnings, SAxxxx, or a lint name)"
             );
@@ -306,6 +309,7 @@ fn execute_campaign_run(run: &simart::run::FsRun) -> Result<ExecOutcome, String>
 
 fn campaign(args: &[String]) -> i32 {
     let db_dir = flag(args, "--db").map(std::path::PathBuf::from);
+    let trace_out = flag(args, "--trace-out").map(std::path::PathBuf::from);
     let resume = args.iter().any(|a| a == "--resume");
     let retries: u32 = flag(args, "--retries").and_then(|s| s.parse().ok()).unwrap_or(0);
     let fault_rate: f64 = flag(args, "--fault-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
@@ -382,6 +386,11 @@ fn campaign(args: &[String]) -> i32 {
         options = options.fault(Arc::new(FaultInjector::new(fault_seed).errors(fault_rate)));
     }
 
+    // Profiling capture window: everything the campaign does from here
+    // on records spans and metrics (a no-op in builds without the
+    // `observe` feature).
+    simart::observe::reset();
+    simart::observe::enable();
     let pool = PoolScheduler::new(2);
     let summary = experiment.launch_with(runs, &pool, execute_campaign_run, &options);
     println!(
@@ -397,14 +406,93 @@ fn campaign(args: &[String]) -> i32 {
         summary.done, summary.failed, summary.timed_out, summary.retried,
     );
 
-    if let Some(dir) = db_dir {
-        if let Err(e) = experiment.database().save(&dir) {
+    if let Some(dir) = &db_dir {
+        // First save happens inside the capture window so the
+        // `db.save_us` histogram has at least one observation; the
+        // snapshot (including it) is then persisted by a second save.
+        if let Err(e) = experiment.database().save(dir) {
+            eprintln!("error: cannot save database to {}: {e}", dir.display());
+            return 2;
+        }
+        let snapshot = simart::observe::snapshot();
+        if let Err(e) = simart::metrics::persist_snapshot(experiment.database(), &snapshot) {
+            eprintln!("error: cannot record metrics: {e}");
+            return 2;
+        }
+        if let Err(e) = experiment.database().save(dir) {
             eprintln!("error: cannot save database to {}: {e}", dir.display());
             return 2;
         }
         println!("database saved to {}", dir.display());
+        if !snapshot.metrics.is_empty() {
+            println!(
+                "metrics: {} recorded (inspect with `simart metrics --db {}`)",
+                snapshot.metrics.len(),
+                dir.display()
+            );
+        }
+    }
+
+    simart::observe::disable();
+    if let Some(path) = &trace_out {
+        let trace = simart::observe::drain_trace();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            return 2;
+        }
+        println!(
+            "trace written to {} ({} spans, {} events; open in chrome://tracing or ui.perfetto.dev)",
+            path.display(),
+            trace.spans.len(),
+            trace.events.len()
+        );
     }
     i32::from(summary.failed + summary.timed_out > 0)
+}
+
+/// `simart metrics` — renders the profiling metrics a previous
+/// `simart campaign --db DIR` recorded into its database.
+///
+/// Exit codes: 0 success (including "no metrics recorded"), 2 usage/IO
+/// problems.
+fn metrics(args: &[String]) -> i32 {
+    let format = flag(args, "--format").unwrap_or_else(|| "text".to_owned());
+    if format != "text" && format != "json" {
+        eprintln!("error: unknown format `{format}` (expected text or json)");
+        return 2;
+    }
+    let Some(dir) = flag(args, "--db") else {
+        eprintln!("usage: simart metrics --db DIR [--format text|json]");
+        return 2;
+    };
+    let path = std::path::Path::new(&dir);
+    if !path.is_dir() {
+        eprintln!(
+            "error: no database at {dir}: not a directory (create one with \
+             `simart campaign --db {dir}`)"
+        );
+        return 2;
+    }
+    let db = match Database::load(path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: cannot load database at {dir}: {e}");
+            return 2;
+        }
+    };
+    let snapshot = match simart::metrics::load_snapshot(&db) {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("error: cannot read metrics from {dir}: {e}");
+            return 2;
+        }
+    };
+    if format == "json" {
+        println!("{}", snapshot.render_json());
+    } else {
+        print!("{}", snapshot.render_text());
+    }
+    0
 }
 
 /// `simart check` — the provenance linter front end.
@@ -438,6 +526,13 @@ fn check(args: &[String]) -> i32 {
         eprintln!("usage: simart check --db DIR [--format text|json] [--deny LINT] [--allow LINT]");
         return 2;
     };
+    if !std::path::Path::new(&dir).is_dir() {
+        eprintln!(
+            "error: no database at {dir}: not a directory (create one with \
+             `simart campaign --db {dir}`)"
+        );
+        return 2;
+    }
 
     let diagnostics = match lint::lint_dir(std::path::Path::new(&dir)) {
         Ok(diagnostics) => levels.apply(diagnostics),

@@ -9,6 +9,7 @@
 
 use parking_lot::Mutex;
 use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry};
+use simart_observe as observe;
 use simart_db::{ArtifactStore, Database, DbError, Filter, Value};
 use simart_run::{FsRun, RunError, RunStatus, RunStore};
 use simart_tasks::{FaultInjector, RetryPolicy, Scheduler, Task, TaskReport, TaskState};
@@ -307,6 +308,7 @@ impl Experiment {
         execute: impl Fn(&FsRun) -> Result<ExecOutcome, String> + Send + Sync + Clone + 'static,
         options: &LaunchOptions,
     ) -> LaunchSummary {
+        let _span = observe::span(|| format!("experiment.launch:{}", self.name));
         let mut summary = LaunchSummary::default();
         let mut handles = Vec::new();
         for mut fs_run in runs {
@@ -415,6 +417,7 @@ impl Experiment {
             })
             .timeout(timeout)
             .retry_policy(options.retry_policy.clone());
+            observe::count("experiment.runs_launched", 1);
             handles.push((run_id, scheduler.submit(task)));
         }
         for (run_id, handle) in handles {

@@ -38,6 +38,7 @@
 //! | [`sim`] | `simart-fullsim` | the full-system simulator |
 //! | [`gpu`] | `simart-gpu` | the GCN3-like GPU model |
 //! | [`resources`] | `simart-resources` | the resource catalog |
+//! | [`observe`] | `simart-observe` | span tracing + metrics registry |
 
 #![warn(missing_docs)]
 
@@ -46,12 +47,14 @@ pub use simart_artifact as artifact;
 pub use simart_db as db;
 pub use simart_fullsim as sim;
 pub use simart_gpu as gpu;
+pub use simart_observe as observe;
 pub use simart_resources as resources;
 pub use simart_run as run;
 pub use simart_tasks as tasks;
 
 pub mod cross;
 mod experiment;
+pub mod metrics;
 pub mod report;
 
 pub use experiment::{ExecOutcome, Experiment, ExperimentError, LaunchOptions, LaunchSummary};

@@ -7,6 +7,7 @@
 use bytes::Bytes;
 use parking_lot::RwLock;
 use simart_artifact::hash::{Digest, Md5};
+use simart_observe as observe;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -69,7 +70,15 @@ impl BlobStore {
     pub fn put(&self, data: impl Into<Bytes>) -> BlobKey {
         let data = data.into();
         let key = BlobKey::for_content(&data);
-        self.inner.write().entry(key).or_insert(data);
+        observe::count("db.blob_puts", 1);
+        match self.inner.write().entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                observe::count("db.blob_dedup_hits", 1);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(data);
+            }
+        }
         key
     }
 

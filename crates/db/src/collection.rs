@@ -4,6 +4,7 @@ use crate::error::DbError;
 use crate::query::{Filter, SortOrder};
 use crate::value::Value;
 use parking_lot::RwLock;
+use simart_observe as observe;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -78,6 +79,7 @@ impl Collection {
     /// * [`DbError::DuplicateId`] — `_id` already present.
     /// * [`DbError::UniqueViolation`] — a unique index would be violated.
     pub fn insert(&self, doc: Value) -> Result<(), DbError> {
+        let _timer = observe::timer("db.insert_us");
         let id = id_of(&doc)?;
         let mut inner = self.inner.write();
         if inner.docs.contains_key(&id) {
@@ -142,11 +144,13 @@ impl Collection {
 
     /// Returns all documents matching `filter`, ordered by `_id`.
     pub fn find(&self, filter: &Filter) -> Vec<Value> {
+        let _timer = observe::timer("db.query_us");
         self.inner.read().docs.values().filter(|d| filter.matches(d)).cloned().collect()
     }
 
     /// Returns the first matching document.
     pub fn find_one(&self, filter: &Filter) -> Option<Value> {
+        let _timer = observe::timer("db.query_us");
         self.inner.read().docs.values().find(|d| filter.matches(d)).cloned()
     }
 
@@ -167,6 +171,7 @@ impl Collection {
 
     /// Counts documents matching `filter`.
     pub fn count(&self, filter: &Filter) -> usize {
+        let _timer = observe::timer("db.query_us");
         self.inner.read().docs.values().filter(|d| filter.matches(d)).count()
     }
 

@@ -5,6 +5,7 @@ use crate::collection::Collection;
 use crate::error::DbError;
 use crate::json;
 use parking_lot::RwLock;
+use simart_observe as observe;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -75,6 +76,8 @@ impl Database {
     ///
     /// Propagates filesystem failures as [`DbError::Io`].
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
+        let _timer = observe::timer("db.save_us");
+        let _span = observe::span(|| "db.save".to_owned());
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         remove_stale_tmp_files(dir)?;
@@ -126,6 +129,8 @@ impl Database {
     /// * [`DbError::DuplicateId`] / [`DbError::InvalidDocument`] —
     ///   inconsistent persisted data.
     pub fn load(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        let _timer = observe::timer("db.load_us");
+        let _span = observe::span(|| "db.load".to_owned());
         let dir = dir.as_ref();
         let db = Database::in_memory();
         let mut entries: Vec<PathBuf> =

@@ -23,6 +23,7 @@ use crate::os::OsImage;
 use crate::stats::Stats;
 use crate::ticks::{Clock, Tick};
 use crate::workload::{InputSize, WorkloadProfile};
+use simart_observe as observe;
 
 /// How many instructions each timing sample simulates in detail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -301,6 +302,7 @@ impl SystemConfig {
         mem: &mut dyn mem::MemorySystem,
     ) -> Vec<f64> {
         const SLICE: u64 = 256;
+        let _timer = observe::timer("sim.cpi_sample_us");
         let threads = cpus.len();
         // Functional warmup (SMARTS-style): run a fixed-length prefix
         // of the stream to populate caches and coherence state, then
@@ -319,6 +321,7 @@ impl SystemConfig {
                     if done[t] < budget_per_thread {
                         let budget = SLICE.min(budget_per_thread - done[t]);
                         let result = cpus[t].run(t, &mut streams[t], budget, mem);
+                        observe::count("sim.ticks", result.cycles);
                         done[t] += result.instructions;
                         cycles[t] += result.cycles;
                         if done[t] < budget_per_thread {
@@ -342,6 +345,9 @@ impl SystemConfig {
     /// Infallible for a built config today, but kept fallible for
     /// forward compatibility with resource-dependent boots.
     pub fn boot_only(&self) -> Result<SimOutput, SimError> {
+        let _span = observe::span(|| format!("sim.boot:{}", self.label()));
+        let _timer = observe::timer("sim.boot_us");
+        observe::count("sim.boots", 1);
         let outcome = compat::evaluate(&self.boot_config());
         let mut stats = Stats::new();
         stats.set_count("system.cores", self.cores as u64);
@@ -377,6 +383,7 @@ impl SystemConfig {
         let mut instructions = 0u64;
         let mut completed_ticks: Tick = 0;
         while let Some(event) = queue.pop() {
+            observe::count("sim.boot_events", 1);
             if Some(event.payload) == fail_stage {
                 break;
             }
@@ -495,6 +502,8 @@ impl SystemConfig {
         boot_stats: &Stats,
         boot_host_seconds: f64,
     ) -> Result<SimOutput, SimError> {
+        let _span = observe::span(|| format!("sim.workload:{}/{input}", workload.name));
+        observe::count("sim.workloads", 1);
         let os = self.os.profile();
         let bonus = self.os.parallel_bonus(&workload.name);
         let parallel_fraction = (workload.parallel_fraction + bonus).min(0.995);

@@ -5,6 +5,7 @@ use crate::fs_run::FsRun;
 use crate::status::RunStatus;
 use simart_artifact::{ArtifactId, Uuid};
 use simart_db::{BlobKey, Database, Filter, Value};
+use simart_observe as observe;
 use std::str::FromStr;
 use std::time::Duration;
 
@@ -38,6 +39,8 @@ impl RunStore {
     ///
     /// [`RunError::DuplicateRun`] when a run with the same hash exists.
     pub fn record(&self, run: &FsRun) -> Result<(), RunError> {
+        let _timer = observe::timer("run.record_us");
+        observe::count("run.records", 1);
         let doc = run_to_doc(run);
         match self.db.collection(Self::COLLECTION).insert(doc) {
             Ok(()) => Ok(()),
@@ -75,6 +78,7 @@ impl RunStore {
     ///
     /// Propagates lookup failures.
     pub fn set_status(&self, id: Uuid, status: RunStatus) -> Result<(), RunError> {
+        observe::count("run.transitions", 1);
         let n = self
             .db
             .collection(Self::COLLECTION)

@@ -10,6 +10,7 @@ use crate::task::{execute, Task, TaskHandle, TaskReport};
 use crate::{trace, Scheduler};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use simart_observe as observe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -73,12 +74,20 @@ impl BrokerScheduler {
             .spawn(move || {
                 while let Ok((task, report_tx)) = rx.recv() {
                     trace::dequeue(queue_trace_id);
+                    observe::count("broker.dequeued", 1);
+                    // Broker-to-worker handoff latency (the task's own
+                    // queue stamp keeps ticking until `execute`).
+                    if let Some(us) = task.queue_stamp.elapsed_us() {
+                        observe::observe_us("broker.queue_latency_us", us);
+                    }
                     let report = execute(task);
                     if report.detached {
                         stats.detached_workers.fetch_add(1, Ordering::SeqCst);
                     }
-                    let _ = report_tx.send(report);
+                    // Count before delivering the report: a waiter that
+                    // observes the report must also observe the count.
                     stats.completed.fetch_add(1, Ordering::SeqCst);
+                    let _ = report_tx.send(report);
                 }
             })
             .expect("spawning broker worker")
@@ -137,13 +146,15 @@ impl BrokerScheduler {
 }
 
 impl Scheduler for BrokerScheduler {
-    fn submit(&self, task: Task) -> TaskHandle {
+    fn submit(&self, mut task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
         self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        task.stamp_queued();
         trace::task_submit(task.trace_id);
         match self.queue.lock().as_ref() {
             Some(sender) => {
+                observe::count("broker.enqueued", 1);
                 trace::enqueue(self.queue_trace_id);
                 sender.send((task, tx)).expect("workers alive until drop");
             }

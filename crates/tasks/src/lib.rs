@@ -39,7 +39,7 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod broker;
 mod fault;
@@ -209,6 +209,34 @@ mod tests {
         assert!(any(|op| matches!(op, Op::Enqueue(_))) >= 3);
         assert!(any(|op| matches!(op, Op::Dequeue(_))) >= 3);
         assert!(any(|op| matches!(op, Op::ChanSend(_))) >= 3);
+    }
+
+    #[cfg(feature = "observe")]
+    #[test]
+    fn schedulers_record_profiling_metrics() {
+        use simart_observe as observe;
+        observe::enable();
+        let pool_reports = run_all(
+            &PoolScheduler::new(2),
+            (0..4).map(|i| Task::new(format!("m{i}"), || Ok(String::new()))),
+        );
+        let broker = BrokerScheduler::new(2);
+        let broker_reports =
+            run_all(&broker, (0..2).map(|i| Task::new(format!("b{i}"), || Ok(String::new()))));
+        observe::disable();
+        assert!(pool_reports.iter().chain(&broker_reports).all(|r| r.state.is_success()));
+        let snap = observe::snapshot();
+        for name in ["tasks.queue_wait_us", "tasks.run_time_us", "broker.queue_latency_us"] {
+            match snap.metrics.get(name) {
+                Some(observe::MetricValue::Histogram(h)) => {
+                    assert!(h.count >= 2, "{name} count = {}", h.count)
+                }
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
+        assert_eq!(snap.metrics.get("pool.enqueued"), Some(&observe::MetricValue::Counter(4)));
+        assert_eq!(snap.metrics.get("broker.enqueued"), Some(&observe::MetricValue::Counter(2)));
+        observe::reset();
     }
 
     #[test]

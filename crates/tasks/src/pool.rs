@@ -3,6 +3,7 @@
 use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
 use crate::{trace, Scheduler};
 use crossbeam::channel::{bounded, unbounded, Sender};
+use simart_observe as observe;
 use std::thread::JoinHandle;
 
 type Job = (Task, Sender<TaskReport>);
@@ -37,6 +38,7 @@ impl PoolScheduler {
                     .spawn(move || {
                         while let Ok((task, report_tx)) = rx.recv() {
                             trace::dequeue(queue_trace_id);
+                            observe::count("pool.dequeued", 1);
                             execute_reporting(task, report_tx);
                         }
                     })
@@ -53,9 +55,11 @@ impl PoolScheduler {
 }
 
 impl Scheduler for PoolScheduler {
-    fn submit(&self, task: Task) -> TaskHandle {
+    fn submit(&self, mut task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
+        task.stamp_queued();
+        observe::count("pool.enqueued", 1);
         trace::task_submit(task.trace_id);
         trace::enqueue(self.queue_trace_id);
         self.queue

@@ -17,9 +17,10 @@ impl SerialScheduler {
 }
 
 impl Scheduler for SerialScheduler {
-    fn submit(&self, task: Task) -> TaskHandle {
+    fn submit(&self, mut task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
+        task.stamp_queued();
         trace::task_submit(task.trace_id);
         execute_reporting(task, tx);
         TaskHandle { receiver: rx, name }

@@ -4,6 +4,7 @@ use crate::fault::FaultInjector;
 use crate::retry::RetryPolicy;
 use crate::trace;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use simart_observe as observe;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -88,6 +89,10 @@ pub struct Task {
     /// Id for race-detector tracepoints (`0` when tracing is compiled
     /// out). Clones share the id: they are the same logical task.
     pub(crate) trace_id: u64,
+    /// When the task entered a scheduler queue (zero-sized unless the
+    /// `observe` feature is on); feeds the `tasks.queue_wait_us`
+    /// histogram.
+    pub(crate) queue_stamp: observe::Stamp,
 }
 
 impl Task {
@@ -103,7 +108,15 @@ impl Task {
             policy: RetryPolicy::none(),
             fault: None,
             trace_id: trace::fresh_id(),
+            queue_stamp: observe::Stamp::now(),
         }
+    }
+
+    /// Marks the moment the task was handed to a scheduler; the delta
+    /// to execution start is its queue wait. Called by every
+    /// scheduler's `submit`.
+    pub(crate) fn stamp_queued(&mut self) {
+        self.queue_stamp = observe::Stamp::now();
     }
 
     /// Sets a wall-clock timeout (the paper's framework kills gem5 jobs
@@ -235,7 +248,10 @@ impl TaskHandle {
 /// and total deadlines, fault injection — and returns its report.
 /// Shared by all schedulers.
 pub(crate) fn execute(task: Task) -> TaskReport {
-    let Task { name, work, timeout, policy, fault, trace_id } = task;
+    let Task { name, work, timeout, policy, fault, trace_id, queue_stamp } = task;
+    queue_stamp.observe_into("tasks.queue_wait_us");
+    observe::count("tasks.executed", 1);
+    let _task_span = observe::span(|| format!("task:{name}"));
     let attempt_deadline = timeout.or(policy.per_attempt_deadline());
     let started = Instant::now();
     let mut attempts = 0u32;
@@ -246,7 +262,9 @@ pub(crate) fn execute(task: Task) -> TaskReport {
         attempts += 1;
         trace::task_start(trace_id);
         let attempt_work = wrap_with_faults(&work, &fault, &name, attempts);
+        let attempt_stamp = observe::Stamp::now();
         let outcome = run_attempt(attempt_work, attempt_deadline);
+        attempt_stamp.observe_into("tasks.run_time_us");
         history.push(AttemptRecord {
             index: attempts,
             disposition: match outcome {
@@ -262,6 +280,7 @@ pub(crate) fn execute(task: Task) -> TaskReport {
                 // The watchdogged worker cannot be killed safely; it is
                 // detached and keeps running until its work returns.
                 detached = true;
+                observe::count("tasks.timeouts", 1);
                 break (
                     TaskState::TimedOut,
                     None,
@@ -285,6 +304,8 @@ pub(crate) fn execute(task: Task) -> TaskReport {
                         );
                     }
                 }
+                observe::count("tasks.retries", 1);
+                observe::observe_us("tasks.retry_delay_us", delay.as_micros() as u64);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
