@@ -73,6 +73,14 @@ pub enum LintCode {
     /// SA0011: a run document's `status` field disagrees with a replay
     /// of its event log.
     StatusEventMismatch,
+    /// SA0012: the database directory holds journal records (or a torn
+    /// journal tail) not yet folded into the checkpoint files — the
+    /// campaign that owned it did not finish its checkpoint.
+    UnreplayedJournal,
+    /// SA0013: a journal insert collides with a checkpoint document of
+    /// different content — the checkpoint and the write-ahead journal
+    /// disagree about the same `_id`.
+    JournalDivergence,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -91,6 +99,8 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::DuplicateRunHash,
     LintCode::UnknownResource,
     LintCode::StatusEventMismatch,
+    LintCode::UnreplayedJournal,
+    LintCode::JournalDivergence,
     LintCode::DataRace,
 ];
 
@@ -109,6 +119,8 @@ impl LintCode {
             LintCode::DuplicateRunHash => "SA0009",
             LintCode::UnknownResource => "SA0010",
             LintCode::StatusEventMismatch => "SA0011",
+            LintCode::UnreplayedJournal => "SA0012",
+            LintCode::JournalDivergence => "SA0013",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -127,6 +139,8 @@ impl LintCode {
             LintCode::DuplicateRunHash => "duplicate-run-hash",
             LintCode::UnknownResource => "unknown-resource",
             LintCode::StatusEventMismatch => "status-event-mismatch",
+            LintCode::UnreplayedJournal => "unreplayed-journal",
+            LintCode::JournalDivergence => "journal-divergence",
             LintCode::DataRace => "data-race",
         }
     }
@@ -137,7 +151,8 @@ impl LintCode {
             LintCode::RetryWithoutFailure
             | LintCode::DuplicateArtifact
             | LintCode::DuplicateRunHash
-            | LintCode::StatusEventMismatch => Severity::Warning,
+            | LintCode::StatusEventMismatch
+            | LintCode::UnreplayedJournal => Severity::Warning,
             _ => Severity::Error,
         }
     }

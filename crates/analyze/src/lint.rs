@@ -12,7 +12,7 @@
 use crate::diag::{sort_diagnostics, Diagnostic, LintCode};
 use simart_artifact::dag::{DependencyGraph, GraphIssue};
 use simart_artifact::Uuid;
-use simart_db::{BlobKey, Database, DbError, Value};
+use simart_db::{BlobKey, Database, DbError, LoadOptions, LoadReport, Value};
 use simart_run::RunStatus;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -28,20 +28,65 @@ pub fn lint_database(db: &Database) -> Vec<Diagnostic> {
     diagnostics
 }
 
-/// Lints a database directory on disk: loads it, runs
-/// [`lint_database`], and additionally scans `blobs/` for files whose
+/// Lints a database directory on disk: loads it (checkpoint + journal
+/// replay), runs [`lint_database`], scans `blobs/` for files whose
 /// content does not hash to their file name (SA0005) — exactly the
-/// blobs `Database::load` silently discards.
+/// blobs a lenient `Database::load` discards — and inspects the journal
+/// state the load reported (SA0012 unreplayed-journal, SA0013
+/// journal-divergence).
 ///
 /// # Errors
 ///
 /// Propagates load failures (missing directory, corrupt JSONL).
 pub fn lint_dir(dir: &Path) -> Result<Vec<Diagnostic>, DbError> {
-    let db = Database::load(dir)?;
+    // Lenient load: the linter's job is to *report* damage, so corrupt
+    // documents must not abort the whole pass (SA0005/SA0012/SA0013
+    // findings describe them instead).
+    let (db, report) = Database::load_with(dir, &LoadOptions::default())?;
     let mut diagnostics = lint_database(&db);
     diagnostics.extend(scan_blob_files(dir));
+    diagnostics.extend(journal_diagnostics(&report));
     sort_diagnostics(&mut diagnostics);
     Ok(diagnostics)
+}
+
+/// Derives journal-layout findings from what the load observed:
+/// SA0012 for records (or a torn tail) not yet folded into checkpoint
+/// files, SA0013 for checkpoint/journal disagreement about one `_id`.
+fn journal_diagnostics(report: &LoadReport) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    if report.journal_records > 0 {
+        diagnostics.push(Diagnostic::new(
+            LintCode::UnreplayedJournal,
+            "journal:log",
+            format!(
+                "journal holds {} record(s) not folded into the checkpoint files; \
+                 the owning campaign did not finish (or never ran) its checkpoint",
+                report.journal_records
+            ),
+        ));
+    }
+    if report.journal_torn_bytes > 0 {
+        diagnostics.push(Diagnostic::new(
+            LintCode::UnreplayedJournal,
+            "journal:tail",
+            format!(
+                "journal ends in a torn tail of {} byte(s) (interrupted append); \
+                 records before the tear replay cleanly",
+                report.journal_torn_bytes
+            ),
+        ));
+    }
+    for subject in &report.divergent {
+        diagnostics.push(Diagnostic::new(
+            LintCode::JournalDivergence,
+            format!("journal:{subject}"),
+            "journal insert collides with a checkpoint document of different content; \
+             the journal version wins on replay"
+                .to_owned(),
+        ));
+    }
+    diagnostics
 }
 
 /// Lints every artifact document; returns the set of declared artifact
@@ -385,6 +430,31 @@ pub fn self_test() -> Result<String, String> {
         return Err(format!("tampered blob was not detected; got {disk_diags:?}"));
     }
 
+    // SA0012/SA0013 need a journaled directory: an attached database
+    // dropped without a checkpoint leaves journal records behind
+    // (SA0012), and a hand-edited checkpoint that disagrees with a
+    // journal insert is divergence (SA0013). A collection outside the
+    // provenance schema keeps the other lints quiet.
+    let jdir =
+        std::env::temp_dir().join(format!("simart-check-selftest-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&jdir);
+    {
+        let jdb = Database::open(&jdir).map_err(|e| format!("opening self-test journal db: {e}"))?;
+        jdb.collection("notes")
+            .insert(Value::map([("_id", Value::from("n1")), ("v", Value::from(1i64))]))
+            .map_err(|e| format!("seeding journaled doc: {e}"))?;
+    }
+    std::fs::write(jdir.join("notes.jsonl"), "{\"_id\":\"n1\",\"v\":2}\n")
+        .map_err(|e| format!("seeding divergent checkpoint: {e}"))?;
+    let journal_diags = lint_dir(&jdir).map_err(|e| format!("linting journaled dir: {e}"))?;
+    let _ = std::fs::remove_dir_all(&jdir);
+    if !journal_diags.iter().any(|d| d.code == LintCode::UnreplayedJournal) {
+        return Err(format!("unreplayed journal was not detected; got {journal_diags:?}"));
+    }
+    if !journal_diags.iter().any(|d| d.code == LintCode::JournalDivergence) {
+        return Err(format!("journal divergence was not detected; got {journal_diags:?}"));
+    }
+
     // SA0010 comes from prelaunch cross-product validation.
     let catalog = simart_resources::Catalog::standard();
     let axes =
@@ -399,7 +469,8 @@ pub fn self_test() -> Result<String, String> {
 
     Ok(format!(
         "lint self-test: clean database clean; all {} seeded defect classes detected",
-        expect.len() + 2
+        // + SA0005, SA0010, SA0012, SA0013 seeded outside `expect`.
+        expect.len() + 4
     ))
 }
 

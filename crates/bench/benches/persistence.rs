@@ -1,0 +1,140 @@
+//! Persistence cost: whole-snapshot `save` versus journaled writes.
+//!
+//! Before the write-ahead journal, persisting a campaign after every
+//! mutation meant rewriting every `.jsonl` file — O(database). With the
+//! journal, each mutation appends one CRC-framed record — O(delta),
+//! independent of database size. This bench measures both on the same
+//! data so the asymptotic claim is a number, not an assertion.
+//!
+//! Run modes:
+//!
+//! - `cargo bench -p simart-bench --bench persistence` — print the
+//!   timing table.
+//! - `... --bench persistence -- --test` — additionally assert the
+//!   O(delta) property (appends beat full saves by a wide margin and
+//!   stay flat as the database grows), exiting nonzero on regression.
+
+use simart_db::{Database, Value};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Best-of repetitions per measurement (first runs warm caches).
+const REPEATS: usize = 9;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("simart-bench-persistence-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn doc(i: usize) -> Value {
+    Value::map([
+        ("_id", Value::from(format!("run-{i:06}"))),
+        ("hash", Value::from(format!("{i:032x}"))),
+        ("status", Value::from("done")),
+        ("events", Value::from(vec![
+            Value::from("status:queued"),
+            Value::from("status:running"),
+            Value::from("status:done"),
+        ])),
+        ("results", Value::map([
+            ("sim_ticks", Value::from(91_000_000 + i as i64)),
+            ("outcome", Value::from("success")),
+        ])),
+    ])
+}
+
+fn populate(db: &Database, docs: usize) {
+    let runs = db.collection("runs");
+    for i in 0..docs {
+        runs.insert(doc(i)).expect("insert");
+    }
+}
+
+/// Best-of-`REPEATS` timing of one full snapshot `save` for a database
+/// holding `docs` documents.
+fn measure_save(docs: usize) -> Duration {
+    let db = Database::in_memory();
+    populate(&db, docs);
+    let dir = temp_dir(&format!("save-{docs}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut best = Duration::MAX;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        db.save(&dir).expect("save");
+        best = best.min(start.elapsed());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    best
+}
+
+/// Best-of-`REPEATS` timing of a single journaled insert against an
+/// attached, freshly checkpointed database holding `docs` documents —
+/// the per-mutation persistence cost after the refactor.
+fn measure_journaled_insert(docs: usize) -> Duration {
+    let dir = temp_dir(&format!("journal-{docs}"));
+    let db = Database::open(&dir).expect("open");
+    populate(&db, docs);
+    db.checkpoint().expect("checkpoint");
+    let runs = db.collection("runs");
+    let mut best = Duration::MAX;
+    for r in 0..REPEATS {
+        let start = Instant::now();
+        runs.insert(doc(1_000_000 + r)).expect("journaled insert");
+        best = best.min(start.elapsed());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    best
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+
+    let sizes = [100usize, 1000];
+    let mut saves = Vec::new();
+    let mut appends = Vec::new();
+    println!("persistence: full snapshot save vs journaled append (best of {REPEATS})");
+    println!("{:>8}  {:>14}  {:>18}  {:>7}", "docs", "save (full)", "append (journal)", "ratio");
+    for &docs in &sizes {
+        let save = measure_save(docs);
+        let append = measure_journaled_insert(docs);
+        println!(
+            "{docs:>8}  {:>12.1}us  {:>16.2}us  {:>6.0}x",
+            save.as_secs_f64() * 1e6,
+            append.as_secs_f64() * 1e6,
+            save.as_secs_f64() / append.as_secs_f64().max(1e-9),
+        );
+        saves.push(save);
+        appends.push(append);
+    }
+
+    if test_mode {
+        // O(delta) claim, with generous margins against CI noise:
+        // 1. persisting one mutation is much cheaper than rewriting the
+        //    snapshot of a 1000-doc database;
+        assert!(
+            appends[1] * 5 < saves[1],
+            "journaled append ({:?}) should be far cheaper than a full save ({:?})",
+            appends[1],
+            saves[1],
+        );
+        // 2. append cost does not scale with database size (allow a
+        //    wide band — both numbers are single-digit microseconds).
+        assert!(
+            appends[1] < appends[0] * 20 + Duration::from_micros(200),
+            "append cost must stay flat as the database grows: {:?} at 100 docs, {:?} at 1000",
+            appends[0],
+            appends[1],
+        );
+        // 3. full saves *do* scale with size — the contrast that makes
+        //    the journal worth having.
+        assert!(
+            saves[1] > saves[0],
+            "full save should grow with database size: {:?} at 100 docs, {:?} at 1000",
+            saves[0],
+            saves[1],
+        );
+        println!("persistence bench assertions passed");
+    }
+}

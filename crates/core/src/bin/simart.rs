@@ -315,15 +315,19 @@ fn campaign(args: &[String]) -> i32 {
     let fault_rate: f64 = flag(args, "--fault-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let fault_seed: u64 = flag(args, "--fault-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
 
+    // A campaign with a database directory runs *attached*: every run
+    // insert and status transition appends to the write-ahead journal
+    // as it happens, so killing the process at any instant loses no
+    // completed run — `--resume` replays the journal and skips them.
     let db = match &db_dir {
-        Some(dir) if dir.is_dir() => match Database::load(dir) {
+        Some(dir) => match Database::open(dir) {
             Ok(db) => db,
             Err(e) => {
-                eprintln!("error: cannot load database from {}: {e}", dir.display());
+                eprintln!("error: cannot open database at {}: {e}", dir.display());
                 return 2;
             }
         },
-        _ => Database::in_memory(),
+        None => Database::in_memory(),
     };
     let experiment = match Experiment::with_database("campaign", db) {
         Ok(experiment) => experiment,
@@ -407,23 +411,20 @@ fn campaign(args: &[String]) -> i32 {
     );
 
     if let Some(dir) = &db_dir {
-        // First save happens inside the capture window so the
-        // `db.save_us` histogram has at least one observation; the
-        // snapshot (including it) is then persisted by a second save.
-        if let Err(e) = experiment.database().save(dir) {
-            eprintln!("error: cannot save database to {}: {e}", dir.display());
-            return 2;
-        }
+        // Every run mutation is already on disk in the journal; record
+        // the metrics snapshot (its inserts append too, still inside
+        // the capture window), then fold everything into checkpoint
+        // files. No whole-DB saves needed.
         let snapshot = simart::observe::snapshot();
         if let Err(e) = simart::metrics::persist_snapshot(experiment.database(), &snapshot) {
             eprintln!("error: cannot record metrics: {e}");
             return 2;
         }
-        if let Err(e) = experiment.database().save(dir) {
-            eprintln!("error: cannot save database to {}: {e}", dir.display());
+        if let Err(e) = experiment.database().checkpoint() {
+            eprintln!("error: cannot checkpoint database at {}: {e}", dir.display());
             return 2;
         }
-        println!("database saved to {}", dir.display());
+        println!("database checkpointed to {}", dir.display());
         if !snapshot.metrics.is_empty() {
             println!(
                 "metrics: {} recorded (inspect with `simart metrics --db {}`)",
@@ -473,8 +474,10 @@ fn metrics(args: &[String]) -> i32 {
         );
         return 2;
     }
-    let db = match Database::load(path) {
-        Ok(db) => db,
+    // Strict load: a torn or corrupt database is a hard error for a
+    // reporting tool, not something to paper over.
+    let db = match Database::load_with(path, &simart::db::LoadOptions::strict()) {
+        Ok((db, _)) => db,
         Err(e) => {
             eprintln!("error: cannot load database at {dir}: {e}");
             return 2;

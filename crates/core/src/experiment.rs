@@ -149,6 +149,13 @@ impl LaunchOptions {
 
 /// An experiment session: registry + database + run store, with launch
 /// orchestration.
+///
+/// Built over an *attached* database ([`Database::open`]), the session
+/// is durable as it goes: artifact registrations, run records, status
+/// transitions, and archived results all write through to the on-disk
+/// journal at commit time, so a crash at any point loses no completed
+/// run. Call [`Database::checkpoint`] at natural boundaries to fold
+/// the journal into the snapshot files.
 #[derive(Clone)]
 pub struct Experiment {
     name: String,

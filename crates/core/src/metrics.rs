@@ -1,8 +1,8 @@
 //! Persisting and reloading observability metric snapshots.
 //!
 //! `simart campaign` snapshots the live [`simart_observe`] registry
-//! into a `metrics` collection — one document per metric — when it
-//! saves its database, and `simart metrics` reconstructs a
+//! into a `metrics` collection — one document per metric — before it
+//! checkpoints its database, and `simart metrics` reconstructs a
 //! [`Snapshot`] from those documents to render it. The persisted form
 //! is plain database documents, so *reading* recorded metrics works in
 //! any build, including ones compiled without observability.
@@ -12,7 +12,7 @@
 //! ```text
 //! { "_id": "sim.boots",          "kind": "counter",   "value": 6 }
 //! { "_id": "pool.depth",         "kind": "gauge",     "value": 2 }
-//! { "_id": "db.save_us",         "kind": "histogram",
+//! { "_id": "db.journal_append_us", "kind": "histogram",
 //!   "count": 6, "sum_us": 5400, "buckets": [0, 0, ...] }
 //! ```
 

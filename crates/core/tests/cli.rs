@@ -74,7 +74,7 @@ fn campaign_persists_and_resumes() {
     assert_eq!(code, 1, "{stdout}");
     assert!(stdout.contains("fresh 6"), "{stdout}");
     assert!(stdout.contains("failed 6"), "{stdout}");
-    assert!(stdout.contains("database saved"), "{stdout}");
+    assert!(stdout.contains("database checkpointed"), "{stdout}");
 
     // Session 2 without --resume: the stored runs are duplicates.
     let (stdout, _, code) = simart(&["campaign", "--db", db]);

@@ -1,0 +1,192 @@
+//! End-to-end crash-recovery tests for journaled campaign persistence.
+//!
+//! The journal's whole point: a campaign killed mid-flight — whether by
+//! a dropped handle with no checkpoint or by `SIGKILL` on the CLI
+//! process — loses **zero completed runs**. Resume picks up exactly
+//! where the journal left off.
+
+use simart::artifact::{Artifact, ArtifactId, ArtifactKind, ContentSource};
+use simart::db::{Database, Filter};
+use simart::run::{FsRun, RunStatus};
+use simart::tasks::PoolScheduler;
+use simart::{ExecOutcome, Experiment, LaunchOptions};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("simart-journal-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn register_components(experiment: &Experiment) -> [ArtifactId; 5] {
+    let mut ids = Vec::new();
+    for (name, kind, doc) in [
+        ("sim-repo", ArtifactKind::GitRepo, "src"),
+        ("sim", ArtifactKind::Binary, "bin"),
+        ("script", ArtifactKind::RunScript, "cfg"),
+        ("vmlinux", ArtifactKind::Kernel, "kernel"),
+        ("disk", ArtifactKind::DiskImage, "img"),
+    ] {
+        let mut builder = Artifact::builder(name, kind)
+            .documentation(doc)
+            .content(ContentSource::bytes(name.as_bytes().to_vec()));
+        if name == "sim" {
+            builder = builder.input(ids[0]);
+        }
+        ids.push(experiment.register_artifact(builder).expect("register").id());
+    }
+    [ids[1], ids[0], ids[2], ids[3], ids[4]]
+}
+
+fn make_run(experiment: &Experiment, ids: [ArtifactId; 5], app: &str) -> FsRun {
+    let [binary, repo, script, kernel, disk] = ids;
+    experiment
+        .create_fs_run(|b| {
+            b.simulator(binary, "sim")
+                .simulator_repo(repo)
+                .run_script(script, "run.py")
+                .kernel(kernel, "vmlinux")
+                .disk_image(disk, "disk.img")
+                .param(app)
+        })
+        .expect("build run")
+}
+
+fn ok_outcome(tag: &str) -> ExecOutcome {
+    ExecOutcome {
+        outcome: "success".into(),
+        sim_ticks: 1000,
+        payload: format!("stats for {tag}").into_bytes(),
+        success: true,
+    }
+}
+
+/// Simulated crash: the experiment session ends without *any* explicit
+/// save or checkpoint. Because every mutation was journaled at commit
+/// time, a resumed session sees every completed run and re-queues only
+/// the unfinished ones.
+#[test]
+fn dropped_session_without_checkpoint_loses_no_completed_run() {
+    let dir = temp_dir("drop");
+    let apps = ["a", "b", "c", "d"];
+    let done_ids;
+    {
+        let experiment =
+            Experiment::with_database("crashy", Database::open(&dir).expect("open"))
+                .expect("experiment");
+        let ids = register_components(&experiment);
+        let runs: Vec<FsRun> = apps.iter().map(|app| make_run(&experiment, ids, app)).collect();
+        done_ids = vec![runs[0].id(), runs[2].id()];
+        let pool = PoolScheduler::new(2);
+        let summary = experiment.launch(runs, &pool, |run: &FsRun| {
+            // "b" and "d" fail; "a" and "c" complete.
+            if run.params()[0] == "b" || run.params()[0] == "d" {
+                Err("kernel-panic".to_owned())
+            } else {
+                Ok(ok_outcome(&run.params()[0]))
+            }
+        });
+        assert_eq!((summary.done, summary.failed), (2, 2));
+        // Crash: drop everything. No save(), no checkpoint().
+    }
+
+    // Recovery session over the same directory.
+    let experiment = Experiment::with_database("crashy", Database::open(&dir).expect("reopen"))
+        .expect("experiment over recovered db");
+    assert_eq!(experiment.runs().len(), 4, "all four records survived the crash");
+    for id in &done_ids {
+        let run = experiment.runs().load(*id).expect("completed run survived");
+        assert_eq!(run.status(), RunStatus::Done);
+        assert!(
+            experiment.runs().load_results(*id).is_some(),
+            "completed run kept its archived results"
+        );
+    }
+
+    let ids = register_components(&experiment);
+    let runs: Vec<FsRun> = apps.iter().map(|app| make_run(&experiment, ids, app)).collect();
+    let pool = PoolScheduler::new(2);
+    let summary = experiment.launch_with(
+        runs,
+        &pool,
+        |run: &FsRun| Ok(ok_outcome(&run.params()[0])),
+        &LaunchOptions::resuming(),
+    );
+    // The two completed runs are never redone; the two failures heal.
+    assert_eq!(summary.skipped_done, 2, "zero completed runs lost");
+    assert_eq!((summary.requeued, summary.done), (2, 2));
+    let db = experiment.database();
+    assert_eq!(db.collection("runs").count(&Filter::eq("status", "done")), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn simart(args: &[&str]) -> (String, i32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        output.status.code().unwrap_or(-1),
+    )
+}
+
+/// Parses `skipped done N` out of the campaign summary line.
+fn parse_skipped_done(stdout: &str) -> usize {
+    let tail = stdout.split("skipped done ").nth(1).expect("summary line present");
+    tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().expect("count")
+}
+
+/// Hard crash: `SIGKILL` the CLI mid-campaign, then `--resume`. Every
+/// run the killed process finished must be skipped as done by the
+/// resumed one — the journal made them durable without any checkpoint.
+#[test]
+fn killed_campaign_process_loses_no_completed_run() {
+    let dir = temp_dir("kill");
+    let db = dir.to_str().unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(["campaign", "--db", db])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("campaign starts");
+    // Wait until the campaign has opened its database, let it get
+    // partway through its six runs, then kill it cold. The exact
+    // progress point doesn't matter — the invariant below holds for
+    // any number of completed runs, zero through six.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !dir.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(dir.exists(), "campaign never opened its database");
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Count what the dead process durably completed. (Lenient load: a
+    // kill mid-append legitimately leaves a torn journal tail.)
+    let before = Database::load(&dir).expect("journal replays after SIGKILL");
+    let done_before = before.collection("runs").count(&Filter::eq("status", "done"));
+    drop(before);
+
+    let (stdout, code) = simart(&["campaign", "--db", db, "--resume"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert_eq!(
+        parse_skipped_done(&stdout),
+        done_before,
+        "every run completed before the kill is honored on resume: {stdout}"
+    );
+    assert!(stdout.contains("database checkpointed"), "{stdout}");
+
+    // After the clean resume everything is done and the journal has
+    // been folded into the checkpoint.
+    let (stdout, code) = simart(&["campaign", "--db", db, "--resume"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("skipped done 6"), "{stdout}");
+    let journal = std::fs::metadata(dir.join(simart::db::JOURNAL_FILE)).expect("journal file");
+    assert_eq!(journal.len(), 0, "checkpoint compacted the journal");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

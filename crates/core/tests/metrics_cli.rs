@@ -43,7 +43,7 @@ fn fixture_snapshot() -> Snapshot {
     h.count = 3;
     h.sum_us = 27_500;
     h.buckets[12] = 3; // the 10_000 µs bucket
-    snapshot.metrics.insert("db.save_us".to_owned(), MetricValue::Histogram(h));
+    snapshot.metrics.insert("db.checkpoint_us".to_owned(), MetricValue::Histogram(h));
     snapshot
 }
 
@@ -61,7 +61,7 @@ fn text_report_is_byte_exact() {
     seed_fixture_db(&dir);
     let out = run_metrics(&dir, &[]);
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    let golden = "histogram  db.save_us: count 3, sum 27500us, \
+    let golden = "histogram  db.checkpoint_us: count 3, sum 27500us, \
                   p50 10000us, p95 10000us, p99 10000us\n\
                   gauge      pool.depth = -2\n\
                   counter    sim.boots = 6\n\
@@ -184,11 +184,13 @@ fn campaign_trace_and_metrics_end_to_end() {
     }
 
     // The recorded metrics are inspectable afterwards and include the
-    // scheduler queue-wait and db-save histograms.
+    // scheduler queue-wait and journal-append histograms (the campaign
+    // runs attached, so run-state transitions append to the journal
+    // inside the capture window).
     let report = run_metrics(&dir, &[]);
     assert!(report.status.success());
     let text = String::from_utf8_lossy(&report.stdout);
     assert!(text.contains("histogram  tasks.queue_wait_us:"), "report: {text}");
-    assert!(text.contains("histogram  db.save_us:"), "report: {text}");
+    assert!(text.contains("histogram  db.journal_append_us:"), "report: {text}");
     assert!(text.contains("counter    sim.boots"), "report: {text}");
 }

@@ -4,6 +4,7 @@
 //! it already exists there": content addressing gives that dedup for
 //! free. Keys are MD5 fingerprints of the content.
 
+use crate::journal::{self, JournalCell, JournalOp};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use simart_artifact::hash::{Digest, Md5};
@@ -57,6 +58,7 @@ impl fmt::Display for BlobKey {
 #[derive(Debug, Clone, Default)]
 pub struct BlobStore {
     inner: Arc<RwLock<HashMap<BlobKey, Bytes>>>,
+    journal: JournalCell,
 }
 
 impl BlobStore {
@@ -65,8 +67,15 @@ impl BlobStore {
         BlobStore::default()
     }
 
+    /// An empty store sharing the owning database's journal slot, so
+    /// blob puts on an attached database append as they happen.
+    pub(crate) fn with_journal(journal: JournalCell) -> BlobStore {
+        BlobStore { inner: Arc::default(), journal }
+    }
+
     /// Stores content, returning its key. Identical content is stored
-    /// only once.
+    /// only once; only first-time content is journaled (dedup hits
+    /// change nothing).
     pub fn put(&self, data: impl Into<Bytes>) -> BlobKey {
         let data = data.into();
         let key = BlobKey::for_content(&data);
@@ -76,6 +85,10 @@ impl BlobStore {
                 observe::count("db.blob_dedup_hits", 1);
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
+                journal::append_best_effort(
+                    &self.journal,
+                    &JournalOp::BlobPut { data: data.to_vec() },
+                );
                 slot.insert(data);
             }
         }
@@ -94,7 +107,14 @@ impl BlobStore {
 
     /// Removes content by key, returning it.
     pub fn remove(&self, key: BlobKey) -> Option<Bytes> {
-        self.inner.write().remove(&key)
+        let mut inner = self.inner.write();
+        if inner.contains_key(&key) {
+            journal::append_best_effort(
+                &self.journal,
+                &JournalOp::BlobRemove { key: key.to_hex() },
+            );
+        }
+        inner.remove(&key)
     }
 
     /// Number of distinct blobs.

@@ -1,6 +1,7 @@
 //! Document collections.
 
 use crate::error::DbError;
+use crate::journal::{self, JournalCell, JournalOp};
 use crate::query::{Filter, SortOrder};
 use crate::value::Value;
 use parking_lot::RwLock;
@@ -13,10 +14,22 @@ use std::sync::Arc;
 /// Collections are cheap `Arc` handles; clones share storage, and all
 /// operations are thread-safe (the paper's framework writes results from
 /// many concurrent simulation tasks into one database).
+///
+/// Collections obtained from a directory-attached database
+/// ([`Database::open`](crate::Database::open)) write every mutation
+/// through the database's append-only journal before applying it in
+/// memory, so a crash at any instant is recoverable by replay.
 #[derive(Debug, Clone)]
 pub struct Collection {
     name: String,
     inner: Arc<RwLock<Inner>>,
+    journal: JournalCell,
+}
+
+/// How a mutation inside [`Collection::insert_inner`] is journaled.
+enum JournalAs {
+    Insert,
+    Upsert,
 }
 
 #[derive(Debug, Default)]
@@ -29,8 +42,19 @@ struct Inner {
 }
 
 impl Collection {
+    /// A detached collection (tests only — production collections come
+    /// from a [`Database`](crate::Database) and share its journal).
+    #[cfg(test)]
     pub(crate) fn new(name: impl Into<String>) -> Collection {
-        Collection { name: name.into(), inner: Arc::new(RwLock::new(Inner::default())) }
+        Collection::with_journal(name, JournalCell::default())
+    }
+
+    pub(crate) fn with_journal(name: impl Into<String>, journal: JournalCell) -> Collection {
+        Collection {
+            name: name.into(),
+            inner: Arc::new(RwLock::new(Inner::default())),
+            journal,
+        }
     }
 
     /// The collection's name.
@@ -79,6 +103,13 @@ impl Collection {
     /// * [`DbError::DuplicateId`] — `_id` already present.
     /// * [`DbError::UniqueViolation`] — a unique index would be violated.
     pub fn insert(&self, doc: Value) -> Result<(), DbError> {
+        self.insert_inner(doc, JournalAs::Insert)
+    }
+
+    /// Shared body of `insert` and `upsert`: validates, journals the
+    /// mutation write-ahead (under the collection lock, so journal order
+    /// matches in-memory order), then applies it.
+    fn insert_inner(&self, doc: Value, mode: JournalAs) -> Result<(), DbError> {
         let _timer = observe::timer("db.insert_us");
         let id = id_of(&doc)?;
         let mut inner = self.inner.write();
@@ -103,6 +134,18 @@ impl Collection {
                 staged.push((path.clone(), key));
             }
         }
+        // Write-ahead: the journal record lands before the in-memory
+        // mutation, so a failed append leaves memory untouched and a
+        // crash right after it replays to the same state.
+        let op = match mode {
+            JournalAs::Insert => {
+                JournalOp::Insert { collection: self.name.clone(), doc: doc.clone() }
+            }
+            JournalAs::Upsert => {
+                JournalOp::Upsert { collection: self.name.clone(), doc: doc.clone() }
+            }
+        };
+        journal::append_if_attached(&self.journal, &op)?;
         for (path, key) in staged {
             inner.unique.get_mut(&path).expect("staged from unique map").insert(key, id.clone());
         }
@@ -122,7 +165,7 @@ impl Collection {
             }
             previous
         };
-        match self.insert(doc) {
+        match self.insert_inner(doc, JournalAs::Upsert) {
             Ok(()) => Ok(previous),
             Err(err) => {
                 // Restore the previous document on constraint failure so
@@ -176,8 +219,20 @@ impl Collection {
     }
 
     /// Deletes the document with the given `_id`, returning it.
+    ///
+    /// On an attached database the deletion is journaled; an append
+    /// failure (counted on `db.journal_append_errors`) does not abort
+    /// the in-memory delete — durability of that record then waits for
+    /// the next checkpoint.
     pub fn delete(&self, id: &str) -> Option<Value> {
         let mut inner = self.inner.write();
+        if !inner.docs.contains_key(id) {
+            return None;
+        }
+        journal::append_best_effort(
+            &self.journal,
+            &JournalOp::Delete { collection: self.name.clone(), id: id.to_owned() },
+        );
         let doc = inner.docs.remove(id)?;
         deindex(&mut inner, id, &doc);
         Some(doc)
@@ -219,6 +274,10 @@ impl Collection {
             update(&mut doc);
             doc.set_at("_id", Value::Str(id.clone()));
             reindex(&mut inner, id, &doc);
+            journal::append_best_effort(
+                &self.journal,
+                &JournalOp::Upsert { collection: self.name.clone(), doc: doc.clone() },
+            );
             inner.docs.insert(id.clone(), doc);
         }
         ids.len()

@@ -1,8 +1,9 @@
 //! The top-level database: named collections + blob store + persistence.
 
-use crate::blobstore::BlobStore;
+use crate::blobstore::{BlobKey, BlobStore};
 use crate::collection::Collection;
 use crate::error::DbError;
+use crate::journal::{self, Journal, JournalCell, JournalOp};
 use crate::json;
 use parking_lot::RwLock;
 use simart_observe as observe;
@@ -12,20 +13,87 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+/// How [`Database::load_with`] treats corrupt persisted records.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// When `true`, the first corrupt document line or mismatched blob
+    /// aborts the load with [`DbError::CorruptRecord`]. When `false`
+    /// (the default), corrupt records are skipped, counted in the
+    /// [`LoadReport`], surfaced on the `load.skipped_records` metric,
+    /// and announced with one warning line on stderr.
+    pub strict: bool,
+}
+
+impl LoadOptions {
+    /// Options that reject the first corrupt record instead of
+    /// skipping it.
+    pub fn strict() -> LoadOptions {
+        LoadOptions { strict: true }
+    }
+}
+
+/// What [`Database::load_with`] observed while reading a directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Document lines that failed to parse or insert (lenient mode).
+    pub skipped_documents: usize,
+    /// Blob files whose content did not hash to their filename.
+    pub skipped_blobs: usize,
+    /// Journal records replayed on top of the checkpoint.
+    pub journal_records: usize,
+    /// Bytes of journal covered by intact records (the prefix a
+    /// re-attach continues from).
+    pub journal_valid_bytes: u64,
+    /// Torn trailing journal bytes discarded by replay (non-zero after
+    /// a crash mid-append).
+    pub journal_torn_bytes: u64,
+    /// `collection/_id` subjects where a journal insert collided with a
+    /// checkpoint document of *different* content — evidence the
+    /// checkpoint and journal disagree. The journal version wins.
+    pub divergent: Vec<String>,
+}
+
+impl LoadReport {
+    /// Total records dropped by a lenient load.
+    pub fn skipped(&self) -> usize {
+        self.skipped_documents + self.skipped_blobs
+    }
+}
+
 /// An embedded document database.
 ///
 /// Mirrors how the paper's framework uses MongoDB: a handful of named
 /// collections (`artifacts`, `runs`, …) plus a file store. Handles are
 /// cheap clones sharing storage.
 ///
-/// Persistence is directory-based: [`Database::save`] writes one
-/// `.jsonl` file per collection (one document per line) and a `blobs/`
-/// directory with one file per content hash; [`Database::load`] reads
-/// the same layout back.
-#[derive(Debug, Clone, Default)]
+/// Two persistence modes share one on-disk layout:
+///
+/// * **Snapshot** — [`Database::save`] writes one `.jsonl` file per
+///   collection (one document per line) and a `blobs/` directory with
+///   one file per content hash; [`Database::load`] reads the same
+///   layout back. Cost is O(whole database) per call.
+/// * **Journaled** — [`Database::open`] attaches the database to its
+///   directory: every subsequent mutation appends one record to
+///   `journal.log` *as it happens* (cost O(delta)), and
+///   [`Database::checkpoint`] periodically folds the journal into the
+///   snapshot files. A crash at any instant loses at most the record
+///   being written; `load`/`open` replay checkpoint + journal.
+#[derive(Debug, Clone)]
 pub struct Database {
     collections: Arc<RwLock<BTreeMap<String, Collection>>>,
     blobs: BlobStore,
+    journal: JournalCell,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        let journal = JournalCell::default();
+        Database {
+            collections: Arc::default(),
+            blobs: BlobStore::with_journal(Arc::clone(&journal)),
+            journal,
+        }
+    }
 }
 
 impl Database {
@@ -37,7 +105,10 @@ impl Database {
     /// Gets (creating on first use) the named collection.
     pub fn collection(&self, name: &str) -> Collection {
         let mut collections = self.collections.write();
-        collections.entry(name.to_owned()).or_insert_with(|| Collection::new(name)).clone()
+        collections
+            .entry(name.to_owned())
+            .or_insert_with(|| Collection::with_journal(name, Arc::clone(&self.journal)))
+            .clone()
     }
 
     /// Whether a collection with this name exists already.
@@ -55,9 +126,23 @@ impl Database {
         &self.blobs
     }
 
+    /// Whether this handle is attached to a directory (opened with
+    /// [`Database::open`]) and journaling its mutations.
+    pub fn is_attached(&self) -> bool {
+        self.journal.read().is_some()
+    }
+
     /// Drops a collection, returning whether it existed.
     pub fn drop_collection(&self, name: &str) -> bool {
-        self.collections.write().remove(name).is_some()
+        let mut collections = self.collections.write();
+        if !collections.contains_key(name) {
+            return false;
+        }
+        journal::append_best_effort(
+            &self.journal,
+            &JournalOp::DropCollection { collection: name.to_owned() },
+        );
+        collections.remove(name).is_some()
     }
 
     /// Persists the database to a directory (created if needed).
@@ -72,13 +157,38 @@ impl Database {
     /// Leftover `.tmp` files from an earlier interrupted save are
     /// removed first and are ignored by [`Database::load`].
     ///
+    /// Because a completed save captures the whole current state, any
+    /// `journal.log` in `dir` is emptied afterwards (its records are
+    /// superseded). Attached databases should normally prefer
+    /// [`Database::checkpoint`], which times the fold and keeps records
+    /// appended concurrently with the snapshot.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem failures as [`DbError::Io`].
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
+        let dir = dir.as_ref();
+        self.write_snapshot(dir)?;
+        // The snapshot supersedes every journal record for this dir.
+        let guard = self.journal.read();
+        match guard.as_ref() {
+            Some(journal) if journal.dir() == dir => journal.truncate_all()?,
+            _ => {
+                let journal_path = dir.join(journal::JOURNAL_FILE);
+                if journal_path.exists() {
+                    fs::OpenOptions::new().write(true).open(&journal_path)?.set_len(0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The snapshot body shared by [`Database::save`] and
+    /// [`Database::checkpoint`] — writes `.jsonl` + blob files without
+    /// touching the journal.
+    fn write_snapshot(&self, dir: &Path) -> Result<(), DbError> {
         let _timer = observe::timer("db.save_us");
         let _span = observe::span(|| "db.save".to_owned());
-        let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         remove_stale_tmp_files(dir)?;
         for name in self.collection_names() {
@@ -114,25 +224,103 @@ impl Database {
         Ok(())
     }
 
-    /// Loads a database previously written by [`Database::save`].
+    /// Opens a directory-attached database: loads any existing
+    /// checkpoint + journal (leniently) and attaches the journal so
+    /// every subsequent mutation appends as it happens. The directory
+    /// is created if needed.
     ///
-    /// Recovery from interrupted saves is automatic: `.tmp` files
-    /// (torn partial writes) are ignored, and blob files whose content
-    /// does not hash to their filename are discarded rather than
-    /// loaded, so a crashed save can never corrupt the loaded state —
-    /// the previous snapshot wins.
+    /// # Errors
+    ///
+    /// Propagates filesystem failures as [`DbError::Io`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        Database::open_with(dir, &LoadOptions::default()).map(|(db, _)| db)
+    }
+
+    /// Like [`Database::open`], with explicit [`LoadOptions`] and the
+    /// [`LoadReport`] of the initial load.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::load_with`], plus filesystem failures attaching
+    /// the journal.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: &LoadOptions,
+    ) -> Result<(Database, LoadReport), DbError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let (db, report) = Database::load_with(dir, options)?;
+        // Continue appending after the last intact record; a torn tail
+        // (already discarded by replay) is truncated away so the next
+        // append starts on a valid frame boundary.
+        let journal = Journal::attach(dir, report.journal_valid_bytes)?;
+        *db.journal.write() = Some(journal);
+        Ok((db, report))
+    }
+
+    /// Folds the journal into the snapshot files and compacts it.
+    ///
+    /// Protocol: record the journal length, write a full snapshot
+    /// (atomic per file), then splice off exactly the folded prefix.
+    /// Records appended concurrently with the snapshot survive the
+    /// splice; replay is idempotent, so a crash between snapshot and
+    /// splice merely replays already-folded records to the same state.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::NotAttached`] — this handle was not opened with
+    ///   [`Database::open`].
+    /// * [`DbError::Io`] — filesystem failure.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let _timer = observe::timer("db.checkpoint_us");
+        let _span = observe::span(|| "db.checkpoint".to_owned());
+        let (dir, folded) = {
+            let guard = self.journal.read();
+            let journal = guard.as_ref().ok_or(DbError::NotAttached)?;
+            (journal.dir().to_owned(), journal.len()?)
+        };
+        self.write_snapshot(&dir)?;
+        let guard = self.journal.read();
+        let journal = guard.as_ref().ok_or(DbError::NotAttached)?;
+        journal.compact_prefix(folded)?;
+        Ok(())
+    }
+
+    /// Loads a database previously written by [`Database::save`] or a
+    /// journaled directory produced by [`Database::open`], skipping
+    /// corrupt records (see [`LoadOptions`] for the strict variant).
+    ///
+    /// Recovery from interrupted writes is automatic: `.tmp` files
+    /// (torn partial writes) are ignored, blob files whose content does
+    /// not hash to their filename are discarded rather than loaded, and
+    /// a torn journal tail is dropped at the last intact record — so a
+    /// crashed save or append can never corrupt the loaded state.
     ///
     /// # Errors
     ///
     /// * [`DbError::Io`] — directory unreadable.
-    /// * [`DbError::Parse`] — corrupted document line.
-    /// * [`DbError::DuplicateId`] / [`DbError::InvalidDocument`] —
-    ///   inconsistent persisted data.
     pub fn load(dir: impl AsRef<Path>) -> Result<Database, DbError> {
+        Database::load_with(dir, &LoadOptions::default()).map(|(db, _)| db)
+    }
+
+    /// Like [`Database::load`], with explicit [`LoadOptions`], also
+    /// returning a [`LoadReport`] describing skipped records and
+    /// journal replay.
+    ///
+    /// # Errors
+    ///
+    /// * [`DbError::Io`] — directory unreadable.
+    /// * [`DbError::CorruptRecord`] — corrupt document line or
+    ///   mismatched blob, in strict mode only.
+    pub fn load_with(
+        dir: impl AsRef<Path>,
+        options: &LoadOptions,
+    ) -> Result<(Database, LoadReport), DbError> {
         let _timer = observe::timer("db.load_us");
         let _span = observe::span(|| "db.load".to_owned());
         let dir = dir.as_ref();
         let db = Database::in_memory();
+        let mut report = LoadReport::default();
         let mut entries: Vec<PathBuf> =
             fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
         entries.sort();
@@ -146,11 +334,21 @@ impl Database {
                     })?
                     .to_owned();
                 let collection = db.collection(&name);
-                for line in fs::read_to_string(&path)?.lines() {
+                for (lineno, line) in fs::read_to_string(&path)?.lines().enumerate() {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    collection.insert(json::from_json(line)?)?;
+                    let outcome =
+                        json::from_json(line).and_then(|doc| collection.insert(doc));
+                    if let Err(err) = outcome {
+                        if options.strict {
+                            return Err(DbError::CorruptRecord {
+                                path: path.display().to_string(),
+                                detail: format!("line {}: {err}", lineno + 1),
+                            });
+                        }
+                        report.skipped_documents += 1;
+                    }
                 }
             }
         }
@@ -160,22 +358,113 @@ impl Database {
                 let entry = entry?;
                 // Only files named by a valid content hash are blobs;
                 // anything else (.tmp leftovers, strays) is a torn or
-                // foreign write and is skipped.
-                let Some(key) = entry
-                    .file_name()
-                    .to_str()
-                    .and_then(crate::blobstore::BlobKey::from_hex)
+                // foreign write and is skipped silently.
+                let Some(key) = entry.file_name().to_str().and_then(BlobKey::from_hex)
                 else {
                     continue;
                 };
                 let data = fs::read(entry.path())?;
-                if crate::blobstore::BlobKey::for_content(&data) != key {
+                if BlobKey::for_content(&data) != key {
+                    if options.strict {
+                        return Err(DbError::CorruptRecord {
+                            path: entry.path().display().to_string(),
+                            detail: "blob content does not hash to its filename".into(),
+                        });
+                    }
+                    report.skipped_blobs += 1;
                     continue;
                 }
                 db.blobs.put(data);
             }
         }
-        Ok(db)
+        // Replay the journal on top of the checkpoint. The database is
+        // not yet attached, so replay never re-journals itself.
+        let replay = journal::read_journal(dir)?;
+        report.journal_records = replay.ops.len();
+        report.journal_valid_bytes = replay.valid_bytes;
+        report.journal_torn_bytes = replay.torn_bytes;
+        observe::count("db.journal_replay_records", replay.ops.len() as u64);
+        for op in replay.ops {
+            db.apply_journal_op(op, options, &mut report)?;
+        }
+        if report.skipped() > 0 {
+            observe::count("load.skipped_records", report.skipped() as u64);
+            eprintln!(
+                "warning: {}: skipped {} corrupt document line(s) and {} mismatched blob(s) during load",
+                dir.display(),
+                report.skipped_documents,
+                report.skipped_blobs
+            );
+        }
+        Ok((db, report))
+    }
+
+    /// Applies one replayed journal record. Replay is idempotent so a
+    /// journal whose prefix was already folded into the checkpoint (a
+    /// crash mid-checkpoint) converges to the same state.
+    fn apply_journal_op(
+        &self,
+        op: JournalOp,
+        options: &LoadOptions,
+        report: &mut LoadReport,
+    ) -> Result<(), DbError> {
+        match op {
+            JournalOp::Insert { collection, doc } => {
+                let target = self.collection(&collection);
+                let id = doc
+                    .at("_id")
+                    .and_then(crate::value::Value::as_str)
+                    .map(str::to_owned)
+                    .unwrap_or_default();
+                match target.get(&id) {
+                    // Fresh insert: the common case.
+                    None => {
+                        if let Err(err) = target.insert(doc) {
+                            if options.strict {
+                                return Err(err);
+                            }
+                            report.skipped_documents += 1;
+                        }
+                    }
+                    // Already folded into the checkpoint with identical
+                    // content: a replayed suffix, nothing to do.
+                    Some(existing) if json::to_json(&existing) == json::to_json(&doc) => {}
+                    // Same id, different content: checkpoint and journal
+                    // disagree. The journal (the write-ahead record of
+                    // what actually happened) wins, but the divergence
+                    // is reported for `simart check` to flag.
+                    Some(_) => {
+                        report.divergent.push(format!("{collection}/{id}"));
+                        let _ = target.upsert(doc);
+                    }
+                }
+            }
+            JournalOp::Upsert { collection, doc } => {
+                if let Err(err) = self.collection(&collection).upsert(doc) {
+                    if options.strict {
+                        return Err(err);
+                    }
+                    report.skipped_documents += 1;
+                }
+            }
+            JournalOp::Delete { collection, id } => {
+                if self.has_collection(&collection) {
+                    self.collection(&collection).delete(&id);
+                }
+            }
+            JournalOp::DropCollection { collection } => {
+                self.drop_collection(&collection);
+            }
+            JournalOp::BlobPut { data } => {
+                self.blobs.put(data);
+            }
+            JournalOp::BlobRemove { key } => {
+                if let Some(key) = BlobKey::from_hex(&key) {
+                    self.blobs.remove(key);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -244,11 +533,153 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_corrupt_lines() {
+    fn strict_load_rejects_corrupt_lines_lenient_load_counts_them() {
         let dir = temp_dir("corrupt");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("runs.jsonl"), "{\"_id\":\"a\"}\nnot json\n").unwrap();
-        assert!(matches!(Database::load(&dir), Err(DbError::Parse { .. })));
+        assert!(matches!(
+            Database::load_with(&dir, &LoadOptions::strict()),
+            Err(DbError::CorruptRecord { .. })
+        ));
+        // The default load keeps the good line and counts the bad one.
+        let (db, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(db.collection("runs").len(), 1);
+        assert!(db.collection("runs").get("a").is_some());
+        assert_eq!(report.skipped_documents, 1);
+        assert_eq!(report.skipped(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_journals_and_reload_replays() {
+        let dir = temp_dir("open-journal");
+        let key;
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(db.is_attached());
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r1")), ("n", Value::from(1i64))]))
+                .unwrap();
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r2")), ("n", Value::from(2i64))]))
+                .unwrap();
+            key = db.blobs().put(b"journaled blob".to_vec());
+            db.collection("runs").delete("r2");
+            // Dropped without save or checkpoint: the journal alone
+            // carries the state.
+        }
+        assert!(dir.join(journal::JOURNAL_FILE).exists());
+        assert!(!dir.join("runs.jsonl").exists());
+
+        let (restored, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(report.journal_records, 4);
+        assert_eq!(restored.collection("runs").len(), 1);
+        assert!(restored.collection("runs").get("r1").is_some());
+        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"journaled blob");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_journal_and_keeps_state() {
+        let dir = temp_dir("checkpoint");
+        let db = Database::open(&dir).unwrap();
+        for i in 0..3i64 {
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from(format!("r{i}")))]))
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        assert!(dir.join("runs.jsonl").exists());
+        assert_eq!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(), 0);
+        // Post-checkpoint writes land in the journal again.
+        db.collection("runs").insert(Value::map([("_id", Value::from("r3"))])).unwrap();
+        assert!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len() > 0);
+
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_attachment() {
+        let db = Database::in_memory();
+        assert!(matches!(db.checkpoint(), Err(DbError::NotAttached)));
+    }
+
+    #[test]
+    fn reopen_continues_journaling_after_crashless_exit() {
+        let dir = temp_dir("reopen");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        }
+        {
+            let (db, report) = Database::open_with(&dir, &LoadOptions::default()).unwrap();
+            assert_eq!(report.journal_records, 1);
+            db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+        }
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_and_truncated_on_open() {
+        let dir = temp_dir("torn-journal");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        }
+        // Simulate a crash mid-append: garbage trailing bytes.
+        let journal_path = dir.join(journal::JOURNAL_FILE);
+        let mut bytes = fs::read(&journal_path).unwrap();
+        let intact = bytes.len() as u64;
+        bytes.extend_from_slice(&[0x17, 0x99, 0x02]);
+        fs::write(&journal_path, &bytes).unwrap();
+
+        let (db, report) = Database::open_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(report.journal_records, 1);
+        assert_eq!(report.journal_torn_bytes, 3);
+        assert_eq!(report.journal_valid_bytes, intact);
+        // The torn tail was truncated, so new appends stay readable.
+        db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+        drop(db);
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_divergence_is_reported_and_journal_wins() {
+        let dir = temp_dir("divergence");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r1")), ("n", Value::from(1i64))]))
+                .unwrap();
+        }
+        // Hand-write a checkpoint that disagrees with the journal.
+        fs::write(dir.join("runs.jsonl"), "{\"_id\":\"r1\",\"n\":99}\n").unwrap();
+        let (db, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(report.divergent, vec!["runs/r1".to_owned()]);
+        assert_eq!(
+            db.collection("runs").get("r1").unwrap().at("n").and_then(Value::as_int),
+            Some(1),
+            "the journal record wins"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_empties_the_journal_it_supersedes() {
+        let dir = temp_dir("save-supersedes");
+        let db = Database::open(&dir).unwrap();
+        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        assert!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len() > 0);
+        db.save(&dir).unwrap();
+        assert_eq!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(), 0);
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -287,12 +718,18 @@ mod tests {
 
         // A blob whose content no longer matches its filename (torn or
         // tampered) must not be loaded under that key.
-        let fake = crate::blobstore::BlobKey::for_content(b"never stored");
+        let fake = BlobKey::for_content(b"never stored");
         fs::write(dir.join("blobs").join(fake.to_hex()), b"mismatched content").unwrap();
 
-        let restored = Database::load(&dir).unwrap();
+        let (restored, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
         assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"intact");
         assert!(restored.blobs().get(fake).is_none());
+        assert_eq!(report.skipped_blobs, 1);
+        // Strict mode refuses the mismatched blob outright.
+        assert!(matches!(
+            Database::load_with(&dir, &LoadOptions::strict()),
+            Err(DbError::CorruptRecord { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

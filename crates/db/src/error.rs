@@ -39,6 +39,19 @@ pub enum DbError {
         /// Cause.
         message: String,
     },
+    /// A persisted record (document line, blob, or journal frame) is
+    /// corrupt. Only surfaced when loading with
+    /// [`LoadOptions::strict`](crate::LoadOptions::strict); the default
+    /// lenient load counts corrupt records instead.
+    CorruptRecord {
+        /// The file holding the corrupt record.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The operation requires a directory-attached database (one opened
+    /// with [`Database::open`](crate::Database::open)).
+    NotAttached,
     /// Filesystem failure during persistence.
     Io(std::io::Error),
 }
@@ -59,6 +72,12 @@ impl fmt::Display for DbError {
             DbError::NotFound { query } => write!(f, "no document matches {query:?}"),
             DbError::Parse { offset, message } => {
                 write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            DbError::CorruptRecord { path, detail } => {
+                write!(f, "corrupt record in {path}: {detail}")
+            }
+            DbError::NotAttached => {
+                write!(f, "database is not attached to a directory (use Database::open)")
             }
             DbError::Io(err) => write!(f, "i/o failure: {err}"),
         }

@@ -1,0 +1,504 @@
+//! The append-only write-ahead journal behind [`Database::open`].
+//!
+//! Snapshot saves ([`Database::save`]) re-serialize every collection on
+//! each call, so persistence cost grows with the whole database and a
+//! crash loses everything since the last explicit save. The journal
+//! inverts that: a directory-attached database appends one CRC-framed
+//! record per mutation *as it happens*, so persistence cost is O(delta)
+//! and a crash at any instant loses at most the record being written.
+//! [`Database::checkpoint`] periodically folds the journal into the
+//! per-collection `.jsonl` snapshot files and compacts it.
+//!
+//! ## On-disk format
+//!
+//! `<dir>/journal.log` is a sequence of records, each framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc` is the IEEE CRC-32 of the payload and the payload is the
+//! compact JSON rendering of one [`JournalOp`]. Replay
+//! ([`read_journal`]) walks records from the start and stops at the
+//! first frame that is incomplete, fails its CRC, or does not parse —
+//! the *torn tail* a crash mid-append leaves behind. Everything before
+//! the tear is recovered exactly; the tear itself is reported, never
+//! fatal.
+//!
+//! [`Database::open`]: crate::Database::open
+//! [`Database::save`]: crate::Database::save
+//! [`Database::checkpoint`]: crate::Database::checkpoint
+
+use crate::error::DbError;
+use crate::json;
+use crate::value::Value;
+use parking_lot::{Mutex, RwLock};
+use simart_observe as observe;
+use std::fs;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the journal inside a database directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// One journaled mutation, in the order it was applied in memory.
+///
+/// Replay of a journal is idempotent: re-applying a suffix whose
+/// effects already landed in a checkpoint (possible when a crash
+/// interrupts checkpoint compaction) converges to the same state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A document was inserted into a collection.
+    Insert {
+        /// Collection name.
+        collection: String,
+        /// The inserted document.
+        doc: Value,
+    },
+    /// A document was inserted or replaced (upsert).
+    Upsert {
+        /// Collection name.
+        collection: String,
+        /// The new document.
+        doc: Value,
+    },
+    /// A document was deleted.
+    Delete {
+        /// Collection name.
+        collection: String,
+        /// The deleted document's `_id`.
+        id: String,
+    },
+    /// A whole collection was dropped.
+    DropCollection {
+        /// Collection name.
+        collection: String,
+    },
+    /// A blob was stored (content-addressed; the key is the content
+    /// hash, so it is not recorded separately).
+    BlobPut {
+        /// The blob's bytes.
+        data: Vec<u8>,
+    },
+    /// A blob was removed by key.
+    BlobRemove {
+        /// Hex form of the removed blob's key.
+        key: String,
+    },
+}
+
+impl JournalOp {
+    /// Compact JSON payload for one record.
+    fn to_payload(&self) -> String {
+        let value = match self {
+            JournalOp::Insert { collection, doc } => Value::map([
+                ("op", Value::from("ins")),
+                ("c", Value::from(collection.clone())),
+                ("d", doc.clone()),
+            ]),
+            JournalOp::Upsert { collection, doc } => Value::map([
+                ("op", Value::from("ups")),
+                ("c", Value::from(collection.clone())),
+                ("d", doc.clone()),
+            ]),
+            JournalOp::Delete { collection, id } => Value::map([
+                ("op", Value::from("del")),
+                ("c", Value::from(collection.clone())),
+                ("id", Value::from(id.clone())),
+            ]),
+            JournalOp::DropCollection { collection } => Value::map([
+                ("op", Value::from("drop")),
+                ("c", Value::from(collection.clone())),
+            ]),
+            JournalOp::BlobPut { data } => Value::map([
+                ("op", Value::from("blob")),
+                ("hex", Value::from(to_hex(data))),
+            ]),
+            JournalOp::BlobRemove { key } => Value::map([
+                ("op", Value::from("blobrm")),
+                ("key", Value::from(key.clone())),
+            ]),
+        };
+        json::to_json(&value)
+    }
+
+    /// Parses one record payload back into an op.
+    fn from_payload(text: &str) -> Result<JournalOp, String> {
+        let value = json::from_json(text).map_err(|e| e.to_string())?;
+        let field = |name: &str| -> Result<String, String> {
+            value
+                .at(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("journal record lacks `{name}`"))
+        };
+        let doc = || -> Result<Value, String> {
+            value.at("d").cloned().ok_or_else(|| "journal record lacks `d`".to_owned())
+        };
+        match field("op")?.as_str() {
+            "ins" => Ok(JournalOp::Insert { collection: field("c")?, doc: doc()? }),
+            "ups" => Ok(JournalOp::Upsert { collection: field("c")?, doc: doc()? }),
+            "del" => Ok(JournalOp::Delete { collection: field("c")?, id: field("id")? }),
+            "drop" => Ok(JournalOp::DropCollection { collection: field("c")? }),
+            "blob" => {
+                let data = from_hex(&field("hex")?)
+                    .ok_or_else(|| "journal blob record has bad hex".to_owned())?;
+                Ok(JournalOp::BlobPut { data })
+            }
+            "blobrm" => Ok(JournalOp::BlobRemove { key: field("key")? }),
+            other => Err(format!("unknown journal op `{other}`")),
+        }
+    }
+}
+
+/// The result of scanning a journal file: the decoded record prefix
+/// plus how much of the file (if anything) was torn.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalReplay {
+    /// Records recovered, in append order.
+    pub ops: Vec<JournalOp>,
+    /// Bytes of the file covered by intact records.
+    pub valid_bytes: u64,
+    /// Trailing bytes after the last intact record — the torn tail a
+    /// crash mid-append leaves behind (0 for a cleanly closed journal).
+    pub torn_bytes: u64,
+}
+
+/// Reads and decodes `<dir>/journal.log`.
+///
+/// A missing journal (pre-journal layout, or a freshly checkpointed
+/// database) yields an empty replay. A torn tail stops the scan at the
+/// last intact record; it is reported via
+/// [`torn_bytes`](JournalReplay::torn_bytes), never an error.
+///
+/// # Errors
+///
+/// Propagates filesystem failures other than the file being absent.
+pub fn read_journal(dir: &Path) -> Result<JournalReplay, DbError> {
+    let path = dir.join(JOURNAL_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(JournalReplay::default())
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if bytes.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else { break };
+        let Ok(op) = JournalOp::from_payload(text) else { break };
+        ops.push(op);
+        pos += 8 + len;
+    }
+    Ok(JournalReplay {
+        ops,
+        valid_bytes: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// The shared slot holding a database's journal writer. Every
+/// [`Collection`](crate::Collection) handle and the blob store share
+/// one cell with their owning `Database`, so attaching a journal after
+/// load makes all existing handles write through it immediately.
+pub(crate) type JournalCell = Arc<RwLock<Option<Journal>>>;
+
+/// Appends an op if the cell currently holds an attached journal.
+pub(crate) fn append_if_attached(cell: &JournalCell, op: &JournalOp) -> Result<(), DbError> {
+    match cell.read().as_ref() {
+        Some(journal) => journal.append(op),
+        None => Ok(()),
+    }
+}
+
+/// Like [`append_if_attached`] for write paths that cannot propagate
+/// errors (`delete`, `update_many`, blob puts): an append failure is
+/// counted on the `db.journal_append_errors` metric and the in-memory
+/// mutation proceeds — durability of that one record is then deferred
+/// to the next checkpoint.
+pub(crate) fn append_best_effort(cell: &JournalCell, op: &JournalOp) {
+    if append_if_attached(cell, op).is_err() {
+        observe::count("db.journal_append_errors", 1);
+    }
+}
+
+/// The append-side journal writer of a directory-attached database.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    dir: PathBuf,
+    path: PathBuf,
+    file: Mutex<fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir`, discarding any
+    /// torn tail beyond `valid_bytes` so new appends continue from the
+    /// last intact record.
+    pub(crate) fn attach(dir: &Path, valid_bytes: u64) -> Result<Journal, DbError> {
+        let path = dir.join(JOURNAL_FILE);
+        // truncate(false): existing records before `valid_bytes` are
+        // the database — set_len below trims only the torn tail.
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(valid_bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Journal { dir: dir.to_owned(), path, file: Mutex::new(file) })
+    }
+
+    /// The database directory this journal belongs to.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one framed record.
+    pub(crate) fn append(&self, op: &JournalOp) -> Result<(), DbError> {
+        let _timer = observe::timer("db.journal_append_us");
+        let payload = op.to_payload();
+        let bytes = payload.as_bytes();
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        let mut file = self.file.lock();
+        file.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Current journal length in bytes.
+    pub(crate) fn len(&self) -> Result<u64, DbError> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    /// Drops the first `upto` bytes (the prefix a checkpoint just
+    /// folded into the snapshot), keeping any records appended since.
+    ///
+    /// The splice is atomic: the suffix is written to a sibling `.tmp`
+    /// file, synced, and renamed over the journal, so a crash leaves
+    /// either the old journal (replay is idempotent over the folded
+    /// prefix) or the compacted one.
+    pub(crate) fn compact_prefix(&self, upto: u64) -> Result<(), DbError> {
+        let mut file = self.file.lock();
+        let total = file.metadata()?.len();
+        let upto = upto.min(total);
+        file.seek(SeekFrom::Start(upto))?;
+        let mut rest = Vec::with_capacity((total - upto) as usize);
+        file.read_to_end(&mut rest)?;
+        let tmp = self.dir.join(format!("{JOURNAL_FILE}.tmp"));
+        {
+            let mut out = fs::File::create(&tmp)?;
+            out.write_all(&rest)?;
+            out.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        let mut reopened = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&self.path)?;
+        reopened.seek(SeekFrom::End(0))?;
+        *file = reopened;
+        Ok(())
+    }
+
+    /// Empties the journal entirely (used when a full snapshot save
+    /// supersedes every record).
+    pub(crate) fn truncate_all(&self) -> Result<(), DbError> {
+        let mut file = self.file.lock();
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// IEEE CRC-32 lookup table, generated at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `data` (the frame checksum).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn to_hex(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn from_hex(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn ops_round_trip_through_payload_encoding() {
+        let ops = [
+            JournalOp::Insert {
+                collection: "runs".into(),
+                doc: Value::map([("_id", Value::from("r1")), ("n", Value::from(3i64))]),
+            },
+            JournalOp::Upsert {
+                collection: "runs".into(),
+                doc: Value::map([("_id", Value::from("r1")), ("n", Value::from(4i64))]),
+            },
+            JournalOp::Delete { collection: "runs".into(), id: "r1".into() },
+            JournalOp::DropCollection { collection: "metrics".into() },
+            JournalOp::BlobPut { data: vec![0, 1, 2, 0xff] },
+            JournalOp::BlobRemove { key: "00ff".into() },
+        ];
+        for op in ops {
+            let text = op.to_payload();
+            assert_eq!(JournalOp::from_payload(&text).expect("parse"), op);
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        assert_eq!(from_hex(&to_hex(&[0u8, 255, 16])).unwrap(), vec![0u8, 255, 16]);
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_at_any_byte() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-journal-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        let ops: Vec<JournalOp> = (0..4)
+            .map(|i| JournalOp::Insert {
+                collection: "c".into(),
+                doc: Value::map([("_id", Value::from(format!("d{i}")))]),
+            })
+            .collect();
+        for op in &ops {
+            journal.append(op).unwrap();
+        }
+        let full = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        // Record boundaries: replay of any truncation recovers exactly
+        // the records wholly before the cut.
+        let mut boundaries = vec![0usize];
+        {
+            let replay = read_journal(&dir).unwrap();
+            assert_eq!(replay.ops, ops);
+            assert_eq!(replay.torn_bytes, 0);
+            assert_eq!(replay.valid_bytes as usize, full.len());
+        }
+        let mut pos = 0;
+        while pos < full.len() {
+            let len =
+                u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            boundaries.push(pos);
+        }
+        for cut in 0..=full.len() {
+            fs::write(dir.join(JOURNAL_FILE), &full[..cut]).unwrap();
+            let replay = read_journal(&dir).unwrap();
+            let complete = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(replay.ops, ops[..complete], "cut at byte {cut}");
+            assert_eq!(replay.valid_bytes as usize, boundaries[complete]);
+            assert_eq!(replay.torn_bytes as usize, cut - boundaries[complete]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-journal-crc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        for i in 0..3 {
+            journal
+                .append(&JournalOp::Delete { collection: "c".into(), id: format!("d{i}") })
+                .unwrap();
+        }
+        let mut bytes = fs::read(dir.join(JOURNAL_FILE)).unwrap();
+        // Flip a payload byte of the second record.
+        let len0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second_payload = 8 + len0 + 8;
+        bytes[second_payload] ^= 0x40;
+        fs::write(dir.join(JOURNAL_FILE), &bytes).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.ops.len(), 1, "replay stops at the corrupt record");
+        assert!(replay.torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_prefix_keeps_the_suffix() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-journal-compact-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        journal.append(&JournalOp::Delete { collection: "c".into(), id: "old".into() }).unwrap();
+        let folded = journal.len().unwrap();
+        journal.append(&JournalOp::Delete { collection: "c".into(), id: "new".into() }).unwrap();
+        journal.compact_prefix(folded).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(
+            replay.ops,
+            vec![JournalOp::Delete { collection: "c".into(), id: "new".into() }]
+        );
+        // Appends keep working through the reopened handle.
+        journal.append(&JournalOp::Delete { collection: "c".into(), id: "post".into() }).unwrap();
+        assert_eq!(read_journal(&dir).unwrap().ops.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

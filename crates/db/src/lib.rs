@@ -17,6 +17,10 @@
 //!   analogue) that deduplicates identical uploads;
 //! * [`Database`] — a named set of collections plus a blob store, with
 //!   optional directory-backed persistence;
+//! * [`journal`] — the append-only write-ahead journal behind
+//!   [`Database::open`]: attached databases persist every mutation as
+//!   it happens (O(delta) per write) and fold the journal into snapshot
+//!   files with [`Database::checkpoint`];
 //! * [`ArtifactStore`] — typed artifact ↔ document mapping so
 //!   `simart-artifact` records round-trip through the database.
 //!
@@ -37,7 +41,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 mod artifact_store;
@@ -45,6 +49,7 @@ mod blobstore;
 mod collection;
 mod database;
 mod error;
+pub mod journal;
 pub mod json;
 mod query;
 mod value;
@@ -53,7 +58,8 @@ pub use aggregate::{group_reduce, reduce, Reduce};
 pub use artifact_store::ArtifactStore;
 pub use blobstore::{BlobKey, BlobStore};
 pub use collection::Collection;
-pub use database::Database;
+pub use database::{Database, LoadOptions, LoadReport};
 pub use error::DbError;
+pub use journal::{read_journal, JournalOp, JournalReplay, JOURNAL_FILE};
 pub use query::{Filter, SortOrder};
 pub use value::Value;

@@ -1,0 +1,109 @@
+//! Backward compatibility with the pre-journal on-disk layout.
+//!
+//! `tests/fixtures/pre-journal/` is a database directory committed
+//! exactly as the snapshot-only `Database::save` wrote it before the
+//! write-ahead journal existed: per-collection `.jsonl` files plus
+//! content-addressed `blobs/`, and **no** `journal.log`. These tests
+//! pin that such directories keep loading with identical query results,
+//! and that opening one attached upgrades it in place without
+//! disturbing the old records.
+
+use simart_db::{BlobKey, Database, Filter, LoadOptions, Value, JOURNAL_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pre-journal")
+}
+
+/// Every query a pre-journal database answered must answer identically
+/// after the journal refactor.
+#[test]
+fn old_layout_loads_with_identical_query_results() {
+    let (db, report) =
+        Database::load_with(fixture_dir(), &LoadOptions::strict()).expect("strict load");
+    // No journal: nothing replayed, nothing skipped.
+    assert_eq!(report.journal_records, 0);
+    assert_eq!(report.journal_torn_bytes, 0);
+    assert_eq!(report.skipped(), 0);
+
+    // Collections and document counts.
+    assert_eq!(db.collection_names(), vec!["artifacts".to_owned(), "runs".to_owned()]);
+    assert_eq!(db.collection("artifacts").len(), 2);
+    assert_eq!(db.collection("runs").len(), 2);
+
+    // Point lookups.
+    let run = db.collection("runs").get("run-0001").expect("run-0001");
+    assert_eq!(run.at("status").and_then(Value::as_str), Some("done"));
+    assert_eq!(run.at("results.sim_ticks").and_then(Value::as_int), Some(91_000_000));
+
+    // Filter queries.
+    assert_eq!(db.collection("runs").count(&Filter::eq("status", "done")), 1);
+    assert_eq!(db.collection("runs").count(&Filter::eq("status", "failed")), 1);
+    assert_eq!(
+        db.collection("artifacts").count(&Filter::eq("kind", "disk-image")),
+        1
+    );
+
+    // Blob round trips through the content-addressed store.
+    let disk_key = BlobKey::from_hex("daec535f20f00301ded9e80f3c8a932c").unwrap();
+    assert_eq!(db.blobs().get(disk_key).unwrap().as_ref(), b"parsec disk image bytes");
+    let results_key = BlobKey::from_hex("eac1754cbbf37c5a6943242e76fed522").unwrap();
+    assert_eq!(
+        db.blobs().get(results_key).unwrap().as_ref(),
+        b"outcome=success ticks=91000000"
+    );
+    assert_eq!(db.blobs().len(), 2);
+}
+
+/// Lenient and strict loads agree on a healthy old-layout database.
+#[test]
+fn old_layout_loads_identically_in_both_modes() {
+    let (strict, _) = Database::load_with(fixture_dir(), &LoadOptions::strict()).unwrap();
+    let (lenient, _) = Database::load_with(fixture_dir(), &LoadOptions::default()).unwrap();
+    assert_eq!(strict.collection_names(), lenient.collection_names());
+    for name in strict.collection_names() {
+        assert_eq!(strict.collection(&name).all(), lenient.collection(&name).all());
+    }
+    assert_eq!(strict.blobs().keys(), lenient.blobs().keys());
+}
+
+/// `Database::open` on a copy of the old layout upgrades it in place:
+/// old records stay untouched, new writes land in a fresh journal, and
+/// a reload sees both.
+#[test]
+fn old_layout_opens_attached_and_upgrades_in_place() {
+    let work = std::env::temp_dir()
+        .join(format!("simart-backward-compat-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(work.join("blobs")).unwrap();
+    for file in ["artifacts.jsonl", "runs.jsonl"] {
+        fs::copy(fixture_dir().join(file), work.join(file)).unwrap();
+    }
+    for entry in fs::read_dir(fixture_dir().join("blobs")).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), work.join("blobs").join(entry.file_name())).unwrap();
+    }
+
+    {
+        let db = Database::open(&work).expect("open old layout attached");
+        assert_eq!(db.collection("runs").len(), 2, "old records visible");
+        db.collection("runs")
+            .insert(Value::map([
+                ("_id", Value::from("run-0003")),
+                ("hash", Value::from("rh-0003")),
+                ("status", Value::from("created")),
+            ]))
+            .expect("insert on upgraded db");
+        // The new write went to the journal, not the old files.
+        assert!(fs::metadata(work.join(JOURNAL_FILE)).unwrap().len() > 0);
+        let old_runs = fs::read_to_string(work.join("runs.jsonl")).unwrap();
+        assert!(!old_runs.contains("run-0003"), "checkpoint files untouched before checkpoint");
+    }
+
+    let reloaded = Database::load(&work).expect("reload");
+    assert_eq!(reloaded.collection("runs").len(), 3);
+    assert!(reloaded.collection("runs").get("run-0001").is_some());
+    assert!(reloaded.collection("runs").get("run-0003").is_some());
+    fs::remove_dir_all(&work).unwrap();
+}

@@ -43,7 +43,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 mod fs_run;

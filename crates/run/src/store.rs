@@ -14,6 +14,12 @@ use std::time::Duration;
 /// Uniqueness: the run *hash* is unique — recording the same experiment
 /// twice is refused, which is how the paper's framework prevents
 /// accidental duplicate data points.
+///
+/// Durability rides on the database: when the store wraps an attached
+/// database ([`Database::open`]), every record, status transition, and
+/// attached result is written through to the on-disk journal as it
+/// happens — no explicit save required for a crashed session to keep
+/// its completed runs.
 #[derive(Debug, Clone)]
 pub struct RunStore {
     db: Database,

@@ -110,6 +110,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         restored.collection("runs").len(),
         restored.collection("artifacts").len()
     );
+
+    // Attached mode: `open` journals every mutation as it commits —
+    // kill the process at any point and nothing committed is lost.
+    // `checkpoint` folds the journal back into the snapshot files.
+    let attached = Database::open(&dir)?;
+    attached.collection("notes").insert(Value::map([
+        ("_id", Value::from("tour")),
+        ("text", Value::from("journaled the moment it was inserted")),
+    ]))?;
+    attached.checkpoint()?;
+    println!(
+        "attached reopen: note journaled and checkpointed ({} collections on disk)",
+        Database::load(&dir)?.collection_names().len()
+    );
     std::fs::remove_dir_all(&dir)?;
     Ok(())
 }
