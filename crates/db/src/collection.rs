@@ -18,7 +18,9 @@ use std::sync::Arc;
 /// Collections obtained from a directory-attached database
 /// ([`Database::open`](crate::Database::open)) write every mutation
 /// through the database's append-only journal before applying it in
-/// memory, so a crash at any instant is recoverable by replay.
+/// memory, so killing the process at any instant is recoverable by
+/// replay (see the [`journal`](crate::journal) module docs for the
+/// durability scope against OS crashes).
 #[derive(Debug, Clone)]
 pub struct Collection {
     name: String,

@@ -76,8 +76,11 @@ impl LoadReport {
 ///   directory: every subsequent mutation appends one record to
 ///   `journal.log` *as it happens* (cost O(delta)), and
 ///   [`Database::checkpoint`] periodically folds the journal into the
-///   snapshot files. A crash at any instant loses at most the record
-///   being written; `load`/`open` replay checkpoint + journal.
+///   snapshot files. Killing the process at any instant loses at most
+///   the record being written; `load`/`open` replay checkpoint +
+///   journal. (Appends are not individually fsynced, so against an OS
+///   crash or power loss durability is to the last checkpoint or save
+///   — see the [`journal`] module docs for the exact scope.)
 #[derive(Debug, Clone)]
 pub struct Database {
     collections: Arc<RwLock<BTreeMap<String, Collection>>>,
@@ -158,22 +161,39 @@ impl Database {
     /// removed first and are ignored by [`Database::load`].
     ///
     /// Because a completed save captures the whole current state, any
-    /// `journal.log` in `dir` is emptied afterwards (its records are
-    /// superseded). Attached databases should normally prefer
-    /// [`Database::checkpoint`], which times the fold and keeps records
-    /// appended concurrently with the snapshot.
+    /// `journal.log` records it covers are superseded and compacted
+    /// away afterwards. On an attached database this uses the same
+    /// capture-length-then-splice protocol as [`Database::checkpoint`]:
+    /// records appended concurrently with the snapshot (from other
+    /// threads) survive the splice instead of being truncated unseen.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures as [`DbError::Io`].
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), DbError> {
         let dir = dir.as_ref();
+        // Capture the journal length BEFORE the snapshot: only records
+        // the snapshot can have seen are folded. Appends racing with
+        // the snapshot land past `folded` and survive the splice.
+        let folded = {
+            let guard = self.journal.read();
+            match guard.as_ref() {
+                Some(journal) if journal.dir() == dir => Some(journal.len()?),
+                _ => None,
+            }
+        };
         self.write_snapshot(dir)?;
-        // The snapshot supersedes every journal record for this dir.
-        let guard = self.journal.read();
-        match guard.as_ref() {
-            Some(journal) if journal.dir() == dir => journal.truncate_all()?,
-            _ => {
+        match folded {
+            Some(folded) => {
+                let guard = self.journal.read();
+                if let Some(journal) = guard.as_ref().filter(|j| j.dir() == dir) {
+                    journal.compact_prefix(folded)?;
+                }
+            }
+            // Saving over a foreign journaled directory: this handle is
+            // not appending there, so the snapshot supersedes the whole
+            // file.
+            None => {
                 let journal_path = dir.join(journal::JOURNAL_FILE);
                 if journal_path.exists() {
                     fs::OpenOptions::new().write(true).open(&journal_path)?.set_len(0)?;
@@ -191,8 +211,9 @@ impl Database {
         let _span = observe::span(|| "db.save".to_owned());
         fs::create_dir_all(dir)?;
         remove_stale_tmp_files(dir)?;
-        for name in self.collection_names() {
-            let collection = self.collection(&name);
+        let names = self.collection_names();
+        for name in &names {
+            let collection = self.collection(name);
             let tmp = dir.join(format!("{name}.jsonl.tmp"));
             {
                 let mut file = fs::File::create(&tmp)?;
@@ -203,10 +224,25 @@ impl Database {
             }
             fs::rename(&tmp, dir.join(format!("{name}.jsonl")))?;
         }
+        // Delete snapshot files of collections that no longer exist —
+        // otherwise a dropped collection would be resurrected on reload
+        // once checkpoint compaction splices away the DropCollection
+        // journal record that encoded the deletion.
+        for path in snapshot_files(dir, "jsonl")? {
+            let stale = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(|stem| !names.iter().any(|n| n == stem))
+                .unwrap_or(false);
+            if stale {
+                fs::remove_file(&path)?;
+            }
+        }
         let blob_dir = dir.join("blobs");
         fs::create_dir_all(&blob_dir)?;
         remove_stale_tmp_files(&blob_dir)?;
-        for key in self.blobs.keys() {
+        let keys = self.blobs.keys();
+        for &key in &keys {
             let path = blob_dir.join(key.to_hex());
             if !path.exists() {
                 // The store is append-only, but don't let a racing
@@ -219,6 +255,17 @@ impl Database {
                     file.sync_all()?;
                 }
                 fs::rename(&tmp, &path)?;
+            }
+        }
+        // Same reasoning as stale .jsonl files: a blob file whose key
+        // left the store must not outlive the BlobRemove record.
+        for entry in fs::read_dir(&blob_dir)? {
+            let entry = entry?;
+            let Some(key) = entry.file_name().to_str().and_then(BlobKey::from_hex) else {
+                continue;
+            };
+            if keys.binary_search(&key).is_err() {
+                fs::remove_file(entry.path())?;
             }
         }
         Ok(())
@@ -468,6 +515,18 @@ impl Database {
     }
 }
 
+/// Files in `dir` (non-recursive) with the given extension.
+fn snapshot_files(dir: &Path, ext: &str) -> Result<Vec<PathBuf>, DbError> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_file() && path.extension().map(|e| e == ext).unwrap_or(false) {
+            files.push(path);
+        }
+    }
+    Ok(files)
+}
+
 /// Removes `*.tmp` leftovers of an interrupted save from `dir`.
 fn remove_stale_tmp_files(dir: &Path) -> Result<(), DbError> {
     for entry in fs::read_dir(dir)? {
@@ -597,6 +656,89 @@ mod tests {
 
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_does_not_resurrect_dropped_collections() {
+        let dir = temp_dir("drop-checkpoint");
+        let db = Database::open(&dir).unwrap();
+        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.collection("keep").insert(Value::map([("_id", Value::from("k1"))])).unwrap();
+        db.checkpoint().unwrap();
+        assert!(dir.join("runs.jsonl").exists());
+        // Drop after the checkpoint wrote runs.jsonl, then checkpoint
+        // again: the snapshot must delete the stale file, because the
+        // splice removes the DropCollection record that encoded the
+        // deletion.
+        assert!(db.drop_collection("runs"));
+        db.checkpoint().unwrap();
+        assert!(!dir.join("runs.jsonl").exists());
+        let restored = Database::load(&dir).unwrap();
+        assert!(!restored.has_collection("runs"));
+        assert_eq!(restored.collection("keep").len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_does_not_resurrect_removed_blobs() {
+        let dir = temp_dir("blobrm-checkpoint");
+        let db = Database::open(&dir).unwrap();
+        let doomed = db.blobs().put(b"doomed".to_vec());
+        let kept = db.blobs().put(b"kept".to_vec());
+        db.checkpoint().unwrap();
+        assert!(dir.join("blobs").join(doomed.to_hex()).exists());
+        assert!(db.blobs().remove(doomed).is_some());
+        db.checkpoint().unwrap();
+        assert!(!dir.join("blobs").join(doomed.to_hex()).exists());
+        let restored = Database::load(&dir).unwrap();
+        assert!(restored.blobs().get(doomed).is_none());
+        assert_eq!(restored.blobs().get(kept).unwrap().as_ref(), b"kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_does_not_resurrect_dropped_state_either() {
+        let dir = temp_dir("drop-save");
+        let db = Database::in_memory();
+        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        let key = db.blobs().put(b"bytes".to_vec());
+        db.save(&dir).unwrap();
+        db.drop_collection("runs");
+        db.blobs().remove(key);
+        db.save(&dir).unwrap();
+        assert!(!dir.join("runs.jsonl").exists());
+        assert!(!dir.join("blobs").join(key.to_hex()).exists());
+        let restored = Database::load(&dir).unwrap();
+        assert!(!restored.has_collection("runs"));
+        assert!(restored.blobs().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_on_attached_database_keeps_concurrent_appends() {
+        // save() must use the capture-length-then-splice protocol:
+        // records appended by other threads while the snapshot is being
+        // written land past the captured fold point and survive the
+        // splice. The old truncate-everything behavior lost them, so a
+        // reload here would come up short.
+        let dir = temp_dir("save-concurrent");
+        let db = Database::open(&dir).unwrap();
+        let writer = db.clone();
+        let inserts = std::thread::spawn(move || {
+            for i in 0..200i64 {
+                writer
+                    .collection("runs")
+                    .insert(Value::map([("_id", Value::from(format!("r{i}")))]))
+                    .unwrap();
+            }
+        });
+        for _ in 0..20 {
+            db.save(&dir).unwrap();
+        }
+        inserts.join().unwrap();
+        let restored = Database::load(&dir).unwrap();
+        assert_eq!(restored.collection("runs").len(), 200);
         fs::remove_dir_all(&dir).unwrap();
     }
 

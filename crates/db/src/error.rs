@@ -52,6 +52,13 @@ pub enum DbError {
     /// The operation requires a directory-attached database (one opened
     /// with [`Database::open`](crate::Database::open)).
     NotAttached,
+    /// A previous journal append failed partway and could not be rolled
+    /// back, leaving a torn frame at the journal's tail. Further
+    /// appends are refused — they would land after the tear and be
+    /// silently discarded by replay — until a
+    /// [`Database::checkpoint`](crate::Database::checkpoint) rewrites
+    /// the journal.
+    JournalPoisoned,
     /// Filesystem failure during persistence.
     Io(std::io::Error),
 }
@@ -79,6 +86,10 @@ impl fmt::Display for DbError {
             DbError::NotAttached => {
                 write!(f, "database is not attached to a directory (use Database::open)")
             }
+            DbError::JournalPoisoned => write!(
+                f,
+                "journal is poisoned by an unrollbackable failed append; checkpoint to recover"
+            ),
             DbError::Io(err) => write!(f, "i/o failure: {err}"),
         }
     }

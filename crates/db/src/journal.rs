@@ -5,9 +5,25 @@
 //! crash loses everything since the last explicit save. The journal
 //! inverts that: a directory-attached database appends one CRC-framed
 //! record per mutation *as it happens*, so persistence cost is O(delta)
-//! and a crash at any instant loses at most the record being written.
-//! [`Database::checkpoint`] periodically folds the journal into the
-//! per-collection `.jsonl` snapshot files and compacts it.
+//! and killing the process at any instant loses at most the record
+//! being written. [`Database::checkpoint`] periodically folds the
+//! journal into the per-collection `.jsonl` snapshot files and
+//! compacts it.
+//!
+//! ## Durability scope
+//!
+//! Appends are *not* individually fsynced — each record reaches the OS
+//! page cache synchronously but the disk at the kernel's discretion.
+//! The per-record guarantee therefore covers **process crashes** (kill
+//! -9, panic, OOM): the moment `append` returns, the record survives
+//! the death of this process. Against an **OS crash or power loss** an
+//! arbitrary suffix of un-synced records may be lost or reordered;
+//! what is guaranteed durable then is everything up to the last
+//! [`Database::checkpoint`] or [`Database::save`], both of which sync
+//! every file they write (the checkpoint splice syncs the compacted
+//! journal too, so a checkpoint is an fsync barrier for the records it
+//! folds). Torn-tail replay makes either outcome recoverable: replay
+//! stops at the first bad frame and never loads a partial record.
 //!
 //! ## On-disk format
 //!
@@ -239,7 +255,23 @@ pub(crate) fn append_best_effort(cell: &JournalCell, op: &JournalOp) {
 pub(crate) struct Journal {
     dir: PathBuf,
     path: PathBuf,
-    file: Mutex<fs::File>,
+    writer: Mutex<Writer>,
+}
+
+/// Mutable writer state, all guarded by one lock so the tracked length
+/// can never disagree with the file contents.
+#[derive(Debug)]
+struct Writer {
+    file: fs::File,
+    /// Bytes covered by intact records — where the next append lands.
+    /// Tracked explicitly so a failed partial append can be rolled back
+    /// to a frame boundary without trusting the (now torn) file length.
+    len: u64,
+    /// Set when a failed append could not be rolled back: the file ends
+    /// in a torn frame, and any further append would land *after* it,
+    /// orphaned — replay stops at the first bad frame. A poisoned
+    /// journal refuses appends until a compaction rewrites the file.
+    poisoned: bool,
 }
 
 impl Journal {
@@ -258,7 +290,11 @@ impl Journal {
             .open(&path)?;
         file.set_len(valid_bytes)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(Journal { dir: dir.to_owned(), path, file: Mutex::new(file) })
+        Ok(Journal {
+            dir: dir.to_owned(),
+            path,
+            writer: Mutex::new(Writer { file, len: valid_bytes, poisoned: false }),
+        })
     }
 
     /// The database directory this journal belongs to.
@@ -267,6 +303,13 @@ impl Journal {
     }
 
     /// Appends one framed record.
+    ///
+    /// A failed write is rolled back to the previous frame boundary so
+    /// a torn frame can never sit *between* intact records (replay
+    /// would silently discard everything after it). If the rollback
+    /// itself fails the journal is poisoned: every further append
+    /// returns [`DbError::JournalPoisoned`] instead of appending after
+    /// the tear, until a checkpoint compaction rewrites the file.
     pub(crate) fn append(&self, op: &JournalOp) -> Result<(), DbError> {
         let _timer = observe::timer("db.journal_append_us");
         let payload = op.to_payload();
@@ -275,14 +318,28 @@ impl Journal {
         frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(bytes).to_le_bytes());
         frame.extend_from_slice(bytes);
-        let mut file = self.file.lock();
-        file.write_all(&frame)?;
+        let mut writer = self.writer.lock();
+        if writer.poisoned {
+            return Err(DbError::JournalPoisoned);
+        }
+        let start = writer.len;
+        if let Err(err) = writer.file.write_all(&frame) {
+            let rolled_back = writer.file.set_len(start).is_ok()
+                && writer.file.seek(SeekFrom::Start(start)).is_ok();
+            if !rolled_back {
+                writer.poisoned = true;
+                observe::count("db.journal_poisoned", 1);
+            }
+            return Err(err.into());
+        }
+        writer.len = start + frame.len() as u64;
         Ok(())
     }
 
-    /// Current journal length in bytes.
+    /// Bytes covered by intact records (excludes any torn frame a
+    /// failed, unrollbackable append left at the tail).
     pub(crate) fn len(&self) -> Result<u64, DbError> {
-        Ok(self.file.lock().metadata()?.len())
+        Ok(self.writer.lock().len)
     }
 
     /// Drops the first `upto` bytes (the prefix a checkpoint just
@@ -291,14 +348,18 @@ impl Journal {
     /// The splice is atomic: the suffix is written to a sibling `.tmp`
     /// file, synced, and renamed over the journal, so a crash leaves
     /// either the old journal (replay is idempotent over the folded
-    /// prefix) or the compacted one.
+    /// prefix) or the compacted one. Only intact records are copied, so
+    /// compaction also heals a poisoned journal (drops its torn tail
+    /// and re-enables appends).
     pub(crate) fn compact_prefix(&self, upto: u64) -> Result<(), DbError> {
-        let mut file = self.file.lock();
-        let total = file.metadata()?.len();
+        let mut writer = self.writer.lock();
+        let total = writer.len;
         let upto = upto.min(total);
-        file.seek(SeekFrom::Start(upto))?;
-        let mut rest = Vec::with_capacity((total - upto) as usize);
-        file.read_to_end(&mut rest)?;
+        writer.file.seek(SeekFrom::Start(upto))?;
+        // Read exactly the intact suffix — a torn frame past `len`
+        // (failed append that could not be rolled back) is left behind.
+        let mut rest = vec![0u8; (total - upto) as usize];
+        writer.file.read_exact(&mut rest)?;
         let tmp = self.dir.join(format!("{JOURNAL_FILE}.tmp"));
         {
             let mut out = fs::File::create(&tmp)?;
@@ -313,17 +374,21 @@ impl Journal {
             .write(true)
             .open(&self.path)?;
         reopened.seek(SeekFrom::End(0))?;
-        *file = reopened;
+        writer.file = reopened;
+        writer.len = rest.len() as u64;
+        writer.poisoned = false;
         Ok(())
     }
 
     /// Empties the journal entirely (used when a full snapshot save
     /// supersedes every record).
     pub(crate) fn truncate_all(&self) -> Result<(), DbError> {
-        let mut file = self.file.lock();
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.sync_all()?;
+        let mut writer = self.writer.lock();
+        writer.file.set_len(0)?;
+        writer.file.seek(SeekFrom::Start(0))?;
+        writer.file.sync_all()?;
+        writer.len = 0;
+        writer.poisoned = false;
         Ok(())
     }
 }
@@ -477,6 +542,64 @@ mod tests {
         let replay = read_journal(&dir).unwrap();
         assert_eq!(replay.ops.len(), 1, "replay stops at the corrupt record");
         assert!(replay.torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_poisons_instead_of_orphaning_later_records() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-journal-poison-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        let good = JournalOp::Delete { collection: "c".into(), id: "good".into() };
+        journal.append(&good).unwrap();
+        // Swap in a read-only handle: the next write fails, and the
+        // rollback (set_len on a read-only fd) fails too — the journal
+        // must poison itself rather than let a later append land after
+        // a torn frame.
+        {
+            let mut writer = journal.writer.lock();
+            writer.file =
+                fs::OpenOptions::new().read(true).open(dir.join(JOURNAL_FILE)).unwrap();
+        }
+        let lost = JournalOp::Delete { collection: "c".into(), id: "lost".into() };
+        assert!(matches!(journal.append(&lost).unwrap_err(), DbError::Io(_)));
+        assert!(journal.writer.lock().poisoned);
+        assert!(matches!(journal.append(&lost).unwrap_err(), DbError::JournalPoisoned));
+        // Compaction rewrites the file from intact records only, which
+        // heals the poison and re-enables appends.
+        journal.compact_prefix(0).unwrap();
+        let post = JournalOp::Delete { collection: "c".into(), id: "post".into() };
+        journal.append(&post).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.ops, vec![good, post]);
+        assert_eq!(replay.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_prefix_drops_bytes_past_the_tracked_length() {
+        // A torn frame past the tracked length (a failed append that
+        // could not be rolled back) must not survive compaction.
+        let dir = std::env::temp_dir()
+            .join(format!("simart-journal-heal-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        let op = JournalOp::Delete { collection: "c".into(), id: "keep".into() };
+        journal.append(&op).unwrap();
+        let mut tail = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        tail.write_all(&[0xde, 0xad, 0x01]).unwrap();
+        drop(tail);
+        assert!(read_journal(&dir).unwrap().torn_bytes > 0);
+        journal.compact_prefix(0).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.ops, vec![op]);
+        assert_eq!(replay.torn_bytes, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
