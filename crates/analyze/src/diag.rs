@@ -81,6 +81,11 @@ pub enum LintCode {
     /// different content — the checkpoint and the write-ahead journal
     /// disagree about the same `_id`.
     JournalDivergence,
+    /// SA0014: a quarantine record is out of sync with its run — the
+    /// unreleased dead letter's run is missing, or the run's status is
+    /// not `quarantined` (it was re-queued without a release, so its
+    /// results may rest on a run the supervisor gave up on).
+    QuarantinedRunReferenced,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -101,6 +106,7 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::StatusEventMismatch,
     LintCode::UnreplayedJournal,
     LintCode::JournalDivergence,
+    LintCode::QuarantinedRunReferenced,
     LintCode::DataRace,
 ];
 
@@ -121,6 +127,7 @@ impl LintCode {
             LintCode::StatusEventMismatch => "SA0011",
             LintCode::UnreplayedJournal => "SA0012",
             LintCode::JournalDivergence => "SA0013",
+            LintCode::QuarantinedRunReferenced => "SA0014",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -141,6 +148,7 @@ impl LintCode {
             LintCode::StatusEventMismatch => "status-event-mismatch",
             LintCode::UnreplayedJournal => "unreplayed-journal",
             LintCode::JournalDivergence => "journal-divergence",
+            LintCode::QuarantinedRunReferenced => "quarantined-run-referenced",
             LintCode::DataRace => "data-race",
         }
     }

@@ -24,6 +24,7 @@ pub fn lint_database(db: &Database) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
     let artifact_ids = lint_artifacts(db, &mut diagnostics);
     lint_runs(db, &artifact_ids, &mut diagnostics);
+    lint_quarantine(db, &mut diagnostics);
     sort_diagnostics(&mut diagnostics);
     diagnostics
 }
@@ -223,6 +224,47 @@ fn lint_runs(db: &Database, artifact_ids: &HashSet<String>, diagnostics: &mut Ve
     }
 }
 
+/// Cross-checks the dead-letter quarantine against the run collection
+/// (SA0014): an unreleased dead letter must point at an existing run
+/// whose status is `quarantined`. A missing run means results were
+/// deleted out from under the quarantine; any other status means the
+/// run was re-queued behind the supervisor's back, so its results may
+/// rest on a run the supervisor gave up on. Released dead letters are
+/// history, not constraints.
+fn lint_quarantine(db: &Database, diagnostics: &mut Vec<Diagnostic>) {
+    if !db.has_collection("quarantine") {
+        return;
+    }
+    for doc in db.collection("quarantine").all() {
+        let Some(id) = doc.at("_id").and_then(Value::as_str) else { continue };
+        if doc.at("released").and_then(Value::as_bool).unwrap_or(false) {
+            continue;
+        }
+        let subject = format!("run:{id}");
+        match db.collection("runs").get(id) {
+            None => diagnostics.push(Diagnostic::new(
+                LintCode::QuarantinedRunReferenced,
+                subject,
+                "unreleased dead letter references a run missing from the run collection"
+                    .to_owned(),
+            )),
+            Some(run) => {
+                let status = run.at("status").and_then(Value::as_str).unwrap_or("<missing>");
+                if status != "quarantined" {
+                    diagnostics.push(Diagnostic::new(
+                        LintCode::QuarantinedRunReferenced,
+                        subject,
+                        format!(
+                            "run has an unreleased dead letter but status '{status}' \
+                             (re-queued without `simart quarantine --release`?)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Replays a run's provenance event log against the lifecycle rules:
 /// every `status:` event must be a legal transition from the replayed
 /// state (SA0006), `retrying` needs a prior failed attempt (SA0007),
@@ -355,6 +397,14 @@ pub fn self_test() -> Result<String, String> {
         "status:running",
         "status:done",
     ]);
+    // Quarantine controls: a consistent quarantined run and a released
+    // dead letter (even for a long-gone run) are both fine.
+    seed_run(&clean, "run-clean-q", "rh-clean-q", "quarantined", &[], &[
+        "status:queued",
+        "status:quarantined",
+    ]);
+    seed_dead_letter(&clean, "run-clean-q", false);
+    seed_dead_letter(&clean, "run-long-gone", true);
     let diags = lint_database(&clean);
     if !diags.is_empty() {
         return Err(format!("clean database produced findings: {diags:?}"));
@@ -396,6 +446,10 @@ pub fn self_test() -> Result<String, String> {
     seed_run(&db, "run-5", "rh-dup", "created", &[], &[]);
     // SA0011: status field drifted from the event log.
     seed_run(&db, "run-6", "rh-6", "done", &[], &["status:queued", "status:running"]);
+    // SA0014: an unreleased dead letter whose run was re-queued without
+    // a release.
+    seed_run(&db, "run-7", "rh-7", "queued", &[], &["status:queued"]);
+    seed_dead_letter(&db, "run-7", false);
 
     let diags = lint_database(&db);
     let expect = [
@@ -408,6 +462,7 @@ pub fn self_test() -> Result<String, String> {
         LintCode::DuplicateArtifact,
         LintCode::DuplicateRunHash,
         LintCode::StatusEventMismatch,
+        LintCode::QuarantinedRunReferenced,
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {
@@ -492,6 +547,20 @@ fn seed_artifact(db: &Database, id: String, inputs: &[String], hash: &str, paylo
     db.collection("artifacts").insert(doc).expect("seeding artifact");
 }
 
+fn seed_dead_letter(db: &Database, run_id: &str, released: bool) {
+    db.collection("quarantine")
+        .insert(Value::map([
+            ("_id", Value::from(run_id)),
+            ("task", Value::from("seeded/task")),
+            ("error", Value::from("seeded: redelivery cap exhausted")),
+            ("redeliveries", Value::from(1u32)),
+            ("leaseEvents", Value::array([Value::from("delivery:1:lease-expired")])),
+            ("attempts", Value::from(0u32)),
+            ("released", Value::from(released)),
+        ]))
+        .expect("seeding dead letter");
+}
+
 fn seed_run(
     db: &Database,
     id: &str,
@@ -549,6 +618,29 @@ mod tests {
         for artifact in registry.iter() {
             store.save(artifact, None).expect("save artifact");
         }
+        assert!(lint_database(&db).is_empty());
+    }
+
+    #[test]
+    fn unreleased_dead_letters_constrain_their_runs() {
+        // Missing run: the quarantine points at nothing.
+        let db = Database::in_memory();
+        seed_dead_letter(&db, "gone", false);
+        let diags = lint_database(&db);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::QuarantinedRunReferenced);
+        assert!(diags[0].message.contains("missing"), "{}", diags[0].message);
+        // Released letters constrain nothing, even with no run.
+        let db = Database::in_memory();
+        seed_dead_letter(&db, "gone", true);
+        assert!(lint_database(&db).is_empty());
+        // A consistent quarantined run is clean.
+        let db = Database::in_memory();
+        seed_run(&db, "q", "rh-q", "quarantined", &[], &[
+            "status:queued",
+            "status:quarantined",
+        ]);
+        seed_dead_letter(&db, "q", false);
         assert!(lint_database(&db).is_empty());
     }
 

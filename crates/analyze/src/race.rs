@@ -12,6 +12,9 @@
 //! * `LockRelease(o)` → the next `LockAcquire(o)`;
 //! * `ChanSend(o)` / `Enqueue(o)` → the matching `ChanRecv(o)` /
 //!   `Dequeue(o)` (per-object FIFO pairing);
+//! * `LeaseGrant(t)` → the matching `LeaseRevoke(t)` (same FIFO
+//!   pairing: the worker's state up to taking the lease is visible to
+//!   the supervisor that revokes it);
 //! * `TaskSubmit(t)` / `TaskRequeue(t)` / `TaskFinish(t)` → the next
 //!   `TaskStart(t)`.
 //!
@@ -91,10 +94,10 @@ pub fn check(events: &[Event]) -> Vec<Race> {
             Op::LockRelease(o) => {
                 lock_release.insert(o, vc.clone());
             }
-            Op::ChanSend(o) | Op::Enqueue(o) => {
+            Op::ChanSend(o) | Op::Enqueue(o) | Op::LeaseGrant(o) => {
                 queued.entry(o).or_default().push_back(vc.clone());
             }
-            Op::ChanRecv(o) | Op::Dequeue(o) => {
+            Op::ChanRecv(o) | Op::Dequeue(o) | Op::LeaseRevoke(o) => {
                 if let Some(sent) = queued.get_mut(&o).and_then(VecDeque::pop_front) {
                     vc.join(&sent);
                 }
@@ -321,6 +324,26 @@ mod tests {
             ev(3, 2, Op::Write(7)),
         ];
         assert!(check(&trace).is_empty());
+    }
+
+    #[test]
+    fn lease_grant_orders_the_revoking_supervisor() {
+        // Worker writes shared state, takes the lease; the supervisor
+        // revokes the lease and reads — ordered, no race.
+        let trace = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::LeaseGrant(4)),
+            ev(2, 1, Op::LeaseRevoke(4)),
+            ev(3, 1, Op::Read(7)),
+        ];
+        assert!(check(&trace).is_empty());
+        // Without the grant edge the same accesses race.
+        let unordered = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 1, Op::LeaseRevoke(4)),
+            ev(2, 1, Op::Read(7)),
+        ];
+        assert_eq!(check(&unordered).len(), 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! simart gpu <app> [--alloc X]       run one GPU kernel
 //! simart campaign [options]          run (or resume) a persisted boot campaign
 //! simart metrics [options]           report profiling metrics from a saved campaign
+//! simart quarantine [options]        inspect or release dead-lettered runs
 //! simart check [options]             lint a run database's provenance
 //! simart selftest                    run the bundled test programs
 //! simart matrix                      triage the Figure 8 boot matrix
@@ -29,8 +30,9 @@ use simart::sim::os::OsImage;
 use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::ticks::format_ticks;
 use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
-use simart::tasks::{FaultInjector, PoolScheduler, RetryPolicy};
-use simart::{ExecOutcome, Experiment, LaunchOptions};
+use simart::run::{RunStatus, RunStore};
+use simart::tasks::{BrokerScheduler, FaultInjector, PoolScheduler, RetryPolicy, SupervisorConfig};
+use simart::{ExecOutcome, Experiment, LaunchOptions, LaunchSummary};
 use std::sync::Arc;
 
 fn main() {
@@ -44,12 +46,13 @@ fn main() {
         Some("gpu") => gpu(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("metrics") => metrics(&args[1..]),
+        Some("quarantine") => quarantine(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("selftest") => selftest(),
         Some("matrix") => matrix(),
         _ => {
             eprintln!(
-                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|metrics|check|selftest|matrix> [options]\n\
+                "usage: simart <catalog|boot|parsec|npb|gapbs|gpu|campaign|metrics|quarantine|check|selftest|matrix> [options]\n\
                  \n\
                  boot options:     --cpu kvm|atomic|timing|o3  --cores N  --mem classic|coherent|mi|mesi\n\
                  \u{20}                 --kernel 4.4|4.9|4.14|4.15|4.19|5.4  --boot kernel|systemd\n\
@@ -57,7 +60,9 @@ fn main() {
                  gpu options:      <app> --alloc simple|dynamic\n\
                  campaign options: --db DIR  --resume  --retries N  --suite NAME  --trace-out FILE\n\
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
+                 \u{20}                 --scheduler pool|broker  --max-redeliveries N  --kill-rate R\n\
                  metrics options:  --db DIR  --format text|json\n\
+                 quarantine opts:  --db DIR  --format text|json  --release ID\n\
                  check options:    --db DIR  --format text|json  --deny LINT  --allow LINT\n\
                  \u{20}                 --self-test (LINT: warnings, SAxxxx, or a lint name)"
             );
@@ -314,6 +319,20 @@ fn campaign(args: &[String]) -> i32 {
     let retries: u32 = flag(args, "--retries").and_then(|s| s.parse().ok()).unwrap_or(0);
     let fault_rate: f64 = flag(args, "--fault-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let fault_seed: u64 = flag(args, "--fault-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let kill_rate: f64 = flag(args, "--kill-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let scheduler_kind = flag(args, "--scheduler").unwrap_or_else(|| "pool".to_owned());
+    if scheduler_kind != "pool" && scheduler_kind != "broker" {
+        eprintln!("error: unknown scheduler `{scheduler_kind}` (expected pool or broker)");
+        return 2;
+    }
+    // Worker-kill chaos only makes sense under the broker's supervisor;
+    // a killed pool worker would simply strand its run.
+    if kill_rate > 0.0 && scheduler_kind != "broker" {
+        eprintln!("error: --kill-rate requires --scheduler broker");
+        return 2;
+    }
+    let max_redeliveries: u32 =
+        flag(args, "--max-redeliveries").and_then(|s| s.parse().ok()).unwrap_or(1);
 
     // A campaign with a database directory runs *attached*: every run
     // insert and status transition appends to the write-ahead journal
@@ -389,26 +408,46 @@ fn campaign(args: &[String]) -> i32 {
     if fault_rate > 0.0 {
         options = options.fault(Arc::new(FaultInjector::new(fault_seed).errors(fault_rate)));
     }
+    if kill_rate > 0.0 {
+        options = options
+            .worker_fault(Arc::new(FaultInjector::new(fault_seed).worker_kills(kill_rate)));
+    }
 
     // Profiling capture window: everything the campaign does from here
     // on records spans and metrics (a no-op in builds without the
     // `observe` feature).
     simart::observe::reset();
     simart::observe::enable();
-    let pool = PoolScheduler::new(2);
-    let summary = experiment.launch_with(runs, &pool, execute_campaign_run, &options);
+    let summary: LaunchSummary = if scheduler_kind == "broker" {
+        let config = SupervisorConfig { max_redeliveries, ..SupervisorConfig::default() };
+        let broker = BrokerScheduler::with_config(2, config);
+        experiment.launch_with(runs, &broker, execute_campaign_run, &options)
+    } else {
+        let pool = PoolScheduler::new(2);
+        experiment.launch_with(runs, &pool, execute_campaign_run, &options)
+    };
     println!(
-        "campaign: {} runs — fresh {}, requeued {}, skipped done {}, skipped duplicates {}",
+        "campaign: {} runs — fresh {}, requeued {}, skipped done {}, skipped duplicates {}, \
+         skipped quarantined {}",
         summary.total(),
         summary.fresh,
         summary.requeued,
         summary.skipped_done,
         summary.skipped_duplicates,
+        summary.skipped_quarantined,
     );
     println!(
-        "outcomes: done {}, failed {}, timed out {}, retried {}",
-        summary.done, summary.failed, summary.timed_out, summary.retried,
+        "outcomes: done {}, failed {}, timed out {}, quarantined {}, retried {}",
+        summary.done, summary.failed, summary.timed_out, summary.quarantined, summary.retried,
     );
+    if summary.quarantined > 0 {
+        if let Some(dir) = &db_dir {
+            println!(
+                "quarantined runs need an explicit release: see `simart quarantine --db {}`",
+                dir.display()
+            );
+        }
+    }
 
     if let Some(dir) = &db_dir {
         // Every run mutation is already on disk in the journal; record
@@ -448,7 +487,7 @@ fn campaign(args: &[String]) -> i32 {
             trace.events.len()
         );
     }
-    i32::from(summary.failed + summary.timed_out > 0)
+    i32::from(summary.failed + summary.timed_out + summary.quarantined > 0)
 }
 
 /// `simart metrics` — renders the profiling metrics a previous
@@ -495,6 +534,100 @@ fn metrics(args: &[String]) -> i32 {
     } else {
         print!("{}", snapshot.render_text());
     }
+    0
+}
+
+/// `simart quarantine` — inspect or release dead-lettered runs.
+///
+/// Exit codes: 0 success (including an empty quarantine), 1 unknown
+/// release id, 2 usage/IO problems.
+fn quarantine(args: &[String]) -> i32 {
+    let format = flag(args, "--format").unwrap_or_else(|| "text".to_owned());
+    if format != "text" && format != "json" {
+        eprintln!("error: unknown format `{format}` (expected text or json)");
+        return 2;
+    }
+    let Some(dir) = flag(args, "--db") else {
+        eprintln!("usage: simart quarantine --db DIR [--format text|json] [--release ID]");
+        return 2;
+    };
+    let path = std::path::Path::new(&dir);
+    if !path.is_dir() {
+        eprintln!(
+            "error: no database at {dir}: not a directory (create one with \
+             `simart campaign --db {dir}`)"
+        );
+        return 2;
+    }
+    if let Some(id) = flag(args, "--release") {
+        return quarantine_release(path, &dir, &id);
+    }
+    // Read-only listing: strict load, like `simart metrics`.
+    let db = match Database::load_with(path, &simart::db::LoadOptions::strict()) {
+        Ok((db, _)) => db,
+        Err(e) => {
+            eprintln!("error: cannot load database at {dir}: {e}");
+            return 2;
+        }
+    };
+    let letters = match simart::quarantine::load_all(&db) {
+        Ok(letters) => letters,
+        Err(e) => {
+            eprintln!("error: cannot read quarantine from {dir}: {e}");
+            return 2;
+        }
+    };
+    if format == "json" {
+        println!("{}", simart::quarantine::render_json(&letters));
+    } else {
+        print!("{}", simart::quarantine::render_text(&letters));
+    }
+    0
+}
+
+/// Releases one quarantined run: marks its dead letter released and
+/// re-queues the run so the next `campaign --resume` picks it up.
+fn quarantine_release(path: &std::path::Path, dir: &str, id: &str) -> i32 {
+    let Ok(run_id) = id.parse::<simart::artifact::Uuid>() else {
+        eprintln!("error: `{id}` is not a run id (expected a uuid from `simart quarantine`)");
+        return 2;
+    };
+    // Attached open: the release and re-queue write through the
+    // journal, same as campaign mutations.
+    let db = match Database::open(path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: cannot open database at {dir}: {e}");
+            return 2;
+        }
+    };
+    match simart::quarantine::release(&db, run_id) {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("error: no quarantined run {id} at {dir}");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("error: cannot release {id}: {e}");
+            return 2;
+        }
+    }
+    let runs = match RunStore::new(&db) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("error: cannot open run store at {dir}: {e}");
+            return 2;
+        }
+    };
+    if let Err(e) = runs.transition(run_id, RunStatus::Queued) {
+        eprintln!("error: cannot re-queue run {id}: {e}");
+        return 2;
+    }
+    if let Err(e) = db.checkpoint() {
+        eprintln!("error: cannot checkpoint database at {dir}: {e}");
+        return 2;
+    }
+    println!("released {id}: re-queued (run with `simart campaign --db {dir} --resume`)");
     0
 }
 

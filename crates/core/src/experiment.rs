@@ -90,12 +90,19 @@ pub struct LaunchSummary {
     pub failed: usize,
     /// Runs killed on timeout.
     pub timed_out: usize,
+    /// Runs dead-lettered by the scheduler's supervisor after
+    /// exhausting task redeliveries; their [`crate::quarantine`]
+    /// records hold the lease history.
+    pub quarantined: usize,
     /// Runs skipped because the identical experiment was already
     /// recorded in the database.
     pub skipped_duplicates: usize,
     /// Runs skipped on resume because they already finished
     /// successfully (their results are never silently redone).
     pub skipped_done: usize,
+    /// Runs skipped on resume because they sit in quarantine — only an
+    /// explicit release re-queues a quarantined run.
+    pub skipped_quarantined: usize,
     /// Runs re-queued on resume: previously failed, timed out, or
     /// stranded mid-flight by a crashed session.
     pub requeued: usize,
@@ -109,7 +116,13 @@ pub struct LaunchSummary {
 impl LaunchSummary {
     /// Total runs examined (executed + skipped).
     pub fn total(&self) -> usize {
-        self.done + self.failed + self.timed_out + self.skipped_duplicates + self.skipped_done
+        self.done
+            + self.failed
+            + self.timed_out
+            + self.quarantined
+            + self.skipped_duplicates
+            + self.skipped_done
+            + self.skipped_quarantined
     }
 }
 
@@ -121,6 +134,12 @@ pub struct LaunchOptions {
     pub retry_policy: RetryPolicy,
     /// Optional deterministic fault injector threaded into every task.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Optional injector for worker-level chaos (stalls and kills),
+    /// attached to each task so supervised schedulers consult it at
+    /// dequeue time. Keep its attempt-level rates at zero — attempt
+    /// faults belong in [`LaunchOptions::fault`], which is injected
+    /// around the executor so provenance still records the attempt.
+    pub worker_fault: Option<Arc<FaultInjector>>,
     /// Resume mode: instead of skipping duplicate runs outright,
     /// consult their stored status — `Done` runs are skipped, while
     /// failed, timed-out, and stranded (`Queued`/`Running`/`Retrying`)
@@ -143,6 +162,12 @@ impl LaunchOptions {
     /// Sets the fault injector.
     pub fn fault(mut self, injector: Arc<FaultInjector>) -> LaunchOptions {
         self.fault = Some(injector);
+        self
+    }
+
+    /// Sets the worker-chaos injector (stalls and kills).
+    pub fn worker_fault(mut self, injector: Arc<FaultInjector>) -> LaunchOptions {
+        self.worker_fault = Some(injector);
         self
     }
 }
@@ -344,6 +369,12 @@ impl Experiment {
                             summary.skipped_done += 1;
                             continue;
                         }
+                        RunStatus::Quarantined => {
+                            // Dead-lettered runs wait for an explicit
+                            // release; resume never takes that edge.
+                            summary.skipped_quarantined += 1;
+                            continue;
+                        }
                         RunStatus::Queued => {
                             // Stranded in the queue; already in the
                             // right state to relaunch.
@@ -380,7 +411,7 @@ impl Experiment {
             // 1-based attempt counter for this run, shared across the
             // per-attempt invocations of the closure below.
             let attempt_counter = Arc::new(AtomicU32::new(0));
-            let task = Task::new(name, move || {
+            let mut task = Task::new(name, move || {
                 let attempt = attempt_counter.fetch_add(1, Ordering::SeqCst) + 1;
                 let delay_before = policy.delay_before(attempt);
                 let run = fs_run.clone();
@@ -424,6 +455,11 @@ impl Experiment {
             })
             .timeout(timeout)
             .retry_policy(options.retry_policy.clone());
+            if let Some(injector) = &options.worker_fault {
+                // Consulted by supervised schedulers for worker-level
+                // chaos; its attempt stream is expected to stay silent.
+                task = task.fault_injector(Arc::clone(injector));
+            }
             observe::count("experiment.runs_launched", 1);
             handles.push((run_id, scheduler.submit(task)));
         }
@@ -448,6 +484,22 @@ impl Experiment {
                         options.retry_policy.delay_before(report.attempts),
                     );
                     let _ = self.runs.transition(run_id, RunStatus::TimedOut);
+                }
+                TaskState::Quarantined => {
+                    summary.quarantined += 1;
+                    // Persist the dead letter first so the quarantine
+                    // record exists by the time the status flips.
+                    let letter = crate::quarantine::DeadLetter {
+                        run_id,
+                        task: report.name.clone(),
+                        error: report.error.clone().unwrap_or_default(),
+                        redeliveries: report.redeliveries,
+                        lease_events: report.lease_events.clone(),
+                        attempts: report.attempts,
+                        released: false,
+                    };
+                    let _ = crate::quarantine::persist(&self.db, &letter);
+                    let _ = self.runs.transition(run_id, RunStatus::Quarantined);
                 }
             }
             if report.attempts > 1 {

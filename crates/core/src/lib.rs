@@ -55,6 +55,7 @@ pub use simart_tasks as tasks;
 pub mod cross;
 mod experiment;
 pub mod metrics;
+pub mod quarantine;
 pub mod report;
 
 pub use experiment::{ExecOutcome, Experiment, ExperimentError, LaunchOptions, LaunchSummary};

@@ -21,12 +21,20 @@ pub enum RunStatus {
     Failed,
     /// Killed after exceeding its timeout.
     TimedOut,
+    /// Dead-lettered by the scheduler's supervisor after exhausting
+    /// redeliveries. Terminal, and never auto-resumed: a quarantined
+    /// run must be explicitly released (`Quarantined -> Queued`) before
+    /// it runs again.
+    Quarantined,
 }
 
 impl RunStatus {
     /// Whether the run has reached a terminal state.
     pub fn is_terminal(self) -> bool {
-        matches!(self, RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut)
+        matches!(
+            self,
+            RunStatus::Done | RunStatus::Failed | RunStatus::TimedOut | RunStatus::Quarantined
+        )
     }
 
     /// Whether the run was interrupted mid-flight (a non-terminal,
@@ -43,7 +51,11 @@ impl RunStatus {
     /// timed-out runs can be re-queued explicitly, and stranded
     /// `Running`/`Retrying` runs are re-queued when a crashed session
     /// resumes. `Done` stays a sink — finished results are never
-    /// silently redone.
+    /// silently redone. Supervised schedulers add the quarantine
+    /// edges: any in-flight state can be dead-lettered to
+    /// `Quarantined`, which only an explicit release
+    /// (`Quarantined -> Queued`) leaves — resume never takes that edge
+    /// on its own.
     pub fn can_transition_to(self, next: RunStatus) -> bool {
         use RunStatus::*;
         matches!(
@@ -64,6 +76,12 @@ impl RunStatus {
                 | (TimedOut, Queued)
                 | (Running, Queued)
                 | (Retrying, Queued)
+                // Dead-letter edges into quarantine, and the explicit
+                // release edge out of it.
+                | (Queued, Quarantined)
+                | (Running, Quarantined)
+                | (Retrying, Quarantined)
+                | (Quarantined, Queued)
         )
     }
 }
@@ -78,6 +96,7 @@ impl fmt::Display for RunStatus {
             RunStatus::Done => "done",
             RunStatus::Failed => "failed",
             RunStatus::TimedOut => "timed-out",
+            RunStatus::Quarantined => "quarantined",
         };
         f.write_str(s)
     }
@@ -107,6 +126,7 @@ impl FromStr for RunStatus {
             "done" => RunStatus::Done,
             "failed" => RunStatus::Failed,
             "timed-out" => RunStatus::TimedOut,
+            "quarantined" => RunStatus::Quarantined,
             other => return Err(ParseRunStatusError(other.to_owned())),
         })
     }
@@ -148,6 +168,24 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_transitions() {
+        // Any in-flight state can be dead-lettered.
+        assert!(RunStatus::Queued.can_transition_to(RunStatus::Quarantined));
+        assert!(RunStatus::Running.can_transition_to(RunStatus::Quarantined));
+        assert!(RunStatus::Retrying.can_transition_to(RunStatus::Quarantined));
+        // Only an explicit release leaves quarantine.
+        assert!(RunStatus::Quarantined.can_transition_to(RunStatus::Queued));
+        assert!(!RunStatus::Quarantined.can_transition_to(RunStatus::Running));
+        assert!(!RunStatus::Quarantined.can_transition_to(RunStatus::Done));
+        // Terminal states cannot be quarantined after the fact.
+        assert!(!RunStatus::Done.can_transition_to(RunStatus::Quarantined));
+        assert!(!RunStatus::Failed.can_transition_to(RunStatus::Quarantined));
+        // Quarantined is terminal but not stranded (resume skips it).
+        assert!(RunStatus::Quarantined.is_terminal());
+        assert!(!RunStatus::Quarantined.is_stranded());
+    }
+
+    #[test]
     fn terminal_classification() {
         assert!(!RunStatus::Created.is_terminal());
         assert!(!RunStatus::Running.is_terminal());
@@ -176,6 +214,7 @@ mod tests {
             RunStatus::Done,
             RunStatus::Failed,
             RunStatus::TimedOut,
+            RunStatus::Quarantined,
         ] {
             assert_eq!(status.to_string().parse::<RunStatus>().unwrap(), status);
         }

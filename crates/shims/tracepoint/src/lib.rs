@@ -52,6 +52,13 @@ pub enum Op {
     Enqueue(ObjectId),
     /// A job left a broker/pool work queue.
     Dequeue(ObjectId),
+    /// A worker took the lease on a dequeued task (publishes the
+    /// worker's state to the supervisor, like a channel send).
+    LeaseGrant(ObjectId),
+    /// A supervisor revoked a task lease for redelivery or
+    /// dead-lettering (observes the worker's state, like a channel
+    /// recv).
+    LeaseRevoke(ObjectId),
     /// A shared object (run record, task state) was read.
     Read(ObjectId),
     /// A shared object (run record, task state) was written.
@@ -72,6 +79,8 @@ impl Op {
             | Op::TaskRequeue(o)
             | Op::Enqueue(o)
             | Op::Dequeue(o)
+            | Op::LeaseGrant(o)
+            | Op::LeaseRevoke(o)
             | Op::Read(o)
             | Op::Write(o) => o,
         }
@@ -91,6 +100,8 @@ impl fmt::Display for Op {
             Op::TaskRequeue(o) => write!(f, "task-requeue({o})"),
             Op::Enqueue(o) => write!(f, "enqueue({o})"),
             Op::Dequeue(o) => write!(f, "dequeue({o})"),
+            Op::LeaseGrant(o) => write!(f, "lease-grant({o})"),
+            Op::LeaseRevoke(o) => write!(f, "lease-revoke({o})"),
             Op::Read(o) => write!(f, "read({o})"),
             Op::Write(o) => write!(f, "write({o})"),
         }

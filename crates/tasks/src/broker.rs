@@ -1,147 +1,305 @@
 //! The broker/worker executor (the Celery analogue).
 //!
-//! Tasks flow through a named broker queue; detached workers register
-//! with the broker and pull work. The structure mirrors a distributed
-//! Celery deployment collapsed into one process: the queue carries task
+//! Tasks flow through a named broker queue; workers register with the
+//! broker and pull work. The structure mirrors a distributed Celery
+//! deployment collapsed into one process: the queue carries task
 //! metadata + payload, workers ack by reporting, and per-queue
 //! statistics are observable while the system runs.
+//!
+//! # Supervision
+//!
+//! Every dequeued job carries a *lease*: a deadline of the task's
+//! timeout plus a grace period, owned by the worker that dequeued it.
+//! A supervisor thread ticks on a heartbeat
+//! ([`SupervisorConfig::heartbeat`]) and each tick:
+//!
+//! 1. **reaps** detached worker threads that have since finished
+//!    (joining them, so the live-detached gauge returns to zero);
+//! 2. **respawns** workers that died holding a lease (e.g. a simulated
+//!    SIGKILL via [`Fault::WorkerKill`]), recovering their leases
+//!    immediately;
+//! 3. **expires** leases past their deadline: the presumed-wedged
+//!    worker is detached (moved to the reap list, a replacement
+//!    spawned — up to [`SupervisorConfig::max_detached`]) and the task
+//!    is *redelivered* to the queue, up to
+//!    [`SupervisorConfig::max_redeliveries`] times, after which it is
+//!    dead-lettered with [`TaskState::Quarantined`].
+//!
+//! Exactly one report is ever delivered per submitted task
+//! (first-report-wins: a detached straggler that eventually finishes
+//! after its task was redelivered either wins the race — at-least-once
+//! semantics — or its stale report is discarded).
+//!
+//! With the default config (`max_redeliveries: 0`) an expired lease is
+//! reported as [`TaskState::TimedOut`] at once, matching the classic
+//! watchdog behaviour — but unlike the watchdog, the wedged thread is
+//! reaped once it finishes instead of leaking forever.
 
-use crate::task::{execute, Task, TaskHandle, TaskReport};
+use crate::fault::Fault;
+use crate::supervise::SupervisorConfig;
+use crate::task::{execute_supervised, Task, TaskHandle, TaskReport, TaskState};
 use crate::{trace, Scheduler};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use simart_observe as observe;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-type Job = (Task, Sender<TaskReport>);
+/// A queued delivery of a task. Redeliveries share `job_id`,
+/// `reported`, and the report channel with the original submission.
+struct JobEnvelope {
+    task: Task,
+    report_tx: Sender<TaskReport>,
+    /// First-report-wins guard: whoever swaps this to `true` delivers
+    /// the single report for this job.
+    reported: Arc<AtomicBool>,
+    job_id: u64,
+    /// 1-based delivery number (1 = original submission).
+    delivery: u32,
+    /// Supervisor lease events accumulated across deliveries.
+    lease_events: Vec<String>,
+    first_enqueued: Instant,
+}
+
+/// Flags shared between a worker thread and the supervisor.
+#[derive(Default)]
+struct WorkerFlags {
+    /// Set by the supervisor when it presumes the worker wedged and
+    /// replaces it; the worker exits its loop after its current job.
+    detached: AtomicBool,
+    /// Set by the worker on clean loop exit (queue closed or detached
+    /// hand-off). A finished thread without this flag died abruptly.
+    graceful: AtomicBool,
+}
+
+/// One position in the worker pool. Respawns bump `generation` so
+/// leases can tell the worker that owned them from its replacement.
+struct WorkerSlot {
+    handle: Option<JoinHandle<()>>,
+    flags: Arc<WorkerFlags>,
+    generation: u64,
+}
+
+/// An in-flight delivery, owned by a worker, watched by the supervisor.
+struct Lease {
+    task: Task,
+    report_tx: Sender<TaskReport>,
+    reported: Arc<AtomicBool>,
+    delivery: u32,
+    /// `dequeue time + timeout + grace`; `None` for tasks without a
+    /// timeout (recovered only if their worker dies).
+    deadline: Option<Instant>,
+    slot: usize,
+    generation: u64,
+    lease_events: Vec<String>,
+    first_enqueued: Instant,
+}
 
 #[derive(Debug, Default)]
 struct BrokerStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     dropped: AtomicU64,
+    dead_lettered: AtomicU64,
     detached_workers: AtomicU64,
+    redelivered: AtomicU64,
+    lease_expirations: AtomicU64,
+    worker_respawns: AtomicU64,
+    detached_reaped: AtomicU64,
 }
 
-/// A broker queue with attached worker threads.
-#[derive(Debug)]
-pub struct BrokerScheduler {
-    queue: Mutex<Option<Sender<Job>>>,
-    /// The broker's own view of the queue, used by [`shutdown_now`]
-    /// (`BrokerScheduler::shutdown_now`) to drain jobs the workers will
-    /// never run.
-    pending: Receiver<Job>,
-    stats: Arc<BrokerStats>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    worker_count: usize,
+/// Mutable supervision state, behind one lock.
+struct SupervisionState {
+    slots: Vec<WorkerSlot>,
+    leases: HashMap<u64, Lease>,
+    /// Detached (presumed-wedged) worker threads awaiting reap.
+    detached: Vec<JoinHandle<()>>,
+    next_generation: u64,
+    /// Set by `shutdown_now` / `Drop`: stops respawns and redelivery.
+    shutdown: bool,
+}
+
+/// State shared between the scheduler handle, workers, and supervisor.
+struct Shared {
+    stats: BrokerStats,
+    config: SupervisorConfig,
+    queue: Mutex<Option<Sender<JobEnvelope>>>,
+    /// The broker's own view of the queue: used by `shutdown_now` to
+    /// drain jobs the workers will never run, and by respawned workers.
+    pending: Receiver<JobEnvelope>,
+    state: Mutex<SupervisionState>,
+    next_job: AtomicU64,
     queue_trace_id: u64,
 }
 
+/// A broker queue with attached worker threads and a supervisor.
+pub struct BrokerScheduler {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+    /// Dropping this sender stops the supervisor loop.
+    stop: Option<Sender<()>>,
+    worker_count: usize,
+}
+
 impl BrokerScheduler {
-    /// Starts a broker with `workers` attached worker threads.
+    /// Starts a broker with `workers` attached worker threads and the
+    /// default [`SupervisorConfig`] (no redelivery — classic watchdog
+    /// semantics, plus detached-thread reaping and worker respawn).
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(workers: usize) -> BrokerScheduler {
-        assert!(workers > 0, "a broker needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
-        let stats = Arc::new(BrokerStats::default());
-        let queue_trace_id = trace::fresh_id();
-        let handles = (0..workers)
-            .map(|i| Self::spawn_worker(i, rx.clone(), Arc::clone(&stats), queue_trace_id))
-            .collect();
-        BrokerScheduler {
-            queue: Mutex::new(Some(tx)),
-            pending: rx,
-            stats,
-            workers: Mutex::new(handles),
-            worker_count: workers,
-            queue_trace_id,
-        }
+        Self::with_config(workers, SupervisorConfig::default())
     }
 
-    fn spawn_worker(
-        index: usize,
-        rx: Receiver<Job>,
-        stats: Arc<BrokerStats>,
-        queue_trace_id: u64,
-    ) -> JoinHandle<()> {
-        std::thread::Builder::new()
-            .name(format!("simart-broker-worker-{index}"))
-            .spawn(move || {
-                while let Ok((task, report_tx)) = rx.recv() {
-                    trace::dequeue(queue_trace_id);
-                    observe::count("broker.dequeued", 1);
-                    // Broker-to-worker handoff latency (the task's own
-                    // queue stamp keeps ticking until `execute`).
-                    if let Some(us) = task.queue_stamp.elapsed_us() {
-                        observe::observe_us("broker.queue_latency_us", us);
-                    }
-                    let report = execute(task);
-                    if report.detached {
-                        stats.detached_workers.fetch_add(1, Ordering::SeqCst);
-                    }
-                    // Count before delivering the report: a waiter that
-                    // observes the report must also observe the count.
-                    stats.completed.fetch_add(1, Ordering::SeqCst);
-                    let _ = report_tx.send(report);
-                }
-            })
-            .expect("spawning broker worker")
+    /// Starts a broker with an explicit supervision config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_config(workers: usize, config: SupervisorConfig) -> BrokerScheduler {
+        assert!(workers > 0, "a broker needs at least one worker");
+        let (tx, rx) = unbounded::<JobEnvelope>();
+        let shared = Arc::new(Shared {
+            stats: BrokerStats::default(),
+            config,
+            queue: Mutex::new(Some(tx)),
+            pending: rx,
+            state: Mutex::new(SupervisionState {
+                slots: Vec::with_capacity(workers),
+                leases: HashMap::new(),
+                detached: Vec::new(),
+                next_generation: 0,
+                shutdown: false,
+            }),
+            next_job: AtomicU64::new(1),
+            queue_trace_id: trace::fresh_id(),
+        });
+        {
+            let mut st = shared.state.lock();
+            for slot in 0..workers {
+                let flags = Arc::new(WorkerFlags::default());
+                let handle = spawn_worker(&shared, slot, 0, Arc::clone(&flags));
+                st.slots.push(WorkerSlot { handle: Some(handle), flags, generation: 0 });
+            }
+        }
+        let (stop_tx, stop_rx) = bounded::<()>(0);
+        let supervisor = spawn_supervisor(Arc::clone(&shared), stop_rx);
+        BrokerScheduler {
+            shared,
+            supervisor: Some(supervisor),
+            stop: Some(stop_tx),
+            worker_count: workers,
+        }
     }
 
     /// Closes the queue and discards still-queued jobs without running
     /// them (in-progress tasks finish). Handles of discarded tasks
     /// resolve to synthesized "scheduler dropped task" failure reports;
-    /// later submissions are dropped the same way. Returns the number
-    /// of jobs discarded by this call.
+    /// later submissions are dropped the same way, and expired leases
+    /// are no longer redelivered. Returns the number of jobs discarded
+    /// by this call.
     pub fn shutdown_now(&self) -> u64 {
-        let _ = self.queue.lock().take();
+        self.shared.state.lock().shutdown = true;
+        let _ = self.shared.queue.lock().take();
         let mut discarded = 0u64;
         // Race with workers draining the same queue is fine: each job
         // goes to exactly one side.
-        while let Ok((_task, report_tx)) = self.pending.try_recv() {
-            drop(report_tx);
+        while let Ok(envelope) = self.shared.pending.try_recv() {
+            drop(envelope); // drops report_tx → synthesized failure
             discarded += 1;
         }
-        self.stats.dropped.fetch_add(discarded, Ordering::SeqCst);
+        self.shared.stats.dropped.fetch_add(discarded, Ordering::SeqCst);
         discarded
     }
 
-    /// Number of attached workers.
+    /// Number of attached workers (the configured pool size; the
+    /// supervisor holds the pool at this size across deaths).
     pub fn workers(&self) -> usize {
         self.worker_count
     }
 
     /// Tasks submitted so far.
     pub fn submitted(&self) -> u64 {
-        self.stats.submitted.load(Ordering::SeqCst)
+        self.shared.stats.submitted.load(Ordering::SeqCst)
     }
 
-    /// Tasks completed so far.
+    /// Tasks completed so far (a report from an actual execution was
+    /// delivered).
     pub fn completed(&self) -> u64 {
-        self.stats.completed.load(Ordering::SeqCst)
+        self.shared.stats.completed.load(Ordering::SeqCst)
     }
 
     /// Tasks dropped without execution (shutdown or post-shutdown
     /// submission).
     pub fn dropped(&self) -> u64 {
-        self.stats.dropped.load(Ordering::SeqCst)
+        self.shared.stats.dropped.load(Ordering::SeqCst)
     }
 
-    /// Worker threads detached (leaked) by task timeouts. Each
-    /// timed-out task leaves one runaway worker thread behind; this
-    /// counter makes the leak observable instead of silent.
+    /// Tasks dead-lettered by the supervisor (lease expired or worker
+    /// died, with no redelivery allowed or the cap exhausted).
+    pub fn dead_lettered(&self) -> u64 {
+        self.shared.stats.dead_lettered.load(Ordering::SeqCst)
+    }
+
+    /// Worker threads detached by lease expirations, cumulatively.
+    /// Unlike the live gauge ([`Self::detached_live`]) this never
+    /// decreases; it counts how often the broker had to presume a
+    /// worker wedged.
     pub fn detached_workers(&self) -> u64 {
-        self.stats.detached_workers.load(Ordering::SeqCst)
+        self.shared.stats.detached_workers.load(Ordering::SeqCst)
+    }
+
+    /// Detached worker threads currently alive (not yet reaped). The
+    /// supervisor joins finished detached threads each heartbeat, so
+    /// this returns to zero once wedged work unwinds.
+    pub fn detached_live(&self) -> u64 {
+        self.shared.state.lock().detached.len() as u64
+    }
+
+    /// Tasks redelivered after a lease expiration or worker death.
+    pub fn redelivered(&self) -> u64 {
+        self.shared.stats.redelivered.load(Ordering::SeqCst)
+    }
+
+    /// Leases that expired (task outlived timeout + grace).
+    pub fn lease_expirations(&self) -> u64 {
+        self.shared.stats.lease_expirations.load(Ordering::SeqCst)
+    }
+
+    /// Replacement workers spawned by the supervisor.
+    pub fn worker_respawns(&self) -> u64 {
+        self.shared.stats.worker_respawns.load(Ordering::SeqCst)
+    }
+
+    /// Detached worker threads joined (reaped) by the supervisor.
+    pub fn detached_reaped(&self) -> u64 {
+        self.shared.stats.detached_reaped.load(Ordering::SeqCst)
     }
 
     /// Tasks currently queued or running.
     pub fn in_flight(&self) -> u64 {
-        self.submitted().saturating_sub(self.completed() + self.dropped())
+        self.submitted()
+            .saturating_sub(self.completed() + self.dropped() + self.dead_lettered())
+    }
+}
+
+impl fmt::Debug for BrokerScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerScheduler")
+            .field("workers", &self.worker_count)
+            .field("config", &self.shared.config)
+            .field("submitted", &self.submitted())
+            .field("completed", &self.completed())
+            .field("dropped", &self.dropped())
+            .field("dead_lettered", &self.dead_lettered())
+            .field("in_flight", &self.in_flight())
+            .finish_non_exhaustive()
     }
 }
 
@@ -149,20 +307,36 @@ impl Scheduler for BrokerScheduler {
     fn submit(&self, mut task: Task) -> TaskHandle {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
-        self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
         task.stamp_queued();
         trace::task_submit(task.trace_id);
-        match self.queue.lock().as_ref() {
+        let envelope = JobEnvelope {
+            task,
+            report_tx: tx,
+            reported: Arc::new(AtomicBool::new(false)),
+            job_id: self.shared.next_job.fetch_add(1, Ordering::SeqCst),
+            delivery: 1,
+            lease_events: Vec::new(),
+            first_enqueued: Instant::now(),
+        };
+        match self.shared.queue.lock().as_ref() {
             Some(sender) => {
                 observe::count("broker.enqueued", 1);
-                trace::enqueue(self.queue_trace_id);
-                sender.send((task, tx)).expect("workers alive until drop");
+                trace::enqueue(self.shared.queue_trace_id);
+                if sender.send(envelope).is_err() {
+                    // All receivers gone (queue torn down mid-send):
+                    // degrade to the drop path instead of panicking.
+                    // The returned envelope — report sender included —
+                    // is dropped, so the handle resolves to a
+                    // synthesized failure.
+                    self.shared.stats.dropped.fetch_add(1, Ordering::SeqCst);
+                }
             }
             None => {
                 // Shut down: drop the report sender so the handle
                 // resolves to a synthesized failure.
-                self.stats.dropped.fetch_add(1, Ordering::SeqCst);
-                drop(tx);
+                self.shared.stats.dropped.fetch_add(1, Ordering::SeqCst);
+                drop(envelope);
             }
         }
         TaskHandle { receiver: rx, name }
@@ -175,18 +349,375 @@ impl Scheduler for BrokerScheduler {
 
 impl Drop for BrokerScheduler {
     fn drop(&mut self) {
-        self.queue.get_mut().take();
-        for worker in self.workers.get_mut().drain(..) {
+        self.shared.state.lock().shutdown = true;
+        let _ = self.shared.queue.lock().take();
+        // Disconnecting the stop channel ends the supervisor loop.
+        self.stop.take();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Collect handles first, then join without holding the state
+        // lock (workers lock it to register/complete leases).
+        let (workers, detached) = {
+            let mut st = self.shared.state.lock();
+            let workers: Vec<_> =
+                st.slots.iter_mut().filter_map(|slot| slot.handle.take()).collect();
+            (workers, std::mem::take(&mut st.detached))
+        };
+        for worker in workers {
             let _ = worker.join();
         }
+        // Detached threads may be wedged in arbitrarily long work and
+        // their reports are already suppressed; dropping their handles
+        // (instead of joining) keeps Drop from blocking on them.
+        drop(detached);
+    }
+}
+
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    slot: usize,
+    generation: u64,
+    flags: Arc<WorkerFlags>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("simart-broker-worker-{slot}-g{generation}"))
+        .spawn(move || worker_loop(&shared, slot, generation, &flags))
+        .expect("spawning broker worker")
+}
+
+fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, flags: &Arc<WorkerFlags>) {
+    while let Ok(envelope) = shared.pending.recv() {
+        trace::dequeue(shared.queue_trace_id);
+        observe::count("broker.dequeued", 1);
+        if envelope.reported.load(Ordering::SeqCst) {
+            // A stale redelivery: the job was already reported (e.g. a
+            // detached straggler finished first). Discard silently.
+            if flags.detached.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        }
+        // Broker-to-worker handoff latency (the task's own queue stamp
+        // keeps ticking until `execute`).
+        if let Some(us) = envelope.task.queue_stamp.elapsed_us() {
+            observe::observe_us("broker.queue_latency_us", us);
+        }
+        // Take the lease before consulting worker faults, so a killed
+        // worker leaves a lease behind for the supervisor to recover.
+        register_lease(shared, &envelope, slot, generation);
+        let worker_fault = envelope
+            .task
+            .fault
+            .as_ref()
+            .and_then(|inj| inj.take_worker_fault(envelope.task.name(), envelope.delivery));
+        match worker_fault {
+            Some(Fault::WorkerKill) => {
+                // Simulated SIGKILL: die holding the lease, without
+                // setting the graceful flag.
+                return;
+            }
+            Some(Fault::WorkerStall(stall)) => std::thread::sleep(stall),
+            _ => {}
+        }
+        let mut report = execute_supervised(envelope.task.clone());
+        // Completion: release the lease (only our own delivery — a
+        // redelivered copy may have re-registered under the same id).
+        {
+            let mut st = shared.state.lock();
+            if st
+                .leases
+                .get(&envelope.job_id)
+                .is_some_and(|lease| lease.delivery == envelope.delivery)
+            {
+                st.leases.remove(&envelope.job_id);
+            }
+        }
+        if !envelope.reported.swap(true, Ordering::SeqCst) {
+            report.redeliveries = envelope.delivery - 1;
+            report.lease_events = envelope.lease_events.clone();
+            // Count before delivering the report: a waiter that
+            // observes the report must also observe the count.
+            shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+            let _ = envelope.report_tx.send(report);
+        }
+        if flags.detached.load(Ordering::SeqCst) {
+            // The supervisor presumed this worker wedged and already
+            // spawned a replacement; exit so the slot has one owner.
+            break;
+        }
+    }
+    flags.graceful.store(true, Ordering::SeqCst);
+}
+
+fn register_lease(shared: &Shared, envelope: &JobEnvelope, slot: usize, generation: u64) {
+    trace::lease_grant(envelope.task.trace_id);
+    let deadline =
+        envelope.task.timeout.map(|timeout| Instant::now() + timeout + shared.config.grace);
+    shared.state.lock().leases.insert(
+        envelope.job_id,
+        Lease {
+            task: envelope.task.clone(),
+            report_tx: envelope.report_tx.clone(),
+            reported: Arc::clone(&envelope.reported),
+            delivery: envelope.delivery,
+            deadline,
+            slot,
+            generation,
+            lease_events: envelope.lease_events.clone(),
+            first_enqueued: envelope.first_enqueued,
+        },
+    );
+}
+
+fn spawn_supervisor(shared: Arc<Shared>, stop: Receiver<()>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("simart-broker-supervisor".to_owned())
+        .spawn(move || {
+            while let Err(RecvTimeoutError::Timeout) = stop.recv_timeout(shared.config.heartbeat) {
+                supervise_tick(&shared);
+            }
+        })
+        .expect("spawning broker supervisor")
+}
+
+/// One supervisor heartbeat: reap, respawn, expire.
+fn supervise_tick(shared: &Arc<Shared>) {
+    let _tick_span = observe::span(|| "supervisor.tick".to_owned());
+    let mut st = shared.state.lock();
+    reap_detached(shared, &mut st);
+    recover_dead_workers(shared, &mut st);
+    expire_leases(shared, &mut st);
+}
+
+fn reap_detached(shared: &Shared, st: &mut SupervisionState) {
+    let mut alive = Vec::with_capacity(st.detached.len());
+    for handle in st.detached.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+            shared.stats.detached_reaped.fetch_add(1, Ordering::SeqCst);
+            observe::count("broker.detached_reaped", 1);
+        } else {
+            alive.push(handle);
+        }
+    }
+    st.detached = alive;
+    observe::gauge("broker.detached_live", st.detached.len() as i64);
+}
+
+fn recover_dead_workers(shared: &Arc<Shared>, st: &mut SupervisionState) {
+    for slot_idx in 0..st.slots.len() {
+        let died = {
+            let slot = &st.slots[slot_idx];
+            slot.handle.as_ref().is_some_and(JoinHandle::is_finished)
+                && !slot.flags.graceful.load(Ordering::SeqCst)
+        };
+        if !died {
+            continue;
+        }
+        let dead_generation = st.slots[slot_idx].generation;
+        if let Some(handle) = st.slots[slot_idx].handle.take() {
+            let _ = handle.join();
+        }
+        if !st.shutdown {
+            respawn(shared, st, slot_idx);
+        }
+        // Whatever lease the dead worker held dies with it: recover it
+        // now instead of waiting out its deadline.
+        let orphaned: Vec<u64> = st
+            .leases
+            .iter()
+            .filter(|(_, lease)| {
+                lease.slot == slot_idx && lease.generation == dead_generation
+            })
+            .map(|(job_id, _)| *job_id)
+            .collect();
+        for job_id in orphaned {
+            if let Some(lease) = st.leases.remove(&job_id) {
+                recover_lease(shared, st, job_id, lease, "worker-died");
+            }
+        }
+    }
+}
+
+fn expire_leases(shared: &Arc<Shared>, st: &mut SupervisionState) {
+    let now = Instant::now();
+    let expired: Vec<u64> = st
+        .leases
+        .iter()
+        .filter(|(_, lease)| lease.deadline.is_some_and(|deadline| now >= deadline))
+        .map(|(job_id, _)| *job_id)
+        .collect();
+    for job_id in expired {
+        let Some(lease) = st.leases.remove(&job_id) else { continue };
+        shared.stats.lease_expirations.fetch_add(1, Ordering::SeqCst);
+        observe::count("broker.lease_expirations", 1);
+        // The owning worker is presumed wedged in the leased task.
+        // Detach it and spawn a replacement — unless the live-detached
+        // cap is reached, in which case fail fast (the pool degrades
+        // rather than leaking more threads).
+        let owner_current =
+            st.slots[lease.slot].generation == lease.generation && !st.shutdown;
+        if owner_current && st.detached.len() >= shared.config.max_detached {
+            dead_letter(shared, lease, "detached-cap");
+            continue;
+        }
+        if owner_current {
+            detach_and_respawn(shared, st, lease.slot);
+        }
+        recover_lease(shared, st, job_id, lease, "lease-expired");
+    }
+}
+
+/// Moves a slot's worker to the detached reap list and spawns its
+/// replacement.
+fn detach_and_respawn(shared: &Arc<Shared>, st: &mut SupervisionState, slot_idx: usize) {
+    let slot = &mut st.slots[slot_idx];
+    slot.flags.detached.store(true, Ordering::SeqCst);
+    if let Some(handle) = slot.handle.take() {
+        st.detached.push(handle);
+    }
+    shared.stats.detached_workers.fetch_add(1, Ordering::SeqCst);
+    observe::gauge("broker.detached_live", st.detached.len() as i64);
+    respawn(shared, st, slot_idx);
+}
+
+/// Spawns a fresh worker into a slot (new generation, fresh flags).
+fn respawn(shared: &Arc<Shared>, st: &mut SupervisionState, slot_idx: usize) {
+    st.next_generation += 1;
+    let generation = st.next_generation;
+    let flags = Arc::new(WorkerFlags::default());
+    let handle = spawn_worker(shared, slot_idx, generation, Arc::clone(&flags));
+    st.slots[slot_idx] = WorkerSlot { handle: Some(handle), flags, generation };
+    shared.stats.worker_respawns.fetch_add(1, Ordering::SeqCst);
+    observe::count("broker.worker_respawns", 1);
+}
+
+/// Redelivers a recovered lease if the cap and queue allow, otherwise
+/// dead-letters it.
+fn recover_lease(
+    shared: &Shared,
+    _st: &mut SupervisionState,
+    job_id: u64,
+    mut lease: Lease,
+    cause: &str,
+) {
+    trace::lease_revoke(lease.task.trace_id);
+    lease.lease_events.push(format!("delivery:{}:{}", lease.delivery, cause));
+    let redeliveries_so_far = lease.delivery - 1;
+    let sender = shared.queue.lock().clone();
+    let Some(sender) = sender else {
+        return dead_letter(shared, lease, cause);
+    };
+    if redeliveries_so_far >= shared.config.max_redeliveries {
+        return dead_letter(shared, lease, cause);
+    }
+    shared.stats.redelivered.fetch_add(1, Ordering::SeqCst);
+    observe::count("broker.redelivered", 1);
+    trace::task_requeue(lease.task.trace_id);
+    trace::enqueue(shared.queue_trace_id);
+    let envelope = JobEnvelope {
+        task: lease.task,
+        report_tx: lease.report_tx,
+        reported: lease.reported,
+        job_id,
+        delivery: lease.delivery + 1,
+        lease_events: lease.lease_events,
+        first_enqueued: lease.first_enqueued,
+    };
+    if let Err(failed) = sender.send(envelope) {
+        // Queue closed between the clone and the send: dead-letter the
+        // envelope we got back instead.
+        let envelope = failed.0;
+        dead_letter(
+            shared,
+            Lease {
+                task: envelope.task,
+                report_tx: envelope.report_tx,
+                reported: envelope.reported,
+                delivery: envelope.delivery - 1,
+                deadline: None,
+                slot: 0,
+                generation: 0,
+                lease_events: envelope.lease_events,
+                first_enqueued: envelope.first_enqueued,
+            },
+            cause,
+        );
+    }
+}
+
+/// Synthesizes the terminal report for a lease that cannot be
+/// redelivered (first-report-wins, like any other delivery).
+fn dead_letter(shared: &Shared, lease: Lease, cause: &str) {
+    shared.stats.dead_lettered.fetch_add(1, Ordering::SeqCst);
+    let redeliveries = lease.delivery - 1;
+    let (state, detached, error) = match cause {
+        "detached-cap" => (
+            TaskState::TimedOut,
+            false,
+            format!(
+                "task lease expired but the detached-worker cap ({}) is reached; \
+                 failing fast without redelivery",
+                shared.config.max_detached
+            ),
+        ),
+        _ if redeliveries > 0 => (
+            TaskState::Quarantined,
+            false,
+            format!(
+                "task quarantined: redelivery cap ({}) exhausted after {} deliveries \
+                 (last cause: {cause})",
+                shared.config.max_redeliveries, lease.delivery
+            ),
+        ),
+        "worker-died" => (
+            TaskState::Failed,
+            false,
+            "worker died holding the task lease; no redeliveries allowed".to_owned(),
+        ),
+        _ => (
+            TaskState::TimedOut,
+            true,
+            format!(
+                "task lease expired (timeout {:?} + grace {:?}); no redeliveries allowed",
+                lease.task.timeout, shared.config.grace
+            ),
+        ),
+    };
+    let report = TaskReport {
+        name: lease.task.name().to_owned(),
+        state,
+        output: None,
+        error: Some(error),
+        attempts: 0,
+        duration: lease.first_enqueued.elapsed(),
+        detached,
+        history: Vec::new(),
+        redeliveries,
+        lease_events: lease.lease_events,
+    };
+    if !lease.reported.swap(true, Ordering::SeqCst) {
+        let _ = lease.report_tx.send(report);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::TaskState;
+    use crate::fault::FaultInjector;
     use std::time::Duration;
+
+    /// Config with tight timings for tests that exercise supervision.
+    fn quick(max_redeliveries: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            heartbeat: Duration::from_millis(10),
+            grace: Duration::from_millis(40),
+            max_redeliveries,
+            ..SupervisorConfig::default()
+        }
+    }
 
     #[test]
     fn tracks_in_flight_counts() {
@@ -281,11 +812,177 @@ mod tests {
         assert_eq!(report.state, TaskState::TimedOut);
         assert!(report.detached);
         assert_eq!(broker.detached_workers(), 1);
+        assert_eq!(broker.lease_expirations(), 1);
         // A well-behaved task leaves the counter alone.
         let ok = broker.submit(Task::new("fine", || Ok(String::new()))).wait();
         assert!(ok.state.is_success());
         assert_eq!(broker.detached_workers(), 1);
         // Let the runaway worker finish before the test exits.
         std::thread::sleep(Duration::from_millis(300));
+    }
+
+    #[test]
+    fn detached_workers_are_reaped_once_they_finish() {
+        let broker =
+            BrokerScheduler::with_config(1, quick(0));
+        let report = broker
+            .submit(
+                Task::new("briefly-wedged", || {
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(String::new())
+                })
+                .timeout(Duration::from_millis(20)),
+            )
+            .wait();
+        assert_eq!(report.state, TaskState::TimedOut);
+        assert_eq!(broker.detached_workers(), 1);
+        assert!(broker.worker_respawns() >= 1);
+        // Once the wedged work unwinds, the supervisor joins the thread
+        // and the live gauge returns to zero.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while broker.detached_live() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(broker.detached_live(), 0, "detached thread was reaped");
+        assert_eq!(broker.detached_reaped(), 1);
+        // The pool is back at strength: a fresh task still runs.
+        let ok = broker.submit(Task::new("after", || Ok(String::new()))).wait();
+        assert!(ok.state.is_success());
+    }
+
+    #[test]
+    fn expired_leases_are_redelivered_up_to_cap() {
+        let broker = BrokerScheduler::with_config(1, quick(2));
+        // Wedges on the first delivery only; redelivery succeeds.
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let report = broker
+            .submit(
+                Task::new("wedge-once", move || {
+                    if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                    Ok("recovered".to_owned())
+                })
+                .timeout(Duration::from_millis(20)),
+            )
+            .wait();
+        assert!(report.state.is_success(), "redelivered task succeeds: {report:?}");
+        assert_eq!(report.redeliveries, 1);
+        assert_eq!(report.lease_events, vec!["delivery:1:lease-expired".to_owned()]);
+        assert_eq!(broker.redelivered(), 1);
+        assert_eq!(broker.lease_expirations(), 1);
+        // Let the wedged first delivery unwind before the test exits.
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    #[test]
+    fn exhausted_redeliveries_are_quarantined() {
+        let broker = BrokerScheduler::with_config(2, quick(1));
+        let report = broker
+            .submit(
+                Task::new("always-wedged", || {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(String::new())
+                })
+                .timeout(Duration::from_millis(20)),
+            )
+            .wait();
+        assert_eq!(report.state, TaskState::Quarantined);
+        assert_eq!(report.redeliveries, 1);
+        assert_eq!(
+            report.lease_events,
+            vec![
+                "delivery:1:lease-expired".to_owned(),
+                "delivery:2:lease-expired".to_owned()
+            ]
+        );
+        assert!(report.error.as_deref().unwrap_or("").contains("redelivery cap"));
+        assert_eq!(broker.dead_lettered(), 1);
+        assert_eq!(broker.in_flight(), 0);
+        // Let both wedged deliveries unwind before the test exits.
+        std::thread::sleep(Duration::from_millis(450));
+    }
+
+    #[test]
+    fn killed_workers_are_respawned_and_tasks_redelivered() {
+        // Kill the worker on the first delivery only.
+        let injector =
+            Arc::new(FaultInjector::new(9).worker_kills(1.0).worker_kill_limit(1));
+        let broker = BrokerScheduler::with_config(1, quick(1));
+        let report = broker
+            .submit(
+                Task::new("victim", || Ok("survived".to_owned()))
+                    .fault_injector(Arc::clone(&injector))
+                    .timeout(Duration::from_secs(5)),
+            )
+            .wait();
+        assert!(report.state.is_success(), "redelivered after kill: {report:?}");
+        assert_eq!(report.redeliveries, 1);
+        assert_eq!(report.lease_events, vec!["delivery:1:worker-died".to_owned()]);
+        assert_eq!(injector.injected_kills(), 1);
+        assert!(broker.worker_respawns() >= 1);
+        assert_eq!(broker.redelivered(), 1);
+        // The pool healed: more work still runs.
+        let ok = broker.submit(Task::new("after-kill", || Ok(String::new()))).wait();
+        assert!(ok.state.is_success());
+    }
+
+    #[test]
+    fn injected_delay_past_timeout_expires_the_lease() {
+        // Satellite: a delayed attempt that exceeds the timeout must
+        // produce TimedOut plus one lease expiration — not a hung
+        // wait(). delays(1.0, ..) guarantees the injected delay fires;
+        // assert the drawn magnitude actually exceeds the timeout so
+        // the test cannot silently weaken.
+        let injector = Arc::new(FaultInjector::new(21).delays(1.0, Duration::from_millis(400)));
+        match injector.fault_for("delayed", 1) {
+            Some(Fault::Delay(d)) => {
+                assert!(d > Duration::from_millis(30), "seed must draw a long delay, got {d:?}")
+            }
+            other => panic!("expected a delay fault, got {other:?}"),
+        }
+        let broker = BrokerScheduler::with_config(1, quick(0));
+        let report = broker
+            .submit(
+                Task::new("delayed", || Ok(String::new()))
+                    .fault_injector(Arc::clone(&injector))
+                    .timeout(Duration::from_millis(30)),
+            )
+            .wait();
+        assert_eq!(report.state, TaskState::TimedOut);
+        assert!(report.detached);
+        assert_eq!(broker.lease_expirations(), 1);
+        // Let the delayed delivery unwind before the test exits.
+        std::thread::sleep(Duration::from_millis(450));
+    }
+
+    #[test]
+    fn detached_cap_fails_fast_instead_of_leaking() {
+        let config = SupervisorConfig {
+            heartbeat: Duration::from_millis(10),
+            grace: Duration::from_millis(20),
+            max_redeliveries: 0,
+            max_detached: 1,
+        };
+        let broker = BrokerScheduler::with_config(2, config);
+        let wedge = |name: &str| {
+            broker.submit(
+                Task::new(name.to_owned(), || {
+                    std::thread::sleep(Duration::from_millis(300));
+                    Ok(String::new())
+                })
+                .timeout(Duration::from_millis(20)),
+            )
+        };
+        let first = wedge("wedge-1").wait();
+        assert_eq!(first.state, TaskState::TimedOut);
+        assert_eq!(broker.detached_workers(), 1);
+        // The second wedge hits the cap: fail fast, no extra detach.
+        let second = wedge("wedge-2").wait();
+        assert_eq!(second.state, TaskState::TimedOut);
+        assert!(second.error.as_deref().unwrap_or("").contains("detached-worker cap"));
+        assert_eq!(broker.detached_workers(), 1, "no second detach past the cap");
+        std::thread::sleep(Duration::from_millis(350));
     }
 }

@@ -11,6 +11,14 @@
 //! survive: panics (caught and converted to task failures), spurious
 //! errors (retried under the task's [`RetryPolicy`](crate::RetryPolicy)),
 //! and injected delays (which push slow tasks into their deadlines).
+//!
+//! A second family of *worker* faults ([`Fault::WorkerStall`] and
+//! [`Fault::WorkerKill`]) models the execution environment rather than
+//! the task payload: a stalled or killed worker thread. These are drawn
+//! from a separate deterministic stream keyed by `(seed, task name,
+//! delivery)` so enabling them never perturbs the per-attempt fault
+//! plan, and they are only interpreted by the broker's supervision
+//! layer ([`BrokerScheduler`](crate::BrokerScheduler)).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,6 +33,13 @@ pub enum Fault {
     SpuriousError,
     /// The attempt is delayed before the real work runs.
     Delay(Duration),
+    /// The worker thread stalls for the given duration while holding
+    /// its task lease (the task itself is untouched).
+    WorkerStall(Duration),
+    /// The worker thread dies abruptly while holding its task lease,
+    /// as if SIGKILLed; the lease dangles until a supervisor recovers
+    /// it.
+    WorkerKill,
 }
 
 impl fmt::Display for Fault {
@@ -33,6 +48,8 @@ impl fmt::Display for Fault {
             Fault::Panic => f.write_str("panic"),
             Fault::SpuriousError => f.write_str("spurious error"),
             Fault::Delay(d) => write!(f, "delay({d:?})"),
+            Fault::WorkerStall(d) => write!(f, "worker-stall({d:?})"),
+            Fault::WorkerKill => f.write_str("worker-kill"),
         }
     }
 }
@@ -48,9 +65,15 @@ pub struct FaultInjector {
     error_rate: f64,
     delay_rate: f64,
     max_delay: Duration,
+    stall_rate: f64,
+    max_stall: Duration,
+    kill_rate: f64,
+    kill_limit: u64,
     injected_panics: AtomicU64,
     injected_errors: AtomicU64,
     injected_delays: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_kills: AtomicU64,
 }
 
 impl FaultInjector {
@@ -63,9 +86,15 @@ impl FaultInjector {
             error_rate: 0.0,
             delay_rate: 0.0,
             max_delay: Duration::ZERO,
+            stall_rate: 0.0,
+            max_stall: Duration::ZERO,
+            kill_rate: 0.0,
+            kill_limit: u64::MAX,
             injected_panics: AtomicU64::new(0),
             injected_errors: AtomicU64::new(0),
             injected_delays: AtomicU64::new(0),
+            injected_stalls: AtomicU64::new(0),
+            injected_kills: AtomicU64::new(0),
         }
     }
 
@@ -85,6 +114,30 @@ impl FaultInjector {
     pub fn delays(mut self, rate: f64, max_delay: Duration) -> FaultInjector {
         self.delay_rate = rate.clamp(0.0, 1.0);
         self.max_delay = max_delay;
+        self
+    }
+
+    /// Stalls a fraction `rate` of worker deliveries by up to
+    /// `max_stall`.
+    pub fn worker_stalls(mut self, rate: f64, max_stall: Duration) -> FaultInjector {
+        self.stall_rate = rate.clamp(0.0, 1.0);
+        self.max_stall = max_stall;
+        self
+    }
+
+    /// Kills the worker on a fraction `rate` of deliveries.
+    pub fn worker_kills(mut self, rate: f64) -> FaultInjector {
+        self.kill_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps the total number of worker kills this injector will apply
+    /// (default: unlimited). The plan ([`Self::worker_fault_for`]) is
+    /// unaffected; the cap only gates [`Self::take_worker_fault`],
+    /// which lets chaos tests kill a worker exactly once and then let
+    /// the redelivered task succeed.
+    pub fn worker_kill_limit(mut self, limit: u64) -> FaultInjector {
+        self.kill_limit = limit;
         self
     }
 
@@ -135,6 +188,58 @@ impl FaultInjector {
                 self.injected_panics.fetch_add(1, Ordering::SeqCst);
                 panic!("injected fault: panic ({task} attempt {attempt})");
             }
+            // Worker faults come only from `worker_fault_for` / the
+            // broker's `take_worker_fault` path, never `fault_for`.
+            Some(Fault::WorkerStall(_) | Fault::WorkerKill) => unreachable!(
+                "fault_for never returns worker faults"
+            ),
+        }
+    }
+
+    /// The worker fault (if any) for this `(task, delivery)` pair.
+    /// Pure, like [`Self::fault_for`], and drawn from a separate
+    /// stream: enabling worker faults never changes which per-attempt
+    /// faults fire. Only ever returns [`Fault::WorkerStall`] or
+    /// [`Fault::WorkerKill`].
+    pub fn worker_fault_for(&self, task: &str, delivery: u32) -> Option<Fault> {
+        let stream = self.seed ^ fnv1a(task.as_bytes()) ^ WORKER_STREAM_SALT;
+        let category = unit_draw(stream, u64::from(delivery) << 1);
+        let stall_edge = self.stall_rate;
+        let kill_edge = stall_edge + self.kill_rate;
+        if category < stall_edge {
+            let magnitude = unit_draw(stream, (u64::from(delivery) << 1) | 1);
+            Some(Fault::WorkerStall(Duration::from_secs_f64(
+                self.max_stall.as_secs_f64() * magnitude,
+            )))
+        } else if category < kill_edge {
+            Some(Fault::WorkerKill)
+        } else {
+            None
+        }
+    }
+
+    /// Claims the worker fault for this delivery, counting it and
+    /// applying the kill budget ([`Self::worker_kill_limit`]). Returns
+    /// the fault for the *caller* to act on (the injector cannot kill
+    /// the calling thread itself); a kill past the budget is reported
+    /// as `None`.
+    pub fn take_worker_fault(&self, task: &str, delivery: u32) -> Option<Fault> {
+        match self.worker_fault_for(task, delivery) {
+            Some(Fault::WorkerStall(stall)) => {
+                self.injected_stalls.fetch_add(1, Ordering::SeqCst);
+                Some(Fault::WorkerStall(stall))
+            }
+            Some(Fault::WorkerKill) => {
+                let limit = self.kill_limit;
+                let claimed = self
+                    .injected_kills
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |kills| {
+                        (kills < limit).then_some(kills + 1)
+                    })
+                    .is_ok();
+                claimed.then_some(Fault::WorkerKill)
+            }
+            _ => None,
         }
     }
 
@@ -153,9 +258,23 @@ impl FaultInjector {
         self.injected_delays.load(Ordering::SeqCst)
     }
 
-    /// Total faults injected so far.
+    /// Worker stalls injected so far.
+    pub fn injected_stalls(&self) -> u64 {
+        self.injected_stalls.load(Ordering::SeqCst)
+    }
+
+    /// Worker kills injected so far (never exceeds the kill limit).
+    pub fn injected_kills(&self) -> u64 {
+        self.injected_kills.load(Ordering::SeqCst)
+    }
+
+    /// Total faults injected so far, worker faults included.
     pub fn injected_total(&self) -> u64 {
-        self.injected_panics() + self.injected_errors() + self.injected_delays()
+        self.injected_panics()
+            + self.injected_errors()
+            + self.injected_delays()
+            + self.injected_stalls()
+            + self.injected_kills()
     }
 }
 
@@ -171,6 +290,10 @@ impl fmt::Debug for FaultInjector {
             .finish()
     }
 }
+
+/// Salt separating the worker-fault stream from the per-attempt fault
+/// stream for the same `(seed, task)` pair.
+const WORKER_STREAM_SALT: u64 = 0x574F_524B_4552_2121; // "WORKER!!"
 
 /// FNV-1a over the task name, mixing it into the per-task stream.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -266,6 +389,51 @@ mod tests {
     }
 
     #[test]
+    fn worker_faults_use_a_separate_stream() {
+        let plain = FaultInjector::new(42).errors(0.4).delays(0.3, Duration::from_millis(5));
+        let with_worker = FaultInjector::new(42)
+            .errors(0.4)
+            .delays(0.3, Duration::from_millis(5))
+            .worker_stalls(0.5, Duration::from_millis(5))
+            .worker_kills(0.5);
+        // Enabling worker faults must not perturb the attempt plan.
+        for attempt in 1..64 {
+            assert_eq!(plain.fault_for("t", attempt), with_worker.fault_for("t", attempt));
+        }
+        // And attempt-only injectors never produce worker faults.
+        for delivery in 1..64 {
+            assert_eq!(plain.worker_fault_for("t", delivery), None);
+        }
+    }
+
+    #[test]
+    fn worker_kill_limit_caps_take_but_not_the_plan() {
+        let injector = FaultInjector::new(6).worker_kills(1.0).worker_kill_limit(1);
+        assert_eq!(injector.worker_fault_for("t", 1), Some(Fault::WorkerKill));
+        assert_eq!(injector.worker_fault_for("t", 2), Some(Fault::WorkerKill));
+        assert_eq!(injector.take_worker_fault("t", 1), Some(Fault::WorkerKill));
+        assert_eq!(injector.take_worker_fault("t", 2), None);
+        assert_eq!(injector.injected_kills(), 1);
+    }
+
+    #[test]
+    fn worker_stalls_are_deterministic_and_bounded() {
+        let a = FaultInjector::new(8).worker_stalls(1.0, Duration::from_millis(20));
+        let b = FaultInjector::new(8).worker_stalls(1.0, Duration::from_millis(20));
+        for delivery in 1..32 {
+            let fault = a.worker_fault_for("t", delivery);
+            assert_eq!(fault, b.worker_fault_for("t", delivery));
+            match fault {
+                Some(Fault::WorkerStall(d)) => assert!(d <= Duration::from_millis(20)),
+                other => panic!("expected a stall, got {other:?}"),
+            }
+        }
+        assert!(a.take_worker_fault("t", 1).is_some());
+        assert_eq!(a.injected_stalls(), 1);
+        assert_eq!(a.injected_total(), 1);
+    }
+
+    #[test]
     fn rates_partition_the_unit_interval() {
         let injector =
             FaultInjector::new(11).panics(0.25).errors(0.25).delays(0.25, Duration::from_millis(1));
@@ -275,6 +443,9 @@ mod tests {
                 Some(Fault::Panic) => counts[0] += 1,
                 Some(Fault::SpuriousError) => counts[1] += 1,
                 Some(Fault::Delay(_)) => counts[2] += 1,
+                Some(Fault::WorkerStall(_) | Fault::WorkerKill) => {
+                    panic!("attempt stream never yields worker faults")
+                }
                 None => counts[3] += 1,
             }
         }

@@ -27,6 +27,14 @@
 //! per-attempt history ([`AttemptRecord`]), which is bit-identical
 //! across runs with equal seeds.
 //!
+//! The broker additionally *supervises* its workers: dequeued jobs
+//! carry leases, a heartbeat supervisor redelivers work whose lease
+//! expired or whose worker died (up to
+//! [`SupervisorConfig::max_redeliveries`]), respawns dead workers, and
+//! reaps detached threads. Tasks that exhaust redelivery are
+//! dead-lettered as [`TaskState::Quarantined`]. See
+//! [`BrokerScheduler::with_config`].
+//!
 //! ```
 //! use simart_tasks::{PoolScheduler, Scheduler, Task};
 //!
@@ -46,6 +54,7 @@ mod fault;
 mod pool;
 mod retry;
 mod serial;
+mod supervise;
 mod task;
 pub(crate) mod trace;
 
@@ -54,6 +63,7 @@ pub use fault::{Fault, FaultInjector};
 pub use pool::PoolScheduler;
 pub use retry::{Backoff, RetryPolicy};
 pub use serial::SerialScheduler;
+pub use supervise::SupervisorConfig;
 pub use task::{AttemptDisposition, AttemptRecord, Task, TaskHandle, TaskReport, TaskState};
 
 /// A task scheduler: accepts tasks, returns handles to their results.
@@ -237,6 +247,63 @@ mod tests {
         assert_eq!(snap.metrics.get("pool.enqueued"), Some(&observe::MetricValue::Counter(4)));
         assert_eq!(snap.metrics.get("broker.enqueued"), Some(&observe::MetricValue::Counter(2)));
         observe::reset();
+    }
+
+    #[test]
+    fn pool_drop_drains_while_broker_shutdown_discards() {
+        // Side-by-side pin of the two shutdown semantics: a dropped
+        // pool runs every queued task to completion, while a broker
+        // told to shut down discards its queue and synthesizes failure
+        // reports. Both use one gated worker so submissions stay
+        // queued until we decide their fate.
+        use crossbeam::channel::unbounded;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        let pool_ran = Arc::new(AtomicU32::new(0));
+        {
+            let pool = PoolScheduler::new(1);
+            let (gate_tx, gate_rx) = unbounded::<()>();
+            let _gated = pool.submit(Task::new("gate", move || {
+                let _ = gate_rx.recv();
+                Ok(String::new())
+            }));
+            for i in 0..3 {
+                let ran = Arc::clone(&pool_ran);
+                let _ = pool.submit(Task::new(format!("pool-{i}"), move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    Ok(String::new())
+                }));
+            }
+            gate_tx.send(()).unwrap();
+            // Pool dropped here: queued tasks drain to completion.
+        }
+        assert_eq!(pool_ran.load(Ordering::SeqCst), 3, "pool drop drains the queue");
+
+        let broker_ran = Arc::new(AtomicU32::new(0));
+        let broker = BrokerScheduler::new(1);
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let gated = broker.submit(Task::new("gate", move || {
+            let _ = gate_rx.recv();
+            Ok(String::new())
+        }));
+        let queued: Vec<_> = (0..3)
+            .map(|i| {
+                let ran = Arc::clone(&broker_ran);
+                broker.submit(Task::new(format!("broker-{i}"), move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    Ok(String::new())
+                }))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.shutdown_now(), 3, "broker shutdown discards the queue");
+        gate_tx.send(()).unwrap();
+        assert!(gated.wait().state.is_success());
+        for handle in queued {
+            assert_eq!(handle.wait().state, TaskState::Failed);
+        }
+        assert_eq!(broker_ran.load(Ordering::SeqCst), 0, "discarded tasks never ran");
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use crate::task::{execute_reporting, Task, TaskHandle, TaskReport};
 use crate::{trace, Scheduler};
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use simart_observe as observe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 
 type Job = (Task, Sender<TaskReport>);
@@ -11,11 +13,16 @@ type Job = (Task, Sender<TaskReport>);
 /// A fixed pool of worker threads draining a shared queue.
 ///
 /// Dropping the pool signals shutdown and joins the workers; queued
-/// tasks still run to completion first.
+/// tasks still run to completion first. For the broker's
+/// discard-on-shutdown semantics instead, call [`Self::shutdown_now`].
 #[derive(Debug)]
 pub struct PoolScheduler {
-    queue: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    queue: Mutex<Option<Sender<Job>>>,
+    /// The pool's own view of the queue, used by [`Self::shutdown_now`]
+    /// to drain jobs the workers will never run.
+    pending: Receiver<Job>,
+    dropped: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     size: usize,
     queue_trace_id: u64,
 }
@@ -45,12 +52,46 @@ impl PoolScheduler {
                     .expect("spawning pool worker")
             })
             .collect();
-        PoolScheduler { queue: Some(tx), workers, size, queue_trace_id }
+        PoolScheduler {
+            queue: Mutex::new(Some(tx)),
+            pending: rx,
+            dropped: AtomicU64::new(0),
+            workers: Mutex::new(workers),
+            size,
+            queue_trace_id,
+        }
     }
 
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Closes the queue and discards still-queued jobs without running
+    /// them (in-progress tasks finish) — the same semantics as
+    /// [`BrokerScheduler::shutdown_now`](crate::BrokerScheduler::shutdown_now),
+    /// in contrast to the pool's default drop behaviour of draining the
+    /// queue to completion. Handles of discarded tasks resolve to
+    /// synthesized "scheduler dropped task" failure reports; later
+    /// submissions are dropped the same way. Returns the number of
+    /// jobs discarded by this call.
+    pub fn shutdown_now(&self) -> u64 {
+        let _ = self.queue.lock().take();
+        let mut discarded = 0u64;
+        // Race with workers draining the same queue is fine: each job
+        // goes to exactly one side.
+        while let Ok((_task, report_tx)) = self.pending.try_recv() {
+            drop(report_tx);
+            discarded += 1;
+        }
+        self.dropped.fetch_add(discarded, Ordering::SeqCst);
+        discarded
+    }
+
+    /// Tasks dropped without execution (shutdown or post-shutdown
+    /// submission).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
     }
 }
 
@@ -59,14 +100,24 @@ impl Scheduler for PoolScheduler {
         let name = task.name().to_owned();
         let (tx, rx) = bounded(1);
         task.stamp_queued();
-        observe::count("pool.enqueued", 1);
         trace::task_submit(task.trace_id);
-        trace::enqueue(self.queue_trace_id);
-        self.queue
-            .as_ref()
-            .expect("queue alive until drop")
-            .send((task, tx))
-            .expect("workers alive until drop");
+        match self.queue.lock().as_ref() {
+            Some(sender) => {
+                observe::count("pool.enqueued", 1);
+                trace::enqueue(self.queue_trace_id);
+                if sender.send((task, tx)).is_err() {
+                    // All receivers gone: degrade to the drop path
+                    // instead of panicking.
+                    self.dropped.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            None => {
+                // Shut down: drop the report sender so the handle
+                // resolves to a synthesized failure.
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+                drop(tx);
+            }
+        }
         TaskHandle { receiver: rx, name }
     }
 
@@ -78,8 +129,8 @@ impl Scheduler for PoolScheduler {
 impl Drop for PoolScheduler {
     fn drop(&mut self) {
         // Closing the channel lets workers drain and exit.
-        self.queue.take();
-        for worker in self.workers.drain(..) {
+        self.queue.get_mut().take();
+        for worker in self.workers.get_mut().drain(..) {
             let _ = worker.join();
         }
     }
@@ -88,6 +139,7 @@ impl Drop for PoolScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::TaskState;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
@@ -132,6 +184,33 @@ mod tests {
             // Pool dropped here.
         }
         assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn shutdown_now_discards_queued_tasks() {
+        let pool = PoolScheduler::new(1);
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let first = pool.submit(Task::new("gated", move || {
+            let _ = gate_rx.recv();
+            Ok("released".to_owned())
+        }));
+        let queued: Vec<_> = (0..3)
+            .map(|i| pool.submit(Task::new(format!("queued-{i}"), || Ok(String::new()))))
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        let discarded = pool.shutdown_now();
+        assert_eq!(discarded, 3);
+        gate_tx.send(()).unwrap();
+        assert!(first.wait().state.is_success(), "in-progress task finishes");
+        for handle in queued {
+            let report = handle.wait();
+            assert_eq!(report.state, TaskState::Failed);
+            assert!(report.error.as_deref().unwrap_or("").contains("scheduler dropped task"));
+        }
+        // Submissions after shutdown are dropped the same way.
+        let late = pool.submit(Task::new("late", || Ok(String::new()))).wait();
+        assert_eq!(late.state, TaskState::Failed);
+        assert_eq!(pool.dropped(), 4);
     }
 
     #[test]

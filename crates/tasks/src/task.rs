@@ -24,6 +24,10 @@ pub enum TaskState {
     Failed,
     /// Exceeded its timeout and was terminated.
     TimedOut,
+    /// Exhausted the broker's redelivery cap (its lease expired or its
+    /// worker died on every delivery) and was dead-lettered. Terminal:
+    /// the task is never automatically retried or redelivered again.
+    Quarantined,
 }
 
 impl TaskState {
@@ -39,6 +43,7 @@ impl fmt::Display for TaskState {
             TaskState::Succeeded => f.write_str("succeeded"),
             TaskState::Failed => f.write_str("failed"),
             TaskState::TimedOut => f.write_str("timed-out"),
+            TaskState::Quarantined => f.write_str("quarantined"),
         }
     }
 }
@@ -192,6 +197,13 @@ pub struct TaskReport {
     pub detached: bool,
     /// Per-attempt history, in order.
     pub history: Vec<AttemptRecord>,
+    /// How many times the broker's supervisor redelivered the task
+    /// after a lease expired or its worker died (`0` outside the
+    /// broker or when nothing went wrong).
+    pub redeliveries: u32,
+    /// Supervisor lease events (`"delivery:<n>:<cause>"`), in order.
+    /// Empty outside the broker or when no lease was ever recovered.
+    pub lease_events: Vec<String>,
 }
 
 impl TaskReport {
@@ -207,6 +219,8 @@ impl TaskReport {
             duration: Duration::ZERO,
             detached: false,
             history: Vec::new(),
+            redeliveries: 0,
+            lease_events: Vec::new(),
         }
     }
 }
@@ -248,11 +262,26 @@ impl TaskHandle {
 /// and total deadlines, fault injection — and returns its report.
 /// Shared by all schedulers.
 pub(crate) fn execute(task: Task) -> TaskReport {
+    execute_mode(task, false)
+}
+
+/// Executes one task under external (lease-based) supervision: no
+/// watchdog thread is spawned and neither the task timeout nor the
+/// policy's per-attempt deadline is enforced in-process — the broker's
+/// supervisor enforces the deadline via the task's lease, so a runaway
+/// attempt wedges only its worker thread instead of leaking an
+/// unreaped watchdog thread per attempt.
+pub(crate) fn execute_supervised(task: Task) -> TaskReport {
+    execute_mode(task, true)
+}
+
+fn execute_mode(task: Task, supervised: bool) -> TaskReport {
     let Task { name, work, timeout, policy, fault, trace_id, queue_stamp } = task;
     queue_stamp.observe_into("tasks.queue_wait_us");
     observe::count("tasks.executed", 1);
     let _task_span = observe::span(|| format!("task:{name}"));
-    let attempt_deadline = timeout.or(policy.per_attempt_deadline());
+    let attempt_deadline =
+        if supervised { None } else { timeout.or(policy.per_attempt_deadline()) };
     let started = Instant::now();
     let mut attempts = 0u32;
     let mut history = Vec::new();
@@ -324,6 +353,8 @@ pub(crate) fn execute(task: Task) -> TaskReport {
         duration: started.elapsed(),
         detached,
         history,
+        redeliveries: 0,
+        lease_events: Vec::new(),
     }
 }
 
@@ -580,6 +611,23 @@ mod tests {
         assert_eq!(report.attempts, 2);
         assert_eq!(injector.injected_panics(), 2);
         assert!(report.error.as_deref().unwrap_or("").contains("panic"));
+    }
+
+    #[test]
+    fn supervised_execution_leaves_deadlines_to_the_lease() {
+        // Under supervision no watchdog thread runs: a task slower than
+        // its timeout completes normally (the broker's lease, not the
+        // executor, decides when it is overdue).
+        let task = Task::new("slowish", || {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok("late but fine".to_owned())
+        })
+        .timeout(Duration::from_millis(10));
+        let report = execute_supervised(task);
+        assert!(report.state.is_success());
+        assert!(!report.detached);
+        assert_eq!(report.redeliveries, 0);
+        assert!(report.lease_events.is_empty());
     }
 
     #[test]

@@ -47,6 +47,23 @@ pub(crate) fn task_requeue(_id: u64) {
     tracepoint::record(tracepoint::Op::TaskRequeue(_id));
 }
 
+/// A worker took the lease on a dequeued task (supervision hand-off:
+/// everything the worker did before granting happens-before the
+/// supervisor's revoke).
+#[inline(always)]
+pub(crate) fn lease_grant(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::LeaseGrant(_id));
+}
+
+/// The supervisor revoked an expired or orphaned lease (redelivery or
+/// dead-letter follows).
+#[inline(always)]
+pub(crate) fn lease_revoke(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::LeaseRevoke(_id));
+}
+
 /// A job entered a pool/broker work queue.
 #[inline(always)]
 pub(crate) fn enqueue(_queue: u64) {
