@@ -86,6 +86,12 @@ pub enum LintCode {
     /// not `quarantined` (it was re-queued without a release, so its
     /// results may rest on a run the supervisor gave up on).
     QuarantinedRunReferenced,
+    /// SA0015: a run's event log records a remote dispatch to a worker
+    /// generation that never acked and was never re-delivered,
+    /// re-queued, or quarantined — the attempt was orphaned by a
+    /// coordinator crash, so the run's recorded status cannot be
+    /// trusted to reflect its last delivery.
+    OrphanedRemoteAttempt,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -107,6 +113,7 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::UnreplayedJournal,
     LintCode::JournalDivergence,
     LintCode::QuarantinedRunReferenced,
+    LintCode::OrphanedRemoteAttempt,
     LintCode::DataRace,
 ];
 
@@ -128,6 +135,7 @@ impl LintCode {
             LintCode::UnreplayedJournal => "SA0012",
             LintCode::JournalDivergence => "SA0013",
             LintCode::QuarantinedRunReferenced => "SA0014",
+            LintCode::OrphanedRemoteAttempt => "SA0015",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -149,6 +157,7 @@ impl LintCode {
             LintCode::UnreplayedJournal => "unreplayed-journal",
             LintCode::JournalDivergence => "journal-divergence",
             LintCode::QuarantinedRunReferenced => "quarantined-run-referenced",
+            LintCode::OrphanedRemoteAttempt => "orphaned-remote-attempt",
             LintCode::DataRace => "data-race",
         }
     }
@@ -160,7 +169,8 @@ impl LintCode {
             | LintCode::DuplicateArtifact
             | LintCode::DuplicateRunHash
             | LintCode::StatusEventMismatch
-            | LintCode::UnreplayedJournal => Severity::Warning,
+            | LintCode::UnreplayedJournal
+            | LintCode::OrphanedRemoteAttempt => Severity::Warning,
             _ => Severity::Error,
         }
     }

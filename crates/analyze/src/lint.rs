@@ -207,6 +207,7 @@ fn lint_runs(db: &Database, artifact_ids: &HashSet<String>, diagnostics: &mut Ve
             by_hash.entry(hash.to_owned()).or_default().push(id.to_owned());
         }
         replay_events(doc, &subject, diagnostics);
+        lint_remote_attempts(doc, &subject, diagnostics);
     }
     for (hash, dup_ids) in by_hash {
         if dup_ids.len() > 1 {
@@ -317,6 +318,40 @@ fn replay_events(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) 
     }
 }
 
+/// Scans a run's event log for orphaned remote attempts (SA0015): a
+/// `remote-dispatch:<delivery>:g<generation>` that is never followed
+/// by a `remote-ack`, another dispatch (a redelivery supersedes the
+/// orphan), a quarantine, or a re-queue. Such a run was dispatched to
+/// a worker whose answer the coordinator never journaled — the
+/// signature of a coordinator crash mid-campaign — so its recorded
+/// status may not reflect its last delivery.
+fn lint_remote_attempts(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) {
+    let mut open: Option<&str> = None;
+    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
+        let Some(event) = event.as_str() else { continue };
+        if let Some(dispatch) = event.strip_prefix("remote-dispatch:") {
+            open = Some(dispatch);
+        } else if event.starts_with("remote-ack:")
+            || event == "status:queued"
+            || event == "status:quarantined"
+        {
+            open = None;
+        }
+    }
+    if let Some(dispatch) = open {
+        let (delivery, generation) = dispatch.split_once(":g").unwrap_or((dispatch, "?"));
+        diagnostics.push(Diagnostic::new(
+            LintCode::OrphanedRemoteAttempt,
+            subject.to_owned(),
+            format!(
+                "last remote dispatch (delivery {delivery} to worker generation \
+                 {generation}) was never acked, re-delivered, or quarantined — \
+                 orphaned by a coordinator crash?"
+            ),
+        ));
+    }
+}
+
 /// Checks one blob-key reference against the in-memory blob store
 /// (SA0004 for unparseable keys and for keys absent from the store).
 fn check_blob_ref(db: &Database, subject: &str, hex: &str, diagnostics: &mut Vec<Diagnostic>) {
@@ -392,15 +427,22 @@ pub fn self_test() -> Result<String, String> {
     // A clean database must lint clean.
     let clean = Database::in_memory();
     seed_artifact(&clean, uuid("clean-a"), &[], "hash-clean", None);
+    // Remote controls ride along: a re-delivered dispatch superseded by
+    // a later one, and a final dispatch that was acked, are both fine.
     seed_run(&clean, "run-clean", "rh-clean", "done", &[uuid("clean-a")], &[
         "status:queued",
+        "remote-dispatch:1:g1",
+        "remote-dispatch:2:g2",
         "status:running",
+        "remote-ack:2:g2",
         "status:done",
     ]);
     // Quarantine controls: a consistent quarantined run and a released
-    // dead letter (even for a long-gone run) are both fine.
+    // dead letter (even for a long-gone run) are both fine — including
+    // when the quarantine itself closes an unacked remote dispatch.
     seed_run(&clean, "run-clean-q", "rh-clean-q", "quarantined", &[], &[
         "status:queued",
+        "remote-dispatch:1:g1",
         "status:quarantined",
     ]);
     seed_dead_letter(&clean, "run-clean-q", false);
@@ -450,6 +492,13 @@ pub fn self_test() -> Result<String, String> {
     // a release.
     seed_run(&db, "run-7", "rh-7", "queued", &[], &["status:queued"]);
     seed_dead_letter(&db, "run-7", false);
+    // SA0015: a remote dispatch with no ack, redelivery, re-queue, or
+    // quarantine after it (the run document froze mid-delivery).
+    seed_run(&db, "run-8", "rh-8", "running", &[], &[
+        "status:queued",
+        "status:running",
+        "remote-dispatch:1:g1",
+    ]);
 
     let diags = lint_database(&db);
     let expect = [
@@ -463,6 +512,7 @@ pub fn self_test() -> Result<String, String> {
         LintCode::DuplicateRunHash,
         LintCode::StatusEventMismatch,
         LintCode::QuarantinedRunReferenced,
+        LintCode::OrphanedRemoteAttempt,
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {
@@ -642,6 +692,37 @@ mod tests {
         ]);
         seed_dead_letter(&db, "q", false);
         assert!(lint_database(&db).is_empty());
+    }
+
+    #[test]
+    fn orphaned_remote_dispatch_is_flagged_but_closed_ones_are_not() {
+        fn scan(events: &[&str]) -> Vec<Diagnostic> {
+            let doc = Value::map([(
+                "events",
+                Value::array(events.iter().map(|e| Value::from(*e))),
+            )]);
+            let mut diags = Vec::new();
+            lint_remote_attempts(&doc, "run:t", &mut diags);
+            diags
+        }
+        // Open dispatch at end of log: orphaned.
+        let diags = scan(&["status:queued", "status:running", "remote-dispatch:2:g3"]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::OrphanedRemoteAttempt);
+        assert!(diags[0].message.contains("delivery 2"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("generation 3"), "{}", diags[0].message);
+        // An ack, a re-queue, or a quarantine closes the dispatch; a
+        // later dispatch supersedes (redelivery), so only an open final
+        // one counts.
+        for closer in ["remote-ack:1:g1", "status:queued", "status:quarantined"] {
+            let diags = scan(&["status:queued", "remote-dispatch:1:g1", closer]);
+            assert!(diags.is_empty(), "closer {closer} did not clear the dispatch: {diags:?}");
+        }
+        let diags =
+            scan(&["remote-dispatch:1:g1", "remote-dispatch:2:g2", "remote-ack:2:g2"]);
+        assert!(diags.is_empty(), "{diags:?}");
+        // No remote events at all: nothing to flag.
+        assert!(scan(&["status:queued", "status:running", "status:done"]).is_empty());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * `LockRelease(o)` → the next `LockAcquire(o)`;
 //! * `ChanSend(o)` / `Enqueue(o)` → the matching `ChanRecv(o)` /
 //!   `Dequeue(o)` (per-object FIFO pairing);
+//! * `RemoteDispatch(t)` → the matching `RemoteAck(t)` (the
+//!   coordinator's state up to writing the dispatch frame is visible
+//!   to whoever accepts the worker's result);
 //! * `LeaseGrant(t)` → the matching `LeaseRevoke(t)` (same FIFO
 //!   pairing: the worker's state up to taking the lease is visible to
 //!   the supervisor that revokes it);
@@ -94,10 +97,10 @@ pub fn check(events: &[Event]) -> Vec<Race> {
             Op::LockRelease(o) => {
                 lock_release.insert(o, vc.clone());
             }
-            Op::ChanSend(o) | Op::Enqueue(o) | Op::LeaseGrant(o) => {
+            Op::ChanSend(o) | Op::Enqueue(o) | Op::LeaseGrant(o) | Op::RemoteDispatch(o) => {
                 queued.entry(o).or_default().push_back(vc.clone());
             }
-            Op::ChanRecv(o) | Op::Dequeue(o) | Op::LeaseRevoke(o) => {
+            Op::ChanRecv(o) | Op::Dequeue(o) | Op::LeaseRevoke(o) | Op::RemoteAck(o) => {
                 if let Some(sent) = queued.get_mut(&o).and_then(VecDeque::pop_front) {
                     vc.join(&sent);
                 }
@@ -341,6 +344,27 @@ mod tests {
         let unordered = [
             ev(0, 0, Op::Write(7)),
             ev(1, 1, Op::LeaseRevoke(4)),
+            ev(2, 1, Op::Read(7)),
+        ];
+        assert_eq!(check(&unordered).len(), 1);
+    }
+
+    #[test]
+    fn remote_dispatch_orders_the_acking_coordinator() {
+        // Dispatching thread writes run state before putting the task
+        // on the wire; the reader thread that accepts the worker's
+        // result reads it — ordered by the dispatch→ack edge.
+        let trace = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::RemoteDispatch(4)),
+            ev(2, 1, Op::RemoteAck(4)),
+            ev(3, 1, Op::Read(7)),
+        ];
+        assert!(check(&trace).is_empty());
+        // Without the dispatch edge the same accesses race.
+        let unordered = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 1, Op::RemoteAck(4)),
             ev(2, 1, Op::Read(7)),
         ];
         assert_eq!(check(&unordered).len(), 1);

@@ -31,13 +31,19 @@ use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::ticks::format_ticks;
 use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
 use simart::run::{RunStatus, RunStore};
-use simart::tasks::{BrokerScheduler, FaultInjector, PoolScheduler, RetryPolicy, SupervisorConfig};
+use simart::tasks::{
+    BrokerScheduler, FaultInjector, PoolScheduler, RemoteConfig, RemoteScheduler, RetryPolicy,
+    SupervisorConfig, WorkerCommand,
+};
 use simart::{ExecOutcome, Experiment, LaunchOptions, LaunchSummary};
 use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
+        // Hidden subcommand: run as a remote campaign worker. Stdout
+        // is the wire — the handler registry must never print to it.
+        Some("worker") => simart::tasks::worker_main(&simart::remote::campaign_registry()),
         Some("catalog") => catalog(),
         Some("boot") => boot(&args[1..]),
         Some("parsec") => workload_cmd(&args[1..], "parsec"),
@@ -60,7 +66,8 @@ fn main() {
                  gpu options:      <app> --alloc simple|dynamic\n\
                  campaign options: --db DIR  --resume  --retries N  --suite NAME  --trace-out FILE\n\
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
-                 \u{20}                 --scheduler pool|broker  --max-redeliveries N  --kill-rate R\n\
+                 \u{20}                 --scheduler pool|broker|remote  --workers N\n\
+                 \u{20}                 --max-redeliveries N  --kill-rate R\n\
                  metrics options:  --db DIR  --format text|json\n\
                  quarantine opts:  --db DIR  --format text|json  --release ID\n\
                  check options:    --db DIR  --format text|json  --deny LINT  --allow LINT\n\
@@ -282,34 +289,12 @@ fn register_campaign_artifacts(
     Ok([binary.id(), repo.id(), script.id(), kernel.id(), disk.id()])
 }
 
-/// Boots the configuration one campaign run describes.
+/// Boots the configuration one campaign run describes. The same logic
+/// runs inside remote worker processes via
+/// [`simart::remote::campaign_registry`], so in-process and remote
+/// campaigns measure identically.
 fn execute_campaign_run(run: &simart::run::FsRun) -> Result<ExecOutcome, String> {
-    let params = run.params();
-    let cpu = params
-        .first()
-        .and_then(|s| parse_cpu(s))
-        .ok_or_else(|| format!("bad cpu parameter {:?}", params.first()))?;
-    let cores: u32 = params
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad core count {:?}", params.get(1)))?;
-    let config = SystemConfig::builder()
-        .cpu(cpu)
-        .cores(cores)
-        .fidelity(Fidelity::Standard)
-        .build()
-        .map_err(|e| e.to_string())?;
-    let output = config.boot_only().map_err(|e| e.to_string())?;
-    Ok(ExecOutcome {
-        outcome: output.outcome.to_string(),
-        sim_ticks: output.sim_ticks,
-        payload: format!(
-            "outcome={} ticks={} instructions={}",
-            output.outcome, output.sim_ticks, output.instructions
-        )
-        .into_bytes(),
-        success: output.outcome.is_success(),
-    })
+    simart::remote::execute_campaign_params(run.params())
 }
 
 fn campaign(args: &[String]) -> i32 {
@@ -321,14 +306,16 @@ fn campaign(args: &[String]) -> i32 {
     let fault_seed: u64 = flag(args, "--fault-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
     let kill_rate: f64 = flag(args, "--kill-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let scheduler_kind = flag(args, "--scheduler").unwrap_or_else(|| "pool".to_owned());
-    if scheduler_kind != "pool" && scheduler_kind != "broker" {
-        eprintln!("error: unknown scheduler `{scheduler_kind}` (expected pool or broker)");
+    if !["pool", "broker", "remote"].contains(&scheduler_kind.as_str()) {
+        eprintln!("error: unknown scheduler `{scheduler_kind}` (expected pool, broker, or remote)");
         return 2;
     }
-    // Worker-kill chaos only makes sense under the broker's supervisor;
-    // a killed pool worker would simply strand its run.
-    if kill_rate > 0.0 && scheduler_kind != "broker" {
-        eprintln!("error: --kill-rate requires --scheduler broker");
+    let workers: usize = flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(2);
+    // Worker-kill chaos only makes sense under a supervisor that can
+    // redeliver (the broker's threads or the remote coordinator's
+    // processes); a killed pool worker would simply strand its run.
+    if kill_rate > 0.0 && scheduler_kind == "pool" {
+        eprintln!("error: --kill-rate requires --scheduler broker or remote");
         return 2;
     }
     let max_redeliveries: u32 =
@@ -418,12 +405,40 @@ fn campaign(args: &[String]) -> i32 {
     // `observe` feature).
     simart::observe::reset();
     simart::observe::enable();
-    let summary: LaunchSummary = if scheduler_kind == "broker" {
+    let summary: LaunchSummary = if scheduler_kind == "remote" {
+        // Crash-isolated worker processes: this same binary re-executed
+        // as `simart worker`, speaking the framed wire protocol.
+        let Ok(program) = std::env::current_exe() else {
+            eprintln!("error: cannot locate the simart binary for worker processes");
+            return 2;
+        };
+        let supervisor = SupervisorConfig { max_redeliveries, ..SupervisorConfig::default() };
+        let mut config = RemoteConfig { supervisor, ..RemoteConfig::default() };
+        if kill_rate > 0.0 {
+            // Real SIGKILLs against real worker PIDs, same seed
+            // discipline as the in-process injectors.
+            config.fault =
+                Some(Arc::new(FaultInjector::new(fault_seed).worker_kills(kill_rate)));
+        }
+        let command = WorkerCommand::new(program).arg("worker");
+        let remote = match RemoteScheduler::with_config(command, workers, config) {
+            Ok(remote) => remote,
+            Err(e) => {
+                eprintln!("error: cannot spawn worker processes: {e}");
+                return 2;
+            }
+        };
+        let summary = experiment.launch_remote(runs, &remote, &options);
+        if !remote.shutdown() {
+            eprintln!("warning: remote scheduler shut down with work outstanding");
+        }
+        summary
+    } else if scheduler_kind == "broker" {
         let config = SupervisorConfig { max_redeliveries, ..SupervisorConfig::default() };
-        let broker = BrokerScheduler::with_config(2, config);
+        let broker = BrokerScheduler::with_config(workers, config);
         experiment.launch_with(runs, &broker, execute_campaign_run, &options)
     } else {
-        let pool = PoolScheduler::new(2);
+        let pool = PoolScheduler::new(workers);
         experiment.launch_with(runs, &pool, execute_campaign_run, &options)
     };
     println!(

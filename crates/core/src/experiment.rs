@@ -8,14 +8,19 @@
 //! 4. the database can be queried at any time (⑧).
 
 use parking_lot::Mutex;
-use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry};
+use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry, Uuid};
 use simart_observe as observe;
 use simart_db::{ArtifactStore, Database, DbError, Filter, Value};
 use simart_run::{FsRun, RunError, RunStatus, RunStore};
-use simart_tasks::{FaultInjector, RetryPolicy, Scheduler, Task, TaskReport, TaskState};
+use simart_tasks::{
+    FaultInjector, RemoteEvent, RemoteScheduler, RemoteTaskSpec, RetryPolicy, Scheduler, Task,
+    TaskReport, TaskState,
+};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors surfaced by experiment orchestration.
 #[derive(Debug)]
@@ -343,63 +348,10 @@ impl Experiment {
         let _span = observe::span(|| format!("experiment.launch:{}", self.name));
         let mut summary = LaunchSummary::default();
         let mut handles = Vec::new();
-        for mut fs_run in runs {
-            match self.runs.record(&fs_run) {
-                Ok(()) => {
-                    summary.fresh += 1;
-                    let _ = fs_run.transition(RunStatus::Queued);
-                    let _ = self.runs.transition(fs_run.id(), RunStatus::Queued);
-                }
-                Err(RunError::DuplicateRun { .. }) => {
-                    if !options.resume {
-                        summary.skipped_duplicates += 1;
-                        continue;
-                    }
-                    // Resume: pick up the *stored* record (same id, so
-                    // provenance accumulates on one document).
-                    let stored = match self.runs.find_by_hash(fs_run.run_hash()) {
-                        Ok(Some(stored)) => stored,
-                        _ => {
-                            summary.failed += 1;
-                            continue;
-                        }
-                    };
-                    match stored.status() {
-                        RunStatus::Done => {
-                            summary.skipped_done += 1;
-                            continue;
-                        }
-                        RunStatus::Quarantined => {
-                            // Dead-lettered runs wait for an explicit
-                            // release; resume never takes that edge.
-                            summary.skipped_quarantined += 1;
-                            continue;
-                        }
-                        RunStatus::Queued => {
-                            // Stranded in the queue; already in the
-                            // right state to relaunch.
-                            summary.requeued += 1;
-                        }
-                        RunStatus::Created => {
-                            let _ = self.runs.transition(stored.id(), RunStatus::Queued);
-                            summary.requeued += 1;
-                        }
-                        RunStatus::Running
-                        | RunStatus::Retrying
-                        | RunStatus::Failed
-                        | RunStatus::TimedOut => {
-                            let _ = self.runs.transition(stored.id(), RunStatus::Queued);
-                            summary.requeued += 1;
-                        }
-                    }
-                    fs_run = stored;
-                }
-                Err(_) => {
-                    summary.failed += 1;
-                    continue;
-                }
-            }
-
+        for fs_run in runs {
+            let Some(fs_run) = self.admit(fs_run, options, &mut summary) else {
+                continue;
+            };
             let store = self.runs.clone();
             let execute = execute.clone();
             let policy = options.retry_policy.clone();
@@ -485,24 +437,235 @@ impl Experiment {
                     );
                     let _ = self.runs.transition(run_id, RunStatus::TimedOut);
                 }
-                TaskState::Quarantined => {
-                    summary.quarantined += 1;
-                    // Persist the dead letter first so the quarantine
-                    // record exists by the time the status flips.
-                    let letter = crate::quarantine::DeadLetter {
-                        run_id,
-                        task: report.name.clone(),
-                        error: report.error.clone().unwrap_or_default(),
-                        redeliveries: report.redeliveries,
-                        lease_events: report.lease_events.clone(),
-                        attempts: report.attempts,
-                        released: false,
-                    };
-                    let _ = crate::quarantine::persist(&self.db, &letter);
-                    let _ = self.runs.transition(run_id, RunStatus::Quarantined);
-                }
+                TaskState::Quarantined => self.seal_quarantine(run_id, &report, &mut summary),
             }
             if report.attempts > 1 {
+                summary.retried += 1;
+            }
+        }
+        summary
+    }
+
+    /// Admits one run for launch: records fresh runs (transitioning
+    /// them to `Queued`), skips duplicates, and applies resume
+    /// semantics to previously stored records. Returns the run object
+    /// to execute (the *stored* record when resuming, so provenance
+    /// accumulates on one document) or `None` when the run is skipped;
+    /// `summary` is updated either way.
+    fn admit(
+        &self,
+        mut fs_run: FsRun,
+        options: &LaunchOptions,
+        summary: &mut LaunchSummary,
+    ) -> Option<FsRun> {
+        match self.runs.record(&fs_run) {
+            Ok(()) => {
+                summary.fresh += 1;
+                let _ = fs_run.transition(RunStatus::Queued);
+                let _ = self.runs.transition(fs_run.id(), RunStatus::Queued);
+                Some(fs_run)
+            }
+            Err(RunError::DuplicateRun { .. }) => {
+                if !options.resume {
+                    summary.skipped_duplicates += 1;
+                    return None;
+                }
+                let stored = match self.runs.find_by_hash(fs_run.run_hash()) {
+                    Ok(Some(stored)) => stored,
+                    _ => {
+                        summary.failed += 1;
+                        return None;
+                    }
+                };
+                match stored.status() {
+                    RunStatus::Done => {
+                        summary.skipped_done += 1;
+                        return None;
+                    }
+                    RunStatus::Quarantined => {
+                        // Dead-lettered runs wait for an explicit
+                        // release; resume never takes that edge.
+                        summary.skipped_quarantined += 1;
+                        return None;
+                    }
+                    RunStatus::Queued => {
+                        // Stranded in the queue; already in the right
+                        // state to relaunch.
+                        summary.requeued += 1;
+                    }
+                    RunStatus::Created
+                    | RunStatus::Running
+                    | RunStatus::Retrying
+                    | RunStatus::Failed
+                    | RunStatus::TimedOut => {
+                        let _ = self.runs.transition(stored.id(), RunStatus::Queued);
+                        summary.requeued += 1;
+                    }
+                }
+                Some(stored)
+            }
+            Err(_) => {
+                summary.failed += 1;
+                None
+            }
+        }
+    }
+
+    /// Seals a dead-lettered run: the quarantine record is persisted
+    /// *first* so it exists by the time the status flips to
+    /// `Quarantined`.
+    fn seal_quarantine(&self, run_id: Uuid, report: &TaskReport, summary: &mut LaunchSummary) {
+        summary.quarantined += 1;
+        let letter = crate::quarantine::DeadLetter {
+            run_id,
+            task: report.name.clone(),
+            error: report.error.clone().unwrap_or_default(),
+            redeliveries: report.redeliveries,
+            lease_events: report.lease_events.clone(),
+            attempts: report.attempts,
+            released: false,
+        };
+        let _ = crate::quarantine::persist(&self.db, &letter);
+        let _ = self.runs.transition(run_id, RunStatus::Quarantined);
+    }
+
+    /// Launches runs on the multi-process [`RemoteScheduler`] (steps
+    /// ④–⑦ across a process boundary).
+    ///
+    /// Unlike [`Experiment::launch_with`], no executor closure crosses
+    /// the pipe: each run is encoded as a
+    /// [`crate::remote::CAMPAIGN_KIND`] task whose payload carries the
+    /// run's sweep parameters, and the worker process resolves the
+    /// kind through [`crate::remote::campaign_registry`]. Admission
+    /// (dedup and `--resume` semantics) matches `launch_with`; results
+    /// are decoded and archived here after the ack, and a
+    /// dead-lettered delivery lands in the same quarantine records.
+    ///
+    /// Delivery provenance is journaled onto each run as
+    /// `remote-dispatch:<delivery>:g<generation>` and
+    /// `remote-ack:<delivery>:g<generation>` events — the trail
+    /// `simart check`'s SA0015 audits for attempts orphaned by a
+    /// coordinator crash.
+    ///
+    /// `options.retry_policy`, `options.fault`, and
+    /// `options.worker_fault` are ignored: across a process boundary,
+    /// retries are the supervisor's redeliveries
+    /// ([`simart_tasks::SupervisorConfig::max_redeliveries`]) and
+    /// worker chaos is real SIGKILLs via
+    /// [`simart_tasks::RemoteConfig::fault`]. A run whose submission
+    /// is refused (backpressure deadline or scheduler shutdown) counts
+    /// as failed in the summary but keeps its `Queued` record, so a
+    /// `--resume` relaunch picks it up.
+    pub fn launch_remote(
+        &self,
+        runs: Vec<FsRun>,
+        scheduler: &RemoteScheduler,
+        options: &LaunchOptions,
+    ) -> LaunchSummary {
+        let _span = observe::span(|| format!("experiment.launch_remote:{}", self.name));
+        let mut summary = LaunchSummary::default();
+        let mut admitted = Vec::new();
+        for fs_run in runs {
+            if let Some(fs_run) = self.admit(fs_run, options, &mut summary) {
+                admitted.push(fs_run);
+            }
+        }
+
+        // Task-name -> run-id map for the provenance hook. Names embed
+        // the run hash, so they are unique within the experiment.
+        let ids: Arc<HashMap<String, Uuid>> = Arc::new(
+            admitted
+                .iter()
+                .map(|run| (format!("{}/{}", self.name, run.run_hash()), run.id()))
+                .collect(),
+        );
+        let store = self.runs.clone();
+        scheduler.set_event_hook(move |event| match event {
+            RemoteEvent::Dispatched { task, delivery, generation, .. } => {
+                if let Some(&id) = ids.get(task) {
+                    let _ =
+                        store.log_event(id, &format!("remote-dispatch:{delivery}:g{generation}"));
+                    // Queued -> Running on the first delivery; later
+                    // deliveries find the run already Running and the
+                    // refused edge is simply dropped.
+                    let _ = store.transition(id, RunStatus::Running);
+                }
+            }
+            RemoteEvent::Acked { task, delivery, generation } => {
+                if let Some(&id) = ids.get(task) {
+                    let _ = store.log_event(id, &format!("remote-ack:{delivery}:g{generation}"));
+                }
+            }
+            RemoteEvent::Redelivered { .. } | RemoteEvent::DeadLettered { .. } => {}
+        });
+
+        let mut handles = Vec::new();
+        for fs_run in admitted {
+            let name = format!("{}/{}", self.name, fs_run.run_hash());
+            let spec = RemoteTaskSpec::new(
+                name,
+                crate::remote::CAMPAIGN_KIND,
+                crate::remote::encode_run_payload(fs_run.params()),
+            )
+            .timeout(fs_run.timeout());
+            observe::count("experiment.runs_launched", 1);
+            match scheduler.submit(spec) {
+                Ok(handle) => handles.push((fs_run.id(), handle)),
+                Err(_) => summary.failed += 1,
+            }
+        }
+        for (run_id, handle) in handles {
+            let report: TaskReport = handle.wait();
+            match report.state {
+                TaskState::Succeeded => {
+                    // The worker already ran the simulation; archive
+                    // its outcome under the run record here. A worker
+                    // reporting `success: false` (e.g. a kernel panic)
+                    // still archived real results — only the terminal
+                    // status differs.
+                    match report.output.as_deref().map(crate::remote::decode_outcome) {
+                        Some(Ok(outcome)) => {
+                            let _ = self.runs.attach_results(
+                                run_id,
+                                outcome.sim_ticks,
+                                &outcome.outcome,
+                                &outcome.payload,
+                            );
+                            let disposition =
+                                if outcome.success { "succeeded" } else { "errored" };
+                            let _ =
+                                self.runs.record_attempt(run_id, disposition, Duration::ZERO);
+                            if outcome.success {
+                                summary.done += 1;
+                                let _ = self.runs.transition(run_id, RunStatus::Done);
+                            } else {
+                                summary.failed += 1;
+                                let _ = self.runs.transition(run_id, RunStatus::Failed);
+                            }
+                        }
+                        _ => {
+                            // Version-skewed or mangled outcome
+                            // encoding: fail loudly, never archive a
+                            // guess.
+                            let _ = self.runs.record_attempt(run_id, "errored", Duration::ZERO);
+                            summary.failed += 1;
+                            let _ = self.runs.transition(run_id, RunStatus::Failed);
+                        }
+                    }
+                }
+                TaskState::Failed => {
+                    summary.failed += 1;
+                    let _ = self.runs.record_attempt(run_id, "errored", Duration::ZERO);
+                    let _ = self.runs.transition(run_id, RunStatus::Failed);
+                }
+                TaskState::TimedOut => {
+                    summary.timed_out += 1;
+                    let _ = self.runs.record_attempt(run_id, "timed-out", Duration::ZERO);
+                    let _ = self.runs.transition(run_id, RunStatus::TimedOut);
+                }
+                TaskState::Quarantined => self.seal_quarantine(run_id, &report, &mut summary),
+            }
+            if report.redeliveries > 0 {
                 summary.retried += 1;
             }
         }

@@ -56,6 +56,7 @@ pub mod cross;
 mod experiment;
 pub mod metrics;
 pub mod quarantine;
+pub mod remote;
 pub mod report;
 
 pub use experiment::{ExecOutcome, Experiment, ExperimentError, LaunchOptions, LaunchSummary};

@@ -1,0 +1,208 @@
+//! Campaign execution over the remote (multi-process) scheduler.
+//!
+//! The [`simart_tasks::RemoteScheduler`] ships work to crash-isolated
+//! worker *processes* over a framed pipe protocol, so the executor
+//! closure used by in-process schedulers cannot cross the boundary.
+//! Instead, both sides agree on a task *kind* plus a JSON payload:
+//!
+//! * the coordinator encodes a run's sweep parameters with
+//!   [`encode_run_payload`] and submits a task of kind
+//!   [`CAMPAIGN_KIND`];
+//! * the worker process (the hidden `simart worker` subcommand)
+//!   resolves the kind through [`campaign_registry`], boots the
+//!   configuration with [`execute_campaign_params`], and returns the
+//!   outcome encoded by [`encode_outcome`];
+//! * the coordinator decodes it with [`decode_outcome`] and archives
+//!   results exactly as a local launch would.
+//!
+//! Everything here is deliberately stringly-typed JSON: the payload
+//! travels through [`simart_tasks::wire`] frames, and version skew
+//! between coordinator and worker binaries must fail loudly (a decode
+//! error) rather than silently misinterpret fields.
+
+use crate::experiment::ExecOutcome;
+use simart_db::json::{from_json, to_json};
+use simart_db::Value;
+use simart_fullsim::system::{Fidelity, SystemConfig};
+use simart_tasks::{HandlerRegistry, WorkerJob};
+
+/// Task kind dispatched to campaign workers: boot the full-system
+/// configuration a run's parameters describe.
+pub const CAMPAIGN_KIND: &str = "campaign-boot";
+
+/// Encodes a run's sweep parameters as the wire payload for a
+/// [`CAMPAIGN_KIND`] task.
+pub fn encode_run_payload(params: &[String]) -> String {
+    to_json(&Value::map([(
+        "params",
+        Value::array(params.iter().map(|p| Value::from(p.clone()))),
+    )]))
+}
+
+/// Decodes the parameter list from a [`CAMPAIGN_KIND`] payload.
+///
+/// # Errors
+///
+/// Returns a description of the malformation (worker and coordinator
+/// binaries disagreeing about the payload schema must fail loudly).
+pub fn decode_run_payload(payload: &str) -> Result<Vec<String>, String> {
+    let doc = from_json(payload).map_err(|e| format!("bad campaign payload: {e}"))?;
+    let params = doc
+        .at("params")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "campaign payload has no `params` array".to_owned())?;
+    params
+        .iter()
+        .map(|p| {
+            p.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "campaign payload has a non-string parameter".to_owned())
+        })
+        .collect()
+}
+
+/// Encodes an [`ExecOutcome`] as a worker's result string.
+///
+/// The stats payload is carried as text — campaign payloads are small
+/// human-readable stat dumps, and the wire protocol is UTF-8 JSON.
+pub fn encode_outcome(outcome: &ExecOutcome) -> String {
+    to_json(&Value::map([
+        ("outcome", Value::from(outcome.outcome.clone())),
+        // Stringified so u64 tick counts round-trip losslessly through
+        // the i64-typed JSON integer.
+        ("simTicks", Value::from(outcome.sim_ticks.to_string())),
+        ("payload", Value::from(String::from_utf8_lossy(&outcome.payload).into_owned())),
+        ("success", Value::from(outcome.success)),
+    ]))
+}
+
+/// Decodes a worker's result string back into an [`ExecOutcome`].
+///
+/// # Errors
+///
+/// Returns a description of the malformation.
+pub fn decode_outcome(text: &str) -> Result<ExecOutcome, String> {
+    let doc = from_json(text).map_err(|e| format!("bad campaign outcome: {e}"))?;
+    let field = |name: &str| -> Result<&str, String> {
+        doc.at(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("campaign outcome is missing `{name}`"))
+    };
+    Ok(ExecOutcome {
+        outcome: field("outcome")?.to_owned(),
+        sim_ticks: field("simTicks")?
+            .parse()
+            .map_err(|e| format!("campaign outcome has a bad `simTicks`: {e}"))?,
+        payload: field("payload")?.as_bytes().to_vec(),
+        success: doc
+            .at("success")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| "campaign outcome is missing `success`".to_owned())?,
+    })
+}
+
+/// Boots the configuration a campaign run's parameters describe
+/// (`[cpu, cores, ...]` from the sweep cross-product) — the shared
+/// executor behind both the in-process campaign path and the remote
+/// worker.
+///
+/// # Errors
+///
+/// Returns a description of bad parameters or a simulation failure.
+pub fn execute_campaign_params(params: &[String]) -> Result<ExecOutcome, String> {
+    let cpu = params
+        .first()
+        .and_then(|s| parse_cpu(s))
+        .ok_or_else(|| format!("bad cpu parameter {:?}", params.first()))?;
+    let cores: u32 = params
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad core count {:?}", params.get(1)))?;
+    let config = SystemConfig::builder()
+        .cpu(cpu)
+        .cores(cores)
+        .fidelity(Fidelity::Standard)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let output = config.boot_only().map_err(|e| e.to_string())?;
+    Ok(ExecOutcome {
+        outcome: output.outcome.to_string(),
+        sim_ticks: output.sim_ticks,
+        payload: format!(
+            "outcome={} ticks={} instructions={}",
+            output.outcome, output.sim_ticks, output.instructions
+        )
+        .into_bytes(),
+        success: output.outcome.is_success(),
+    })
+}
+
+fn parse_cpu(s: &str) -> Option<simart_fullsim::cpu::CpuKind> {
+    use simart_fullsim::cpu::CpuKind;
+    Some(match s {
+        "kvm" => CpuKind::Kvm,
+        "atomic" => CpuKind::AtomicSimple,
+        "timing" => CpuKind::TimingSimple,
+        "o3" => CpuKind::O3,
+        _ => return None,
+    })
+}
+
+/// The handler registry a campaign worker process runs under: decodes
+/// [`CAMPAIGN_KIND`] payloads, boots them, and returns encoded
+/// outcomes. A simulation-level failure (e.g. a kernel panic) is
+/// reported as `Ok` with `success: false` — the *coordinator* decides
+/// run disposition; only transport/decode problems are worker errors.
+pub fn campaign_registry() -> HandlerRegistry {
+    let mut registry = HandlerRegistry::new();
+    registry.register(CAMPAIGN_KIND, |job: &WorkerJob| {
+        let params = decode_run_payload(&job.payload)?;
+        execute_campaign_params(&params).map(|outcome| encode_outcome(&outcome))
+    });
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trips() {
+        let params = vec!["kvm".to_owned(), "2".to_owned(), "with \"quotes\"".to_owned()];
+        let payload = encode_run_payload(&params);
+        assert_eq!(decode_run_payload(&payload).unwrap(), params);
+        assert!(decode_run_payload("{}").is_err());
+        assert!(decode_run_payload("not json").is_err());
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        let outcome = ExecOutcome {
+            outcome: "kernel-panic".to_owned(),
+            sim_ticks: u64::MAX,
+            payload: b"outcome=kernel-panic ticks=1".to_vec(),
+            success: false,
+        };
+        let text = encode_outcome(&outcome);
+        assert_eq!(decode_outcome(&text).unwrap(), outcome);
+        assert!(decode_outcome("{}").is_err());
+    }
+
+    #[test]
+    fn campaign_handler_boots_a_configuration() {
+        let registry = campaign_registry();
+        let job = WorkerJob {
+            job: 1,
+            name: "t".to_owned(),
+            kind: CAMPAIGN_KIND.to_owned(),
+            payload: encode_run_payload(&["kvm".to_owned(), "1".to_owned()]),
+            delivery: 1,
+            generation: 1,
+        };
+        let outcome = decode_outcome(&registry.run(&job).unwrap()).unwrap();
+        assert!(outcome.sim_ticks > 0);
+        // Bad parameters are a handler error, not a panic.
+        let bad = WorkerJob { payload: encode_run_payload(&["warp".to_owned()]), ..job };
+        assert!(registry.run(&bad).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-process chaos end-to-end tests for the remote scheduler: a
+//! campaign run over real `simart worker` processes survives real
+//! SIGKILLs with zero lost runs, and a poisoned campaign (every
+//! delivery killed) exhausts the redelivery cap into the persistent
+//! quarantine, coming back only through `simart quarantine --release`
+//! plus `--resume` — all through the CLI, across process boundaries.
+
+use simart::db::{Database, LoadOptions};
+use simart::run::{RunStatus, RunStore};
+use std::path::Path;
+use std::process::Command;
+
+fn simart(args: &[&str]) -> (String, String, i32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code().unwrap_or(-1),
+    )
+}
+
+fn open_runs(dir: &Path) -> (Database, RunStore) {
+    let (db, _) = Database::load_with(dir, &LoadOptions::strict()).expect("load campaign db");
+    let runs = RunStore::new(&db).expect("run store");
+    (db, runs)
+}
+
+/// Kill a fraction of real worker PIDs mid-campaign: the coordinator
+/// respawns replacements and redelivers every orphaned lease, the
+/// campaign exits clean with zero lost runs, and the provenance trail
+/// (`remote-dispatch`/`remote-ack` on every run) passes `simart check`
+/// including the SA0015 orphaned-attempt audit.
+#[test]
+fn remote_chaos_campaign_completes_with_zero_lost_runs() {
+    let dir = std::env::temp_dir().join(format!("simart-remote-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db_arg = dir.to_str().unwrap().to_owned();
+
+    let (stdout, stderr, code) = simart(&[
+        "campaign",
+        "--db",
+        &db_arg,
+        "--scheduler",
+        "remote",
+        "--workers",
+        "3",
+        "--kill-rate",
+        "0.4",
+        "--fault-seed",
+        "7",
+        "--max-redeliveries",
+        "5",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("done 6, failed 0, timed out 0, quarantined 0"), "{stdout}");
+
+    // The chaos was real: the injector SIGKILLed live worker PIDs and
+    // the supervisor respawned and redelivered (seeded, so the fault
+    // plan is stable across machines).
+    let (metrics, _, code) = simart(&["metrics", "--db", &db_arg]);
+    assert_eq!(code, 0);
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.contains(name))
+            .and_then(|l| l.rsplit('=').next())
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no {name} counter in:\n{metrics}"))
+    };
+    assert!(counter("broker.remote_kills") >= 1, "{metrics}");
+    assert!(counter("broker.remote_respawns") >= 1, "{metrics}");
+    assert!(counter("broker.remote_redelivered") >= 1, "{metrics}");
+    assert_eq!(counter("broker.remote_acks"), 6, "{metrics}");
+
+    // Every run is Done with a full cross-process provenance trail.
+    let (_db, runs) = open_runs(&dir);
+    let done = runs.find_by_status(RunStatus::Done).unwrap();
+    assert_eq!(done.len(), 6);
+    for run in &done {
+        let events = runs.events(run.id());
+        assert!(
+            events.iter().any(|e| e.starts_with("remote-dispatch:")),
+            "no dispatch event on {}: {events:?}",
+            run.id()
+        );
+        assert!(
+            events.iter().any(|e| e.starts_with("remote-ack:")),
+            "no ack event on {}: {events:?}",
+            run.id()
+        );
+        assert!(runs.load_results(run.id()).is_some(), "results archived for {}", run.id());
+    }
+
+    // The linter agrees: no orphaned remote attempts, nothing else.
+    let (stdout, _, code) = simart(&["check", "--db", &db_arg]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Every delivery killed: the cap is exhausted cross-process, the runs
+/// land in the persistent quarantine, `--resume` refuses to touch
+/// them, and an explicit `simart quarantine --release` re-queues one
+/// run which then completes on its original record.
+#[test]
+fn remote_cap_exhaustion_quarantines_then_release_resumes() {
+    let dir = std::env::temp_dir().join(format!("simart-remote-quar-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db_arg = dir.to_str().unwrap().to_owned();
+
+    // Session 1: kill-rate 1.0 draws a SIGKILL on every dispatch, so
+    // every run burns its single redelivery and quarantines.
+    let (stdout, stderr, code) = simart(&[
+        "campaign",
+        "--db",
+        &db_arg,
+        "--scheduler",
+        "remote",
+        "--workers",
+        "2",
+        "--kill-rate",
+        "1.0",
+        "--max-redeliveries",
+        "1",
+    ]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("quarantined 6"), "{stdout}");
+    assert!(stdout.contains("done 0"), "{stdout}");
+
+    let victim = {
+        let (db, runs) = open_runs(&dir);
+        let quarantined = runs.find_by_status(RunStatus::Quarantined).unwrap();
+        assert_eq!(quarantined.len(), 6);
+        let letters = simart::quarantine::load_all(&db).unwrap();
+        assert_eq!(letters.len(), 6);
+        assert!(letters.iter().all(|l| !l.released));
+        assert!(
+            letters.iter().all(|l| l.error.contains("redelivery cap")),
+            "{:?}",
+            letters[0].error
+        );
+        quarantined[0].id()
+    };
+
+    // Resume never touches quarantine: everything is skipped (and a
+    // fully-skipped campaign is not a failure).
+    let (stdout, _, code) = simart(&[
+        "campaign", "--db", &db_arg, "--scheduler", "remote", "--workers", "2", "--resume",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("skipped quarantined 6"), "{stdout}");
+
+    // The CLI lists the letters; release exactly one.
+    let id_str = victim.to_string();
+    let (stdout, _, code) = simart(&["quarantine", "--db", &db_arg]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains(&id_str), "{stdout}");
+    let (stdout, stderr, code) = simart(&["quarantine", "--db", &db_arg, "--release", &id_str]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("released"), "{stdout}");
+
+    // Session 2: chaos off, resume picks up only the released run.
+    let (stdout, stderr, code) = simart(&[
+        "campaign", "--db", &db_arg, "--scheduler", "remote", "--workers", "2", "--resume",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("done 1"), "{stdout}");
+    assert!(stdout.contains("skipped quarantined 5"), "{stdout}");
+    {
+        let (_db, runs) = open_runs(&dir);
+        assert_eq!(runs.load(victim).unwrap().status(), RunStatus::Done);
+    }
+
+    // Consistent quarantine + released letter lint clean (SA0014 and
+    // SA0015 both quiet).
+    let (stdout, _, code) = simart(&["check", "--db", &db_arg]);
+    assert_eq!(code, 0, "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -380,17 +380,6 @@ impl Journal {
         Ok(())
     }
 
-    /// Empties the journal entirely (used when a full snapshot save
-    /// supersedes every record).
-    pub(crate) fn truncate_all(&self) -> Result<(), DbError> {
-        let mut writer = self.writer.lock();
-        writer.file.set_len(0)?;
-        writer.file.seek(SeekFrom::Start(0))?;
-        writer.file.sync_all()?;
-        writer.len = 0;
-        writer.poisoned = false;
-        Ok(())
-    }
 }
 
 /// IEEE CRC-32 lookup table, generated at compile time.

@@ -98,6 +98,28 @@ impl RunStore {
         Ok(())
     }
 
+    /// Appends a free-form provenance event to the run's event log
+    /// without touching its status. Used by the remote scheduler to
+    /// journal per-delivery facts (`remote-dispatch:<n>:g<gen>`,
+    /// `remote-ack:<n>:g<gen>`) that `simart check` later audits for
+    /// orphaned attempts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup failures.
+    pub fn log_event(&self, id: Uuid, event: &str) -> Result<(), RunError> {
+        let n = self
+            .db
+            .collection(Self::COLLECTION)
+            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+                push_event(doc, event);
+            });
+        if n == 0 {
+            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+        }
+        Ok(())
+    }
+
     /// Moves a run to `next`, enforcing the lifecycle: the change is
     /// refused (and nothing is written) unless the run's current
     /// status [can transition](RunStatus::can_transition_to) to `next`.
@@ -570,6 +592,21 @@ mod tests {
             vec!["status:queued", "status:running", "status:done"]
         );
         assert!(store.events(Uuid::NIL).is_empty());
+    }
+
+    #[test]
+    fn log_event_appends_without_touching_status() {
+        let (registry, ids, _db, store) = setup();
+        let run = make_run(&registry, ids, "events");
+        store.record(&run).unwrap();
+        store.log_event(run.id(), "remote-dispatch:1:g2").unwrap();
+        store.log_event(run.id(), "remote-ack:1:g2").unwrap();
+        assert_eq!(
+            store.events(run.id()),
+            vec!["remote-dispatch:1:g2", "remote-ack:1:g2"]
+        );
+        assert_eq!(store.load(run.id()).unwrap().status(), run.status());
+        assert!(store.log_event(Uuid::NIL, "remote-dispatch:1:g0").is_err());
     }
 
     #[test]

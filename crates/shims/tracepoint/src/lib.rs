@@ -59,6 +59,12 @@ pub enum Op {
     /// dead-lettering (observes the worker's state, like a channel
     /// recv).
     LeaseRevoke(ObjectId),
+    /// The remote coordinator dispatched a task to a worker process
+    /// (publishes the dispatch over the wire, like a channel send).
+    RemoteDispatch(ObjectId),
+    /// The remote coordinator accepted a worker process's result for
+    /// a dispatched task (observes it, like a channel recv).
+    RemoteAck(ObjectId),
     /// A shared object (run record, task state) was read.
     Read(ObjectId),
     /// A shared object (run record, task state) was written.
@@ -81,6 +87,8 @@ impl Op {
             | Op::Dequeue(o)
             | Op::LeaseGrant(o)
             | Op::LeaseRevoke(o)
+            | Op::RemoteDispatch(o)
+            | Op::RemoteAck(o)
             | Op::Read(o)
             | Op::Write(o) => o,
         }
@@ -102,6 +110,8 @@ impl fmt::Display for Op {
             Op::Dequeue(o) => write!(f, "dequeue({o})"),
             Op::LeaseGrant(o) => write!(f, "lease-grant({o})"),
             Op::LeaseRevoke(o) => write!(f, "lease-revoke({o})"),
+            Op::RemoteDispatch(o) => write!(f, "remote-dispatch({o})"),
+            Op::RemoteAck(o) => write!(f, "remote-ack({o})"),
             Op::Read(o) => write!(f, "read({o})"),
             Op::Write(o) => write!(f, "write({o})"),
         }

@@ -52,15 +52,21 @@
 mod broker;
 mod fault;
 mod pool;
+pub mod remote;
 mod retry;
 mod serial;
 mod supervise;
 mod task;
 pub(crate) mod trace;
+pub mod wire;
 
 pub use broker::BrokerScheduler;
 pub use fault::{Fault, FaultInjector};
 pub use pool::PoolScheduler;
+pub use remote::{
+    worker_main, HandlerRegistry, RemoteConfig, RemoteEvent, RemoteScheduler, RemoteStats,
+    RemoteTaskSpec, SubmitError, WorkerCommand, WorkerJob,
+};
 pub use retry::{Backoff, RetryPolicy};
 pub use serial::SerialScheduler;
 pub use supervise::SupervisorConfig;

@@ -1,0 +1,1476 @@
+//! Crash-isolated multi-process task execution: the remote scheduler.
+//!
+//! [`RemoteScheduler`] is the process-level sibling of
+//! [`BrokerScheduler`](crate::BrokerScheduler). Where the broker runs
+//! worker *threads* in the coordinator's address space, the remote
+//! scheduler spawns worker *processes* (the hidden `simart worker`
+//! subcommand) and speaks the CRC-framed wire protocol of
+//! [`crate::wire`] over each child's stdin/stdout pipes. A segfaulting
+//! or SIGKILLed simulation can therefore never take the coordinator
+//! down — the deployment shape of the paper's Celery workers.
+//!
+//! The delivery contract is the broker's supervision contract,
+//! verbatim:
+//!
+//! * every dispatched job holds a *lease* (task timeout + grace);
+//! * a worker whose PID dies, whose heartbeats stop, or whose lease
+//!   expires is killed and respawned with a bumped generation;
+//! * the job is re-delivered up to
+//!   [`SupervisorConfig::max_redeliveries`] times, with
+//!   first-report-wins dedup, and dead-lettered as
+//!   [`TaskState::Quarantined`] once the cap is exhausted;
+//! * lease history rides along in the report as
+//!   `"delivery:<n>:<cause>"` events.
+//!
+//! On top of that contract: bounded-queue backpressure on submit
+//! (blocking with a deadline, [`SubmitError`] on shutdown) and
+//! work-stealing between idle workers. Chaos is literal here — a
+//! [`FaultInjector`] with a kill rate makes the coordinator SIGKILL
+//! real worker PIDs at dispatch time.
+//!
+//! Because a process boundary cannot ship closures, remote tasks are
+//! [`RemoteTaskSpec`]s: a handler *kind* resolved by the worker's
+//! [`HandlerRegistry`] plus an opaque string payload. The worker side
+//! of the protocol is [`worker_main`].
+
+use crate::fault::{Fault, FaultInjector};
+use crate::supervise::SupervisorConfig;
+use crate::task::{AttemptDisposition, AttemptRecord, TaskHandle, TaskReport, TaskState};
+use crate::trace;
+use crate::wire::{FrameDecoder, Message, PROTOCOL_VERSION};
+use crossbeam::channel::{bounded, Sender};
+use simart_observe as observe;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a worker process is launched. The program must run
+/// [`worker_main`] and speak the wire protocol on stdin/stdout
+/// (stderr is inherited, so worker logs land in the coordinator's
+/// stderr).
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A command launching `program` with no arguments.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerCommand {
+        WorkerCommand { program: program.into(), args: Vec::new(), envs: Vec::new() }
+    }
+
+    /// Appends a command-line argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> WorkerCommand {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Sets an environment variable for the worker process.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> WorkerCommand {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    fn command(&self) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args).stdin(Stdio::piped()).stdout(Stdio::piped());
+        for (key, value) in &self.envs {
+            cmd.env(key, value);
+        }
+        cmd
+    }
+}
+
+/// Tuning for a [`RemoteScheduler`].
+#[derive(Clone)]
+pub struct RemoteConfig {
+    /// The broker supervision contract: heartbeat cadence, lease
+    /// grace, redelivery cap. `max_detached` is unused — remote
+    /// workers are killed, never detached.
+    pub supervisor: SupervisorConfig,
+    /// Bound on queued (not yet dispatched) jobs; submits beyond it
+    /// block until space frees or `submit_deadline` passes.
+    pub queue_capacity: usize,
+    /// How long a backpressured submit may block before returning
+    /// [`SubmitError::Backpressure`].
+    pub submit_deadline: Duration,
+    /// How long a draining shutdown waits for in-flight and queued
+    /// work before abandoning the remainder.
+    pub drain_deadline: Duration,
+    /// Chaos injector consulted once per dispatch; a
+    /// [`Fault::WorkerKill`] draw SIGKILLs the worker's real PID.
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> RemoteConfig {
+        RemoteConfig {
+            supervisor: SupervisorConfig::default(),
+            queue_capacity: 256,
+            submit_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(60),
+            fault: None,
+        }
+    }
+}
+
+impl fmt::Debug for RemoteConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteConfig")
+            .field("supervisor", &self.supervisor)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("submit_deadline", &self.submit_deadline)
+            .field("drain_deadline", &self.drain_deadline)
+            .field("fault", &self.fault.is_some())
+            .finish()
+    }
+}
+
+/// A unit of work submittable across the process boundary: a handler
+/// `kind` (resolved in the worker's [`HandlerRegistry`]) plus an
+/// opaque payload string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteTaskSpec {
+    /// Task name, for reports and provenance.
+    pub name: String,
+    /// Handler kind the worker resolves.
+    pub kind: String,
+    /// Opaque serialized input handed to the handler.
+    pub payload: String,
+    /// Wall-clock timeout enforced by the coordinator's lease (the
+    /// worker is SIGKILLed once timeout + grace passes).
+    pub timeout: Option<Duration>,
+}
+
+impl RemoteTaskSpec {
+    /// Creates a spec with no timeout.
+    pub fn new(
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        payload: impl Into<String>,
+    ) -> RemoteTaskSpec {
+        RemoteTaskSpec {
+            name: name.into(),
+            kind: kind.into(),
+            payload: payload.into(),
+            timeout: None,
+        }
+    }
+
+    /// Sets the lease-enforced timeout.
+    pub fn timeout(mut self, timeout: Duration) -> RemoteTaskSpec {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue stayed full past the submit deadline.
+    Backpressure,
+    /// The scheduler is shutting down and accepts no new work.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Backpressure => {
+                f.write_str("remote queue full: backpressure deadline exceeded")
+            }
+            SubmitError::Shutdown => f.write_str("remote scheduler is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lifecycle notifications for dispatch provenance (consumed by the
+/// experiment layer to journal `remote-dispatch`/`remote-ack` events
+/// onto runs). Hooks run on coordinator threads while internal state
+/// is locked: keep them quick and never call back into the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteEvent {
+    /// A job was written to a worker's pipe.
+    Dispatched {
+        /// Task name.
+        task: String,
+        /// 1-based delivery number.
+        delivery: u32,
+        /// Generation of the worker it went to.
+        generation: u64,
+        /// The worker's OS PID.
+        pid: u32,
+    },
+    /// A worker's result was accepted (first report wins).
+    Acked {
+        /// Task name.
+        task: String,
+        /// Delivery number that reported.
+        delivery: u32,
+        /// Generation that reported.
+        generation: u64,
+    },
+    /// A recovered lease was queued for another delivery.
+    Redelivered {
+        /// Task name.
+        task: String,
+        /// The delivery whose lease was revoked.
+        delivery: u32,
+        /// Revocation cause (`worker-died`, `heartbeat-lost`,
+        /// `lease-expired`, `torn-frame`).
+        cause: String,
+    },
+    /// The task was dead-lettered (cap exhausted or unrecoverable).
+    DeadLettered {
+        /// Task name.
+        task: String,
+        /// Final revocation cause.
+        cause: String,
+    },
+}
+
+/// Counters snapshot from [`RemoteScheduler::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteStats {
+    /// Live worker slots.
+    pub workers: usize,
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Results delivered to handles.
+    pub completed: u64,
+    /// Jobs discarded at shutdown without a report.
+    pub dropped: u64,
+    /// Jobs dead-lettered (quarantined / failed / timed out by the
+    /// supervisor).
+    pub dead_lettered: u64,
+    /// Lease recoveries that led to another delivery.
+    pub redelivered: u64,
+    /// Worker processes respawned after death or a wedge.
+    pub respawns: u64,
+    /// Hard frame/decode errors on worker pipes.
+    pub frame_errors: u64,
+    /// Real SIGKILLs sent by the chaos injector.
+    pub chaos_kills: u64,
+    /// Jobs stolen from a busy worker's queue by an idle one.
+    pub steals: u64,
+    /// Jobs queued but not yet dispatched.
+    pub backlog: usize,
+    /// Jobs dispatched and awaiting a result (live leases).
+    pub in_flight: usize,
+}
+
+struct StatCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    dropped: AtomicU64,
+    dead_lettered: AtomicU64,
+    redelivered: AtomicU64,
+    respawns: AtomicU64,
+    frame_errors: AtomicU64,
+    chaos_kills: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl StatCounters {
+    fn new() -> StatCounters {
+        StatCounters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            dead_lettered: AtomicU64::new(0),
+            redelivered: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            frame_errors: AtomicU64::new(0),
+            chaos_kills: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+}
+
+type EventHook = Arc<dyn Fn(&RemoteEvent) + Send + Sync>;
+
+struct RemoteJob {
+    spec: RemoteTaskSpec,
+    report_tx: Sender<TaskReport>,
+    reported: Arc<AtomicBool>,
+    job_id: u64,
+    /// 1-based delivery number (redeliveries = delivery - 1).
+    delivery: u32,
+    lease_events: Vec<String>,
+    first_enqueued: Instant,
+    trace_id: u64,
+}
+
+struct RemoteLease {
+    job: RemoteJob,
+    deadline: Option<Instant>,
+}
+
+struct Slot {
+    generation: u64,
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    pid: u32,
+    /// Handshake complete (Hello seen, HelloAck sent).
+    ready: bool,
+    /// Drain sent or Bye received: reap without respawn.
+    exiting: bool,
+    busy: Option<u64>,
+    last_seen: Instant,
+    queue: VecDeque<RemoteJob>,
+    reader: Option<JoinHandle<()>>,
+}
+
+struct CoordState {
+    slots: Vec<Slot>,
+    leases: HashMap<u64, RemoteLease>,
+    retired_readers: Vec<JoinHandle<()>>,
+    next_job: u64,
+    next_generation: u64,
+    /// Queued-but-undispatched jobs across all slot queues.
+    backlog: usize,
+    /// No new submits accepted.
+    shutdown: bool,
+    /// No more respawns (shutdown is reaping).
+    abandoned: bool,
+    /// Children reaped and threads joined; terminal.
+    reaped: bool,
+    drained_clean: bool,
+}
+
+struct Shared {
+    command: WorkerCommand,
+    config: RemoteConfig,
+    state: Mutex<CoordState>,
+    /// Signalled when queue space frees, leases resolve, or shutdown
+    /// progresses — submitters and the draining shutdown wait here.
+    space: Condvar,
+    stopping: AtomicBool,
+    stats: StatCounters,
+    hook: Mutex<Option<EventHook>>,
+    queue_trace: u64,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, CoordState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Process-level scheduler: spawns crash-isolated worker processes and
+/// delivers [`RemoteTaskSpec`]s to them over the wire protocol under
+/// the broker's lease/supervision contract. See the module docs.
+pub struct RemoteScheduler {
+    shared: Arc<Shared>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteScheduler {
+    /// Spawns `workers` worker processes with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure if no worker process could be
+    /// started at all.
+    pub fn new(command: WorkerCommand, workers: usize) -> std::io::Result<RemoteScheduler> {
+        RemoteScheduler::with_config(command, workers, RemoteConfig::default())
+    }
+
+    /// Spawns `workers` worker processes under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure if no worker process could be
+    /// started at all.
+    pub fn with_config(
+        command: WorkerCommand,
+        workers: usize,
+        config: RemoteConfig,
+    ) -> std::io::Result<RemoteScheduler> {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            command,
+            config,
+            state: Mutex::new(CoordState {
+                slots: Vec::new(),
+                leases: HashMap::new(),
+                retired_readers: Vec::new(),
+                next_job: 0,
+                next_generation: 0,
+                backlog: 0,
+                shutdown: false,
+                abandoned: false,
+                reaped: false,
+                drained_clean: true,
+            }),
+            space: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            stats: StatCounters::new(),
+            hook: Mutex::new(None),
+            queue_trace: trace::fresh_id(),
+        });
+        let mut spawn_error = None;
+        {
+            let mut st = shared.lock();
+            for index in 0..workers {
+                st.next_generation += 1;
+                let generation = st.next_generation;
+                match spawn_process(&shared, index, generation) {
+                    Ok((child, stdin, pid, reader)) => st.slots.push(Slot {
+                        generation,
+                        child: Some(child),
+                        stdin: Some(stdin),
+                        pid,
+                        ready: false,
+                        exiting: false,
+                        busy: None,
+                        last_seen: Instant::now(),
+                        queue: VecDeque::new(),
+                        reader: Some(reader),
+                    }),
+                    Err(err) => {
+                        spawn_error = Some(err);
+                        st.slots.push(dead_slot(generation));
+                    }
+                }
+            }
+        }
+        if shared.lock().slots.iter().all(|s| s.child.is_none()) {
+            return Err(spawn_error
+                .unwrap_or_else(|| std::io::Error::other("no worker process started")));
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervise_loop(&shared))
+        };
+        Ok(RemoteScheduler { shared, supervisor: Mutex::new(Some(supervisor)) })
+    }
+
+    /// Submits a spec, blocking while the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backpressure`] when the queue stays full past
+    /// the configured deadline; [`SubmitError::Shutdown`] after
+    /// shutdown began.
+    pub fn submit(&self, spec: RemoteTaskSpec) -> Result<TaskHandle, SubmitError> {
+        let name = spec.name.clone();
+        let (report_tx, receiver) = bounded(1);
+        let deadline = Instant::now() + self.shared.config.submit_deadline;
+        let mut st = self.shared.lock();
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::Shutdown);
+            }
+            if st.backlog < self.shared.config.queue_capacity {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                observe::count("broker.remote_backpressure_timeouts", 1);
+                return Err(SubmitError::Backpressure);
+            }
+            let (guard, _) = self
+                .shared
+                .space
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+        st.next_job += 1;
+        let job_id = st.next_job;
+        let trace_id = trace::fresh_id();
+        trace::task_submit(trace_id);
+        self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        observe::count("broker.remote_submitted", 1);
+        let job = RemoteJob {
+            spec,
+            report_tx,
+            reported: Arc::new(AtomicBool::new(false)),
+            job_id,
+            delivery: 1,
+            lease_events: Vec::new(),
+            first_enqueued: Instant::now(),
+            trace_id,
+        };
+        enqueue_job(&self.shared, &mut st, job);
+        pump(&self.shared, &mut st);
+        Ok(TaskHandle { receiver, name })
+    }
+
+    /// Installs the lifecycle event hook (replacing any previous one).
+    /// See [`RemoteEvent`] for the constraints hooks must observe.
+    pub fn set_event_hook(&self, hook: impl Fn(&RemoteEvent) + Send + Sync + 'static) {
+        *self.shared.hook.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(hook));
+    }
+
+    /// Gracefully drains: refuses new submits, waits (up to the drain
+    /// deadline) for queued and in-flight work to finish — the
+    /// supervisor keeps respawning and redelivering during the wait —
+    /// then sends every worker `Drain`, closes its stdin, and reaps
+    /// all child PIDs. Returns `true` when everything completed (no
+    /// work was abandoned).
+    pub fn shutdown(&self) -> bool {
+        let mut st = self.shared.lock();
+        if st.reaped {
+            return st.drained_clean;
+        }
+        st.shutdown = true;
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        while (st.backlog > 0 || !st.leases.is_empty()) && Instant::now() < deadline {
+            let (guard, _) = self
+                .shared
+                .space
+                .wait_timeout(st, Duration::from_millis(20))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+        let clean = st.backlog == 0 && st.leases.is_empty();
+        st.drained_clean = clean;
+        st.abandoned = true;
+        discard_pending(&self.shared, &mut st);
+        for slot in &mut st.slots {
+            if let Some(stdin) = slot.stdin.as_mut() {
+                let _ = stdin
+                    .write_all(&Message::Drain.to_frame())
+                    .and_then(|()| stdin.flush());
+            }
+            // Closing stdin makes even a worker that missed the Drain
+            // frame exit on EOF.
+            slot.stdin = None;
+            slot.exiting = true;
+        }
+        drop(st);
+        self.reap_children(Duration::from_secs(5));
+        self.stop_supervisor();
+        clean
+    }
+
+    /// Abandons immediately: discards queued jobs, drops in-flight
+    /// leases (their handles synthesize "scheduler dropped task"
+    /// reports), SIGKILLs every worker, and reaps all child PIDs.
+    /// Returns how many queued jobs were discarded — the side-by-side
+    /// contrast to the draining [`RemoteScheduler::shutdown`].
+    pub fn shutdown_now(&self) -> u64 {
+        let mut st = self.shared.lock();
+        if st.reaped {
+            return 0;
+        }
+        st.shutdown = true;
+        st.abandoned = true;
+        st.drained_clean = st.backlog == 0 && st.leases.is_empty();
+        let discarded = discard_pending(&self.shared, &mut st);
+        for slot in &mut st.slots {
+            if let Some(child) = slot.child.as_mut() {
+                let _ = child.kill();
+            }
+            slot.stdin = None;
+            slot.exiting = true;
+        }
+        drop(st);
+        self.shared.space.notify_all();
+        self.reap_children(Duration::ZERO);
+        self.stop_supervisor();
+        discarded
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RemoteStats {
+        let st = self.shared.lock();
+        let s = &self.shared.stats;
+        RemoteStats {
+            workers: st.slots.iter().filter(|slot| slot.child.is_some()).count(),
+            submitted: s.submitted.load(Ordering::SeqCst),
+            completed: s.completed.load(Ordering::SeqCst),
+            dropped: s.dropped.load(Ordering::SeqCst),
+            dead_lettered: s.dead_lettered.load(Ordering::SeqCst),
+            redelivered: s.redelivered.load(Ordering::SeqCst),
+            respawns: s.respawns.load(Ordering::SeqCst),
+            frame_errors: s.frame_errors.load(Ordering::SeqCst),
+            chaos_kills: s.chaos_kills.load(Ordering::SeqCst),
+            steals: s.steals.load(Ordering::SeqCst),
+            backlog: st.backlog,
+            in_flight: st.leases.len(),
+        }
+    }
+
+    /// OS PIDs of the currently live worker processes (for tests that
+    /// kill them or assert they were reaped).
+    pub fn worker_pids(&self) -> Vec<u32> {
+        let st = self.shared.lock();
+        st.slots.iter().filter(|s| s.child.is_some()).map(|s| s.pid).collect()
+    }
+
+    /// Waits for every child PID to exit, force-killing any still
+    /// alive after `grace`, then joins reader threads. Leaves no
+    /// zombies behind.
+    fn reap_children(&self, grace: Duration) {
+        let (children, readers) = {
+            let mut st = self.shared.lock();
+            let children: Vec<Child> =
+                st.slots.iter_mut().filter_map(|s| s.child.take()).collect();
+            let mut readers: Vec<JoinHandle<()>> =
+                st.slots.iter_mut().filter_map(|s| s.reader.take()).collect();
+            readers.append(&mut st.retired_readers);
+            (children, readers)
+        };
+        for mut child in children {
+            let deadline = Instant::now() + grace;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() >= deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(_) => break,
+                }
+            }
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+        self.shared.lock().reaped = true;
+        self.shared.space.notify_all();
+    }
+
+    fn stop_supervisor(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        let handle = self.supervisor.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteScheduler {
+    fn drop(&mut self) {
+        let reaped = self.shared.lock().reaped;
+        if !reaped {
+            self.shutdown();
+        }
+    }
+}
+
+impl fmt::Debug for RemoteScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteScheduler").field("stats", &self.stats()).finish()
+    }
+}
+
+fn dead_slot(generation: u64) -> Slot {
+    Slot {
+        generation,
+        child: None,
+        stdin: None,
+        pid: 0,
+        ready: false,
+        exiting: false,
+        busy: None,
+        last_seen: Instant::now(),
+        queue: VecDeque::new(),
+        reader: None,
+    }
+}
+
+fn emit(shared: &Shared, event: RemoteEvent) {
+    let hook = shared.hook.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    if let Some(hook) = hook {
+        hook(&event);
+    }
+}
+
+fn spawn_process(
+    shared: &Arc<Shared>,
+    slot_idx: usize,
+    generation: u64,
+) -> std::io::Result<(Child, ChildStdin, u32, JoinHandle<()>)> {
+    let mut child = shared.command.command().spawn()?;
+    let stdin = child.stdin.take().expect("worker stdin is piped");
+    let stdout = child.stdout.take().expect("worker stdout is piped");
+    let pid = child.id();
+    let reader = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || reader_loop(&shared, slot_idx, generation, stdout))
+    };
+    Ok((child, stdin, pid, reader))
+}
+
+/// Per-worker reader thread: pumps the worker's stdout through the
+/// frame decoder until EOF or a hard decode error.
+fn reader_loop(shared: &Arc<Shared>, slot_idx: usize, generation: u64, mut stdout: ChildStdout) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = match stdout.read(&mut buf) {
+            Ok(0) | Err(_) => return, // EOF: supervisor reaps and respawns
+            Ok(n) => n,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(None) => break,
+                Ok(Some(payload)) => match Message::decode(&payload) {
+                    Ok(message) => handle_message(shared, slot_idx, generation, message),
+                    Err(err) => {
+                        on_frame_error(shared, slot_idx, generation, &err.to_string());
+                        return;
+                    }
+                },
+                Err(err) => {
+                    on_frame_error(shared, slot_idx, generation, &err.to_string());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, message: Message) {
+    match message {
+        Message::Hello { protocol, pid } => {
+            let mut st = shared.lock();
+            if st.slots[slot_idx].generation != generation {
+                return; // stale reader of a replaced worker
+            }
+            if protocol != PROTOCOL_VERSION {
+                eprintln!(
+                    "simart-tasks: worker pid {pid} speaks protocol {protocol}, \
+                     coordinator speaks {PROTOCOL_VERSION}; dropping it"
+                );
+                let slot = &mut st.slots[slot_idx];
+                slot.exiting = true; // reap without respawn: same binary would loop
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                }
+                return;
+            }
+            let heartbeat_ms =
+                (shared.config.supervisor.heartbeat.as_millis() as u64).max(1);
+            let ack = Message::HelloAck { generation, heartbeat_ms };
+            let slot = &mut st.slots[slot_idx];
+            slot.last_seen = Instant::now();
+            let sent = match slot.stdin.as_mut() {
+                Some(stdin) => {
+                    stdin.write_all(&ack.to_frame()).and_then(|()| stdin.flush()).is_ok()
+                }
+                None => false,
+            };
+            if sent {
+                slot.ready = true;
+                pump(shared, &mut st);
+            }
+        }
+        Message::Heartbeat { .. } => {
+            observe::count("broker.remote_heartbeats", 1);
+            let mut st = shared.lock();
+            if st.slots[slot_idx].generation == generation {
+                st.slots[slot_idx].last_seen = Instant::now();
+            }
+        }
+        Message::TaskResult { job, delivery, generation: reporter_gen, ok, output, error } => {
+            let mut st = shared.lock();
+            // First report wins, whatever generation it came from: a
+            // stale worker finishing after redelivery still resolves
+            // the job; the duplicate later report finds no lease.
+            if let Some(lease) = st.leases.remove(&job) {
+                deliver_ack(shared, lease, delivery as u32, reporter_gen, ok, output, error);
+            }
+            if st.slots[slot_idx].generation == generation {
+                if st.slots[slot_idx].busy == Some(job) {
+                    st.slots[slot_idx].busy = None;
+                }
+                st.slots[slot_idx].last_seen = Instant::now();
+                pump(shared, &mut st);
+            }
+            shared.space.notify_all();
+        }
+        Message::Bye { .. } => {
+            let mut st = shared.lock();
+            if st.slots[slot_idx].generation == generation {
+                st.slots[slot_idx].exiting = true;
+                st.slots[slot_idx].ready = false;
+            }
+        }
+        // Coordinator-bound streams never carry these legitimately.
+        Message::HelloAck { .. } | Message::Dispatch { .. } | Message::Drain => {}
+    }
+}
+
+/// Accepted result → task report (first-report-wins).
+fn deliver_ack(
+    shared: &Arc<Shared>,
+    lease: RemoteLease,
+    delivery: u32,
+    reporter_gen: u64,
+    ok: bool,
+    output: String,
+    error: String,
+) {
+    let job = lease.job;
+    observe::count("broker.remote_acks", 1);
+    trace::remote_ack(job.trace_id);
+    trace::task_finish(job.trace_id);
+    emit(
+        shared,
+        RemoteEvent::Acked { task: job.spec.name.clone(), delivery, generation: reporter_gen },
+    );
+    let report = TaskReport {
+        name: job.spec.name.clone(),
+        state: if ok { TaskState::Succeeded } else { TaskState::Failed },
+        output: if ok { Some(output) } else { None },
+        error: if ok { None } else { Some(error) },
+        attempts: 1,
+        duration: job.first_enqueued.elapsed(),
+        detached: false,
+        history: vec![AttemptRecord {
+            index: job.delivery,
+            disposition: if ok {
+                AttemptDisposition::Succeeded
+            } else {
+                AttemptDisposition::Errored
+            },
+            delay_before: Duration::ZERO,
+        }],
+        redeliveries: job.delivery - 1,
+        lease_events: job.lease_events,
+    };
+    if !job.reported.swap(true, Ordering::SeqCst) {
+        let _ = job.report_tx.send(report);
+        shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Satellite: a torn or corrupt frame must never wedge the
+/// coordinator. Log it, kill + reap the worker, revoke its lease
+/// (redelivering the task), and respawn — the pipe-level mirror of
+/// the journal's torn-tail tolerance.
+fn on_frame_error(shared: &Arc<Shared>, slot_idx: usize, generation: u64, why: &str) {
+    shared.stats.frame_errors.fetch_add(1, Ordering::SeqCst);
+    observe::count("broker.remote_frame_errors", 1);
+    let mut st = shared.lock();
+    if st.slots[slot_idx].generation != generation {
+        return;
+    }
+    eprintln!(
+        "simart-tasks: remote worker pid {} wrote a corrupt frame ({why}); \
+         killing and respawning it",
+        st.slots[slot_idx].pid
+    );
+    recycle_slot(shared, &mut st, slot_idx, "torn-frame");
+    pump(shared, &mut st);
+    shared.space.notify_all();
+}
+
+/// Kills, reaps, and (unless abandoned) respawns a slot's worker,
+/// recovering any lease it held with the given cause.
+fn recycle_slot(shared: &Arc<Shared>, st: &mut CoordState, slot_idx: usize, cause: &str) {
+    if let Some(child) = st.slots[slot_idx].child.as_mut() {
+        let _ = child.kill();
+    }
+    if let Some(mut child) = st.slots[slot_idx].child.take() {
+        let _ = child.wait(); // immediate after SIGKILL; reaps the PID
+    }
+    st.slots[slot_idx].stdin = None;
+    st.slots[slot_idx].ready = false;
+    let busy = st.slots[slot_idx].busy.take();
+    if let Some(job_id) = busy {
+        if let Some(lease) = st.leases.remove(&job_id) {
+            recover_lease(shared, st, lease, cause);
+        }
+    }
+    if !st.abandoned {
+        respawn_slot(shared, st, slot_idx);
+    }
+}
+
+fn respawn_slot(shared: &Arc<Shared>, st: &mut CoordState, slot_idx: usize) {
+    if let Some(old_reader) = st.slots[slot_idx].reader.take() {
+        // May be the calling thread itself (frame-error path), so it
+        // is joined later from the shutdown path, never here.
+        st.retired_readers.push(old_reader);
+    }
+    st.next_generation += 1;
+    let generation = st.next_generation;
+    match spawn_process(shared, slot_idx, generation) {
+        Ok((child, stdin, pid, reader)) => {
+            let slot = &mut st.slots[slot_idx];
+            slot.generation = generation;
+            slot.child = Some(child);
+            slot.stdin = Some(stdin);
+            slot.pid = pid;
+            slot.ready = false;
+            slot.exiting = false;
+            slot.busy = None;
+            slot.last_seen = Instant::now();
+            slot.reader = Some(reader);
+            shared.stats.respawns.fetch_add(1, Ordering::SeqCst);
+            observe::count("broker.remote_respawns", 1);
+        }
+        Err(err) => {
+            eprintln!("simart-tasks: failed to respawn remote worker: {err}");
+            st.slots[slot_idx].generation = generation;
+        }
+    }
+}
+
+/// Broker-contract lease recovery: record the `delivery:<n>:<cause>`
+/// event, then redeliver (cap permitting) or dead-letter.
+fn recover_lease(shared: &Arc<Shared>, st: &mut CoordState, mut lease: RemoteLease, cause: &str) {
+    trace::lease_revoke(lease.job.trace_id);
+    lease.job.lease_events.push(format!("delivery:{}:{}", lease.job.delivery, cause));
+    let cap = shared.config.supervisor.max_redeliveries;
+    let redeliveries_so_far = lease.job.delivery - 1;
+    if redeliveries_so_far >= cap {
+        dead_letter(shared, st, lease.job, cause);
+        return;
+    }
+    shared.stats.redelivered.fetch_add(1, Ordering::SeqCst);
+    observe::count("broker.remote_redelivered", 1);
+    trace::task_requeue(lease.job.trace_id);
+    emit(
+        shared,
+        RemoteEvent::Redelivered {
+            task: lease.job.spec.name.clone(),
+            delivery: lease.job.delivery,
+            cause: cause.to_owned(),
+        },
+    );
+    let mut job = lease.job;
+    job.delivery += 1;
+    enqueue_job(shared, st, job);
+}
+
+/// Terminal failure classification, mirroring the in-process broker's
+/// dead-letter mapping: exhausted redeliveries quarantine, a dead
+/// worker with no redelivery budget fails, an expired lease with no
+/// budget times out.
+fn dead_letter(shared: &Arc<Shared>, _st: &mut CoordState, job: RemoteJob, cause: &str) {
+    let cap = shared.config.supervisor.max_redeliveries;
+    let redeliveries = job.delivery - 1;
+    let (state, error) = if redeliveries > 0 {
+        (
+            TaskState::Quarantined,
+            format!(
+                "task quarantined: redelivery cap ({cap}) exhausted after {} deliveries \
+                 (last cause: {cause})",
+                job.delivery
+            ),
+        )
+    } else if cause == "lease-expired" {
+        (
+            TaskState::TimedOut,
+            format!(
+                "task lease expired (timeout {:?} + grace {:?}); no redeliveries allowed",
+                job.spec.timeout, shared.config.supervisor.grace
+            ),
+        )
+    } else if cause == "no-workers" {
+        (TaskState::Failed, "no live worker processes remain; task cannot be delivered".to_owned())
+    } else {
+        (
+            TaskState::Failed,
+            format!("worker process died holding the task lease ({cause}); no redeliveries allowed"),
+        )
+    };
+    observe::count("broker.remote_dead_letters", 1);
+    trace::task_finish(job.trace_id);
+    emit(shared, RemoteEvent::DeadLettered { task: job.spec.name.clone(), cause: cause.to_owned() });
+    let report = TaskReport {
+        name: job.spec.name.clone(),
+        state,
+        output: None,
+        error: Some(error),
+        attempts: 0,
+        duration: job.first_enqueued.elapsed(),
+        detached: false,
+        history: Vec::new(),
+        redeliveries,
+        lease_events: job.lease_events,
+    };
+    if !job.reported.swap(true, Ordering::SeqCst) {
+        let _ = job.report_tx.send(report);
+    }
+    shared.stats.dead_lettered.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Queues a job on the live slot with the shortest queue.
+fn enqueue_job(shared: &Arc<Shared>, st: &mut CoordState, job: RemoteJob) {
+    trace::enqueue(shared.queue_trace);
+    let target = st
+        .slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.child.is_some() && !s.exiting)
+        .min_by_key(|(_, s)| s.queue.len())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    st.slots[target].queue.push_back(job);
+    st.backlog += 1;
+}
+
+/// Gives every idle, ready worker a job — from its own queue first,
+/// else stolen from the longest peer queue.
+fn pump(shared: &Arc<Shared>, st: &mut CoordState) {
+    for i in 0..st.slots.len() {
+        loop {
+            let slot = &st.slots[i];
+            if slot.child.is_none() || !slot.ready || slot.exiting || slot.busy.is_some() {
+                break;
+            }
+            let job = match st.slots[i].queue.pop_front() {
+                Some(job) => job,
+                None => {
+                    let victim = st
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .max_by_key(|(_, s)| s.queue.len())
+                        .filter(|(_, s)| !s.queue.is_empty())
+                        .map(|(j, _)| j);
+                    match victim {
+                        Some(j) => {
+                            shared.stats.steals.fetch_add(1, Ordering::SeqCst);
+                            observe::count("broker.remote_steals", 1);
+                            match st.slots[j].queue.pop_back() {
+                                Some(job) => job,
+                                None => break,
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            };
+            st.backlog -= 1;
+            trace::dequeue(shared.queue_trace);
+            if !dispatch(shared, st, i, job) {
+                break;
+            }
+        }
+    }
+}
+
+/// Writes a dispatch frame to slot `i` and registers the lease.
+/// Returns `false` when the worker's pipe was broken (the job is
+/// requeued and the worker left for the supervisor to recycle).
+fn dispatch(shared: &Arc<Shared>, st: &mut CoordState, i: usize, job: RemoteJob) -> bool {
+    let generation = st.slots[i].generation;
+    let pid = st.slots[i].pid;
+    let message = Message::Dispatch {
+        job: job.job_id,
+        delivery: u64::from(job.delivery),
+        generation,
+        name: job.spec.name.clone(),
+        kind: job.spec.kind.clone(),
+        payload: job.spec.payload.clone(),
+        timeout_ms: job.spec.timeout.map_or(0, |t| t.as_millis() as u64),
+    };
+    let written = match st.slots[i].stdin.as_mut() {
+        Some(stdin) => {
+            stdin.write_all(&message.to_frame()).and_then(|()| stdin.flush()).is_ok()
+        }
+        None => false,
+    };
+    if !written {
+        st.slots[i].queue.push_front(job);
+        st.backlog += 1;
+        if let Some(child) = st.slots[i].child.as_mut() {
+            let _ = child.kill(); // supervisor reaps and respawns
+        }
+        return false;
+    }
+    observe::count("broker.remote_dispatches", 1);
+    observe::observe_us(
+        "broker.remote_queue_latency_us",
+        job.first_enqueued.elapsed().as_micros() as u64,
+    );
+    trace::lease_grant(job.trace_id);
+    trace::remote_dispatch(job.trace_id);
+    emit(
+        shared,
+        RemoteEvent::Dispatched {
+            task: job.spec.name.clone(),
+            delivery: job.delivery,
+            generation,
+            pid,
+        },
+    );
+    let chaos_kill = shared.config.fault.as_ref().is_some_and(|injector| {
+        matches!(
+            injector.take_worker_fault(&job.spec.name, job.delivery),
+            Some(Fault::WorkerKill)
+        )
+    });
+    let deadline = job
+        .spec
+        .timeout
+        .map(|t| Instant::now() + t + shared.config.supervisor.grace);
+    let job_id = job.job_id;
+    st.slots[i].busy = Some(job_id);
+    st.leases.insert(job_id, RemoteLease { job, deadline });
+    if chaos_kill {
+        shared.stats.chaos_kills.fetch_add(1, Ordering::SeqCst);
+        observe::count("broker.remote_kills", 1);
+        if let Some(child) = st.slots[i].child.as_mut() {
+            let _ = child.kill(); // a real SIGKILL to a real PID
+        }
+    }
+    true
+}
+
+/// Drops every queued job and live lease without a report (handles
+/// synthesize "scheduler dropped task"). Returns the queued count.
+fn discard_pending(shared: &Arc<Shared>, st: &mut CoordState) -> u64 {
+    let mut discarded = 0u64;
+    for slot in &mut st.slots {
+        while let Some(job) = slot.queue.pop_front() {
+            discarded += 1;
+            drop(job);
+        }
+    }
+    st.backlog = 0;
+    for (_, lease) in st.leases.drain() {
+        drop(lease);
+    }
+    shared.stats.dropped.fetch_add(discarded, Ordering::SeqCst);
+    discarded
+}
+
+/// The supervisor thread: ticks on the configured heartbeat, reaping
+/// dead workers, recycling wedged ones, expiring leases, and keeping
+/// the dispatch pump primed — the process-level twin of the broker's
+/// supervisor.
+fn supervise_loop(shared: &Arc<Shared>) {
+    let heartbeat = shared.config.supervisor.heartbeat.max(Duration::from_millis(1));
+    while !shared.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(heartbeat);
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let _span = observe::span(|| "remote.supervise_tick".to_owned());
+        let mut st = shared.lock();
+        if st.reaped {
+            return;
+        }
+        tick(shared, &mut st);
+        drop(st);
+        shared.space.notify_all();
+    }
+}
+
+fn tick(shared: &Arc<Shared>, st: &mut CoordState) {
+    let now = Instant::now();
+    let stale_after = shared.config.supervisor.remote_stale_after();
+    for i in 0..st.slots.len() {
+        let exited = match st.slots[i].child.as_mut() {
+            Some(child) => matches!(child.try_wait(), Ok(Some(_))),
+            None => false,
+        };
+        if exited {
+            // try_wait() already reaped the PID; drop the handle.
+            let was_exiting = st.slots[i].exiting;
+            st.slots[i].child = None;
+            st.slots[i].stdin = None;
+            st.slots[i].ready = false;
+            let busy = st.slots[i].busy.take();
+            if let Some(job_id) = busy {
+                if let Some(lease) = st.leases.remove(&job_id) {
+                    recover_lease(shared, st, lease, "worker-died");
+                }
+            }
+            if !was_exiting && !st.abandoned {
+                respawn_slot(shared, st, i);
+            }
+            continue;
+        }
+        let slot = &st.slots[i];
+        if slot.child.is_none() || !slot.ready || slot.exiting {
+            continue;
+        }
+        let lease_expired = slot.busy.is_some_and(|job_id| {
+            st.leases
+                .get(&job_id)
+                .and_then(|lease| lease.deadline)
+                .is_some_and(|deadline| now >= deadline)
+        });
+        let heartbeat_lost = now.duration_since(slot.last_seen) >= stale_after;
+        if lease_expired {
+            recycle_slot(shared, st, i, "lease-expired");
+        } else if heartbeat_lost {
+            recycle_slot(shared, st, i, "heartbeat-lost");
+        }
+    }
+    if !st.abandoned && st.backlog > 0 && st.slots.iter().all(|s| s.child.is_none()) {
+        // Every spawn has failed: fail queued work fast instead of
+        // letting submitters hang forever.
+        let mut stranded = Vec::new();
+        for slot in &mut st.slots {
+            while let Some(job) = slot.queue.pop_front() {
+                stranded.push(job);
+            }
+        }
+        st.backlog = 0;
+        for job in stranded {
+            dead_letter(shared, st, job, "no-workers");
+        }
+    }
+    pump(shared, st);
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// A dispatched job as seen by a worker-side handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerJob {
+    /// Coordinator-unique job id.
+    pub job: u64,
+    /// Task name.
+    pub name: String,
+    /// Handler kind.
+    pub kind: String,
+    /// Opaque payload from the spec.
+    pub payload: String,
+    /// 1-based delivery number (`> 1` means this is a redelivery).
+    pub delivery: u32,
+    /// Generation this worker process was assigned at handshake.
+    pub generation: u64,
+}
+
+type HandlerFn = Box<dyn Fn(&WorkerJob) -> Result<String, String> + Send + Sync>;
+
+/// Maps handler kinds to worker-side handler functions.
+#[derive(Default)]
+pub struct HandlerRegistry {
+    handlers: HashMap<String, HandlerFn>,
+}
+
+impl HandlerRegistry {
+    /// An empty registry.
+    pub fn new() -> HandlerRegistry {
+        HandlerRegistry::default()
+    }
+
+    /// Registers the handler for `kind` (replacing any previous one).
+    pub fn register(
+        &mut self,
+        kind: impl Into<String>,
+        handler: impl Fn(&WorkerJob) -> Result<String, String> + Send + Sync + 'static,
+    ) {
+        self.handlers.insert(kind.into(), Box::new(handler));
+    }
+
+    /// Runs the matching handler, containing panics as errors. Public
+    /// so embedders can exercise their registries without spawning a
+    /// worker process; [`worker_main`] calls it per dispatch.
+    pub fn run(&self, job: &WorkerJob) -> Result<String, String> {
+        let handler = self
+            .handlers
+            .get(&job.kind)
+            .ok_or_else(|| format!("worker has no handler for kind `{}`", job.kind))?;
+        match catch_unwind(AssertUnwindSafe(|| handler(job))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_owned());
+                Err(format!("handler panicked: {message}"))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HandlerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandlerRegistry")
+            .field("kinds", &self.handlers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+struct WireReader {
+    decoder: FrameDecoder,
+    buf: [u8; 8192],
+}
+
+impl WireReader {
+    fn new() -> WireReader {
+        WireReader { decoder: FrameDecoder::new(), buf: [0u8; 8192] }
+    }
+
+    /// `Ok(None)` on EOF, `Err(())` on a corrupt stream.
+    fn next(&mut self, input: &mut impl Read) -> Result<Option<Message>, ()> {
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => return Message::decode(&payload).map(Some).map_err(|_| ()),
+                Err(_) => return Err(()),
+                Ok(None) => {}
+            }
+            match input.read(&mut self.buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.decoder.feed(&self.buf[..n]),
+                Err(_) => return Err(()),
+            }
+        }
+    }
+}
+
+fn send_frame(stdout: &Mutex<std::io::Stdout>, message: &Message) -> std::io::Result<()> {
+    let mut out = stdout.lock().unwrap_or_else(|p| p.into_inner());
+    out.write_all(&message.to_frame())?;
+    out.flush()
+}
+
+/// Runs the worker side of the protocol on this process's
+/// stdin/stdout until the coordinator drains it or goes away.
+/// Returns the process exit code: `0` for a graceful end (drain or
+/// coordinator EOF), non-zero for a corrupt stream or handshake
+/// failure.
+///
+/// The worker says [`Message::Hello`], waits for the
+/// [`Message::HelloAck`] carrying its generation and heartbeat
+/// cadence, then loops: heartbeats from a background thread, one
+/// [`Message::TaskResult`] per [`Message::Dispatch`] (handler panics
+/// are contained and reported as errors), and a [`Message::Bye`] in
+/// answer to [`Message::Drain`].
+///
+/// Nothing else in the process may write to stdout — the byte stream
+/// *is* the protocol.
+pub fn worker_main(registry: &HandlerRegistry) -> i32 {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let pid = u64::from(std::process::id());
+    if send_frame(&stdout, &Message::Hello { protocol: PROTOCOL_VERSION, pid }).is_err() {
+        return 1;
+    }
+    let mut stdin = std::io::stdin();
+    let mut reader = WireReader::new();
+    let (generation, heartbeat_ms) = match reader.next(&mut stdin) {
+        Ok(Some(Message::HelloAck { generation, heartbeat_ms })) => (generation, heartbeat_ms),
+        Ok(None) => return 0, // coordinator vanished before the handshake
+        _ => return 2,
+    };
+    let busy = Arc::new(AtomicU64::new(0));
+    {
+        let stdout = Arc::clone(&stdout);
+        let busy = Arc::clone(&busy);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+            let beat = Message::Heartbeat { pid, busy: busy.load(Ordering::SeqCst) };
+            if send_frame(&stdout, &beat).is_err() {
+                return; // coordinator gone; main loop sees EOF
+            }
+        });
+    }
+    loop {
+        match reader.next(&mut stdin) {
+            Ok(None) => return 0,
+            Err(()) => return 2,
+            Ok(Some(Message::Dispatch { job, delivery, name, kind, payload, .. })) => {
+                busy.store(job, Ordering::SeqCst);
+                let work = WorkerJob {
+                    job,
+                    name,
+                    kind,
+                    payload,
+                    delivery: delivery as u32,
+                    generation,
+                };
+                let result = registry.run(&work);
+                busy.store(0, Ordering::SeqCst);
+                let (ok, output, error) = match result {
+                    Ok(output) => (true, output, String::new()),
+                    Err(error) => (false, String::new(), error),
+                };
+                let reply =
+                    Message::TaskResult { job, delivery, generation, ok, output, error };
+                if send_frame(&stdout, &reply).is_err() {
+                    return 1;
+                }
+            }
+            Ok(Some(Message::Drain)) => {
+                let _ = send_frame(&stdout, &Message::Bye { pid });
+                return 0;
+            }
+            Ok(Some(_)) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_sets_fields() {
+        let spec = RemoteTaskSpec::new("run-1", "campaign-boot", "{\"p\":1}")
+            .timeout(Duration::from_secs(3));
+        assert_eq!(spec.name, "run-1");
+        assert_eq!(spec.kind, "campaign-boot");
+        assert_eq!(spec.timeout, Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn submit_error_messages() {
+        assert!(SubmitError::Backpressure.to_string().contains("backpressure"));
+        assert!(SubmitError::Shutdown.to_string().contains("shut down"));
+        assert_ne!(SubmitError::Backpressure, SubmitError::Shutdown);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = RemoteConfig::default();
+        assert!(config.queue_capacity > 0);
+        assert!(config.submit_deadline > Duration::ZERO);
+        assert!(config.drain_deadline > Duration::ZERO);
+        assert!(config.fault.is_none());
+        assert!(format!("{config:?}").contains("queue_capacity"));
+    }
+
+    #[test]
+    fn registry_contains_panics_and_unknown_kinds() {
+        let mut registry = HandlerRegistry::new();
+        registry.register("boom", |_| panic!("kapow"));
+        registry.register("echo", |job: &WorkerJob| Ok(job.payload.clone()));
+        let job = |kind: &str| WorkerJob {
+            job: 1,
+            name: "t".to_owned(),
+            kind: kind.to_owned(),
+            payload: "data".to_owned(),
+            delivery: 1,
+            generation: 1,
+        };
+        assert_eq!(registry.run(&job("echo")).unwrap(), "data");
+        assert!(registry.run(&job("boom")).unwrap_err().contains("kapow"));
+        assert!(registry.run(&job("mystery")).unwrap_err().contains("no handler"));
+    }
+
+    #[test]
+    fn spawn_failure_of_all_workers_errors() {
+        let command = WorkerCommand::new("/nonexistent/simart-worker-binary");
+        assert!(RemoteScheduler::new(command, 2).is_err());
+    }
+
+    #[test]
+    fn worker_command_builder_accumulates() {
+        let command = WorkerCommand::new("prog").arg("worker").env("K", "V");
+        assert_eq!(command.args, vec!["worker".to_owned()]);
+        assert_eq!(command.envs, vec![("K".to_owned(), "V".to_owned())]);
+    }
+}

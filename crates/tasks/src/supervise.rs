@@ -45,6 +45,17 @@ pub struct SupervisorConfig {
     pub max_detached: usize,
 }
 
+impl SupervisorConfig {
+    /// How long a remote worker process may go silent before the
+    /// coordinator declares it wedged and recycles it: the lease
+    /// grace plus four heartbeat intervals, so a worker must miss
+    /// several consecutive heartbeats (not just jitter past one)
+    /// before being SIGKILLed.
+    pub fn remote_stale_after(&self) -> Duration {
+        self.grace + self.heartbeat * 4
+    }
+}
+
 impl Default for SupervisorConfig {
     fn default() -> SupervisorConfig {
         SupervisorConfig {

@@ -64,6 +64,23 @@ pub(crate) fn lease_revoke(_id: u64) {
     tracepoint::record(tracepoint::Op::LeaseRevoke(_id));
 }
 
+/// The remote coordinator wrote a task dispatch onto a worker
+/// process's pipe (cross-process hand-off: everything the coordinator
+/// did before dispatching happens-before the worker's ack).
+#[inline(always)]
+pub(crate) fn remote_dispatch(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::RemoteDispatch(_id));
+}
+
+/// The remote coordinator accepted a worker process's result frame
+/// for a dispatched task.
+#[inline(always)]
+pub(crate) fn remote_ack(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::RemoteAck(_id));
+}
+
 /// A job entered a pool/broker work queue.
 #[inline(always)]
 pub(crate) fn enqueue(_queue: u64) {
