@@ -179,7 +179,10 @@ impl LintCode {
     /// insensitive) or a lint name (`missing-blob`).
     pub fn from_spec(spec: &str) -> Option<LintCode> {
         let upper = spec.to_ascii_uppercase();
-        ALL_CODES.iter().copied().find(|c| c.code() == upper || c.name() == spec)
+        ALL_CODES
+            .iter()
+            .copied()
+            .find(|c| c.code() == upper || c.name() == spec)
     }
 }
 
@@ -191,6 +194,11 @@ impl fmt::Display for LintCode {
 
 /// One finding: a lint code, its (possibly overridden) severity, the
 /// provenance object it is about, and a human-readable message.
+///
+/// `Ord` is the *report order* — code, then subject, then message
+/// (severity only as a final tiebreak) — defined here once so every
+/// consumer (text reports, JSON reports, the incremental-vs-full-scan
+/// equivalence tests) sorts identically by construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which lint fired.
@@ -214,6 +222,23 @@ impl Diagnostic {
             subject: subject.into(),
             message: message.into(),
         }
+    }
+}
+
+impl Ord for Diagnostic {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.code, &self.subject, &self.message, self.severity).cmp(&(
+            other.code,
+            &other.subject,
+            &other.message,
+            other.severity,
+        ))
+    }
+}
+
+impl PartialOrd for Diagnostic {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -259,8 +284,7 @@ impl LintLevels {
             self.deny_warnings = true;
             return Ok(());
         }
-        let code =
-            LintCode::from_spec(spec).ok_or_else(|| format!("unknown lint '{spec}'"))?;
+        let code = LintCode::from_spec(spec).ok_or_else(|| format!("unknown lint '{spec}'"))?;
         self.denied.insert(code);
         self.allowed.remove(&code);
         Ok(())
@@ -272,8 +296,7 @@ impl LintLevels {
     ///
     /// Returns the unrecognized spec.
     pub fn allow(&mut self, spec: &str) -> Result<(), String> {
-        let code =
-            LintCode::from_spec(spec).ok_or_else(|| format!("unknown lint '{spec}'"))?;
+        let code = LintCode::from_spec(spec).ok_or_else(|| format!("unknown lint '{spec}'"))?;
         self.allowed.insert(code);
         self.denied.remove(&code);
         Ok(())
@@ -299,12 +322,18 @@ impl LintLevels {
     }
 }
 
-/// Sorts diagnostics into the stable report order: by code, then
-/// subject, then message.
+/// Sorts diagnostics into the stable report order — the total order
+/// [`Diagnostic`]'s `Ord` defines (code, then subject, then message).
 pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
-    diagnostics.sort_by(|a, b| {
-        (a.code, &a.subject, &a.message).cmp(&(b.code, &b.subject, &b.message))
-    });
+    diagnostics.sort();
+}
+
+/// Returns the findings in report order without mutating the caller's
+/// slice — how the renderers enforce determinism by construction.
+fn in_report_order(diagnostics: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut ordered = diagnostics.to_vec();
+    sort_diagnostics(&mut ordered);
+    ordered
 }
 
 /// Whether any finding is at [`Severity::Error`].
@@ -313,14 +342,18 @@ pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
 }
 
 /// Renders the human-readable report, one finding per line, with a
-/// trailing summary line.
+/// trailing summary line. Findings are emitted in report order
+/// regardless of input order.
 pub fn render_text(diagnostics: &[Diagnostic]) -> String {
     let mut out = String::new();
-    for d in diagnostics {
+    for d in in_report_order(diagnostics) {
         out.push_str(&d.to_string());
         out.push('\n');
     }
-    let errors = diagnostics.iter().filter(|d| d.severity == Severity::Error).count();
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
     let warnings = diagnostics.len() - errors;
     out.push_str(&format!(
         "check: {errors} error{}, {warnings} warning{}\n",
@@ -330,9 +363,10 @@ pub fn render_text(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
-/// Renders the machine-readable report as a JSON array of findings.
+/// Renders the machine-readable report as a JSON array of findings,
+/// in report order regardless of input order.
 pub fn render_json(diagnostics: &[Diagnostic]) -> String {
-    let items = diagnostics.iter().map(|d| {
+    let items = in_report_order(diagnostics).into_iter().map(|d| {
         Value::map([
             ("code", Value::from(d.code.code())),
             ("name", Value::from(d.code.name())),
@@ -356,7 +390,10 @@ mod tests {
         assert_eq!(names.len(), ALL_CODES.len());
         assert_eq!(LintCode::from_spec("SA0004"), Some(LintCode::MissingBlob));
         assert_eq!(LintCode::from_spec("sa0004"), Some(LintCode::MissingBlob));
-        assert_eq!(LintCode::from_spec("missing-blob"), Some(LintCode::MissingBlob));
+        assert_eq!(
+            LintCode::from_spec("missing-blob"),
+            Some(LintCode::MissingBlob)
+        );
         assert_eq!(LintCode::from_spec("no-such-lint"), None);
     }
 
@@ -374,7 +411,40 @@ mod tests {
         ];
         let out = levels.apply(diags);
         assert_eq!(out.len(), 2, "allowed lint dropped");
-        assert!(out.iter().all(|d| d.severity == Severity::Error), "warnings promoted");
+        assert!(
+            out.iter().all(|d| d.severity == Severity::Error),
+            "warnings promoted"
+        );
+    }
+
+    #[test]
+    fn renderers_sort_by_construction() {
+        // Deliberately out of order: same code, subjects reversed, plus
+        // a lower code last. Both renderers must emit report order
+        // without the caller sorting first.
+        let diags = vec![
+            Diagnostic::new(LintCode::MissingBlob, "run:b", "z message"),
+            Diagnostic::new(LintCode::MissingBlob, "run:b", "a message"),
+            Diagnostic::new(LintCode::MissingBlob, "run:a", "m message"),
+            Diagnostic::new(LintCode::DanglingArtifactRef, "run:z", "dangles"),
+        ];
+        let text = render_text(&diags);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("SA0001"));
+        assert!(lines[1].contains("run:a"));
+        assert!(lines[2].contains("a message"));
+        assert!(lines[3].contains("z message"));
+        let json = render_json(&diags);
+        let a = json.find("\"SA0001\"").unwrap();
+        let b = json.find("a message").unwrap();
+        let c = json.find("z message").unwrap();
+        assert!(a < b && b < c, "json respects report order");
+        // Ord agrees with sort_diagnostics.
+        let mut sorted = diags.clone();
+        sort_diagnostics(&mut sorted);
+        let mut via_ord = diags;
+        via_ord.sort();
+        assert_eq!(sorted, via_ord);
     }
 
     #[test]

@@ -28,8 +28,11 @@
 #![deny(missing_docs)]
 
 pub mod diag;
+pub mod engine;
 pub mod lint;
+mod lints;
 pub mod prelaunch;
 pub mod race;
 
 pub use diag::{Diagnostic, LintCode, LintLevels, Severity};
+pub use engine::{campaign_check, check_dir_incremental, record_state, CheckOutcome, Engine};

@@ -9,24 +9,21 @@
 //! static half of the paper's "trust the provenance you recorded"
 //! story.
 
-use crate::diag::{sort_diagnostics, Diagnostic, LintCode};
-use simart_artifact::dag::{DependencyGraph, GraphIssue};
+use crate::diag::{Diagnostic, LintCode};
+use crate::engine::Engine;
 use simart_artifact::Uuid;
-use simart_db::{BlobKey, Database, DbError, LoadOptions, LoadReport, Value};
-use simart_run::RunStatus;
-use std::collections::{HashMap, HashSet};
+use simart_db::{BlobKey, Database, DbError, LoadOptions, Value};
 use std::path::Path;
 
 /// Lints an in-memory database, returning all findings sorted in the
 /// stable report order. Read-only: looks only at collections that
-/// already exist.
+/// already exist. This is the full-scan entry point of the incremental
+/// engine ([`crate::engine`]); `simart check --incremental` reuses the
+/// same lint registry against recorded state instead.
 pub fn lint_database(db: &Database) -> Vec<Diagnostic> {
-    let mut diagnostics = Vec::new();
-    let artifact_ids = lint_artifacts(db, &mut diagnostics);
-    lint_runs(db, &artifact_ids, &mut diagnostics);
-    lint_quarantine(db, &mut diagnostics);
-    sort_diagnostics(&mut diagnostics);
-    diagnostics
+    let mut engine = Engine::new();
+    engine.full_scan(db);
+    engine.diagnostics()
 }
 
 /// Lints a database directory on disk: loads it (checkpoint + journal
@@ -44,375 +41,10 @@ pub fn lint_dir(dir: &Path) -> Result<Vec<Diagnostic>, DbError> {
     // documents must not abort the whole pass (SA0005/SA0012/SA0013
     // findings describe them instead).
     let (db, report) = Database::load_with(dir, &LoadOptions::default())?;
-    let mut diagnostics = lint_database(&db);
-    diagnostics.extend(scan_blob_files(dir));
-    diagnostics.extend(journal_diagnostics(&report));
-    sort_diagnostics(&mut diagnostics);
-    Ok(diagnostics)
-}
-
-/// Derives journal-layout findings from what the load observed:
-/// SA0012 for records (or a torn tail) not yet folded into checkpoint
-/// files, SA0013 for checkpoint/journal disagreement about one `_id`.
-fn journal_diagnostics(report: &LoadReport) -> Vec<Diagnostic> {
-    let mut diagnostics = Vec::new();
-    if report.journal_records > 0 {
-        diagnostics.push(Diagnostic::new(
-            LintCode::UnreplayedJournal,
-            "journal:log",
-            format!(
-                "journal holds {} record(s) not folded into the checkpoint files; \
-                 the owning campaign did not finish (or never ran) its checkpoint",
-                report.journal_records
-            ),
-        ));
-    }
-    if report.journal_torn_bytes > 0 {
-        diagnostics.push(Diagnostic::new(
-            LintCode::UnreplayedJournal,
-            "journal:tail",
-            format!(
-                "journal ends in a torn tail of {} byte(s) (interrupted append); \
-                 records before the tear replay cleanly",
-                report.journal_torn_bytes
-            ),
-        ));
-    }
-    for subject in &report.divergent {
-        diagnostics.push(Diagnostic::new(
-            LintCode::JournalDivergence,
-            format!("journal:{subject}"),
-            "journal insert collides with a checkpoint document of different content; \
-             the journal version wins on replay"
-                .to_owned(),
-        ));
-    }
-    diagnostics
-}
-
-/// Lints every artifact document; returns the set of declared artifact
-/// ids so the run pass can resolve references.
-fn lint_artifacts(db: &Database, diagnostics: &mut Vec<Diagnostic>) -> HashSet<String> {
-    let mut ids = HashSet::new();
-    if !db.has_collection("artifacts") {
-        return ids;
-    }
-    let docs = db.collection("artifacts").all();
-    for doc in &docs {
-        if let Some(id) = doc.at("_id").and_then(Value::as_str) {
-            ids.insert(id.to_owned());
-        }
-    }
-
-    let mut graph = DependencyGraph::new();
-    let mut by_hash: HashMap<String, Vec<String>> = HashMap::new();
-    for doc in &docs {
-        let Some(id) = doc.at("_id").and_then(Value::as_str) else { continue };
-        let subject = format!("artifact:{id}");
-        let Ok(uuid) = id.parse::<Uuid>() else {
-            diagnostics.push(Diagnostic::new(
-                LintCode::OrphanArtifactInput,
-                subject,
-                format!("artifact id '{id}' is not a valid uuid"),
-            ));
-            continue;
-        };
-        graph.add_node(uuid);
-        for input in doc.at("inputs").and_then(Value::as_array).unwrap_or(&[]) {
-            let Some(input) = input.as_str() else { continue };
-            match input.parse::<Uuid>() {
-                Ok(input_id) => graph.add_edge_unchecked(input_id, uuid),
-                Err(_) => diagnostics.push(Diagnostic::new(
-                    LintCode::OrphanArtifactInput,
-                    subject.clone(),
-                    format!("input '{input}' is not a valid uuid"),
-                )),
-            }
-        }
-        if let Some(payload) = doc.at("payload").and_then(Value::as_str) {
-            check_blob_ref(db, &subject, payload, diagnostics);
-        }
-        if let Some(hash) = doc.at("hash").and_then(Value::as_str) {
-            by_hash.entry(hash.to_owned()).or_default().push(id.to_owned());
-        }
-    }
-
-    for issue in graph.validate() {
-        match issue {
-            GraphIssue::Cycle { members } => {
-                let names: Vec<String> = members.iter().map(Uuid::to_string).collect();
-                diagnostics.push(Diagnostic::new(
-                    LintCode::ArtifactCycle,
-                    format!("artifact:{}", names[0]),
-                    format!("artifact dependency cycle through [{}]", names.join(", ")),
-                ));
-            }
-            GraphIssue::Orphan { node, referenced_by } => {
-                let refs: Vec<String> = referenced_by.iter().map(Uuid::to_string).collect();
-                diagnostics.push(Diagnostic::new(
-                    LintCode::OrphanArtifactInput,
-                    format!("artifact:{node}"),
-                    format!(
-                        "input {node} is referenced by [{}] but no artifact document declares it",
-                        refs.join(", ")
-                    ),
-                ));
-            }
-        }
-    }
-
-    for (hash, dup_ids) in by_hash {
-        if dup_ids.len() > 1 {
-            let mut dup_ids = dup_ids;
-            dup_ids.sort();
-            diagnostics.push(Diagnostic::new(
-                LintCode::DuplicateArtifact,
-                format!("hash:{hash}"),
-                format!(
-                    "artifacts [{}] share content hash {hash} but were not deduplicated",
-                    dup_ids.join(", ")
-                ),
-            ));
-        }
-    }
-    ids
-}
-
-/// Lints every run document: reference resolution, blob refs, event-log
-/// replay, and run-hash dedup.
-fn lint_runs(db: &Database, artifact_ids: &HashSet<String>, diagnostics: &mut Vec<Diagnostic>) {
-    if !db.has_collection("runs") {
-        return;
-    }
-    let docs = db.collection("runs").all();
-    let mut by_hash: HashMap<String, Vec<String>> = HashMap::new();
-    for doc in &docs {
-        let id = doc.at("_id").and_then(Value::as_str).unwrap_or("<missing _id>");
-        let subject = format!("run:{id}");
-
-        for input in doc.at("inputs").and_then(Value::as_array).unwrap_or(&[]) {
-            let Some(input) = input.as_str() else { continue };
-            if !artifact_ids.contains(input) {
-                diagnostics.push(Diagnostic::new(
-                    LintCode::DanglingArtifactRef,
-                    subject.clone(),
-                    format!("input artifact {input} is not in the artifact collection"),
-                ));
-            }
-        }
-        if let Some(payload) = doc.at("results.payload").and_then(Value::as_str) {
-            check_blob_ref(db, &subject, payload, diagnostics);
-        }
-        if let Some(hash) = doc.at("hash").and_then(Value::as_str) {
-            by_hash.entry(hash.to_owned()).or_default().push(id.to_owned());
-        }
-        replay_events(doc, &subject, diagnostics);
-        lint_remote_attempts(doc, &subject, diagnostics);
-    }
-    for (hash, dup_ids) in by_hash {
-        if dup_ids.len() > 1 {
-            let mut dup_ids = dup_ids;
-            dup_ids.sort();
-            diagnostics.push(Diagnostic::new(
-                LintCode::DuplicateRunHash,
-                format!("hash:{hash}"),
-                format!(
-                    "runs [{}] share run hash {hash}; duplicate experiments should be refused",
-                    dup_ids.join(", ")
-                ),
-            ));
-        }
-    }
-}
-
-/// Cross-checks the dead-letter quarantine against the run collection
-/// (SA0014): an unreleased dead letter must point at an existing run
-/// whose status is `quarantined`. A missing run means results were
-/// deleted out from under the quarantine; any other status means the
-/// run was re-queued behind the supervisor's back, so its results may
-/// rest on a run the supervisor gave up on. Released dead letters are
-/// history, not constraints.
-fn lint_quarantine(db: &Database, diagnostics: &mut Vec<Diagnostic>) {
-    if !db.has_collection("quarantine") {
-        return;
-    }
-    for doc in db.collection("quarantine").all() {
-        let Some(id) = doc.at("_id").and_then(Value::as_str) else { continue };
-        if doc.at("released").and_then(Value::as_bool).unwrap_or(false) {
-            continue;
-        }
-        let subject = format!("run:{id}");
-        match db.collection("runs").get(id) {
-            None => diagnostics.push(Diagnostic::new(
-                LintCode::QuarantinedRunReferenced,
-                subject,
-                "unreleased dead letter references a run missing from the run collection"
-                    .to_owned(),
-            )),
-            Some(run) => {
-                let status = run.at("status").and_then(Value::as_str).unwrap_or("<missing>");
-                if status != "quarantined" {
-                    diagnostics.push(Diagnostic::new(
-                        LintCode::QuarantinedRunReferenced,
-                        subject,
-                        format!(
-                            "run has an unreleased dead letter but status '{status}' \
-                             (re-queued without `simart quarantine --release`?)"
-                        ),
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// Replays a run's provenance event log against the lifecycle rules:
-/// every `status:` event must be a legal transition from the replayed
-/// state (SA0006), `retrying` needs a prior failed attempt (SA0007),
-/// and the document's `status` field must match the replay (SA0011).
-fn replay_events(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) {
-    let mut current = RunStatus::Created;
-    let mut saw_failed_attempt = false;
-    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
-        let Some(event) = event.as_str() else { continue };
-        if let Some(status) = event.strip_prefix("status:") {
-            let Ok(next) = status.parse::<RunStatus>() else {
-                diagnostics.push(Diagnostic::new(
-                    LintCode::LifecycleViolation,
-                    subject.to_owned(),
-                    format!("event log names unknown status '{status}'"),
-                ));
-                continue;
-            };
-            if !current.can_transition_to(next) {
-                diagnostics.push(Diagnostic::new(
-                    LintCode::LifecycleViolation,
-                    subject.to_owned(),
-                    format!("event log records illegal transition {current} -> {next}"),
-                ));
-            }
-            if next == RunStatus::Retrying && !saw_failed_attempt {
-                diagnostics.push(Diagnostic::new(
-                    LintCode::RetryWithoutFailure,
-                    subject.to_owned(),
-                    "run entered retrying with no prior failed attempt on record".to_owned(),
-                ));
-            }
-            current = next;
-        } else if let Some(attempt) = event.strip_prefix("attempt:") {
-            if !attempt.ends_with(":succeeded") {
-                saw_failed_attempt = true;
-            }
-        }
-    }
-    if let Some(status) = doc.at("status").and_then(Value::as_str) {
-        if status.parse::<RunStatus>().ok() != Some(current) {
-            diagnostics.push(Diagnostic::new(
-                LintCode::StatusEventMismatch,
-                subject.to_owned(),
-                format!(
-                    "document status '{status}' disagrees with event-log replay '{current}'"
-                ),
-            ));
-        }
-    }
-}
-
-/// Scans a run's event log for orphaned remote attempts (SA0015): a
-/// `remote-dispatch:<delivery>:g<generation>` that is never followed
-/// by a `remote-ack`, another dispatch (a redelivery supersedes the
-/// orphan), a quarantine, or a re-queue. Such a run was dispatched to
-/// a worker whose answer the coordinator never journaled — the
-/// signature of a coordinator crash mid-campaign — so its recorded
-/// status may not reflect its last delivery.
-fn lint_remote_attempts(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) {
-    let mut open: Option<&str> = None;
-    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
-        let Some(event) = event.as_str() else { continue };
-        if let Some(dispatch) = event.strip_prefix("remote-dispatch:") {
-            open = Some(dispatch);
-        } else if event.starts_with("remote-ack:")
-            || event == "status:queued"
-            || event == "status:quarantined"
-        {
-            open = None;
-        }
-    }
-    if let Some(dispatch) = open {
-        let (delivery, generation) = dispatch.split_once(":g").unwrap_or((dispatch, "?"));
-        diagnostics.push(Diagnostic::new(
-            LintCode::OrphanedRemoteAttempt,
-            subject.to_owned(),
-            format!(
-                "last remote dispatch (delivery {delivery} to worker generation \
-                 {generation}) was never acked, re-delivered, or quarantined — \
-                 orphaned by a coordinator crash?"
-            ),
-        ));
-    }
-}
-
-/// Checks one blob-key reference against the in-memory blob store
-/// (SA0004 for unparseable keys and for keys absent from the store).
-fn check_blob_ref(db: &Database, subject: &str, hex: &str, diagnostics: &mut Vec<Diagnostic>) {
-    match BlobKey::from_hex(hex) {
-        None => diagnostics.push(Diagnostic::new(
-            LintCode::MissingBlob,
-            subject.to_owned(),
-            format!("payload reference '{hex}' is not a valid blob key"),
-        )),
-        Some(key) if !db.blobs().contains(key) => diagnostics.push(Diagnostic::new(
-            LintCode::MissingBlob,
-            subject.to_owned(),
-            format!("payload blob {hex} is not in the blob store"),
-        )),
-        Some(_) => {}
-    }
-}
-
-/// Scans `<dir>/blobs/` for content-hash mismatches (SA0005): every
-/// non-`.tmp` file must hash to its own file name, because the store is
-/// content-addressed. `Database::load` silently drops offenders; the
-/// lint makes that loud.
-fn scan_blob_files(dir: &Path) -> Vec<Diagnostic> {
-    let mut diagnostics = Vec::new();
-    let blob_dir = dir.join("blobs");
-    let Ok(entries) = std::fs::read_dir(&blob_dir) else {
-        return diagnostics;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if !path.is_file() || path.extension().is_some_and(|e| e == "tmp") {
-            continue;
-        }
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let subject = format!("blob:{name}");
-        if BlobKey::from_hex(&name).is_none() {
-            diagnostics.push(Diagnostic::new(
-                LintCode::HashMismatch,
-                subject,
-                "file name in blobs/ is not a blob key".to_owned(),
-            ));
-            continue;
-        }
-        let Ok(content) = std::fs::read(&path) else {
-            diagnostics.push(Diagnostic::new(
-                LintCode::HashMismatch,
-                subject,
-                "blob file is unreadable".to_owned(),
-            ));
-            continue;
-        };
-        let actual = BlobKey::for_content(&content).to_hex();
-        if actual != name {
-            diagnostics.push(Diagnostic::new(
-                LintCode::HashMismatch,
-                subject,
-                format!("blob content hashes to {actual}, not to its file name"),
-            ));
-        }
-    }
-    diagnostics
+    let mut engine = Engine::new();
+    engine.full_scan(&db);
+    engine.scan_environment(dir, &report);
+    Ok(engine.diagnostics())
 }
 
 /// Runs the linter against a freshly seeded database containing one
@@ -429,22 +61,36 @@ pub fn self_test() -> Result<String, String> {
     seed_artifact(&clean, uuid("clean-a"), &[], "hash-clean", None);
     // Remote controls ride along: a re-delivered dispatch superseded by
     // a later one, and a final dispatch that was acked, are both fine.
-    seed_run(&clean, "run-clean", "rh-clean", "done", &[uuid("clean-a")], &[
-        "status:queued",
-        "remote-dispatch:1:g1",
-        "remote-dispatch:2:g2",
-        "status:running",
-        "remote-ack:2:g2",
-        "status:done",
-    ]);
+    seed_run(
+        &clean,
+        "run-clean",
+        "rh-clean",
+        "done",
+        &[uuid("clean-a")],
+        &[
+            "status:queued",
+            "remote-dispatch:1:g1",
+            "remote-dispatch:2:g2",
+            "status:running",
+            "remote-ack:2:g2",
+            "status:done",
+        ],
+    );
     // Quarantine controls: a consistent quarantined run and a released
     // dead letter (even for a long-gone run) are both fine — including
     // when the quarantine itself closes an unacked remote dispatch.
-    seed_run(&clean, "run-clean-q", "rh-clean-q", "quarantined", &[], &[
-        "status:queued",
-        "remote-dispatch:1:g1",
-        "status:quarantined",
-    ]);
+    seed_run(
+        &clean,
+        "run-clean-q",
+        "rh-clean-q",
+        "quarantined",
+        &[],
+        &[
+            "status:queued",
+            "remote-dispatch:1:g1",
+            "status:quarantined",
+        ],
+    );
     seed_dead_letter(&clean, "run-clean-q", false);
     seed_dead_letter(&clean, "run-long-gone", true);
     let diags = lint_database(&clean);
@@ -460,45 +106,74 @@ pub fn self_test() -> Result<String, String> {
     // SA0002: cycle a <-> b. SA0003: orphan input on c.
     seed_artifact(&db, uuid("cyc-a"), &[uuid("cyc-b")], "hash-a", None);
     seed_artifact(&db, uuid("cyc-b"), &[uuid("cyc-a")], "hash-b", None);
-    seed_artifact(&db, uuid("art-c"), &[uuid("never-registered")], "hash-c", None);
+    seed_artifact(
+        &db,
+        uuid("art-c"),
+        &[uuid("never-registered")],
+        "hash-c",
+        None,
+    );
     // SA0004: payload key absent from the blob store.
     seed_artifact(&db, uuid("art-d"), &[], "hash-d", Some(&"0".repeat(32)));
     // SA0001: run referencing an unknown artifact.
-    seed_run(&db, "run-1", "rh-1", "done", &[uuid("ghost")], &[
-        "status:queued",
-        "status:running",
-        "status:done",
-    ]);
+    seed_run(
+        &db,
+        "run-1",
+        "rh-1",
+        "done",
+        &[uuid("ghost")],
+        &["status:queued", "status:running", "status:done"],
+    );
     // SA0006: terminal status written twice.
-    seed_run(&db, "run-2", "rh-2", "done", &[], &[
-        "status:queued",
-        "status:running",
-        "status:done",
-        "status:done",
-    ]);
+    seed_run(
+        &db,
+        "run-2",
+        "rh-2",
+        "done",
+        &[],
+        &[
+            "status:queued",
+            "status:running",
+            "status:done",
+            "status:done",
+        ],
+    );
     // SA0007: retrying with no prior failed attempt (running -> retrying
     // is itself legal, so only SA0007 fires).
-    seed_run(&db, "run-3", "rh-3", "retrying", &[], &[
-        "status:queued",
-        "status:running",
-        "status:retrying",
-    ]);
+    seed_run(
+        &db,
+        "run-3",
+        "rh-3",
+        "retrying",
+        &[],
+        &["status:queued", "status:running", "status:retrying"],
+    );
     // SA0009: duplicate run hash.
     seed_run(&db, "run-4", "rh-dup", "created", &[], &[]);
     seed_run(&db, "run-5", "rh-dup", "created", &[], &[]);
     // SA0011: status field drifted from the event log.
-    seed_run(&db, "run-6", "rh-6", "done", &[], &["status:queued", "status:running"]);
+    seed_run(
+        &db,
+        "run-6",
+        "rh-6",
+        "done",
+        &[],
+        &["status:queued", "status:running"],
+    );
     // SA0014: an unreleased dead letter whose run was re-queued without
     // a release.
     seed_run(&db, "run-7", "rh-7", "queued", &[], &["status:queued"]);
     seed_dead_letter(&db, "run-7", false);
     // SA0015: a remote dispatch with no ack, redelivery, re-queue, or
     // quarantine after it (the run document froze mid-delivery).
-    seed_run(&db, "run-8", "rh-8", "running", &[], &[
-        "status:queued",
-        "status:running",
-        "remote-dispatch:1:g1",
-    ]);
+    seed_run(
+        &db,
+        "run-8",
+        "rh-8",
+        "running",
+        &[],
+        &["status:queued", "status:running", "remote-dispatch:1:g1"],
+    );
 
     let diags = lint_database(&db);
     let expect = [
@@ -516,7 +191,9 @@ pub fn self_test() -> Result<String, String> {
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {
-            return Err(format!("seeded defect for {code} was not detected; got {diags:?}"));
+            return Err(format!(
+                "seeded defect for {code} was not detected; got {diags:?}"
+            ));
         }
     }
 
@@ -525,14 +202,17 @@ pub fn self_test() -> Result<String, String> {
     let _ = std::fs::remove_dir_all(&dir);
     let disk = Database::in_memory();
     disk.blobs().put(b"intact".to_vec());
-    disk.save(&dir).map_err(|e| format!("saving self-test db: {e}"))?;
+    disk.save(&dir)
+        .map_err(|e| format!("saving self-test db: {e}"))?;
     let fake = BlobKey::for_content(b"original content").to_hex();
     std::fs::write(dir.join("blobs").join(fake), b"tampered")
         .map_err(|e| format!("seeding tampered blob: {e}"))?;
     let disk_diags = lint_dir(&dir).map_err(|e| format!("linting self-test dir: {e}"))?;
     let _ = std::fs::remove_dir_all(&dir);
     if !disk_diags.iter().any(|d| d.code == LintCode::HashMismatch) {
-        return Err(format!("tampered blob was not detected; got {disk_diags:?}"));
+        return Err(format!(
+            "tampered blob was not detected; got {disk_diags:?}"
+        ));
     }
 
     // SA0012/SA0013 need a journaled directory: an attached database
@@ -540,36 +220,56 @@ pub fn self_test() -> Result<String, String> {
     // (SA0012), and a hand-edited checkpoint that disagrees with a
     // journal insert is divergence (SA0013). A collection outside the
     // provenance schema keeps the other lints quiet.
-    let jdir =
-        std::env::temp_dir().join(format!("simart-check-selftest-journal-{}", std::process::id()));
+    let jdir = std::env::temp_dir().join(format!(
+        "simart-check-selftest-journal-{}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&jdir);
     {
-        let jdb = Database::open(&jdir).map_err(|e| format!("opening self-test journal db: {e}"))?;
+        let jdb =
+            Database::open(&jdir).map_err(|e| format!("opening self-test journal db: {e}"))?;
         jdb.collection("notes")
-            .insert(Value::map([("_id", Value::from("n1")), ("v", Value::from(1i64))]))
+            .insert(Value::map([
+                ("_id", Value::from("n1")),
+                ("v", Value::from(1i64)),
+            ]))
             .map_err(|e| format!("seeding journaled doc: {e}"))?;
     }
     std::fs::write(jdir.join("notes.jsonl"), "{\"_id\":\"n1\",\"v\":2}\n")
         .map_err(|e| format!("seeding divergent checkpoint: {e}"))?;
     let journal_diags = lint_dir(&jdir).map_err(|e| format!("linting journaled dir: {e}"))?;
     let _ = std::fs::remove_dir_all(&jdir);
-    if !journal_diags.iter().any(|d| d.code == LintCode::UnreplayedJournal) {
-        return Err(format!("unreplayed journal was not detected; got {journal_diags:?}"));
+    if !journal_diags
+        .iter()
+        .any(|d| d.code == LintCode::UnreplayedJournal)
+    {
+        return Err(format!(
+            "unreplayed journal was not detected; got {journal_diags:?}"
+        ));
     }
-    if !journal_diags.iter().any(|d| d.code == LintCode::JournalDivergence) {
-        return Err(format!("journal divergence was not detected; got {journal_diags:?}"));
+    if !journal_diags
+        .iter()
+        .any(|d| d.code == LintCode::JournalDivergence)
+    {
+        return Err(format!(
+            "journal divergence was not detected; got {journal_diags:?}"
+        ));
     }
 
     // SA0010 comes from prelaunch cross-product validation.
     let catalog = simart_resources::Catalog::standard();
-    let axes =
-        vec![("benchmark".to_owned(), vec!["no-such-suite".to_owned(), "npb".to_owned()])];
+    let axes = vec![(
+        "benchmark".to_owned(),
+        vec!["no-such-suite".to_owned(), "npb".to_owned()],
+    )];
     let pre = crate::prelaunch::validate_axes(&axes, &catalog);
     if !pre.iter().any(|d| d.code == LintCode::UnknownResource) {
         return Err(format!("unknown resource was not detected; got {pre:?}"));
     }
     if pre.len() != 1 {
-        return Err(format!("catalog resource 'npb' was wrongly flagged: {pre:?}"));
+        return Err(format!(
+            "catalog resource 'npb' was wrongly flagged: {pre:?}"
+        ));
     }
 
     Ok(format!(
@@ -589,12 +289,17 @@ fn seed_artifact(db: &Database, id: String, inputs: &[String], hash: &str, paylo
         ("name", Value::from("seeded")),
         ("kind", Value::from("binary")),
         ("hash", Value::from(hash)),
-        ("inputs", Value::array(inputs.iter().map(|i| Value::from(i.clone())))),
+        (
+            "inputs",
+            Value::array(inputs.iter().map(|i| Value::from(i.clone()))),
+        ),
     ]);
     if let Some(payload) = payload {
         doc.set_at("payload", Value::from(payload));
     }
-    db.collection("artifacts").insert(doc).expect("seeding artifact");
+    db.collection("artifacts")
+        .insert(doc)
+        .expect("seeding artifact");
 }
 
 fn seed_dead_letter(db: &Database, run_id: &str, released: bool) {
@@ -604,28 +309,30 @@ fn seed_dead_letter(db: &Database, run_id: &str, released: bool) {
             ("task", Value::from("seeded/task")),
             ("error", Value::from("seeded: redelivery cap exhausted")),
             ("redeliveries", Value::from(1u32)),
-            ("leaseEvents", Value::array([Value::from("delivery:1:lease-expired")])),
+            (
+                "leaseEvents",
+                Value::array([Value::from("delivery:1:lease-expired")]),
+            ),
             ("attempts", Value::from(0u32)),
             ("released", Value::from(released)),
         ]))
         .expect("seeding dead letter");
 }
 
-fn seed_run(
-    db: &Database,
-    id: &str,
-    hash: &str,
-    status: &str,
-    inputs: &[String],
-    events: &[&str],
-) {
+fn seed_run(db: &Database, id: &str, hash: &str, status: &str, inputs: &[String], events: &[&str]) {
     db.collection("runs")
         .insert(Value::map([
             ("_id", Value::from(id)),
             ("hash", Value::from(hash)),
             ("status", Value::from(status)),
-            ("inputs", Value::array(inputs.iter().map(|i| Value::from(i.clone())))),
-            ("events", Value::array(events.iter().map(|e| Value::from(*e)))),
+            (
+                "inputs",
+                Value::array(inputs.iter().map(|i| Value::from(i.clone()))),
+            ),
+            (
+                "events",
+                Value::array(events.iter().map(|e| Value::from(*e))),
+            ),
         ]))
         .expect("seeding run");
 }
@@ -686,16 +393,21 @@ mod tests {
         assert!(lint_database(&db).is_empty());
         // A consistent quarantined run is clean.
         let db = Database::in_memory();
-        seed_run(&db, "q", "rh-q", "quarantined", &[], &[
-            "status:queued",
-            "status:quarantined",
-        ]);
+        seed_run(
+            &db,
+            "q",
+            "rh-q",
+            "quarantined",
+            &[],
+            &["status:queued", "status:quarantined"],
+        );
         seed_dead_letter(&db, "q", false);
         assert!(lint_database(&db).is_empty());
     }
 
     #[test]
     fn orphaned_remote_dispatch_is_flagged_but_closed_ones_are_not() {
+        use crate::lints::lint_remote_attempts;
         fn scan(events: &[&str]) -> Vec<Diagnostic> {
             let doc = Value::map([(
                 "events",
@@ -709,17 +421,31 @@ mod tests {
         let diags = scan(&["status:queued", "status:running", "remote-dispatch:2:g3"]);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].code, LintCode::OrphanedRemoteAttempt);
-        assert!(diags[0].message.contains("delivery 2"), "{}", diags[0].message);
-        assert!(diags[0].message.contains("generation 3"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("delivery 2"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("generation 3"),
+            "{}",
+            diags[0].message
+        );
         // An ack, a re-queue, or a quarantine closes the dispatch; a
         // later dispatch supersedes (redelivery), so only an open final
         // one counts.
         for closer in ["remote-ack:1:g1", "status:queued", "status:quarantined"] {
             let diags = scan(&["status:queued", "remote-dispatch:1:g1", closer]);
-            assert!(diags.is_empty(), "closer {closer} did not clear the dispatch: {diags:?}");
+            assert!(
+                diags.is_empty(),
+                "closer {closer} did not clear the dispatch: {diags:?}"
+            );
         }
-        let diags =
-            scan(&["remote-dispatch:1:g1", "remote-dispatch:2:g2", "remote-ack:2:g2"]);
+        let diags = scan(&[
+            "remote-dispatch:1:g1",
+            "remote-dispatch:2:g2",
+            "remote-ack:2:g2",
+        ]);
         assert!(diags.is_empty(), "{diags:?}");
         // No remote events at all: nothing to flag.
         assert!(scan(&["status:queued", "status:running", "status:done"]).is_empty());
@@ -728,10 +454,17 @@ mod tests {
     #[test]
     fn each_seeded_defect_maps_to_its_code() {
         let db = Database::in_memory();
-        seed_run(&db, "r", "h", "failed", &[uuid("nope")], &[
-            "status:queued",
-            "status:done", // queued -> done is illegal
-        ]);
+        seed_run(
+            &db,
+            "r",
+            "h",
+            "failed",
+            &[uuid("nope")],
+            &[
+                "status:queued",
+                "status:done", // queued -> done is illegal
+            ],
+        );
         let diags = lint_database(&db);
         let codes: Vec<LintCode> = diags.iter().map(|d| d.code).collect();
         assert!(codes.contains(&LintCode::DanglingArtifactRef));

@@ -42,7 +42,12 @@ mod tests {
     fn axes(pairs: &[(&str, &[&str])]) -> Vec<(String, Vec<String>)> {
         pairs
             .iter()
-            .map(|(a, vs)| ((*a).to_owned(), vs.iter().map(|v| (*v).to_owned()).collect()))
+            .map(|(a, vs)| {
+                (
+                    (*a).to_owned(),
+                    vs.iter().map(|v| (*v).to_owned()).collect(),
+                )
+            })
             .collect()
     }
 
@@ -65,8 +70,10 @@ mod tests {
     #[test]
     fn non_resource_axes_are_ignored() {
         let catalog = Catalog::standard();
-        let diags =
-            validate_axes(&axes(&[("cpu", &["kvm", "atomic"]), ("cores", &["1", "2"])]), &catalog);
+        let diags = validate_axes(
+            &axes(&[("cpu", &["kvm", "atomic"]), ("cores", &["1", "2"])]),
+            &catalog,
+        );
         assert!(diags.is_empty());
     }
 }

@@ -123,7 +123,11 @@ pub fn check(events: &[Event]) -> Vec<Race> {
                     // least to the prior access's epoch.
                     let ordered = vc.get(prior.thread) >= prior.clock;
                     if conflicting && !ordered {
-                        races.push(Race { object: o, first: prior.event, second: event });
+                        races.push(Race {
+                            object: o,
+                            first: prior.event,
+                            second: event,
+                        });
                     }
                 }
                 // Epoch: tick first so clock is nonzero and unique per
@@ -197,10 +201,14 @@ pub fn self_test() -> Result<String, String> {
         })
         .collect();
     for writer in writers {
-        writer.join().map_err(|_| "racy writer panicked".to_owned())?;
+        writer
+            .join()
+            .map_err(|_| "racy writer panicked".to_owned())?;
     }
-    let racy: Vec<Event> =
-        tracepoint::drain().into_iter().filter(|e| e.op.object() == target).collect();
+    let racy: Vec<Event> = tracepoint::drain()
+        .into_iter()
+        .filter(|e| e.op.object() == target)
+        .collect();
     let races = check(&racy);
     if !races.iter().any(|r| r.object == target) {
         tracepoint::disable();
@@ -227,11 +235,15 @@ pub fn self_test() -> Result<String, String> {
         })
         .collect();
     for writer in writers {
-        writer.join().map_err(|_| "guarded writer panicked".to_owned())?;
+        writer
+            .join()
+            .map_err(|_| "guarded writer panicked".to_owned())?;
     }
     let threads: Vec<tracepoint::ThreadId> = rx.try_iter().collect();
-    let synced: Vec<Event> =
-        tracepoint::drain().into_iter().filter(|e| threads.contains(&e.thread)).collect();
+    let synced: Vec<Event> = tracepoint::drain()
+        .into_iter()
+        .filter(|e| threads.contains(&e.thread))
+        .collect();
     tracepoint::disable();
     let races = check(&synced);
     if let Some(race) = races.iter().find(|r| r.object == guarded) {

@@ -87,7 +87,10 @@ impl ContentSource {
 
     /// Git repository content.
     pub fn git(url: impl Into<String>, revision: impl Into<String>) -> ContentSource {
-        ContentSource::Git(GitInfo { url: url.into(), revision: revision.into() })
+        ContentSource::Git(GitInfo {
+            url: url.into(),
+            revision: revision.into(),
+        })
     }
 
     /// Descriptor-only content.
@@ -226,10 +229,26 @@ impl Artifact {
         hash: String,
         git: Option<GitInfo>,
     ) -> Artifact {
-        Artifact { id, name, kind, command, cwd, path, documentation, inputs, hash, git }
+        Artifact {
+            id,
+            name,
+            kind,
+            command,
+            cwd,
+            path,
+            documentation,
+            inputs,
+            hash,
+            git,
+        }
     }
 
-    pub(crate) fn from_parts(id: Uuid, builder: ArtifactBuilder, hash: String, git: Option<GitInfo>) -> Artifact {
+    pub(crate) fn from_parts(
+        id: Uuid,
+        builder: ArtifactBuilder,
+        hash: String,
+        git: Option<GitInfo>,
+    ) -> Artifact {
         Artifact {
             id,
             name: builder.name,
@@ -306,7 +325,10 @@ impl ArtifactBuilder {
     }
 
     pub(crate) fn validate(&self) -> Result<(), ArtifactError> {
-        let missing = |field| ArtifactError::MissingField { field, artifact: self.name.clone() };
+        let missing = |field| ArtifactError::MissingField {
+            field,
+            artifact: self.name.clone(),
+        };
         if self.name.trim().is_empty() {
             return Err(missing("name"));
         }
@@ -330,14 +352,23 @@ mod tests {
             .content(ContentSource::bytes(vec![1, 2, 3]));
         assert!(matches!(
             b.validate(),
-            Err(ArtifactError::MissingField { field: "documentation", .. })
+            Err(ArtifactError::MissingField {
+                field: "documentation",
+                ..
+            })
         ));
     }
 
     #[test]
     fn builder_requires_content() {
         let b = Artifact::builder("thing", ArtifactKind::Binary).documentation("docs");
-        assert!(matches!(b.validate(), Err(ArtifactError::MissingField { field: "content", .. })));
+        assert!(matches!(
+            b.validate(),
+            Err(ArtifactError::MissingField {
+                field: "content",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -345,7 +376,10 @@ mod tests {
         let b = Artifact::builder("  ", ArtifactKind::Binary)
             .documentation("docs")
             .content(ContentSource::bytes(vec![]));
-        assert!(matches!(b.validate(), Err(ArtifactError::MissingField { field: "name", .. })));
+        assert!(matches!(
+            b.validate(),
+            Err(ArtifactError::MissingField { field: "name", .. })
+        ));
     }
 
     #[test]
@@ -370,6 +404,9 @@ mod tests {
     #[test]
     fn kind_display_is_compact() {
         assert_eq!(ArtifactKind::GitRepo.to_string(), "git repo");
-        assert_eq!(ArtifactKind::Other("trace".into()).to_string(), "other(trace)");
+        assert_eq!(
+            ArtifactKind::Other("trace".into()).to_string(),
+            "other(trace)"
+        );
     }
 }

@@ -94,8 +94,7 @@ impl DependencyGraph {
             .strongly_connected_components()
             .into_iter()
             .filter(|scc| {
-                scc.len() > 1
-                    || scc.first().is_some_and(|n| self.successors(*n).contains(n))
+                scc.len() > 1 || scc.first().is_some_and(|n| self.successors(*n).contains(n))
             })
             .map(|mut scc| {
                 scc.sort_by_key(Uuid::to_string);
@@ -103,7 +102,11 @@ impl DependencyGraph {
             })
             .collect();
         cycles.sort_by_key(|scc| scc.first().map(Uuid::to_string));
-        issues.extend(cycles.into_iter().map(|members| GraphIssue::Cycle { members }));
+        issues.extend(
+            cycles
+                .into_iter()
+                .map(|members| GraphIssue::Cycle { members }),
+        );
 
         let mut orphans: Vec<Uuid> = self
             .edges_out
@@ -121,7 +124,10 @@ impl DependencyGraph {
                 .collect();
             referenced_by.sort_by_key(Uuid::to_string);
             referenced_by.dedup();
-            issues.push(GraphIssue::Orphan { node, referenced_by });
+            issues.push(GraphIssue::Orphan {
+                node,
+                referenced_by,
+            });
         }
         issues
     }
@@ -259,7 +265,10 @@ impl DependencyGraph {
             order_hint.push(current);
             indegree.insert(
                 current,
-                self.predecessors(current).iter().filter(|p| in_set.contains(p)).count(),
+                self.predecessors(current)
+                    .iter()
+                    .filter(|p| in_set.contains(p))
+                    .count(),
             );
             for pred in self.predecessors(current) {
                 stack.push(*pred);
@@ -267,8 +276,11 @@ impl DependencyGraph {
         }
         order_hint.reverse(); // roots (no inputs) first, roughly
 
-        let mut ready: VecDeque<Uuid> =
-            order_hint.iter().copied().filter(|n| indegree[n] == 0).collect();
+        let mut ready: VecDeque<Uuid> = order_hint
+            .iter()
+            .copied()
+            .filter(|n| indegree[n] == 0)
+            .collect();
         let mut result = Vec::with_capacity(in_set.len());
         let mut emitted = HashSet::new();
         while let Some(current) = ready.pop_front() {
@@ -296,8 +308,11 @@ impl DependencyGraph {
     /// cycle (cannot happen through [`DependencyGraph::add_edge`], which
     /// rejects them, but this method also serves externally loaded graphs).
     pub fn topological_order(&self) -> Result<Vec<Uuid>, ArtifactError> {
-        let mut indegree: HashMap<Uuid, usize> =
-            self.edges_in.iter().map(|(n, preds)| (*n, preds.len())).collect();
+        let mut indegree: HashMap<Uuid, usize> = self
+            .edges_in
+            .iter()
+            .map(|(n, preds)| (*n, preds.len()))
+            .collect();
         let mut ready: VecDeque<Uuid> = indegree
             .iter()
             .filter(|(_, d)| **d == 0)
@@ -452,7 +467,10 @@ mod tests {
         let issues = g.validate();
         assert_eq!(
             issues,
-            vec![GraphIssue::Orphan { node: id(99), referenced_by: vec![id(1)] }]
+            vec![GraphIssue::Orphan {
+                node: id(99),
+                referenced_by: vec![id(1)]
+            }]
         );
     }
 

@@ -47,10 +47,16 @@ impl fmt::Display for ArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArtifactError::MissingField { field, artifact } => {
-                write!(f, "artifact {artifact:?} is missing required field `{field}`")
+                write!(
+                    f,
+                    "artifact {artifact:?} is missing required field `{field}`"
+                )
             }
             ArtifactError::ConflictingDuplicate { existing, conflict } => {
-                write!(f, "content already registered as {existing} with different metadata: {conflict}")
+                write!(
+                    f,
+                    "content already registered as {existing} with different metadata: {conflict}"
+                )
             }
             ArtifactError::UnknownInput { input, artifact } => {
                 write!(f, "artifact {artifact:?} lists unregistered input {input}")

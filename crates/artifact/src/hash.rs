@@ -211,7 +211,10 @@ mod tests {
             ("a", "0cc175b9c0f1b6a831c399e269772661"),
             ("abc", "900150983cd24fb0d6963f7d28e17f72"),
             ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
-            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
             (
                 "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
                 "d174ab98d277d9f5a5611c2c9f419d9f",
@@ -222,7 +225,11 @@ mod tests {
             ),
         ];
         for (input, expected) in cases {
-            assert_eq!(Md5::digest(input.as_bytes()).to_hex(), *expected, "input {input:?}");
+            assert_eq!(
+                Md5::digest(input.as_bytes()).to_hex(),
+                *expected,
+                "input {input:?}"
+            );
         }
     }
 

@@ -113,7 +113,10 @@ impl ArtifactRegistry {
                 .expect("edges to pre-existing nodes cannot form a cycle");
         }
         self.by_hash.insert(hash, id);
-        self.by_name.entry(artifact.name().to_owned()).or_default().push(id);
+        self.by_name
+            .entry(artifact.name().to_owned())
+            .or_default()
+            .push(id);
         self.by_id.insert(id, Arc::clone(&artifact));
         Ok(artifact)
     }
@@ -125,7 +128,9 @@ impl ArtifactRegistry {
 
     /// Looks up an artifact by id, erroring when absent.
     pub fn try_get(&self, id: Uuid) -> Result<Arc<Artifact>, ArtifactError> {
-        self.get(id).ok_or_else(|| ArtifactError::NotFound { query: id.to_string() })
+        self.get(id).ok_or_else(|| ArtifactError::NotFound {
+            query: id.to_string(),
+        })
     }
 
     /// All registrations (historic versions included) under `name`, in
@@ -139,7 +144,10 @@ impl ArtifactRegistry {
 
     /// The most recent registration under `name`.
     pub fn latest(&self, name: &str) -> Option<Arc<Artifact>> {
-        self.by_name.get(name).and_then(|ids| ids.last()).map(|id| Arc::clone(&self.by_id[id]))
+        self.by_name
+            .get(name)
+            .and_then(|ids| ids.last())
+            .map(|id| Arc::clone(&self.by_id[id]))
     }
 
     /// Finds an artifact by its content hash.
@@ -192,7 +200,6 @@ impl ArtifactRegistry {
             names: self.by_name.len(),
         }
     }
-
 }
 
 fn conflict_between(existing: &Artifact, incoming: &ArtifactBuilder) -> Option<String> {

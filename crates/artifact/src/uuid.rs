@@ -126,8 +126,11 @@ impl FromStr for Uuid {
         if hex.len() != 32 || s.len() != 36 {
             return Err(ParseUuidError);
         }
-        let dash_positions: Vec<usize> =
-            s.char_indices().filter(|(_, c)| *c == '-').map(|(i, _)| i).collect();
+        let dash_positions: Vec<usize> = s
+            .char_indices()
+            .filter(|(_, c)| *c == '-')
+            .map(|(i, _)| i)
+            .collect();
         if dash_positions != [8, 13, 18, 23] {
             return Err(ParseUuidError);
         }
@@ -187,8 +190,12 @@ mod tests {
         assert!("".parse::<Uuid>().is_err());
         assert!("not-a-uuid".parse::<Uuid>().is_err());
         assert!("00000000000000000000000000000000".parse::<Uuid>().is_err());
-        assert!("0000000-00000-0000-0000-000000000000".parse::<Uuid>().is_err());
-        assert!("00000000-0000-0000-0000-000000000000".parse::<Uuid>().is_ok());
+        assert!("0000000-00000-0000-0000-000000000000"
+            .parse::<Uuid>()
+            .is_err());
+        assert!("00000000-0000-0000-0000-000000000000"
+            .parse::<Uuid>()
+            .is_ok());
     }
 
     #[test]

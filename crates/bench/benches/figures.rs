@@ -19,7 +19,11 @@ fn fig6_parsec_run(c: &mut Criterion) {
     for os in OsImage::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(os), &os, |b, os| {
             let config = usecase1::system_config(*os, 2, Fidelity::Smoke);
-            b.iter(|| config.run_workload(&profile, InputSize::SimSmall).expect("runs"));
+            b.iter(|| {
+                config
+                    .run_workload(&profile, InputSize::SimSmall)
+                    .expect("runs")
+            });
         });
     }
     group.finish();
@@ -33,7 +37,11 @@ fn fig7_scaling_run(c: &mut Criterion) {
     for cores in [1u32, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, cores| {
             let config = usecase1::system_config(OsImage::Ubuntu2004, *cores, Fidelity::Smoke);
-            b.iter(|| config.run_workload(&profile, InputSize::SimSmall).expect("runs"));
+            b.iter(|| {
+                config
+                    .run_workload(&profile, InputSize::SimSmall)
+                    .expect("runs")
+            });
         });
     }
     group.finish();
@@ -52,7 +60,10 @@ fn fig8_boot_matrix(c: &mut Criterion) {
                 .count()
         })
     });
-    let config = figure8_configs().into_iter().find(|c| evaluate(c).is_success()).expect("some boot succeeds");
+    let config = figure8_configs()
+        .into_iter()
+        .find(|c| evaluate(c).is_success())
+        .expect("some boot succeeds");
     group.bench_function("detailed_boot", |b| {
         let system = usecase2::system_config(&config, Fidelity::Smoke);
         b.iter(|| system.boot_only().expect("boots"));
@@ -69,11 +80,9 @@ fn fig9_register_allocators(c: &mut Criterion) {
     for app in ["FAMutex", "MatrixTranspose"] {
         let kernel = workloads::by_name(app).expect("workload exists");
         for policy in [AllocPolicy::Simple, AllocPolicy::Dynamic] {
-            group.bench_with_input(
-                BenchmarkId::new(app, policy),
-                &policy,
-                |b, policy| b.iter(|| gpu.run(&kernel, *policy)),
-            );
+            group.bench_with_input(BenchmarkId::new(app, policy), &policy, |b, policy| {
+                b.iter(|| gpu.run(&kernel, *policy))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,195 @@
+//! Analysis cost: full-database lint scan versus incremental re-check.
+//!
+//! Before the incremental engine, `simart check` re-derived every lint
+//! from scratch on each invocation — O(database), painful at campaign
+//! scale. With journal-aware lints, a re-check replays only the records
+//! appended since the last analysis cursor — O(delta), independent of
+//! database size. This bench measures both on the same data so the
+//! asymptotic claim is a number, not an assertion.
+//!
+//! Run modes:
+//!
+//! - `cargo bench -p simart-bench --bench lint` — print the timing
+//!   table.
+//! - `... --bench lint -- --test` — additionally assert the O(delta)
+//!   property (replaying a small delta beats a full scan by a wide
+//!   margin and stays flat as the database grows), exiting nonzero on
+//!   regression.
+
+use simart::analyze::Engine;
+use simart::artifact::Uuid;
+use simart::db::{read_journal_from, Database, Value};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Best-of repetitions per measurement (first runs warm caches).
+const REPEATS: usize = 9;
+
+/// Journal records replayed per incremental re-check.
+const DELTA: usize = 10;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simart-bench-lint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn artifact_id(i: usize) -> String {
+    Uuid::new_v3("bench-lint", &format!("artifact-{i}")).to_string()
+}
+
+fn artifact(i: usize) -> Value {
+    // A shallow dependency chain so the full scan pays for real DAG
+    // construction and validation, like a campaign database would.
+    let inputs = if i == 0 {
+        Value::array([])
+    } else {
+        Value::array([Value::from(artifact_id(i - 1))])
+    };
+    Value::map([
+        ("_id", Value::from(artifact_id(i))),
+        ("name", Value::from("bench")),
+        ("kind", Value::from("binary")),
+        ("hash", Value::from(format!("hash-{i:06}"))),
+        ("inputs", inputs),
+    ])
+}
+
+fn run(i: usize) -> Value {
+    Value::map([
+        ("_id", Value::from(format!("run-{i:06}"))),
+        ("hash", Value::from(format!("{i:032x}"))),
+        ("status", Value::from("done")),
+        ("inputs", Value::array([Value::from(artifact_id(i % 64))])),
+        (
+            "events",
+            Value::from(vec![
+                Value::from("status:queued"),
+                Value::from("status:running"),
+                Value::from("status:done"),
+            ]),
+        ),
+    ])
+}
+
+fn populate(db: &Database, docs: usize) {
+    let artifacts = db.collection("artifacts");
+    for i in 0..docs.min(64) {
+        artifacts.insert(artifact(i)).expect("insert artifact");
+    }
+    let runs = db.collection("runs");
+    for i in 0..docs {
+        runs.insert(run(i)).expect("insert run");
+    }
+}
+
+/// Best-of-`REPEATS` timing of a fresh engine scanning the whole
+/// database — the pre-refactor cost of every `simart check`.
+fn measure_full_scan(docs: usize) -> Duration {
+    let db = Database::in_memory();
+    populate(&db, docs);
+    let mut best = Duration::MAX;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let mut engine = Engine::new();
+        engine.full_scan(&db);
+        let diagnostics = engine.diagnostics();
+        best = best.min(start.elapsed());
+        assert!(diagnostics.is_empty(), "bench fixture must be lint-clean");
+    }
+    best
+}
+
+/// Best-of-`REPEATS` timing of a warm engine replaying `DELTA` freshly
+/// journaled records and re-emitting its report — the cost of `simart
+/// check --incremental` after a short burst of campaign activity.
+fn measure_incremental(docs: usize) -> Duration {
+    let dir = temp_dir(&format!("incr-{docs}"));
+    let db = Database::open(&dir).expect("open");
+    populate(&db, docs);
+    db.checkpoint().expect("checkpoint");
+    let mut engine = Engine::new();
+    engine.full_scan(&db);
+    let runs = db.collection("runs");
+    let mut offset = 0u64;
+    let mut best = Duration::MAX;
+    for r in 0..REPEATS {
+        for d in 0..DELTA {
+            runs.insert(run(1_000_000 + r * DELTA + d))
+                .expect("journaled insert");
+        }
+        let start = Instant::now();
+        let replay = read_journal_from(&dir, offset).expect("read journal suffix");
+        for op in &replay.ops {
+            engine.apply_op(op);
+        }
+        let diagnostics = engine.diagnostics();
+        best = best.min(start.elapsed());
+        offset = replay.valid_bytes;
+        assert_eq!(
+            replay.ops.len(),
+            DELTA,
+            "each round replays exactly its delta"
+        );
+        assert!(diagnostics.is_empty(), "bench fixture must stay lint-clean");
+    }
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+    best
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+
+    let sizes = [100usize, 1000];
+    let mut fulls = Vec::new();
+    let mut deltas = Vec::new();
+    println!(
+        "lint: full database scan vs incremental re-check of {DELTA} records (best of {REPEATS})"
+    );
+    println!(
+        "{:>8}  {:>14}  {:>18}  {:>7}",
+        "docs", "full scan", "incremental", "ratio"
+    );
+    for &docs in &sizes {
+        let full = measure_full_scan(docs);
+        let delta = measure_incremental(docs);
+        println!(
+            "{docs:>8}  {:>12.1}us  {:>16.2}us  {:>6.0}x",
+            full.as_secs_f64() * 1e6,
+            delta.as_secs_f64() * 1e6,
+            full.as_secs_f64() / delta.as_secs_f64().max(1e-9),
+        );
+        fulls.push(full);
+        deltas.push(delta);
+    }
+
+    if test_mode {
+        // O(delta) claim, with generous margins against CI noise:
+        // 1. replaying a small delta is much cheaper than rescanning a
+        //    1000-doc database;
+        assert!(
+            deltas[1] * 5 < fulls[1],
+            "incremental re-check ({:?}) should be far cheaper than a full scan ({:?})",
+            deltas[1],
+            fulls[1],
+        );
+        // 2. re-check cost scales with the delta, not the database
+        //    (allow a wide band — these are microsecond numbers).
+        assert!(
+            deltas[1] < deltas[0] * 20 + Duration::from_micros(200),
+            "incremental cost must stay flat as the database grows: {:?} at 100 docs, {:?} at 1000",
+            deltas[0],
+            deltas[1],
+        );
+        // 3. full scans *do* scale with size — the contrast that makes
+        //    the incremental engine worth having.
+        assert!(
+            fulls[1] > fulls[0],
+            "full scan should grow with database size: {:?} at 100 docs, {:?} at 1000",
+            fulls[0],
+            fulls[1],
+        );
+        println!("lint bench assertions passed");
+    }
+}

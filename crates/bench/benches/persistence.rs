@@ -22,8 +22,10 @@ use std::time::{Duration, Instant};
 const REPEATS: usize = 9;
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join(format!("simart-bench-persistence-{tag}-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "simart-bench-persistence-{tag}-{}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -33,15 +35,21 @@ fn doc(i: usize) -> Value {
         ("_id", Value::from(format!("run-{i:06}"))),
         ("hash", Value::from(format!("{i:032x}"))),
         ("status", Value::from("done")),
-        ("events", Value::from(vec![
-            Value::from("status:queued"),
-            Value::from("status:running"),
-            Value::from("status:done"),
-        ])),
-        ("results", Value::map([
-            ("sim_ticks", Value::from(91_000_000 + i as i64)),
-            ("outcome", Value::from("success")),
-        ])),
+        (
+            "events",
+            Value::from(vec![
+                Value::from("status:queued"),
+                Value::from("status:running"),
+                Value::from("status:done"),
+            ]),
+        ),
+        (
+            "results",
+            Value::map([
+                ("sim_ticks", Value::from(91_000_000 + i as i64)),
+                ("outcome", Value::from("success")),
+            ]),
+        ),
     ])
 }
 
@@ -95,7 +103,10 @@ fn main() {
     let mut saves = Vec::new();
     let mut appends = Vec::new();
     println!("persistence: full snapshot save vs journaled append (best of {REPEATS})");
-    println!("{:>8}  {:>14}  {:>18}  {:>7}", "docs", "save (full)", "append (journal)", "ratio");
+    println!(
+        "{:>8}  {:>14}  {:>18}  {:>7}",
+        "docs", "save (full)", "append (journal)", "ratio"
+    );
     for &docs in &sizes {
         let save = measure_save(docs);
         let append = measure_journaled_insert(docs);

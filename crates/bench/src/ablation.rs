@@ -98,7 +98,11 @@ mod tests {
         // contended mutexes under the improved tracker.
         let data = run(1);
         let famutex = data.get("FAMutex").unwrap();
-        assert!(famutex.improved < 1.0, "FAMutex improved {:.3}", famutex.improved);
+        assert!(
+            famutex.improved < 1.0,
+            "FAMutex improved {:.3}",
+            famutex.improved
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn main() {
 
     let mut table = Table::new(
         "Dynamic-allocator speedup vs simple, by dependence tracker",
-        &["application", "simplistic (paper model)", "improved (future work)", "delta"],
+        &[
+            "application",
+            "simplistic (paper model)",
+            "improved (future work)",
+            "delta",
+        ],
     );
     for row in &data.rows {
         table.row(&[

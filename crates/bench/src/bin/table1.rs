@@ -9,9 +9,10 @@ use simart::resources::Catalog;
 
 fn main() {
     let catalog = Catalog::standard();
-    let mut table = Table::new("Table I: The Resources", &[
-        "Name", "Type", "Variant", "Prebuilt?", "Description",
-    ]);
+    let mut table = Table::new(
+        "Table I: The Resources",
+        &["Name", "Type", "Variant", "Prebuilt?", "Description"],
+    );
     for resource in catalog.iter() {
         let description: String = if resource.description.len() > 72 {
             format!("{}…", &resource.description[..72])
@@ -22,7 +23,11 @@ fn main() {
             resource.name.to_owned(),
             resource.kind.to_string(),
             resource.variant.to_owned(),
-            if resource.prebuilt_distributable { "yes".into() } else { "scripts only".into() },
+            if resource.prebuilt_distributable {
+                "yes".into()
+            } else {
+                "scripts only".into()
+            },
             description,
         ]);
     }

@@ -17,9 +17,17 @@ fn suite_name(suite: Suite) -> &'static str {
 }
 
 fn main() {
-    let mut table = Table::new("Table IV: Benchmarks & Input Sizes for Use-Case 3", &[
-        "Application", "Suite", "Input Size", "WGs", "WF/WG", "vregs/WF",
-    ]);
+    let mut table = Table::new(
+        "Table IV: Benchmarks & Input Sizes for Use-Case 3",
+        &[
+            "Application",
+            "Suite",
+            "Input Size",
+            "WGs",
+            "WF/WG",
+            "vregs/WF",
+        ],
+    );
     for name in workloads::ALL {
         let kernel = workloads::by_name(name).expect("Table IV entry resolves");
         let suite = workloads::suite_of(name).expect("suite known");

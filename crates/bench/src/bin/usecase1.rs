@@ -12,11 +12,16 @@ use simart_bench::usecase1::{self, CORE_COUNTS};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let fidelity = if quick { Fidelity::Smoke } else { Fidelity::Standard };
+    let fidelity = if quick {
+        Fidelity::Smoke
+    } else {
+        Fidelity::Standard
+    };
 
-    let mut table2 = Table::new("Table II: Configuration Parameters for Use-Case 1", &[
-        "Component", "Options",
-    ]);
+    let mut table2 = Table::new(
+        "Table II: Configuration Parameters for Use-Case 1",
+        &["Component", "Options"],
+    );
     table2.row_strs(&["CPU", "TimingSimpleCPU"]);
     table2.row_strs(&["Number of CPUs", "1, 2, 8"]);
     table2.row_strs(&["Memory", "1 channel, DDR3_1600_8x8"]);
@@ -31,9 +36,17 @@ fn main() {
     eprintln!("running 60 full-system simulations ({fidelity:?} fidelity)...");
     let data = usecase1::run(fidelity);
 
-    let mut results = Table::new("Use-case 1 raw results", &[
-        "app", "os", "cores", "exec time (sim s)", "instructions", "utilization",
-    ]);
+    let mut results = Table::new(
+        "Use-case 1 raw results",
+        &[
+            "app",
+            "os",
+            "cores",
+            "exec time (sim s)",
+            "instructions",
+            "utilization",
+        ],
+    );
     for row in &data.rows {
         results.row(&[
             row.app.clone(),
@@ -60,11 +73,12 @@ fn main() {
     }
 
     for os in OsImage::ALL {
-        let mut chart =
-            BarChart::new(format!("Figure 7 ({os}): speedup from 1 to 8 cores"), "x");
+        let mut chart = BarChart::new(format!("Figure 7 ({os}): speedup from 1 to 8 cores"), "x");
         for app in PARSEC_APPS {
-            if let Some((_, _, speedup)) =
-                data.figure7().into_iter().find(|(a, o, _)| a == app && *o == os)
+            if let Some((_, _, speedup)) = data
+                .figure7()
+                .into_iter()
+                .find(|(a, o, _)| a == app && *o == os)
             {
                 chart.bar(app, speedup);
             }

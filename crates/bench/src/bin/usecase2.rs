@@ -35,7 +35,13 @@ fn main() {
         for mem in MemKind::FIGURE8 {
             let mut table = Table::new(
                 format!("memory system: {mem} ({boot})"),
-                &["kernel \\ cpu,cores", "kvm 1/2/4/8", "Atomic 1/2/4/8", "Timing 1/2/4/8", "O3 1/2/4/8"],
+                &[
+                    "kernel \\ cpu,cores",
+                    "kvm 1/2/4/8",
+                    "Atomic 1/2/4/8",
+                    "Timing 1/2/4/8",
+                    "O3 1/2/4/8",
+                ],
             );
             for kernel in KernelVersion::FIGURE8 {
                 let mut cells = vec![kernel.to_string()];
@@ -64,9 +70,19 @@ fn main() {
         }
     }
 
-    let mut summary = Table::new("Outcome summary per CPU model", &[
-        "cpu", "success", "unsupported", "panic", "crash", "deadlock", "timeout", "success rate*",
-    ]);
+    let mut summary = Table::new(
+        "Outcome summary per CPU model",
+        &[
+            "cpu",
+            "success",
+            "unsupported",
+            "panic",
+            "crash",
+            "deadlock",
+            "timeout",
+            "success rate*",
+        ],
+    );
     for cpu in CpuKind::FIGURE8 {
         let counts = data.outcome_counts(cpu);
         let get = |k: &str| counts.get(k).copied().unwrap_or(0).to_string();

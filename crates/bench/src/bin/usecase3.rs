@@ -14,34 +14,66 @@ fn main() {
     let scale = if quick { 4 } else { 1 };
 
     let config = GpuConfig::table3();
-    let mut table3 = Table::new("Table III: Key Configuration Parameters for Use-Case 3", &[
-        "Component", "Value",
-    ]);
+    let mut table3 = Table::new(
+        "Table III: Key Configuration Parameters for Use-Case 3",
+        &["Component", "Value"],
+    );
     table3.row_strs(&["Number of CUs", "4"]);
-    table3.row(&["SIMD16s (vector ALUs)".into(), format!("{} per CU", config.simds_per_cu)]);
+    table3.row(&[
+        "SIMD16s (vector ALUs)".into(),
+        format!("{} per CU", config.simds_per_cu),
+    ]);
     table3.row(&["GPU Frequency".into(), format!("{} MHz", config.clock_mhz)]);
     table3.row(&[
         "Max Wavefronts".into(),
-        format!("{} per SIMD16 ({} per CU)", config.max_wavefronts_per_simd, config.max_wavefronts_per_cu()),
+        format!(
+            "{} per SIMD16 ({} per CU)",
+            config.max_wavefronts_per_simd,
+            config.max_wavefronts_per_cu()
+        ),
     ]);
-    table3.row(&["Vector Registers".into(), format!("{}K per CU", config.vregs_per_cu / 1024)]);
-    table3.row(&["Scalar Registers".into(), format!("{}K per CU", config.sregs_per_cu / 1024)]);
-    table3.row(&["LDS".into(), format!("{} KB per CU", config.lds_bytes_per_cu / 1024)]);
+    table3.row(&[
+        "Vector Registers".into(),
+        format!("{}K per CU", config.vregs_per_cu / 1024),
+    ]);
+    table3.row(&[
+        "Scalar Registers".into(),
+        format!("{}K per CU", config.sregs_per_cu / 1024),
+    ]);
+    table3.row(&[
+        "LDS".into(),
+        format!("{} KB per CU", config.lds_bytes_per_cu / 1024),
+    ]);
     table3.row(&[
         "L1 instruction cache".into(),
         format!("{} KB shared between every 4 CUs", config.l1i_bytes / 1024),
     ]);
-    table3.row(&["L1 data caches (1 per CU)".into(), format!("{} KB per CU", config.l1d_bytes_per_cu / 1024)]);
-    table3.row(&["Unified L2 cache".into(), format!("{} KB", config.l2_bytes / 1024)]);
+    table3.row(&[
+        "L1 data caches (1 per CU)".into(),
+        format!("{} KB per CU", config.l1d_bytes_per_cu / 1024),
+    ]);
+    table3.row(&[
+        "Unified L2 cache".into(),
+        format!("{} KB", config.l2_bytes / 1024),
+    ]);
     table3.row_strs(&["Main Memory", "1 channel, DDR3_1600_8x8"]);
     println!("{}", table3.render());
 
     eprintln!("running 58 GPU simulations (29 workloads x 2 allocators)...");
     let data = usecase3::run(scale);
 
-    let mut results = Table::new("Use-case 3 raw results (shader ticks)", &[
-        "application", "input", "simple", "dynamic", "dyn speedup", "occupancy s/d", "retries s/d",
-    ]);
+    let mut results = Table::new(
+        "Use-case 3 raw results (shader ticks)",
+        &[
+            "application",
+            "input",
+            "simple",
+            "dynamic",
+            "dyn speedup",
+            "occupancy s/d",
+            "retries s/d",
+        ],
+    );
     for row in &data.rows {
         results.row(&[
             row.app.clone(),

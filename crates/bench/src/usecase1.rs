@@ -52,7 +52,9 @@ pub struct Uc1Data {
 impl Uc1Data {
     /// Looks up one data point.
     pub fn get(&self, app: &str, os: OsImage, cores: u32) -> Option<&Uc1Row> {
-        self.rows.iter().find(|r| r.app == app && r.os == os && r.cores == cores)
+        self.rows
+            .iter()
+            .find(|r| r.app == app && r.os == os && r.cores == cores)
     }
 
     /// Figure 6 series: per-app absolute execution-time difference
@@ -112,10 +114,8 @@ fn register_artifacts(experiment: &Experiment) -> Uc1Artifacts {
     experiment
         .with_registry(|registry| {
             let [repo, binary, script] = suite::register_simulator(registry, "20.1.0.4", "X86")?;
-            let kernel_bionic = suite::register_kernel(
-                registry,
-                &KernelResource::standard(KernelVersion::V4_15),
-            )?;
+            let kernel_bionic =
+                suite::register_kernel(registry, &KernelResource::standard(KernelVersion::V4_15))?;
             let kernel_focal =
                 suite::register_kernel(registry, &KernelResource::standard(KernelVersion::V5_4))?;
             let disk_bionic =
@@ -188,7 +188,11 @@ pub fn run(fidelity: Fidelity) -> Uc1Data {
         runs.push(run);
     }
 
-    let pool = PoolScheduler::new(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let pool = PoolScheduler::new(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+    );
     let summary = experiment.launch(runs, &pool, move |run| {
         let params = run.params();
         let app = params[0].clone();
@@ -197,9 +201,10 @@ pub fn run(fidelity: Fidelity) -> Uc1Data {
             "ubuntu-20.04" => OsImage::Ubuntu2004,
             other => return Err(format!("unknown OS image {other}")),
         };
-        let cores: u32 = params[2].parse().map_err(|e| format!("bad core count: {e}"))?;
-        let profile =
-            parsec_profile(&app).ok_or_else(|| format!("unknown PARSEC app {app}"))?;
+        let cores: u32 = params[2]
+            .parse()
+            .map_err(|e| format!("bad core count: {e}"))?;
+        let profile = parsec_profile(&app).ok_or_else(|| format!("unknown PARSEC app {app}"))?;
         let config = system_config(os, cores, fidelity);
         let output = config
             .run_workload(&profile, InputSize::SimMedium)
@@ -211,26 +216,55 @@ pub fn run(fidelity: Fidelity) -> Uc1Data {
             success: output.outcome.is_success(),
         })
     });
-    assert_eq!(summary.failed + summary.timed_out, 0, "use-case 1 runs all succeed");
+    assert_eq!(
+        summary.failed + summary.timed_out,
+        0,
+        "use-case 1 runs all succeed"
+    );
 
     // Step 8: answer the figures from the database.
     let mut rows = Vec::new();
     for doc in experiment.query_runs(&Filter::eq("status", "done")) {
-        let params = doc.at("params").and_then(Value::as_array).expect("params stored");
+        let params = doc
+            .at("params")
+            .and_then(Value::as_array)
+            .expect("params stored");
         let app = params[0].as_str().expect("app param").to_owned();
         let os = match params[1].as_str().expect("os param") {
             "ubuntu-18.04" => OsImage::Ubuntu1804,
             _ => OsImage::Ubuntu2004,
         };
-        let cores = params[2].as_str().expect("cores param").parse().expect("cores number");
-        let exec_ticks = doc.at("results.simTicks").and_then(Value::as_int).expect("ticks") as u64;
+        let cores = params[2]
+            .as_str()
+            .expect("cores param")
+            .parse()
+            .expect("cores number");
+        let exec_ticks = doc
+            .at("results.simTicks")
+            .and_then(Value::as_int)
+            .expect("ticks") as u64;
         // Details live in the archived stats payload.
-        let run_id = doc.at("_id").and_then(Value::as_str).expect("id").parse().expect("uuid");
-        let payload = experiment.runs().load_results(run_id).expect("results archived");
+        let run_id = doc
+            .at("_id")
+            .and_then(Value::as_str)
+            .expect("id")
+            .parse()
+            .expect("uuid");
+        let payload = experiment
+            .runs()
+            .load_results(run_id)
+            .expect("results archived");
         let stats = simart::sim::stats::Stats::parse_dump(&String::from_utf8_lossy(&payload));
         let instructions = stats.count("workload.instructions");
         let utilization = stats.scalar("workload.utilization");
-        rows.push(Uc1Row { app, os, cores, exec_ticks, instructions, utilization });
+        rows.push(Uc1Row {
+            app,
+            os,
+            cores,
+            exec_ticks,
+            instructions,
+            utilization,
+        });
     }
     rows.sort_by(|a, b| (&a.app, a.os as u8, a.cores).cmp(&(&b.app, b.os as u8, b.cores)));
     Uc1Data { rows }
@@ -280,8 +314,14 @@ mod tests {
         for app in PARSEC_APPS {
             let bionic = data.get(app, OsImage::Ubuntu1804, 2).unwrap();
             let focal = data.get(app, OsImage::Ubuntu2004, 2).unwrap();
-            assert!(focal.instructions > bionic.instructions, "{app}: more instructions");
-            assert!(focal.utilization > bionic.utilization, "{app}: higher utilization");
+            assert!(
+                focal.instructions > bionic.instructions,
+                "{app}: more instructions"
+            );
+            assert!(
+                focal.utilization > bionic.utilization,
+                "{app}: higher utilization"
+            );
         }
     }
 
@@ -301,10 +341,16 @@ mod tests {
                 focal_higher += 1;
             }
         }
-        assert!(focal_higher >= 7, "20.04 generally achieves greater speedup ({focal_higher}/10)");
+        assert!(
+            focal_higher >= 7,
+            "20.04 generally achieves greater speedup ({focal_higher}/10)"
+        );
         for app in ["blackscholes", "ferret"] {
             let gain = speedup(app, OsImage::Ubuntu2004) / speedup(app, OsImage::Ubuntu1804);
-            assert!(gain > 1.02, "{app} shows a pronounced 20.04 speedup gain ({gain:.3})");
+            assert!(
+                gain > 1.02,
+                "{app} shows a pronounced 20.04 speedup gain ({gain:.3})"
+            );
         }
     }
 }

@@ -61,8 +61,7 @@ impl Uc2Data {
         if supported.is_empty() {
             return 0.0;
         }
-        supported.iter().filter(|r| r.outcome.is_success()).count() as f64
-            / supported.len() as f64
+        supported.iter().filter(|r| r.outcome.is_success()).count() as f64 / supported.len() as f64
     }
 }
 
@@ -90,8 +89,7 @@ pub fn run(fidelity: Fidelity) -> Uc2Data {
             let disk = suite::register_disk_image(registry, &disks::boot_exit_image())?;
             let mut kernel_ids = Vec::new();
             for version in KernelVersion::FIGURE8 {
-                let kernel =
-                    suite::register_kernel(registry, &KernelResource::standard(version))?;
+                let kernel = suite::register_kernel(registry, &KernelResource::standard(version))?;
                 kernel_ids.push((version, kernel.id()));
             }
             Ok((binary.id(), repo.id(), script.id(), disk.id(), kernel_ids))
@@ -110,7 +108,10 @@ pub fn run(fidelity: Fidelity) -> Uc2Data {
                 b.simulator(simulator, "gem5/build/X86/gem5.opt")
                     .simulator_repo(repo)
                     .run_script(script, "configs/run_exit.py")
-                    .kernel(kernel_artifact, format!("vmlinux-{}", config.kernel.release()))
+                    .kernel(
+                        kernel_artifact,
+                        format!("vmlinux-{}", config.kernel.release()),
+                    )
                     .disk_image(disk, "disks/boot-exit.img")
                     .param(config.cpu.to_string())
                     .param(config.mem.to_string())
@@ -123,11 +124,16 @@ pub fn run(fidelity: Fidelity) -> Uc2Data {
         runs.push(run);
     }
 
-    let pool =
-        PoolScheduler::new(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
+    let pool = PoolScheduler::new(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+    );
     experiment.launch(runs, &pool, move |run| {
         let config = config_from_params(run.params())?;
-        let output = system_config(&config, fidelity).boot_only().map_err(|e| e.to_string())?;
+        let output = system_config(&config, fidelity)
+            .boot_only()
+            .map_err(|e| e.to_string())?;
         Ok(ExecOutcome {
             outcome: encode_outcome(&output.outcome),
             sim_ticks: output.sim_ticks,
@@ -150,11 +156,19 @@ pub fn run(fidelity: Fidelity) -> Uc2Data {
             .collect();
         let config = config_from_params(&params).expect("stored params decode");
         let outcome = decode_outcome(
-            doc.at("results.outcome").and_then(simart::db::Value::as_str).expect("outcome"),
+            doc.at("results.outcome")
+                .and_then(simart::db::Value::as_str)
+                .expect("outcome"),
         );
-        let boot_ticks =
-            doc.at("results.simTicks").and_then(simart::db::Value::as_int).unwrap_or(0) as u64;
-        rows.push(Uc2Row { config, outcome, boot_ticks });
+        let boot_ticks = doc
+            .at("results.simTicks")
+            .and_then(simart::db::Value::as_int)
+            .unwrap_or(0) as u64;
+        rows.push(Uc2Row {
+            config,
+            outcome,
+            boot_ticks,
+        });
     }
     rows.sort_by_key(|r| {
         (
@@ -195,7 +209,13 @@ fn config_from_params(params: &[String]) -> Result<BootConfig, String> {
         .copied()
         .find(|v| v.release() == params[4])
         .ok_or_else(|| format!("unknown kernel {}", params[4]))?;
-    Ok(BootConfig { cpu, cores, mem, kernel, boot })
+    Ok(BootConfig {
+        cpu,
+        cores,
+        mem,
+        kernel,
+        boot,
+    })
 }
 
 /// Encodes a boot outcome into the stored outcome string.
@@ -210,7 +230,9 @@ fn encode_outcome(outcome: &BootOutcome) -> String {
 /// Decodes the stored outcome string.
 fn decode_outcome(text: &str) -> BootOutcome {
     if let Some(reason) = text.strip_prefix("unsupported:") {
-        return BootOutcome::Unsupported { reason: reason.to_owned() };
+        return BootOutcome::Unsupported {
+            reason: reason.to_owned(),
+        };
     }
     if let Some(stage) = text.strip_prefix("kernel-panic:") {
         use simart::sim::kernel::BootStage;
@@ -232,7 +254,9 @@ fn decode_outcome(text: &str) -> BootOutcome {
         "sim-crash" => BootOutcome::SimulatorCrash,
         "deadlock" => BootOutcome::ProtocolDeadlock,
         "timeout" => BootOutcome::Timeout,
-        other => BootOutcome::Unsupported { reason: format!("undecodable outcome {other}") },
+        other => BootOutcome::Unsupported {
+            reason: format!("undecodable outcome {other}"),
+        },
     }
 }
 

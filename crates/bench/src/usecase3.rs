@@ -121,11 +121,17 @@ mod tests {
     fn shape_famutex_suffers_most_among_mutexes() {
         let d = data();
         let famutex = d.get("FAMutex").unwrap().dynamic_speedup();
-        assert!(famutex < 0.65, "dynamic much worse on FAMutex (paper 61% worse): {famutex:.3}");
+        assert!(
+            famutex < 0.65,
+            "dynamic much worse on FAMutex (paper 61% worse): {famutex:.3}"
+        );
         for other in ["SpinMutexEBO", "SleepMutex"] {
             let s = d.get(other).unwrap().dynamic_speedup();
             assert!(s < 0.85, "{other} suffers: {s:.3}");
-            assert!(famutex <= s + 0.05, "FAMutex worst: {famutex:.3} vs {other} {s:.3}");
+            assert!(
+                famutex <= s + 0.05,
+                "FAMutex worst: {famutex:.3} vs {other} {s:.3}"
+            );
         }
     }
 
@@ -134,7 +140,10 @@ mod tests {
         let d = data();
         for app in ["bwd_pool", "fwd_pool"] {
             let s = d.get(app).unwrap().dynamic_speedup();
-            assert!((0.6..0.95).contains(&s), "{app} dynamic worse (paper ~22%): {s:.3}");
+            assert!(
+                (0.6..0.95).contains(&s),
+                "{app} dynamic worse (paper ~22%): {s:.3}"
+            );
         }
     }
 
@@ -155,14 +164,20 @@ mod tests {
         let d = data();
         for app in ["inline_asm", "MatrixTranspose", "stream", "PENNANT"] {
             let s = d.get(app).unwrap().dynamic_speedup();
-            assert!(s > 1.05, "{app} benefits from the dynamic allocator: {s:.3}");
+            assert!(
+                s > 1.05,
+                "{app} benefits from the dynamic allocator: {s:.3}"
+            );
         }
         // And some of the DNNMark layers ("some", per the paper).
         let dnn_winners = ["bwd_bypass", "fwd_bypass", "bwd_bn", "fwd_bn"]
             .iter()
             .filter(|app| d.get(app).unwrap().dynamic_speedup() > 1.05)
             .count();
-        assert!(dnn_winners >= 2, "some DNNMark layers benefit ({dnn_winners})");
+        assert!(
+            dnn_winners >= 2,
+            "some DNNMark layers benefit ({dnn_winners})"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use simart::gpu::alloc::AllocPolicy;
 use simart::gpu::{workloads, Gpu};
 use simart::report::Table;
 use simart::resources::{tests_resource, Catalog};
+use simart::run::{RunStatus, RunStore};
 use simart::sim::compat::{evaluate, figure8_configs};
 use simart::sim::cpu::CpuKind;
 use simart::sim::kernel::{BootKind, KernelVersion};
@@ -30,7 +31,6 @@ use simart::sim::os::OsImage;
 use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::ticks::format_ticks;
 use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
-use simart::run::{RunStatus, RunStore};
 use simart::tasks::{
     BrokerScheduler, FaultInjector, PoolScheduler, RemoteConfig, RemoteScheduler, RetryPolicy,
     SupervisorConfig, WorkerCommand,
@@ -68,9 +68,11 @@ fn main() {
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
                  \u{20}                 --scheduler pool|broker|remote  --workers N\n\
                  \u{20}                 --max-redeliveries N  --kill-rate R\n\
+                 \u{20}                 --check (lint the database after the campaign)\n\
                  metrics options:  --db DIR  --format text|json\n\
                  quarantine opts:  --db DIR  --format text|json  --release ID\n\
                  check options:    --db DIR  --format text|json  --deny LINT  --allow LINT\n\
+                 \u{20}                 --incremental (resume from recorded analysis state)\n\
                  \u{20}                 --self-test (LINT: warnings, SAxxxx, or a lint name)"
             );
             2
@@ -80,7 +82,10 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// All values of a repeatable `--name value` flag, in order.
@@ -140,11 +145,18 @@ fn parse_kernel(s: &str) -> Option<KernelVersion> {
 }
 
 fn boot(args: &[String]) -> i32 {
-    let cpu = flag(args, "--cpu").and_then(|s| parse_cpu(&s)).unwrap_or(CpuKind::TimingSimple);
-    let cores: u32 = flag(args, "--cores").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let mem = flag(args, "--mem").and_then(|s| parse_mem(&s)).unwrap_or(MemKind::classic_fast());
-    let kernel =
-        flag(args, "--kernel").and_then(|s| parse_kernel(&s)).unwrap_or(KernelVersion::V5_4);
+    let cpu = flag(args, "--cpu")
+        .and_then(|s| parse_cpu(&s))
+        .unwrap_or(CpuKind::TimingSimple);
+    let cores: u32 = flag(args, "--cores")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mem = flag(args, "--mem")
+        .and_then(|s| parse_mem(&s))
+        .unwrap_or(MemKind::classic_fast());
+    let kernel = flag(args, "--kernel")
+        .and_then(|s| parse_kernel(&s))
+        .unwrap_or(KernelVersion::V5_4);
     let boot_kind = match flag(args, "--boot").as_deref() {
         Some("kernel") => BootKind::KernelOnly,
         _ => BootKind::Systemd,
@@ -202,7 +214,9 @@ fn workload_cmd(args: &[String], suite: &str) -> i32 {
         Some("20.04") => OsImage::Ubuntu2004,
         _ => OsImage::Ubuntu1804,
     };
-    let cores: u32 = flag(args, "--cores").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cores: u32 = flag(args, "--cores")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let config = match SystemConfig::builder()
         .cores(cores)
         .os(os)
@@ -221,7 +235,10 @@ fn workload_cmd(args: &[String], suite: &str) -> i32 {
             println!("  outcome      : {}", output.outcome);
             println!("  exec time    : {}", format_ticks(output.sim_ticks));
             println!("  instructions : {}", output.instructions);
-            println!("  IPC/core     : {:.3}", output.stats.scalar("workload.utilization"));
+            println!(
+                "  IPC/core     : {:.3}",
+                output.stats.scalar("workload.utilization")
+            );
             0
         }
         Err(e) => {
@@ -263,7 +280,10 @@ fn register_campaign_artifacts(
     let repo = experiment.register_artifact(
         Artifact::builder("sim-repo", ArtifactKind::GitRepo)
             .documentation("simulator sources")
-            .content(ContentSource::git("https://example.org/simart", "campaign-rev")),
+            .content(ContentSource::git(
+                "https://example.org/simart",
+                "campaign-rev",
+            )),
     )?;
     let binary = experiment.register_artifact(
         Artifact::builder("sim", ArtifactKind::Binary)
@@ -301,16 +321,26 @@ fn campaign(args: &[String]) -> i32 {
     let db_dir = flag(args, "--db").map(std::path::PathBuf::from);
     let trace_out = flag(args, "--trace-out").map(std::path::PathBuf::from);
     let resume = args.iter().any(|a| a == "--resume");
-    let retries: u32 = flag(args, "--retries").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let fault_rate: f64 = flag(args, "--fault-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
-    let fault_seed: u64 = flag(args, "--fault-seed").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let kill_rate: f64 = flag(args, "--kill-rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let retries: u32 = flag(args, "--retries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let fault_rate: f64 = flag(args, "--fault-rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let fault_seed: u64 = flag(args, "--fault-seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let kill_rate: f64 = flag(args, "--kill-rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
     let scheduler_kind = flag(args, "--scheduler").unwrap_or_else(|| "pool".to_owned());
     if !["pool", "broker", "remote"].contains(&scheduler_kind.as_str()) {
         eprintln!("error: unknown scheduler `{scheduler_kind}` (expected pool, broker, or remote)");
         return 2;
     }
-    let workers: usize = flag(args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let workers: usize = flag(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     // Worker-kill chaos only makes sense under a supervisor that can
     // redeliver (the broker's threads or the remote coordinator's
     // processes); a killed pool worker would simply strand its run.
@@ -318,16 +348,25 @@ fn campaign(args: &[String]) -> i32 {
         eprintln!("error: --kill-rate requires --scheduler broker or remote");
         return 2;
     }
-    let max_redeliveries: u32 =
-        flag(args, "--max-redeliveries").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max_redeliveries: u32 = flag(args, "--max-redeliveries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let check_after = args.iter().any(|a| a == "--check");
 
     // A campaign with a database directory runs *attached*: every run
     // insert and status transition appends to the write-ahead journal
     // as it happens, so killing the process at any instant loses no
     // completed run — `--resume` replays the journal and skips them.
+    // The load report feeds the post-run check (--check): journal
+    // divergence observed at open invalidates recorded analysis state.
+    let mut load_report = simart::db::LoadReport::default();
     let db = match &db_dir {
-        Some(dir) => match Database::open(dir) {
-            Ok(db) => db,
+        Some(dir) => match Database::open_with(dir, &simart::db::LoadOptions::default()) {
+            Ok((db, report)) => {
+                load_report = report;
+                db
+            }
             Err(e) => {
                 eprintln!("error: cannot open database at {}: {e}", dir.display());
                 return 2;
@@ -387,8 +426,11 @@ fn campaign(args: &[String]) -> i32 {
         }
     }
 
-    let mut options =
-        if resume { LaunchOptions::resuming() } else { LaunchOptions::default() };
+    let mut options = if resume {
+        LaunchOptions::resuming()
+    } else {
+        LaunchOptions::default()
+    };
     if retries > 0 {
         options = options.retry_policy(RetryPolicy::immediate(retries + 1));
     }
@@ -396,8 +438,9 @@ fn campaign(args: &[String]) -> i32 {
         options = options.fault(Arc::new(FaultInjector::new(fault_seed).errors(fault_rate)));
     }
     if kill_rate > 0.0 {
-        options = options
-            .worker_fault(Arc::new(FaultInjector::new(fault_seed).worker_kills(kill_rate)));
+        options = options.worker_fault(Arc::new(
+            FaultInjector::new(fault_seed).worker_kills(kill_rate),
+        ));
     }
 
     // Profiling capture window: everything the campaign does from here
@@ -412,13 +455,20 @@ fn campaign(args: &[String]) -> i32 {
             eprintln!("error: cannot locate the simart binary for worker processes");
             return 2;
         };
-        let supervisor = SupervisorConfig { max_redeliveries, ..SupervisorConfig::default() };
-        let mut config = RemoteConfig { supervisor, ..RemoteConfig::default() };
+        let supervisor = SupervisorConfig {
+            max_redeliveries,
+            ..SupervisorConfig::default()
+        };
+        let mut config = RemoteConfig {
+            supervisor,
+            ..RemoteConfig::default()
+        };
         if kill_rate > 0.0 {
             // Real SIGKILLs against real worker PIDs, same seed
             // discipline as the in-process injectors.
-            config.fault =
-                Some(Arc::new(FaultInjector::new(fault_seed).worker_kills(kill_rate)));
+            config.fault = Some(Arc::new(
+                FaultInjector::new(fault_seed).worker_kills(kill_rate),
+            ));
         }
         let command = WorkerCommand::new(program).arg("worker");
         let remote = match RemoteScheduler::with_config(command, workers, config) {
@@ -434,7 +484,10 @@ fn campaign(args: &[String]) -> i32 {
         }
         summary
     } else if scheduler_kind == "broker" {
-        let config = SupervisorConfig { max_redeliveries, ..SupervisorConfig::default() };
+        let config = SupervisorConfig {
+            max_redeliveries,
+            ..SupervisorConfig::default()
+        };
         let broker = BrokerScheduler::with_config(workers, config);
         experiment.launch_with(runs, &broker, execute_campaign_run, &options)
     } else {
@@ -464,6 +517,32 @@ fn campaign(args: &[String]) -> i32 {
         }
     }
 
+    // Post-run provenance check (--check): lint the campaign's own
+    // database before it is checkpointed — incremental when analysis
+    // state recorded by a previous campaign or `simart check
+    // --incremental` is still valid, full scan otherwise. Runs inside
+    // the capture window so the analyze.* metrics land in the snapshot.
+    let mut check_errors = false;
+    let mut check_engine = None;
+    if check_after {
+        let (engine, outcome) =
+            match simart::analyze::campaign_check(experiment.database(), &load_report) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("error: cannot lint campaign database: {e}");
+                    return 2;
+                }
+            };
+        if db_dir.is_some() {
+            if let Some(reason) = &outcome.fallback {
+                eprintln!("note: falling back to a full scan: {reason}");
+            }
+        }
+        print!("{}", render_text(&outcome.diagnostics));
+        check_errors = has_errors(&outcome.diagnostics);
+        check_engine = Some(engine);
+    }
+
     if let Some(dir) = &db_dir {
         // Every run mutation is already on disk in the journal; record
         // the metrics snapshot (its inserts append too, still inside
@@ -475,10 +554,24 @@ fn campaign(args: &[String]) -> i32 {
             return 2;
         }
         if let Err(e) = experiment.database().checkpoint() {
-            eprintln!("error: cannot checkpoint database at {}: {e}", dir.display());
+            eprintln!(
+                "error: cannot checkpoint database at {}: {e}",
+                dir.display()
+            );
             return 2;
         }
         println!("database checkpointed to {}", dir.display());
+        // The checkpoint compacts the journal, which invalidates any
+        // cursor captured before it — so the analysis state is recorded
+        // only now, against the fresh post-checkpoint journal. The
+        // metrics inserts above are unobserved by every lint, so the
+        // engine's view is still exact.
+        if let Some(engine) = &check_engine {
+            if let Err(e) = simart::analyze::record_state(experiment.database(), engine) {
+                eprintln!("error: cannot record analysis state: {e}");
+                return 2;
+            }
+        }
         if !snapshot.metrics.is_empty() {
             println!(
                 "metrics: {} recorded (inspect with `simart metrics --db {}`)",
@@ -502,7 +595,7 @@ fn campaign(args: &[String]) -> i32 {
             trace.events.len()
         );
     }
-    i32::from(summary.failed + summary.timed_out + summary.quarantined > 0)
+    i32::from(summary.failed + summary.timed_out + summary.quarantined > 0 || check_errors)
 }
 
 /// `simart metrics` — renders the profiling metrics a previous
@@ -674,7 +767,10 @@ fn check(args: &[String]) -> i32 {
         return 2;
     }
     let Some(dir) = flag(args, "--db") else {
-        eprintln!("usage: simart check --db DIR [--format text|json] [--deny LINT] [--allow LINT]");
+        eprintln!(
+            "usage: simart check --db DIR [--incremental] [--format text|json] \
+             [--deny LINT] [--allow LINT]"
+        );
         return 2;
     };
     if !std::path::Path::new(&dir).is_dir() {
@@ -685,11 +781,33 @@ fn check(args: &[String]) -> i32 {
         return 2;
     }
 
-    let diagnostics = match lint::lint_dir(std::path::Path::new(&dir)) {
-        Ok(diagnostics) => levels.apply(diagnostics),
-        Err(e) => {
-            eprintln!("error: cannot lint database at {dir}: {e}");
-            return 2;
+    let incremental = args.iter().any(|a| a == "--incremental");
+    let diagnostics = if incremental {
+        // Resume from the analysis state a previous `--incremental`
+        // check or `campaign --check` recorded, replaying only the
+        // journal suffix past its cursor. Loads strictly (like `simart
+        // metrics`): a corrupt document or blob is exit 2, not a lint.
+        // Missing/stale state or a journal compacted past the cursor
+        // fall back to a full scan with a note saying so.
+        match simart::analyze::check_dir_incremental(std::path::Path::new(&dir)) {
+            Ok(outcome) => {
+                if let Some(reason) = &outcome.fallback {
+                    eprintln!("note: falling back to a full scan: {reason}");
+                }
+                levels.apply(outcome.diagnostics)
+            }
+            Err(e) => {
+                eprintln!("error: cannot lint database at {dir}: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match lint::lint_dir(std::path::Path::new(&dir)) {
+            Ok(diagnostics) => levels.apply(diagnostics),
+            Err(e) => {
+                eprintln!("error: cannot lint database at {dir}: {e}");
+                return 2;
+            }
         }
     };
     if format == "json" {
@@ -741,9 +859,10 @@ fn matrix() -> i32 {
     for config in figure8_configs() {
         *counts.entry(evaluate(&config).label()).or_insert(0) += 1;
     }
-    let mut table = Table::new("Figure 8 outcome totals (480 configurations)", &[
-        "outcome", "count",
-    ]);
+    let mut table = Table::new(
+        "Figure 8 outcome totals (480 configurations)",
+        &["outcome", "count"],
+    );
     for (outcome, count) in counts {
         table.row(&[outcome.to_owned(), count.to_string()]);
     }

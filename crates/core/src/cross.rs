@@ -125,7 +125,9 @@ mod tests {
 
     #[test]
     fn enumerates_the_full_product_in_order() {
-        let sweep = CrossProduct::new().axis("a", ["x", "y"]).axis("b", ["1", "2", "3"]);
+        let sweep = CrossProduct::new()
+            .axis("a", ["x", "y"])
+            .axis("b", ["1", "2", "3"]);
         let combos: Vec<Vec<String>> = sweep.iter().map(|c| c.params()).collect();
         assert_eq!(combos.len(), 6);
         assert_eq!(combos[0], vec!["x", "1"]);
@@ -143,8 +145,7 @@ mod tests {
             .axis("cores", ["1", "2", "4", "8"])
             .axis("boot", ["kernel", "systemd"]);
         assert_eq!(sweep.len(), 480, "the paper's full matrix");
-        let labels: std::collections::HashSet<String> =
-            sweep.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = sweep.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 480, "all combinations distinct");
     }
 

@@ -8,9 +8,11 @@
 //! 4. the database can be queried at any time (⑧).
 
 use parking_lot::Mutex;
-use simart_artifact::{Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry, Uuid};
-use simart_observe as observe;
+use simart_artifact::{
+    Artifact, ArtifactBuilder, ArtifactError, ArtifactId, ArtifactRegistry, Uuid,
+};
 use simart_db::{ArtifactStore, Database, DbError, Filter, Value};
+use simart_observe as observe;
 use simart_run::{FsRun, RunError, RunStatus, RunStore};
 use simart_tasks::{
     FaultInjector, RemoteEvent, RemoteScheduler, RemoteTaskSpec, RetryPolicy, Scheduler, Task,
@@ -155,7 +157,10 @@ pub struct LaunchOptions {
 impl LaunchOptions {
     /// Options for resuming an interrupted campaign.
     pub fn resuming() -> LaunchOptions {
-        LaunchOptions { resume: true, ..LaunchOptions::default() }
+        LaunchOptions {
+            resume: true,
+            ..LaunchOptions::default()
+        }
     }
 
     /// Sets the retry policy.
@@ -375,9 +380,9 @@ impl Experiment {
                 // complete provenance trail. Injected panics unwind
                 // here and are caught by the task layer.
                 let result = match &fault {
-                    Some(injector) => {
-                        injector.inject(&fault_name, attempt).and_then(|()| execute(&run))
-                    }
+                    Some(injector) => injector
+                        .inject(&fault_name, attempt)
+                        .and_then(|()| execute(&run)),
                     None => execute(&run),
                 };
                 let (disposition, result) = match result {
@@ -581,7 +586,12 @@ impl Experiment {
         );
         let store = self.runs.clone();
         scheduler.set_event_hook(move |event| match event {
-            RemoteEvent::Dispatched { task, delivery, generation, .. } => {
+            RemoteEvent::Dispatched {
+                task,
+                delivery,
+                generation,
+                ..
+            } => {
                 if let Some(&id) = ids.get(task) {
                     let _ =
                         store.log_event(id, &format!("remote-dispatch:{delivery}:g{generation}"));
@@ -591,7 +601,11 @@ impl Experiment {
                     let _ = store.transition(id, RunStatus::Running);
                 }
             }
-            RemoteEvent::Acked { task, delivery, generation } => {
+            RemoteEvent::Acked {
+                task,
+                delivery,
+                generation,
+            } => {
                 if let Some(&id) = ids.get(task) {
                     let _ = store.log_event(id, &format!("remote-ack:{delivery}:g{generation}"));
                 }
@@ -631,10 +645,14 @@ impl Experiment {
                                 &outcome.outcome,
                                 &outcome.payload,
                             );
-                            let disposition =
-                                if outcome.success { "succeeded" } else { "errored" };
-                            let _ =
-                                self.runs.record_attempt(run_id, disposition, Duration::ZERO);
+                            let disposition = if outcome.success {
+                                "succeeded"
+                            } else {
+                                "errored"
+                            };
+                            let _ = self
+                                .runs
+                                .record_attempt(run_id, disposition, Duration::ZERO);
                             if outcome.success {
                                 summary.done += 1;
                                 let _ = self.runs.transition(run_id, RunStatus::Done);
@@ -660,7 +678,9 @@ impl Experiment {
                 }
                 TaskState::TimedOut => {
                     summary.timed_out += 1;
-                    let _ = self.runs.record_attempt(run_id, "timed-out", Duration::ZERO);
+                    let _ = self
+                        .runs
+                        .record_attempt(run_id, "timed-out", Duration::ZERO);
                     let _ = self.runs.transition(run_id, RunStatus::TimedOut);
                 }
                 TaskState::Quarantined => self.seal_quarantine(run_id, &report, &mut summary),
@@ -764,8 +784,10 @@ mod tests {
     #[test]
     fn launch_executes_and_archives_results() {
         let (experiment, ids) = experiment_with_components();
-        let runs: Vec<FsRun> =
-            ["a", "b", "c"].iter().map(|app| make_run(&experiment, ids, app)).collect();
+        let runs: Vec<FsRun> = ["a", "b", "c"]
+            .iter()
+            .map(|app| make_run(&experiment, ids, app))
+            .collect();
         let run_ids: Vec<_> = runs.iter().map(|r| r.id()).collect();
         let pool = PoolScheduler::new(2);
         let summary = experiment.launch(runs, &pool, |run| {
@@ -812,10 +834,12 @@ mod tests {
         let runs = vec![make_run(&experiment, ids, "doomed")];
         let id = runs[0].id();
         let pool = PoolScheduler::new(1);
-        let summary =
-            experiment.launch(runs, &pool, |_| Err("simulated crash".to_owned()));
+        let summary = experiment.launch(runs, &pool, |_| Err("simulated crash".to_owned()));
         assert_eq!(summary.failed, 1);
-        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Failed);
+        assert_eq!(
+            experiment.runs().load(id).unwrap().status(),
+            RunStatus::Failed
+        );
     }
 
     #[test]
@@ -827,8 +851,7 @@ mod tests {
         let pool = PoolScheduler::new(1);
         let calls = Arc::new(AtomicU32::new(0));
         let seen = Arc::clone(&calls);
-        let options = LaunchOptions::default()
-            .retry_policy(RetryPolicy::immediate(3));
+        let options = LaunchOptions::default().retry_policy(RetryPolicy::immediate(3));
         let summary = experiment.launch_with(
             runs,
             &pool,
@@ -849,7 +872,10 @@ mod tests {
         assert_eq!(summary.done, 1);
         assert_eq!(summary.retried, 1);
         assert_eq!(calls.load(Ordering::SeqCst), 3);
-        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Done);
+        assert_eq!(
+            experiment.runs().load(id).unwrap().status(),
+            RunStatus::Done
+        );
         let history = experiment.runs().attempt_history(id).unwrap();
         assert_eq!(history.len(), 3);
         assert_eq!(history[2].disposition, "succeeded");
@@ -876,8 +902,11 @@ mod tests {
                 make_run(&experiment, ids, "good"),
                 make_run(&experiment, ids, "bad"),
             ];
-            let options =
-                if resume { LaunchOptions::resuming() } else { LaunchOptions::default() };
+            let options = if resume {
+                LaunchOptions::resuming()
+            } else {
+                LaunchOptions::default()
+            };
             experiment.launch_with(
                 runs,
                 &pool,
@@ -924,8 +953,14 @@ mod tests {
         // (healed) succeeds on the same record.
         let s3 = run_batch(true, false);
         assert_eq!((s3.skipped_done, s3.requeued, s3.done), (1, 1, 1));
-        assert_eq!(experiment.runs().load(bad_id).unwrap().status(), RunStatus::Done);
-        assert_eq!(experiment.runs().load(good_id).unwrap().status(), RunStatus::Done);
+        assert_eq!(
+            experiment.runs().load(bad_id).unwrap().status(),
+            RunStatus::Done
+        );
+        assert_eq!(
+            experiment.runs().load(good_id).unwrap().status(),
+            RunStatus::Done
+        );
         // The healed run kept one record: no duplicate documents.
         assert_eq!(experiment.runs().len(), 2);
     }
@@ -937,7 +972,10 @@ mod tests {
         let id = run.id();
         experiment.runs().record(&run).unwrap();
         // Simulate a crashed session: the run was mid-flight.
-        experiment.runs().set_status(id, RunStatus::Running).unwrap();
+        experiment
+            .runs()
+            .set_status(id, RunStatus::Running)
+            .unwrap();
         let pool = PoolScheduler::new(1);
         let summary = experiment.launch_with(
             vec![make_run(&experiment, ids, "stranded")],
@@ -953,7 +991,10 @@ mod tests {
             &LaunchOptions::resuming(),
         );
         assert_eq!((summary.requeued, summary.done), (1, 1));
-        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Done);
+        assert_eq!(
+            experiment.runs().load(id).unwrap().status(),
+            RunStatus::Done
+        );
     }
 
     #[test]
@@ -981,13 +1022,19 @@ mod tests {
         );
         assert_eq!(summary.failed, 1);
         assert_eq!(injector.injected_errors(), 2, "both attempts were injected");
-        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Failed);
+        assert_eq!(
+            experiment.runs().load(id).unwrap().status(),
+            RunStatus::Failed
+        );
     }
 
     #[test]
     fn query_runs_via_database() {
         let (experiment, ids) = experiment_with_components();
-        let runs = vec![make_run(&experiment, ids, "q1"), make_run(&experiment, ids, "q2")];
+        let runs = vec![
+            make_run(&experiment, ids, "q1"),
+            make_run(&experiment, ids, "q2"),
+        ];
         let pool = PoolScheduler::new(2);
         experiment.launch(runs, &pool, |_| {
             Ok(ExecOutcome {

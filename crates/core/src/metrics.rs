@@ -97,7 +97,13 @@ pub fn load_snapshot(db: &Database) -> Result<Snapshot, String> {
                 let buckets: Vec<u64> = doc
                     .at("buckets")
                     .and_then(Value::as_array)
-                    .map(|items| items.iter().filter_map(Value::as_int).map(|v| v as u64).collect())
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(Value::as_int)
+                            .map(|v| v as u64)
+                            .collect()
+                    })
                     .ok_or_else(|| format!("metric `{name}` has no `buckets` array"))?;
                 if buckets.len() != expected_buckets {
                     return Err(format!(
@@ -125,13 +131,19 @@ mod tests {
 
     fn sample_snapshot() -> Snapshot {
         let mut snapshot = Snapshot::default();
-        snapshot.metrics.insert("sim.boots".to_owned(), MetricValue::Counter(6));
-        snapshot.metrics.insert("pool.depth".to_owned(), MetricValue::Gauge(-2));
+        snapshot
+            .metrics
+            .insert("sim.boots".to_owned(), MetricValue::Counter(6));
+        snapshot
+            .metrics
+            .insert("pool.depth".to_owned(), MetricValue::Gauge(-2));
         let mut h = HistogramSnapshot::empty();
         h.count = 3;
         h.sum_us = 3_000;
         h.buckets[12] = 3;
-        snapshot.metrics.insert("db.save_us".to_owned(), MetricValue::Histogram(h));
+        snapshot
+            .metrics
+            .insert("db.save_us".to_owned(), MetricValue::Histogram(h));
         snapshot
     }
 
@@ -162,7 +174,9 @@ mod tests {
         let db = Database::in_memory();
         persist_snapshot(&db, &sample_snapshot()).unwrap();
         let mut smaller = Snapshot::default();
-        smaller.metrics.insert("only.one".to_owned(), MetricValue::Counter(1));
+        smaller
+            .metrics
+            .insert("only.one".to_owned(), MetricValue::Counter(1));
         persist_snapshot(&db, &smaller).unwrap();
         assert_eq!(load_snapshot(&db).unwrap(), smaller);
     }

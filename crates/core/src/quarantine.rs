@@ -85,7 +85,11 @@ impl DeadLetter {
             .at("leaseEvents")
             .and_then(Value::as_array)
             .map(|items| {
-                items.iter().filter_map(Value::as_str).map(str::to_owned).collect()
+                items
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_owned)
+                    .collect()
             })
             .unwrap_or_default();
         Ok(DeadLetter {
@@ -106,7 +110,8 @@ impl DeadLetter {
 ///
 /// Propagates document persistence failures.
 pub fn persist(db: &Database, letter: &DeadLetter) -> Result<(), DbError> {
-    db.collection(QUARANTINE_COLLECTION).upsert(letter.to_doc())?;
+    db.collection(QUARANTINE_COLLECTION)
+        .upsert(letter.to_doc())?;
     Ok(())
 }
 
@@ -222,8 +227,7 @@ mod tests {
         let db = Database::in_memory();
         persist(&db, &sample("exp/zzz", false)).unwrap();
         persist(&db, &sample("exp/aaa", true)).unwrap();
-        let tasks: Vec<_> =
-            load_all(&db).unwrap().into_iter().map(|l| l.task).collect();
+        let tasks: Vec<_> = load_all(&db).unwrap().into_iter().map(|l| l.task).collect();
         assert_eq!(tasks, vec!["exp/aaa", "exp/zzz"]);
     }
 

@@ -71,7 +71,10 @@ pub fn encode_outcome(outcome: &ExecOutcome) -> String {
         // Stringified so u64 tick counts round-trip losslessly through
         // the i64-typed JSON integer.
         ("simTicks", Value::from(outcome.sim_ticks.to_string())),
-        ("payload", Value::from(String::from_utf8_lossy(&outcome.payload).into_owned())),
+        (
+            "payload",
+            Value::from(String::from_utf8_lossy(&outcome.payload).into_owned()),
+        ),
         ("success", Value::from(outcome.success)),
     ]))
 }
@@ -168,7 +171,11 @@ mod tests {
 
     #[test]
     fn payload_round_trips() {
-        let params = vec!["kvm".to_owned(), "2".to_owned(), "with \"quotes\"".to_owned()];
+        let params = vec![
+            "kvm".to_owned(),
+            "2".to_owned(),
+            "with \"quotes\"".to_owned(),
+        ];
         let payload = encode_run_payload(&params);
         assert_eq!(decode_run_payload(&payload).unwrap(), params);
         assert!(decode_run_payload("{}").is_err());
@@ -202,7 +209,10 @@ mod tests {
         let outcome = decode_outcome(&registry.run(&job).unwrap()).unwrap();
         assert!(outcome.sim_ticks > 0);
         // Bad parameters are a handler error, not a panic.
-        let bad = WorkerJob { payload: encode_run_payload(&["warp".to_owned()]), ..job };
+        let bad = WorkerJob {
+            payload: encode_run_payload(&["warp".to_owned()]),
+            ..job
+        };
         assert!(registry.run(&bad).is_err());
     }
 }

@@ -56,13 +56,20 @@ impl Table {
         let escape = |cell: &str| cell.replace('|', "\\|");
         out.push_str(&format!(
             "| {} |\n",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(" | ")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
         ));
         out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!(
                 "| {} |\n",
-                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(" | ")
+                row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
             ));
         }
         out
@@ -90,7 +97,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
         );
         for row in &self.rows {
             line(&mut out, row);
@@ -111,7 +122,11 @@ pub struct BarChart {
 impl BarChart {
     /// Creates an empty chart.
     pub fn new(title: impl Into<String>, unit: impl Into<String>) -> BarChart {
-        BarChart { title: title.into(), entries: Vec::new(), unit: unit.into() }
+        BarChart {
+            title: title.into(),
+            entries: Vec::new(),
+            unit: unit.into(),
+        }
     }
 
     /// Adds one labeled bar.
@@ -142,11 +157,7 @@ impl BarChart {
             } else {
                 "-".repeat(bar_len)
             };
-            let _ = writeln!(
-                out,
-                "{label:<label_width$} | {bar} {value:.3}{}",
-                self.unit,
-            );
+            let _ = writeln!(out, "{label:<label_width$} | {bar} {value:.3}{}", self.unit,);
         }
         out
     }
@@ -178,7 +189,10 @@ mod tests {
         let md = table.render_markdown();
         assert!(md.starts_with("### MD"));
         assert!(md.contains("| a | b |"));
-        assert!(md.contains("\n|---|---|\n"), "separator is exactly one pipe per column");
+        assert!(
+            md.contains("\n|---|---|\n"),
+            "separator is exactly one pipe per column"
+        );
         assert!(md.contains("x\\|y"));
     }
 
@@ -197,9 +211,15 @@ mod tests {
         chart.bar("slow", 1.0);
         chart.bar("regression", -2.0);
         let rendered = chart.render(20);
-        assert!(rendered.contains("####################"), "max bar fills width");
+        assert!(
+            rendered.contains("####################"),
+            "max bar fills width"
+        );
         assert!(rendered.contains("#####"), "quarter bar");
-        assert!(rendered.contains("----------"), "negative bars drawn with dashes");
+        assert!(
+            rendered.contains("----------"),
+            "negative bars drawn with dashes"
+        );
     }
 
     #[test]

@@ -34,12 +34,17 @@ fn seed_artifact(db: &Database, id: &str, inputs: &[&str], hash: &str, payload: 
         ("name", Value::from("fixture")),
         ("kind", Value::from("binary")),
         ("hash", Value::from(hash)),
-        ("inputs", Value::array(inputs.iter().map(|i| Value::from(*i)))),
+        (
+            "inputs",
+            Value::array(inputs.iter().map(|i| Value::from(*i))),
+        ),
     ]);
     if let Some(payload) = payload {
         doc.set_at("payload", Value::from(payload));
     }
-    db.collection("artifacts").insert(doc).expect("seed artifact");
+    db.collection("artifacts")
+        .insert(doc)
+        .expect("seed artifact");
 }
 
 fn seed_run(db: &Database, id: &str, hash: &str, status: &str, inputs: &[&str], events: &[&str]) {
@@ -48,8 +53,14 @@ fn seed_run(db: &Database, id: &str, hash: &str, status: &str, inputs: &[&str], 
             ("_id", Value::from(id)),
             ("hash", Value::from(hash)),
             ("status", Value::from(status)),
-            ("inputs", Value::array(inputs.iter().map(|i| Value::from(*i)))),
-            ("events", Value::array(events.iter().map(|e| Value::from(*e)))),
+            (
+                "inputs",
+                Value::array(inputs.iter().map(|i| Value::from(*i))),
+            ),
+            (
+                "events",
+                Value::array(events.iter().map(|e| Value::from(*e))),
+            ),
         ]))
         .expect("seed run");
 }
@@ -60,11 +71,14 @@ fn clean_database_exits_zero_with_empty_reports() {
     let db = Database::in_memory();
     let a = uuid("clean-artifact");
     seed_artifact(&db, &a, &[], "hash-clean", None);
-    seed_run(&db, "run-1", "rh-1", "done", &[&a], &[
-        "status:queued",
-        "status:running",
-        "status:done",
-    ]);
+    seed_run(
+        &db,
+        "run-1",
+        "rh-1",
+        "done",
+        &[&a],
+        &["status:queued", "status:running", "status:done"],
+    );
     db.save(&dir).expect("save fixture");
 
     let text = run_check(&dir, &[]);
@@ -106,13 +120,23 @@ fn every_seeded_defect_reports_its_code() {
     seed_artifact(&db, &uuid("dup"), &[], "hash-dup", Some(&"0".repeat(32)));
     // SA0001 + SA0006 + SA0011: dangling input, illegal transition, and
     // a status field that disagrees with the replay.
-    seed_run(&db, "run-bad", "rh-bad", "done", &[&ghost], &["status:queued", "status:done"]);
+    seed_run(
+        &db,
+        "run-bad",
+        "rh-bad",
+        "done",
+        &[&ghost],
+        &["status:queued", "status:done"],
+    );
     // SA0007: retrying without a failed attempt.
-    seed_run(&db, "run-retry", "rh-retry", "retrying", &[], &[
-        "status:queued",
-        "status:running",
-        "status:retrying",
-    ]);
+    seed_run(
+        &db,
+        "run-retry",
+        "rh-retry",
+        "retrying",
+        &[],
+        &["status:queued", "status:running", "status:retrying"],
+    );
     // SA0009: duplicate run hash.
     seed_run(&db, "run-dup-1", "rh-dup", "created", &[], &[]);
     seed_run(&db, "run-dup-2", "rh-dup", "created", &[], &[]);
@@ -148,11 +172,14 @@ fn every_seeded_defect_reports_its_code() {
     let json = run_check(&dir, &["--format", "json"]);
     assert_eq!(json.status.code(), Some(1));
     let json_out = String::from_utf8_lossy(&json.stdout);
-    for code in
-        ["SA0001", "SA0002", "SA0003", "SA0004", "SA0005", "SA0006", "SA0007", "SA0008", "SA0009"]
-    {
+    for code in [
+        "SA0001", "SA0002", "SA0003", "SA0004", "SA0005", "SA0006", "SA0007", "SA0008", "SA0009",
+    ] {
         assert!(stdout.contains(code), "text output lacks {code}: {stdout}");
-        assert!(json_out.contains(&format!("\"code\":\"{code}\"")), "json lacks {code}");
+        assert!(
+            json_out.contains(&format!("\"code\":\"{code}\"")),
+            "json lacks {code}"
+        );
     }
     // SA0011 rides along on run-bad (status 'done' vs replay 'done'?
     // no: replay ends 'done' there). Check it separately below.
@@ -163,15 +190,201 @@ fn every_seeded_defect_reports_its_code() {
 fn status_event_mismatch_is_reported() {
     let dir = temp_dir("sa0011");
     let db = Database::in_memory();
-    seed_run(&db, "run-drift", "rh", "done", &[], &["status:queued", "status:running"]);
+    seed_run(
+        &db,
+        "run-drift",
+        "rh",
+        "done",
+        &[],
+        &["status:queued", "status:running"],
+    );
     db.save(&dir).expect("save fixture");
     let out = run_check(&dir, &[]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(0), "warning-only report: {stdout}");
-    assert!(stdout.contains("warning[SA0011] status-event-mismatch"), "{stdout}");
+    assert!(
+        stdout.contains("warning[SA0011] status-event-mismatch"),
+        "{stdout}"
+    );
 
     let json = run_check(&dir, &["--format", "json"]);
     assert!(String::from_utf8_lossy(&json.stdout).contains("\"code\":\"SA0011\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One seeded defect per journal-layout and quarantine lint code
+/// (SA0012–SA0015); like the SA0001–SA0011 fixture, the text report
+/// must match the golden rendering byte for byte and the JSON report
+/// must carry every code.
+#[test]
+fn journal_and_quarantine_defects_report_their_codes() {
+    let dir = temp_dir("journal-defects");
+    {
+        // Checkpointed base: two unreleased dead letters (one pointing
+        // at a missing run, one at a re-queued run — SA0014) and a run
+        // whose last remote dispatch was never acked (SA0015).
+        let db = Database::in_memory();
+        seed_run(&db, "run-requeued", "rh-rq", "created", &[], &[]);
+        seed_run(
+            &db,
+            "run-orphan",
+            "rh-orph",
+            "running",
+            &[],
+            &["status:queued", "status:running", "remote-dispatch:3:g2"],
+        );
+        for letter in ["run-gone", "run-requeued"] {
+            db.collection("quarantine")
+                .insert(Value::map([
+                    ("_id", Value::from(letter)),
+                    ("released", Value::from(false)),
+                ]))
+                .expect("seed dead letter");
+        }
+        db.save(&dir).expect("save fixture");
+    }
+    {
+        // One journal record not folded into the checkpoints (SA0012)…
+        let db = Database::open(&dir).expect("reopen attached");
+        seed_run(&db, "run-div", "rh-div", "created", &[], &[]);
+    }
+    // …that also collides with a hand-written checkpoint version of the
+    // same document (SA0013), plus a torn 3-byte tail (second SA0012).
+    let checkpoint = dir.join("runs.jsonl");
+    let mut runs = std::fs::read_to_string(&checkpoint).expect("read checkpoint");
+    runs.push_str("{\"_id\":\"run-div\",\"hash\":\"rh-div-old\"}\n");
+    std::fs::write(&checkpoint, runs).expect("rewrite checkpoint");
+    let journal = dir.join("journal.log");
+    let mut bytes = std::fs::read(&journal).expect("read journal");
+    bytes.extend_from_slice(b"xyz");
+    std::fs::write(&journal, bytes).expect("tear journal");
+
+    let text = run_check(&dir, &[]);
+    assert_eq!(text.status.code(), Some(1), "{text:?}");
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    let golden =
+        "warning[SA0012] unreplayed-journal: journal holds 1 record(s) not folded into the checkpoint files; the owning campaign did not finish (or never ran) its checkpoint (journal:log)\n\
+         warning[SA0012] unreplayed-journal: journal ends in a torn tail of 3 byte(s) (interrupted append); records before the tear replay cleanly (journal:tail)\n\
+         error[SA0013] journal-divergence: journal insert collides with a checkpoint document of different content; the journal version wins on replay (journal:runs/run-div)\n\
+         error[SA0014] quarantined-run-referenced: unreleased dead letter references a run missing from the run collection (run:run-gone)\n\
+         error[SA0014] quarantined-run-referenced: run has an unreleased dead letter but status 'created' (re-queued without `simart quarantine --release`?) (run:run-requeued)\n\
+         warning[SA0015] orphaned-remote-attempt: last remote dispatch (delivery 3 to worker generation 2) was never acked, re-delivered, or quarantined — orphaned by a coordinator crash? (run:run-orphan)\n\
+         check: 3 errors, 3 warnings\n";
+    assert_eq!(stdout, golden);
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert_eq!(json.status.code(), Some(1));
+    let json_out = String::from_utf8_lossy(&json.stdout);
+    for code in ["SA0012", "SA0013", "SA0014", "SA0015"] {
+        assert!(stdout.contains(code), "text output lacks {code}: {stdout}");
+        assert!(
+            json_out.contains(&format!("\"code\":\"{code}\"")),
+            "json lacks {code}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--incremental` falls back loudly when no state is recorded, resumes
+/// silently (and byte-identically) once it is, detects a journal
+/// compacted past its cursor, and shares the strict-load one-line
+/// precheck with `simart metrics`.
+#[test]
+fn incremental_check_resumes_and_falls_back_loudly() {
+    let dir = temp_dir("incremental");
+    {
+        let db = Database::open(&dir).expect("create attached db");
+        let a = uuid("incr-artifact");
+        seed_artifact(&db, &a, &[], "hash-incr", None);
+        seed_run(
+            &db,
+            "run-1",
+            "rh-1",
+            "done",
+            &[&a],
+            &["status:queued", "status:running", "status:done"],
+        );
+    }
+
+    // First incremental run: no recorded state yet → loud full scan
+    // that matches the plain scan byte for byte, then records state.
+    let full = run_check(&dir, &[]);
+    let first = run_check(&dir, &["--incremental"]);
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    assert_eq!(first.stdout, full.stdout);
+    assert!(
+        String::from_utf8_lossy(&first.stderr)
+            .contains("note: falling back to a full scan: no analysis state recorded yet"),
+        "{first:?}"
+    );
+
+    // Second run resumes from the cursor: same report, no note. The
+    // state record it replays over is its own bookkeeping and must not
+    // surface as an SA0012 "unreplayed journal" finding.
+    let second = run_check(&dir, &["--incremental"]);
+    assert_eq!(second.status.code(), Some(0), "{second:?}");
+    assert_eq!(second.stdout, full.stdout);
+    assert_eq!(
+        String::from_utf8_lossy(&second.stderr),
+        "",
+        "resume is silent"
+    );
+
+    // A new defect lands in the journal; the incremental replay picks
+    // it up without a fallback and agrees with a fresh full scan.
+    let ghost = uuid("incr-ghost");
+    {
+        let db = Database::open(&dir).expect("reopen attached");
+        seed_run(&db, "run-bad", "rh-bad", "created", &[&ghost], &[]);
+    }
+    let third = run_check(&dir, &["--incremental"]);
+    assert_eq!(third.status.code(), Some(1), "{third:?}");
+    assert!(
+        String::from_utf8_lossy(&third.stdout).contains("error[SA0001]"),
+        "{third:?}"
+    );
+    assert_eq!(String::from_utf8_lossy(&third.stderr), "");
+    let fresh = run_check(&dir, &[]);
+    assert_eq!(third.stdout, fresh.stdout);
+
+    // Checkpointing compacts the journal past the cursor: loud fallback.
+    {
+        let db = Database::open(&dir).expect("reopen attached");
+        db.checkpoint().expect("checkpoint");
+    }
+    let compacted = run_check(&dir, &["--incremental"]);
+    assert_eq!(compacted.status.code(), Some(1), "{compacted:?}");
+    assert!(
+        String::from_utf8_lossy(&compacted.stderr).contains(
+            "note: falling back to a full scan: journal compacted past the analysis cursor"
+        ),
+        "{compacted:?}"
+    );
+
+    // A corrupt checkpoint document is a strict-load failure: one-line
+    // error and exit 2, while the lenient plain check keeps working.
+    let checkpoint = dir.join("runs.jsonl");
+    let mut runs = std::fs::read_to_string(&checkpoint).expect("read checkpoint");
+    runs.push_str("{not json\n");
+    std::fs::write(&checkpoint, runs).expect("corrupt checkpoint");
+    let corrupt = run_check(&dir, &["--incremental"]);
+    assert_eq!(corrupt.status.code(), Some(2), "{corrupt:?}");
+    let stderr = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(
+        stderr.starts_with("error: cannot lint database at"),
+        "{stderr}"
+    );
+    assert!(
+        corrupt.stdout.is_empty(),
+        "one-line precheck prints no report"
+    );
+    let lenient = run_check(&dir, &[]);
+    assert_eq!(lenient.status.code(), Some(1), "{lenient:?}");
+
+    // And a missing directory is the same usage error as plain check.
+    let missing = temp_dir("incremental-missing").join("nope");
+    let gone = run_check(&missing, &["--incremental"]);
+    assert_eq!(gone.status.code(), Some(2), "{gone:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -208,6 +421,60 @@ fn deny_warnings_makes_warnings_fatal_and_allow_suppresses() {
     // Unknown lint names are usage errors.
     let bogus = run_check(&dir, &["--deny", "no-such-lint"]);
     assert_eq!(bogus.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `simart campaign --check` lints the campaign's own database after
+/// the runs finish and records analysis state past the checkpoint, so
+/// the next `simart check --incremental` resumes without a fallback.
+#[test]
+fn campaign_check_lints_and_records_state_for_incremental() {
+    let dir = temp_dir("campaign-check");
+    let out = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args(["campaign", "--db", dir.to_str().unwrap(), "--check"])
+        .output()
+        .expect("campaign runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check: 0 errors, 0 warnings"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr)
+            .contains("note: falling back to a full scan: no analysis state recorded yet"),
+        "first campaign has no prior analysis state: {out:?}"
+    );
+
+    let incr = run_check(&dir, &["--incremental"]);
+    assert_eq!(incr.status.code(), Some(0), "{incr:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&incr.stderr),
+        "",
+        "campaign-recorded state resumes silently"
+    );
+    assert!(
+        String::from_utf8_lossy(&incr.stdout).contains("check: 0 errors"),
+        "{incr:?}"
+    );
+
+    // A resumed campaign's check also picks the state up incrementally.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_simart"))
+        .args([
+            "campaign",
+            "--db",
+            dir.to_str().unwrap(),
+            "--resume",
+            "--check",
+        ])
+        .output()
+        .expect("campaign resumes");
+    assert_eq!(resumed.status.code(), Some(0), "{resumed:?}");
+    assert!(
+        String::from_utf8_lossy(&resumed.stdout).contains("check: 0 errors, 0 warnings"),
+        "{resumed:?}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&resumed.stderr).contains("falling back"),
+        "resumed campaign check is incremental: {resumed:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -32,8 +32,9 @@ fn catalog_lists_all_resources() {
 
 #[test]
 fn boot_reports_success_and_failure_via_exit_code() {
-    let (stdout, _, code) =
-        simart(&["boot", "--cpu", "kvm", "--cores", "4", "--mem", "mesi", "--kernel", "5.4"]);
+    let (stdout, _, code) = simart(&[
+        "boot", "--cpu", "kvm", "--cores", "4", "--mem", "mesi", "--kernel", "5.4",
+    ]);
     assert_eq!(code, 0, "kvm boots everywhere: {stdout}");
     assert!(stdout.contains("outcome       : success"));
 

@@ -14,8 +14,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("simart-journal-e2e-{tag}-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("simart-journal-e2e-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -35,7 +34,12 @@ fn register_components(experiment: &Experiment) -> [ArtifactId; 5] {
         if name == "sim" {
             builder = builder.input(ids[0]);
         }
-        ids.push(experiment.register_artifact(builder).expect("register").id());
+        ids.push(
+            experiment
+                .register_artifact(builder)
+                .expect("register")
+                .id(),
+        );
     }
     [ids[1], ids[0], ids[2], ids[3], ids[4]]
 }
@@ -73,11 +77,13 @@ fn dropped_session_without_checkpoint_loses_no_completed_run() {
     let apps = ["a", "b", "c", "d"];
     let done_ids;
     {
-        let experiment =
-            Experiment::with_database("crashy", Database::open(&dir).expect("open"))
-                .expect("experiment");
+        let experiment = Experiment::with_database("crashy", Database::open(&dir).expect("open"))
+            .expect("experiment");
         let ids = register_components(&experiment);
-        let runs: Vec<FsRun> = apps.iter().map(|app| make_run(&experiment, ids, app)).collect();
+        let runs: Vec<FsRun> = apps
+            .iter()
+            .map(|app| make_run(&experiment, ids, app))
+            .collect();
         done_ids = vec![runs[0].id(), runs[2].id()];
         let pool = PoolScheduler::new(2);
         let summary = experiment.launch(runs, &pool, |run: &FsRun| {
@@ -95,7 +101,11 @@ fn dropped_session_without_checkpoint_loses_no_completed_run() {
     // Recovery session over the same directory.
     let experiment = Experiment::with_database("crashy", Database::open(&dir).expect("reopen"))
         .expect("experiment over recovered db");
-    assert_eq!(experiment.runs().len(), 4, "all four records survived the crash");
+    assert_eq!(
+        experiment.runs().len(),
+        4,
+        "all four records survived the crash"
+    );
     for id in &done_ids {
         let run = experiment.runs().load(*id).expect("completed run survived");
         assert_eq!(run.status(), RunStatus::Done);
@@ -106,7 +116,10 @@ fn dropped_session_without_checkpoint_loses_no_completed_run() {
     }
 
     let ids = register_components(&experiment);
-    let runs: Vec<FsRun> = apps.iter().map(|app| make_run(&experiment, ids, app)).collect();
+    let runs: Vec<FsRun> = apps
+        .iter()
+        .map(|app| make_run(&experiment, ids, app))
+        .collect();
     let pool = PoolScheduler::new(2);
     let summary = experiment.launch_with(
         runs,
@@ -118,7 +131,10 @@ fn dropped_session_without_checkpoint_loses_no_completed_run() {
     assert_eq!(summary.skipped_done, 2, "zero completed runs lost");
     assert_eq!((summary.requeued, summary.done), (2, 2));
     let db = experiment.database();
-    assert_eq!(db.collection("runs").count(&Filter::eq("status", "done")), 4);
+    assert_eq!(
+        db.collection("runs").count(&Filter::eq("status", "done")),
+        4
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -135,8 +151,15 @@ fn simart(args: &[&str]) -> (String, i32) {
 
 /// Parses `skipped done N` out of the campaign summary line.
 fn parse_skipped_done(stdout: &str) -> usize {
-    let tail = stdout.split("skipped done ").nth(1).expect("summary line present");
-    tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().expect("count")
+    let tail = stdout
+        .split("skipped done ")
+        .nth(1)
+        .expect("summary line present");
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .expect("count")
 }
 
 /// Hard crash: `SIGKILL` the CLI mid-campaign, then `--resume`. Every
@@ -169,7 +192,9 @@ fn killed_campaign_process_loses_no_completed_run() {
     // Count what the dead process durably completed. (Lenient load: a
     // kill mid-append legitimately leaves a torn journal tail.)
     let before = Database::load(&dir).expect("journal replays after SIGKILL");
-    let done_before = before.collection("runs").count(&Filter::eq("status", "done"));
+    let done_before = before
+        .collection("runs")
+        .count(&Filter::eq("status", "done"));
     drop(before);
 
     let (stdout, code) = simart(&["campaign", "--db", db, "--resume"]);

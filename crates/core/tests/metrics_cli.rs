@@ -37,13 +37,19 @@ fn run_metrics(db_dir: &Path, extra: &[&str]) -> Output {
 /// every reported quantile is exactly that bucket's bound.
 fn fixture_snapshot() -> Snapshot {
     let mut snapshot = Snapshot::default();
-    snapshot.metrics.insert("sim.boots".to_owned(), MetricValue::Counter(6));
-    snapshot.metrics.insert("pool.depth".to_owned(), MetricValue::Gauge(-2));
+    snapshot
+        .metrics
+        .insert("sim.boots".to_owned(), MetricValue::Counter(6));
+    snapshot
+        .metrics
+        .insert("pool.depth".to_owned(), MetricValue::Gauge(-2));
     let mut h = HistogramSnapshot::empty();
     h.count = 3;
     h.sum_us = 27_500;
     h.buckets[12] = 3; // the 10_000 µs bucket
-    snapshot.metrics.insert("db.checkpoint_us".to_owned(), MetricValue::Histogram(h));
+    snapshot
+        .metrics
+        .insert("db.checkpoint_us".to_owned(), MetricValue::Histogram(h));
     snapshot
 }
 
@@ -60,7 +66,11 @@ fn text_report_is_byte_exact() {
     let dir = temp_dir("golden-text");
     seed_fixture_db(&dir);
     let out = run_metrics(&dir, &[]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let golden = "histogram  db.checkpoint_us: count 3, sum 27500us, \
                   p50 10000us, p95 10000us, p99 10000us\n\
                   gauge      pool.depth = -2\n\
@@ -74,10 +84,17 @@ fn json_report_matches_library_rendering() {
     let dir = temp_dir("golden-json");
     let snapshot = seed_fixture_db(&dir);
     let out = run_metrics(&dir, &["--format", "json"]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The CLI reconstructs the snapshot from persisted documents; its
     // JSON must round-trip to the library rendering of the original.
-    assert_eq!(String::from_utf8_lossy(&out.stdout), format!("{}\n", snapshot.render_json()));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        format!("{}\n", snapshot.render_json())
+    );
 }
 
 #[test]
@@ -90,7 +107,10 @@ fn database_without_metrics_reports_zero() {
     db.save(&dir).expect("save db");
     let out = run_metrics(&dir, &[]);
     assert!(out.status.success());
-    assert_eq!(String::from_utf8_lossy(&out.stdout), "metrics: 0 recorded\n");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "metrics: 0 recorded\n"
+    );
 }
 
 #[test]
@@ -160,7 +180,11 @@ fn campaign_trace_and_metrics_end_to_end() {
         "--trace-out",
         trace_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("metrics:"), "stdout: {stdout}");
     assert!(stdout.contains("trace written to"), "stdout: {stdout}");
@@ -174,12 +198,21 @@ fn campaign_trace_and_metrics_end_to_end() {
         .expect("trace has a traceEvents array");
     assert!(!events.is_empty(), "trace records at least one event");
     for event in events {
-        let ph = event.at("ph").and_then(Value::as_str).expect("event has ph");
+        let ph = event
+            .at("ph")
+            .and_then(Value::as_str)
+            .expect("event has ph");
         assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
         assert_eq!(event.at("cat").and_then(Value::as_str), Some("simart"));
-        assert!(event.at("ts").and_then(Value::as_int).is_some(), "event has ts");
+        assert!(
+            event.at("ts").and_then(Value::as_int).is_some(),
+            "event has ts"
+        );
         if ph == "X" {
-            assert!(event.at("dur").and_then(Value::as_int).is_some(), "span has dur");
+            assert!(
+                event.at("dur").and_then(Value::as_int).is_some(),
+                "span has dur"
+            );
         }
     }
 
@@ -190,7 +223,13 @@ fn campaign_trace_and_metrics_end_to_end() {
     let report = run_metrics(&dir, &[]);
     assert!(report.status.success());
     let text = String::from_utf8_lossy(&report.stdout);
-    assert!(text.contains("histogram  tasks.queue_wait_us:"), "report: {text}");
-    assert!(text.contains("histogram  db.journal_append_us:"), "report: {text}");
+    assert!(
+        text.contains("histogram  tasks.queue_wait_us:"),
+        "report: {text}"
+    );
+    assert!(
+        text.contains("histogram  db.journal_append_us:"),
+        "report: {text}"
+    );
     assert!(text.contains("counter    sim.boots"), "report: {text}");
 }

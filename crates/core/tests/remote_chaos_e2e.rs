@@ -55,7 +55,10 @@ fn remote_chaos_campaign_completes_with_zero_lost_runs() {
         "5",
     ]);
     assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
-    assert!(stdout.contains("done 6, failed 0, timed out 0, quarantined 0"), "{stdout}");
+    assert!(
+        stdout.contains("done 6, failed 0, timed out 0, quarantined 0"),
+        "{stdout}"
+    );
 
     // The chaos was real: the injector SIGKILLed live worker PIDs and
     // the supervisor respawned and redelivered (seeded, so the fault
@@ -91,7 +94,11 @@ fn remote_chaos_campaign_completes_with_zero_lost_runs() {
             "no ack event on {}: {events:?}",
             run.id()
         );
-        assert!(runs.load_results(run.id()).is_some(), "results archived for {}", run.id());
+        assert!(
+            runs.load_results(run.id()).is_some(),
+            "results archived for {}",
+            run.id()
+        );
     }
 
     // The linter agrees: no orphaned remote attempts, nothing else.
@@ -149,7 +156,14 @@ fn remote_cap_exhaustion_quarantines_then_release_resumes() {
     // Resume never touches quarantine: everything is skipped (and a
     // fully-skipped campaign is not a failure).
     let (stdout, _, code) = simart(&[
-        "campaign", "--db", &db_arg, "--scheduler", "remote", "--workers", "2", "--resume",
+        "campaign",
+        "--db",
+        &db_arg,
+        "--scheduler",
+        "remote",
+        "--workers",
+        "2",
+        "--resume",
     ]);
     assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("skipped quarantined 6"), "{stdout}");
@@ -165,7 +179,14 @@ fn remote_cap_exhaustion_quarantines_then_release_resumes() {
 
     // Session 2: chaos off, resume picks up only the released run.
     let (stdout, stderr, code) = simart(&[
-        "campaign", "--db", &db_arg, "--scheduler", "remote", "--workers", "2", "--resume",
+        "campaign",
+        "--db",
+        &db_arg,
+        "--scheduler",
+        "remote",
+        "--workers",
+        "2",
+        "--resume",
     ]);
     assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("done 1"), "{stdout}");

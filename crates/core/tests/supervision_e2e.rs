@@ -103,8 +103,10 @@ fn simart(args: &[&str]) -> (String, String, i32) {
 fn killed_worker_is_respawned_and_no_runs_are_lost() {
     let experiment = Experiment::new("chaos");
     let ids = register_artifacts(&experiment);
-    let runs: Vec<FsRun> =
-        ["a", "b", "c"].iter().map(|app| make_run(&experiment, ids, app)).collect();
+    let runs: Vec<FsRun> = ["a", "b", "c"]
+        .iter()
+        .map(|app| make_run(&experiment, ids, app))
+        .collect();
     let run_ids: Vec<_> = runs.iter().map(|r| r.id()).collect();
 
     let broker = BrokerScheduler::with_config(2, quick_supervision(1));
@@ -117,11 +119,21 @@ fn killed_worker_is_respawned_and_no_runs_are_lost() {
     assert_eq!(summary.done, 3, "zero lost runs: {summary:?}");
     assert_eq!(summary.quarantined, 0);
     assert_eq!(chaos.injected_kills(), 1, "the kill budget was spent");
-    assert_eq!(broker.redelivered(), 1, "the orphaned task was redelivered once");
-    assert!(broker.worker_respawns() >= 1, "a replacement worker was spawned");
+    assert_eq!(
+        broker.redelivered(),
+        1,
+        "the orphaned task was redelivered once"
+    );
+    assert!(
+        broker.worker_respawns() >= 1,
+        "a replacement worker was spawned"
+    );
     assert_eq!(broker.detached_live(), 0, "no detached workers left behind");
     for id in run_ids {
-        assert_eq!(experiment.runs().load(id).unwrap().status(), RunStatus::Done);
+        assert_eq!(
+            experiment.runs().load(id).unwrap().status(),
+            RunStatus::Done
+        );
     }
 }
 
@@ -150,15 +162,27 @@ fn exhausted_redeliveries_quarantine_end_to_end() {
         let summary = experiment.launch_with(runs, &broker, ok_outcome, &options);
         assert_eq!(summary.quarantined, 1, "{summary:?}");
         assert_eq!(summary.done, 0);
-        assert_eq!(experiment.runs().load(run_id).unwrap().status(), RunStatus::Quarantined);
+        assert_eq!(
+            experiment.runs().load(run_id).unwrap().status(),
+            RunStatus::Quarantined
+        );
 
         let letters = simart::quarantine::load_all(experiment.database()).unwrap();
         assert_eq!(letters.len(), 1);
         assert_eq!(letters[0].run_id, run_id);
         assert_eq!(letters[0].redeliveries, 1);
         assert!(!letters[0].released);
-        assert!(letters[0].error.contains("redelivery cap"), "{}", letters[0].error);
-        assert_eq!(letters[0].lease_events.len(), 2, "{:?}", letters[0].lease_events);
+        assert!(
+            letters[0].error.contains("redelivery cap"),
+            "{}",
+            letters[0].error
+        );
+        assert_eq!(
+            letters[0].lease_events.len(),
+            2,
+            "{:?}",
+            letters[0].lease_events
+        );
 
         // Session 1b: resume never touches a quarantined run.
         let resumed = experiment.launch_with(
@@ -168,7 +192,10 @@ fn exhausted_redeliveries_quarantine_end_to_end() {
             &LaunchOptions::resuming(),
         );
         assert_eq!(resumed.skipped_quarantined, 1, "{resumed:?}");
-        assert_eq!(experiment.runs().load(run_id).unwrap().status(), RunStatus::Quarantined);
+        assert_eq!(
+            experiment.runs().load(run_id).unwrap().status(),
+            RunStatus::Quarantined
+        );
 
         experiment.database().checkpoint().unwrap();
         run_id

@@ -24,7 +24,11 @@ pub enum Reduce {
 impl Reduce {
     fn apply(self, values: &[f64]) -> Option<f64> {
         if values.is_empty() {
-            return if self == Reduce::Count { Some(0.0) } else { None };
+            return if self == Reduce::Count {
+                Some(0.0)
+            } else {
+                None
+            };
         }
         Some(match self {
             Reduce::Count => values.len() as f64,
@@ -50,7 +54,9 @@ pub fn group_reduce(
 ) -> BTreeMap<String, f64> {
     let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for doc in collection.find(filter) {
-        let Some(key) = doc.at(group_path) else { continue };
+        let Some(key) = doc.at(group_path) else {
+            continue;
+        };
         let key = match key {
             Value::Str(s) => s.clone(),
             other => crate::json::to_json(other),
@@ -128,7 +134,13 @@ mod tests {
     #[test]
     fn filters_apply_before_grouping() {
         let c = populated();
-        let maxima = group_reduce(&c, &Filter::eq("app", "dedup"), "cores", "time", Reduce::Max);
+        let maxima = group_reduce(
+            &c,
+            &Filter::eq("app", "dedup"),
+            "cores",
+            "time",
+            Reduce::Max,
+        );
         assert_eq!(maxima.len(), 3);
         assert_eq!(maxima["1"], 100.0);
     }
@@ -139,8 +151,14 @@ mod tests {
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Count), Some(6.0));
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Min), Some(15.0));
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Max), Some(100.0));
-        assert_eq!(reduce(&c, &Filter::eq("app", "nope"), "time", Reduce::Mean), None);
-        assert_eq!(reduce(&c, &Filter::eq("app", "nope"), "time", Reduce::Count), Some(0.0));
+        assert_eq!(
+            reduce(&c, &Filter::eq("app", "nope"), "time", Reduce::Mean),
+            None
+        );
+        assert_eq!(
+            reduce(&c, &Filter::eq("app", "nope"), "time", Reduce::Count),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -152,7 +170,8 @@ mod tests {
             ("time", Value::from("not a number")),
         ]))
         .unwrap();
-        c.insert(Value::map([("_id", Value::from("empty"))])).unwrap();
+        c.insert(Value::map([("_id", Value::from("empty"))]))
+            .unwrap();
         let means = group_reduce(&c, &Filter::All, "app", "time", Reduce::Mean);
         assert!((means["dedup"] - 60.0).abs() < 1e-9, "bad rows ignored");
     }

@@ -68,7 +68,9 @@ impl ArtifactStore {
         let doc = self
             .collection()
             .get(&id.to_string())
-            .ok_or_else(|| DbError::NotFound { query: id.to_string() })?;
+            .ok_or_else(|| DbError::NotFound {
+                query: id.to_string(),
+            })?;
         doc_to_artifact(&doc)
     }
 
@@ -166,7 +168,9 @@ pub(crate) fn artifact_to_doc(artifact: &Artifact, payload: Option<BlobKey>) -> 
 
 /// Reconstructs an artifact from its document form.
 pub(crate) fn doc_to_artifact(doc: &Value) -> Result<Artifact, DbError> {
-    let invalid = |why: &str| DbError::InvalidDocument { reason: why.to_owned() };
+    let invalid = |why: &str| DbError::InvalidDocument {
+        reason: why.to_owned(),
+    };
     let str_field = |path: &str| -> Result<String, DbError> {
         doc.at(path)
             .and_then(Value::as_str)
@@ -255,7 +259,10 @@ mod tests {
 
         let loaded = store.load(artifact.id()).unwrap();
         assert_eq!(loaded, artifact);
-        assert_eq!(store.load_payload(artifact.id()).unwrap().as_ref(), b"payload-bytes");
+        assert_eq!(
+            store.load_payload(artifact.id()).unwrap().as_ref(),
+            b"payload-bytes"
+        );
     }
 
     #[test]
@@ -293,13 +300,18 @@ mod tests {
         store.save(&artifact, None).unwrap();
         assert_eq!(store.find_by_name("sim-binary").unwrap().len(), 1);
         assert_eq!(store.find_by_kind(&ArtifactKind::Binary).unwrap().len(), 1);
-        assert!(store.find_by_kind(&ArtifactKind::Kernel).unwrap().is_empty());
+        assert!(store
+            .find_by_kind(&ArtifactKind::Kernel)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn other_kind_round_trips() {
-        assert_eq!(kind_from_str(&kind_str(&ArtifactKind::Other("trace".into()))),
-            ArtifactKind::Other("trace".into()));
+        assert_eq!(
+            kind_from_str(&kind_str(&ArtifactKind::Other("trace".into()))),
+            ArtifactKind::Other("trace".into())
+        );
         assert_eq!(kind_from_str("kernel"), ArtifactKind::Kernel);
     }
 
@@ -307,6 +319,9 @@ mod tests {
     fn load_missing_artifact_errors() {
         let db = Database::in_memory();
         let store = ArtifactStore::new(&db).unwrap();
-        assert!(matches!(store.load(ArtifactId::NIL), Err(DbError::NotFound { .. })));
+        assert!(matches!(
+            store.load(ArtifactId::NIL),
+            Err(DbError::NotFound { .. })
+        ));
     }
 }

@@ -70,7 +70,10 @@ impl BlobStore {
     /// An empty store sharing the owning database's journal slot, so
     /// blob puts on an attached database append as they happen.
     pub(crate) fn with_journal(journal: JournalCell) -> BlobStore {
-        BlobStore { inner: Arc::default(), journal }
+        BlobStore {
+            inner: Arc::default(),
+            journal,
+        }
     }
 
     /// Stores content, returning its key. Identical content is stored
@@ -87,7 +90,9 @@ impl BlobStore {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 journal::append_best_effort(
                     &self.journal,
-                    &JournalOp::BlobPut { data: data.to_vec() },
+                    &JournalOp::BlobPut {
+                        data: data.to_vec(),
+                    },
                 );
                 slot.insert(data);
             }

@@ -116,7 +116,10 @@ impl Collection {
         let id = id_of(&doc)?;
         let mut inner = self.inner.write();
         if inner.docs.contains_key(&id) {
-            return Err(DbError::DuplicateId { collection: self.name.clone(), id });
+            return Err(DbError::DuplicateId {
+                collection: self.name.clone(),
+                id,
+            });
         }
         // Validate unique constraints before mutating anything.
         let mut staged: Vec<(String, String)> = Vec::new();
@@ -140,16 +143,22 @@ impl Collection {
         // mutation, so a failed append leaves memory untouched and a
         // crash right after it replays to the same state.
         let op = match mode {
-            JournalAs::Insert => {
-                JournalOp::Insert { collection: self.name.clone(), doc: doc.clone() }
-            }
-            JournalAs::Upsert => {
-                JournalOp::Upsert { collection: self.name.clone(), doc: doc.clone() }
-            }
+            JournalAs::Insert => JournalOp::Insert {
+                collection: self.name.clone(),
+                doc: doc.clone(),
+            },
+            JournalAs::Upsert => JournalOp::Upsert {
+                collection: self.name.clone(),
+                doc: doc.clone(),
+            },
         };
         journal::append_if_attached(&self.journal, &op)?;
         for (path, key) in staged {
-            inner.unique.get_mut(&path).expect("staged from unique map").insert(key, id.clone());
+            inner
+                .unique
+                .get_mut(&path)
+                .expect("staged from unique map")
+                .insert(key, id.clone());
         }
         inner.docs.insert(id, doc);
         Ok(())
@@ -190,13 +199,24 @@ impl Collection {
     /// Returns all documents matching `filter`, ordered by `_id`.
     pub fn find(&self, filter: &Filter) -> Vec<Value> {
         let _timer = observe::timer("db.query_us");
-        self.inner.read().docs.values().filter(|d| filter.matches(d)).cloned().collect()
+        self.inner
+            .read()
+            .docs
+            .values()
+            .filter(|d| filter.matches(d))
+            .cloned()
+            .collect()
     }
 
     /// Returns the first matching document.
     pub fn find_one(&self, filter: &Filter) -> Option<Value> {
         let _timer = observe::timer("db.query_us");
-        self.inner.read().docs.values().find(|d| filter.matches(d)).cloned()
+        self.inner
+            .read()
+            .docs
+            .values()
+            .find(|d| filter.matches(d))
+            .cloned()
     }
 
     /// Returns matching documents sorted by a field path.
@@ -217,7 +237,12 @@ impl Collection {
     /// Counts documents matching `filter`.
     pub fn count(&self, filter: &Filter) -> usize {
         let _timer = observe::timer("db.query_us");
-        self.inner.read().docs.values().filter(|d| filter.matches(d)).count()
+        self.inner
+            .read()
+            .docs
+            .values()
+            .filter(|d| filter.matches(d))
+            .count()
     }
 
     /// Deletes the document with the given `_id`, returning it.
@@ -233,7 +258,10 @@ impl Collection {
         }
         journal::append_best_effort(
             &self.journal,
-            &JournalOp::Delete { collection: self.name.clone(), id: id.to_owned() },
+            &JournalOp::Delete {
+                collection: self.name.clone(),
+                id: id.to_owned(),
+            },
         );
         let doc = inner.docs.remove(id)?;
         deindex(&mut inner, id, &doc);
@@ -278,7 +306,10 @@ impl Collection {
             reindex(&mut inner, id, &doc);
             journal::append_best_effort(
                 &self.journal,
-                &JournalOp::Upsert { collection: self.name.clone(), doc: doc.clone() },
+                &JournalOp::Upsert {
+                    collection: self.name.clone(),
+                    doc: doc.clone(),
+                },
             );
             inner.docs.insert(id.clone(), doc);
         }
@@ -304,7 +335,13 @@ impl Collection {
     pub fn distinct(&self, filter: &Filter, path: &str) -> Vec<Value> {
         let mut seen: HashSet<String> = HashSet::new();
         let mut out = Vec::new();
-        for doc in self.inner.read().docs.values().filter(|d| filter.matches(d)) {
+        for doc in self
+            .inner
+            .read()
+            .docs
+            .values()
+            .filter(|d| filter.matches(d))
+        {
             if let Some(v) = doc.at(path) {
                 let key = crate::json::to_json(v);
                 if seen.insert(key) {
@@ -317,13 +354,15 @@ impl Collection {
 }
 
 fn id_of(doc: &Value) -> Result<String, DbError> {
-    let map = doc
-        .as_map()
-        .ok_or_else(|| DbError::InvalidDocument { reason: "document must be a map".into() })?;
+    let map = doc.as_map().ok_or_else(|| DbError::InvalidDocument {
+        reason: "document must be a map".into(),
+    })?;
     map.get("_id")
         .and_then(Value::as_str)
         .map(str::to_owned)
-        .ok_or_else(|| DbError::InvalidDocument { reason: "document must carry a string `_id`".into() })
+        .ok_or_else(|| DbError::InvalidDocument {
+            reason: "document must carry a string `_id`".into(),
+        })
 }
 
 fn deindex(inner: &mut Inner, id: &str, doc: &Value) {
@@ -374,8 +413,14 @@ mod tests {
     fn rejects_duplicate_ids_and_bad_documents() {
         let c = Collection::new("runs");
         c.insert(doc("a", [])).unwrap();
-        assert!(matches!(c.insert(doc("a", [])), Err(DbError::DuplicateId { .. })));
-        assert!(matches!(c.insert(Value::from(3i64)), Err(DbError::InvalidDocument { .. })));
+        assert!(matches!(
+            c.insert(doc("a", [])),
+            Err(DbError::DuplicateId { .. })
+        ));
+        assert!(matches!(
+            c.insert(Value::from(3i64)),
+            Err(DbError::InvalidDocument { .. })
+        ));
         assert!(matches!(
             c.insert(Value::map([("x", Value::from(1i64))])),
             Err(DbError::InvalidDocument { .. })
@@ -387,7 +432,9 @@ mod tests {
         let c = Collection::new("artifacts");
         c.ensure_unique("hash").unwrap();
         c.insert(doc("a", [("hash", Value::from("h1"))])).unwrap();
-        let err = c.insert(doc("b", [("hash", Value::from("h1"))])).unwrap_err();
+        let err = c
+            .insert(doc("b", [("hash", Value::from("h1"))]))
+            .unwrap_err();
         assert!(matches!(err, DbError::UniqueViolation { .. }));
         // Null / missing values are exempt.
         c.insert(doc("c", [("hash", Value::Null)])).unwrap();
@@ -419,18 +466,25 @@ mod tests {
         // Conflicting upsert fails and leaves the old doc in place.
         let err = c.upsert(doc("a", [("k", Value::from("kb"))])).unwrap_err();
         assert!(matches!(err, DbError::UniqueViolation { .. }));
-        assert_eq!(c.get("a").unwrap().at("k").and_then(Value::as_str), Some("ka2"));
+        assert_eq!(
+            c.get("a").unwrap().at("k").and_then(Value::as_str),
+            Some("ka2")
+        );
     }
 
     #[test]
     fn find_sort_count_distinct() {
         let c = Collection::new("x");
         for (id, app, t) in [("1", "dedup", 5i64), ("2", "vips", 3), ("3", "dedup", 9)] {
-            c.insert(doc(id, [("app", Value::from(app)), ("t", Value::from(t))])).unwrap();
+            c.insert(doc(id, [("app", Value::from(app)), ("t", Value::from(t))]))
+                .unwrap();
         }
         assert_eq!(c.count(&Filter::eq("app", "dedup")), 2);
         let sorted = c.find_sorted(&Filter::All, "t", SortOrder::Descending);
-        let ts: Vec<i64> = sorted.iter().filter_map(|d| d.at("t").and_then(Value::as_int)).collect();
+        let ts: Vec<i64> = sorted
+            .iter()
+            .filter_map(|d| d.at("t").and_then(Value::as_int))
+            .collect();
         assert_eq!(ts, vec![9, 5, 3]);
         let apps = c.distinct(&Filter::All, "app");
         assert_eq!(apps.len(), 2);
@@ -441,8 +495,11 @@ mod tests {
     fn update_many_reindexes_and_protects_id() {
         let c = Collection::new("x");
         c.ensure_unique("k").unwrap();
-        c.insert(doc("a", [("k", Value::from("v1")), ("status", Value::from("running"))]))
-            .unwrap();
+        c.insert(doc(
+            "a",
+            [("k", Value::from("v1")), ("status", Value::from("running"))],
+        ))
+        .unwrap();
         let n = c.update_many(&Filter::eq("status", "running"), |d| {
             d.set_at("status", Value::from("done"));
             d.set_at("k", Value::from("v2"));
@@ -460,7 +517,8 @@ mod tests {
     fn delete_many_by_filter() {
         let c = Collection::new("x");
         for i in 0..10i64 {
-            c.insert(doc(&i.to_string(), [("even", Value::from(i % 2 == 0))])).unwrap();
+            c.insert(doc(&i.to_string(), [("even", Value::from(i % 2 == 0))]))
+                .unwrap();
         }
         assert_eq!(c.delete_many(&Filter::eq("even", true)), 5);
         assert_eq!(c.len(), 5);

@@ -3,7 +3,7 @@
 use crate::blobstore::{BlobKey, BlobStore};
 use crate::collection::Collection;
 use crate::error::DbError;
-use crate::journal::{self, Journal, JournalCell, JournalOp};
+use crate::journal::{self, Journal, JournalCell, JournalCursor, JournalOp};
 use crate::json;
 use parking_lot::RwLock;
 use simart_observe as observe;
@@ -135,6 +135,38 @@ impl Database {
         self.journal.read().is_some()
     }
 
+    /// The directory this handle is attached to, or `None` for an
+    /// in-memory database.
+    pub fn attached_dir(&self) -> Option<PathBuf> {
+        self.journal.read().as_ref().map(|j| j.dir().to_owned())
+    }
+
+    /// The attached journal's current cursor: the byte offset where
+    /// the next record will land, plus the CRC-32 of everything before
+    /// it. `None` for an in-memory database.
+    ///
+    /// Incremental consumers (the analysis engine) persist this cursor
+    /// alongside their derived state; as long as
+    /// [`JournalCursor::is_valid`] holds they can resume with
+    /// [`read_journal_from`](crate::journal::read_journal_from) instead
+    /// of rescanning the database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures reading the journal file.
+    pub fn journal_cursor(&self) -> Result<Option<JournalCursor>, DbError> {
+        let guard = self.journal.read();
+        let Some(journal) = guard.as_ref() else {
+            return Ok(None);
+        };
+        let offset = journal.len()?;
+        // The prefix is stable under the read guard: concurrent appends
+        // only extend the file past `offset`, and compaction
+        // (checkpoint/save) takes its own turn with the cell.
+        let cursor = JournalCursor::capture(journal.dir(), offset)?;
+        Ok(cursor)
+    }
+
     /// Drops a collection, returning whether it existed.
     pub fn drop_collection(&self, name: &str) -> bool {
         let mut collections = self.collections.write();
@@ -143,7 +175,9 @@ impl Database {
         }
         journal::append_best_effort(
             &self.journal,
-            &JournalOp::DropCollection { collection: name.to_owned() },
+            &JournalOp::DropCollection {
+                collection: name.to_owned(),
+            },
         );
         collections.remove(name).is_some()
     }
@@ -196,7 +230,10 @@ impl Database {
             None => {
                 let journal_path = dir.join(journal::JOURNAL_FILE);
                 if journal_path.exists() {
-                    fs::OpenOptions::new().write(true).open(&journal_path)?.set_len(0)?;
+                    fs::OpenOptions::new()
+                        .write(true)
+                        .open(&journal_path)?
+                        .set_len(0)?;
                 }
             }
         }
@@ -247,7 +284,9 @@ impl Database {
             if !path.exists() {
                 // The store is append-only, but don't let a racing
                 // mutation turn a missing key into a panic mid-save.
-                let Some(content) = self.blobs.get(key) else { continue };
+                let Some(content) = self.blobs.get(key) else {
+                    continue;
+                };
                 let tmp = blob_dir.join(format!("{}.tmp", key.to_hex()));
                 {
                     let mut file = fs::File::create(&tmp)?;
@@ -368,8 +407,10 @@ impl Database {
         let dir = dir.as_ref();
         let db = Database::in_memory();
         let mut report = LoadReport::default();
-        let mut entries: Vec<PathBuf> =
-            fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
         entries.sort();
         for path in entries {
             if path.extension().map(|e| e == "jsonl").unwrap_or(false) {
@@ -385,8 +426,7 @@ impl Database {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let outcome =
-                        json::from_json(line).and_then(|doc| collection.insert(doc));
+                    let outcome = json::from_json(line).and_then(|doc| collection.insert(doc));
                     if let Err(err) = outcome {
                         if options.strict {
                             return Err(DbError::CorruptRecord {
@@ -406,8 +446,7 @@ impl Database {
                 // Only files named by a valid content hash are blobs;
                 // anything else (.tmp leftovers, strays) is a torn or
                 // foreign write and is skipped silently.
-                let Some(key) = entry.file_name().to_str().and_then(BlobKey::from_hex)
-                else {
+                let Some(key) = entry.file_name().to_str().and_then(BlobKey::from_hex) else {
                     continue;
                 };
                 let data = fs::read(entry.path())?;
@@ -546,8 +585,7 @@ mod tests {
     use crate::value::Value;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("simart-db-test-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("simart-db-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -584,10 +622,15 @@ mod tests {
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 5);
         assert_eq!(
-            restored.collection("runs").count(&Filter::eq("nested.ok", true)),
+            restored
+                .collection("runs")
+                .count(&Filter::eq("nested.ok", true)),
             3
         );
-        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"result archive");
+        assert_eq!(
+            restored.blobs().get(key).unwrap().as_ref(),
+            b"result archive"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -617,10 +660,16 @@ mod tests {
             let db = Database::open(&dir).unwrap();
             assert!(db.is_attached());
             db.collection("runs")
-                .insert(Value::map([("_id", Value::from("r1")), ("n", Value::from(1i64))]))
+                .insert(Value::map([
+                    ("_id", Value::from("r1")),
+                    ("n", Value::from(1i64)),
+                ]))
                 .unwrap();
             db.collection("runs")
-                .insert(Value::map([("_id", Value::from("r2")), ("n", Value::from(2i64))]))
+                .insert(Value::map([
+                    ("_id", Value::from("r2")),
+                    ("n", Value::from(2i64)),
+                ]))
                 .unwrap();
             key = db.blobs().put(b"journaled blob".to_vec());
             db.collection("runs").delete("r2");
@@ -634,7 +683,10 @@ mod tests {
         assert_eq!(report.journal_records, 4);
         assert_eq!(restored.collection("runs").len(), 1);
         assert!(restored.collection("runs").get("r1").is_some());
-        assert_eq!(restored.blobs().get(key).unwrap().as_ref(), b"journaled blob");
+        assert_eq!(
+            restored.blobs().get(key).unwrap().as_ref(),
+            b"journaled blob"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -649,9 +701,14 @@ mod tests {
         }
         db.checkpoint().unwrap();
         assert!(dir.join("runs.jsonl").exists());
-        assert_eq!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(), 0);
+        assert_eq!(
+            fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(),
+            0
+        );
         // Post-checkpoint writes land in the journal again.
-        db.collection("runs").insert(Value::map([("_id", Value::from("r3"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r3"))]))
+            .unwrap();
         assert!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len() > 0);
 
         let restored = Database::load(&dir).unwrap();
@@ -663,8 +720,12 @@ mod tests {
     fn checkpoint_does_not_resurrect_dropped_collections() {
         let dir = temp_dir("drop-checkpoint");
         let db = Database::open(&dir).unwrap();
-        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
-        db.collection("keep").insert(Value::map([("_id", Value::from("k1"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
+        db.collection("keep")
+            .insert(Value::map([("_id", Value::from("k1"))]))
+            .unwrap();
         db.checkpoint().unwrap();
         assert!(dir.join("runs.jsonl").exists());
         // Drop after the checkpoint wrote runs.jsonl, then checkpoint
@@ -701,7 +762,9 @@ mod tests {
     fn save_does_not_resurrect_dropped_state_either() {
         let dir = temp_dir("drop-save");
         let db = Database::in_memory();
-        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
         let key = db.blobs().put(b"bytes".to_vec());
         db.save(&dir).unwrap();
         db.drop_collection("runs");
@@ -743,6 +806,32 @@ mod tests {
     }
 
     #[test]
+    fn journal_cursor_tracks_appends_and_survives_reload() {
+        let dir = temp_dir("cursor");
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.attached_dir(), Some(dir.clone()));
+        let start = db.journal_cursor().unwrap().unwrap();
+        assert_eq!(start.offset, 0);
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
+        let after = db.journal_cursor().unwrap().unwrap();
+        assert!(after.offset > start.offset);
+        assert!(after.is_valid(&dir).unwrap());
+        // Replay from the first cursor sees exactly the new record.
+        let replay = crate::journal::read_journal_from(&dir, start.offset).unwrap();
+        assert_eq!(replay.ops.len(), 1);
+        assert_eq!(replay.valid_bytes, after.offset);
+        // Checkpoint compacts: the old cursors no longer validate.
+        db.checkpoint().unwrap();
+        assert!(!after.is_valid(&dir).unwrap());
+        // In-memory databases have no cursor.
+        assert!(Database::in_memory().journal_cursor().unwrap().is_none());
+        assert!(Database::in_memory().attached_dir().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn checkpoint_requires_attachment() {
         let db = Database::in_memory();
         assert!(matches!(db.checkpoint(), Err(DbError::NotAttached)));
@@ -753,12 +842,16 @@ mod tests {
         let dir = temp_dir("reopen");
         {
             let db = Database::open(&dir).unwrap();
-            db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r1"))]))
+                .unwrap();
         }
         {
             let (db, report) = Database::open_with(&dir, &LoadOptions::default()).unwrap();
             assert_eq!(report.journal_records, 1);
-            db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r2"))]))
+                .unwrap();
         }
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 2);
@@ -770,7 +863,9 @@ mod tests {
         let dir = temp_dir("torn-journal");
         {
             let db = Database::open(&dir).unwrap();
-            db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+            db.collection("runs")
+                .insert(Value::map([("_id", Value::from("r1"))]))
+                .unwrap();
         }
         // Simulate a crash mid-append: garbage trailing bytes.
         let journal_path = dir.join(journal::JOURNAL_FILE);
@@ -784,7 +879,9 @@ mod tests {
         assert_eq!(report.journal_torn_bytes, 3);
         assert_eq!(report.journal_valid_bytes, intact);
         // The torn tail was truncated, so new appends stay readable.
-        db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r2"))]))
+            .unwrap();
         drop(db);
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 2);
@@ -797,7 +894,10 @@ mod tests {
         {
             let db = Database::open(&dir).unwrap();
             db.collection("runs")
-                .insert(Value::map([("_id", Value::from("r1")), ("n", Value::from(1i64))]))
+                .insert(Value::map([
+                    ("_id", Value::from("r1")),
+                    ("n", Value::from(1i64)),
+                ]))
                 .unwrap();
         }
         // Hand-write a checkpoint that disagrees with the journal.
@@ -805,7 +905,11 @@ mod tests {
         let (db, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
         assert_eq!(report.divergent, vec!["runs/r1".to_owned()]);
         assert_eq!(
-            db.collection("runs").get("r1").unwrap().at("n").and_then(Value::as_int),
+            db.collection("runs")
+                .get("r1")
+                .unwrap()
+                .at("n")
+                .and_then(Value::as_int),
             Some(1),
             "the journal record wins"
         );
@@ -816,10 +920,15 @@ mod tests {
     fn save_empties_the_journal_it_supersedes() {
         let dir = temp_dir("save-supersedes");
         let db = Database::open(&dir).unwrap();
-        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
         assert!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len() > 0);
         db.save(&dir).unwrap();
-        assert_eq!(fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(), 0);
+        assert_eq!(
+            fs::metadata(dir.join(journal::JOURNAL_FILE)).unwrap().len(),
+            0
+        );
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 1);
         fs::remove_dir_all(&dir).unwrap();
@@ -829,7 +938,9 @@ mod tests {
     fn interrupted_save_leaves_previous_snapshot_loadable() {
         let dir = temp_dir("interrupted");
         let db = Database::in_memory();
-        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
         let key = db.blobs().put(b"good blob".to_vec());
         db.save(&dir).unwrap();
 
@@ -837,7 +948,11 @@ mod tests {
         // file and a torn blob tmp file are left behind, but the real
         // files were never replaced.
         fs::write(dir.join("runs.jsonl.tmp"), "{\"_id\":\"r2\",\"truncat").unwrap();
-        fs::write(dir.join("blobs").join(format!("{}.tmp", key.to_hex())), b"gar").unwrap();
+        fs::write(
+            dir.join("blobs").join(format!("{}.tmp", key.to_hex())),
+            b"gar",
+        )
+        .unwrap();
 
         let restored = Database::load(&dir).unwrap();
         assert_eq!(restored.collection("runs").len(), 1);
@@ -847,7 +962,10 @@ mod tests {
         // The next save clears the torn leftovers.
         restored.save(&dir).unwrap();
         assert!(!dir.join("runs.jsonl.tmp").exists());
-        assert!(!dir.join("blobs").join(format!("{}.tmp", key.to_hex())).exists());
+        assert!(!dir
+            .join("blobs")
+            .join(format!("{}.tmp", key.to_hex()))
+            .exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -879,7 +997,9 @@ mod tests {
     fn save_is_atomic_per_collection_file() {
         let dir = temp_dir("atomic");
         let db = Database::in_memory();
-        db.collection("runs").insert(Value::map([("_id", Value::from("r1"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r1"))]))
+            .unwrap();
         db.save(&dir).unwrap();
         // After a completed save no tmp files remain.
         let leftovers: Vec<_> = fs::read_dir(&dir)
@@ -889,7 +1009,9 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty());
         // Overwriting saves replace content wholesale.
-        db.collection("runs").insert(Value::map([("_id", Value::from("r2"))])).unwrap();
+        db.collection("runs")
+            .insert(Value::map([("_id", Value::from("r2"))]))
+            .unwrap();
         db.save(&dir).unwrap();
         assert_eq!(Database::load(&dir).unwrap().collection("runs").len(), 2);
         fs::remove_dir_all(&dir).unwrap();

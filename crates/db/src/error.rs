@@ -69,7 +69,11 @@ impl fmt::Display for DbError {
             DbError::DuplicateId { collection, id } => {
                 write!(f, "duplicate _id {id:?} in collection {collection:?}")
             }
-            DbError::UniqueViolation { collection, field, value } => write!(
+            DbError::UniqueViolation {
+                collection,
+                field,
+                value,
+            } => write!(
                 f,
                 "unique constraint on {collection:?}.{field} violated by value {value}"
             ),
@@ -84,7 +88,10 @@ impl fmt::Display for DbError {
                 write!(f, "corrupt record in {path}: {detail}")
             }
             DbError::NotAttached => {
-                write!(f, "database is not attached to a directory (use Database::open)")
+                write!(
+                    f,
+                    "database is not attached to a directory (use Database::open)"
+                )
             }
             DbError::JournalPoisoned => write!(
                 f,

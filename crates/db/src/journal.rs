@@ -150,13 +150,27 @@ impl JournalOp {
                 .ok_or_else(|| format!("journal record lacks `{name}`"))
         };
         let doc = || -> Result<Value, String> {
-            value.at("d").cloned().ok_or_else(|| "journal record lacks `d`".to_owned())
+            value
+                .at("d")
+                .cloned()
+                .ok_or_else(|| "journal record lacks `d`".to_owned())
         };
         match field("op")?.as_str() {
-            "ins" => Ok(JournalOp::Insert { collection: field("c")?, doc: doc()? }),
-            "ups" => Ok(JournalOp::Upsert { collection: field("c")?, doc: doc()? }),
-            "del" => Ok(JournalOp::Delete { collection: field("c")?, id: field("id")? }),
-            "drop" => Ok(JournalOp::DropCollection { collection: field("c")? }),
+            "ins" => Ok(JournalOp::Insert {
+                collection: field("c")?,
+                doc: doc()?,
+            }),
+            "ups" => Ok(JournalOp::Upsert {
+                collection: field("c")?,
+                doc: doc()?,
+            }),
+            "del" => Ok(JournalOp::Delete {
+                collection: field("c")?,
+                id: field("id")?,
+            }),
+            "drop" => Ok(JournalOp::DropCollection {
+                collection: field("c")?,
+            }),
             "blob" => {
                 let data = from_hex(&field("hex")?)
                     .ok_or_else(|| "journal blob record has bad hex".to_owned())?;
@@ -192,19 +206,56 @@ pub struct JournalReplay {
 ///
 /// Propagates filesystem failures other than the file being absent.
 pub fn read_journal(dir: &Path) -> Result<JournalReplay, DbError> {
+    read_journal_from(dir, 0)
+}
+
+/// Like [`read_journal`], but resumes decoding at byte `offset` — the
+/// incremental-analysis entry point: a consumer that recorded a
+/// [`JournalCursor`] replays only the records appended since, paying
+/// O(delta) instead of O(journal).
+///
+/// `offset` must be a frame boundary previously obtained from
+/// [`Database::journal_cursor`](crate::Database::journal_cursor) or
+/// [`JournalReplay::valid_bytes`] *and* still valid for the current
+/// file — callers are expected to check [`JournalCursor::is_valid`]
+/// first, because compaction renumbers offsets. The returned
+/// [`valid_bytes`](JournalReplay::valid_bytes) is absolute (measured
+/// from the start of the file), so it can seed the next cursor.
+///
+/// # Errors
+///
+/// * [`DbError::CorruptRecord`] — the journal is shorter than
+///   `offset` (compacted, truncated, or rewritten since the offset was
+///   recorded).
+/// * [`DbError::Io`] — other filesystem failures.
+pub fn read_journal_from(dir: &Path, offset: u64) -> Result<JournalReplay, DbError> {
     let path = dir.join(JOURNAL_FILE);
-    let bytes = match fs::read(&path) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+    let mut file = match fs::File::open(&path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && offset == 0 => {
             return Ok(JournalReplay::default())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(DbError::CorruptRecord {
+                path: path.display().to_string(),
+                detail: format!("journal missing but resume offset is {offset}"),
+            })
         }
         Err(e) => return Err(e.into()),
     };
+    if file.metadata()?.len() < offset {
+        return Err(DbError::CorruptRecord {
+            path: path.display().to_string(),
+            detail: format!("journal shorter than resume offset {offset}"),
+        });
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
     let mut ops = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 8 {
-        let len =
-            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
         if bytes.len() - pos - 8 < len {
             break;
@@ -213,16 +264,100 @@ pub fn read_journal(dir: &Path) -> Result<JournalReplay, DbError> {
         if crc32(payload) != crc {
             break;
         }
-        let Ok(text) = std::str::from_utf8(payload) else { break };
-        let Ok(op) = JournalOp::from_payload(text) else { break };
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(op) = JournalOp::from_payload(text) else {
+            break;
+        };
         ops.push(op);
         pos += 8 + len;
     }
     Ok(JournalReplay {
         ops,
-        valid_bytes: pos as u64,
+        valid_bytes: offset + pos as u64,
         torn_bytes: (bytes.len() - pos) as u64,
     })
+}
+
+/// A stable position in a journal: a byte offset on a frame boundary
+/// plus the CRC-32 of every byte before it.
+///
+/// The offset alone is not a stable identity — checkpoint compaction
+/// splices the folded prefix off the file, so the same offset can name
+/// different records before and after a checkpoint (or after a
+/// [`save`](crate::Database::save), which truncates the journal). The
+/// prefix checksum pins the cursor to the exact bytes it was taken
+/// over: [`JournalCursor::is_valid`] accepts the cursor only if the
+/// current file still starts with that same prefix, which is exactly
+/// the condition under which [`read_journal_from`] resumes where the
+/// cursor left off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalCursor {
+    /// Byte offset of the next frame (bytes `[0, offset)` are intact
+    /// records the cursor's owner has already consumed).
+    pub offset: u64,
+    /// IEEE CRC-32 of the file's first `offset` bytes.
+    pub crc: u32,
+}
+
+impl JournalCursor {
+    /// Captures a cursor at `offset` by checksumming the journal's
+    /// current prefix. Returns `None` if the file is shorter than
+    /// `offset` (or absent with `offset > 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures other than the file being absent.
+    pub fn capture(dir: &Path, offset: u64) -> Result<Option<JournalCursor>, DbError> {
+        Ok(prefix_crc(dir, offset)?.map(|crc| JournalCursor { offset, crc }))
+    }
+
+    /// Whether this cursor still names a position in `dir`'s journal:
+    /// the file is at least `offset` bytes long and its first `offset`
+    /// bytes still hash to the recorded checksum. `false` means the
+    /// journal was compacted, truncated, or rewritten past the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures other than the file being absent.
+    pub fn is_valid(&self, dir: &Path) -> Result<bool, DbError> {
+        Ok(prefix_crc(dir, self.offset)? == Some(self.crc))
+    }
+}
+
+/// IEEE CRC-32 of the first `upto` bytes of `<dir>/journal.log`, or
+/// `None` if the file is shorter than `upto` (a missing file counts as
+/// zero-length, so `upto == 0` always yields the empty checksum).
+///
+/// # Errors
+///
+/// Propagates filesystem failures other than the file being absent.
+pub fn prefix_crc(dir: &Path, upto: u64) -> Result<Option<u32>, DbError> {
+    if upto == 0 {
+        return Ok(Some(crc32(b"")));
+    }
+    let file = match fs::File::open(dir.join(JOURNAL_FILE)) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if file.metadata()?.len() < upto {
+        return Ok(None);
+    }
+    let mut reader = file.take(upto);
+    let mut state = 0xFFFF_FFFFu32;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            state = CRC_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+        }
+    }
+    Ok(Some(state ^ 0xFFFF_FFFF))
 }
 
 /// The shared slot holding a database's journal writer. Every
@@ -293,7 +428,11 @@ impl Journal {
         Ok(Journal {
             dir: dir.to_owned(),
             path,
-            writer: Mutex::new(Writer { file, len: valid_bytes, poisoned: false }),
+            writer: Mutex::new(Writer {
+                file,
+                len: valid_bytes,
+                poisoned: false,
+            }),
         })
     }
 
@@ -379,7 +518,6 @@ impl Journal {
         writer.poisoned = false;
         Ok(())
     }
-
 }
 
 /// IEEE CRC-32 lookup table, generated at compile time.
@@ -390,7 +528,11 @@ const CRC_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -448,9 +590,16 @@ mod tests {
                 collection: "runs".into(),
                 doc: Value::map([("_id", Value::from("r1")), ("n", Value::from(4i64))]),
             },
-            JournalOp::Delete { collection: "runs".into(), id: "r1".into() },
-            JournalOp::DropCollection { collection: "metrics".into() },
-            JournalOp::BlobPut { data: vec![0, 1, 2, 0xff] },
+            JournalOp::Delete {
+                collection: "runs".into(),
+                id: "r1".into(),
+            },
+            JournalOp::DropCollection {
+                collection: "metrics".into(),
+            },
+            JournalOp::BlobPut {
+                data: vec![0, 1, 2, 0xff],
+            },
             JournalOp::BlobRemove { key: "00ff".into() },
         ];
         for op in ops {
@@ -461,15 +610,17 @@ mod tests {
 
     #[test]
     fn hex_round_trips_and_rejects_garbage() {
-        assert_eq!(from_hex(&to_hex(&[0u8, 255, 16])).unwrap(), vec![0u8, 255, 16]);
+        assert_eq!(
+            from_hex(&to_hex(&[0u8, 255, 16])).unwrap(),
+            vec![0u8, 255, 16]
+        );
         assert!(from_hex("abc").is_none());
         assert!(from_hex("zz").is_none());
     }
 
     #[test]
     fn torn_tail_is_tolerated_at_any_byte() {
-        let dir = std::env::temp_dir()
-            .join(format!("simart-journal-unit-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("simart-journal-unit-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let journal = Journal::attach(&dir, 0).unwrap();
@@ -494,8 +645,7 @@ mod tests {
         }
         let mut pos = 0;
         while pos < full.len() {
-            let len =
-                u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
             pos += 8 + len;
             boundaries.push(pos);
         }
@@ -512,14 +662,16 @@ mod tests {
 
     #[test]
     fn corrupt_crc_stops_replay() {
-        let dir = std::env::temp_dir()
-            .join(format!("simart-journal-crc-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("simart-journal-crc-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let journal = Journal::attach(&dir, 0).unwrap();
         for i in 0..3 {
             journal
-                .append(&JournalOp::Delete { collection: "c".into(), id: format!("d{i}") })
+                .append(&JournalOp::Delete {
+                    collection: "c".into(),
+                    id: format!("d{i}"),
+                })
                 .unwrap();
         }
         let mut bytes = fs::read(dir.join(JOURNAL_FILE)).unwrap();
@@ -536,12 +688,15 @@ mod tests {
 
     #[test]
     fn failed_append_poisons_instead_of_orphaning_later_records() {
-        let dir = std::env::temp_dir()
-            .join(format!("simart-journal-poison-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("simart-journal-poison-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let journal = Journal::attach(&dir, 0).unwrap();
-        let good = JournalOp::Delete { collection: "c".into(), id: "good".into() };
+        let good = JournalOp::Delete {
+            collection: "c".into(),
+            id: "good".into(),
+        };
         journal.append(&good).unwrap();
         // Swap in a read-only handle: the next write fails, and the
         // rollback (set_len on a read-only fd) fails too — the journal
@@ -549,17 +704,28 @@ mod tests {
         // a torn frame.
         {
             let mut writer = journal.writer.lock();
-            writer.file =
-                fs::OpenOptions::new().read(true).open(dir.join(JOURNAL_FILE)).unwrap();
+            writer.file = fs::OpenOptions::new()
+                .read(true)
+                .open(dir.join(JOURNAL_FILE))
+                .unwrap();
         }
-        let lost = JournalOp::Delete { collection: "c".into(), id: "lost".into() };
+        let lost = JournalOp::Delete {
+            collection: "c".into(),
+            id: "lost".into(),
+        };
         assert!(matches!(journal.append(&lost).unwrap_err(), DbError::Io(_)));
         assert!(journal.writer.lock().poisoned);
-        assert!(matches!(journal.append(&lost).unwrap_err(), DbError::JournalPoisoned));
+        assert!(matches!(
+            journal.append(&lost).unwrap_err(),
+            DbError::JournalPoisoned
+        ));
         // Compaction rewrites the file from intact records only, which
         // heals the poison and re-enables appends.
         journal.compact_prefix(0).unwrap();
-        let post = JournalOp::Delete { collection: "c".into(), id: "post".into() };
+        let post = JournalOp::Delete {
+            collection: "c".into(),
+            id: "post".into(),
+        };
         journal.append(&post).unwrap();
         let replay = read_journal(&dir).unwrap();
         assert_eq!(replay.ops, vec![good, post]);
@@ -571,12 +737,14 @@ mod tests {
     fn compact_prefix_drops_bytes_past_the_tracked_length() {
         // A torn frame past the tracked length (a failed append that
         // could not be rolled back) must not survive compaction.
-        let dir = std::env::temp_dir()
-            .join(format!("simart-journal-heal-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("simart-journal-heal-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let journal = Journal::attach(&dir, 0).unwrap();
-        let op = JournalOp::Delete { collection: "c".into(), id: "keep".into() };
+        let op = JournalOp::Delete {
+            collection: "c".into(),
+            id: "keep".into(),
+        };
         journal.append(&op).unwrap();
         let mut tail = fs::OpenOptions::new()
             .append(true)
@@ -593,23 +761,140 @@ mod tests {
     }
 
     #[test]
-    fn compact_prefix_keeps_the_suffix() {
-        let dir = std::env::temp_dir()
-            .join(format!("simart-journal-compact-{}", std::process::id()));
+    fn read_journal_from_resumes_at_a_cursor() {
+        let dir =
+            std::env::temp_dir().join(format!("simart-journal-cursor-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Before any journal exists: offset 0 reads empty, a cursor at
+        // 0 is valid, and a nonzero offset is unreachable.
+        assert_eq!(
+            read_journal_from(&dir, 0).unwrap(),
+            JournalReplay::default()
+        );
+        let zero = JournalCursor::capture(&dir, 0).unwrap().unwrap();
+        assert!(zero.is_valid(&dir).unwrap());
+        assert!(JournalCursor::capture(&dir, 9).unwrap().is_none());
+        assert!(matches!(
+            read_journal_from(&dir, 9),
+            Err(DbError::CorruptRecord { .. })
+        ));
+
+        let journal = Journal::attach(&dir, 0).unwrap();
+        let ops: Vec<JournalOp> = (0..4)
+            .map(|i| JournalOp::Delete {
+                collection: "c".into(),
+                id: format!("d{i}"),
+            })
+            .collect();
+        journal.append(&ops[0]).unwrap();
+        journal.append(&ops[1]).unwrap();
+        let mid = journal.len().unwrap();
+        let cursor = JournalCursor::capture(&dir, mid).unwrap().unwrap();
+        journal.append(&ops[2]).unwrap();
+        journal.append(&ops[3]).unwrap();
+
+        // The cursor stays valid as the file grows, and replaying from
+        // it yields exactly the records appended since — with absolute
+        // valid_bytes so the next cursor chains on.
+        assert!(cursor.is_valid(&dir).unwrap());
+        let replay = read_journal_from(&dir, cursor.offset).unwrap();
+        assert_eq!(replay.ops, ops[2..]);
+        assert_eq!(replay.valid_bytes, journal.len().unwrap());
+        assert_eq!(replay.torn_bytes, 0);
+        let next = JournalCursor::capture(&dir, replay.valid_bytes)
+            .unwrap()
+            .unwrap();
+        assert!(next.is_valid(&dir).unwrap());
+        assert!(read_journal_from(&dir, next.offset).unwrap().ops.is_empty());
+
+        // An offset that is not a frame boundary decodes nothing: the
+        // bytes there fail CRC framing and count as torn.
+        let skewed = read_journal_from(&dir, cursor.offset + 1).unwrap();
+        assert!(skewed.ops.is_empty());
+        assert!(skewed.torn_bytes > 0);
+
+        // Compaction splices the prefix away: the old cursor's offset
+        // now points past (or at differently-checksummed) bytes, so
+        // validation fails instead of silently replaying wrong records.
+        journal.compact_prefix(journal.len().unwrap()).unwrap();
+        assert!(!cursor.is_valid(&dir).unwrap());
+        assert!(!next.is_valid(&dir).unwrap());
+        assert!(JournalCursor::capture(&dir, 0)
+            .unwrap()
+            .unwrap()
+            .is_valid(&dir)
+            .unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_rejects_a_rewritten_prefix_of_equal_length() {
+        // Same length, different bytes: only the checksum catches it.
+        let dir =
+            std::env::temp_dir().join(format!("simart-journal-rewrite-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let journal = Journal::attach(&dir, 0).unwrap();
-        journal.append(&JournalOp::Delete { collection: "c".into(), id: "old".into() }).unwrap();
+        journal
+            .append(&JournalOp::Delete {
+                collection: "c".into(),
+                id: "aa".into(),
+            })
+            .unwrap();
+        let cursor = JournalCursor::capture(&dir, journal.len().unwrap())
+            .unwrap()
+            .unwrap();
+        drop(journal);
+        let rewritten = Journal::attach(&dir, 0).unwrap();
+        rewritten
+            .append(&JournalOp::Delete {
+                collection: "c".into(),
+                id: "bb".into(),
+            })
+            .unwrap();
+        // attach(dir, 0) truncated to zero, then an equal-length record
+        // with different payload landed.
+        assert!(!cursor.is_valid(&dir).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_prefix_keeps_the_suffix() {
+        let dir =
+            std::env::temp_dir().join(format!("simart-journal-compact-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let journal = Journal::attach(&dir, 0).unwrap();
+        journal
+            .append(&JournalOp::Delete {
+                collection: "c".into(),
+                id: "old".into(),
+            })
+            .unwrap();
         let folded = journal.len().unwrap();
-        journal.append(&JournalOp::Delete { collection: "c".into(), id: "new".into() }).unwrap();
+        journal
+            .append(&JournalOp::Delete {
+                collection: "c".into(),
+                id: "new".into(),
+            })
+            .unwrap();
         journal.compact_prefix(folded).unwrap();
         let replay = read_journal(&dir).unwrap();
         assert_eq!(
             replay.ops,
-            vec![JournalOp::Delete { collection: "c".into(), id: "new".into() }]
+            vec![JournalOp::Delete {
+                collection: "c".into(),
+                id: "new".into()
+            }]
         );
         // Appends keep working through the reopened handle.
-        journal.append(&JournalOp::Delete { collection: "c".into(), id: "post".into() }).unwrap();
+        journal
+            .append(&JournalOp::Delete {
+                collection: "c".into(),
+                id: "post".into(),
+            })
+            .unwrap();
         assert_eq!(read_journal(&dir).unwrap().ops.len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }

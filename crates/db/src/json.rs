@@ -90,7 +90,10 @@ fn write_string(out: &mut String, s: &str) {
 /// Returns [`DbError::Parse`] describing the byte offset and cause for
 /// malformed input, including trailing garbage after the top-level value.
 pub fn from_json(text: &str) -> Result<Value, DbError> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
@@ -107,7 +110,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> DbError {
-        DbError::Parse { offset: self.pos, message: message.to_owned() }
+        DbError::Parse {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -185,14 +191,16 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("sliced on ASCII boundaries");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("sliced on ASCII boundaries");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>().map(Value::Float).map_err(|_| self.error("invalid number"))
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
     }
 
     fn parse_string(&mut self) -> Result<String, DbError> {
@@ -222,8 +230,7 @@ impl<'a> Parser<'a> {
                             if !(0xdc00..0xe000).contains(&low) {
                                 return Err(self.error("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(code)
@@ -232,9 +239,7 @@ impl<'a> Parser<'a> {
                     }
                     _ => return Err(self.error("invalid escape sequence")),
                 },
-                Some(byte) if byte < 0x20 => {
-                    return Err(self.error("control character in string"))
-                }
+                Some(byte) if byte < 0x20 => return Err(self.error("control character in string")),
                 Some(byte) => {
                     // Re-assemble multi-byte UTF-8 from the input slice.
                     if byte < 0x80 {
@@ -264,8 +269,12 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, DbError> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.error("truncated \\u escape"))?;
-            let digit = (b as char).to_digit(16).ok_or_else(|| self.error("invalid hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
             code = code * 16 + digit;
         }
         Ok(code)
@@ -373,7 +382,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "\"abc", "{\"a\":}", "nul", "01x", "[1] garbage", "{'a':1}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "nul",
+            "01x",
+            "[1] garbage",
+            "{'a':1}",
+        ] {
             assert!(from_json(bad).is_err(), "should reject {bad:?}");
         }
     }

@@ -60,6 +60,9 @@ pub use blobstore::{BlobKey, BlobStore};
 pub use collection::Collection;
 pub use database::{Database, LoadOptions, LoadReport};
 pub use error::DbError;
-pub use journal::{read_journal, JournalOp, JournalReplay, JOURNAL_FILE};
+pub use journal::{
+    prefix_crc, read_journal, read_journal_from, JournalCursor, JournalOp, JournalReplay,
+    JOURNAL_FILE,
+};
 pub use query::{Filter, SortOrder};
 pub use value::Value;

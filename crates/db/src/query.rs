@@ -176,7 +176,10 @@ mod tests {
             ("name", Value::from("blackscholes")),
             ("cores", Value::from(8i64)),
             ("time", Value::from(1.25)),
-            ("tags", Value::array([Value::from("parsec"), Value::from("fp")])),
+            (
+                "tags",
+                Value::array([Value::from("parsec"), Value::from("fp")]),
+            ),
             ("meta", Value::map([("os", Value::from("ubuntu-20.04"))])),
             ("missing_is_null", Value::Null),
         ])

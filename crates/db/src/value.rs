@@ -169,11 +169,12 @@ impl Value {
             (a, b) if rank(a) == 2 && rank(b) == 2 => {
                 let fa = a.as_float().expect("rank 2 is numeric");
                 let fb = b.as_float().expect("rank 2 is numeric");
-                fa.partial_cmp(&fb).unwrap_or_else(|| match (fa.is_nan(), fb.is_nan()) {
-                    (true, false) => Ordering::Greater,
-                    (false, true) => Ordering::Less,
-                    _ => Ordering::Equal,
-                })
+                fa.partial_cmp(&fb)
+                    .unwrap_or_else(|| match (fa.is_nan(), fb.is_nan()) {
+                        (true, false) => Ordering::Greater,
+                        (false, true) => Ordering::Less,
+                        _ => Ordering::Equal,
+                    })
             }
             (Value::Array(a), Value::Array(b)) => {
                 for (x, y) in a.iter().zip(b.iter()) {
@@ -290,9 +291,10 @@ mod tests {
 
     #[test]
     fn path_navigation_handles_maps_and_arrays() {
-        let doc = Value::map([
-            ("a", Value::map([("b", Value::array([Value::from(10i64), Value::from(20i64)]))])),
-        ]);
+        let doc = Value::map([(
+            "a",
+            Value::map([("b", Value::array([Value::from(10i64), Value::from(20i64)]))]),
+        )]);
         assert_eq!(doc.at("a.b.1").and_then(Value::as_int), Some(20));
         assert_eq!(doc.at("a.b.2"), None);
         assert_eq!(doc.at("a.x"), None);
@@ -350,7 +352,10 @@ mod tests {
     #[test]
     fn from_conversions() {
         assert_eq!(Value::from(3u32), Value::Int(3));
-        assert_eq!(Value::from(vec![1i64, 2]), Value::array([Value::Int(1), Value::Int(2)]));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::array([Value::Int(1), Value::Int(2)])
+        );
         assert_eq!(Value::from(None::<i64>), Value::Null);
         assert_eq!(Value::from(Some("x")), Value::from("x"));
     }

@@ -28,26 +28,42 @@ fn old_layout_loads_with_identical_query_results() {
     assert_eq!(report.skipped(), 0);
 
     // Collections and document counts.
-    assert_eq!(db.collection_names(), vec!["artifacts".to_owned(), "runs".to_owned()]);
+    assert_eq!(
+        db.collection_names(),
+        vec!["artifacts".to_owned(), "runs".to_owned()]
+    );
     assert_eq!(db.collection("artifacts").len(), 2);
     assert_eq!(db.collection("runs").len(), 2);
 
     // Point lookups.
     let run = db.collection("runs").get("run-0001").expect("run-0001");
     assert_eq!(run.at("status").and_then(Value::as_str), Some("done"));
-    assert_eq!(run.at("results.sim_ticks").and_then(Value::as_int), Some(91_000_000));
+    assert_eq!(
+        run.at("results.sim_ticks").and_then(Value::as_int),
+        Some(91_000_000)
+    );
 
     // Filter queries.
-    assert_eq!(db.collection("runs").count(&Filter::eq("status", "done")), 1);
-    assert_eq!(db.collection("runs").count(&Filter::eq("status", "failed")), 1);
     assert_eq!(
-        db.collection("artifacts").count(&Filter::eq("kind", "disk-image")),
+        db.collection("runs").count(&Filter::eq("status", "done")),
+        1
+    );
+    assert_eq!(
+        db.collection("runs").count(&Filter::eq("status", "failed")),
+        1
+    );
+    assert_eq!(
+        db.collection("artifacts")
+            .count(&Filter::eq("kind", "disk-image")),
         1
     );
 
     // Blob round trips through the content-addressed store.
     let disk_key = BlobKey::from_hex("daec535f20f00301ded9e80f3c8a932c").unwrap();
-    assert_eq!(db.blobs().get(disk_key).unwrap().as_ref(), b"parsec disk image bytes");
+    assert_eq!(
+        db.blobs().get(disk_key).unwrap().as_ref(),
+        b"parsec disk image bytes"
+    );
     let results_key = BlobKey::from_hex("eac1754cbbf37c5a6943242e76fed522").unwrap();
     assert_eq!(
         db.blobs().get(results_key).unwrap().as_ref(),
@@ -63,7 +79,10 @@ fn old_layout_loads_identically_in_both_modes() {
     let (lenient, _) = Database::load_with(fixture_dir(), &LoadOptions::default()).unwrap();
     assert_eq!(strict.collection_names(), lenient.collection_names());
     for name in strict.collection_names() {
-        assert_eq!(strict.collection(&name).all(), lenient.collection(&name).all());
+        assert_eq!(
+            strict.collection(&name).all(),
+            lenient.collection(&name).all()
+        );
     }
     assert_eq!(strict.blobs().keys(), lenient.blobs().keys());
 }
@@ -73,8 +92,7 @@ fn old_layout_loads_identically_in_both_modes() {
 /// a reload sees both.
 #[test]
 fn old_layout_opens_attached_and_upgrades_in_place() {
-    let work = std::env::temp_dir()
-        .join(format!("simart-backward-compat-{}", std::process::id()));
+    let work = std::env::temp_dir().join(format!("simart-backward-compat-{}", std::process::id()));
     let _ = fs::remove_dir_all(&work);
     fs::create_dir_all(work.join("blobs")).unwrap();
     for file in ["artifacts.jsonl", "runs.jsonl"] {
@@ -98,7 +116,10 @@ fn old_layout_opens_attached_and_upgrades_in_place() {
         // The new write went to the journal, not the old files.
         assert!(fs::metadata(work.join(JOURNAL_FILE)).unwrap().len() > 0);
         let old_runs = fs::read_to_string(work.join("runs.jsonl")).unwrap();
-        assert!(!old_runs.contains("run-0003"), "checkpoint files untouched before checkpoint");
+        assert!(
+            !old_runs.contains("run-0003"),
+            "checkpoint files untouched before checkpoint"
+        );
     }
 
     let reloaded = Database::load(&work).expect("reload");

@@ -14,10 +14,8 @@ use std::fs;
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "simart-journal-props-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("simart-journal-props-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }
@@ -69,7 +67,10 @@ fn truncation_at_every_byte_recovers_the_exact_prefix() {
             Database::load_with(&crash, &LoadOptions::default()).expect("replay never errors");
         assert_eq!(report.journal_records, complete, "cut at byte {cut}");
         assert_eq!(report.journal_valid_bytes as usize, boundaries[complete]);
-        assert_eq!(report.journal_torn_bytes as usize, cut - boundaries[complete]);
+        assert_eq!(
+            report.journal_torn_bytes as usize,
+            cut - boundaries[complete]
+        );
         let runs = db.collection("runs");
         assert_eq!(runs.len(), complete, "cut at byte {cut}");
         for i in 0..complete {
@@ -107,7 +108,9 @@ fn reopen_after_crash_preserves_prefix_and_appends_cleanly() {
     {
         let db = Database::open(&origin).expect("reopen after crash");
         assert_eq!(db.collection("runs").len(), 3, "last record was torn away");
-        db.collection("runs").insert(doc(9)).expect("append after recovery");
+        db.collection("runs")
+            .insert(doc(9))
+            .expect("append after recovery");
     }
     let restored = Database::load(&origin).expect("final load");
     assert_eq!(restored.collection("runs").len(), 4);

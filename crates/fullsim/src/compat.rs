@@ -115,7 +115,13 @@ pub fn figure8_configs() -> Vec<BootConfig> {
             for mem in MemKind::FIGURE8 {
                 for cores in FIGURE8_CORE_COUNTS {
                     for boot in [BootKind::KernelOnly, BootKind::Systemd] {
-                        configs.push(BootConfig { cpu, cores, mem, kernel, boot });
+                        configs.push(BootConfig {
+                            cpu,
+                            cores,
+                            mem,
+                            kernel,
+                            boot,
+                        });
                     }
                 }
             }
@@ -130,7 +136,9 @@ pub fn figure8_configs() -> Vec<BootConfig> {
 /// or the `Unsupported` outcome otherwise.
 pub fn structural_check(config: &BootConfig) -> Option<BootOutcome> {
     let unsupported = |reason: &str| {
-        Some(BootOutcome::Unsupported { reason: reason.to_owned() })
+        Some(BootOutcome::Unsupported {
+            reason: reason.to_owned(),
+        })
     };
     match (config.cpu, config.mem) {
         (CpuKind::AtomicSimple, MemKind::RubyMi | MemKind::RubyMesiTwoLevel) => unsupported(
@@ -196,8 +204,10 @@ fn o3_outcome(config: &BootConfig) -> BootOutcome {
         return BootOutcome::ProtocolDeadlock;
     }
 
-    let rest: Vec<BootConfig> =
-        supported.into_iter().filter(|c| !deadlocks.contains(c)).collect();
+    let rest: Vec<BootConfig> = supported
+        .into_iter()
+        .filter(|c| !deadlocks.contains(c))
+        .collect();
     match rest.iter().position(|c| c == config) {
         Some(rank) if rank < o3_counts::PANICS => {
             // Panics strike mid-boot; pick the stage from the fingerprint.
@@ -240,7 +250,10 @@ mod tests {
 
     #[test]
     fn atomic_fails_on_ruby_succeeds_on_classic() {
-        for config in figure8_configs().iter().filter(|c| c.cpu == CpuKind::AtomicSimple) {
+        for config in figure8_configs()
+            .iter()
+            .filter(|c| c.cpu == CpuKind::AtomicSimple)
+        {
             let outcome = evaluate(config);
             match config.mem {
                 MemKind::Classic { .. } => assert!(outcome.is_success(), "{config:?}"),
@@ -254,11 +267,18 @@ mod tests {
 
     #[test]
     fn timing_fails_only_multicore_incoherent_classic() {
-        for config in figure8_configs().iter().filter(|c| c.cpu == CpuKind::TimingSimple) {
+        for config in figure8_configs()
+            .iter()
+            .filter(|c| c.cpu == CpuKind::TimingSimple)
+        {
             let outcome = evaluate(config);
             let should_fail =
                 config.mem == MemKind::Classic { coherent: false } && config.cores > 1;
-            assert_eq!(!outcome.is_success(), should_fail, "{config:?} -> {outcome}");
+            assert_eq!(
+                !outcome.is_success(),
+                should_fail,
+                "{config:?} -> {outcome}"
+            );
         }
     }
 
@@ -284,8 +304,14 @@ mod tests {
         assert_eq!(crash, o3_counts::CRASHES);
         assert_eq!(deadlock, o3_counts::DEADLOCKS);
         assert_eq!(timeout, o3_counts::TIMEOUTS);
-        assert_eq!(unsupported, 30, "5 kernels x {{2,4,8}} cores x 2 boots on Classic");
-        assert_eq!(success + panic + crash + deadlock + timeout + unsupported, 120);
+        assert_eq!(
+            unsupported, 30,
+            "5 kernels x {{2,4,8}} cores x 2 boots on Classic"
+        );
+        assert_eq!(
+            success + panic + crash + deadlock + timeout + unsupported,
+            120
+        );
         // "approximately 40% of them running successfully"
         let rate = success as f64 / (120 - unsupported) as f64;
         assert!((0.35..=0.45).contains(&rate), "O3 success rate {rate}");
@@ -326,7 +352,10 @@ mod tests {
         assert_eq!(BootOutcome::Success.label(), "success");
         assert_eq!(BootOutcome::Timeout.label(), "timeout");
         assert_eq!(
-            BootOutcome::KernelPanic { stage: BootStage::DriverProbe }.to_string(),
+            BootOutcome::KernelPanic {
+                stage: BootStage::DriverProbe
+            }
+            .to_string(),
             "kernel panic during driver-probe"
         );
     }

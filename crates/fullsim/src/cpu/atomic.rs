@@ -54,7 +54,10 @@ impl CpuModel for AtomicSimpleCpu {
         }
         self.committed += budget;
         self.cycles += cycles;
-        CpuRunResult { instructions: budget, cycles }
+        CpuRunResult {
+            instructions: budget,
+            cycles,
+        }
     }
 
     fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
@@ -88,7 +91,10 @@ mod tests {
         assert_eq!(result.cycles, 1000);
         let mut stats = Stats::new();
         mem.dump_stats("mem", &mut stats);
-        assert!(stats.count("mem.l1Hits") + stats.count("mem.misses") > 0, "caches were touched");
+        assert!(
+            stats.count("mem.l1Hits") + stats.count("mem.misses") > 0,
+            "caches were touched"
+        );
     }
 
     #[test]
@@ -105,8 +111,12 @@ mod tests {
     fn stats_accumulate_across_runs() {
         let mut cpu = AtomicSimpleCpu::new();
         let mut mem = build(MemKind::classic_fast(), 1);
-        let mut stream =
-            InstStream::new("atomic3", 0, InstMix::default_int(), AddressProfile::friendly());
+        let mut stream = InstStream::new(
+            "atomic3",
+            0,
+            InstMix::default_int(),
+            AddressProfile::friendly(),
+        );
         cpu.run(0, &mut stream, 500, mem.as_mut());
         cpu.run(0, &mut stream, 500, mem.as_mut());
         let mut stats = Stats::new();

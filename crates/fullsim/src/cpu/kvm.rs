@@ -45,7 +45,10 @@ impl CpuModel for KvmCpu {
             let _ = stream.next_inst();
         }
         self.committed += budget;
-        CpuRunResult { instructions: budget, cycles: budget.div_ceil(KVM_IPC) }
+        CpuRunResult {
+            instructions: budget,
+            cycles: budget.div_ceil(KVM_IPC),
+        }
     }
 
     fn dump_stats(&self, prefix: &str, stats: &mut Stats) {

@@ -44,8 +44,12 @@ pub enum CpuKind {
 
 impl CpuKind {
     /// The four CPU models crossed by the paper's Figure 8.
-    pub const FIGURE8: [CpuKind; 4] =
-        [CpuKind::Kvm, CpuKind::AtomicSimple, CpuKind::TimingSimple, CpuKind::O3];
+    pub const FIGURE8: [CpuKind; 4] = [
+        CpuKind::Kvm,
+        CpuKind::AtomicSimple,
+        CpuKind::TimingSimple,
+        CpuKind::O3,
+    ];
 
     /// Instantiates the model.
     pub fn build(self) -> Box<dyn CpuModel> {
@@ -128,7 +132,12 @@ mod tests {
     use crate::mem::{build, MemKind};
 
     fn stream() -> InstStream {
-        InstStream::new("cpu-test", 0, InstMix::default_int(), AddressProfile::friendly())
+        InstStream::new(
+            "cpu-test",
+            0,
+            InstMix::default_int(),
+            AddressProfile::friendly(),
+        )
     }
 
     #[test]
@@ -172,9 +181,7 @@ mod tests {
     #[test]
     fn simulation_weight_ladder() {
         assert!(CpuKind::Kvm.simulation_weight() < CpuKind::AtomicSimple.simulation_weight());
-        assert!(
-            CpuKind::TimingSimple.simulation_weight() < CpuKind::O3.simulation_weight()
-        );
+        assert!(CpuKind::TimingSimple.simulation_weight() < CpuKind::O3.simulation_weight());
     }
 
     #[test]

@@ -57,7 +57,13 @@ pub struct O3Cpu {
 impl O3Cpu {
     /// Creates the model with the given pipeline configuration.
     pub fn new(config: O3Config) -> O3Cpu {
-        O3Cpu { config, committed: 0, cycles: 0, mispredicts: 0, rob_stalls: 0 }
+        O3Cpu {
+            config,
+            committed: 0,
+            cycles: 0,
+            mispredicts: 0,
+            rob_stalls: 0,
+        }
     }
 
     /// The pipeline configuration.
@@ -137,7 +143,10 @@ impl CpuModel for O3Cpu {
         let cycles = last_complete.max(budget / cfg.fetch_width).max(1);
         self.committed += budget;
         self.cycles += cycles;
-        CpuRunResult { instructions: budget, cycles }
+        CpuRunResult {
+            instructions: budget,
+            cycles,
+        }
     }
 
     fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
@@ -181,22 +190,37 @@ mod tests {
     fn long_latency_chains_serialize() {
         let div = run_with(InstMix::new(&[(OpClass::FpDiv, 1.0)]), 5_000);
         let alu = run_with(InstMix::new(&[(OpClass::IntAlu, 1.0)]), 5_000);
-        assert!(div.cpi() > alu.cpi() * 2.0, "div {}, alu {}", div.cpi(), alu.cpi());
+        assert!(
+            div.cpi() > alu.cpi() * 2.0,
+            "div {}, alu {}",
+            div.cpi(),
+            alu.cpi()
+        );
     }
 
     #[test]
     fn smaller_rob_hurts() {
         let mix = InstMix::new(&[(OpClass::Load, 0.4), (OpClass::IntAlu, 0.6)]);
-        let cold = AddressProfile { working_set: 32 << 20, locality: 0.0, shared_fraction: 0.0 };
+        let cold = AddressProfile {
+            working_set: 32 << 20,
+            locality: 0.0,
+            shared_fraction: 0.0,
+        };
         let run = |rob_size| {
-            let mut cpu = O3Cpu::new(O3Config { rob_size, ..O3Config::default() });
+            let mut cpu = O3Cpu::new(O3Config {
+                rob_size,
+                ..O3Config::default()
+            });
             let mut mem = build(MemKind::classic_coherent(), 1);
             let mut stream = InstStream::new("o3-rob", 0, mix.clone(), cold);
             cpu.run(0, &mut stream, 20_000, mem.as_mut()).cpi()
         };
         let big = run(192);
         let tiny = run(4);
-        assert!(tiny > big, "tiny-ROB CPI {tiny} should exceed big-ROB CPI {big}");
+        assert!(
+            tiny > big,
+            "tiny-ROB CPI {tiny} should exceed big-ROB CPI {big}"
+        );
     }
 
     #[test]

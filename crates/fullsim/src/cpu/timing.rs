@@ -71,14 +71,20 @@ impl CpuModel for TimingSimpleCpu {
         self.committed += budget;
         self.cycles += cycles;
         self.memory_cycles += mem_cycles;
-        CpuRunResult { instructions: budget, cycles }
+        CpuRunResult {
+            instructions: budget,
+            cycles,
+        }
     }
 
     fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
         stats.set_count(&format!("{prefix}.committedInsts"), self.committed);
         stats.set_count(&format!("{prefix}.numCycles"), self.cycles);
         stats.set_count(&format!("{prefix}.memStallCycles"), self.memory_cycles);
-        stats.set_count(&format!("{prefix}.branchMispredicts"), self.branch_mispredicts);
+        stats.set_count(
+            &format!("{prefix}.branchMispredicts"),
+            self.branch_mispredicts,
+        );
         if self.cycles > 0 {
             stats.set_scalar(
                 &format!("{prefix}.ipc"),
@@ -99,8 +105,11 @@ mod tests {
     fn memory_latency_blocks_the_pipeline() {
         let mix = InstMix::new(&[(OpClass::Load, 1.0)]);
         // Random addresses over a large set: mostly misses.
-        let cold_profile =
-            AddressProfile { working_set: 64 << 20, locality: 0.0, shared_fraction: 0.0 };
+        let cold_profile = AddressProfile {
+            working_set: 64 << 20,
+            locality: 0.0,
+            shared_fraction: 0.0,
+        };
         let warm_profile = AddressProfile::friendly();
 
         let run = |profile| {
@@ -129,9 +138,16 @@ mod tests {
     fn ipc_below_one() {
         let mut cpu = TimingSimpleCpu::new();
         let mut mem = build(MemKind::classic_fast(), 1);
-        let mut stream =
-            InstStream::new("timing-ipc", 0, InstMix::default_int(), AddressProfile::friendly());
+        let mut stream = InstStream::new(
+            "timing-ipc",
+            0,
+            InstMix::default_int(),
+            AddressProfile::friendly(),
+        );
         let result = cpu.run(0, &mut stream, 10_000, mem.as_mut());
-        assert!(result.cpi() > 1.0, "in-order blocking CPU cannot beat 1 IPC");
+        assert!(
+            result.cpi() > 1.0,
+            "in-order blocking CPU cannot beat 1 IPC"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub enum SimError {
 
 impl SimError {
     pub(crate) fn invalid(reason: impl Into<String>) -> SimError {
-        SimError::InvalidConfig { reason: reason.into() }
+        SimError::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 }
 

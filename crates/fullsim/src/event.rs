@@ -77,7 +77,12 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue at tick 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0, next_seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current simulated time (the tick of the last popped event).
@@ -106,10 +111,19 @@ impl<T> EventQueue<T> {
     ///
     /// Panics when scheduling in the past.
     pub fn schedule_with_priority(&mut self, when: Tick, priority: Priority, payload: T) {
-        assert!(when >= self.now, "cannot schedule event in the past ({when} < {})", self.now);
+        assert!(
+            when >= self.now,
+            "cannot schedule event in the past ({when} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { when, priority, payload, seq });
+        self.heap.push(Event {
+            when,
+            priority,
+            payload,
+            seq,
+        });
     }
 
     /// Schedules `delta` ticks after now.

@@ -195,7 +195,12 @@ pub fn execute(program: &[FuncInst], init_regs: &[(u8, i64)], fuel: u64) -> Func
         }
         pc = next;
     };
-    FuncResult { stop, regs, memory, executed }
+    FuncResult {
+        stop,
+        regs,
+        memory,
+        executed,
+    }
 }
 
 fn write_reg(regs: &mut [i64; 32], rd: u8, value: i64) {
@@ -210,7 +215,14 @@ mod tests {
 
     #[test]
     fn x0_is_hardwired_to_zero() {
-        let program = [FuncInst::Addi { rd: 0, rs1: 0, imm: 99 }, FuncInst::Halt];
+        let program = [
+            FuncInst::Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 99,
+            },
+            FuncInst::Halt,
+        ];
         let result = execute(&program, &[], 10);
         assert_eq!(result.reg(0), 0);
         assert_eq!(result.stop, Stop::Halted);
@@ -219,11 +231,31 @@ mod tests {
     #[test]
     fn arithmetic_and_memory() {
         let program = [
-            FuncInst::Addi { rd: 1, rs1: 0, imm: 6 },
-            FuncInst::Addi { rd: 2, rs1: 0, imm: 7 },
-            FuncInst::Mul { rd: 3, rs1: 1, rs2: 2 },
-            FuncInst::Store { rs1: 0, rs2: 3, offset: 0x100 },
-            FuncInst::Load { rd: 4, rs1: 0, offset: 0x100 },
+            FuncInst::Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 6,
+            },
+            FuncInst::Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 7,
+            },
+            FuncInst::Mul {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            FuncInst::Store {
+                rs1: 0,
+                rs2: 3,
+                offset: 0x100,
+            },
+            FuncInst::Load {
+                rd: 4,
+                rs1: 0,
+                offset: 0x100,
+            },
             FuncInst::Halt,
         ];
         let result = execute(&program, &[], 100);
@@ -237,13 +269,41 @@ mod tests {
     fn loops_terminate_via_branches() {
         // sum = 1 + 2 + ... + 10
         let program = [
-            FuncInst::Addi { rd: 1, rs1: 0, imm: 0 },  // i = 0
-            FuncInst::Addi { rd: 2, rs1: 0, imm: 0 },  // sum = 0
-            FuncInst::Addi { rd: 3, rs1: 0, imm: 10 }, // limit
-            FuncInst::Beq { rs1: 1, rs2: 3, delta: 4 }, // while i != limit
-            FuncInst::Addi { rd: 1, rs1: 1, imm: 1 },  //   i += 1
-            FuncInst::Add { rd: 2, rs1: 2, rs2: 1 },   //   sum += i
-            FuncInst::Beq { rs1: 0, rs2: 0, delta: -3 }, // loop
+            FuncInst::Addi {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            }, // i = 0
+            FuncInst::Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 0,
+            }, // sum = 0
+            FuncInst::Addi {
+                rd: 3,
+                rs1: 0,
+                imm: 10,
+            }, // limit
+            FuncInst::Beq {
+                rs1: 1,
+                rs2: 3,
+                delta: 4,
+            }, // while i != limit
+            FuncInst::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            }, //   i += 1
+            FuncInst::Add {
+                rd: 2,
+                rs1: 2,
+                rs2: 1,
+            }, //   sum += i
+            FuncInst::Beq {
+                rs1: 0,
+                rs2: 0,
+                delta: -3,
+            }, // loop
             FuncInst::Halt,
         ];
         let result = execute(&program, &[], 1000);
@@ -253,7 +313,11 @@ mod tests {
 
     #[test]
     fn infinite_loops_run_out_of_fuel() {
-        let program = [FuncInst::Beq { rs1: 0, rs2: 0, delta: 0 }];
+        let program = [FuncInst::Beq {
+            rs1: 0,
+            rs2: 0,
+            delta: 0,
+        }];
         let result = execute(&program, &[], 100);
         assert_eq!(result.stop, Stop::FuelExhausted);
         assert_eq!(result.executed, 100);
@@ -261,14 +325,25 @@ mod tests {
 
     #[test]
     fn wild_branches_are_trapped() {
-        let program = [FuncInst::Beq { rs1: 0, rs2: 0, delta: -5 }];
+        let program = [FuncInst::Beq {
+            rs1: 0,
+            rs2: 0,
+            delta: -5,
+        }];
         let result = execute(&program, &[], 100);
         assert_eq!(result.stop, Stop::BadBranch { target: -5 });
     }
 
     #[test]
     fn initial_registers_are_honoured() {
-        let program = [FuncInst::Add { rd: 3, rs1: 1, rs2: 2 }, FuncInst::Halt];
+        let program = [
+            FuncInst::Add {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            FuncInst::Halt,
+        ];
         let result = execute(&program, &[(1, 40), (2, 2)], 10);
         assert_eq!(result.reg(3), 42);
     }

@@ -114,10 +114,16 @@ impl InstMix {
         let mut weights = [0.0; 10];
         for (class, weight) in entries {
             assert!(*weight >= 0.0, "negative weight for {class}");
-            let idx = OpClass::ALL.iter().position(|c| c == class).expect("class in ALL");
+            let idx = OpClass::ALL
+                .iter()
+                .position(|c| c == class)
+                .expect("class in ALL");
             weights[idx] += weight;
         }
-        assert!(weights.iter().sum::<f64>() > 0.0, "instruction mix cannot be all zeros");
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "instruction mix cannot be all zeros"
+        );
         InstMix { weights }
     }
 
@@ -135,7 +141,10 @@ impl InstMix {
 
     /// The normalized fraction of the given class.
     pub fn fraction(&self, class: OpClass) -> f64 {
-        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         self.weights[idx] / self.weights.iter().sum::<f64>()
     }
 
@@ -148,7 +157,10 @@ impl InstMix {
     /// Used to model, e.g., newer compilers emitting more vector FP ops.
     pub fn scaled(&self, class: OpClass, factor: f64) -> InstMix {
         let mut weights = self.weights;
-        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         weights[idx] *= factor;
         InstMix { weights }
     }
@@ -187,7 +199,11 @@ pub struct AddressProfile {
 impl AddressProfile {
     /// A cache-friendly default (64 KiB hot set, strong locality).
     pub fn friendly() -> AddressProfile {
-        AddressProfile { working_set: 64 << 10, locality: 0.9, shared_fraction: 0.05 }
+        AddressProfile {
+            working_set: 64 << 10,
+            locality: 0.9,
+            shared_fraction: 0.05,
+        }
     }
 }
 
@@ -237,7 +253,11 @@ impl InstStream {
     pub fn next_inst(&mut self) -> Inst {
         let op = self.mix.sample(&mut self.rng);
         self.cursor += 1;
-        let addr = if op.is_memory() { self.next_addr(op) } else { 0 };
+        let addr = if op.is_memory() {
+            self.next_addr(op)
+        } else {
+            0
+        };
         // Destinations cycle through a 24-register window; sources read
         // values produced a random (1..=16) instructions earlier, giving
         // realistic dependency distances: some tight chains, plenty of
@@ -248,7 +268,14 @@ impl InstStream {
         let src1 = ((self.cursor + 24 - d1 % 24) % 24 + 1) as u8;
         let src2 = ((self.cursor + 24 - d2 % 24) % 24 + 1) as u8;
         let taken = op == OpClass::Branch && self.rng.chance(self.branch_bias);
-        Inst { op, addr, dst, src1, src2, taken }
+        Inst {
+            op,
+            addr,
+            dst,
+            src1,
+            src2,
+            taken,
+        }
     }
 
     fn next_addr(&mut self, op: OpClass) -> u64 {
@@ -307,7 +334,9 @@ mod tests {
         let mix = InstMix::new(&[(OpClass::IntAlu, 0.7), (OpClass::Load, 0.3)]);
         let mut rng = DetRng::from_label("mix");
         let n = 20_000;
-        let loads = (0..n).filter(|_| mix.sample(&mut rng) == OpClass::Load).count();
+        let loads = (0..n)
+            .filter(|_| mix.sample(&mut rng) == OpClass::Load)
+            .count();
         let frac = loads as f64 / n as f64;
         assert!((0.27..0.33).contains(&frac), "load fraction {frac}");
     }
@@ -315,7 +344,12 @@ mod tests {
     #[test]
     fn streams_are_deterministic_per_thread() {
         let make = |thread| {
-            let mut s = InstStream::new("wl", thread, InstMix::default_int(), AddressProfile::friendly());
+            let mut s = InstStream::new(
+                "wl",
+                thread,
+                InstMix::default_int(),
+                AddressProfile::friendly(),
+            );
             (0..100).map(|_| s.next_inst()).collect::<Vec<_>>()
         };
         assert_eq!(make(0), make(0));
@@ -349,7 +383,11 @@ mod tests {
 
     #[test]
     fn private_addresses_partition_by_thread() {
-        let profile = AddressProfile { working_set: 1 << 20, locality: 1.0, shared_fraction: 0.0 };
+        let profile = AddressProfile {
+            working_set: 1 << 20,
+            locality: 1.0,
+            shared_fraction: 0.0,
+        };
         let mix = InstMix::new(&[(OpClass::Load, 1.0)]);
         let mut t0 = InstStream::new("wl", 0, mix.clone(), profile);
         let mut t1 = InstStream::new("wl", 1, mix, profile);

@@ -188,7 +188,10 @@ impl fmt::Display for BootStage {
 
 /// Total boot instructions for a configuration.
 pub fn boot_insts(kind: BootKind, kernel: KernelVersion, cores: u32) -> u64 {
-    BootStage::sequence(kind).iter().map(|s| s.insts(kernel, cores)).sum()
+    BootStage::sequence(kind)
+        .iter()
+        .map(|s| s.insts(kernel, cores))
+        .sum()
 }
 
 #[cfg(test)]

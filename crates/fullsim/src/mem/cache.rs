@@ -90,7 +90,10 @@ impl<S> SetAssocCache<S> {
     pub fn peek(&self, addr: u64) -> Option<&S> {
         let tag = Self::line_of(addr);
         let set = self.set_of(addr);
-        self.sets[set].iter().find(|e| e.tag == tag).map(|e| &e.state)
+        self.sets[set]
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| &e.state)
     }
 
     /// Inserts a line (which must not already be resident), evicting the
@@ -107,7 +110,11 @@ impl<S> SetAssocCache<S> {
             "inserting already-resident line {addr:#x}"
         );
         self.use_clock += 1;
-        let entry = Entry { tag, state, last_use: self.use_clock };
+        let entry = Entry {
+            tag,
+            state,
+            last_use: self.use_clock,
+        };
         if self.sets[set].len() < self.ways {
             self.sets[set].push(entry);
             return None;
@@ -142,7 +149,10 @@ impl<S> SetAssocCache<S> {
 
     /// Iterates over `(line_addr, state)` of all resident lines.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &S)> {
-        self.sets.iter().flatten().map(|e| (e.tag * LINE_BYTES, &e.state))
+        self.sets
+            .iter()
+            .flatten()
+            .map(|e| (e.tag * LINE_BYTES, &e.state))
     }
 }
 

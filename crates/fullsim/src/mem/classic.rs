@@ -48,7 +48,9 @@ impl ClassicMemory {
     /// Builds the hierarchy for `cores` CPUs.
     pub fn new(cores: usize, coherent: bool) -> ClassicMemory {
         ClassicMemory {
-            l1: (0..cores).map(|_| SetAssocCache::new(32 * 1024, 8)).collect(),
+            l1: (0..cores)
+                .map(|_| SetAssocCache::new(32 * 1024, 8))
+                .collect(),
             l2: SetAssocCache::new(1024 * 1024, 16),
             dram: Ddr3Channel::new(),
             coherent,
@@ -146,7 +148,9 @@ impl MemorySystem for ClassicMemory {
     }
 
     fn kind(&self) -> MemKind {
-        MemKind::Classic { coherent: self.coherent }
+        MemKind::Classic {
+            coherent: self.coherent,
+        }
     }
 
     fn dump_stats(&self, prefix: &str, stats: &mut Stats) {
@@ -157,7 +161,10 @@ impl MemorySystem for ClassicMemory {
         stats.set_count(&format!("{prefix}.writebacks"), self.writebacks);
         let total = self.hits_l1 + self.hits_l2 + self.misses;
         if total > 0 {
-            stats.set_scalar(&format!("{prefix}.l1HitRate"), self.hits_l1 as f64 / total as f64);
+            stats.set_scalar(
+                &format!("{prefix}.l1HitRate"),
+                self.hits_l1 as f64 / total as f64,
+            );
         }
         self.dram.dump_stats(&format!("{prefix}.dram"), stats);
     }

@@ -140,7 +140,11 @@ mod tests {
         for i in 0..128u64 {
             total += dram.access(i * 64, false);
         }
-        assert!(dram.row_hit_rate() > 0.9, "hit rate {}", dram.row_hit_rate());
+        assert!(
+            dram.row_hit_rate() > 0.9,
+            "hit rate {}",
+            dram.row_hit_rate()
+        );
         assert!(total > 0);
     }
 
@@ -149,8 +153,8 @@ mod tests {
         let mut dram = Ddr3Channel::new();
         dram.access(0, false); // open row 0 of bank 0
         let hit = dram.access(64, false); // same row
-        // Same bank, different row -> conflict. Next row in the same
-        // bank is ROW_BYTES * BANKS away.
+                                          // Same bank, different row -> conflict. Next row in the same
+                                          // bank is ROW_BYTES * BANKS away.
         let conflict = dram.access(ROW_BYTES * BANKS as u64, false);
         assert!(conflict > hit, "conflict {conflict} <= hit {hit}");
     }

@@ -71,8 +71,11 @@ impl MemKind {
     }
 
     /// The three memory systems crossed by the paper's Figure 8.
-    pub const FIGURE8: [MemKind; 3] =
-        [MemKind::Classic { coherent: false }, MemKind::RubyMi, MemKind::RubyMesiTwoLevel];
+    pub const FIGURE8: [MemKind; 3] = [
+        MemKind::Classic { coherent: false },
+        MemKind::RubyMi,
+        MemKind::RubyMesiTwoLevel,
+    ];
 }
 
 impl fmt::Display for MemKind {
@@ -130,9 +133,12 @@ mod tests {
 
     #[test]
     fn build_constructs_every_kind() {
-        for kind in
-            [MemKind::classic_fast(), MemKind::classic_coherent(), MemKind::RubyMi, MemKind::RubyMesiTwoLevel]
-        {
+        for kind in [
+            MemKind::classic_fast(),
+            MemKind::classic_coherent(),
+            MemKind::RubyMi,
+            MemKind::RubyMesiTwoLevel,
+        ] {
             let mut mem = build(kind, 2);
             assert_eq!(mem.kind(), kind);
             let latency = mem.access(0, 0x1000, AccessKind::Read);

@@ -85,7 +85,9 @@ impl RubySystem {
     fn new(protocol: Protocol, cores: usize) -> RubySystem {
         RubySystem {
             protocol,
-            l1: (0..cores).map(|_| SetAssocCache::new(32 * 1024, 8)).collect(),
+            l1: (0..cores)
+                .map(|_| SetAssocCache::new(32 * 1024, 8))
+                .collect(),
             l2: SetAssocCache::new(1024 * 1024, 16),
             dram: Ddr3Channel::new(),
             directory: HashMap::new(),
@@ -262,8 +264,9 @@ impl RubySystem {
                     // Upgrade: invalidate other sharers.
                     self.upgrades += 1;
                     let extra = self.invalidate_remotes(core, addr);
-                    let state =
-                        self.l1[core].probe(addr).expect("line resident during upgrade");
+                    let state = self.l1[core]
+                        .probe(addr)
+                        .expect("line resident during upgrade");
                     *state = CoState::M;
                     self.record_dir(core, addr, CoState::M);
                     return lat::L1 + lat::DIR + extra;
@@ -380,7 +383,10 @@ mod tests {
         for core in 0..3 {
             assert_eq!(sys.access(core, addr, AccessKind::Read), lat::L1);
         }
-        assert_eq!(sys.forwards + sys.invalidations + sys.downgrades, forwards_before);
+        assert_eq!(
+            sys.forwards + sys.invalidations + sys.downgrades,
+            forwards_before
+        );
     }
 
     #[test]
@@ -433,7 +439,11 @@ mod tests {
             for _ in 0..2000 {
                 let core = rng.below(4) as usize;
                 let addr = addrs[rng.below(16) as usize];
-                let kind = if rng.chance(0.3) { AccessKind::Write } else { AccessKind::Read };
+                let kind = if rng.chance(0.3) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 sys.access(core, addr, kind);
             }
             for addr in addrs {

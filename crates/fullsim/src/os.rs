@@ -94,16 +94,28 @@ mod tests {
     fn focal_runs_more_instructions_faster() {
         let bionic = OsImage::Ubuntu1804.profile();
         let focal = OsImage::Ubuntu2004.profile();
-        assert!(focal.inst_factor > bionic.inst_factor, "20.04 executes more instructions");
-        assert!(focal.cpi_factor < bionic.cpi_factor, "20.04 runs at higher utilization");
+        assert!(
+            focal.inst_factor > bionic.inst_factor,
+            "20.04 executes more instructions"
+        );
+        assert!(
+            focal.cpi_factor < bionic.cpi_factor,
+            "20.04 runs at higher utilization"
+        );
         // Net effect: shorter execution time on 20.04.
         assert!(focal.inst_factor * focal.cpi_factor < bionic.inst_factor * bionic.cpi_factor);
     }
 
     #[test]
     fn default_kernels_match_the_paper() {
-        assert_eq!(OsImage::Ubuntu1804.profile().default_kernel, KernelVersion::V4_15);
-        assert_eq!(OsImage::Ubuntu2004.profile().default_kernel, KernelVersion::V5_4);
+        assert_eq!(
+            OsImage::Ubuntu1804.profile().default_kernel,
+            KernelVersion::V4_15
+        );
+        assert_eq!(
+            OsImage::Ubuntu2004.profile().default_kernel,
+            KernelVersion::V5_4
+        );
     }
 
     #[test]

@@ -29,12 +29,16 @@ pub struct DetRng {
 impl DetRng {
     /// Seeds from an arbitrary string (e.g. a config fingerprint).
     pub fn from_label(label: &str) -> DetRng {
-        DetRng { inner: SmallRng::seed_from_u64(fnv1a(label.as_bytes())) }
+        DetRng {
+            inner: SmallRng::seed_from_u64(fnv1a(label.as_bytes())),
+        }
     }
 
     /// Seeds from a raw integer.
     pub fn from_seed_u64(seed: u64) -> DetRng {
-        DetRng { inner: SmallRng::seed_from_u64(seed) }
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child stream for a named component.
@@ -42,7 +46,9 @@ impl DetRng {
         // Mix the component name into a fresh seed rather than cloning
         // state, so sibling components get decorrelated streams.
         let salt = fnv1a(component.as_bytes());
-        DetRng { inner: SmallRng::seed_from_u64(salt ^ self.base_sample()) }
+        DetRng {
+            inner: SmallRng::seed_from_u64(salt ^ self.base_sample()),
+        }
     }
 
     fn base_sample(&self) -> u64 {

@@ -41,7 +41,11 @@ impl Stats {
 
     /// Adds `amount` to the counter at `name` (creating it at zero).
     pub fn add(&mut self, name: &str, amount: u64) {
-        match self.values.entry(name.to_owned()).or_insert(StatValue::Count(0)) {
+        match self
+            .values
+            .entry(name.to_owned())
+            .or_insert(StatValue::Count(0))
+        {
             StatValue::Count(v) => *v += amount,
             StatValue::Scalar(v) => *v += amount as f64,
         }
@@ -59,7 +63,8 @@ impl Stats {
 
     /// Sets a scalar (derived) statistic.
     pub fn set_scalar(&mut self, name: &str, value: f64) {
-        self.values.insert(name.to_owned(), StatValue::Scalar(value));
+        self.values
+            .insert(name.to_owned(), StatValue::Scalar(value));
     }
 
     /// Reads a counter (0 when absent).
@@ -88,7 +93,11 @@ impl Stats {
     /// Merges another registry under a prefix (`prefix.name`).
     pub fn absorb(&mut self, prefix: &str, other: &Stats) {
         for (name, value) in &other.values {
-            let full = if prefix.is_empty() { name.clone() } else { format!("{prefix}.{name}") };
+            let full = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
             match value {
                 StatValue::Count(v) => self.add(&full, *v),
                 StatValue::Scalar(v) => self.set_scalar(&full, *v),
@@ -102,7 +111,10 @@ impl Stats {
     }
 
     /// Statistics under a dotted prefix.
-    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a StatValue)> {
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a StatValue)> {
         self.values
             .iter()
             .filter(move |(k, _)| k.starts_with(prefix))
@@ -131,7 +143,9 @@ impl Stats {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let (Some(name), Some(value)) = (parts.next(), parts.next()) else { continue };
+            let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                continue;
+            };
             if value.contains('.') {
                 if let Ok(scalar) = value.parse::<f64>() {
                     stats.set_scalar(name, scalar);

@@ -149,7 +149,10 @@ impl SystemConfigBuilder {
             return Err(SimError::invalid("a system needs at least one core"));
         }
         if self.cores > 64 {
-            return Err(SimError::invalid(format!("{} cores exceed the 64-core limit", self.cores)));
+            return Err(SimError::invalid(format!(
+                "{} cores exceed the 64-core limit",
+                self.cores
+            )));
         }
         Ok(SystemConfig {
             cpu: self.cpu,
@@ -335,7 +338,10 @@ impl SystemConfig {
         };
         let _ = run_phase(false, warmup);
         let measured = run_phase(true, sample);
-        measured.iter().map(|(done, cycles)| *cycles as f64 / (*done).max(1) as f64).collect()
+        measured
+            .iter()
+            .map(|(done, cycles)| *cycles as f64 / (*done).max(1) as f64)
+            .collect()
     }
 
     /// Boots the system (the use-case 2 "boot-exit" workload).
@@ -389,10 +395,7 @@ impl SystemConfig {
             }
             completed_ticks = event.when;
             instructions += event.payload.insts(self.kernel, self.cores);
-            stats.set_count(
-                &format!("boot.stage.{}.endTick", event.payload),
-                event.when,
-            );
+            stats.set_count(&format!("boot.stage.{}.endTick", event.payload), event.when);
         }
         // Timeouts burn the whole budget without finishing.
         if outcome == BootOutcome::Timeout {
@@ -402,10 +405,15 @@ impl SystemConfig {
         stats.set_count("boot.instructions", instructions);
         stats.set_scalar("boot.cpi", cpi);
         stats.set_count("simTicks", completed_ticks);
-        let host_seconds =
-            instructions as f64 * self.cpu.simulation_weight() / 2.0e8;
+        let host_seconds = instructions as f64 * self.cpu.simulation_weight() / 2.0e8;
         stats.set_scalar("hostSeconds", host_seconds);
-        Ok(SimOutput { outcome, sim_ticks: completed_ticks, instructions, host_seconds, stats })
+        Ok(SimOutput {
+            outcome,
+            sim_ticks: completed_ticks,
+            instructions,
+            host_seconds,
+            stats,
+        })
     }
 
     /// Boots and captures a [`Checkpoint`] of the post-boot state —
@@ -419,7 +427,10 @@ impl SystemConfig {
     /// through the checkpoint's outcome.
     pub fn checkpoint_boot(&self) -> Result<Checkpoint, SimError> {
         let boot = self.boot_only()?;
-        Ok(Checkpoint { config_label: self.label(), boot })
+        Ok(Checkpoint {
+            config_label: self.label(),
+            boot,
+        })
     }
 
     /// Resumes from a post-boot checkpoint and runs `workload` without
@@ -657,15 +668,35 @@ mod tests {
 
     #[test]
     fn kernel_only_boot_is_shorter_than_systemd() {
-        let kernel_only = base().boot(BootKind::KernelOnly).build().unwrap().boot_only().unwrap();
-        let systemd = base().boot(BootKind::Systemd).build().unwrap().boot_only().unwrap();
+        let kernel_only = base()
+            .boot(BootKind::KernelOnly)
+            .build()
+            .unwrap()
+            .boot_only()
+            .unwrap();
+        let systemd = base()
+            .boot(BootKind::Systemd)
+            .build()
+            .unwrap()
+            .boot_only()
+            .unwrap();
         assert!(systemd.sim_ticks > kernel_only.sim_ticks * 2);
     }
 
     #[test]
     fn kvm_boots_fast() {
-        let kvm = base().cpu(CpuKind::Kvm).build().unwrap().boot_only().unwrap();
-        let timing = base().cpu(CpuKind::TimingSimple).build().unwrap().boot_only().unwrap();
+        let kvm = base()
+            .cpu(CpuKind::Kvm)
+            .build()
+            .unwrap()
+            .boot_only()
+            .unwrap();
+        let timing = base()
+            .cpu(CpuKind::TimingSimple)
+            .build()
+            .unwrap()
+            .boot_only()
+            .unwrap();
         assert!(kvm.sim_ticks * 4 < timing.sim_ticks);
         assert!(kvm.host_seconds < timing.host_seconds);
     }
@@ -704,7 +735,10 @@ mod tests {
         };
         let bionic = run(OsImage::Ubuntu1804);
         let focal = run(OsImage::Ubuntu2004);
-        assert!(focal.instructions > bionic.instructions, "more instructions on 20.04");
+        assert!(
+            focal.instructions > bionic.instructions,
+            "more instructions on 20.04"
+        );
         assert!(focal.sim_ticks < bionic.sim_ticks, "but less time");
         assert!(
             focal.stats.scalar("workload.utilization")
@@ -752,7 +786,10 @@ mod tests {
         let fs = config.run_workload(&profile, InputSize::Test).unwrap();
         assert!(se.outcome.is_success());
         assert_eq!(se.stats.count("se.mode"), 1);
-        assert!(!se.stats.contains("boot.instructions"), "no boot phase in SE mode");
+        assert!(
+            !se.stats.contains("boot.instructions"),
+            "no boot phase in SE mode"
+        );
         // The benchmark itself times identically; only boot differs.
         assert_eq!(se.sim_ticks, fs.sim_ticks);
         assert!(se.host_seconds < fs.host_seconds);
@@ -764,11 +801,18 @@ mod tests {
         let config = base().cores(2).build().unwrap();
         let cold = config.run_workload(&profile, InputSize::Test).unwrap();
         let checkpoint = config.checkpoint_boot().unwrap();
-        let resumed =
-            config.run_workload_from(&checkpoint, &profile, InputSize::Test).unwrap();
-        assert_eq!(resumed.sim_ticks, cold.sim_ticks, "identical benchmark timing");
+        let resumed = config
+            .run_workload_from(&checkpoint, &profile, InputSize::Test)
+            .unwrap();
+        assert_eq!(
+            resumed.sim_ticks, cold.sim_ticks,
+            "identical benchmark timing"
+        );
         assert_eq!(resumed.instructions, cold.instructions);
-        assert!(resumed.host_seconds < cold.host_seconds, "boot simulation time saved");
+        assert!(
+            resumed.host_seconds < cold.host_seconds,
+            "boot simulation time saved"
+        );
         assert_eq!(resumed.stats.count("checkpoint.restored"), 1);
     }
 
@@ -792,8 +836,9 @@ mod tests {
             .unwrap();
         let checkpoint = config.checkpoint_boot().unwrap();
         assert!(!checkpoint.boot().outcome.is_success());
-        let resumed =
-            config.run_workload_from(&checkpoint, &profile, InputSize::Test).unwrap();
+        let resumed = config
+            .run_workload_from(&checkpoint, &profile, InputSize::Test)
+            .unwrap();
         assert!(!resumed.outcome.is_success());
     }
 

@@ -31,7 +31,9 @@ impl Clock {
     /// Panics if `mhz` is zero.
     pub fn from_mhz(mhz: u64) -> Clock {
         assert!(mhz > 0, "clock frequency must be positive");
-        Clock { period_ticks: TICKS_PER_SECOND / (mhz * 1_000_000) }
+        Clock {
+            period_ticks: TICKS_PER_SECOND / (mhz * 1_000_000),
+        }
     }
 
     /// A clock from its frequency in GHz.

@@ -128,7 +128,11 @@ pub fn parsec_profile(name: &str) -> Option<WorkloadProfile> {
             name: name.to_owned(),
             base_insts: base_m * 1_000_000,
             mix,
-            addrs: AddressProfile { working_set, locality, shared_fraction: shared },
+            addrs: AddressProfile {
+                working_set,
+                locality,
+                shared_fraction: shared,
+            },
             parallel_fraction: parallel,
             sync_per_kinst: sync,
         }
@@ -182,7 +186,7 @@ pub fn npb_profile(name: &str) -> Option<WorkloadProfile> {
         "cg" => profile(1_500, 0.24, 150_000, 0.55, 0.92, 1.10), // irregular sparse accesses
         "ep" => profile(2_300, 0.34, 256, 0.97, 0.985, 0.02),    // embarrassingly parallel
         "ft" => profile(3_900, 0.32, 220_000, 0.70, 0.93, 0.70),
-        "is" => profile(600, 0.02, 130_000, 0.50, 0.90, 1.30),   // integer sort, scatter-heavy
+        "is" => profile(600, 0.02, 130_000, 0.50, 0.90, 1.30), // integer sort, scatter-heavy
         "lu" => profile(6_400, 0.30, 60_000, 0.90, 0.93, 0.90),
         "mg" => profile(2_100, 0.28, 230_000, 0.75, 0.94, 0.60),
         "sp" => profile(5_100, 0.30, 80_000, 0.91, 0.94, 0.50),

@@ -17,5 +17,8 @@ fn main() {
             s.stats.count("gpu.mem.dramAccesses"), d.stats.count("gpu.mem.dramAccesses"));
     }
     let geo: f64 = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
-    println!("geomean dynamic speedup vs simple = {:.3} (paper: simple ~8% better => ~0.926)", geo.exp());
+    println!(
+        "geomean dynamic speedup vs simple = {:.3} (paper: simple ~8% better => ~0.926)",
+        geo.exp()
+    );
 }

@@ -119,9 +119,18 @@ impl RegisterFile {
     /// Panics on accounting underflow — releasing a wavefront that was
     /// never admitted is a simulator bug.
     pub fn release(&mut self, kernel: &GpuKernel, simd: usize) {
-        assert!(self.resident_per_simd[simd] > 0, "no resident wavefront on SIMD {simd}");
-        assert!(self.vregs_used >= kernel.vregs_per_wf, "vreg accounting underflow");
-        assert!(self.sregs_used >= kernel.sregs_per_wf, "sreg accounting underflow");
+        assert!(
+            self.resident_per_simd[simd] > 0,
+            "no resident wavefront on SIMD {simd}"
+        );
+        assert!(
+            self.vregs_used >= kernel.vregs_per_wf,
+            "vreg accounting underflow"
+        );
+        assert!(
+            self.sregs_used >= kernel.sregs_per_wf,
+            "sreg accounting underflow"
+        );
         self.resident_per_simd[simd] -= 1;
         self.vregs_used -= kernel.vregs_per_wf;
         self.sregs_used -= kernel.sregs_per_wf;

@@ -72,7 +72,10 @@ impl GpuConfig {
     /// The Table III machine with the future-work improved dependence
     /// tracker (for the ablation study).
     pub fn table3_improved_tracking() -> GpuConfig {
-        GpuConfig { dep_tracking: DependenceTracking::Improved, ..Self::table3() }
+        GpuConfig {
+            dep_tracking: DependenceTracking::Improved,
+            ..Self::table3()
+        }
     }
 
     /// Maximum wavefronts resident per CU.

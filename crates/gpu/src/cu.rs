@@ -150,7 +150,9 @@ impl<'a> Machine<'a> {
             config,
             kernel,
             mem: GpuMemory::new(config.cus, config.l1d_bytes_per_cu, config.l2_bytes),
-            regs: (0..config.cus).map(|_| RegisterFile::new(config, policy)).collect(),
+            regs: (0..config.cus)
+                .map(|_| RegisterFile::new(config, policy))
+                .collect(),
             lds_used: vec![0; config.cus],
             simd_free_mc: vec![vec![0; config.simds_per_cu]; config.cus],
             wavefronts: Vec::new(),
@@ -229,9 +231,17 @@ impl<'a> Machine<'a> {
     ) -> Wavefront {
         let insts = self.kernel.insts_per_wf;
         let (acquisitions, first_acquire, lock_line) = match self.kernel.sync {
-            SyncProfile::Mutex { acquisitions, unique_locks, .. } => {
+            SyncProfile::Mutex {
+                acquisitions,
+                unique_locks,
+                ..
+            } => {
                 let gap = insts / (acquisitions + 1);
-                let line = if unique_locks { 0x4000 + global_id as u64 } else { 1 };
+                let line = if unique_locks {
+                    0x4000 + global_id as u64
+                } else {
+                    1
+                };
                 (acquisitions, gap, line)
             }
             _ => (0, u32::MAX, 0),
@@ -293,7 +303,12 @@ impl<'a> Machine<'a> {
             let end = self.step(idx, t);
             finish_mc = finish_mc.max(end);
         }
-        let peak = self.regs.iter().map(RegisterFile::peak_resident).max().unwrap_or(0);
+        let peak = self
+            .regs
+            .iter()
+            .map(RegisterFile::peak_resident)
+            .max()
+            .unwrap_or(0);
         let cycles = finish_mc.div_ceil(MC).max(1);
         let mut stats = Stats::new();
         stats.set_count("gpu.cycles", cycles);
@@ -335,12 +350,20 @@ impl<'a> Machine<'a> {
         let sb_mc = self.tracking_penalty_mc(SCOREBOARD_MC_PER_WF, resident);
         self.scoreboard_stall_mc += sb_mc;
         let occupancy_mc = sb_mc
-            + self.config.cycles_per_vector_inst(self.kernel.threads_per_wf as usize) * MC;
+            + self
+                .config
+                .cycles_per_vector_inst(self.kernel.threads_per_wf as usize)
+                * MC;
 
         self.wavefronts[idx].last_issue_mc = t;
 
         // Mutex protocol first: acquire attempts gate progress.
-        if let SyncProfile::Mutex { hold_insts, spin_intensity, .. } = self.kernel.sync {
+        if let SyncProfile::Mutex {
+            hold_insts,
+            spin_intensity,
+            ..
+        } = self.kernel.sync
+        {
             let wf = &self.wavefronts[idx];
             if !wf.holding && wf.acquisitions_left > 0 && wf.executed >= wf.next_acquire_at {
                 return self.attempt_lock(idx, t, hold_insts, spin_intensity, occupancy_mc);
@@ -349,7 +372,13 @@ impl<'a> Machine<'a> {
 
         // Regular instruction.
         let weights = self.kernel.mix.weights();
-        let ops = [GpuOp::Valu, GpuOp::Salu, GpuOp::GlobalMem, GpuOp::Lds, GpuOp::Atomic];
+        let ops = [
+            GpuOp::Valu,
+            GpuOp::Salu,
+            GpuOp::GlobalMem,
+            GpuOp::Lds,
+            GpuOp::Atomic,
+        ];
         let (op, addr) = {
             let wf = &mut self.wavefronts[idx];
             let op = ops[wf.rng.weighted_index(&weights)];
@@ -493,7 +522,11 @@ impl<'a> Machine<'a> {
         let waiters = self.lock_waiters.get(&line).copied().unwrap_or(0);
         // The holder's release competes with every poll in flight.
         let release_latency = lock_op_cycles(waiters, spin) * MC;
-        debug_assert_eq!(self.lock_holder.get(&line), Some(&idx), "release by non-holder");
+        debug_assert_eq!(
+            self.lock_holder.get(&line),
+            Some(&idx),
+            "release by non-holder"
+        );
         self.lock_holder.remove(&line);
         let wf = &mut self.wavefronts[idx];
         wf.holding = false;
@@ -540,7 +573,11 @@ impl<'a> Machine<'a> {
             return false;
         }
         self.barriers_done += 1;
-        let arrival = waiting.iter().map(|i| self.wavefronts[*i].ready_mc).max().unwrap_or(0);
+        let arrival = waiting
+            .iter()
+            .map(|i| self.wavefronts[*i].ready_mc)
+            .max()
+            .unwrap_or(0);
         // Tree barrier: log2(n) rounds of atomics.
         let rounds = (waiting.len() as f64).log2().ceil().max(1.0) as u64;
         let cost_mc = rounds * self.mem.atomic_access(0x7fff) * MC;
@@ -551,8 +588,11 @@ impl<'a> Machine<'a> {
             wf.ready_mc = arrival + cost_mc;
             wf.barriers_left -= 1;
             let gap = insts_per_wf / (wf.barriers_left + 1).max(1);
-            wf.next_barrier_at =
-                if wf.barriers_left == 0 { u32::MAX } else { wf.executed + gap.max(1) };
+            wf.next_barrier_at = if wf.barriers_left == 0 {
+                u32::MAX
+            } else {
+                wf.executed + gap.max(1)
+            };
         }
         true
     }
@@ -604,12 +644,15 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let config = GpuConfig::table3();
-        let k = kernel(12, SyncProfile::Mutex {
-            hold_insts: 10,
-            acquisitions: 3,
-            unique_locks: false,
-            spin_intensity: 1.0,
-        });
+        let k = kernel(
+            12,
+            SyncProfile::Mutex {
+                hold_insts: 10,
+                acquisitions: 3,
+                unique_locks: false,
+                spin_intensity: 1.0,
+            },
+        );
         let a = simulate(&config, &k, AllocPolicy::Dynamic);
         let b = simulate(&config, &k, AllocPolicy::Dynamic);
         assert_eq!(a.cycles, b.cycles);
@@ -619,27 +662,37 @@ mod tests {
     #[test]
     fn contended_mutex_produces_retries_and_they_grow_with_occupancy() {
         let config = GpuConfig::table3();
-        let k = kernel(16, SyncProfile::Mutex {
-            hold_insts: 15,
-            acquisitions: 4,
-            unique_locks: false,
-            spin_intensity: 0.5,
-        });
+        let k = kernel(
+            16,
+            SyncProfile::Mutex {
+                hold_insts: 15,
+                acquisitions: 4,
+                unique_locks: false,
+                spin_intensity: 0.5,
+            },
+        );
         let simple = simulate(&config, &k, AllocPolicy::Simple);
         let dynamic = simulate(&config, &k, AllocPolicy::Dynamic);
-        assert!(dynamic.lock_retries > simple.lock_retries * 2,
-            "dynamic {} vs simple {}", dynamic.lock_retries, simple.lock_retries);
+        assert!(
+            dynamic.lock_retries > simple.lock_retries * 2,
+            "dynamic {} vs simple {}",
+            dynamic.lock_retries,
+            simple.lock_retries
+        );
     }
 
     #[test]
     fn unique_locks_avoid_retries() {
         let config = GpuConfig::table3();
-        let k = kernel(16, SyncProfile::Mutex {
-            hold_insts: 15,
-            acquisitions: 4,
-            unique_locks: true,
-            spin_intensity: 0.5,
-        });
+        let k = kernel(
+            16,
+            SyncProfile::Mutex {
+                hold_insts: 15,
+                acquisitions: 4,
+                unique_locks: true,
+                spin_intensity: 0.5,
+            },
+        );
         let result = simulate(&config, &k, AllocPolicy::Dynamic);
         assert_eq!(result.lock_retries, 0);
         // Critical sections may extend a wavefront slightly past its

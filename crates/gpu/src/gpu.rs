@@ -35,12 +35,18 @@ pub struct GpuRunResult {
 impl Gpu {
     /// A GPU with the paper's Table III configuration.
     pub fn table3() -> Gpu {
-        Gpu { config: GpuConfig::table3(), scale_down: 1 }
+        Gpu {
+            config: GpuConfig::table3(),
+            scale_down: 1,
+        }
     }
 
     /// A GPU with a custom configuration.
     pub fn with_config(config: GpuConfig) -> Gpu {
-        Gpu { config, scale_down: 1 }
+        Gpu {
+            config,
+            scale_down: 1,
+        }
     }
 
     /// Returns a copy whose kernel instruction counts are divided by
@@ -65,8 +71,12 @@ impl Gpu {
     pub fn run(&self, kernel: &GpuKernel, policy: AllocPolicy) -> GpuRunResult {
         let mut scaled = kernel.clone();
         scaled.insts_per_wf = (kernel.insts_per_wf / self.scale_down).max(8);
-        if let crate::kernel::SyncProfile::Mutex { hold_insts, acquisitions, unique_locks, spin_intensity } =
-            scaled.sync
+        if let crate::kernel::SyncProfile::Mutex {
+            hold_insts,
+            acquisitions,
+            unique_locks,
+            spin_intensity,
+        } = scaled.sync
         {
             scaled.sync = crate::kernel::SyncProfile::Mutex {
                 hold_insts: (hold_insts / self.scale_down).max(2),
@@ -75,10 +85,23 @@ impl Gpu {
                 spin_intensity,
             };
         }
-        let MachineResult { cycles, instructions, lock_retries, peak_occupancy, stats, .. } =
-            simulate(&self.config, &scaled, policy);
+        let MachineResult {
+            cycles,
+            instructions,
+            lock_retries,
+            peak_occupancy,
+            stats,
+            ..
+        } = simulate(&self.config, &scaled, policy);
         let ticks = self.config.clock().cycles_to_ticks(cycles);
-        GpuRunResult { ticks, cycles, instructions, lock_retries, peak_occupancy, stats }
+        GpuRunResult {
+            ticks,
+            cycles,
+            instructions,
+            lock_retries,
+            peak_occupancy,
+            stats,
+        }
     }
 }
 
@@ -114,7 +137,9 @@ mod tests {
     #[test]
     fn scaled_down_runs_fewer_instructions() {
         let full = Gpu::table3().run(&kernel(), AllocPolicy::Simple);
-        let scaled = Gpu::table3().scaled_down(4).run(&kernel(), AllocPolicy::Simple);
+        let scaled = Gpu::table3()
+            .scaled_down(4)
+            .run(&kernel(), AllocPolicy::Simple);
         assert!(scaled.instructions < full.instructions);
         assert!(scaled.cycles < full.cycles);
     }

@@ -40,17 +40,35 @@ pub struct GpuInstMix {
 impl GpuInstMix {
     /// A compute-dominated mix.
     pub fn compute() -> GpuInstMix {
-        GpuInstMix { valu: 0.72, salu: 0.10, global_mem: 0.12, lds: 0.05, atomic: 0.01 }
+        GpuInstMix {
+            valu: 0.72,
+            salu: 0.10,
+            global_mem: 0.12,
+            lds: 0.05,
+            atomic: 0.01,
+        }
     }
 
     /// A memory-streaming mix.
     pub fn streaming() -> GpuInstMix {
-        GpuInstMix { valu: 0.40, salu: 0.06, global_mem: 0.45, lds: 0.08, atomic: 0.01 }
+        GpuInstMix {
+            valu: 0.40,
+            salu: 0.06,
+            global_mem: 0.45,
+            lds: 0.08,
+            atomic: 0.01,
+        }
     }
 
     /// An LDS-tiled mix (shared-memory kernels).
     pub fn lds_tiled() -> GpuInstMix {
-        GpuInstMix { valu: 0.48, salu: 0.07, global_mem: 0.18, lds: 0.26, atomic: 0.01 }
+        GpuInstMix {
+            valu: 0.48,
+            salu: 0.07,
+            global_mem: 0.18,
+            lds: 0.26,
+            atomic: 0.01,
+        }
     }
 
     /// Weights in [`GpuOp`] declaration order.
@@ -169,7 +187,11 @@ mod tests {
 
     #[test]
     fn mixes_are_plausible() {
-        for mix in [GpuInstMix::compute(), GpuInstMix::streaming(), GpuInstMix::lds_tiled()] {
+        for mix in [
+            GpuInstMix::compute(),
+            GpuInstMix::streaming(),
+            GpuInstMix::lds_tiled(),
+        ] {
             let sum: f64 = mix.weights().iter().sum();
             assert!((0.9..=1.1).contains(&sum), "weights {sum}");
         }

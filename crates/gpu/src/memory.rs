@@ -76,7 +76,13 @@ impl GpuMemory {
 
     /// A global load/store from `cu` issued at `now_mc` (millicycles),
     /// returning `(latency_cycles, l1_hit)`.
-    pub fn global_access(&mut self, cu: usize, addr: u64, is_write: bool, now_mc: u64) -> (u64, bool) {
+    pub fn global_access(
+        &mut self,
+        cu: usize,
+        addr: u64,
+        is_write: bool,
+        now_mc: u64,
+    ) -> (u64, bool) {
         self.accesses += 1;
         if self.l1[cu].probe(addr).is_some() {
             self.l1_hits += 1;
@@ -93,8 +99,7 @@ impl GpuMemory {
             // Bandwidth: queue behind the channel's current burst.
             let queue_mc = self.channel_busy_mc.saturating_sub(now_mc);
             self.queue_delay_mc += queue_mc;
-            self.channel_busy_mc =
-                self.channel_busy_mc.max(now_mc) + lat::DRAM_SERVICE * 1000;
+            self.channel_busy_mc = self.channel_busy_mc.max(now_mc) + lat::DRAM_SERVICE * 1000;
             latency += queue_mc / 1000;
             latency += lat::DRAM_EXTRA + self.dram.access(addr, is_write);
             if let Some((victim, _)) = self.l2.insert(addr, ()) {
@@ -150,7 +155,10 @@ impl GpuMemory {
         stats.set_count(&format!("{prefix}.l2Hits"), self.l2_hits);
         stats.set_count(&format!("{prefix}.dramAccesses"), self.dram_accesses);
         stats.set_count(&format!("{prefix}.atomics"), self.atomics);
-        stats.set_count(&format!("{prefix}.queueDelayCycles"), self.queue_delay_mc / 1000);
+        stats.set_count(
+            &format!("{prefix}.queueDelayCycles"),
+            self.queue_delay_mc / 1000,
+        );
         stats.set_scalar(&format!("{prefix}.l1HitRate"), self.l1_hit_rate());
         self.dram.dump_stats(&format!("{prefix}.dram"), stats);
     }

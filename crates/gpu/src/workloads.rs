@@ -58,14 +58,37 @@ pub enum Suite {
 
 /// Suite of a Table IV application.
 pub fn suite_of(name: &str) -> Option<Suite> {
-    let hip = ["2dshfl", "dynamic_shared", "inline_asm", "MatrixTranspose", "sharedMemory", "shfl", "stream", "unroll"];
+    let hip = [
+        "2dshfl",
+        "dynamic_shared",
+        "inline_asm",
+        "MatrixTranspose",
+        "sharedMemory",
+        "shfl",
+        "stream",
+        "unroll",
+    ];
     let hs = [
-        "SpinMutexEBO", "FAMutex", "SleepMutex", "SpinMutexEBOUniq", "FAMutexUniq",
-        "SleepMutexUniq", "LFTreeBarrUniq", "LFTreeBarrUniqLocalExch",
+        "SpinMutexEBO",
+        "FAMutex",
+        "SleepMutex",
+        "SpinMutexEBOUniq",
+        "FAMutexUniq",
+        "SleepMutexUniq",
+        "LFTreeBarrUniq",
+        "LFTreeBarrUniqLocalExch",
     ];
     let dnn = [
-        "bwd_bypass", "bwd_bn", "bwd_composed_model", "bwd_pool", "bwd_softmax",
-        "fwd_bypass", "fwd_bn", "fwd_composed_model", "fwd_pool", "fwd_softmax",
+        "bwd_bypass",
+        "bwd_bn",
+        "bwd_composed_model",
+        "bwd_pool",
+        "bwd_softmax",
+        "fwd_bypass",
+        "fwd_bn",
+        "fwd_composed_model",
+        "fwd_pool",
+        "fwd_softmax",
     ];
     if hip.contains(&name) {
         Some(Suite::HipSamples)
@@ -88,7 +111,10 @@ pub fn input_of(name: &str) -> &'static str {
         "inline_asm" | "MatrixTranspose" => "1024x1024",
         "sharedMemory" => "64x64",
         "stream" => "32x32",
-        name if name.starts_with("Spin") || name.starts_with("FAMutex") || name.starts_with("Sleep") => {
+        name if name.starts_with("Spin")
+            || name.starts_with("FAMutex")
+            || name.starts_with("Sleep") =>
+        {
             "10 Ld/St/thr/CS, 8 WGs/CU, 2 iters"
         }
         name if name.starts_with("LFTreeBarr") => "10 Ld/St/thr/barrier, 8 WGs/CU, 2 iters",
@@ -118,21 +144,32 @@ fn base(name: &str, workgroups: u32, wf_per_wg: u32, insts: u32, mix: GpuInstMix
         mix,
         sync: SyncProfile::None,
         working_set_per_wf: 2048,
-            shared_data: false,
+        shared_data: false,
     }
 }
 
 fn mutex(name: &str, spin_intensity: f64, unique_locks: bool) -> GpuKernel {
     // 8 WGs/CU x 4 CUs, 256-thread WGs (4 wavefronts), 2 iterations with
     // several critical sections each ("10 Ld/St per thread per CS").
-    let mut k = base(name, 32, 4, 360, GpuInstMix {
-        valu: 0.30,
-        salu: 0.08,
-        global_mem: 0.42,
-        lds: 0.10,
-        atomic: 0.10,
-    });
-    k.sync = SyncProfile::Mutex { hold_insts: 30, acquisitions: 6, unique_locks, spin_intensity };
+    let mut k = base(
+        name,
+        32,
+        4,
+        360,
+        GpuInstMix {
+            valu: 0.30,
+            salu: 0.08,
+            global_mem: 0.42,
+            lds: 0.10,
+            atomic: 0.10,
+        },
+    );
+    k.sync = SyncProfile::Mutex {
+        hold_insts: 30,
+        acquisitions: 6,
+        unique_locks,
+        spin_intensity,
+    };
     k.working_set_per_wf = 1024;
     k.vregs_per_wf = 64;
     k
@@ -163,9 +200,19 @@ pub fn by_name(name: &str) -> Option<GpuKernel> {
             k
         }
         "MatrixTranspose" => {
-            let mut k = base(name, 128, 4, 280, GpuInstMix {
-                valu: 0.30, salu: 0.05, global_mem: 0.42, lds: 0.22, atomic: 0.01,
-            });
+            let mut k = base(
+                name,
+                128,
+                4,
+                280,
+                GpuInstMix {
+                    valu: 0.30,
+                    salu: 0.05,
+                    global_mem: 0.42,
+                    lds: 0.22,
+                    atomic: 0.01,
+                },
+            );
             k.vregs_per_wf = 56;
             k.lds_per_wg = 2048;
             // All wavefronts walk the same matrix tiles: L2-resident.
@@ -188,11 +235,23 @@ pub fn by_name(name: &str) -> Option<GpuKernel> {
         "FAMutexUniq" => mutex(name, 0.08, true),
         "SleepMutexUniq" => mutex(name, 2.6, true),
         "LFTreeBarrUniq" | "LFTreeBarrUniqLocalExch" => {
-            let mut k = base(name, 32, 4, 360, GpuInstMix {
-                valu: 0.32, salu: 0.08, global_mem: 0.40,
-                lds: if name.ends_with("LocalExch") { 0.16 } else { 0.10 },
-                atomic: 0.10,
-            });
+            let mut k = base(
+                name,
+                32,
+                4,
+                360,
+                GpuInstMix {
+                    valu: 0.32,
+                    salu: 0.08,
+                    global_mem: 0.40,
+                    lds: if name.ends_with("LocalExch") {
+                        0.16
+                    } else {
+                        0.10
+                    },
+                    atomic: 0.10,
+                },
+            );
             k.sync = SyncProfile::Barrier { episodes: 4 };
             k.working_set_per_wf = 1024;
             k.vregs_per_wf = 64;
@@ -209,9 +268,19 @@ pub fn by_name(name: &str) -> Option<GpuKernel> {
             k
         }
         "bwd_bn" | "fwd_bn" => {
-            let mut k = base(name, 64, 4, 300, GpuInstMix {
-                valu: 0.44, salu: 0.06, global_mem: 0.40, lds: 0.08, atomic: 0.02,
-            });
+            let mut k = base(
+                name,
+                64,
+                4,
+                300,
+                GpuInstMix {
+                    valu: 0.44,
+                    salu: 0.06,
+                    global_mem: 0.40,
+                    lds: 0.08,
+                    atomic: 0.02,
+                },
+            );
             k.vregs_per_wf = 48;
             k.working_set_per_wf = 12 * 1024;
             k.shared_data = true;
@@ -226,17 +295,37 @@ pub fn by_name(name: &str) -> Option<GpuKernel> {
         // Pooling over 100x3x256x256: hot per-wavefront tiles that fit
         // the L1 at low occupancy and thrash it at full occupancy.
         "bwd_pool" | "fwd_pool" => {
-            let mut k = base(name, 160, 4, 280, GpuInstMix {
-                valu: 0.34, salu: 0.05, global_mem: 0.48, lds: 0.12, atomic: 0.01,
-            });
+            let mut k = base(
+                name,
+                160,
+                4,
+                280,
+                GpuInstMix {
+                    valu: 0.34,
+                    salu: 0.05,
+                    global_mem: 0.48,
+                    lds: 0.12,
+                    atomic: 0.01,
+                },
+            );
             k.vregs_per_wf = 48;
             k.working_set_per_wf = 1024;
             k
         }
         "bwd_softmax" | "fwd_softmax" => {
-            let mut k = base(name, 48, 4, 280, GpuInstMix {
-                valu: 0.46, salu: 0.06, global_mem: 0.38, lds: 0.08, atomic: 0.02,
-            });
+            let mut k = base(
+                name,
+                48,
+                4,
+                280,
+                GpuInstMix {
+                    valu: 0.46,
+                    salu: 0.06,
+                    global_mem: 0.38,
+                    lds: 0.08,
+                    atomic: 0.02,
+                },
+            );
             k.vregs_per_wf = 48;
             k.working_set_per_wf = 12 * 1024;
             k.shared_data = true;
@@ -250,17 +339,37 @@ pub fn by_name(name: &str) -> Option<GpuKernel> {
             k
         }
         "LULESH" => {
-            let mut k = base(name, 36, 4, 340, GpuInstMix {
-                valu: 0.58, salu: 0.08, global_mem: 0.26, lds: 0.06, atomic: 0.02,
-            });
+            let mut k = base(
+                name,
+                36,
+                4,
+                340,
+                GpuInstMix {
+                    valu: 0.58,
+                    salu: 0.08,
+                    global_mem: 0.26,
+                    lds: 0.06,
+                    atomic: 0.02,
+                },
+            );
             k.vregs_per_wf = 1800; // register-hungry hydrodynamics kernels cap occupancy
             k
         }
         // Plenty of mesh zones to overlap: dynamic wins.
         "PENNANT" => {
-            let mut k = base(name, 120, 4, 300, GpuInstMix {
-                valu: 0.46, salu: 0.06, global_mem: 0.38, lds: 0.08, atomic: 0.02,
-            });
+            let mut k = base(
+                name,
+                120,
+                4,
+                300,
+                GpuInstMix {
+                    valu: 0.46,
+                    salu: 0.06,
+                    global_mem: 0.38,
+                    lds: 0.08,
+                    atomic: 0.02,
+                },
+            );
             k.vregs_per_wf = 56;
             k.working_set_per_wf = 12 * 1024;
             k.shared_data = true;
@@ -301,9 +410,21 @@ mod tests {
         // "8 WGs/CU" on a 4-CU machine.
         let k = by_name("FAMutex").unwrap();
         assert_eq!(k.workgroups, 32);
-        assert!(matches!(k.sync, SyncProfile::Mutex { unique_locks: false, .. }));
+        assert!(matches!(
+            k.sync,
+            SyncProfile::Mutex {
+                unique_locks: false,
+                ..
+            }
+        ));
         let uniq = by_name("FAMutexUniq").unwrap();
-        assert!(matches!(uniq.sync, SyncProfile::Mutex { unique_locks: true, .. }));
+        assert!(matches!(
+            uniq.sync,
+            SyncProfile::Mutex {
+                unique_locks: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -83,7 +83,11 @@ fn main() {
     let cold_ns = per_iter_ns(cold, iters);
     let overhead_ns = (cold_ns - base_ns).max(0.0);
 
-    let feature = if cfg!(feature = "enabled") { "enabled" } else { "disabled (no-op)" };
+    let feature = if cfg!(feature = "enabled") {
+        "enabled"
+    } else {
+        "disabled (no-op)"
+    };
     println!("observe-overhead ({feature} build, {iters} iters, best of {REPEATS}):");
     println!("  baseline     {base_ns:>8.2} ns/iter");
     println!("  instrumented {cold_ns:>8.2} ns/iter  (capture window closed)");
@@ -95,7 +99,10 @@ fn main() {
         let hot = measure(instrumented, iters / 10);
         observe::disable();
         observe::reset();
-        println!("  recording    {:>8.2} ns/iter  (capture window open)", per_iter_ns(hot, iters / 10));
+        println!(
+            "  recording    {:>8.2} ns/iter  (capture window open)",
+            per_iter_ns(hot, iters / 10)
+        );
     }
 
     if test_mode {

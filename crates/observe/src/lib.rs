@@ -158,7 +158,10 @@ mod tests {
         let trace = drain_trace();
         assert_eq!(trace.spans.len(), 1);
         assert_eq!(trace.spans[0].name, "gate.open");
-        assert_eq!(snapshot().metrics.get("gate.c"), Some(&MetricValue::Counter(2)));
+        assert_eq!(
+            snapshot().metrics.get("gate.c"),
+            Some(&MetricValue::Counter(2))
+        );
         reset();
     }
 }

@@ -25,28 +25,8 @@ use std::fmt::Write as _;
 /// 1 µs to 10 s. Values above the last bound land in an overflow
 /// bucket reported at the last bound (saturated).
 const BOUNDS_US: [u64; 22] = [
-    1,
-    2,
-    5,
-    10,
-    20,
-    50,
-    100,
-    200,
-    500,
-    1_000,
-    2_000,
-    5_000,
-    10_000,
-    20_000,
-    50_000,
-    100_000,
-    200_000,
-    500_000,
-    1_000_000,
-    2_000_000,
-    5_000_000,
-    10_000_000,
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
 ];
 
 /// Number of histogram buckets, including the overflow bucket.
@@ -65,7 +45,10 @@ pub fn bucket_bounds_us() -> &'static [u64] {
 /// Index of the bucket an observation falls into.
 #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
 pub(crate) fn bucket_index(us: u64) -> usize {
-    BOUNDS_US.iter().position(|bound| us <= *bound).unwrap_or(BOUNDS_US.len())
+    BOUNDS_US
+        .iter()
+        .position(|bound| us <= *bound)
+        .unwrap_or(BOUNDS_US.len())
 }
 
 /// One histogram's recorded distribution: total count, total sum, and
@@ -84,7 +67,11 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// An empty histogram with the standard bucket layout.
     pub fn empty() -> HistogramSnapshot {
-        HistogramSnapshot { count: 0, sum_us: 0, buckets: vec![0; BUCKETS] }
+        HistogramSnapshot {
+            count: 0,
+            sum_us: 0,
+            buckets: vec![0; BUCKETS],
+        }
     }
 
     /// The estimated `q`-quantile (`0 < q <= 1`), in microseconds.
@@ -103,7 +90,10 @@ impl HistogramSnapshot {
         for (i, bucket_count) in self.buckets.iter().enumerate() {
             seen += bucket_count;
             if seen >= rank {
-                return BOUNDS_US.get(i).copied().unwrap_or(BOUNDS_US[BOUNDS_US.len() - 1]);
+                return BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(BOUNDS_US[BOUNDS_US.len() - 1]);
             }
         }
         BOUNDS_US[BOUNDS_US.len() - 1]
@@ -190,8 +180,12 @@ impl Snapshot {
                     format!("{{\"name\":\"{name}\",\"kind\":\"gauge\",\"value\":{v}}}")
                 }
                 MetricValue::Histogram(h) => {
-                    let buckets =
-                        h.buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
                     format!(
                         "{{\"name\":\"{name}\",\"kind\":\"histogram\",\"count\":{},\
                          \"sum_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
@@ -248,11 +242,16 @@ mod recording {
     }
 
     fn cell(name: &'static str, make: impl FnOnce() -> Cell) -> &'static Cell {
-        if let Some(cell) = registry().read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        if let Some(cell) = registry()
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
             return cell;
         }
         let mut map = registry().write().unwrap_or_else(|e| e.into_inner());
-        map.entry(name).or_insert_with(|| Box::leak(Box::new(make())))
+        map.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(make())))
     }
 
     /// Adds `n` to the named counter (creating it at zero first).
@@ -299,7 +298,11 @@ mod recording {
                 Cell::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
                     count: h.count.load(Ordering::Relaxed),
                     sum_us: h.sum_us.load(Ordering::Relaxed),
-                    buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
                 }),
             };
             metrics.insert((*name).to_owned(), value);
@@ -310,7 +313,10 @@ mod recording {
     /// Clears the registry (the leaked cells are dropped from the map
     /// but intentionally not reclaimed).
     pub fn reset_metrics() {
-        registry().write().unwrap_or_else(|e| e.into_inner()).clear();
+        registry()
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     /// RAII histogram timer (enabled build): measures from creation to
@@ -348,7 +354,9 @@ mod recording {
         /// Captures the current instant, or a disarmed stamp outside a
         /// capture window.
         pub fn now() -> Stamp {
-            Stamp { taken: crate::is_enabled().then(Instant::now) }
+            Stamp {
+                taken: crate::is_enabled().then(Instant::now),
+            }
         }
 
         /// Microseconds since the stamp was taken, if it was armed.
@@ -367,9 +375,9 @@ mod recording {
 }
 
 #[cfg(feature = "enabled")]
-pub use recording::{count, gauge, observe_us, snapshot, timer, Stamp, Timer};
-#[cfg(feature = "enabled")]
 pub(crate) use recording::reset_metrics;
+#[cfg(feature = "enabled")]
+pub use recording::{count, gauge, observe_us, snapshot, timer, Stamp, Timer};
 
 /// No-op stand-ins compiled without the `enabled` feature: the whole
 /// metrics surface folds to nothing.
@@ -433,9 +441,9 @@ mod disabled {
 }
 
 #[cfg(not(feature = "enabled"))]
-pub use disabled::{count, gauge, observe_us, snapshot, timer, Stamp, Timer};
-#[cfg(not(feature = "enabled"))]
 pub(crate) use disabled::reset_metrics;
+#[cfg(not(feature = "enabled"))]
+pub use disabled::{count, gauge, observe_us, snapshot, timer, Stamp, Timer};
 
 #[cfg(test)]
 mod tests {
@@ -484,7 +492,11 @@ mod tests {
 
     #[test]
     fn quantile_edge_cases() {
-        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0, "empty histogram");
+        assert_eq!(
+            HistogramSnapshot::empty().quantile(0.5),
+            0,
+            "empty histogram"
+        );
         // One observation above every bound saturates at the last bound.
         let h = hist_of(&[20_000_000]);
         assert_eq!(h.quantile(0.5), 10_000_000);
@@ -496,9 +508,16 @@ mod tests {
     #[test]
     fn snapshot_renders_deterministically() {
         let mut snapshot = Snapshot::default();
-        snapshot.metrics.insert("b.counter".to_owned(), MetricValue::Counter(7));
-        snapshot.metrics.insert("a.gauge".to_owned(), MetricValue::Gauge(-3));
-        snapshot.metrics.insert("c.hist_us".to_owned(), MetricValue::Histogram(hist_of(&[100; 4])));
+        snapshot
+            .metrics
+            .insert("b.counter".to_owned(), MetricValue::Counter(7));
+        snapshot
+            .metrics
+            .insert("a.gauge".to_owned(), MetricValue::Gauge(-3));
+        snapshot.metrics.insert(
+            "c.hist_us".to_owned(),
+            MetricValue::Histogram(hist_of(&[100; 4])),
+        );
         assert_eq!(
             snapshot.render_text(),
             "gauge      a.gauge = -3\n\
@@ -526,8 +545,14 @@ mod tests {
         // Outside the window nothing lands.
         count("m.test.counter", 100);
         let snap = snapshot();
-        assert_eq!(snap.metrics.get("m.test.counter"), Some(&MetricValue::Counter(5)));
-        assert_eq!(snap.metrics.get("m.test.gauge"), Some(&MetricValue::Gauge(9)));
+        assert_eq!(
+            snap.metrics.get("m.test.counter"),
+            Some(&MetricValue::Counter(5))
+        );
+        assert_eq!(
+            snap.metrics.get("m.test.gauge"),
+            Some(&MetricValue::Gauge(9))
+        );
         match snap.metrics.get("m.test.hist_us") {
             Some(MetricValue::Histogram(h)) => {
                 assert_eq!((h.count, h.sum_us), (2, 2_000));

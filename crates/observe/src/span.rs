@@ -249,8 +249,15 @@ mod recording {
             return;
         }
         LOCAL.with(|(buf, thread)| {
-            let record = EventRecord { name: name(), thread: *thread, ts_us: now_us() };
-            buf.lock().unwrap_or_else(|e| e.into_inner()).events.push(record);
+            let record = EventRecord {
+                name: name(),
+                thread: *thread,
+                ts_us: now_us(),
+            };
+            buf.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .events
+                .push(record);
         });
     }
 
@@ -329,7 +336,11 @@ mod tests {
                     dur_us: 30,
                 },
             ],
-            events: vec![EventRecord { name: "marker".to_owned(), thread: 1, ts_us: 25 }],
+            events: vec![EventRecord {
+                name: "marker".to_owned(),
+                thread: 1,
+                ts_us: 25,
+            }],
         }
     }
 
@@ -399,7 +410,10 @@ mod tests {
         assert_eq!(inner.parent, outer.id, "nesting recorded via parent link");
         assert_eq!(outer.parent, 0, "outer is a root");
         assert_eq!(other.parent, 0);
-        assert_ne!(other.thread, outer.thread, "distinct threads get distinct ids");
+        assert_ne!(
+            other.thread, outer.thread,
+            "distinct threads get distinct ids"
+        );
         assert!(outer.dur_us >= inner.dur_us || outer.start_us <= inner.start_us);
         assert_eq!(trace.events.len(), 1);
         assert_eq!(trace.events[0].name, "t.marker");

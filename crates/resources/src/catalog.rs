@@ -176,7 +176,10 @@ impl Catalog {
 
     /// All resources targeting a simulator variant.
     pub fn by_variant(&self, variant: &str) -> Vec<&Resource> {
-        self.resources.iter().filter(|r| r.variant == variant).collect()
+        self.resources
+            .iter()
+            .filter(|r| r.variant == variant)
+            .collect()
     }
 
     /// Iterates over all resources in Table I order.

@@ -13,7 +13,10 @@ pub fn parsec_image(os: OsImage) -> DiskImageSpec {
             "toolchain",
             format!("apt-get update && apt-get install -y build-essential gcc-{gcc}"),
         )
-        .shell("parsec-fetch", "git clone https://example.org/parsec-benchmark.git")
+        .shell(
+            "parsec-fetch",
+            "git clone https://example.org/parsec-benchmark.git",
+        )
         .install("parsec", &PARSEC_APPS)
         .build()
 }
@@ -22,7 +25,10 @@ pub fn parsec_image(os: OsImage) -> DiskImageSpec {
 /// an Ubuntu 18.04 server user-land that exits immediately after boot.
 pub fn boot_exit_image() -> DiskImageSpec {
     PackerTemplate::new("boot-exit", OsImage::Ubuntu1804)
-        .shell("m5-exit", "install -m 0755 m5 /sbin/m5 && echo 'm5 exit' >> /etc/rc.local")
+        .shell(
+            "m5-exit",
+            "install -m 0755 m5 /sbin/m5 && echo 'm5 exit' >> /etc/rc.local",
+        )
         .build()
 }
 
@@ -30,7 +36,10 @@ pub fn boot_exit_image() -> DiskImageSpec {
 pub fn npb_image() -> DiskImageSpec {
     PackerTemplate::new("npb", OsImage::Ubuntu1804)
         .shell("toolchain", "apt-get install -y gfortran build-essential")
-        .install("npb", &["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"])
+        .install(
+            "npb",
+            &["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"],
+        )
         .build()
 }
 

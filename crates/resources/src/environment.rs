@@ -54,7 +54,11 @@ impl RocmStack {
 
     /// Validates the whole Table IV set, returning unsupported names.
     pub fn unsupported_workloads(&self) -> Vec<&'static str> {
-        workloads::ALL.iter().copied().filter(|w| !self.supports(w)).collect()
+        workloads::ALL
+            .iter()
+            .copied()
+            .filter(|w| !self.supports(w))
+            .collect()
     }
 }
 
@@ -70,8 +74,14 @@ impl fmt::Display for RocmStack {
 pub fn gcn_dockerfile() -> String {
     let stack = RocmStack::gcn_docker();
     let mut out = String::from("FROM ubuntu:16.04\n");
-    out.push_str(&format!("RUN apt-get update && apt-get install -y gcc-{}\n", stack.gcc_version));
-    out.push_str(&format!("RUN install-rocm.sh --version {}\n", stack.rocm_version));
+    out.push_str(&format!(
+        "RUN apt-get update && apt-get install -y gcc-{}\n",
+        stack.gcc_version
+    ));
+    out.push_str(&format!(
+        "RUN install-rocm.sh --version {}\n",
+        stack.rocm_version
+    ));
     for lib in &stack.libraries {
         out.push_str(&format!("RUN install-rocm-lib.sh {lib}\n"));
     }

@@ -29,8 +29,10 @@ impl KernelResource {
     /// All kernels the resources provide: the five Figure 8 LTS lines
     /// plus the Ubuntu stock kernels used by use-case 1.
     pub fn all_provided() -> Vec<KernelResource> {
-        let mut kernels: Vec<KernelResource> =
-            KernelVersion::FIGURE8.iter().map(|v| Self::standard(*v)).collect();
+        let mut kernels: Vec<KernelResource> = KernelVersion::FIGURE8
+            .iter()
+            .map(|v| Self::standard(*v))
+            .collect();
         if !KernelVersion::FIGURE8.contains(&KernelVersion::V4_15) {
             kernels.push(Self::standard(KernelVersion::V4_15));
         }
@@ -39,7 +41,11 @@ impl KernelResource {
 
     /// The artifact content descriptor for this kernel binary.
     pub fn content_descriptor(&self) -> String {
-        format!("vmlinux-{}:{}", self.version.release(), self.config.join(","))
+        format!(
+            "vmlinux-{}:{}",
+            self.version.release(),
+            self.config.join(",")
+        )
     }
 
     /// The conventional binary filename.

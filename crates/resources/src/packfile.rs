@@ -42,7 +42,10 @@ impl Provisioner {
     fn fingerprint_text(&self) -> String {
         match self {
             Provisioner::Shell { name, script } => format!("shell:{name}:{script}"),
-            Provisioner::FileCopy { source, destination } => {
+            Provisioner::FileCopy {
+                source,
+                destination,
+            } => {
                 format!("copy:{source}->{destination}")
             }
             Provisioner::InstallBenchmark { suite, apps } => {
@@ -86,7 +89,10 @@ impl PackerTemplate {
 
     /// Convenience: appends a shell provisioner.
     pub fn shell(self, name: impl Into<String>, script: impl Into<String>) -> Self {
-        self.provisioner(Provisioner::Shell { name: name.into(), script: script.into() })
+        self.provisioner(Provisioner::Shell {
+            name: name.into(),
+            script: script.into(),
+        })
     }
 
     /// Convenience: appends a benchmark-install provisioner.
@@ -111,7 +117,10 @@ impl PackerTemplate {
     /// identical image specifications and fingerprints.
     pub fn build(&self) -> DiskImageSpec {
         let mut installed = Vec::new();
-        let mut transcript = format!("packer build {}\nbase: {}\npreseed: {}\n", self.name, self.base_os, self.preseed);
+        let mut transcript = format!(
+            "packer build {}\nbase: {}\npreseed: {}\n",
+            self.name, self.base_os, self.preseed
+        );
         for provisioner in &self.provisioners {
             transcript.push_str(&provisioner.fingerprint_text());
             transcript.push('\n');
@@ -154,9 +163,9 @@ pub struct DiskImageSpec {
 impl DiskImageSpec {
     /// Whether the image contains the given `suite/app` binary.
     pub fn has_app(&self, suite: &str, app: &str) -> bool {
-        self.installed.iter().any(|entry| {
-            entry == &format!("{suite}/{app}") || entry == &format!("{suite}/*")
-        })
+        self.installed
+            .iter()
+            .any(|entry| entry == &format!("{suite}/{app}") || entry == &format!("{suite}/*"))
     }
 
     /// A stable textual content descriptor (for artifact hashing).
@@ -167,7 +176,13 @@ impl DiskImageSpec {
 
 impl fmt::Display for DiskImageSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {} installed apps)", self.name, self.os, self.installed.len())
+        write!(
+            f,
+            "{} ({}, {} installed apps)",
+            self.name,
+            self.os,
+            self.installed.len()
+        )
     }
 }
 
@@ -177,7 +192,10 @@ mod tests {
 
     fn parsec_template(os: OsImage) -> PackerTemplate {
         PackerTemplate::new(format!("parsec-{os}"), os)
-            .shell("apt", "apt-get update && apt-get install -y build-essential")
+            .shell(
+                "apt",
+                "apt-get update && apt-get install -y build-essential",
+            )
             .install("parsec", &["blackscholes", "dedup", "ferret"])
     }
 
@@ -196,7 +214,10 @@ mod tests {
         assert_ne!(bionic.fingerprint, focal.fingerprint);
 
         let fewer = PackerTemplate::new("parsec-ubuntu-18.04", OsImage::Ubuntu1804)
-            .shell("apt", "apt-get update && apt-get install -y build-essential")
+            .shell(
+                "apt",
+                "apt-get update && apt-get install -y build-essential",
+            )
             .install("parsec", &["blackscholes"])
             .build();
         assert_ne!(bionic.fingerprint, fewer.fingerprint);
@@ -218,7 +239,9 @@ mod tests {
         let image = parsec_template(OsImage::Ubuntu1804).build();
         assert!(image.build_transcript.contains("packer build"));
         assert!(image.build_transcript.contains("install:parsec"));
-        assert!(image.content_descriptor().starts_with("disk-image:parsec-ubuntu-18.04:"));
+        assert!(image
+            .content_descriptor()
+            .starts_with("disk-image:parsec-ubuntu-18.04:"));
     }
 
     #[test]

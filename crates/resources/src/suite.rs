@@ -70,19 +70,28 @@ pub fn register_simulator(
 ) -> Result<[Arc<Artifact>; 3], simart_artifact::ArtifactError> {
     let repo = registry.register(
         Artifact::builder("gem5", ArtifactKind::GitRepo)
-            .command(format!("git clone https://gem5.googlesource.com/public/gem5; git checkout v{version}"))
+            .command(format!(
+                "git clone https://gem5.googlesource.com/public/gem5; git checkout v{version}"
+            ))
             .cwd("./")
             .path("gem5/")
             .documentation(format!("simulator source repository at v{version}"))
-            .content(ContentSource::git("https://gem5.googlesource.com/public/gem5", version)),
+            .content(ContentSource::git(
+                "https://gem5.googlesource.com/public/gem5",
+                version,
+            )),
     )?;
     let binary = registry.register(
         Artifact::builder(format!("gem5-{variant}"), ArtifactKind::Binary)
             .command(format!("scons build/{variant}/gem5.opt -j8"))
             .cwd("gem5/")
             .path(format!("gem5/build/{variant}/gem5.opt"))
-            .documentation(format!("optimized {variant} simulator binary at v{version}"))
-            .content(ContentSource::descriptor(format!("gem5.opt:{version}:{variant}")))
+            .documentation(format!(
+                "optimized {variant} simulator binary at v{version}"
+            ))
+            .content(ContentSource::descriptor(format!(
+                "gem5.opt:{version}:{variant}"
+            )))
             .input(repo.id()),
     )?;
     let script = registry.register(

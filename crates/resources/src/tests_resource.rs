@@ -49,9 +49,21 @@ pub fn suite() -> Vec<TestProgram> {
             name: "asmtest-arith",
             description: "basic integer arithmetic and x0 semantics",
             program: vec![
-                Addi { rd: 1, rs1: 0, imm: 21 },
-                Add { rd: 2, rs1: 1, rs2: 1 },
-                Addi { rd: 0, rs1: 2, imm: 1 }, // write to x0 is dropped
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 21,
+                },
+                Add {
+                    rd: 2,
+                    rs1: 1,
+                    rs2: 1,
+                },
+                Addi {
+                    rd: 0,
+                    rs1: 2,
+                    imm: 1,
+                }, // write to x0 is dropped
                 Halt,
             ],
             init: vec![],
@@ -61,13 +73,41 @@ pub fn suite() -> Vec<TestProgram> {
             name: "insttest-mul-chain",
             description: "multiply dependency chain (5! = 120)",
             program: vec![
-                Addi { rd: 1, rs1: 0, imm: 1 },  // acc
-                Addi { rd: 2, rs1: 0, imm: 1 },  // i
-                Addi { rd: 3, rs1: 0, imm: 6 },  // limit
-                Beq { rs1: 2, rs2: 3, delta: 4 },
-                Mul { rd: 1, rs1: 1, rs2: 2 },
-                Addi { rd: 2, rs1: 2, imm: 1 },
-                Beq { rs1: 0, rs2: 0, delta: -3 },
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 1,
+                }, // acc
+                Addi {
+                    rd: 2,
+                    rs1: 0,
+                    imm: 1,
+                }, // i
+                Addi {
+                    rd: 3,
+                    rs1: 0,
+                    imm: 6,
+                }, // limit
+                Beq {
+                    rs1: 2,
+                    rs2: 3,
+                    delta: 4,
+                },
+                Mul {
+                    rd: 1,
+                    rs1: 1,
+                    rs2: 2,
+                },
+                Addi {
+                    rd: 2,
+                    rs1: 2,
+                    imm: 1,
+                },
+                Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    delta: -3,
+                },
                 Halt,
             ],
             init: vec![],
@@ -78,14 +118,46 @@ pub fn suite() -> Vec<TestProgram> {
             description: "square a vector of 8 values in memory",
             program: vec![
                 // for i in 0..8: mem[0x200+i] = mem[0x100+i]^2
-                Addi { rd: 1, rs1: 0, imm: 0 },  // i
-                Addi { rd: 2, rs1: 0, imm: 8 },  // n
-                Beq { rs1: 1, rs2: 2, delta: 6 },
-                Load { rd: 3, rs1: 1, offset: 0x100 },
-                Mul { rd: 4, rs1: 3, rs2: 3 },
-                Store { rs1: 1, rs2: 4, offset: 0x200 },
-                Addi { rd: 1, rs1: 1, imm: 1 },
-                Beq { rs1: 0, rs2: 0, delta: -5 },
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 0,
+                }, // i
+                Addi {
+                    rd: 2,
+                    rs1: 0,
+                    imm: 8,
+                }, // n
+                Beq {
+                    rs1: 1,
+                    rs2: 2,
+                    delta: 6,
+                },
+                Load {
+                    rd: 3,
+                    rs1: 1,
+                    offset: 0x100,
+                },
+                Mul {
+                    rd: 4,
+                    rs1: 3,
+                    rs2: 3,
+                },
+                Store {
+                    rs1: 1,
+                    rs2: 4,
+                    offset: 0x200,
+                },
+                Addi {
+                    rd: 1,
+                    rs1: 1,
+                    imm: 1,
+                },
+                Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    delta: -5,
+                },
                 Halt,
             ],
             // Seed the input vector via stores in init? Memory starts
@@ -100,21 +172,77 @@ pub fn suite() -> Vec<TestProgram> {
             description: "copy 4 words through memory (m5ops-style smoke test)",
             program: vec![
                 // prologue: mem[0x10+i] = i * 3
-                Addi { rd: 1, rs1: 0, imm: 0 },
-                Addi { rd: 2, rs1: 0, imm: 4 },
-                Addi { rd: 5, rs1: 0, imm: 3 },
-                Beq { rs1: 1, rs2: 2, delta: 5 },
-                Mul { rd: 3, rs1: 1, rs2: 5 },
-                Store { rs1: 1, rs2: 3, offset: 0x10 },
-                Addi { rd: 1, rs1: 1, imm: 1 },
-                Beq { rs1: 0, rs2: 0, delta: -4 },
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 0,
+                },
+                Addi {
+                    rd: 2,
+                    rs1: 0,
+                    imm: 4,
+                },
+                Addi {
+                    rd: 5,
+                    rs1: 0,
+                    imm: 3,
+                },
+                Beq {
+                    rs1: 1,
+                    rs2: 2,
+                    delta: 5,
+                },
+                Mul {
+                    rd: 3,
+                    rs1: 1,
+                    rs2: 5,
+                },
+                Store {
+                    rs1: 1,
+                    rs2: 3,
+                    offset: 0x10,
+                },
+                Addi {
+                    rd: 1,
+                    rs1: 1,
+                    imm: 1,
+                },
+                Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    delta: -4,
+                },
                 // copy loop: mem[0x20+i] = mem[0x10+i]
-                Addi { rd: 1, rs1: 0, imm: 0 },
-                Beq { rs1: 1, rs2: 2, delta: 5 },
-                Load { rd: 3, rs1: 1, offset: 0x10 },
-                Store { rs1: 1, rs2: 3, offset: 0x20 },
-                Addi { rd: 1, rs1: 1, imm: 1 },
-                Beq { rs1: 0, rs2: 0, delta: -4 },
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 0,
+                },
+                Beq {
+                    rs1: 1,
+                    rs2: 2,
+                    delta: 5,
+                },
+                Load {
+                    rd: 3,
+                    rs1: 1,
+                    offset: 0x10,
+                },
+                Store {
+                    rs1: 1,
+                    rs2: 3,
+                    offset: 0x20,
+                },
+                Addi {
+                    rd: 1,
+                    rs1: 1,
+                    imm: 1,
+                },
+                Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    delta: -4,
+                },
                 Halt,
             ],
             init: vec![],
@@ -124,16 +252,56 @@ pub fn suite() -> Vec<TestProgram> {
             name: "riscv-tests-fib",
             description: "iterative fibonacci(20)",
             program: vec![
-                Addi { rd: 1, rs1: 0, imm: 0 },  // a
-                Addi { rd: 2, rs1: 0, imm: 1 },  // b
-                Addi { rd: 3, rs1: 0, imm: 0 },  // i
-                Addi { rd: 4, rs1: 0, imm: 20 }, // n
-                Beq { rs1: 3, rs2: 4, delta: 6 },
-                Add { rd: 5, rs1: 1, rs2: 2 },   // t = a + b
-                Add { rd: 1, rs1: 2, rs2: 0 },   // a = b
-                Add { rd: 2, rs1: 5, rs2: 0 },   // b = t
-                Addi { rd: 3, rs1: 3, imm: 1 },
-                Beq { rs1: 0, rs2: 0, delta: -5 },
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 0,
+                }, // a
+                Addi {
+                    rd: 2,
+                    rs1: 0,
+                    imm: 1,
+                }, // b
+                Addi {
+                    rd: 3,
+                    rs1: 0,
+                    imm: 0,
+                }, // i
+                Addi {
+                    rd: 4,
+                    rs1: 0,
+                    imm: 20,
+                }, // n
+                Beq {
+                    rs1: 3,
+                    rs2: 4,
+                    delta: 6,
+                },
+                Add {
+                    rd: 5,
+                    rs1: 1,
+                    rs2: 2,
+                }, // t = a + b
+                Add {
+                    rd: 1,
+                    rs1: 2,
+                    rs2: 0,
+                }, // a = b
+                Add {
+                    rd: 2,
+                    rs1: 5,
+                    rs2: 0,
+                }, // b = t
+                Addi {
+                    rd: 3,
+                    rs1: 3,
+                    imm: 1,
+                },
+                Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    delta: -5,
+                },
                 Halt,
             ],
             init: vec![],
@@ -148,14 +316,41 @@ fn square_with_prologue() -> TestProgram {
     use FuncInst::*;
     let mut program = vec![
         // prologue: mem[0x100+i] = i
-        Addi { rd: 1, rs1: 0, imm: 0 },
-        Addi { rd: 2, rs1: 0, imm: 8 },
-        Beq { rs1: 1, rs2: 2, delta: 4 },
-        Store { rs1: 1, rs2: 1, offset: 0x100 },
-        Addi { rd: 1, rs1: 1, imm: 1 },
-        Beq { rs1: 0, rs2: 0, delta: -3 },
+        Addi {
+            rd: 1,
+            rs1: 0,
+            imm: 0,
+        },
+        Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 8,
+        },
+        Beq {
+            rs1: 1,
+            rs2: 2,
+            delta: 4,
+        },
+        Store {
+            rs1: 1,
+            rs2: 1,
+            offset: 0x100,
+        },
+        Addi {
+            rd: 1,
+            rs1: 1,
+            imm: 1,
+        },
+        Beq {
+            rs1: 0,
+            rs2: 0,
+            delta: -3,
+        },
     ];
-    let body = suite().into_iter().find(|t| t.name == "square").expect("square exists");
+    let body = suite()
+        .into_iter()
+        .find(|t| t.name == "square")
+        .expect("square exists");
     program.extend(body.program);
     TestProgram { program, ..body }
 }
@@ -164,7 +359,13 @@ fn square_with_prologue() -> TestProgram {
 pub fn run_all() -> Vec<(&'static str, bool)> {
     suite()
         .into_iter()
-        .map(|test| if test.name == "square" { square_with_prologue() } else { test })
+        .map(|test| {
+            if test.name == "square" {
+                square_with_prologue()
+            } else {
+                test
+            }
+        })
         .map(|test| {
             let (_, passed) = test.run();
             (test.name, passed)
@@ -199,7 +400,14 @@ mod tests {
         let broken = TestProgram {
             name: "broken",
             description: "returns the wrong answer",
-            program: vec![Addi { rd: 1, rs1: 0, imm: 41 }, Halt],
+            program: vec![
+                Addi {
+                    rd: 1,
+                    rs1: 0,
+                    imm: 41,
+                },
+                Halt,
+            ],
             init: vec![],
             check: |r| r.reg(1) == 42,
         };

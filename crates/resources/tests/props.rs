@@ -6,14 +6,18 @@ use simart_resources::{PackerTemplate, Provisioner};
 
 fn provisioner_strategy() -> impl Strategy<Value = Provisioner> {
     prop_oneof![
-        ("[a-z]{1,8}", "[a-z ./-]{0,24}").prop_map(|(name, script)| Provisioner::Shell {
-            name,
-            script
-        }),
+        ("[a-z]{1,8}", "[a-z ./-]{0,24}")
+            .prop_map(|(name, script)| Provisioner::Shell { name, script }),
         ("[a-z/]{1,16}", "[a-z/]{1,16}").prop_map(|(source, destination)| {
-            Provisioner::FileCopy { source, destination }
+            Provisioner::FileCopy {
+                source,
+                destination,
+            }
         }),
-        ("[a-z]{1,8}", proptest::collection::vec("[a-z]{1,8}".prop_map(String::from), 0..4))
+        (
+            "[a-z]{1,8}",
+            proptest::collection::vec("[a-z]{1,8}".prop_map(String::from), 0..4)
+        )
             .prop_map(|(suite, apps)| Provisioner::InstallBenchmark { suite, apps }),
     ]
 }

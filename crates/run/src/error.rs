@@ -55,7 +55,10 @@ impl fmt::Display for RunError {
                 write!(f, "run is missing required component `{component}`")
             }
             RunError::UnknownArtifact { id, component } => {
-                write!(f, "component `{component}` references unregistered artifact {id}")
+                write!(
+                    f,
+                    "component `{component}` references unregistered artifact {id}"
+                )
             }
             RunError::WrongKind { component, found } => {
                 write!(f, "component `{component}` has wrong artifact kind {found}")

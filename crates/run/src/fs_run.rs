@@ -109,7 +109,13 @@ impl FsRun {
 
     /// Every input artifact id, in a fixed order.
     pub fn input_artifacts(&self) -> [ArtifactId; 5] {
-        [self.simulator, self.simulator_repo, self.run_script, self.kernel, self.disk_image]
+        [
+            self.simulator,
+            self.simulator_repo,
+            self.run_script,
+            self.kernel,
+            self.disk_image,
+        ]
     }
 
     /// Advances the lifecycle.
@@ -275,8 +281,11 @@ impl<'a> FsRunBuilder<'a> {
         };
 
         let simulator = resolve(self.simulator, "simulator", &[ArtifactKind::Binary])?;
-        let simulator_repo =
-            resolve(self.simulator_repo, "simulator_repo", &[ArtifactKind::GitRepo])?;
+        let simulator_repo = resolve(
+            self.simulator_repo,
+            "simulator_repo",
+            &[ArtifactKind::GitRepo],
+        )?;
         let run_script = resolve(
             self.run_script,
             "run_script",
@@ -432,7 +441,12 @@ mod tests {
             .simulator_repo(repo)
             .build()
             .unwrap_err();
-        assert!(matches!(err, RunError::MissingComponent { component: "run_script" }));
+        assert!(matches!(
+            err,
+            RunError::MissingComponent {
+                component: "run_script"
+            }
+        ));
     }
 
     #[test]
@@ -447,7 +461,13 @@ mod tests {
             .disk_image(disk, "disk.img")
             .build()
             .unwrap_err();
-        assert!(matches!(err, RunError::WrongKind { component: "simulator", .. }));
+        assert!(matches!(
+            err,
+            RunError::WrongKind {
+                component: "simulator",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -463,7 +483,13 @@ mod tests {
             .disk_image(disk, "disk.img")
             .build()
             .unwrap_err();
-        assert!(matches!(err, RunError::UnknownArtifact { component: "simulator", .. }));
+        assert!(matches!(
+            err,
+            RunError::UnknownArtifact {
+                component: "simulator",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -42,8 +42,9 @@ impl SeRun {
                      component: &'static str,
                      accepted: &[ArtifactKind]|
          -> Result<(), RunError> {
-            let artifact =
-                registry.get(id).ok_or(RunError::UnknownArtifact { id, component })?;
+            let artifact = registry
+                .get(id)
+                .ok_or(RunError::UnknownArtifact { id, component })?;
             if !accepted.contains(artifact.kind()) {
                 return Err(RunError::WrongKind {
                     component,
@@ -53,8 +54,16 @@ impl SeRun {
             Ok(())
         };
         check(simulator, "simulator", &[ArtifactKind::Binary])?;
-        check(run_script, "run_script", &[ArtifactKind::RunScript, ArtifactKind::GitRepo])?;
-        check(workload, "workload", &[ArtifactKind::Binary, ArtifactKind::BenchmarkSuite])?;
+        check(
+            run_script,
+            "run_script",
+            &[ArtifactKind::RunScript, ArtifactKind::GitRepo],
+        )?;
+        check(
+            workload,
+            "workload",
+            &[ArtifactKind::Binary, ArtifactKind::BenchmarkSuite],
+        )?;
 
         let params: Vec<String> = params.into_iter().map(Into::into).collect();
         let mut hasher = Md5::new();
@@ -159,30 +168,70 @@ mod tests {
     #[test]
     fn se_run_identity_is_stable() {
         let (registry, sim, script, workload) = setup();
-        let a = SeRun::create(&registry, sim, script, workload, ["-n", "4"], Duration::from_secs(60))
-            .unwrap();
-        let b = SeRun::create(&registry, sim, script, workload, ["-n", "4"], Duration::from_secs(60))
-            .unwrap();
+        let a = SeRun::create(
+            &registry,
+            sim,
+            script,
+            workload,
+            ["-n", "4"],
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        let b = SeRun::create(
+            &registry,
+            sim,
+            script,
+            workload,
+            ["-n", "4"],
+            Duration::from_secs(60),
+        )
+        .unwrap();
         assert_eq!(a.id(), b.id());
-        let c = SeRun::create(&registry, sim, script, workload, ["-n", "8"], Duration::from_secs(60))
-            .unwrap();
+        let c = SeRun::create(
+            &registry,
+            sim,
+            script,
+            workload,
+            ["-n", "8"],
+            Duration::from_secs(60),
+        )
+        .unwrap();
         assert_ne!(a.id(), c.id());
     }
 
     #[test]
     fn se_run_validates_kinds() {
         let (registry, sim, script, _) = setup();
-        let err =
-            SeRun::create(&registry, script, script, sim, Vec::<String>::new(), Duration::from_secs(1))
-                .unwrap_err();
-        assert!(matches!(err, RunError::WrongKind { component: "simulator", .. }));
+        let err = SeRun::create(
+            &registry,
+            script,
+            script,
+            sim,
+            Vec::<String>::new(),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::WrongKind {
+                component: "simulator",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn se_run_lifecycle() {
         let (registry, sim, script, workload) = setup();
-        let mut run =
-            SeRun::create(&registry, sim, script, workload, ["x"], Duration::from_secs(1)).unwrap();
+        let mut run = SeRun::create(
+            &registry,
+            sim,
+            script,
+            workload,
+            ["x"],
+            Duration::from_secs(1),
+        )
+        .unwrap();
         run.transition(RunStatus::Running).unwrap();
         run.transition(RunStatus::Failed).unwrap();
         assert!(run.status().is_terminal());

@@ -40,7 +40,10 @@ impl RunStatus {
     /// Whether the run was interrupted mid-flight (a non-terminal,
     /// non-fresh state) — what a crashed session leaves behind.
     pub fn is_stranded(self) -> bool {
-        matches!(self, RunStatus::Queued | RunStatus::Running | RunStatus::Retrying)
+        matches!(
+            self,
+            RunStatus::Queued | RunStatus::Running | RunStatus::Retrying
+        )
     }
 
     /// Whether the transition `self -> next` is legal.

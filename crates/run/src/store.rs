@@ -51,9 +51,9 @@ impl RunStore {
         match self.db.collection(Self::COLLECTION).insert(doc) {
             Ok(()) => Ok(()),
             Err(simart_db::DbError::UniqueViolation { .. })
-            | Err(simart_db::DbError::DuplicateId { .. }) => {
-                Err(RunError::DuplicateRun { hash: run.run_hash().to_owned() })
-            }
+            | Err(simart_db::DbError::DuplicateId { .. }) => Err(RunError::DuplicateRun {
+                hash: run.run_hash().to_owned(),
+            }),
             Err(other) => Err(other.into()),
         }
     }
@@ -69,7 +69,11 @@ impl RunStore {
             .db
             .collection(Self::COLLECTION)
             .get(&id.to_string())
-            .ok_or_else(|| RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }))?;
+            .ok_or_else(|| {
+                RunError::Db(simart_db::DbError::NotFound {
+                    query: id.to_string(),
+                })
+            })?;
         doc_to_run(&doc)
     }
 
@@ -85,15 +89,17 @@ impl RunStore {
     /// Propagates lookup failures.
     pub fn set_status(&self, id: Uuid, status: RunStatus) -> Result<(), RunError> {
         observe::count("run.transitions", 1);
-        let n = self
-            .db
-            .collection(Self::COLLECTION)
-            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+        let n = self.db.collection(Self::COLLECTION).update_many(
+            &Filter::eq("_id", id.to_string()),
+            |doc| {
                 doc.set_at("status", Value::from(status.to_string()));
                 push_event(doc, &format!("status:{status}"));
-            });
+            },
+        );
         if n == 0 {
-            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+            return Err(RunError::Db(simart_db::DbError::NotFound {
+                query: id.to_string(),
+            }));
         }
         Ok(())
     }
@@ -108,14 +114,16 @@ impl RunStore {
     ///
     /// Propagates lookup failures.
     pub fn log_event(&self, id: Uuid, event: &str) -> Result<(), RunError> {
-        let n = self
-            .db
-            .collection(Self::COLLECTION)
-            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+        let n = self.db.collection(Self::COLLECTION).update_many(
+            &Filter::eq("_id", id.to_string()),
+            |doc| {
                 push_event(doc, event);
-            });
+            },
+        );
         if n == 0 {
-            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+            return Err(RunError::Db(simart_db::DbError::NotFound {
+                query: id.to_string(),
+            }));
         }
         Ok(())
     }
@@ -150,10 +158,9 @@ impl RunStore {
         delay_before: Duration,
     ) -> Result<u32, RunError> {
         let recorded = std::cell::Cell::new(0u32);
-        let n = self
-            .db
-            .collection(Self::COLLECTION)
-            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+        let n = self.db.collection(Self::COLLECTION).update_many(
+            &Filter::eq("_id", id.to_string()),
+            |doc| {
                 let prior = doc.at("attemptCount").and_then(Value::as_int).unwrap_or(0);
                 let count = u32::try_from(prior).unwrap_or(0).saturating_add(1);
                 recorded.set(count);
@@ -173,9 +180,12 @@ impl RunStore {
                 ]));
                 doc.set_at("attempts", Value::array(attempts));
                 push_event(doc, &format!("attempt:{count}:{disposition}"));
-            });
+            },
+        );
         if n == 0 {
-            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+            return Err(RunError::Db(simart_db::DbError::NotFound {
+                query: id.to_string(),
+            }));
         }
         Ok(recorded.get())
     }
@@ -197,12 +207,18 @@ impl RunStore {
     ///
     /// Propagates lookup and decode failures.
     pub fn attempt_history(&self, id: Uuid) -> Result<Vec<RunAttempt>, RunError> {
-        let corrupt = |why: &str| RunError::Corrupt { reason: why.to_owned() };
+        let corrupt = |why: &str| RunError::Corrupt {
+            reason: why.to_owned(),
+        };
         let doc = self
             .db
             .collection(Self::COLLECTION)
             .get(&id.to_string())
-            .ok_or_else(|| RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }))?;
+            .ok_or_else(|| {
+                RunError::Db(simart_db::DbError::NotFound {
+                    query: id.to_string(),
+                })
+            })?;
         let Some(attempts) = doc.at("attempts").and_then(Value::as_array) else {
             return Ok(Vec::new());
         };
@@ -261,16 +277,18 @@ impl RunStore {
         payload: &[u8],
     ) -> Result<BlobKey, RunError> {
         let key = self.db.blobs().put(payload.to_vec());
-        let n = self
-            .db
-            .collection(Self::COLLECTION)
-            .update_many(&Filter::eq("_id", id.to_string()), |doc| {
+        let n = self.db.collection(Self::COLLECTION).update_many(
+            &Filter::eq("_id", id.to_string()),
+            |doc| {
                 doc.set_at("results.simTicks", Value::from(sim_ticks));
                 doc.set_at("results.outcome", Value::from(outcome));
                 doc.set_at("results.payload", Value::from(key.to_hex()));
-            });
+            },
+        );
         if n == 0 {
-            return Err(RunError::Db(simart_db::DbError::NotFound { query: id.to_string() }));
+            return Err(RunError::Db(simart_db::DbError::NotFound {
+                query: id.to_string(),
+            }));
         }
         Ok(key)
     }
@@ -369,10 +387,17 @@ fn run_to_doc(run: &FsRun) -> Value {
         ("status", Value::from(run.status().to_string())),
         (
             "inputs",
-            Value::array(run.input_artifacts().iter().map(|a| Value::from(a.to_string()))),
+            Value::array(
+                run.input_artifacts()
+                    .iter()
+                    .map(|a| Value::from(a.to_string())),
+            ),
         ),
         ("simulator", Value::from(run.simulator().to_string())),
-        ("simulatorRepo", Value::from(run.simulator_repo().to_string())),
+        (
+            "simulatorRepo",
+            Value::from(run.simulator_repo().to_string()),
+        ),
         ("runScript", Value::from(run.run_script().to_string())),
         ("kernel", Value::from(run.kernel().to_string())),
         ("diskImage", Value::from(run.disk_image().to_string())),
@@ -386,13 +411,18 @@ fn run_to_doc(run: &FsRun) -> Value {
             ]),
         ),
         ("outputDir", Value::from(run.output_dir())),
-        ("params", Value::array(run.params().iter().map(|p| Value::from(p.as_str())))),
+        (
+            "params",
+            Value::array(run.params().iter().map(|p| Value::from(p.as_str()))),
+        ),
         ("timeoutSeconds", Value::from(run.timeout().as_secs())),
     ])
 }
 
 fn doc_to_run(doc: &Value) -> Result<FsRun, RunError> {
-    let corrupt = |why: &str| RunError::Corrupt { reason: why.to_owned() };
+    let corrupt = |why: &str| RunError::Corrupt {
+        reason: why.to_owned(),
+    };
     let text = |path: &str| -> Result<String, RunError> {
         doc.at(path)
             .and_then(Value::as_str)
@@ -421,7 +451,11 @@ fn doc_to_run(doc: &Value) -> Result<FsRun, RunError> {
         .and_then(Value::as_array)
         .ok_or_else(|| corrupt("missing `params`"))?
         .iter()
-        .map(|v| v.as_str().map(str::to_owned).ok_or_else(|| corrupt("non-string param")))
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| corrupt("non-string param"))
+        })
         .collect::<Result<Vec<_>, _>>()?;
     let status = text("status")?
         .parse::<RunStatus>()
@@ -524,7 +558,10 @@ mod tests {
         let run = make_run(&registry, ids, "dedup");
         store.record(&run).unwrap();
         let again = make_run(&registry, ids, "dedup");
-        assert!(matches!(store.record(&again), Err(RunError::DuplicateRun { .. })));
+        assert!(matches!(
+            store.record(&again),
+            Err(RunError::DuplicateRun { .. })
+        ));
         assert_eq!(store.len(), 1);
     }
 
@@ -544,8 +581,13 @@ mod tests {
         let (registry, ids, _db, store) = setup();
         let run = make_run(&registry, ids, "ferret");
         store.record(&run).unwrap();
-        store.attach_results(run.id(), 123_456, "success", b"stats dump here").unwrap();
-        assert_eq!(store.load_results(run.id()).unwrap().as_ref(), b"stats dump here");
+        store
+            .attach_results(run.id(), 123_456, "success", b"stats dump here")
+            .unwrap();
+        assert_eq!(
+            store.load_results(run.id()).unwrap().as_ref(),
+            b"stats dump here"
+        );
         let doc = store.load(run.id()).unwrap();
         let _ = doc; // run decodes fine with results attached
     }
@@ -562,7 +604,10 @@ mod tests {
         let err = store.transition(run.id(), RunStatus::Queued).unwrap_err();
         assert!(matches!(
             err,
-            RunError::IllegalTransition { from: RunStatus::Done, to: RunStatus::Queued }
+            RunError::IllegalTransition {
+                from: RunStatus::Done,
+                to: RunStatus::Queued
+            }
         ));
         assert_eq!(store.load(run.id()).unwrap().status(), RunStatus::Done);
     }
@@ -617,26 +662,40 @@ mod tests {
         assert_eq!(store.attempt_count(run.id()), 0);
         assert!(store.attempt_history(run.id()).unwrap().is_empty());
         assert_eq!(
-            store.record_attempt(run.id(), "errored", Duration::ZERO).unwrap(),
+            store
+                .record_attempt(run.id(), "errored", Duration::ZERO)
+                .unwrap(),
             1
         );
         assert_eq!(
-            store.record_attempt(run.id(), "succeeded", Duration::from_millis(250)).unwrap(),
+            store
+                .record_attempt(run.id(), "succeeded", Duration::from_millis(250))
+                .unwrap(),
             2
         );
         assert_eq!(store.attempt_count(run.id()), 2);
         assert_eq!(
             store.attempt_history(run.id()).unwrap(),
             vec![
-                RunAttempt { index: 1, disposition: "errored".to_owned(), delay_ms: 0 },
-                RunAttempt { index: 2, disposition: "succeeded".to_owned(), delay_ms: 250 },
+                RunAttempt {
+                    index: 1,
+                    disposition: "errored".to_owned(),
+                    delay_ms: 0
+                },
+                RunAttempt {
+                    index: 2,
+                    disposition: "succeeded".to_owned(),
+                    delay_ms: 250
+                },
             ]
         );
         assert_eq!(
             store.events(run.id()),
             vec!["attempt:1:errored", "attempt:2:succeeded"]
         );
-        assert!(store.record_attempt(Uuid::NIL, "errored", Duration::ZERO).is_err());
+        assert!(store
+            .record_attempt(Uuid::NIL, "errored", Duration::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -20,12 +20,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -49,7 +53,11 @@ impl Bencher {
             black_box(routine());
         }
         let per_iter = start.elapsed() / self.samples.max(1) as u32;
-        println!("    {:>12?} /iter over {} iters", per_iter, self.samples.max(1));
+        println!(
+            "    {:>12?} /iter over {} iters",
+            per_iter,
+            self.samples.max(1)
+        );
     }
 }
 
@@ -74,7 +82,9 @@ impl BenchmarkGroup {
         mut routine: impl FnMut(&mut Bencher),
     ) -> &mut BenchmarkGroup {
         println!("  {}/{}", self.name, id);
-        let mut bencher = Bencher { samples: self.sample_size };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+        };
         routine(&mut bencher);
         self
     }
@@ -87,7 +97,9 @@ impl BenchmarkGroup {
         mut routine: impl FnMut(&mut Bencher, &I),
     ) -> &mut BenchmarkGroup {
         println!("  {}/{}", self.name, id);
-        let mut bencher = Bencher { samples: self.sample_size };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+        };
         routine(&mut bencher, input);
         self
     }
@@ -107,7 +119,10 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         let name = name.into();
         println!("group {name}");
-        BenchmarkGroup { name, sample_size: 10 }
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
     }
 
     /// Benchmarks a standalone function.

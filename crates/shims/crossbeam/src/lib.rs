@@ -97,7 +97,12 @@ pub mod channel {
             #[cfg(feature = "trace")]
             trace_id: tracepoint::fresh_id(),
         });
-        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     /// Creates a channel with a capacity hint (not enforced).
@@ -108,7 +113,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            Sender { shared: Arc::clone(&self.shared) }
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -125,7 +132,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
             self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-            Receiver { shared: Arc::clone(&self.shared) }
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
         }
     }
 
@@ -165,7 +174,11 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -201,7 +214,9 @@ pub mod channel {
                     return Err(RecvTimeoutError::Disconnected);
                 }
                 let now = Instant::now();
-                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
                 else {
                     return Err(RecvTimeoutError::Timeout);
                 };

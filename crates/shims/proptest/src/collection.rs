@@ -60,7 +60,9 @@ where
     fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
         let span = (self.len.end - self.len.start) as u64;
         let len = self.len.start + rng.below(span) as usize;
-        (0..len).map(|_| (self.keys.generate(rng), self.values.generate(rng))).collect()
+        (0..len)
+            .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+            .collect()
     }
 }
 

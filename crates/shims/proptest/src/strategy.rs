@@ -36,7 +36,13 @@ pub trait Strategy {
     /// strategy for the next-shallower level. `_max_size` and `_items`
     /// are accepted for API compatibility; depth alone bounds recursion
     /// here.
-    fn prop_recursive<G, F>(self, depth: u32, _max_size: u32, _items: u32, f: F) -> BoxedStrategy<Self::Value>
+    fn prop_recursive<G, F>(
+        self,
+        depth: u32,
+        _max_size: u32,
+        _items: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + Clone + 'static,
         G: Strategy<Value = Self::Value> + 'static,
@@ -109,7 +115,9 @@ pub struct Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Union<T> {
-        Union { options: self.options.clone() }
+        Union {
+            options: self.options.clone(),
+        }
     }
 }
 
@@ -237,7 +245,11 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 
@@ -351,7 +363,8 @@ mod tests {
         assert_eq!((min, max), (1, 4));
         let (alphabet, _, _) = parse_class_pattern("[a-z ./-]{0,24}").unwrap();
         assert!(alphabet.contains(&'-') && alphabet.contains(&'.') && alphabet.contains(&' '));
-        let (alphabet, _, _) = parse_class_pattern("[a-zA-Z0-9 _\\-\\.\u{e9}\u{4e16}]{0,12}").unwrap();
+        let (alphabet, _, _) =
+            parse_class_pattern("[a-zA-Z0-9 _\\-\\.\u{e9}\u{4e16}]{0,12}").unwrap();
         assert!(alphabet.contains(&'\u{e9}') && alphabet.contains(&'-') && alphabet.contains(&'Z'));
     }
 

@@ -71,7 +71,10 @@ impl TestRng {
 
 /// Number of cases per property (overridable via `PROPTEST_CASES`).
 pub fn cases() -> u64 {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
 /// Per-suite configuration, mirroring upstream's

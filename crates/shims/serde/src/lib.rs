@@ -14,7 +14,9 @@ pub trait Serialize {
     /// Serializes `self` into the given serializer.
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let _ = serializer;
-        Err(ser::Error::custom("serialization unsupported by the offline serde shim"))
+        Err(ser::Error::custom(
+            "serialization unsupported by the offline serde shim",
+        ))
     }
 }
 
@@ -34,7 +36,9 @@ pub trait Deserialize<'de>: Sized {
     /// Deserializes `Self` from the given deserializer.
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let _ = deserializer;
-        Err(de::Error::custom("deserialization unsupported by the offline serde shim"))
+        Err(de::Error::custom(
+            "deserialization unsupported by the offline serde shim",
+        ))
     }
 }
 

@@ -186,18 +186,28 @@ mod recording {
             thread: current_thread(),
             op,
         };
-        events().lock().unwrap_or_else(|e| e.into_inner()).push(event);
+        events()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
     }
 
     pub fn label(id: ObjectId, name: &str) {
         if !is_enabled() {
             return;
         }
-        labels().lock().unwrap_or_else(|e| e.into_inner()).insert(id, name.to_owned());
+        labels()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, name.to_owned());
     }
 
     pub fn lookup_label(id: ObjectId) -> Option<String> {
-        labels().lock().unwrap_or_else(|e| e.into_inner()).get(&id).cloned()
+        labels()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
     }
 
     pub fn drain() -> Vec<Event> {
@@ -209,8 +219,9 @@ mod recording {
 }
 
 #[cfg(feature = "enabled")]
-pub use recording::{current_thread, disable, drain, enable, fresh_id, is_enabled, label,
-    lookup_label, record};
+pub use recording::{
+    current_thread, disable, drain, enable, fresh_id, is_enabled, label, lookup_label, record,
+};
 
 /// No-op stand-ins compiled when the `enabled` feature is off: the
 /// whole tracing surface folds to nothing.
@@ -269,8 +280,9 @@ mod disabled {
 }
 
 #[cfg(not(feature = "enabled"))]
-pub use disabled::{current_thread, disable, drain, enable, fresh_id, is_enabled, label,
-    lookup_label, record};
+pub use disabled::{
+    current_thread, disable, drain, enable, fresh_id, is_enabled, label, lookup_label, record,
+};
 
 #[cfg(test)]
 mod tests {
@@ -290,7 +302,10 @@ mod tests {
         enable();
         record(Op::Write(7));
         record(Op::LockAcquire(1));
-        assert!(drain().is_empty(), "no trace state exists without the feature");
+        assert!(
+            drain().is_empty(),
+            "no trace state exists without the feature"
+        );
         assert!(!is_enabled());
     }
 

@@ -185,7 +185,11 @@ impl BrokerScheduler {
             for slot in 0..workers {
                 let flags = Arc::new(WorkerFlags::default());
                 let handle = spawn_worker(&shared, slot, 0, Arc::clone(&flags));
-                st.slots.push(WorkerSlot { handle: Some(handle), flags, generation: 0 });
+                st.slots.push(WorkerSlot {
+                    handle: Some(handle),
+                    flags,
+                    generation: 0,
+                });
             }
         }
         let (stop_tx, stop_rx) = bounded::<()>(0);
@@ -214,7 +218,10 @@ impl BrokerScheduler {
             drop(envelope); // drops report_tx → synthesized failure
             discarded += 1;
         }
-        self.shared.stats.dropped.fetch_add(discarded, Ordering::SeqCst);
+        self.shared
+            .stats
+            .dropped
+            .fetch_add(discarded, Ordering::SeqCst);
         discarded
     }
 
@@ -360,8 +367,11 @@ impl Drop for BrokerScheduler {
         // lock (workers lock it to register/complete leases).
         let (workers, detached) = {
             let mut st = self.shared.state.lock();
-            let workers: Vec<_> =
-                st.slots.iter_mut().filter_map(|slot| slot.handle.take()).collect();
+            let workers: Vec<_> = st
+                .slots
+                .iter_mut()
+                .filter_map(|slot| slot.handle.take())
+                .collect();
             (workers, std::mem::take(&mut st.detached))
         };
         for worker in workers {
@@ -453,8 +463,10 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize, generation: u64, flags: &Arc<W
 
 fn register_lease(shared: &Shared, envelope: &JobEnvelope, slot: usize, generation: u64) {
     trace::lease_grant(envelope.task.trace_id);
-    let deadline =
-        envelope.task.timeout.map(|timeout| Instant::now() + timeout + shared.config.grace);
+    let deadline = envelope
+        .task
+        .timeout
+        .map(|timeout| Instant::now() + timeout + shared.config.grace);
     shared.state.lock().leases.insert(
         envelope.job_id,
         Lease {
@@ -528,9 +540,7 @@ fn recover_dead_workers(shared: &Arc<Shared>, st: &mut SupervisionState) {
         let orphaned: Vec<u64> = st
             .leases
             .iter()
-            .filter(|(_, lease)| {
-                lease.slot == slot_idx && lease.generation == dead_generation
-            })
+            .filter(|(_, lease)| lease.slot == slot_idx && lease.generation == dead_generation)
             .map(|(job_id, _)| *job_id)
             .collect();
         for job_id in orphaned {
@@ -550,15 +560,19 @@ fn expire_leases(shared: &Arc<Shared>, st: &mut SupervisionState) {
         .map(|(job_id, _)| *job_id)
         .collect();
     for job_id in expired {
-        let Some(lease) = st.leases.remove(&job_id) else { continue };
-        shared.stats.lease_expirations.fetch_add(1, Ordering::SeqCst);
+        let Some(lease) = st.leases.remove(&job_id) else {
+            continue;
+        };
+        shared
+            .stats
+            .lease_expirations
+            .fetch_add(1, Ordering::SeqCst);
         observe::count("broker.lease_expirations", 1);
         // The owning worker is presumed wedged in the leased task.
         // Detach it and spawn a replacement — unless the live-detached
         // cap is reached, in which case fail fast (the pool degrades
         // rather than leaking more threads).
-        let owner_current =
-            st.slots[lease.slot].generation == lease.generation && !st.shutdown;
+        let owner_current = st.slots[lease.slot].generation == lease.generation && !st.shutdown;
         if owner_current && st.detached.len() >= shared.config.max_detached {
             dead_letter(shared, lease, "detached-cap");
             continue;
@@ -589,7 +603,11 @@ fn respawn(shared: &Arc<Shared>, st: &mut SupervisionState, slot_idx: usize) {
     let generation = st.next_generation;
     let flags = Arc::new(WorkerFlags::default());
     let handle = spawn_worker(shared, slot_idx, generation, Arc::clone(&flags));
-    st.slots[slot_idx] = WorkerSlot { handle: Some(handle), flags, generation };
+    st.slots[slot_idx] = WorkerSlot {
+        handle: Some(handle),
+        flags,
+        generation,
+    };
     shared.stats.worker_respawns.fetch_add(1, Ordering::SeqCst);
     observe::count("broker.worker_respawns", 1);
 }
@@ -604,7 +622,9 @@ fn recover_lease(
     cause: &str,
 ) {
     trace::lease_revoke(lease.task.trace_id);
-    lease.lease_events.push(format!("delivery:{}:{}", lease.delivery, cause));
+    lease
+        .lease_events
+        .push(format!("delivery:{}:{}", lease.delivery, cause));
     let redeliveries_so_far = lease.delivery - 1;
     let sender = shared.queue.lock().clone();
     let Some(sender) = sender else {
@@ -792,7 +812,9 @@ mod tests {
                 .contains("scheduler dropped task"));
         }
         // Submissions after shutdown are dropped the same way.
-        let late = broker.submit(Task::new("late", || Ok(String::new()))).wait();
+        let late = broker
+            .submit(Task::new("late", || Ok(String::new())))
+            .wait();
         assert_eq!(late.state, TaskState::Failed);
         assert_eq!(broker.dropped(), 4);
     }
@@ -814,7 +836,9 @@ mod tests {
         assert_eq!(broker.detached_workers(), 1);
         assert_eq!(broker.lease_expirations(), 1);
         // A well-behaved task leaves the counter alone.
-        let ok = broker.submit(Task::new("fine", || Ok(String::new()))).wait();
+        let ok = broker
+            .submit(Task::new("fine", || Ok(String::new())))
+            .wait();
         assert!(ok.state.is_success());
         assert_eq!(broker.detached_workers(), 1);
         // Let the runaway worker finish before the test exits.
@@ -823,8 +847,7 @@ mod tests {
 
     #[test]
     fn detached_workers_are_reaped_once_they_finish() {
-        let broker =
-            BrokerScheduler::with_config(1, quick(0));
+        let broker = BrokerScheduler::with_config(1, quick(0));
         let report = broker
             .submit(
                 Task::new("briefly-wedged", || {
@@ -846,7 +869,9 @@ mod tests {
         assert_eq!(broker.detached_live(), 0, "detached thread was reaped");
         assert_eq!(broker.detached_reaped(), 1);
         // The pool is back at strength: a fresh task still runs.
-        let ok = broker.submit(Task::new("after", || Ok(String::new()))).wait();
+        let ok = broker
+            .submit(Task::new("after", || Ok(String::new())))
+            .wait();
         assert!(ok.state.is_success());
     }
 
@@ -867,9 +892,15 @@ mod tests {
                 .timeout(Duration::from_millis(20)),
             )
             .wait();
-        assert!(report.state.is_success(), "redelivered task succeeds: {report:?}");
+        assert!(
+            report.state.is_success(),
+            "redelivered task succeeds: {report:?}"
+        );
         assert_eq!(report.redeliveries, 1);
-        assert_eq!(report.lease_events, vec!["delivery:1:lease-expired".to_owned()]);
+        assert_eq!(
+            report.lease_events,
+            vec!["delivery:1:lease-expired".to_owned()]
+        );
         assert_eq!(broker.redelivered(), 1);
         assert_eq!(broker.lease_expirations(), 1);
         // Let the wedged first delivery unwind before the test exits.
@@ -897,7 +928,11 @@ mod tests {
                 "delivery:2:lease-expired".to_owned()
             ]
         );
-        assert!(report.error.as_deref().unwrap_or("").contains("redelivery cap"));
+        assert!(report
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("redelivery cap"));
         assert_eq!(broker.dead_lettered(), 1);
         assert_eq!(broker.in_flight(), 0);
         // Let both wedged deliveries unwind before the test exits.
@@ -907,8 +942,7 @@ mod tests {
     #[test]
     fn killed_workers_are_respawned_and_tasks_redelivered() {
         // Kill the worker on the first delivery only.
-        let injector =
-            Arc::new(FaultInjector::new(9).worker_kills(1.0).worker_kill_limit(1));
+        let injector = Arc::new(FaultInjector::new(9).worker_kills(1.0).worker_kill_limit(1));
         let broker = BrokerScheduler::with_config(1, quick(1));
         let report = broker
             .submit(
@@ -917,14 +951,22 @@ mod tests {
                     .timeout(Duration::from_secs(5)),
             )
             .wait();
-        assert!(report.state.is_success(), "redelivered after kill: {report:?}");
+        assert!(
+            report.state.is_success(),
+            "redelivered after kill: {report:?}"
+        );
         assert_eq!(report.redeliveries, 1);
-        assert_eq!(report.lease_events, vec!["delivery:1:worker-died".to_owned()]);
+        assert_eq!(
+            report.lease_events,
+            vec!["delivery:1:worker-died".to_owned()]
+        );
         assert_eq!(injector.injected_kills(), 1);
         assert!(broker.worker_respawns() >= 1);
         assert_eq!(broker.redelivered(), 1);
         // The pool healed: more work still runs.
-        let ok = broker.submit(Task::new("after-kill", || Ok(String::new()))).wait();
+        let ok = broker
+            .submit(Task::new("after-kill", || Ok(String::new())))
+            .wait();
         assert!(ok.state.is_success());
     }
 
@@ -938,7 +980,10 @@ mod tests {
         let injector = Arc::new(FaultInjector::new(21).delays(1.0, Duration::from_millis(400)));
         match injector.fault_for("delayed", 1) {
             Some(Fault::Delay(d)) => {
-                assert!(d > Duration::from_millis(30), "seed must draw a long delay, got {d:?}")
+                assert!(
+                    d > Duration::from_millis(30),
+                    "seed must draw a long delay, got {d:?}"
+                )
             }
             other => panic!("expected a delay fault, got {other:?}"),
         }
@@ -981,8 +1026,16 @@ mod tests {
         // The second wedge hits the cap: fail fast, no extra detach.
         let second = wedge("wedge-2").wait();
         assert_eq!(second.state, TaskState::TimedOut);
-        assert!(second.error.as_deref().unwrap_or("").contains("detached-worker cap"));
-        assert_eq!(broker.detached_workers(), 1, "no second detach past the cap");
+        assert!(second
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("detached-worker cap"));
+        assert_eq!(
+            broker.detached_workers(),
+            1,
+            "no second detach past the cap"
+        );
         std::thread::sleep(Duration::from_millis(350));
     }
 }

@@ -182,7 +182,9 @@ impl FaultInjector {
             }
             Some(Fault::SpuriousError) => {
                 self.injected_errors.fetch_add(1, Ordering::SeqCst);
-                Err(format!("injected fault: spurious error ({task} attempt {attempt})"))
+                Err(format!(
+                    "injected fault: spurious error ({task} attempt {attempt})"
+                ))
             }
             Some(Fault::Panic) => {
                 self.injected_panics.fetch_add(1, Ordering::SeqCst);
@@ -190,9 +192,9 @@ impl FaultInjector {
             }
             // Worker faults come only from `worker_fault_for` / the
             // broker's `take_worker_fault` path, never `fault_for`.
-            Some(Fault::WorkerStall(_) | Fault::WorkerKill) => unreachable!(
-                "fault_for never returns worker faults"
-            ),
+            Some(Fault::WorkerStall(_) | Fault::WorkerKill) => {
+                unreachable!("fault_for never returns worker faults")
+            }
         }
     }
 
@@ -339,11 +341,22 @@ mod tests {
 
     #[test]
     fn decisions_are_deterministic_per_seed() {
-        let a = FaultInjector::new(99).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
-        let b = FaultInjector::new(99).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
-        let c = FaultInjector::new(100).panics(0.2).errors(0.3).delays(0.2, Duration::from_millis(50));
+        let a = FaultInjector::new(99)
+            .panics(0.2)
+            .errors(0.3)
+            .delays(0.2, Duration::from_millis(50));
+        let b = FaultInjector::new(99)
+            .panics(0.2)
+            .errors(0.3)
+            .delays(0.2, Duration::from_millis(50));
+        let c = FaultInjector::new(100)
+            .panics(0.2)
+            .errors(0.3)
+            .delays(0.2, Duration::from_millis(50));
         let plan = |inj: &FaultInjector| -> Vec<Option<Fault>> {
-            (1..64).map(|attempt| inj.fault_for("task-x", attempt)).collect()
+            (1..64)
+                .map(|attempt| inj.fault_for("task-x", attempt))
+                .collect()
         };
         assert_eq!(plan(&a), plan(&b));
         assert_ne!(plan(&a), plan(&c));
@@ -353,7 +366,9 @@ mod tests {
     fn decisions_vary_by_task_name() {
         let injector = FaultInjector::new(7).errors(0.5);
         let by_task = |name: &str| -> Vec<bool> {
-            (1..64).map(|attempt| injector.fault_for(name, attempt).is_some()).collect()
+            (1..64)
+                .map(|attempt| injector.fault_for(name, attempt).is_some())
+                .collect()
         };
         assert_ne!(by_task("run-a"), by_task("run-b"));
     }
@@ -390,7 +405,9 @@ mod tests {
 
     #[test]
     fn worker_faults_use_a_separate_stream() {
-        let plain = FaultInjector::new(42).errors(0.4).delays(0.3, Duration::from_millis(5));
+        let plain = FaultInjector::new(42)
+            .errors(0.4)
+            .delays(0.3, Duration::from_millis(5));
         let with_worker = FaultInjector::new(42)
             .errors(0.4)
             .delays(0.3, Duration::from_millis(5))
@@ -398,7 +415,10 @@ mod tests {
             .worker_kills(0.5);
         // Enabling worker faults must not perturb the attempt plan.
         for attempt in 1..64 {
-            assert_eq!(plain.fault_for("t", attempt), with_worker.fault_for("t", attempt));
+            assert_eq!(
+                plain.fault_for("t", attempt),
+                with_worker.fault_for("t", attempt)
+            );
         }
         // And attempt-only injectors never produce worker faults.
         for delivery in 1..64 {
@@ -435,8 +455,10 @@ mod tests {
 
     #[test]
     fn rates_partition_the_unit_interval() {
-        let injector =
-            FaultInjector::new(11).panics(0.25).errors(0.25).delays(0.25, Duration::from_millis(1));
+        let injector = FaultInjector::new(11)
+            .panics(0.25)
+            .errors(0.25)
+            .delays(0.25, Duration::from_millis(1));
         let mut counts = [0u32; 4];
         for attempt in 1..=400 {
             match injector.fault_for("mix", attempt) {
@@ -451,7 +473,10 @@ mod tests {
         }
         // Each category should land near 100 of 400 draws.
         for count in counts {
-            assert!((40..=160).contains(&count), "skewed draw distribution: {counts:?}");
+            assert!(
+                (40..=160).contains(&count),
+                "skewed draw distribution: {counts:?}"
+            );
         }
     }
 }

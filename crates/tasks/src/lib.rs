@@ -206,8 +206,9 @@ mod tests {
     fn schedulers_emit_lifecycle_tracepoints() {
         use tracepoint::Op;
         tracepoint::enable();
-        let tasks: Vec<Task> =
-            (0..3).map(|i| Task::new(format!("traced-{i}"), || Ok(String::new()))).collect();
+        let tasks: Vec<Task> = (0..3)
+            .map(|i| Task::new(format!("traced-{i}"), || Ok(String::new())))
+            .collect();
         let ids: Vec<u64> = tasks.iter().map(|t| t.trace_id).collect();
         let reports = run_all(&PoolScheduler::new(2), tasks);
         let events = tracepoint::drain();
@@ -216,7 +217,10 @@ mod tests {
         // The trace buffer is global and other tests may run (and
         // record) concurrently, so count only events for our task ids.
         let count = |f: fn(&Op) -> bool| {
-            events.iter().filter(|e| f(&e.op) && ids.contains(&e.op.object())).count()
+            events
+                .iter()
+                .filter(|e| f(&e.op) && ids.contains(&e.op.object()))
+                .count()
         };
         assert_eq!(count(|op| matches!(op, Op::TaskSubmit(_))), 3);
         assert_eq!(count(|op| matches!(op, Op::TaskStart(_))), 3);
@@ -237,12 +241,21 @@ mod tests {
             (0..4).map(|i| Task::new(format!("m{i}"), || Ok(String::new()))),
         );
         let broker = BrokerScheduler::new(2);
-        let broker_reports =
-            run_all(&broker, (0..2).map(|i| Task::new(format!("b{i}"), || Ok(String::new()))));
+        let broker_reports = run_all(
+            &broker,
+            (0..2).map(|i| Task::new(format!("b{i}"), || Ok(String::new()))),
+        );
         observe::disable();
-        assert!(pool_reports.iter().chain(&broker_reports).all(|r| r.state.is_success()));
+        assert!(pool_reports
+            .iter()
+            .chain(&broker_reports)
+            .all(|r| r.state.is_success()));
         let snap = observe::snapshot();
-        for name in ["tasks.queue_wait_us", "tasks.run_time_us", "broker.queue_latency_us"] {
+        for name in [
+            "tasks.queue_wait_us",
+            "tasks.run_time_us",
+            "broker.queue_latency_us",
+        ] {
             match snap.metrics.get(name) {
                 Some(observe::MetricValue::Histogram(h)) => {
                     assert!(h.count >= 2, "{name} count = {}", h.count)
@@ -250,8 +263,14 @@ mod tests {
                 other => panic!("{name} missing or wrong kind: {other:?}"),
             }
         }
-        assert_eq!(snap.metrics.get("pool.enqueued"), Some(&observe::MetricValue::Counter(4)));
-        assert_eq!(snap.metrics.get("broker.enqueued"), Some(&observe::MetricValue::Counter(2)));
+        assert_eq!(
+            snap.metrics.get("pool.enqueued"),
+            Some(&observe::MetricValue::Counter(4))
+        );
+        assert_eq!(
+            snap.metrics.get("broker.enqueued"),
+            Some(&observe::MetricValue::Counter(2))
+        );
         observe::reset();
     }
 
@@ -284,7 +303,11 @@ mod tests {
             gate_tx.send(()).unwrap();
             // Pool dropped here: queued tasks drain to completion.
         }
-        assert_eq!(pool_ran.load(Ordering::SeqCst), 3, "pool drop drains the queue");
+        assert_eq!(
+            pool_ran.load(Ordering::SeqCst),
+            3,
+            "pool drop drains the queue"
+        );
 
         let broker_ran = Arc::new(AtomicU32::new(0));
         let broker = BrokerScheduler::new(1);
@@ -303,13 +326,21 @@ mod tests {
             })
             .collect();
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(broker.shutdown_now(), 3, "broker shutdown discards the queue");
+        assert_eq!(
+            broker.shutdown_now(),
+            3,
+            "broker shutdown discards the queue"
+        );
         gate_tx.send(()).unwrap();
         assert!(gated.wait().state.is_success());
         for handle in queued {
             assert_eq!(handle.wait().state, TaskState::Failed);
         }
-        assert_eq!(broker_ran.load(Ordering::SeqCst), 0, "discarded tasks never ran");
+        assert_eq!(
+            broker_ran.load(Ordering::SeqCst),
+            0,
+            "discarded tasks never ran"
+        );
     }
 
     #[test]

@@ -205,7 +205,11 @@ mod tests {
         for handle in queued {
             let report = handle.wait();
             assert_eq!(report.state, TaskState::Failed);
-            assert!(report.error.as_deref().unwrap_or("").contains("scheduler dropped task"));
+            assert!(report
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("scheduler dropped task"));
         }
         // Submissions after shutdown are dropped the same way.
         let late = pool.submit(Task::new("late", || Ok(String::new()))).wait();

@@ -65,7 +65,11 @@ pub struct WorkerCommand {
 impl WorkerCommand {
     /// A command launching `program` with no arguments.
     pub fn new(program: impl Into<PathBuf>) -> WorkerCommand {
-        WorkerCommand { program: program.into(), args: Vec::new(), envs: Vec::new() }
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
     }
 
     /// Appends a command-line argument.
@@ -82,7 +86,9 @@ impl WorkerCommand {
 
     fn command(&self) -> Command {
         let mut cmd = Command::new(&self.program);
-        cmd.args(&self.args).stdin(Stdio::piped()).stdout(Stdio::piped());
+        cmd.args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
         for (key, value) in &self.envs {
             cmd.env(key, value);
         }
@@ -364,7 +370,9 @@ struct Shared {
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, CoordState> {
-        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -447,14 +455,18 @@ impl RemoteScheduler {
             }
         }
         if shared.lock().slots.iter().all(|s| s.child.is_none()) {
-            return Err(spawn_error
-                .unwrap_or_else(|| std::io::Error::other("no worker process started")));
+            return Err(
+                spawn_error.unwrap_or_else(|| std::io::Error::other("no worker process started"))
+            );
         }
         let supervisor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || supervise_loop(&shared))
         };
-        Ok(RemoteScheduler { shared, supervisor: Mutex::new(Some(supervisor)) })
+        Ok(RemoteScheduler {
+            shared,
+            supervisor: Mutex::new(Some(supervisor)),
+        })
     }
 
     /// Submits a spec, blocking while the bounded queue is full.
@@ -609,7 +621,11 @@ impl RemoteScheduler {
     /// kill them or assert they were reaped).
     pub fn worker_pids(&self) -> Vec<u32> {
         let st = self.shared.lock();
-        st.slots.iter().filter(|s| s.child.is_some()).map(|s| s.pid).collect()
+        st.slots
+            .iter()
+            .filter(|s| s.child.is_some())
+            .map(|s| s.pid)
+            .collect()
     }
 
     /// Waits for every child PID to exit, force-killing any still
@@ -618,10 +634,12 @@ impl RemoteScheduler {
     fn reap_children(&self, grace: Duration) {
         let (children, readers) = {
             let mut st = self.shared.lock();
-            let children: Vec<Child> =
-                st.slots.iter_mut().filter_map(|s| s.child.take()).collect();
-            let mut readers: Vec<JoinHandle<()>> =
-                st.slots.iter_mut().filter_map(|s| s.reader.take()).collect();
+            let children: Vec<Child> = st.slots.iter_mut().filter_map(|s| s.child.take()).collect();
+            let mut readers: Vec<JoinHandle<()>> = st
+                .slots
+                .iter_mut()
+                .filter_map(|s| s.reader.take())
+                .collect();
             readers.append(&mut st.retired_readers);
             (children, readers)
         };
@@ -649,7 +667,11 @@ impl RemoteScheduler {
 
     fn stop_supervisor(&self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        let handle = self.supervisor.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let handle = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -667,7 +689,9 @@ impl Drop for RemoteScheduler {
 
 impl fmt::Debug for RemoteScheduler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RemoteScheduler").field("stats", &self.stats()).finish()
+        f.debug_struct("RemoteScheduler")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -687,7 +711,11 @@ fn dead_slot(generation: u64) -> Slot {
 }
 
 fn emit(shared: &Shared, event: RemoteEvent) {
-    let hook = shared.hook.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let hook = shared
+        .hook
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
     if let Some(hook) = hook {
         hook(&event);
     }
@@ -758,15 +786,18 @@ fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, messag
                 }
                 return;
             }
-            let heartbeat_ms =
-                (shared.config.supervisor.heartbeat.as_millis() as u64).max(1);
-            let ack = Message::HelloAck { generation, heartbeat_ms };
+            let heartbeat_ms = (shared.config.supervisor.heartbeat.as_millis() as u64).max(1);
+            let ack = Message::HelloAck {
+                generation,
+                heartbeat_ms,
+            };
             let slot = &mut st.slots[slot_idx];
             slot.last_seen = Instant::now();
             let sent = match slot.stdin.as_mut() {
-                Some(stdin) => {
-                    stdin.write_all(&ack.to_frame()).and_then(|()| stdin.flush()).is_ok()
-                }
+                Some(stdin) => stdin
+                    .write_all(&ack.to_frame())
+                    .and_then(|()| stdin.flush())
+                    .is_ok(),
                 None => false,
             };
             if sent {
@@ -781,13 +812,28 @@ fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, messag
                 st.slots[slot_idx].last_seen = Instant::now();
             }
         }
-        Message::TaskResult { job, delivery, generation: reporter_gen, ok, output, error } => {
+        Message::TaskResult {
+            job,
+            delivery,
+            generation: reporter_gen,
+            ok,
+            output,
+            error,
+        } => {
             let mut st = shared.lock();
             // First report wins, whatever generation it came from: a
             // stale worker finishing after redelivery still resolves
             // the job; the duplicate later report finds no lease.
             if let Some(lease) = st.leases.remove(&job) {
-                deliver_ack(shared, lease, delivery as u32, reporter_gen, ok, output, error);
+                deliver_ack(
+                    shared,
+                    lease,
+                    delivery as u32,
+                    reporter_gen,
+                    ok,
+                    output,
+                    error,
+                );
             }
             if st.slots[slot_idx].generation == generation {
                 if st.slots[slot_idx].busy == Some(job) {
@@ -826,11 +872,19 @@ fn deliver_ack(
     trace::task_finish(job.trace_id);
     emit(
         shared,
-        RemoteEvent::Acked { task: job.spec.name.clone(), delivery, generation: reporter_gen },
+        RemoteEvent::Acked {
+            task: job.spec.name.clone(),
+            delivery,
+            generation: reporter_gen,
+        },
     );
     let report = TaskReport {
         name: job.spec.name.clone(),
-        state: if ok { TaskState::Succeeded } else { TaskState::Failed },
+        state: if ok {
+            TaskState::Succeeded
+        } else {
+            TaskState::Failed
+        },
         output: if ok { Some(output) } else { None },
         error: if ok { None } else { Some(error) },
         attempts: 1,
@@ -931,7 +985,10 @@ fn respawn_slot(shared: &Arc<Shared>, st: &mut CoordState, slot_idx: usize) {
 /// event, then redeliver (cap permitting) or dead-letter.
 fn recover_lease(shared: &Arc<Shared>, st: &mut CoordState, mut lease: RemoteLease, cause: &str) {
     trace::lease_revoke(lease.job.trace_id);
-    lease.job.lease_events.push(format!("delivery:{}:{}", lease.job.delivery, cause));
+    lease
+        .job
+        .lease_events
+        .push(format!("delivery:{}:{}", lease.job.delivery, cause));
     let cap = shared.config.supervisor.max_redeliveries;
     let redeliveries_so_far = lease.job.delivery - 1;
     if redeliveries_so_far >= cap {
@@ -979,16 +1036,27 @@ fn dead_letter(shared: &Arc<Shared>, _st: &mut CoordState, job: RemoteJob, cause
             ),
         )
     } else if cause == "no-workers" {
-        (TaskState::Failed, "no live worker processes remain; task cannot be delivered".to_owned())
+        (
+            TaskState::Failed,
+            "no live worker processes remain; task cannot be delivered".to_owned(),
+        )
     } else {
         (
             TaskState::Failed,
-            format!("worker process died holding the task lease ({cause}); no redeliveries allowed"),
+            format!(
+                "worker process died holding the task lease ({cause}); no redeliveries allowed"
+            ),
         )
     };
     observe::count("broker.remote_dead_letters", 1);
     trace::task_finish(job.trace_id);
-    emit(shared, RemoteEvent::DeadLettered { task: job.spec.name.clone(), cause: cause.to_owned() });
+    emit(
+        shared,
+        RemoteEvent::DeadLettered {
+            task: job.spec.name.clone(),
+            cause: cause.to_owned(),
+        },
+    );
     let report = TaskReport {
         name: job.spec.name.clone(),
         state,
@@ -1080,9 +1148,10 @@ fn dispatch(shared: &Arc<Shared>, st: &mut CoordState, i: usize, job: RemoteJob)
         timeout_ms: job.spec.timeout.map_or(0, |t| t.as_millis() as u64),
     };
     let written = match st.slots[i].stdin.as_mut() {
-        Some(stdin) => {
-            stdin.write_all(&message.to_frame()).and_then(|()| stdin.flush()).is_ok()
-        }
+        Some(stdin) => stdin
+            .write_all(&message.to_frame())
+            .and_then(|()| stdin.flush())
+            .is_ok(),
         None => false,
     };
     if !written {
@@ -1155,7 +1224,11 @@ fn discard_pending(shared: &Arc<Shared>, st: &mut CoordState) -> u64 {
 /// the dispatch pump primed — the process-level twin of the broker's
 /// supervisor.
 fn supervise_loop(shared: &Arc<Shared>) {
-    let heartbeat = shared.config.supervisor.heartbeat.max(Duration::from_millis(1));
+    let heartbeat = shared
+        .config
+        .supervisor
+        .heartbeat
+        .max(Duration::from_millis(1));
     while !shared.stopping.load(Ordering::SeqCst) {
         std::thread::sleep(heartbeat);
         if shared.stopping.load(Ordering::SeqCst) {
@@ -1312,7 +1385,10 @@ struct WireReader {
 
 impl WireReader {
     fn new() -> WireReader {
-        WireReader { decoder: FrameDecoder::new(), buf: [0u8; 8192] }
+        WireReader {
+            decoder: FrameDecoder::new(),
+            buf: [0u8; 8192],
+        }
     }
 
     /// `Ok(None)` on EOF, `Err(())` on a corrupt stream.
@@ -1356,13 +1432,24 @@ fn send_frame(stdout: &Mutex<std::io::Stdout>, message: &Message) -> std::io::Re
 pub fn worker_main(registry: &HandlerRegistry) -> i32 {
     let stdout = Arc::new(Mutex::new(std::io::stdout()));
     let pid = u64::from(std::process::id());
-    if send_frame(&stdout, &Message::Hello { protocol: PROTOCOL_VERSION, pid }).is_err() {
+    if send_frame(
+        &stdout,
+        &Message::Hello {
+            protocol: PROTOCOL_VERSION,
+            pid,
+        },
+    )
+    .is_err()
+    {
         return 1;
     }
     let mut stdin = std::io::stdin();
     let mut reader = WireReader::new();
     let (generation, heartbeat_ms) = match reader.next(&mut stdin) {
-        Ok(Some(Message::HelloAck { generation, heartbeat_ms })) => (generation, heartbeat_ms),
+        Ok(Some(Message::HelloAck {
+            generation,
+            heartbeat_ms,
+        })) => (generation, heartbeat_ms),
         Ok(None) => return 0, // coordinator vanished before the handshake
         _ => return 2,
     };
@@ -1372,7 +1459,10 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
         let busy = Arc::clone(&busy);
         std::thread::spawn(move || loop {
             std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
-            let beat = Message::Heartbeat { pid, busy: busy.load(Ordering::SeqCst) };
+            let beat = Message::Heartbeat {
+                pid,
+                busy: busy.load(Ordering::SeqCst),
+            };
             if send_frame(&stdout, &beat).is_err() {
                 return; // coordinator gone; main loop sees EOF
             }
@@ -1382,7 +1472,14 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
         match reader.next(&mut stdin) {
             Ok(None) => return 0,
             Err(()) => return 2,
-            Ok(Some(Message::Dispatch { job, delivery, name, kind, payload, .. })) => {
+            Ok(Some(Message::Dispatch {
+                job,
+                delivery,
+                name,
+                kind,
+                payload,
+                ..
+            })) => {
                 busy.store(job, Ordering::SeqCst);
                 let work = WorkerJob {
                     job,
@@ -1398,8 +1495,14 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
                     Ok(output) => (true, output, String::new()),
                     Err(error) => (false, String::new(), error),
                 };
-                let reply =
-                    Message::TaskResult { job, delivery, generation, ok, output, error };
+                let reply = Message::TaskResult {
+                    job,
+                    delivery,
+                    generation,
+                    ok,
+                    output,
+                    error,
+                };
                 if send_frame(&stdout, &reply).is_err() {
                     return 1;
                 }
@@ -1428,7 +1531,9 @@ mod tests {
 
     #[test]
     fn submit_error_messages() {
-        assert!(SubmitError::Backpressure.to_string().contains("backpressure"));
+        assert!(SubmitError::Backpressure
+            .to_string()
+            .contains("backpressure"));
         assert!(SubmitError::Shutdown.to_string().contains("shut down"));
         assert_ne!(SubmitError::Backpressure, SubmitError::Shutdown);
     }
@@ -1458,7 +1563,10 @@ mod tests {
         };
         assert_eq!(registry.run(&job("echo")).unwrap(), "data");
         assert!(registry.run(&job("boom")).unwrap_err().contains("kapow"));
-        assert!(registry.run(&job("mystery")).unwrap_err().contains("no handler"));
+        assert!(registry
+            .run(&job("mystery"))
+            .unwrap_err()
+            .contains("no handler"));
     }
 
     #[test]

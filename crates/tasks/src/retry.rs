@@ -51,7 +51,9 @@ impl RetryPolicy {
     /// No retries: the task gets exactly one attempt.
     pub fn none() -> RetryPolicy {
         RetryPolicy {
-            backoff: Backoff::Fixed { delay: Duration::ZERO },
+            backoff: Backoff::Fixed {
+                delay: Duration::ZERO,
+            },
             max_attempts: 1,
             cap: None,
             jitter: 0.0,
@@ -97,7 +99,10 @@ impl RetryPolicy {
     /// no effect on fixed backoff.
     pub fn factor(mut self, factor: f64) -> RetryPolicy {
         if let Backoff::Exponential { base, .. } = self.backoff {
-            self.backoff = Backoff::Exponential { base, factor: factor.max(1.0) };
+            self.backoff = Backoff::Exponential {
+                base,
+                factor: factor.max(1.0),
+            };
         }
         self
     }
@@ -255,10 +260,7 @@ mod tests {
     #[test]
     fn fixed_backoff_repeats_the_delay() {
         let policy = RetryPolicy::fixed(Duration::from_millis(250)).max_attempts(4);
-        assert_eq!(
-            policy.schedule(4),
-            vec![Duration::from_millis(250); 3]
-        );
+        assert_eq!(policy.schedule(4), vec![Duration::from_millis(250); 3]);
     }
 
     #[test]
@@ -308,7 +310,9 @@ mod tests {
 
     #[test]
     fn builder_clamps_degenerate_values() {
-        let policy = RetryPolicy::fixed(Duration::ZERO).max_attempts(0).jitter(9.0);
+        let policy = RetryPolicy::fixed(Duration::ZERO)
+            .max_attempts(0)
+            .jitter(9.0);
         assert_eq!(policy.attempts_allowed(), 1);
         assert_eq!(policy.jitter_fraction(), 1.0);
         let policy = RetryPolicy::exponential(Duration::from_millis(1)).factor(0.25);

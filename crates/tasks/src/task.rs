@@ -276,12 +276,23 @@ pub(crate) fn execute_supervised(task: Task) -> TaskReport {
 }
 
 fn execute_mode(task: Task, supervised: bool) -> TaskReport {
-    let Task { name, work, timeout, policy, fault, trace_id, queue_stamp } = task;
+    let Task {
+        name,
+        work,
+        timeout,
+        policy,
+        fault,
+        trace_id,
+        queue_stamp,
+    } = task;
     queue_stamp.observe_into("tasks.queue_wait_us");
     observe::count("tasks.executed", 1);
     let _task_span = observe::span(|| format!("task:{name}"));
-    let attempt_deadline =
-        if supervised { None } else { timeout.or(policy.per_attempt_deadline()) };
+    let attempt_deadline = if supervised {
+        None
+    } else {
+        timeout.or(policy.per_attempt_deadline())
+    };
     let started = Instant::now();
     let mut attempts = 0u32;
     let mut history = Vec::new();
@@ -538,24 +549,33 @@ mod tests {
     #[test]
     fn wait_on_dropped_scheduler_returns_failed_report() {
         let (tx, rx) = bounded::<TaskReport>(1);
-        let handle = TaskHandle { receiver: rx, name: "ghost".to_owned() };
+        let handle = TaskHandle {
+            receiver: rx,
+            name: "ghost".to_owned(),
+        };
         drop(tx);
         let report = handle.wait();
         assert_eq!(report.state, TaskState::Failed);
         assert_eq!(report.attempts, 0);
-        assert!(report.error.as_deref().unwrap_or("").contains("scheduler dropped task"));
+        assert!(report
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("scheduler dropped task"));
     }
 
     #[test]
     fn backoff_delays_are_honored() {
         let policy = RetryPolicy::fixed(Duration::from_millis(25)).max_attempts(3);
-        let task =
-            Task::new("backoff", || Err("always".to_owned())).retry_policy(policy);
+        let task = Task::new("backoff", || Err("always".to_owned())).retry_policy(policy);
         let started = Instant::now();
         let report = execute(task);
         assert_eq!(report.state, TaskState::Failed);
         assert_eq!(report.attempts, 3);
-        assert!(started.elapsed() >= Duration::from_millis(50), "two backoff sleeps");
+        assert!(
+            started.elapsed() >= Duration::from_millis(50),
+            "two backoff sleeps"
+        );
         assert_eq!(report.history[0].delay_before, Duration::ZERO);
         assert_eq!(report.history[1].delay_before, Duration::from_millis(25));
         assert_eq!(report.history[2].delay_before, Duration::from_millis(25));
@@ -597,7 +617,11 @@ mod tests {
         assert_eq!(report.state, TaskState::Failed);
         assert_eq!(report.attempts, 3);
         assert_eq!(injector.injected_errors(), 3);
-        assert!(report.error.as_deref().unwrap_or("").contains("injected fault"));
+        assert!(report
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("injected fault"));
     }
 
     #[test]

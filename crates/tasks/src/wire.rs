@@ -63,7 +63,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::BadCrc { expected, actual } => {
-                write!(f, "frame crc mismatch (header {expected:#010x}, payload {actual:#010x})")
+                write!(
+                    f,
+                    "frame crc mismatch (header {expected:#010x}, payload {actual:#010x})"
+                )
             }
             WireError::BadLength(len) => {
                 write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
@@ -140,8 +143,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         let header = &self.buf[self.pos..];
-        let len =
-            u32::from_le_bytes(header[0..4].try_into().expect("4 header bytes")) as usize;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 header bytes")) as usize;
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 header bytes"));
         if len > MAX_FRAME_LEN {
             return Err(WireError::BadLength(len as u64));
@@ -152,7 +154,10 @@ impl FrameDecoder {
         let payload = self.buf[self.pos + 8..self.pos + 8 + len].to_vec();
         let actual = crc32(&payload);
         if actual != crc {
-            return Err(WireError::BadCrc { expected: crc, actual });
+            return Err(WireError::BadCrc {
+                expected: crc,
+                actual,
+            });
         }
         self.pos += 8 + len;
         Ok(Some(payload))
@@ -269,12 +274,23 @@ impl Message {
                 ("protocol", Num(*protocol)),
                 ("pid", Num(*pid)),
             ],
-            Message::HelloAck { generation, heartbeat_ms } => vec![
+            Message::HelloAck {
+                generation,
+                heartbeat_ms,
+            } => vec![
                 ("type", Str("hello-ack".into())),
                 ("generation", Num(*generation)),
                 ("heartbeatMs", Num(*heartbeat_ms)),
             ],
-            Message::Dispatch { job, delivery, generation, name, kind, payload, timeout_ms } => {
+            Message::Dispatch {
+                job,
+                delivery,
+                generation,
+                name,
+                kind,
+                payload,
+                timeout_ms,
+            } => {
                 vec![
                     ("type", Str("dispatch".into())),
                     ("job", Num(*job)),
@@ -291,7 +307,14 @@ impl Message {
                 ("pid", Num(*pid)),
                 ("busy", Num(*busy)),
             ],
-            Message::TaskResult { job, delivery, generation, ok, output, error } => vec![
+            Message::TaskResult {
+                job,
+                delivery,
+                generation,
+                ok,
+                output,
+                error,
+            } => vec![
                 ("type", Str("result".into())),
                 ("job", Num(*job)),
                 ("delivery", Num(*delivery)),
@@ -320,23 +343,32 @@ impl Message {
         let str_field = |name: &str| -> Result<String, WireError> {
             match fields.get(name) {
                 Some(JsonValue::Str(s)) => Ok(s.clone()),
-                _ => Err(WireError::Malformed(format!("missing string field `{name}`"))),
+                _ => Err(WireError::Malformed(format!(
+                    "missing string field `{name}`"
+                ))),
             }
         };
         let num_field = |name: &str| -> Result<u64, WireError> {
             match fields.get(name) {
                 Some(JsonValue::Num(n)) => Ok(*n),
-                _ => Err(WireError::Malformed(format!("missing numeric field `{name}`"))),
+                _ => Err(WireError::Malformed(format!(
+                    "missing numeric field `{name}`"
+                ))),
             }
         };
         let bool_field = |name: &str| -> Result<bool, WireError> {
             match fields.get(name) {
                 Some(JsonValue::Bool(b)) => Ok(*b),
-                _ => Err(WireError::Malformed(format!("missing boolean field `{name}`"))),
+                _ => Err(WireError::Malformed(format!(
+                    "missing boolean field `{name}`"
+                ))),
             }
         };
         match str_field("type")?.as_str() {
-            "hello" => Ok(Message::Hello { protocol: num_field("protocol")?, pid: num_field("pid")? }),
+            "hello" => Ok(Message::Hello {
+                protocol: num_field("protocol")?,
+                pid: num_field("pid")?,
+            }),
             "hello-ack" => Ok(Message::HelloAck {
                 generation: num_field("generation")?,
                 heartbeat_ms: num_field("heartbeatMs")?,
@@ -350,9 +382,10 @@ impl Message {
                 payload: str_field("payload")?,
                 timeout_ms: num_field("timeoutMs")?,
             }),
-            "heartbeat" => {
-                Ok(Message::Heartbeat { pid: num_field("pid")?, busy: num_field("busy")? })
-            }
+            "heartbeat" => Ok(Message::Heartbeat {
+                pid: num_field("pid")?,
+                busy: num_field("busy")?,
+            }),
             "result" => Ok(Message::TaskResult {
                 job: num_field("job")?,
                 delivery: num_field("delivery")?,
@@ -362,8 +395,12 @@ impl Message {
                 error: str_field("error")?,
             }),
             "drain" => Ok(Message::Drain),
-            "bye" => Ok(Message::Bye { pid: num_field("pid")? }),
-            other => Err(WireError::Malformed(format!("unknown message type `{other}`"))),
+            "bye" => Ok(Message::Bye {
+                pid: num_field("pid")?,
+            }),
+            other => Err(WireError::Malformed(format!(
+                "unknown message type `{other}`"
+            ))),
         }
     }
 }
@@ -432,7 +469,11 @@ fn parse_flat_object(text: &str) -> Result<HashMap<String, JsonValue>, WireError
             Some(c) if c.is_ascii_digit() => {
                 let digits: String =
                     std::iter::from_fn(|| chars.next_if(char::is_ascii_digit)).collect();
-                JsonValue::Num(digits.parse().map_err(|_| malformed("number out of range"))?)
+                JsonValue::Num(
+                    digits
+                        .parse()
+                        .map_err(|_| malformed("number out of range"))?,
+                )
             }
             _ => return Err(malformed("unsupported value (flat objects only)")),
         };
@@ -451,9 +492,7 @@ fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
     while chars.next_if(|c| c.is_whitespace()).is_some() {}
 }
 
-fn parse_string(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<String, WireError> {
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, WireError> {
     let malformed = |why: &str| WireError::Malformed(why.to_owned());
     if chars.next() != Some('"') {
         return Err(malformed("expected string"));
@@ -479,13 +518,16 @@ fn parse_string(
                     let ch = if (0xD800..0xDC00).contains(&code) {
                         let low = if chars.peek() == Some(&'\\') {
                             chars.next();
-                            if chars.next() == Some('u') { parse_hex4(chars)? } else { 0 }
+                            if chars.next() == Some('u') {
+                                parse_hex4(chars)?
+                            } else {
+                                0
+                            }
                         } else {
                             0
                         };
                         if (0xDC00..0xE000).contains(&low) {
-                            let combined =
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined).unwrap_or('\u{FFFD}')
                         } else {
                             '\u{FFFD}'
@@ -502,9 +544,7 @@ fn parse_string(
     }
 }
 
-fn parse_hex4(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<u32, WireError> {
+fn parse_hex4(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<u32, WireError> {
     let mut code = 0u32;
     for _ in 0..4 {
         let digit = chars
@@ -522,8 +562,14 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Hello { protocol: PROTOCOL_VERSION, pid: 4242 },
-            Message::HelloAck { generation: 7, heartbeat_ms: 20 },
+            Message::Hello {
+                protocol: PROTOCOL_VERSION,
+                pid: 4242,
+            },
+            Message::HelloAck {
+                generation: 7,
+                heartbeat_ms: 20,
+            },
             Message::Dispatch {
                 job: 9,
                 delivery: 2,
@@ -623,7 +669,10 @@ mod tests {
             );
             // The remainder arriving later completes the frame.
             decoder.feed(&frame[cut..]);
-            let payload = decoder.next_frame().unwrap().expect("complete after the rest");
+            let payload = decoder
+                .next_frame()
+                .unwrap()
+                .expect("complete after the rest");
             assert_eq!(Message::decode(&payload).unwrap(), sample_messages()[2]);
         }
     }
@@ -651,7 +700,10 @@ mod tests {
         // printing to stdout) must surface as corruption, not hang.
         let mut decoder = FrameDecoder::new();
         decoder.feed(&[1, 0, 0, 0, 0, 0, 0, 0, b'Z']);
-        assert!(matches!(decoder.next_frame(), Err(WireError::BadCrc { .. })));
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(WireError::BadCrc { .. })
+        ));
     }
 
     #[test]
@@ -678,7 +730,13 @@ mod tests {
     #[test]
     fn field_order_does_not_matter() {
         let msg = Message::decode(b"{\"pid\":12,\"protocol\":1,\"type\":\"hello\"}").unwrap();
-        assert_eq!(msg, Message::Hello { protocol: 1, pid: 12 });
+        assert_eq!(
+            msg,
+            Message::Hello {
+                protocol: 1,
+                pid: 12
+            }
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ enum Behavior {
 }
 
 fn behavior_strategy() -> impl Strategy<Value = Behavior> {
-    prop_oneof![Just(Behavior::Succeed), Just(Behavior::Fail), Just(Behavior::Panic)]
+    prop_oneof![
+        Just(Behavior::Succeed),
+        Just(Behavior::Fail),
+        Just(Behavior::Panic)
+    ]
 }
 
 fn make_task(index: usize, behavior: Behavior) -> Task {

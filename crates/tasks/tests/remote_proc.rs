@@ -22,7 +22,10 @@ fn registry() -> HandlerRegistry {
     registry.register("echo", |job: &WorkerJob| Ok(job.payload.clone()));
     registry.register("fail", |job: &WorkerJob| Err(job.payload.clone()));
     registry.register("sleep-ms", |job: &WorkerJob| {
-        let ms: u64 = job.payload.parse().map_err(|_| "bad sleep payload".to_owned())?;
+        let ms: u64 = job
+            .payload
+            .parse()
+            .map_err(|_| "bad sleep payload".to_owned())?;
         std::thread::sleep(Duration::from_millis(ms));
         Ok("slept".to_owned())
     });
@@ -53,8 +56,7 @@ fn registry() -> HandlerRegistry {
 }
 
 fn worker_cmd() -> WorkerCommand {
-    WorkerCommand::new(std::env::current_exe().expect("own path"))
-        .env("SIMART_REMOTE_WORKER", "1")
+    WorkerCommand::new(std::env::current_exe().expect("own path")).env("SIMART_REMOTE_WORKER", "1")
 }
 
 /// Fast supervision for tests: 15 ms heartbeat, 100 ms grace
@@ -92,16 +94,32 @@ fn round_trip_and_failures() {
     let oks: Vec<_> = (0..8)
         .map(|i| {
             remote
-                .submit(RemoteTaskSpec::new(format!("ok-{i}"), "echo", format!("payload-{i}")))
+                .submit(RemoteTaskSpec::new(
+                    format!("ok-{i}"),
+                    "echo",
+                    format!("payload-{i}"),
+                ))
                 .unwrap()
         })
         .collect();
-    let err = remote.submit(RemoteTaskSpec::new("bad", "fail", "deliberate")).unwrap();
-    let unknown = remote.submit(RemoteTaskSpec::new("odd", "no-such-kind", "")).unwrap();
+    let err = remote
+        .submit(RemoteTaskSpec::new("bad", "fail", "deliberate"))
+        .unwrap();
+    let unknown = remote
+        .submit(RemoteTaskSpec::new("odd", "no-such-kind", ""))
+        .unwrap();
     for (i, handle) in oks.into_iter().enumerate() {
         let report = handle.wait();
-        assert_eq!(report.state, TaskState::Succeeded, "ok-{i}: {:?}", report.error);
-        assert_eq!(report.output.as_deref(), Some(format!("payload-{i}").as_str()));
+        assert_eq!(
+            report.state,
+            TaskState::Succeeded,
+            "ok-{i}: {:?}",
+            report.error
+        );
+        assert_eq!(
+            report.output.as_deref(),
+            Some(format!("payload-{i}").as_str())
+        );
         assert_eq!(report.redeliveries, 0);
         assert!(report.lease_events.is_empty());
     }
@@ -127,9 +145,16 @@ fn round_trip_and_failures() {
 fn torn_frame_recovers_via_redelivery() {
     let remote = RemoteScheduler::with_config(worker_cmd(), 1, config(2)).unwrap();
     let before = remote.worker_pids();
-    let report =
-        remote.submit(RemoteTaskSpec::new("torn", "garbage-once", "")).unwrap().wait();
-    assert_eq!(report.state, TaskState::Succeeded, "error: {:?}", report.error);
+    let report = remote
+        .submit(RemoteTaskSpec::new("torn", "garbage-once", ""))
+        .unwrap()
+        .wait();
+    assert_eq!(
+        report.state,
+        TaskState::Succeeded,
+        "error: {:?}",
+        report.error
+    );
     assert_eq!(report.output.as_deref(), Some("recovered"));
     assert!(report.redeliveries >= 1, "recovered via redelivery");
     assert!(
@@ -153,22 +178,41 @@ fn torn_frame_recovers_via_redelivery() {
 /// history.
 fn worker_death_redelivers_then_quarantines() {
     let remote = RemoteScheduler::with_config(worker_cmd(), 1, config(1)).unwrap();
-    let report = remote.submit(RemoteTaskSpec::new("dies-once", "exit", "once")).unwrap().wait();
-    assert_eq!(report.state, TaskState::Succeeded, "error: {:?}", report.error);
+    let report = remote
+        .submit(RemoteTaskSpec::new("dies-once", "exit", "once"))
+        .unwrap()
+        .wait();
+    assert_eq!(
+        report.state,
+        TaskState::Succeeded,
+        "error: {:?}",
+        report.error
+    );
     assert_eq!(report.output.as_deref(), Some("survived"));
     assert_eq!(report.redeliveries, 1);
-    assert_eq!(report.lease_events, vec!["delivery:1:worker-died".to_owned()]);
+    assert_eq!(
+        report.lease_events,
+        vec!["delivery:1:worker-died".to_owned()]
+    );
 
-    let report =
-        remote.submit(RemoteTaskSpec::new("dies-always", "exit", "always")).unwrap().wait();
+    let report = remote
+        .submit(RemoteTaskSpec::new("dies-always", "exit", "always"))
+        .unwrap()
+        .wait();
     assert_eq!(report.state, TaskState::Quarantined);
     assert_eq!(report.redeliveries, 1);
     let error = report.error.unwrap();
-    assert!(error.contains("redelivery cap (1) exhausted after 2 deliveries"), "{error}");
+    assert!(
+        error.contains("redelivery cap (1) exhausted after 2 deliveries"),
+        "{error}"
+    );
     assert!(error.contains("worker-died"), "{error}");
     assert_eq!(
         report.lease_events,
-        vec!["delivery:1:worker-died".to_owned(), "delivery:2:worker-died".to_owned()]
+        vec![
+            "delivery:1:worker-died".to_owned(),
+            "delivery:2:worker-died".to_owned()
+        ]
     );
     let stats = remote.stats();
     assert!(stats.respawns >= 2);
@@ -183,8 +227,12 @@ fn drain_vs_abandon_reaps_all_pids() {
     // Drain: the in-flight task finishes, the queued one runs too.
     let remote = RemoteScheduler::with_config(worker_cmd(), 1, config(0)).unwrap();
     let pids = remote.worker_pids();
-    let busy = remote.submit(RemoteTaskSpec::new("busy", "sleep-ms", "200")).unwrap();
-    let queued = remote.submit(RemoteTaskSpec::new("queued", "sleep-ms", "1")).unwrap();
+    let busy = remote
+        .submit(RemoteTaskSpec::new("busy", "sleep-ms", "200"))
+        .unwrap();
+    let queued = remote
+        .submit(RemoteTaskSpec::new("queued", "sleep-ms", "1"))
+        .unwrap();
     assert!(remote.shutdown(), "drain runs all work to completion");
     assert_eq!(busy.wait().state, TaskState::Succeeded);
     assert_eq!(queued.wait().state, TaskState::Succeeded);
@@ -196,12 +244,19 @@ fn drain_vs_abandon_reaps_all_pids() {
     // SIGKILLed, and the PIDs are still reaped.
     let remote = RemoteScheduler::with_config(worker_cmd(), 1, config(0)).unwrap();
     let pids = remote.worker_pids();
-    let busy = remote.submit(RemoteTaskSpec::new("busy", "sleep-ms", "30000")).unwrap();
+    let busy = remote
+        .submit(RemoteTaskSpec::new("busy", "sleep-ms", "30000"))
+        .unwrap();
     std::thread::sleep(Duration::from_millis(150)); // let it dispatch
-    let queued = remote.submit(RemoteTaskSpec::new("queued", "sleep-ms", "1")).unwrap();
+    let queued = remote
+        .submit(RemoteTaskSpec::new("queued", "sleep-ms", "1"))
+        .unwrap();
     let started = Instant::now();
     assert_eq!(remote.shutdown_now(), 1, "one queued job discarded");
-    assert!(started.elapsed() < Duration::from_secs(10), "abandon does not drain");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abandon does not drain"
+    );
     let busy = busy.wait();
     assert_eq!(busy.state, TaskState::Failed);
     assert!(busy.error.unwrap().contains("scheduler dropped task"));
@@ -219,14 +274,21 @@ fn backpressure_deadline_and_shutdown_submit() {
     config.submit_deadline = Duration::from_millis(120);
     let remote = RemoteScheduler::with_config(worker_cmd(), 1, config).unwrap();
     // Occupy the only worker, then fill the queue to capacity.
-    let busy = remote.submit(RemoteTaskSpec::new("busy", "sleep-ms", "700")).unwrap();
+    let busy = remote
+        .submit(RemoteTaskSpec::new("busy", "sleep-ms", "700"))
+        .unwrap();
     std::thread::sleep(Duration::from_millis(100)); // ensure dispatch happened
-    let queued = remote.submit(RemoteTaskSpec::new("queued", "sleep-ms", "1")).unwrap();
+    let queued = remote
+        .submit(RemoteTaskSpec::new("queued", "sleep-ms", "1"))
+        .unwrap();
     let started = Instant::now();
     let refused = remote.submit(RemoteTaskSpec::new("overflow", "echo", ""));
     assert_eq!(refused.unwrap_err(), SubmitError::Backpressure);
     let waited = started.elapsed();
-    assert!(waited >= Duration::from_millis(100), "blocked before refusing: {waited:?}");
+    assert!(
+        waited >= Duration::from_millis(100),
+        "blocked before refusing: {waited:?}"
+    );
     assert_eq!(busy.wait().state, TaskState::Succeeded);
     assert_eq!(queued.wait().state, TaskState::Succeeded);
     remote.shutdown();
@@ -248,7 +310,11 @@ fn idle_workers_steal_from_busy_peers() {
         .collect();
     std::thread::sleep(Duration::from_millis(100));
     let burst: Vec<_> = (0..8)
-        .map(|i| remote.submit(RemoteTaskSpec::new(format!("b-{i}"), "echo", "x")).unwrap())
+        .map(|i| {
+            remote
+                .submit(RemoteTaskSpec::new(format!("b-{i}"), "echo", "x"))
+                .unwrap()
+        })
         .collect();
     for handle in pins.into_iter().chain(burst) {
         assert_eq!(handle.wait().state, TaskState::Succeeded);
@@ -262,11 +328,26 @@ fn main() {
     }
     let tests: &[(&str, fn())] = &[
         ("round_trip_and_failures", round_trip_and_failures),
-        ("torn_frame_recovers_via_redelivery", torn_frame_recovers_via_redelivery),
-        ("worker_death_redelivers_then_quarantines", worker_death_redelivers_then_quarantines),
-        ("drain_vs_abandon_reaps_all_pids", drain_vs_abandon_reaps_all_pids),
-        ("backpressure_deadline_and_shutdown_submit", backpressure_deadline_and_shutdown_submit),
-        ("idle_workers_steal_from_busy_peers", idle_workers_steal_from_busy_peers),
+        (
+            "torn_frame_recovers_via_redelivery",
+            torn_frame_recovers_via_redelivery,
+        ),
+        (
+            "worker_death_redelivers_then_quarantines",
+            worker_death_redelivers_then_quarantines,
+        ),
+        (
+            "drain_vs_abandon_reaps_all_pids",
+            drain_vs_abandon_reaps_all_pids,
+        ),
+        (
+            "backpressure_deadline_and_shutdown_submit",
+            backpressure_deadline_and_shutdown_submit,
+        ),
+        (
+            "idle_workers_steal_from_busy_peers",
+            idle_workers_steal_from_busy_peers,
+        ),
     ];
     for (name, test) in tests {
         eprintln!("test remote_proc::{name} ...");

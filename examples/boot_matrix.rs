@@ -14,9 +14,18 @@ use simart::sim::ticks::format_ticks;
 fn main() {
     // Fast triage: the compatibility model classifies all 480
     // configurations without detailed simulation.
-    let mut table = Table::new("Boot outcome counts per CPU model", &[
-        "cpu", "success", "unsupported", "panic", "crash", "deadlock", "timeout",
-    ]);
+    let mut table = Table::new(
+        "Boot outcome counts per CPU model",
+        &[
+            "cpu",
+            "success",
+            "unsupported",
+            "panic",
+            "crash",
+            "deadlock",
+            "timeout",
+        ],
+    );
     for cpu in CpuKind::FIGURE8 {
         let mut counts = [0usize; 6];
         for config in figure8_configs().iter().filter(|c| c.cpu == cpu) {
@@ -38,9 +47,14 @@ fn main() {
 
     // Then simulate a few successful boots in detail to compare boot
     // times across CPU models.
-    let mut timing = Table::new("Detailed boot times (1 core, v5.4, systemd)", &[
-        "cpu", "boot time (simulated)", "estimated simulator host time",
-    ]);
+    let mut timing = Table::new(
+        "Detailed boot times (1 core, v5.4, systemd)",
+        &[
+            "cpu",
+            "boot time (simulated)",
+            "estimated simulator host time",
+        ],
+    );
     for cpu in CpuKind::FIGURE8 {
         let config = SystemConfig::builder()
             .cpu(cpu)

@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fidelity(Fidelity::Smoke)
             .build()
             .map_err(|e| e.to_string())?;
-        let out = config.run_workload(&profile, InputSize::SimSmall).map_err(|e| e.to_string())?;
+        let out = config
+            .run_workload(&profile, InputSize::SimSmall)
+            .map_err(|e| e.to_string())?;
         Ok(ExecOutcome {
             outcome: out.outcome.label().into(),
             sim_ticks: out.sim_ticks,
@@ -75,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "results.simTicks",
         Reduce::Mean,
     );
-    let mut table = Table::new("Mean simulated ticks per application", &["app", "mean ticks"]);
+    let mut table = Table::new(
+        "Mean simulated ticks per application",
+        &["app", "mean ticks"],
+    );
     for (app, mean) in &means {
         table.row(&[app.clone(), format!("{mean:.0}")]);
     }
@@ -84,10 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Targeted query: which runs beat 2 simulated seconds?
     let fast = runs_collection.find(
-        &Filter::eq("status", "done").and(Filter::lt(
-            "results.simTicks",
-            2_000_000_000_000i64,
-        )),
+        &Filter::eq("status", "done").and(Filter::lt("results.simTicks", 2_000_000_000_000i64)),
     );
     println!("{} run(s) finished under 2 simulated seconds:", fast.len());
     for doc in fast {

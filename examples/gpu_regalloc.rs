@@ -18,9 +18,17 @@ fn main() {
     println!("build environment: {env}\n");
 
     let gpu = Gpu::table3();
-    let mut table = Table::new("Register allocators head to head", &[
-        "kernel", "allocator", "shader ticks", "occupancy/CU", "lock retries", "l1 hit rate",
-    ]);
+    let mut table = Table::new(
+        "Register allocators head to head",
+        &[
+            "kernel",
+            "allocator",
+            "shader ticks",
+            "occupancy/CU",
+            "lock retries",
+            "l1 hit rate",
+        ],
+    );
     for app in ["FAMutex", "MatrixTranspose", "fwd_pool", "2dshfl"] {
         assert!(env.supports(app), "{app} must build under {env}");
         let kernel = workloads::by_name(app).expect("known workload");

@@ -11,7 +11,10 @@ use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::workload::{parsec_profile, InputSize, PARSEC_APPS};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SystemConfig::builder().cores(4).fidelity(Fidelity::Smoke).build()?;
+    let config = SystemConfig::builder()
+        .cores(4)
+        .fidelity(Fidelity::Smoke)
+        .build()?;
 
     // Boot once, checkpoint.
     let checkpoint = config.checkpoint_boot()?;
@@ -23,15 +26,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run several "host scripts" (benchmarks) against the checkpoint,
     // and compare the simulator time saved vs. cold boots.
-    let mut table = Table::new("Checkpointed vs cold runs", &[
-        "app", "exec time (sim s)", "host s (resume)", "host s (cold)", "saved",
-    ]);
+    let mut table = Table::new(
+        "Checkpointed vs cold runs",
+        &[
+            "app",
+            "exec time (sim s)",
+            "host s (resume)",
+            "host s (cold)",
+            "saved",
+        ],
+    );
     let mut total_saved = 0.0;
     for app in PARSEC_APPS.iter().take(5) {
         let profile = parsec_profile(app).expect("known app");
         let resumed = config.run_workload_from(&checkpoint, &profile, InputSize::SimSmall)?;
         let cold = config.run_workload(&profile, InputSize::SimSmall)?;
-        assert_eq!(resumed.sim_ticks, cold.sim_ticks, "resume changes nothing measured");
+        assert_eq!(
+            resumed.sim_ticks, cold.sim_ticks,
+            "resume changes nothing measured"
+        );
         let saved = cold.host_seconds - resumed.host_seconds;
         total_saved += saved;
         table.row(&[

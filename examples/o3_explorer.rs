@@ -18,9 +18,10 @@ fn main() {
         ("streamcluster", "memory-bound"),
         ("swaptions", "compute-bound"),
     ];
-    let mut table = Table::new("O3 design space: IPC by ROB size and issue width", &[
-        "workload", "character", "ROB", "width", "IPC",
-    ]);
+    let mut table = Table::new(
+        "O3 design space: IPC by ROB size and issue width",
+        &["workload", "character", "ROB", "width", "IPC"],
+    );
     for (app, character) in workloads {
         let profile = parsec_profile(app).expect("known app");
         for rob_size in [32, 96, 192, 384] {

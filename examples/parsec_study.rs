@@ -22,8 +22,12 @@ fn main() {
     );
     for app in ["blackscholes", "dedup", "ferret"] {
         for cores in usecase1::CORE_COUNTS {
-            let bionic = data.get(app, OsImage::Ubuntu1804, cores).expect("row exists");
-            let focal = data.get(app, OsImage::Ubuntu2004, cores).expect("row exists");
+            let bionic = data
+                .get(app, OsImage::Ubuntu1804, cores)
+                .expect("row exists");
+            let focal = data
+                .get(app, OsImage::Ubuntu2004, cores)
+                .expect("row exists");
             let b = usecase1::seconds(bionic.exec_ticks);
             let f = usecase1::seconds(focal.exec_ticks);
             table.row(&[
@@ -32,7 +36,11 @@ fn main() {
                 format!("{b:.4}"),
                 format!("{f:.4}"),
                 format!("{:+.4}", b - f),
-                if f < b { "20.04".into() } else { "18.04".into() },
+                if f < b {
+                    "20.04".into()
+                } else {
+                    "18.04".into()
+                },
             ]);
         }
     }

@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let [repo, binary, script] = suite::register_simulator(registry, "20.1.0.4", "X86")?;
         let kernel =
             suite::register_kernel(registry, &KernelResource::standard(KernelVersion::V5_4))?;
-        let disk =
-            suite::register_disk_image(registry, &disks::parsec_image(OsImage::Ubuntu2004))?;
+        let disk = suite::register_disk_image(registry, &disks::parsec_image(OsImage::Ubuntu2004))?;
         Ok((binary.id(), repo.id(), script.id(), kernel.id(), disk.id()))
     })?;
     println!("registered {} artifacts", experiment.artifact_count());
@@ -55,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fidelity(Fidelity::Smoke)
             .build()
             .map_err(|e| e.to_string())?;
-        let output = config.run_workload(&profile, InputSize::SimSmall).map_err(|e| e.to_string())?;
+        let output = config
+            .run_workload(&profile, InputSize::SimSmall)
+            .map_err(|e| e.to_string())?;
         Ok(ExecOutcome {
             outcome: output.outcome.label().to_owned(),
             sim_ticks: output.sim_ticks,
@@ -67,10 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 8. Query the database.
     for doc in experiment.query_runs(&Filter::eq("status", "done")) {
-        let ticks = doc.at("results.simTicks").and_then(simart::db::Value::as_int).unwrap_or(0);
+        let ticks = doc
+            .at("results.simTicks")
+            .and_then(simart::db::Value::as_int)
+            .unwrap_or(0);
         println!(
             "run {} -> {} simulated ticks",
-            doc.at("hash").and_then(simart::db::Value::as_str).unwrap_or("?"),
+            doc.at("hash")
+                .and_then(simart::db::Value::as_str)
+                .unwrap_or("?"),
             ticks
         );
     }

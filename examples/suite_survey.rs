@@ -10,11 +10,15 @@ use simart::sim::system::{Fidelity, SystemConfig};
 use simart::sim::workload::{gapbs_profile, npb_profile, InputSize, GAPBS_APPS, NPB_APPS};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SystemConfig::builder().cores(8).fidelity(Fidelity::Smoke).build()?;
+    let config = SystemConfig::builder()
+        .cores(8)
+        .fidelity(Fidelity::Smoke)
+        .build()?;
 
-    let mut npb = Table::new("NAS Parallel Benchmarks (8 cores, SE mode)", &[
-        "kernel", "insts", "exec time (sim s)", "IPC/core",
-    ]);
+    let mut npb = Table::new(
+        "NAS Parallel Benchmarks (8 cores, SE mode)",
+        &["kernel", "insts", "exec time (sim s)", "IPC/core"],
+    );
     for app in NPB_APPS {
         let profile = npb_profile(app).expect("known kernel");
         let out = config.run_se_workload(&profile, InputSize::SimSmall)?;
@@ -27,9 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", npb.render());
 
-    let mut gapbs = Table::new("GAP Benchmark Suite (8 cores, full system)", &[
-        "kernel", "insts", "exec time (sim s)", "IPC/core",
-    ]);
+    let mut gapbs = Table::new(
+        "GAP Benchmark Suite (8 cores, full system)",
+        &["kernel", "insts", "exec time (sim s)", "IPC/core"],
+    );
     for app in GAPBS_APPS {
         let profile = gapbs_profile(app).expect("known kernel");
         let out = config.run_workload(&profile, InputSize::SimSmall)?;

@@ -25,8 +25,12 @@ fn fs_config(cores: u32) -> SystemConfig {
 fn full_system_runs_are_bit_identical() {
     let profile = parsec_profile("streamcluster").unwrap();
     for cores in [1, 4] {
-        let a = fs_config(cores).run_workload(&profile, InputSize::SimSmall).unwrap();
-        let b = fs_config(cores).run_workload(&profile, InputSize::SimSmall).unwrap();
+        let a = fs_config(cores)
+            .run_workload(&profile, InputSize::SimSmall)
+            .unwrap();
+        let b = fs_config(cores)
+            .run_workload(&profile, InputSize::SimSmall)
+            .unwrap();
         assert_eq!(a.sim_ticks, b.sim_ticks);
         assert_eq!(a.instructions, b.instructions);
         assert_eq!(a.stats.dump(), b.stats.dump(), "every statistic matches");
@@ -35,7 +39,11 @@ fn full_system_runs_are_bit_identical() {
 
 #[test]
 fn boots_are_bit_identical_across_memory_systems() {
-    for mem in [MemKind::classic_coherent(), MemKind::RubyMi, MemKind::RubyMesiTwoLevel] {
+    for mem in [
+        MemKind::classic_coherent(),
+        MemKind::RubyMi,
+        MemKind::RubyMesiTwoLevel,
+    ] {
         let build = || {
             SystemConfig::builder()
                 .cpu(CpuKind::O3)
@@ -70,11 +78,17 @@ fn different_configurations_diverge() {
     // Determinism must not collapse into insensitivity: the knobs the
     // paper studies genuinely change results.
     let profile = parsec_profile("ferret").unwrap();
-    let one = fs_config(1).run_workload(&profile, InputSize::SimSmall).unwrap();
-    let eight = fs_config(8).run_workload(&profile, InputSize::SimSmall).unwrap();
+    let one = fs_config(1)
+        .run_workload(&profile, InputSize::SimSmall)
+        .unwrap();
+    let eight = fs_config(8)
+        .run_workload(&profile, InputSize::SimSmall)
+        .unwrap();
     assert_ne!(one.sim_ticks, eight.sim_ticks);
 
-    let bionic = fs_config(2).run_workload(&profile, InputSize::SimSmall).unwrap();
+    let bionic = fs_config(2)
+        .run_workload(&profile, InputSize::SimSmall)
+        .unwrap();
     let focal = SystemConfig::builder()
         .cpu(CpuKind::TimingSimple)
         .cores(2)

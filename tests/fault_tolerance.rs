@@ -92,7 +92,10 @@ fn faulted_campaign_resumes_to_completion() {
     let (all_ids, done_in_first) = {
         let experiment = Experiment::new("ft");
         let ids = register_components(&experiment);
-        let runs: Vec<FsRun> = apps.iter().map(|app| make_run(&experiment, ids, app)).collect();
+        let runs: Vec<FsRun> = apps
+            .iter()
+            .map(|app| make_run(&experiment, ids, app))
+            .collect();
         let mut all_ids: Vec<_> = runs.iter().map(|r| r.id()).collect();
         let injector = Arc::new(FaultInjector::new(42).errors(0.6));
         let options = LaunchOptions::default()
@@ -101,14 +104,20 @@ fn faulted_campaign_resumes_to_completion() {
         let summary = experiment.launch_with(runs, &pool, succeed, &options);
         assert_eq!(summary.total(), apps.len());
         assert_eq!(summary.done + summary.failed, apps.len());
-        assert!(injector.injected_errors() > 0, "the injector actually fired");
+        assert!(
+            injector.injected_errors() > 0,
+            "the injector actually fired"
+        );
 
         // A seventh run was recorded and mid-flight when the session
         // crashed: its status is stranded at Running forever.
         let stranded = make_run(&experiment, ids, "stranded");
         all_ids.push(stranded.id());
         experiment.runs().record(&stranded).unwrap();
-        experiment.runs().set_status(stranded.id(), RunStatus::Running).unwrap();
+        experiment
+            .runs()
+            .set_status(stranded.id(), RunStatus::Running)
+            .unwrap();
 
         experiment.database().save(&dir).unwrap();
         (all_ids, summary.done)
@@ -147,12 +156,18 @@ fn faulted_campaign_resumes_to_completion() {
         let events = experiment.runs().events(id);
         // `Done` is a sink: written exactly once, and nothing follows it.
         let done_events = events.iter().filter(|e| *e == "status:done").count();
-        assert_eq!(done_events, 1, "terminal success written exactly once: {events:?}");
+        assert_eq!(
+            done_events, 1,
+            "terminal success written exactly once: {events:?}"
+        );
         assert_eq!(events.last().map(String::as_str), Some("status:done"));
         // Each completed launch seals at most one terminal status: a run
         // sees either one (done straight away) or two (failed in the
         // first session, done on resume) — never more.
-        let terminal = events.iter().filter(|e| TERMINAL_EVENTS.contains(&e.as_str())).count();
+        let terminal = events
+            .iter()
+            .filter(|e| TERMINAL_EVENTS.contains(&e.as_str()))
+            .count();
         assert!(
             (1..=2).contains(&terminal),
             "one terminal status per completed launch: {events:?}"
@@ -166,13 +181,17 @@ fn fault_and_retry_schedules_are_reproducible() {
     let histories = |seed: u64| {
         let experiment = Experiment::new("det");
         let ids = register_components(&experiment);
-        let runs: Vec<FsRun> =
-            ["x", "y", "z"].iter().map(|app| make_run(&experiment, ids, app)).collect();
+        let runs: Vec<FsRun> = ["x", "y", "z"]
+            .iter()
+            .map(|app| make_run(&experiment, ids, app))
+            .collect();
         let run_ids: Vec<_> = runs.iter().map(|r| r.id()).collect();
         let pool = PoolScheduler::new(2);
         let options = LaunchOptions::default()
             .retry_policy(
-                RetryPolicy::fixed(Duration::from_millis(1)).max_attempts(3).seed(seed),
+                RetryPolicy::fixed(Duration::from_millis(1))
+                    .max_attempts(3)
+                    .seed(seed),
             )
             .fault(Arc::new(FaultInjector::new(seed).errors(0.5)));
         experiment.launch_with(runs, &pool, succeed, &options);

@@ -8,9 +8,7 @@ use simart::tasks::{BrokerScheduler, PoolScheduler, Scheduler, SerialScheduler};
 use simart::{ExecOutcome, Experiment};
 use std::time::Duration;
 
-fn experiment_with_components(
-    name: &str,
-) -> (Experiment, [simart::artifact::ArtifactId; 5]) {
+fn experiment_with_components(name: &str) -> (Experiment, [simart::artifact::ArtifactId; 5]) {
     let experiment = Experiment::new(name);
     let repo = experiment
         .register_artifact(
@@ -48,7 +46,10 @@ fn experiment_with_components(
                 .content(ContentSource::bytes(b"img".to_vec())),
         )
         .unwrap();
-    (experiment, [binary.id(), repo.id(), script.id(), kernel.id(), disk.id()])
+    (
+        experiment,
+        [binary.id(), repo.id(), script.id(), kernel.id(), disk.id()],
+    )
 }
 
 fn make_runs(
@@ -164,5 +165,12 @@ fn concurrent_launches_share_one_database_safely() {
         })
     });
     assert_eq!(summary.done, 32);
-    assert_eq!(experiment.runs().find_by_status(RunStatus::Done).unwrap().len(), 32);
+    assert_eq!(
+        experiment
+            .runs()
+            .find_by_status(RunStatus::Done)
+            .unwrap()
+            .len(),
+        32
+    );
 }

@@ -11,12 +11,19 @@ fn table_iii_parameters() {
     assert_eq!(config.simds_per_cu, 4, "SIMD16s per CU");
     assert_eq!(config.simd_width, 16, "SIMD16 lanes");
     assert_eq!(config.clock_mhz, 1000, "GPU frequency 1 GHz");
-    assert_eq!(config.max_wavefronts_per_simd, 10, "max wavefronts per SIMD16");
+    assert_eq!(
+        config.max_wavefronts_per_simd, 10,
+        "max wavefronts per SIMD16"
+    );
     assert_eq!(config.max_wavefronts_per_cu(), 40, "40 per CU");
     assert_eq!(config.vregs_per_cu, 8 * 1024, "8K vector registers per CU");
     assert_eq!(config.sregs_per_cu, 8 * 1024, "8K scalar registers per CU");
     assert_eq!(config.lds_bytes_per_cu, 64 * 1024, "64 KB LDS per CU");
-    assert_eq!(config.l1i_bytes, 32 * 1024, "32 KB L1I shared between every 4 CUs");
+    assert_eq!(
+        config.l1i_bytes,
+        32 * 1024,
+        "32 KB L1I shared between every 4 CUs"
+    );
     assert_eq!(config.l1d_bytes_per_cu, 16 * 1024, "16 KB L1D per CU");
     assert_eq!(config.l2_bytes, 256 * 1024, "256 KB unified L2");
 }
@@ -33,7 +40,10 @@ fn table_iv_inputs_are_preserved() {
     assert_eq!(workloads::input_of("dynamic_shared"), "16x16");
     assert_eq!(workloads::input_of("inline_asm"), "1024x1024");
     assert_eq!(workloads::input_of("bwd_bypass"), "NCHW = 100, 1000, 1, 1");
-    assert_eq!(workloads::input_of("bwd_composed_model"), "NCHW = 32, 32, 3, 1");
+    assert_eq!(
+        workloads::input_of("bwd_composed_model"),
+        "NCHW = 32, 32, 3, 1"
+    );
     assert_eq!(workloads::input_of("fwd_pool"), "NCHW = 100, 3, 256, 256");
     assert_eq!(workloads::input_of("LULESH"), "1 iteration");
     assert_eq!(workloads::input_of("PENNANT"), "noh");

@@ -21,7 +21,9 @@ fn execute(params: &[String]) -> (u64, String) {
     let cores: u32 = params[2].parse().expect("core count");
     let profile = parsec_profile(app).expect("known app");
     let config = usecase1::system_config(os, cores, Fidelity::Smoke);
-    let output = config.run_workload(&profile, InputSize::SimSmall).expect("runs");
+    let output = config
+        .run_workload(&profile, InputSize::SimSmall)
+        .expect("runs");
     (output.sim_ticks, output.stats.dump())
 }
 
@@ -84,7 +86,10 @@ fn experiments_reproduce_from_database_records_alone() {
             .iter()
             .map(|doc| {
                 (
-                    doc.at("params.0").and_then(Value::as_str).unwrap().to_owned(),
+                    doc.at("params.0")
+                        .and_then(Value::as_str)
+                        .unwrap()
+                        .to_owned(),
                     doc.at("results.simTicks").and_then(Value::as_int).unwrap() as u64,
                 )
             })
@@ -94,7 +99,9 @@ fn experiments_reproduce_from_database_records_alone() {
     // Phase 2: a different "researcher" loads only the database and
     // re-executes the experiments described by the run records.
     let restored = Database::load(&dir).unwrap();
-    let run_docs = restored.collection("runs").find(&Filter::eq("status", "done"));
+    let run_docs = restored
+        .collection("runs")
+        .find(&Filter::eq("status", "done"));
     assert_eq!(run_docs.len(), 2);
     for doc in run_docs {
         let params: Vec<String> = doc
@@ -105,8 +112,7 @@ fn experiments_reproduce_from_database_records_alone() {
             .map(|p| p.as_str().unwrap().to_owned())
             .collect();
         let (ticks, _) = execute(&params);
-        let recorded =
-            doc.at("results.simTicks").and_then(Value::as_int).unwrap() as u64;
+        let recorded = doc.at("results.simTicks").and_then(Value::as_int).unwrap() as u64;
         assert_eq!(
             ticks, recorded,
             "re-executing {params:?} from the database reproduces the recorded result"
@@ -137,7 +143,13 @@ fn artifact_documentation_survives_the_database() {
     let docs = experiment.database().collection("artifacts").all();
     assert_eq!(docs.len(), 1);
     let documentation = docs[0].at("documentation").and_then(Value::as_str).unwrap();
-    assert!(documentation.contains("4.19.83"), "reproduction docs stored: {documentation}");
+    assert!(
+        documentation.contains("4.19.83"),
+        "reproduction docs stored: {documentation}"
+    );
     let command = docs[0].at("command").and_then(Value::as_str).unwrap();
-    assert!(command.contains("git checkout"), "creation command stored: {command}");
+    assert!(
+        command.contains("git checkout"),
+        "creation command stored: {command}"
+    );
 }

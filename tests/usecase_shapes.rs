@@ -16,12 +16,19 @@ fn use_case_1_cross_stack_findings() {
     // Finding 1: applications typically take longer on Ubuntu 18.04.
     let fig6 = data.figure6();
     let positive = fig6.iter().filter(|(_, _, d)| *d > 0.0).count();
-    assert!(positive * 10 >= fig6.len() * 9, "{positive}/{} positive", fig6.len());
+    assert!(
+        positive * 10 >= fig6.len() * 9,
+        "{positive}/{} positive",
+        fig6.len()
+    );
 
     // Finding 2: the gap narrows as core count rises (suite-wide).
     let avg_diff = |cores: u32| {
-        let diffs: Vec<f64> =
-            fig6.iter().filter(|(_, c, _)| *c == cores).map(|(_, _, d)| *d).collect();
+        let diffs: Vec<f64> = fig6
+            .iter()
+            .filter(|(_, c, _)| *c == cores)
+            .map(|(_, _, d)| *d)
+            .collect();
         diffs.iter().sum::<f64>() / diffs.len() as f64
     };
     assert!(avg_diff(1) > avg_diff(2));
@@ -43,14 +50,24 @@ fn use_case_2_boot_matrix_findings() {
     // kvm works in all cases; Atomic only with Classic memory; Timing
     // fails only >1 core on the (incoherent) Classic system.
     assert_eq!(data.success_rate(CpuKind::Kvm), 1.0);
-    assert_eq!(data.outcome_counts(CpuKind::AtomicSimple)["unsupported"], 80);
-    assert_eq!(data.outcome_counts(CpuKind::TimingSimple)["unsupported"], 30);
+    assert_eq!(
+        data.outcome_counts(CpuKind::AtomicSimple)["unsupported"],
+        80
+    );
+    assert_eq!(
+        data.outcome_counts(CpuKind::TimingSimple)["unsupported"],
+        30
+    );
 
     // O3: ~40% success with the paper's exact failure breakdown.
     let o3 = data.outcome_counts(CpuKind::O3);
     assert_eq!(o3["kernel-panic"], o3_counts::PANICS, "27 kernel panics");
     assert_eq!(o3["sim-crash"], o3_counts::CRASHES, "11 segfaults");
-    assert_eq!(o3["deadlock"], o3_counts::DEADLOCKS, "4 MI_example deadlocks");
+    assert_eq!(
+        o3["deadlock"],
+        o3_counts::DEADLOCKS,
+        "4 MI_example deadlocks"
+    );
     let rate = data.success_rate(CpuKind::O3);
     assert!((0.35..=0.45).contains(&rate), "O3 success rate {rate}");
 }
