@@ -92,6 +92,12 @@ pub enum LintCode {
     /// coordinator crash, so the run's recorded status cannot be
     /// trusted to reflect its last delivery.
     OrphanedRemoteAttempt,
+    /// SA0016: a run's event log records a checkpoint restore or save
+    /// whose content-addressed key disagrees with the `checkpoint-key`
+    /// the run's own configuration hashes to — the boot prefix the run
+    /// actually used was built from a *different* input, so its results
+    /// cannot be attributed to the recorded configuration.
+    StaleCheckpoint,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -114,6 +120,7 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::JournalDivergence,
     LintCode::QuarantinedRunReferenced,
     LintCode::OrphanedRemoteAttempt,
+    LintCode::StaleCheckpoint,
     LintCode::DataRace,
 ];
 
@@ -136,6 +143,7 @@ impl LintCode {
             LintCode::JournalDivergence => "SA0013",
             LintCode::QuarantinedRunReferenced => "SA0014",
             LintCode::OrphanedRemoteAttempt => "SA0015",
+            LintCode::StaleCheckpoint => "SA0016",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -158,6 +166,7 @@ impl LintCode {
             LintCode::JournalDivergence => "journal-divergence",
             LintCode::QuarantinedRunReferenced => "quarantined-run-referenced",
             LintCode::OrphanedRemoteAttempt => "orphaned-remote-attempt",
+            LintCode::StaleCheckpoint => "stale-checkpoint",
             LintCode::DataRace => "data-race",
         }
     }
@@ -170,7 +179,8 @@ impl LintCode {
             | LintCode::DuplicateRunHash
             | LintCode::StatusEventMismatch
             | LintCode::UnreplayedJournal
-            | LintCode::OrphanedRemoteAttempt => Severity::Warning,
+            | LintCode::OrphanedRemoteAttempt
+            | LintCode::StaleCheckpoint => Severity::Warning,
             _ => Severity::Error,
         }
     }

@@ -73,6 +73,10 @@ pub fn self_test() -> Result<String, String> {
             "remote-dispatch:2:g2",
             "status:running",
             "remote-ack:2:g2",
+            // Checkpoint controls: a restore (or first-boot save) under
+            // the key the run's own configuration declared is fine.
+            "checkpoint-key:00f0e1d2c3b4a596",
+            "checkpoint-restore:00f0e1d2c3b4a596",
             "status:done",
         ],
     );
@@ -174,6 +178,23 @@ pub fn self_test() -> Result<String, String> {
         &[],
         &["status:queued", "status:running", "remote-dispatch:1:g1"],
     );
+    // SA0016: a checkpoint restore whose key disagrees with the key the
+    // run's configuration declared (the boot prefix came from a
+    // different input than the one on record).
+    seed_run(
+        &db,
+        "run-9",
+        "rh-9",
+        "done",
+        &[],
+        &[
+            "status:queued",
+            "status:running",
+            "checkpoint-key:00f0e1d2c3b4a596",
+            "checkpoint-restore:ffffffffffffffff",
+            "status:done",
+        ],
+    );
 
     let diags = lint_database(&db);
     let expect = [
@@ -188,6 +209,7 @@ pub fn self_test() -> Result<String, String> {
         LintCode::StatusEventMismatch,
         LintCode::QuarantinedRunReferenced,
         LintCode::OrphanedRemoteAttempt,
+        LintCode::StaleCheckpoint,
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {
@@ -449,6 +471,42 @@ mod tests {
         assert!(diags.is_empty(), "{diags:?}");
         // No remote events at all: nothing to flag.
         assert!(scan(&["status:queued", "status:running", "status:done"]).is_empty());
+    }
+
+    #[test]
+    fn stale_checkpoints_are_flagged_but_matching_ones_are_not() {
+        use crate::lints::lint_checkpoint_events;
+        fn scan(events: &[&str]) -> Vec<Diagnostic> {
+            let doc = Value::map([(
+                "events",
+                Value::array(events.iter().map(|e| Value::from(*e))),
+            )]);
+            let mut diags = Vec::new();
+            lint_checkpoint_events(&doc, "run:t", &mut diags);
+            diags
+        }
+        // Restore and save under the declared key: clean. (A first boot
+        // journals key + save; a warm run journals key + restore.)
+        assert!(scan(&["checkpoint-key:aa", "checkpoint-save:aa"]).is_empty());
+        assert!(scan(&["checkpoint-key:aa", "checkpoint-restore:aa"]).is_empty());
+        // No checkpoint events at all: nothing to flag.
+        assert!(scan(&["status:queued", "status:done"]).is_empty());
+        // A restore under a different key than the configuration
+        // declared is stale.
+        let diags = scan(&["checkpoint-key:aa", "checkpoint-restore:bb"]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::StaleCheckpoint);
+        assert!(diags[0].message.contains("bb"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("aa"), "{}", diags[0].message);
+        // A save with no declared key cannot be tied to the run.
+        let diags = scan(&["checkpoint-save:aa"]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::StaleCheckpoint);
+        assert!(
+            diags[0].message.contains("no prior"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

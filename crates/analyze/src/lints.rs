@@ -928,9 +928,9 @@ impl Lint for BlobFileLint {
 }
 
 // ---------------------------------------------------------------------
-// SA0006 / SA0007 / SA0011 / SA0015 — event-log replay lints. A run's
-// findings depend only on its own document, so incremental means
-// "recompute the one document that changed".
+// SA0006 / SA0007 / SA0011 / SA0015 / SA0016 — event-log replay lints.
+// A run's findings depend only on its own document, so incremental
+// means "recompute the one document that changed".
 
 #[derive(Default)]
 struct RunLogLint {
@@ -943,6 +943,7 @@ impl RunLogLint {
         let mut diags = Vec::new();
         replay_events(doc, &subject, &mut diags);
         lint_remote_attempts(doc, &subject, &mut diags);
+        lint_checkpoint_events(doc, &subject, &mut diags);
         if diags.is_empty() {
             self.findings.remove(id);
         } else {
@@ -1701,6 +1702,59 @@ pub(crate) fn lint_remote_attempts(doc: &Value, subject: &str, diagnostics: &mut
                  orphaned by a coordinator crash?"
             ),
         ));
+    }
+}
+
+/// Scans a run's event log for stale checkpoints (SA0016): every
+/// `checkpoint-restore:<key>` / `checkpoint-save:<key>` must use the
+/// key the run's own `checkpoint-key:<key>` event declares. The
+/// executor journals `checkpoint-key` with the key its configuration
+/// hashes to *before* touching the store, so a restore or save under a
+/// different key means the boot prefix the run used was built from a
+/// different input than the one on record — its results cannot be
+/// attributed to the recorded configuration.
+pub(crate) fn lint_checkpoint_events(
+    doc: &Value,
+    subject: &str,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let mut declared: Option<&str> = None;
+    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
+        let Some(event) = event.as_str() else {
+            continue;
+        };
+        if let Some(key) = event.strip_prefix("checkpoint-key:") {
+            declared = Some(key);
+            continue;
+        }
+        let Some((verb, used)) = ["restore", "save"].iter().find_map(|verb| {
+            event
+                .strip_prefix(&format!("checkpoint-{verb}:"))
+                .map(|key| (*verb, key))
+        }) else {
+            continue;
+        };
+        match declared {
+            None => diagnostics.push(Diagnostic::new(
+                LintCode::StaleCheckpoint,
+                subject.to_owned(),
+                format!(
+                    "event log records checkpoint-{verb}:{used} with no prior \
+                     checkpoint-key event — the boot prefix cannot be tied to \
+                     the run's configuration"
+                ),
+            )),
+            Some(want) if want != used => diagnostics.push(Diagnostic::new(
+                LintCode::StaleCheckpoint,
+                subject.to_owned(),
+                format!(
+                    "checkpoint-{verb} used key {used} but the run's \
+                     configuration hashes to checkpoint key {want} — stale \
+                     checkpoint (input changed since it was saved?)"
+                ),
+            )),
+            Some(_) => {}
+        }
     }
 }
 

@@ -214,6 +214,7 @@ pub fn run(fidelity: Fidelity) -> Uc1Data {
             sim_ticks: output.sim_ticks,
             payload: output.stats.dump().into_bytes(),
             success: output.outcome.is_success(),
+            events: vec![],
         })
     });
     assert_eq!(

@@ -141,6 +141,7 @@ pub fn run(fidelity: Fidelity) -> Uc2Data {
             // Workflow-level success: the *measurement* completed; the
             // boot outcome itself is the datum.
             success: true,
+            events: vec![],
         })
     });
 

@@ -68,6 +68,7 @@ fn main() {
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
                  \u{20}                 --scheduler pool|broker|remote  --workers N\n\
                  \u{20}                 --max-redeliveries N  --kill-rate R\n\
+                 \u{20}                 --checkpoint-dir DIR (boot once, restore many)\n\
                  \u{20}                 --check (lint the database after the campaign)\n\
                  metrics options:  --db DIR  --format text|json\n\
                  quarantine opts:  --db DIR  --format text|json  --release ID\n\
@@ -353,6 +354,15 @@ fn campaign(args: &[String]) -> i32 {
         .unwrap_or(1);
 
     let check_after = args.iter().any(|a| a == "--check");
+
+    // "Boot once, restore many": export the checkpoint directory so
+    // the shared executor (and any spawned `simart worker` process,
+    // which inherits the environment) restores boot prefixes from the
+    // content-addressed store instead of re-simulating them.
+    if let Some(dir) = flag(args, "--checkpoint-dir") {
+        std::env::set_var(simart::remote::CHECKPOINT_DIR_ENV, &dir);
+        println!("boot checkpoints: {dir}");
+    }
 
     // A campaign with a database directory runs *attached*: every run
     // insert and status transition appends to the write-ahead journal

@@ -76,7 +76,7 @@ impl From<DbError> for ExperimentError {
 
 /// What executing one run produced (returned by the user's executor
 /// closure).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExecOutcome {
     /// Short outcome label (`success`, `kernel-panic`, …).
     pub outcome: String,
@@ -86,6 +86,10 @@ pub struct ExecOutcome {
     pub payload: Vec<u8>,
     /// Whether the run counts as successful.
     pub success: bool,
+    /// Provenance events the executor wants journaled on the run
+    /// record (e.g. the `checkpoint-key:`/`checkpoint-restore:`/
+    /// `checkpoint-save:` trail audited by `simart check`'s SA0016).
+    pub events: Vec<String>,
 }
 
 /// Aggregate summary of a launched batch.
@@ -387,6 +391,12 @@ impl Experiment {
                 };
                 let (disposition, result) = match result {
                     Ok(outcome) => {
+                        // Executor-provided provenance (e.g. the
+                        // checkpoint save/restore trail) is journaled
+                        // before the results land.
+                        for event in &outcome.events {
+                            let _ = store.log_event(run.id(), event);
+                        }
                         let _ = store.attach_results(
                             run.id(),
                             outcome.sim_ticks,
@@ -639,6 +649,9 @@ impl Experiment {
                     // status differs.
                     match report.output.as_deref().map(crate::remote::decode_outcome) {
                         Some(Ok(outcome)) => {
+                            for event in &outcome.events {
+                                let _ = self.runs.log_event(run_id, event);
+                            }
                             let _ = self.runs.attach_results(
                                 run_id,
                                 outcome.sim_ticks,
@@ -796,6 +809,7 @@ mod tests {
                 sim_ticks: 1000 + run.params()[0].len() as u64,
                 payload: format!("stats for {}", run.params()[0]).into_bytes(),
                 success: true,
+                events: vec![],
             })
         });
         assert_eq!(summary.done, 3);
@@ -819,6 +833,7 @@ mod tests {
                 sim_ticks: 1,
                 payload: vec![],
                 success: true,
+                events: vec![],
             })
         };
         let s1 = experiment.launch(first, &pool, ok);
@@ -864,6 +879,7 @@ mod tests {
                         sim_ticks: 7,
                         payload: vec![],
                         success: true,
+                        events: vec![],
                     })
                 }
             },
@@ -919,6 +935,7 @@ mod tests {
                             sim_ticks: 1,
                             payload: vec![],
                             success: true,
+                            events: vec![],
                         })
                     }
                 },
@@ -939,6 +956,7 @@ mod tests {
                         sim_ticks: 1,
                         payload: vec![],
                         success: true,
+                        events: vec![],
                     })
                 }
             },
@@ -986,6 +1004,7 @@ mod tests {
                     sim_ticks: 9,
                     payload: vec![],
                     success: true,
+                    events: vec![],
                 })
             },
             &LaunchOptions::resuming(),
@@ -1016,6 +1035,7 @@ mod tests {
                     sim_ticks: 1,
                     payload: vec![],
                     success: true,
+                    events: vec![],
                 })
             },
             &options,
@@ -1042,6 +1062,7 @@ mod tests {
                 sim_ticks: 42,
                 payload: vec![],
                 success: true,
+                events: vec![],
             })
         });
         let done = experiment.query_runs(&Filter::eq("status", "done"));
@@ -1061,6 +1082,7 @@ mod tests {
                 sim_ticks: 1,
                 payload: vec![],
                 success: true,
+                events: vec![],
             })
         });
         let kernel = ids[3];

@@ -23,6 +23,7 @@
 use crate::experiment::ExecOutcome;
 use simart_db::json::{from_json, to_json};
 use simart_db::Value;
+use simart_fullsim::checkpoint::CheckpointStore;
 use simart_fullsim::system::{Fidelity, SystemConfig};
 use simart_tasks::{HandlerRegistry, WorkerJob};
 
@@ -76,6 +77,10 @@ pub fn encode_outcome(outcome: &ExecOutcome) -> String {
             Value::from(String::from_utf8_lossy(&outcome.payload).into_owned()),
         ),
         ("success", Value::from(outcome.success)),
+        (
+            "events",
+            Value::array(outcome.events.iter().map(|e| Value::from(e.clone()))),
+        ),
     ]))
 }
 
@@ -101,13 +106,38 @@ pub fn decode_outcome(text: &str) -> Result<ExecOutcome, String> {
             .at("success")
             .and_then(Value::as_bool)
             .ok_or_else(|| "campaign outcome is missing `success`".to_owned())?,
+        // Absent in payloads from pre-checkpoint workers: an empty
+        // trail, not a malformation.
+        events: doc
+            .at("events")
+            .and_then(Value::as_array)
+            .map(|events| {
+                events
+                    .iter()
+                    .filter_map(|e| e.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .unwrap_or_default(),
     })
 }
+
+/// Environment variable naming the boot-checkpoint directory.
+///
+/// `simart campaign --checkpoint-dir DIR` exports it so the
+/// "boot once, restore many" path works identically for the in-process
+/// schedulers *and* the `simart worker` processes the remote scheduler
+/// spawns (children inherit the coordinator's environment).
+pub const CHECKPOINT_DIR_ENV: &str = "SIMART_CHECKPOINT_DIR";
 
 /// Boots the configuration a campaign run's parameters describe
 /// (`[cpu, cores, ...]` from the sweep cross-product) — the shared
 /// executor behind both the in-process campaign path and the remote
 /// worker.
+///
+/// When [`CHECKPOINT_DIR_ENV`] is set, the boot prefix is restored
+/// from (or saved to) the content-addressed [`CheckpointStore`] there,
+/// and the outcome carries the `checkpoint-*` provenance events for
+/// the run's journal.
 ///
 /// # Errors
 ///
@@ -127,7 +157,17 @@ pub fn execute_campaign_params(params: &[String]) -> Result<ExecOutcome, String>
         .fidelity(Fidelity::Standard)
         .build()
         .map_err(|e| e.to_string())?;
-    let output = config.boot_only().map_err(|e| e.to_string())?;
+    let (output, events) = match std::env::var(CHECKPOINT_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => {
+            let store = CheckpointStore::open(dir).map_err(|e| e.to_string())?;
+            let (checkpoint, events) = store.boot_or_restore(&config).map_err(|e| e.to_string())?;
+            (
+                checkpoint.boot().clone(),
+                events.iter().map(|e| e.to_string()).collect(),
+            )
+        }
+        _ => (config.boot_only().map_err(|e| e.to_string())?, Vec::new()),
+    };
     Ok(ExecOutcome {
         outcome: output.outcome.to_string(),
         sim_ticks: output.sim_ticks,
@@ -137,6 +177,7 @@ pub fn execute_campaign_params(params: &[String]) -> Result<ExecOutcome, String>
         )
         .into_bytes(),
         success: output.outcome.is_success(),
+        events,
     })
 }
 
@@ -189,10 +230,18 @@ mod tests {
             sim_ticks: u64::MAX,
             payload: b"outcome=kernel-panic ticks=1".to_vec(),
             success: false,
+            events: vec![
+                "checkpoint-key:abc".to_owned(),
+                "checkpoint-restore:abc".to_owned(),
+            ],
         };
         let text = encode_outcome(&outcome);
         assert_eq!(decode_outcome(&text).unwrap(), outcome);
         assert!(decode_outcome("{}").is_err());
+        // Payloads from pre-checkpoint workers have no `events` field;
+        // they decode to an empty trail.
+        let old = r#"{"outcome":"success","simTicks":"1","payload":"p","success":true}"#;
+        assert_eq!(decode_outcome(old).unwrap().events, Vec::<String>::new());
     }
 
     #[test]

@@ -212,10 +212,10 @@ fn status_event_mismatch_is_reported() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// One seeded defect per journal-layout and quarantine lint code
-/// (SA0012–SA0015); like the SA0001–SA0011 fixture, the text report
-/// must match the golden rendering byte for byte and the JSON report
-/// must carry every code.
+/// One seeded defect per journal-layout, quarantine, and checkpoint
+/// lint code (SA0012–SA0016); like the SA0001–SA0011 fixture, the text
+/// report must match the golden rendering byte for byte and the JSON
+/// report must carry every code.
 #[test]
 fn journal_and_quarantine_defects_report_their_codes() {
     let dir = temp_dir("journal-defects");
@@ -232,6 +232,22 @@ fn journal_and_quarantine_defects_report_their_codes() {
             "running",
             &[],
             &["status:queued", "status:running", "remote-dispatch:3:g2"],
+        );
+        // …and a run restored from a checkpoint whose key disagrees
+        // with the one its configuration declared (SA0016).
+        seed_run(
+            &db,
+            "run-stale",
+            "rh-stale",
+            "done",
+            &[],
+            &[
+                "status:queued",
+                "status:running",
+                "checkpoint-key:1111111111111111",
+                "checkpoint-restore:2222222222222222",
+                "status:done",
+            ],
         );
         for letter in ["run-gone", "run-requeued"] {
             db.collection("quarantine")
@@ -269,13 +285,14 @@ fn journal_and_quarantine_defects_report_their_codes() {
          error[SA0014] quarantined-run-referenced: unreleased dead letter references a run missing from the run collection (run:run-gone)\n\
          error[SA0014] quarantined-run-referenced: run has an unreleased dead letter but status 'created' (re-queued without `simart quarantine --release`?) (run:run-requeued)\n\
          warning[SA0015] orphaned-remote-attempt: last remote dispatch (delivery 3 to worker generation 2) was never acked, re-delivered, or quarantined — orphaned by a coordinator crash? (run:run-orphan)\n\
-         check: 3 errors, 3 warnings\n";
+         warning[SA0016] stale-checkpoint: checkpoint-restore used key 2222222222222222 but the run's configuration hashes to checkpoint key 1111111111111111 — stale checkpoint (input changed since it was saved?) (run:run-stale)\n\
+         check: 3 errors, 4 warnings\n";
     assert_eq!(stdout, golden);
 
     let json = run_check(&dir, &["--format", "json"]);
     assert_eq!(json.status.code(), Some(1));
     let json_out = String::from_utf8_lossy(&json.stdout);
-    for code in ["SA0012", "SA0013", "SA0014", "SA0015"] {
+    for code in ["SA0012", "SA0013", "SA0014", "SA0015", "SA0016"] {
         assert!(stdout.contains(code), "text output lacks {code}: {stdout}");
         assert!(
             json_out.contains(&format!("\"code\":\"{code}\"")),

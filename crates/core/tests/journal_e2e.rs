@@ -64,6 +64,7 @@ fn ok_outcome(tag: &str) -> ExecOutcome {
         sim_ticks: 1000,
         payload: format!("stats for {tag}").into_bytes(),
         success: true,
+        events: vec![],
     }
 }
 

@@ -73,6 +73,7 @@ fn ok_outcome(_: &FsRun) -> Result<ExecOutcome, String> {
         sim_ticks: 1,
         payload: vec![],
         success: true,
+        events: vec![],
     })
 }
 

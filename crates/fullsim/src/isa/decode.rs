@@ -1,0 +1,396 @@
+//! Instruction encoding and the decoded-basic-block cache.
+//!
+//! The simulated program lives in [`CodeMemory`]
+//! as packed 32-bit instruction words. Decoding a word — unpacking the
+//! fields and validating opcode and register operands — is cheap but
+//! not free, and an interpreter that re-decodes every dynamic
+//! instruction pays it millions of times per simulated second. The
+//! [`DecodeCache`] pays it once per *basic block*: the first time
+//! execution enters a block the decoder walks forward from the entry
+//! PC to the next branch (or the block cap) and caches the decoded
+//! instructions; every later visit is a hash-map hit.
+//!
+//! Invalidation contract (see DESIGN.md §4.12): a self-modifying write
+//! through [`CodeMemory::write_word`](crate::mem::code::CodeMemory::write_word)
+//! must be followed by [`DecodeCache::invalidate_touching`] for the
+//! written PC before the next fetch.
+//! [`InstStream::patch_code`](crate::isa::InstStream::patch_code) does
+//! both atomically; stale decoded blocks are never observable through
+//! it.
+
+use crate::mem::code::CodeMemory;
+use crate::rng::DetRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Bytes per encoded instruction word.
+pub const INST_BYTES: u64 = 4;
+
+/// Maximum instructions in one decoded basic block. Blocks normally
+/// end at a branch; straight-line code is chopped at this cap so a
+/// single cached block stays cache-line friendly.
+pub const BLOCK_CAP: usize = 32;
+
+/// Number of opcode values in the ISA (indexes [`OpClass::ALL`]).
+///
+/// [`OpClass::ALL`]: crate::isa::OpClass::ALL
+const N_OPCODES: u32 = 10;
+
+/// Highest architectural register number.
+const MAX_REG: u32 = 32;
+
+use super::OpClass;
+
+/// The static (decoded) part of one instruction: everything encoded in
+/// the instruction word, i.e. everything that does not depend on
+/// dynamic state. Effective addresses and branch outcomes are drawn at
+/// execute time by [`InstStream`](crate::isa::InstStream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register.
+    pub dst: u8,
+    /// First source register.
+    pub src1: u8,
+    /// Second source register.
+    pub src2: u8,
+}
+
+/// Why an instruction word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field names no [`OpClass`].
+    BadOpcode(u32),
+    /// A register operand is out of range.
+    BadRegister(u32),
+    /// Reserved high bits were set.
+    ReservedBits(u32),
+    /// The PC falls outside the program image.
+    BadPc(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode {op}"),
+            DecodeError::BadRegister(r) => write!(f, "register {r} out of range"),
+            DecodeError::ReservedBits(w) => write!(f, "reserved bits set in word {w:#010x}"),
+            DecodeError::BadPc(pc) => write!(f, "pc {pc:#x} outside the program image"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Packs a static instruction into a 32-bit word.
+///
+/// Layout (LSB first): opcode `[0..4]`, dst `[4..10]`, src1 `[10..16]`,
+/// src2 `[16..22]`; bits 22..32 are reserved and must be zero.
+pub fn encode(inst: StaticInst) -> u32 {
+    let op = OpClass::ALL
+        .iter()
+        .position(|c| *c == inst.op)
+        .expect("class in ALL") as u32;
+    op | (inst.dst as u32) << 4 | (inst.src1 as u32) << 10 | (inst.src2 as u32) << 16
+}
+
+/// Unpacks and validates a 32-bit instruction word.
+pub fn decode(word: u32) -> Result<StaticInst, DecodeError> {
+    if word >> 22 != 0 {
+        return Err(DecodeError::ReservedBits(word));
+    }
+    let op = word & 0xf;
+    if op >= N_OPCODES {
+        return Err(DecodeError::BadOpcode(op));
+    }
+    let dst = (word >> 4) & 0x3f;
+    let src1 = (word >> 10) & 0x3f;
+    let src2 = (word >> 16) & 0x3f;
+    for reg in [dst, src1, src2] {
+        if reg > MAX_REG {
+            return Err(DecodeError::BadRegister(reg));
+        }
+    }
+    Ok(StaticInst {
+        op: OpClass::ALL[op as usize],
+        dst: dst as u8,
+        src1: src1 as u8,
+        src2: src2 as u8,
+    })
+}
+
+/// A decoded basic block: straight-line instructions from an entry PC
+/// up to (and including) the first branch, the block cap, or the end
+/// of the program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedBlock {
+    /// Entry PC of the block.
+    pub base: u64,
+    /// Decoded instructions in program order.
+    pub insts: Vec<StaticInst>,
+    /// PC after the last instruction (the fall-through target),
+    /// wrapped to the image base at the end of the program.
+    pub next: u64,
+}
+
+impl DecodedBlock {
+    /// First PC past the last instruction of this block (before
+    /// wrapping), i.e. the exclusive upper bound of PCs it covers.
+    fn end(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Whether the block's decoded range covers `pc`.
+    pub fn covers(&self, pc: u64) -> bool {
+        self.base <= pc && pc < self.end()
+    }
+}
+
+/// Decodes the basic block entered at `pc` straight from code memory.
+///
+/// This is the slow path the [`DecodeCache`] exists to avoid; the
+/// hot-path bench (`benches/hotpath.rs`) measures the cached fetch
+/// against exactly this function.
+pub fn decode_block(code: &CodeMemory, pc: u64) -> Result<DecodedBlock, DecodeError> {
+    let mut insts = Vec::new();
+    let mut cur = pc;
+    loop {
+        let Some(word) = code.word(cur) else {
+            if insts.is_empty() {
+                return Err(DecodeError::BadPc(pc));
+            }
+            // Ran off the image: end the block and wrap to the base.
+            return Ok(DecodedBlock {
+                base: pc,
+                insts,
+                next: code.base(),
+            });
+        };
+        let inst = decode(word)?;
+        let is_branch = inst.op == OpClass::Branch;
+        insts.push(inst);
+        cur += INST_BYTES;
+        if is_branch || insts.len() >= BLOCK_CAP {
+            return Ok(DecodedBlock {
+                base: pc,
+                insts,
+                next: if code.word(cur).is_some() {
+                    cur
+                } else {
+                    code.base()
+                },
+            });
+        }
+    }
+}
+
+/// A decode cache: decoded basic blocks keyed by entry PC.
+///
+/// All CPU models execute through it via
+/// [`InstStream`](crate::isa::InstStream); the hit/miss/invalidation
+/// counters surface in simulation statistics as `decode.*`.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    blocks: HashMap<u64, DecodedBlock>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> DecodeCache {
+        DecodeCache::default()
+    }
+
+    /// Returns the decoded block entered at `pc`, decoding and caching
+    /// it on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program image or the word there
+    /// fails validation — generated program images always decode, so
+    /// this indicates a corrupted image.
+    pub fn fetch(&mut self, code: &CodeMemory, pc: u64) -> &DecodedBlock {
+        match self.blocks.entry(pc) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                let block = decode_block(code, pc).expect("program image decodes");
+                e.insert(block)
+            }
+        }
+    }
+
+    /// Drops every cached block whose decoded range covers `pc`. Must
+    /// be called after a self-modifying write to `pc`.
+    pub fn invalidate_touching(&mut self, pc: u64) {
+        let before = self.blocks.len();
+        self.blocks.retain(|_, b| !b.covers(pc));
+        self.invalidations += (before - self.blocks.len()) as u64;
+    }
+
+    /// Number of cached-block hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of block decodes (cache misses).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of blocks dropped by self-modifying-code invalidation.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Statistical code generator: fills a program image with instruction
+/// words whose operation classes follow `mix` and whose register
+/// operands form realistic dependency chains.
+///
+/// Destinations cycle through a 24-register window; sources read
+/// values produced 1..=16 instructions earlier, giving some tight
+/// chains and plenty of independent work for wide machines to overlap.
+pub fn generate_words(label: &str, mix: &super::InstMix, n_words: usize) -> Vec<u32> {
+    let mut rng = DetRng::from_label(&format!("code/{label}"));
+    (0..n_words as u64)
+        .map(|i| {
+            let op = mix.sample(&mut rng);
+            let dst = (i % 24 + 1) as u8;
+            let d1 = 1 + rng.below(16);
+            let d2 = 1 + rng.below(16);
+            let src1 = ((i + 24 - d1 % 24) % 24 + 1) as u8;
+            let src2 = ((i + 24 - d2 % 24) % 24 + 1) as u8;
+            encode(StaticInst {
+                op,
+                dst,
+                src1,
+                src2,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstMix;
+
+    fn word(op: OpClass) -> u32 {
+        encode(StaticInst {
+            op,
+            dst: 1,
+            src1: 2,
+            src2: 3,
+        })
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_opclass() {
+        for (i, op) in OpClass::ALL.iter().enumerate() {
+            let inst = StaticInst {
+                op: *op,
+                dst: (i % 33) as u8,
+                src1: ((i * 7) % 33) as u8,
+                src2: ((i * 13) % 33) as u8,
+            };
+            assert_eq!(decode(encode(inst)), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert_eq!(decode(0xf), Err(DecodeError::BadOpcode(15)));
+        assert_eq!(decode(1 << 22), Err(DecodeError::ReservedBits(1 << 22)));
+        // Register 33 in the dst field.
+        assert_eq!(decode(33 << 4), Err(DecodeError::BadRegister(33)));
+    }
+
+    #[test]
+    fn blocks_end_at_branches() {
+        let code = CodeMemory::from_words(vec![
+            word(OpClass::IntAlu),
+            word(OpClass::Load),
+            word(OpClass::Branch),
+            word(OpClass::Store),
+        ]);
+        let block = decode_block(&code, code.base()).unwrap();
+        assert_eq!(block.insts.len(), 3);
+        assert_eq!(block.insts[2].op, OpClass::Branch);
+        assert_eq!(block.next, code.base() + 3 * INST_BYTES);
+        // Entry mid-program starts a fresh block.
+        let tail = decode_block(&code, code.base() + 3 * INST_BYTES).unwrap();
+        assert_eq!(tail.insts.len(), 1);
+        assert_eq!(tail.next, code.base(), "end of image wraps");
+    }
+
+    #[test]
+    fn straight_line_code_is_capped() {
+        let code = CodeMemory::from_words(vec![word(OpClass::IntAlu); BLOCK_CAP * 2]);
+        let block = decode_block(&code, code.base()).unwrap();
+        assert_eq!(block.insts.len(), BLOCK_CAP);
+    }
+
+    #[test]
+    fn cache_hits_after_first_fetch_and_invalidates_on_patch() {
+        let code = CodeMemory::generate("wl", &InstMix::default_int(), 256);
+        let mut cache = DecodeCache::new();
+        let pc = code.base();
+        let first = cache.fetch(&code, pc).clone();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let again = cache.fetch(&code, pc).clone();
+        assert_eq!(first, again);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        cache.invalidate_touching(pc);
+        assert_eq!(cache.invalidations(), 1);
+        assert!(cache.is_empty());
+        cache.fetch(&code, pc);
+        assert_eq!(cache.misses(), 2, "re-decoded after invalidation");
+    }
+
+    #[test]
+    fn invalidation_only_drops_covering_blocks() {
+        let code = CodeMemory::from_words(vec![
+            word(OpClass::Branch),
+            word(OpClass::IntAlu),
+            word(OpClass::Branch),
+        ]);
+        let mut cache = DecodeCache::new();
+        cache.fetch(&code, code.base());
+        cache.fetch(&code, code.base() + INST_BYTES);
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_touching(code.base());
+        assert_eq!(cache.len(), 1, "only the block covering the pc dropped");
+    }
+
+    #[test]
+    fn generated_words_all_decode() {
+        for w in generate_words("wl", &InstMix::default_int(), 1024) {
+            decode(w).unwrap();
+        }
+    }
+
+    #[test]
+    fn generated_code_is_label_deterministic() {
+        let a = generate_words("x", &InstMix::default_int(), 64);
+        assert_eq!(a, generate_words("x", &InstMix::default_int(), 64));
+        assert_ne!(a, generate_words("y", &InstMix::default_int(), 64));
+    }
+}

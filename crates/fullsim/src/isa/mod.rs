@@ -8,11 +8,15 @@
 //! what lets two simulations of the same configuration produce
 //! bit-identical statistics.
 
+use crate::mem::code::CodeMemory;
 use crate::rng::DetRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+pub mod decode;
 pub mod func;
+
+use decode::{DecodeCache, StaticInst};
 
 /// Operation classes of the simulated ISA.
 ///
@@ -207,12 +211,27 @@ impl AddressProfile {
     }
 }
 
-/// A deterministic, lazily generated instruction stream for one thread.
+/// A deterministic instruction stream for one thread, executed
+/// through a decoded-basic-block cache.
+///
+/// The *static* program — operation classes and register operands —
+/// is generated once per workload label into a [`CodeMemory`] image
+/// shared in content (not storage) by every thread of the workload,
+/// and decoded lazily into a per-stream [`DecodeCache`]. The *dynamic*
+/// parts of each instruction — effective addresses and branch
+/// outcomes — are drawn at execute time from the per-thread RNG, so
+/// threads running identical code still produce distinct, reproducible
+/// memory and control-flow behaviour.
 #[derive(Debug, Clone)]
 pub struct InstStream {
-    mix: InstMix,
     addrs: AddressProfile,
     rng: DetRng,
+    code: CodeMemory,
+    dcache: DecodeCache,
+    /// Entry PC of the basic block currently executing.
+    block_base: u64,
+    /// Index of the next instruction within that block.
+    block_idx: usize,
     cursor: u64,
     stride_pos: u64,
     tile_base: u64,
@@ -227,15 +246,26 @@ const PRIVATE_BASE: u64 = 0x1000_0000;
 /// Cache-line-sized generation stride.
 const LINE: u64 = 64;
 
+/// Instruction words in a generated program image. Small enough that
+/// the dynamic walk revisits blocks constantly (high decode-cache hit
+/// rates, like a loopy inner kernel), large enough to exercise many
+/// distinct blocks.
+const PROGRAM_WORDS: usize = 1024;
+
 impl InstStream {
     /// Creates the stream for a (label, thread) pair. `label` should
     /// fingerprint the workload + OS so different setups diverge.
     pub fn new(label: &str, thread: u32, mix: InstMix, addrs: AddressProfile) -> InstStream {
         let rng = DetRng::from_label(&format!("{label}/t{thread}"));
+        let code = CodeMemory::generate(label, &mix, PROGRAM_WORDS);
+        let block_base = code.base();
         InstStream {
-            mix,
             addrs,
             rng,
+            code,
+            dcache: DecodeCache::new(),
+            block_base,
+            block_idx: 0,
             cursor: 0,
             stride_pos: 0,
             tile_base: 0,
@@ -249,31 +279,81 @@ impl InstStream {
         self.cursor
     }
 
+    /// The decode cache this stream executes through.
+    pub fn decode_cache(&self) -> &DecodeCache {
+        &self.dcache
+    }
+
+    /// The program image this stream executes.
+    pub fn code(&self) -> &CodeMemory {
+        &self.code
+    }
+
+    /// Self-modifying-code write: stores `word` at `pc` and invalidates
+    /// every cached decoded block covering it, upholding the decode
+    /// cache's invalidation contract (DESIGN.md §4.12). Returns `false`
+    /// (and changes nothing) when `pc` is outside the program image.
+    pub fn patch_code(&mut self, pc: u64, word: u32) -> bool {
+        if !self.code.write_word(pc, word) {
+            return false;
+        }
+        self.dcache.invalidate_touching(pc);
+        true
+    }
+
+    /// Fetches the static part of the next instruction through the
+    /// decode cache, resolves its branch outcome, and advances the
+    /// block cursor / control flow. Returns `(inst, taken)`.
+    fn fetch_static(&mut self) -> (StaticInst, bool) {
+        loop {
+            let block = self.dcache.fetch(&self.code, self.block_base);
+            if self.block_idx >= block.insts.len() {
+                // Past the block (it shrank under an SMC patch): continue
+                // at the fall-through.
+                self.block_base = block.next;
+                self.block_idx = 0;
+                continue;
+            }
+            let inst = block.insts[self.block_idx];
+            let next = block.next;
+            self.block_idx += 1;
+            let at_end = self.block_idx >= block.insts.len();
+            if inst.op == OpClass::Branch {
+                // Branch outcome is dynamic: taken jumps to a drawn
+                // target, not-taken falls through (branches always
+                // terminate a decoded block).
+                let taken = self.rng.chance(self.branch_bias);
+                self.block_base = if taken {
+                    self.code.random_entry(&mut self.rng)
+                } else {
+                    next
+                };
+                self.block_idx = 0;
+                return (inst, taken);
+            }
+            if at_end {
+                self.block_base = next;
+                self.block_idx = 0;
+            }
+            return (inst, false);
+        }
+    }
+
     /// Generates the next instruction.
     pub fn next_inst(&mut self) -> Inst {
-        let op = self.mix.sample(&mut self.rng);
+        let (sinst, taken) = self.fetch_static();
         self.cursor += 1;
-        let addr = if op.is_memory() {
-            self.next_addr(op)
+        let addr = if sinst.op.is_memory() {
+            self.next_addr(sinst.op)
         } else {
             0
         };
-        // Destinations cycle through a 24-register window; sources read
-        // values produced a random (1..=16) instructions earlier, giving
-        // realistic dependency distances: some tight chains, plenty of
-        // independent work for wide machines to overlap.
-        let dst = (self.cursor % 24 + 1) as u8;
-        let d1 = 1 + self.rng.below(16);
-        let d2 = 1 + self.rng.below(16);
-        let src1 = ((self.cursor + 24 - d1 % 24) % 24 + 1) as u8;
-        let src2 = ((self.cursor + 24 - d2 % 24) % 24 + 1) as u8;
-        let taken = op == OpClass::Branch && self.rng.chance(self.branch_bias);
         Inst {
-            op,
+            op: sinst.op,
             addr,
-            dst,
-            src1,
-            src2,
+            dst: sinst.dst,
+            src1: sinst.src1,
+            src2: sinst.src2,
             taken,
         }
     }

@@ -50,8 +50,9 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod compat;
 pub mod cpu;
 mod error;

@@ -1,0 +1,147 @@
+//! The program image: encoded instruction words in simulated memory.
+//!
+//! Workload code occupies a dedicated region below the data heap
+//! (see [`CODE_BASE`]); CPU-visible data addresses never overlap it.
+//! All instruction fetch goes through this image, and the only write
+//! path into it is [`CodeMemory::write_word`] — the self-modifying-code
+//! entry point that the decode cache's invalidation contract hangs off
+//! (DESIGN.md §4.12).
+
+use crate::isa::decode::INST_BYTES;
+
+/// Base virtual address of the program image. Chosen well below the
+/// private-heap base (`0x1000_0000`) so generated data addresses can
+/// never alias code.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// A program image: packed 32-bit instruction words at [`CODE_BASE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeMemory {
+    words: Vec<u32>,
+    /// Monotonic write counter; each self-modifying write bumps it.
+    writes: u64,
+}
+
+impl CodeMemory {
+    /// Wraps raw instruction words into an image at [`CODE_BASE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program.
+    pub fn from_words(words: Vec<u32>) -> CodeMemory {
+        assert!(!words.is_empty(), "program image cannot be empty");
+        CodeMemory { words, writes: 0 }
+    }
+
+    /// Generates a statistical program image for a workload label (see
+    /// [`generate_words`](crate::isa::decode::generate_words)).
+    pub fn generate(label: &str, mix: &crate::isa::InstMix, n_words: usize) -> CodeMemory {
+        CodeMemory::from_words(crate::isa::decode::generate_words(label, mix, n_words))
+    }
+
+    /// Base address of the image.
+    pub fn base(&self) -> u64 {
+        CODE_BASE
+    }
+
+    /// First address past the image.
+    pub fn end(&self) -> u64 {
+        CODE_BASE + self.words.len() as u64 * INST_BYTES
+    }
+
+    /// Number of instruction words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the image is empty (never true: construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the instruction word at `pc`, or `None` outside the image
+    /// or for a misaligned PC.
+    pub fn word(&self, pc: u64) -> Option<u32> {
+        if pc < CODE_BASE || !pc.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        self.words
+            .get(((pc - CODE_BASE) / INST_BYTES) as usize)
+            .copied()
+    }
+
+    /// Self-modifying write: stores `word` at `pc`.
+    ///
+    /// Callers holding a decode cache **must** invalidate blocks
+    /// covering `pc` afterwards (the cache's invalidation contract);
+    /// [`InstStream::patch_code`](crate::isa::InstStream::patch_code)
+    /// does both in one step. Returns `false` when `pc` is outside the
+    /// image or misaligned.
+    pub fn write_word(&mut self, pc: u64, word: u32) -> bool {
+        if pc < CODE_BASE || !pc.is_multiple_of(INST_BYTES) {
+            return false;
+        }
+        let Some(slot) = self.words.get_mut(((pc - CODE_BASE) / INST_BYTES) as usize) else {
+            return false;
+        };
+        *slot = word;
+        self.writes += 1;
+        true
+    }
+
+    /// Number of self-modifying writes the image has absorbed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// A uniformly drawn instruction address within the image — used
+    /// for dynamic branch targets.
+    pub fn random_entry(&self, rng: &mut crate::rng::DetRng) -> u64 {
+        CODE_BASE + rng.below(self.words.len() as u64) * INST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstMix;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn words_are_addressed_from_code_base() {
+        let code = CodeMemory::from_words(vec![7, 8, 9]);
+        assert_eq!(code.word(CODE_BASE), Some(7));
+        assert_eq!(code.word(CODE_BASE + 8), Some(9));
+        assert_eq!(code.word(CODE_BASE + 12), None, "past the image");
+        assert_eq!(code.word(CODE_BASE + 1), None, "misaligned");
+        assert_eq!(code.word(0), None, "below the image");
+        assert_eq!(code.end(), CODE_BASE + 12);
+    }
+
+    #[test]
+    fn writes_modify_words_and_count() {
+        let mut code = CodeMemory::from_words(vec![1, 2]);
+        assert!(code.write_word(CODE_BASE + 4, 42));
+        assert_eq!(code.word(CODE_BASE + 4), Some(42));
+        assert_eq!(code.writes(), 1);
+        assert!(!code.write_word(CODE_BASE + 8, 0), "out of range");
+        assert!(!code.write_word(CODE_BASE + 2, 0), "misaligned");
+        assert_eq!(code.writes(), 1);
+    }
+
+    #[test]
+    fn random_entries_stay_in_image() {
+        let code = CodeMemory::generate("wl", &InstMix::default_int(), 64);
+        let mut rng = DetRng::from_label("entries");
+        for _ in 0..200 {
+            let pc = code.random_entry(&mut rng);
+            assert!(code.word(pc).is_some());
+        }
+    }
+
+    #[test]
+    fn code_region_is_disjoint_from_data_regions() {
+        let code = CodeMemory::generate("wl", &InstMix::default_int(), 4096);
+        assert!(code.end() < 0x1000_0000, "code never aliases private heaps");
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod cache;
 pub mod classic;
+pub mod code;
 pub mod dram;
 pub mod ruby;
 

@@ -208,6 +208,19 @@ impl Checkpoint {
     pub fn boot(&self) -> &SimOutput {
         &self.boot
     }
+
+    /// Reassembles a checkpoint from its serialized parts (the durable
+    /// store in [`crate::checkpoint`] is the only caller).
+    pub(crate) fn from_parts(config_label: String, boot: SimOutput) -> Checkpoint {
+        Checkpoint { config_label, boot }
+    }
+}
+
+/// Sums decode-cache hits and misses over a set of sampled streams.
+fn decode_telemetry(streams: &[InstStream]) -> (u64, u64) {
+    streams.iter().fold((0, 0), |(h, m), s| {
+        (h + s.decode_cache().hits(), m + s.decode_cache().misses())
+    })
 }
 
 /// The instruction mix of kernel/boot code: branchy, syscall-heavy,
@@ -260,6 +273,11 @@ impl SystemConfig {
         self.os
     }
 
+    /// The sampling fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
     /// A stable textual fingerprint of the configuration (used to seed
     /// instruction streams and to key run records).
     pub fn label(&self) -> String {
@@ -283,8 +301,9 @@ impl SystemConfig {
     ///
     /// Threads interleave on the shared memory system in fixed-size
     /// slices so coherence traffic is exercised exactly as concurrent
-    /// execution would.
-    fn sample_cpi(&self, label: &str, threads: u32, mix: &InstMix) -> Vec<f64> {
+    /// execution would. Returns per-thread CPIs plus the decode-cache
+    /// telemetry aggregated over the sampled streams.
+    fn sample_cpi(&self, label: &str, threads: u32, mix: &InstMix) -> (Vec<f64>, (u64, u64)) {
         let sample = self.fidelity.sample_insts();
         let mut mem = mem::build(self.mem, threads as usize);
         let mut cpus: Vec<_> = (0..threads).map(|_| self.cpu.build()).collect();
@@ -294,7 +313,8 @@ impl SystemConfig {
                 InstStream::new(label, t, mix.clone(), addrs)
             })
             .collect();
-        self.sample_cpi_with_streams(sample, &mut cpus, &mut streams, mem.as_mut())
+        let cpis = self.sample_cpi_with_streams(sample, &mut cpus, &mut streams, mem.as_mut());
+        (cpis, decode_telemetry(&streams))
     }
 
     fn sample_cpi_with_streams(
@@ -362,7 +382,12 @@ impl SystemConfig {
         let stages = BootStage::sequence(self.boot);
         let cpi = {
             let mix = boot_mix();
-            let per_thread = self.sample_cpi(&format!("boot/{}", self.label()), 1, &mix);
+            let (per_thread, (hits, misses)) =
+                self.sample_cpi(&format!("boot/{}", self.label()), 1, &mix);
+            stats.set_count("boot.decode.hits", hits);
+            stats.set_count("boot.decode.misses", misses);
+            observe::count("sim.decode_hits", hits);
+            observe::count("sim.decode_misses", misses);
             per_thread[0]
         };
 
@@ -402,6 +427,10 @@ impl SystemConfig {
             completed_ticks = completed_ticks.saturating_mul(20);
         }
 
+        // Event-queue state travels with the boot so a restored
+        // checkpoint resumes with the same simulated-time bookkeeping.
+        stats.set_count("boot.queue.processed", queue.processed());
+        stats.set_count("boot.queue.lastTick", queue.now());
         stats.set_count("boot.instructions", instructions);
         stats.set_scalar("boot.cpi", cpi);
         stats.set_count("simTicks", completed_ticks);
@@ -531,6 +560,7 @@ impl SystemConfig {
         let label = format!("{}/{}", workload.name, input);
 
         // Serial phase: one thread.
+        let mut decode = (0u64, 0u64);
         let serial_cpi = {
             let mut mem = mem::build(self.mem, self.cores as usize);
             let mut cpus = vec![self.cpu.build()];
@@ -540,12 +570,15 @@ impl SystemConfig {
                 workload.mix.clone(),
                 workload.addrs,
             )];
-            self.sample_cpi_with_streams(
+            let cpi = self.sample_cpi_with_streams(
                 self.fidelity.sample_insts(),
                 &mut cpus,
                 &mut streams,
                 mem.as_mut(),
-            )[0]
+            )[0];
+            let (hits, misses) = decode_telemetry(&streams);
+            decode = (decode.0 + hits, decode.1 + misses);
+            cpi
         };
 
         // Parallel phase: all threads interleaved on one memory system.
@@ -575,8 +608,14 @@ impl SystemConfig {
                 cpu.dump_stats(&format!("system.cpu{i}"), &mut component_stats);
             }
             mem.dump_stats("system.mem", &mut component_stats);
+            let (hits, misses) = decode_telemetry(&streams);
+            decode = (decode.0 + hits, decode.1 + misses);
             cpis
         };
+        component_stats.set_count("system.decode.hits", decode.0);
+        component_stats.set_count("system.decode.misses", decode.1);
+        observe::count("sim.decode_hits", decode.0);
+        observe::count("sim.decode_misses", decode.1);
 
         // Synchronization: lock/barrier traffic serializes and its cost
         // grows with contention (cores), moderated by kernel futex

@@ -64,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim_ticks: out.sim_ticks,
             payload: out.stats.dump().into_bytes(),
             success: out.outcome.is_success(),
+            events: vec![],
         })
     });
     println!("launched: {summary:?}\n");

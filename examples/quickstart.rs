@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim_ticks: output.sim_ticks,
             payload: output.stats.dump().into_bytes(),
             success: output.outcome.is_success(),
+            events: vec![],
         })
     });
     println!("launch summary: {summary:?}");

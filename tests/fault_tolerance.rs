@@ -76,6 +76,7 @@ fn succeed(_run: &FsRun) -> Result<ExecOutcome, String> {
         sim_ticks: 1,
         payload: vec![],
         success: true,
+        events: vec![],
     })
 }
 

@@ -92,6 +92,7 @@ fn every_scheduler_drives_the_same_experiment() {
                 sim_ticks: run.params()[0].len() as u64 * 100,
                 payload: b"stats".to_vec(),
                 success: true,
+                events: vec![],
             })
         });
         assert_eq!(summary.done, 4, "{name}");
@@ -117,6 +118,7 @@ fn timeouts_mark_runs_timed_out() {
             sim_ticks: 1,
             payload: vec![],
             success: true,
+            events: vec![],
         })
     });
     assert_eq!(summary.timed_out, 1);
@@ -139,6 +141,7 @@ fn provenance_closure_spans_registry_and_runs() {
             sim_ticks: 7,
             payload: vec![],
             success: true,
+            events: vec![],
         })
     });
     // The kernel artifact knows which runs used it...
@@ -162,6 +165,7 @@ fn concurrent_launches_share_one_database_safely() {
             sim_ticks: run.params()[0].len() as u64,
             payload: run.params()[0].clone().into_bytes(),
             success: true,
+            events: vec![],
         })
     });
     assert_eq!(summary.done, 32);

@@ -76,6 +76,7 @@ fn experiments_reproduce_from_database_records_alone() {
                 sim_ticks: ticks,
                 payload: dump.into_bytes(),
                 success: true,
+                events: vec![],
             })
         });
         assert_eq!(summary.done, 2);
