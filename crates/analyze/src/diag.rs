@@ -98,6 +98,14 @@ pub enum LintCode {
     /// actually used was built from a *different* input, so its results
     /// cannot be attributed to the recorded configuration.
     StaleCheckpoint,
+    /// SA0017: a declared secondary index disagrees with the documents
+    /// it covers — an entry points at a missing or non-matching
+    /// document, a document is missing from its index, or the persisted
+    /// index manifest does not match a rebuild from the checkpoint.
+    /// Indexes are derived state; divergence means the database was
+    /// hand-edited (or a write path has a bug), and queries planned
+    /// through the index may silently miss documents.
+    IndexDivergence,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -121,6 +129,7 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::QuarantinedRunReferenced,
     LintCode::OrphanedRemoteAttempt,
     LintCode::StaleCheckpoint,
+    LintCode::IndexDivergence,
     LintCode::DataRace,
 ];
 
@@ -144,6 +153,7 @@ impl LintCode {
             LintCode::QuarantinedRunReferenced => "SA0014",
             LintCode::OrphanedRemoteAttempt => "SA0015",
             LintCode::StaleCheckpoint => "SA0016",
+            LintCode::IndexDivergence => "SA0017",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -167,6 +177,7 @@ impl LintCode {
             LintCode::QuarantinedRunReferenced => "quarantined-run-referenced",
             LintCode::OrphanedRemoteAttempt => "orphaned-remote-attempt",
             LintCode::StaleCheckpoint => "stale-checkpoint",
+            LintCode::IndexDivergence => "index-divergence",
             LintCode::DataRace => "data-race",
         }
     }

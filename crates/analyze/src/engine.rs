@@ -57,7 +57,8 @@ pub const STATE_COLLECTION: &str = "analysis_state";
 const STATE_DOC_ID: &str = "engine";
 /// Bumped whenever any lint's state layout changes; mismatched
 /// versions fall back to a full scan instead of misreading old state.
-const STATE_VERSION: i64 = 1;
+/// Version 2 added the `indexes` registry entry (SA0017).
+const STATE_VERSION: i64 = 2;
 /// Once an incremental check has replayed this many journal records,
 /// it rewrites the state document so the suffix cannot grow without
 /// bound across repeated checks.
@@ -125,6 +126,10 @@ impl<'a> Delta<'a> {
             JournalOp::DropCollection { collection } => Some(Delta::Drop { collection }),
             JournalOp::BlobPut { data } => Some(Delta::BlobPut(BlobKey::for_content(data))),
             JournalOp::BlobRemove { key } => BlobKey::from_hex(key).map(Delta::BlobRemove),
+            // Index declarations never change document content, and
+            // indexes are rebuilt (not trusted) on load — no lint
+            // state can depend on them.
+            JournalOp::EnsureIndex { .. } => None,
         }
     }
 

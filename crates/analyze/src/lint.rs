@@ -195,6 +195,15 @@ pub fn self_test() -> Result<String, String> {
             "status:done",
         ],
     );
+    // SA0017: a secondary-index entry pointing at a run that does not
+    // exist (the write paths can never produce this; the injection
+    // stands in for a code or hand-edit bug corrupting maintenance).
+    // The spurious candidate id is harmless to other lints: planner
+    // probes over-approximate and the full filter is always re-applied.
+    let runs = db.collection("runs");
+    runs.ensure_index(simart_db::IndexSpec::hash("status"))
+        .map_err(|e| format!("declaring self-test index: {e}"))?;
+    runs.inject_index_entry("status", "\"done\"", "ghost-run");
 
     let diags = lint_database(&db);
     let expect = [
@@ -210,6 +219,7 @@ pub fn self_test() -> Result<String, String> {
         LintCode::QuarantinedRunReferenced,
         LintCode::OrphanedRemoteAttempt,
         LintCode::StaleCheckpoint,
+        LintCode::IndexDivergence,
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {

@@ -39,6 +39,7 @@ pub(crate) fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(ResourceLint),
         Box::new(QuarantineLint::default()),
         Box::new(JournalLint::default()),
+        Box::new(IndexLint::default()),
     ]
 }
 
@@ -241,12 +242,33 @@ impl Lint for RefLint {
             }
         }
         if db.has_collection("runs") {
-            for doc in db.collection("runs").all() {
+            let runs = db.collection("runs");
+            for doc in runs.all() {
                 let id = doc
                     .at("_id")
                     .and_then(Value::as_str)
                     .unwrap_or("<missing _id>");
                 self.run_inputs.insert(id.to_owned(), doc_inputs(&doc));
+            }
+            // A declared multikey hash index on `inputs` (the run
+            // store installs one) already holds input -> runs; seed
+            // the reverse map from it instead of re-walking every
+            // run's input list. Extra entries (a run whose `inputs`
+            // is a plain string, the whole-array key) are harmless:
+            // findings are recomputed from `run_inputs`, the reverse
+            // map only decides which runs an artifact change touches.
+            if let Some(entries) = runs.index_entries("inputs") {
+                for (value, ids) in entries {
+                    let Value::Str(input) = value else { continue };
+                    for id in ids {
+                        self.rev.entry(input.clone()).or_default().insert(id);
+                    }
+                }
+                let run_ids: Vec<String> = self.run_inputs.keys().cloned().collect();
+                for run in run_ids {
+                    self.recompute(&run);
+                }
+                return;
             }
         }
         self.rebuild_derived();
@@ -1126,6 +1148,38 @@ impl HashGroups {
     }
 }
 
+/// Seeds duplicate-hash groups from a declared `hash` index instead of
+/// scanning every document. Returns `false` (caller must scan) when the
+/// collection has no hash index on `hash`. Each candidate id is
+/// confirmed against its document — the index is multikey, so an
+/// array-valued `hash` field contributes element keys the scan path
+/// would never see — which keeps the seeded result byte-identical to a
+/// scan while touching only the colliding documents.
+fn seed_hash_groups(
+    collection: &simart_db::Collection,
+    groups: &mut HashGroups,
+    admit: impl Fn(&str) -> bool,
+) -> bool {
+    let Some(entries) = collection.index_entries("hash") else {
+        return false;
+    };
+    for (value, ids) in entries {
+        let Value::Str(hash) = value else { continue };
+        for id in ids {
+            if !admit(&id) {
+                continue;
+            }
+            let confirmed = collection
+                .get(&id)
+                .and_then(|doc| doc.at("hash").and_then(Value::as_str).map(str::to_owned));
+            if confirmed.as_deref() == Some(hash.as_str()) {
+                groups.set(&id, confirmed);
+            }
+        }
+    }
+    true
+}
+
 fn artifact_dup_message(hash: &str, ids: &BTreeSet<String>) -> String {
     let ids: Vec<String> = ids.iter().cloned().collect();
     format!(
@@ -1173,7 +1227,13 @@ impl Lint for DupArtifactLint {
     fn full_scan(&mut self, db: &Database) {
         self.groups.clear();
         if db.has_collection("artifacts") {
-            for doc in db.collection("artifacts").all() {
+            let artifacts = db.collection("artifacts");
+            if seed_hash_groups(&artifacts, &mut self.groups, |id| {
+                id.parse::<Uuid>().is_ok() // malformed ids stop at SA0003
+            }) {
+                return;
+            }
+            for doc in artifacts.all() {
                 let Some(id) = doc.at("_id").and_then(Value::as_str) else {
                     continue;
                 };
@@ -1257,7 +1317,11 @@ impl Lint for DupRunLint {
     fn full_scan(&mut self, db: &Database) {
         self.groups.clear();
         if db.has_collection("runs") {
-            for doc in db.collection("runs").all() {
+            let runs = db.collection("runs");
+            if seed_hash_groups(&runs, &mut self.groups, |_| true) {
+                return;
+            }
+            for doc in runs.all() {
                 let id = doc
                     .at("_id")
                     .and_then(Value::as_str)
@@ -1614,6 +1678,134 @@ impl Lint for JournalLint {
 }
 
 // ---------------------------------------------------------------------
+// SA0017 — declared secondary indexes diverging from their documents.
+
+/// Cross-checks declared secondary indexes against the documents they
+/// cover. Two passes share the code:
+///
+/// * the *live* pass (`full_scan`) runs
+///   [`verify_indexes`](simart_db::Collection::verify_indexes) over
+///   every collection — this catches a write path whose incremental
+///   index maintenance drifted from the documents at runtime;
+/// * the *environment* pass (`scan_environment`) compares the persisted
+///   `indexes.json` manifest against a rebuild from the loaded
+///   documents — this catches hand-edited checkpoints, since the load
+///   itself rebuilds in-memory indexes from documents (making them
+///   consistent by construction) and only the manifest still testifies
+///   to what was recorded at save time.
+///
+/// The environment comparison only runs over a *quiet* directory — no
+/// unreplayed journal records, torn tail, or divergence — because a
+/// mid-flight journal legitimately carries writes the manifest predates
+/// (SA0012/SA0013 already report that state). Incremental resumes
+/// always leave journal records behind (the analysis-state document
+/// itself is journaled), so the gate also keeps the pass off resumed
+/// state, where `full_scan` never stashed a database handle.
+#[derive(Default)]
+struct IndexLint {
+    /// Handle stashed by `full_scan` for the environment pass.
+    db: Option<Database>,
+    /// Live-pass findings (in-memory index vs documents).
+    live: Vec<Diagnostic>,
+    /// Environment-pass findings (manifest vs rebuild).
+    environment: Vec<Diagnostic>,
+}
+
+impl Lint for IndexLint {
+    fn name(&self) -> &'static str {
+        "indexes"
+    }
+
+    fn timer_metric(&self) -> &'static str {
+        "analyze.lint_us.indexes"
+    }
+
+    fn observes(&self) -> Observes {
+        // Indexes are maintained at the write commit point and rebuilt
+        // from documents on load; no journal record can change whether
+        // they diverge, so there is nothing to advance incrementally.
+        Observes {
+            collections: &[],
+            blobs: false,
+        }
+    }
+
+    fn full_scan(&mut self, db: &Database) {
+        *self = IndexLint::default();
+        self.db = Some(db.clone());
+        for name in db.collection_names() {
+            for divergence in db.collection(&name).verify_indexes() {
+                self.live.push(Diagnostic::new(
+                    LintCode::IndexDivergence,
+                    format!("collection:{name}"),
+                    format!("index on `{}`: {}", divergence.path, divergence.detail),
+                ));
+            }
+        }
+    }
+
+    fn apply_delta(&mut self, _delta: &Delta<'_>) {}
+
+    fn scan_environment(&mut self, dir: &Path, report: &LoadReport) {
+        self.environment.clear();
+        let Some(db) = self.db.clone() else {
+            return; // resumed state: see the quiet-directory argument above
+        };
+        if report.journal_records != 0
+            || report.journal_torn_bytes != 0
+            || !report.divergent.is_empty()
+        {
+            return;
+        }
+        let path = dir.join(simart_db::INDEX_MANIFEST_FILE);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return; // no manifest recorded: nothing to compare
+        };
+        let Ok(manifest) = simart_db::json::from_json(text.trim()) else {
+            self.environment.push(Diagnostic::new(
+                LintCode::IndexDivergence,
+                format!("manifest:{}", simart_db::INDEX_MANIFEST_FILE),
+                "persisted index manifest is not valid JSON".to_owned(),
+            ));
+            return;
+        };
+        let empty = BTreeMap::new();
+        let recorded = manifest
+            .at("collections")
+            .and_then(Value::as_map)
+            .unwrap_or(&empty);
+        for (name, state) in recorded {
+            let rebuilt = db.collection(name).index_state();
+            if *state != rebuilt {
+                self.environment.push(Diagnostic::new(
+                    LintCode::IndexDivergence,
+                    format!("collection:{name}"),
+                    "persisted index manifest disagrees with an index rebuild from the \
+                     checkpoint documents; the checkpoint was modified after its save"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+
+    fn emit(&self, out: &mut Vec<Diagnostic>) {
+        out.extend(self.live.iter().cloned());
+        out.extend(self.environment.iter().cloned());
+    }
+
+    fn state(&self) -> Value {
+        // Both passes re-derive everything from the database and the
+        // directory; nothing survives to the next session.
+        Value::Null
+    }
+
+    fn restore(&mut self, _state: &Value) -> Result<(), String> {
+        *self = IndexLint::default();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shared scan primitives (used by the units above; `pub(crate)` so
 // `lint.rs` unit tests can exercise them directly).
 
@@ -1810,7 +2002,8 @@ fn op_collection(op: &simart_db::JournalOp) -> Option<&str> {
         simart_db::JournalOp::Insert { collection, .. }
         | simart_db::JournalOp::Upsert { collection, .. }
         | simart_db::JournalOp::Delete { collection, .. }
-        | simart_db::JournalOp::DropCollection { collection } => Some(collection),
+        | simart_db::JournalOp::DropCollection { collection }
+        | simart_db::JournalOp::EnsureIndex { collection, .. } => Some(collection),
         simart_db::JournalOp::BlobPut { .. } | simart_db::JournalOp::BlobRemove { .. } => None,
     }
 }
@@ -1847,6 +2040,19 @@ pub(crate) fn journal_report_diagnostics(
         ));
     }
     for subject in &report.divergent {
+        // `collection/#index:path` markers are index-rebuild failures,
+        // not document collisions — they fire as SA0017.
+        if let Some((collection, path)) = subject.split_once("/#index:") {
+            diagnostics.push(Diagnostic::new(
+                LintCode::IndexDivergence,
+                format!("collection:{collection}"),
+                format!(
+                    "declared index on `{path}` could not be rebuilt from the loaded \
+                     documents (they no longer satisfy its constraints)"
+                ),
+            ));
+            continue;
+        }
         diagnostics.push(Diagnostic::new(
             LintCode::JournalDivergence,
             format!("journal:{subject}"),

@@ -6,15 +6,29 @@
 //! independent of database size. This bench measures both on the same
 //! data so the asymptotic claim is a number, not an assertion.
 //!
+//! The query half makes the same kind of claim for secondary indexes:
+//! an indexed point lookup resolves through a hash probe — O(log n) in
+//! practice, flat for any campaign you can store — while a filter over
+//! an unindexed path scans every shard, O(n). Both are measured on the
+//! same documents at 1k and 100k so the planner's benefit is a number
+//! too. Built with `--features observe`, the bench also proves the
+//! planner took the index route by reading the
+//! `db.query_planned_index` / `db.query_scans` counters.
+//!
 //! Run modes:
 //!
 //! - `cargo bench -p simart-bench --bench persistence` — print the
-//!   timing table.
+//!   timing tables.
 //! - `... --bench persistence -- --test` — additionally assert the
-//!   O(delta) property (appends beat full saves by a wide margin and
-//!   stay flat as the database grows), exiting nonzero on regression.
+//!   O(delta) and index-asymptotics properties (appends beat full
+//!   saves and stay flat as the database grows; indexed lookups stay
+//!   flat from 1k to 100k docs while unindexed scans grow ≥10x),
+//!   exiting nonzero on regression.
+//! - `... --bench persistence -- --json PATH` — also write the
+//!   measured numbers as JSON (the tracked `BENCH_db.json` at the
+//!   repo root is this output).
 
-use simart_db::{Database, Value};
+use simart_db::{Database, Filter, IndexSpec, Value};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -96,8 +110,88 @@ fn measure_journaled_insert(docs: usize) -> Duration {
     best
 }
 
+/// Sizes for the query-asymptotics half: the lookup/scan contrast
+/// needs two decades of growth to be unambiguous.
+const QUERY_SIZES: [usize; 2] = [1_000, 100_000];
+
+/// In-memory database with a hash index on the (unique per document)
+/// `hash` field, populated with `docs` documents. The index is
+/// declared first, so the fill also exercises write-through
+/// maintenance at scale.
+fn indexed_db(docs: usize) -> Database {
+    let db = Database::in_memory();
+    let runs = db.collection("runs");
+    runs.ensure_index(IndexSpec::hash("hash")).expect("index");
+    populate(&db, docs);
+    db
+}
+
+/// Best-of-`REPEATS` per-query cost of an indexed point lookup,
+/// averaged over a rotating batch of keys so no single BTree path is
+/// artificially hot.
+fn measure_point_lookup(db: &Database, docs: usize) -> Duration {
+    const BATCH: usize = 64;
+    let runs = db.collection("runs");
+    let mut best = Duration::MAX;
+    for r in 0..REPEATS {
+        let start = Instant::now();
+        for k in 0..BATCH {
+            let i = (r * BATCH + k * 97) % docs;
+            let hits = runs.find(&Filter::eq("hash", format!("{i:032x}")));
+            assert_eq!(hits.len(), 1, "point lookup finds its document");
+        }
+        best = best.min(start.elapsed() / BATCH as u32);
+    }
+    best
+}
+
+/// Best-of-`REPEATS` cost of a filter over an unindexed path — the
+/// planner finds no probe and falls back to a full shard scan.
+fn measure_scan(db: &Database, docs: usize) -> Duration {
+    let runs = db.collection("runs");
+    let mut best = Duration::MAX;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let n = runs.count(&Filter::eq("results.outcome", "success"));
+        best = best.min(start.elapsed());
+        assert_eq!(n, docs, "scan sees every document");
+    }
+    best
+}
+
+/// With observability compiled in: run a known mix of planned and
+/// scanned queries inside a capture window and return the
+/// (`db.query_planned_index`, `db.query_scans`) counters.
+#[cfg(feature = "observe")]
+fn planner_counters(db: &Database) -> (u64, u64) {
+    use simart_observe as observe;
+    let runs = db.collection("runs");
+    observe::reset();
+    observe::enable();
+    for i in 0..40usize {
+        let _ = runs.find(&Filter::eq("hash", format!("{i:032x}")));
+    }
+    for _ in 0..10 {
+        let _ = runs.count(&Filter::eq("results.outcome", "success"));
+    }
+    observe::disable();
+    let snapshot = observe::snapshot();
+    let counter = |name: &str| match snapshot.metrics.get(name) {
+        Some(observe::MetricValue::Counter(n)) => *n,
+        _ => 0,
+    };
+    let counts = (counter("db.query_planned_index"), counter("db.query_scans"));
+    observe::reset();
+    counts
+}
+
 fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1));
 
     let sizes = [100usize, 1000];
     let mut saves = Vec::new();
@@ -118,6 +212,75 @@ fn main() {
         );
         saves.push(save);
         appends.push(append);
+    }
+
+    println!("\nquery: indexed point lookup vs unindexed scan (best of {REPEATS})");
+    println!(
+        "{:>8}  {:>16}  {:>14}  {:>7}",
+        "docs", "indexed lookup", "scan", "ratio"
+    );
+    let mut lookups = Vec::new();
+    let mut scans = Vec::new();
+    for &docs in &QUERY_SIZES {
+        let db = indexed_db(docs);
+        let lookup = measure_point_lookup(&db, docs);
+        let scan = measure_scan(&db, docs);
+        println!(
+            "{docs:>8}  {:>14.2}us  {:>12.1}us  {:>6.0}x",
+            lookup.as_secs_f64() * 1e6,
+            scan.as_secs_f64() * 1e6,
+            scan.as_secs_f64() / lookup.as_secs_f64().max(1e-9),
+        );
+        lookups.push(lookup);
+        scans.push(scan);
+    }
+
+    #[cfg(feature = "observe")]
+    let (planned, scanned) = {
+        let db = indexed_db(QUERY_SIZES[0]);
+        let counts = planner_counters(&db);
+        println!(
+            "\nplanner counters over a 40 lookup / 10 scan mix: \
+             db.query_planned_index={} db.query_scans={}",
+            counts.0, counts.1
+        );
+        counts
+    };
+    #[cfg(not(feature = "observe"))]
+    let (planned, scanned) = (0u64, 0u64);
+
+    if let Some(path) = json_path {
+        let persistence: Vec<String> = sizes
+            .iter()
+            .zip(saves.iter().zip(&appends))
+            .map(|(docs, (save, append))| {
+                format!(
+                    "    {{\"docs\": {docs}, \"saveUs\": {:.1}, \"appendUs\": {:.2}}}",
+                    save.as_secs_f64() * 1e6,
+                    append.as_secs_f64() * 1e6,
+                )
+            })
+            .collect();
+        let query: Vec<String> = QUERY_SIZES
+            .iter()
+            .zip(lookups.iter().zip(&scans))
+            .map(|(docs, (lookup, scan))| {
+                format!(
+                    "    {{\"docs\": {docs}, \"indexedLookupUs\": {:.2}, \"scanUs\": {:.1}}}",
+                    lookup.as_secs_f64() * 1e6,
+                    scan.as_secs_f64() * 1e6,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"persistence\",\n  \"schema\": 1,\n  \
+             \"persistence\": [\n{}\n  ],\n  \"query\": [\n{}\n  ],\n  \
+             \"planner\": {{\"plannedIndex\": {planned}, \"scans\": {scanned}}}\n}}\n",
+            persistence.join(",\n"),
+            query.join(",\n"),
+        );
+        std::fs::write(path, json).expect("write bench json");
+        println!("\nwrote {path}");
     }
 
     if test_mode {
@@ -146,6 +309,47 @@ fn main() {
             saves[0],
             saves[1],
         );
+        // 4. Indexed point lookups stay flat across two decades of
+        //    growth: within 2x from 1k to 100k documents (plus a small
+        //    absolute allowance for timer noise — both numbers are
+        //    single-digit microseconds, while an O(n) lookup at 100k
+        //    would be milliseconds).
+        assert!(
+            lookups[1] < lookups[0] * 2 + Duration::from_micros(20),
+            "indexed point lookup must stay flat: {:?} at {} docs, {:?} at {}",
+            lookups[0],
+            QUERY_SIZES[0],
+            lookups[1],
+            QUERY_SIZES[1],
+        );
+        // 5. Unindexed scans do scale with size — the contrast that
+        //    makes the planner worth having. (100x the documents must
+        //    cost at least 10x the time; the slack absorbs cache
+        //    effects and CI noise.)
+        assert!(
+            scans[1] >= scans[0] * 10,
+            "unindexed scan should grow with database size: {:?} at {} docs, {:?} at {}",
+            scans[0],
+            QUERY_SIZES[0],
+            scans[1],
+            QUERY_SIZES[1],
+        );
+        // 6. With observability compiled in, the planner counters prove
+        //    the lookups actually took the index route and the
+        //    unindexed filter actually scanned.
+        #[cfg(feature = "observe")]
+        {
+            assert!(
+                planned >= 40,
+                "point lookups must be planned through the index: planned={planned}"
+            );
+            assert!(
+                scanned >= 10,
+                "unindexed filters must be counted as scans: scans={scanned}"
+            );
+        }
+        #[cfg(not(feature = "observe"))]
+        let _ = (planned, scanned);
         println!("persistence bench assertions passed");
     }
 }

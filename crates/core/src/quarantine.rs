@@ -110,8 +110,11 @@ impl DeadLetter {
 ///
 /// Propagates document persistence failures.
 pub fn persist(db: &Database, letter: &DeadLetter) -> Result<(), DbError> {
-    db.collection(QUARANTINE_COLLECTION)
-        .upsert(letter.to_doc())?;
+    let collection = db.collection(QUARANTINE_COLLECTION);
+    // Reports list the quarantine sorted by task; the ordered index
+    // lets `load_all` read that order straight off the index.
+    collection.ensure_index(simart_db::IndexSpec::ordered("task"))?;
+    collection.upsert(letter.to_doc())?;
     Ok(())
 }
 
@@ -125,14 +128,18 @@ pub fn load_all(db: &Database) -> Result<Vec<DeadLetter>, String> {
     if !db.has_collection(QUARANTINE_COLLECTION) {
         return Ok(Vec::new());
     }
-    let mut letters = db
-        .collection(QUARANTINE_COLLECTION)
-        .all()
+    // find_sorted orders by task with `_id` (the run id) breaking
+    // ties — exactly the report order — and walks the ordered index
+    // declared by `persist` instead of sorting a full scan.
+    db.collection(QUARANTINE_COLLECTION)
+        .find_sorted(
+            &simart_db::Filter::All,
+            "task",
+            simart_db::SortOrder::Ascending,
+        )
         .iter()
         .map(DeadLetter::from_doc)
-        .collect::<Result<Vec<_>, _>>()?;
-    letters.sort_by(|a, b| a.task.cmp(&b.task).then_with(|| a.run_id.cmp(&b.run_id)));
-    Ok(letters)
+        .collect::<Result<Vec<_>, _>>()
 }
 
 /// Marks a dead letter as released (its run is being re-queued).

@@ -495,6 +495,73 @@ fn campaign_check_lints_and_records_state_for_incremental() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SA0017: an indexed collection's checkpoint is hand-edited after the
+/// save, so a scratch rebuild of the index no longer matches the state
+/// the `indexes.json` manifest recorded at save time. The rebuild
+/// itself succeeds (the edited documents are valid), which is exactly
+/// why the manifest comparison — not a load failure — must catch it.
+#[test]
+fn tampered_checkpoint_is_an_index_divergence() {
+    let dir = temp_dir("sa0017");
+    let db = Database::in_memory();
+    let notes = db.collection("notes");
+    notes
+        .ensure_index(simart::db::IndexSpec::hash("topic"))
+        .expect("declare index");
+    for (id, topic) in [("note-1", "boot"), ("note-2", "boot"), ("note-3", "perf")] {
+        notes
+            .insert(Value::map([
+                ("_id", Value::from(id)),
+                ("topic", Value::from(topic)),
+            ]))
+            .expect("seed note");
+    }
+    db.save(&dir).expect("save fixture");
+
+    // Untampered, the manifest and a rebuild agree: clean report.
+    let clean = run_check(&dir, &[]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+
+    // Hand-edit the checkpoint, moving note-2 to another index key.
+    let checkpoint = dir.join("notes.jsonl");
+    let text = std::fs::read_to_string(&checkpoint).expect("read checkpoint");
+    assert!(
+        text.contains("\"_id\":\"note-2\""),
+        "fixture layout: {text}"
+    );
+    let tampered = text
+        .lines()
+        .map(|line| {
+            if line.contains("\"_id\":\"note-2\"") {
+                line.replace("\"topic\":\"boot\"", "\"topic\":\"perf\"")
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    assert_ne!(text, tampered, "the edit must change an indexed field");
+    std::fs::write(&checkpoint, tampered).expect("tamper checkpoint");
+
+    let out = run_check(&dir, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = "error[SA0017] index-divergence: persisted index manifest disagrees with an \
+         index rebuild from the checkpoint documents; the checkpoint was modified after its \
+         save (collection:notes)\n\
+         check: 1 error, 0 warnings\n";
+    assert_eq!(stdout, golden);
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert_eq!(json.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&json.stdout).contains("\"code\":\"SA0017\""),
+        "{json:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn self_test_subcommand_passes() {
     let out = Command::new(env!("CARGO_BIN_EXE_simart"))

@@ -1,7 +1,13 @@
 //! Aggregation over query results: the analysis layer the paper feeds
 //! into Jupyter/matplotlib, reproduced as group-by statistics.
+//!
+//! Aggregations read from a [`Snapshot`] rather than a live
+//! [`Collection`](crate::Collection): take the snapshot once with
+//! [`Collection::snapshot`](crate::Collection::snapshot) and every
+//! stage sees the same isolated state, without re-locking the
+//! collection per stage and without tearing across concurrent writers.
 
-use crate::collection::Collection;
+use crate::collection::Snapshot;
 use crate::query::Filter;
 use crate::value::Value;
 use std::collections::BTreeMap;
@@ -46,14 +52,14 @@ impl Reduce {
 /// Documents lacking either path are skipped, as are non-numeric
 /// values at `value_path`. Groups come back sorted by key.
 pub fn group_reduce(
-    collection: &Collection,
+    snapshot: &Snapshot,
     filter: &Filter,
     group_path: &str,
     value_path: &str,
     reduce: Reduce,
 ) -> BTreeMap<String, f64> {
     let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for doc in collection.find(filter) {
+    for doc in snapshot.find(filter) {
         let Some(key) = doc.at(group_path) else {
             continue;
         };
@@ -73,12 +79,12 @@ pub fn group_reduce(
 
 /// Reduces the numbers at `value_path` across all matching documents.
 pub fn reduce(
-    collection: &Collection,
+    snapshot: &Snapshot,
     filter: &Filter,
     value_path: &str,
     reduce: Reduce,
 ) -> Option<f64> {
-    let values: Vec<f64> = collection
+    let values: Vec<f64> = snapshot
         .find(filter)
         .iter()
         .filter_map(|doc| doc.at(value_path).and_then(Value::as_float))
@@ -89,6 +95,7 @@ pub fn reduce(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collection::Collection;
     use crate::database::Database;
 
     fn populated() -> Collection {
@@ -116,7 +123,7 @@ mod tests {
 
     #[test]
     fn group_means_per_app() {
-        let c = populated();
+        let c = populated().snapshot();
         let means = group_reduce(&c, &Filter::All, "app", "time", Reduce::Mean);
         assert_eq!(means.len(), 2);
         assert!((means["dedup"] - 60.0).abs() < 1e-9);
@@ -125,7 +132,7 @@ mod tests {
 
     #[test]
     fn group_by_numeric_key_stringifies() {
-        let c = populated();
+        let c = populated().snapshot();
         let sums = group_reduce(&c, &Filter::All, "cores", "time", Reduce::Sum);
         assert_eq!(sums["1"], 180.0);
         assert_eq!(sums["8"], 35.0);
@@ -133,7 +140,7 @@ mod tests {
 
     #[test]
     fn filters_apply_before_grouping() {
-        let c = populated();
+        let c = populated().snapshot();
         let maxima = group_reduce(
             &c,
             &Filter::eq("app", "dedup"),
@@ -147,7 +154,7 @@ mod tests {
 
     #[test]
     fn whole_collection_reductions() {
-        let c = populated();
+        let c = populated().snapshot();
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Count), Some(6.0));
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Min), Some(15.0));
         assert_eq!(reduce(&c, &Filter::All, "time", Reduce::Max), Some(100.0));
@@ -172,7 +179,8 @@ mod tests {
         .unwrap();
         c.insert(Value::map([("_id", Value::from("empty"))]))
             .unwrap();
-        let means = group_reduce(&c, &Filter::All, "app", "time", Reduce::Mean);
+        let snap = c.snapshot();
+        let means = group_reduce(&snap, &Filter::All, "app", "time", Reduce::Mean);
         assert!((means["dedup"] - 60.0).abs() < 1e-9, "bad rows ignored");
     }
 }

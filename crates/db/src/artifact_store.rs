@@ -25,14 +25,19 @@ impl ArtifactStore {
     /// Collection name used for artifact documents.
     pub const COLLECTION: &'static str = "artifacts";
 
-    /// Wraps a database, installing the hash-uniqueness constraint.
+    /// Wraps a database, installing the hash-uniqueness constraint and
+    /// the lookup indexes behind [`find_by_name`](Self::find_by_name)
+    /// and [`find_by_kind`](Self::find_by_kind).
     ///
     /// # Errors
     ///
     /// Fails if the database already contains duplicate artifact hashes.
     pub fn new(db: &Database) -> Result<ArtifactStore, DbError> {
         let store = ArtifactStore { db: db.clone() };
-        store.collection().ensure_unique("hash")?;
+        let collection = store.collection();
+        collection.ensure_unique("hash")?;
+        collection.ensure_index(crate::IndexSpec::hash("name"))?;
+        collection.ensure_index(crate::IndexSpec::hash("kind"))?;
         Ok(store)
     }
 

@@ -1,10 +1,11 @@
 //! The top-level database: named collections + blob store + persistence.
 
 use crate::blobstore::{BlobKey, BlobStore};
-use crate::collection::Collection;
+use crate::collection::{Collection, IndexKind, IndexSpec};
 use crate::error::DbError;
 use crate::journal::{self, Journal, JournalCell, JournalCursor, JournalOp};
 use crate::json;
+use crate::value::Value;
 use parking_lot::RwLock;
 use simart_observe as observe;
 use std::collections::BTreeMap;
@@ -50,7 +51,14 @@ pub struct LoadReport {
     /// `collection/_id` subjects where a journal insert collided with a
     /// checkpoint document of *different* content — evidence the
     /// checkpoint and journal disagree. The journal version wins.
+    /// Index declarations that could not be rebuilt (a unique index the
+    /// loaded documents no longer satisfy) appear as
+    /// `collection/#index:path` entries.
     pub divergent: Vec<String>,
+    /// Secondary indexes rebuilt from the documents during the load
+    /// (from the `indexes.json` manifest and journal `idx` records;
+    /// re-declarations of an already-rebuilt index are not counted).
+    pub indexes_rebuilt: usize,
 }
 
 impl LoadReport {
@@ -275,6 +283,36 @@ impl Database {
                 fs::remove_file(&path)?;
             }
         }
+        // Persist index *definitions* (plus their current rendered
+        // entries, for `simart check`'s divergence lint) in one
+        // manifest. Index contents are never load-bearing — loading
+        // rebuilds every index from the documents — but without the
+        // manifest a `save`d (journal-truncating) directory would
+        // forget which indexes were declared.
+        let manifest: BTreeMap<String, Value> = names
+            .iter()
+            .map(|name| self.collection(name))
+            .filter(|collection| !collection.index_specs().is_empty())
+            .map(|collection| (collection.name().to_owned(), collection.index_state()))
+            .collect();
+        let manifest_path = dir.join(INDEX_MANIFEST_FILE);
+        if manifest.is_empty() {
+            if manifest_path.exists() {
+                fs::remove_file(&manifest_path)?;
+            }
+        } else {
+            let body = json::to_json(&Value::map([(
+                "collections".to_owned(),
+                Value::Map(manifest),
+            )]));
+            let tmp = dir.join(format!("{INDEX_MANIFEST_FILE}.tmp"));
+            {
+                let mut file = fs::File::create(&tmp)?;
+                writeln!(file, "{body}")?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, &manifest_path)?;
+        }
         let blob_dir = dir.join("blobs");
         fs::create_dir_all(&blob_dir)?;
         remove_stale_tmp_files(&blob_dir)?;
@@ -463,6 +501,52 @@ impl Database {
                 db.blobs.put(data);
             }
         }
+        // Rebuild declared indexes from the manifest *before* journal
+        // replay, so replayed mutations maintain them write-through.
+        // Only the specs are consumed here; the recorded entries exist
+        // for divergence checking, the indexes themselves are always
+        // rebuilt from the loaded documents.
+        let manifest_path = dir.join(INDEX_MANIFEST_FILE);
+        if manifest_path.is_file() {
+            match json::from_json(fs::read_to_string(&manifest_path)?.trim()) {
+                Ok(manifest) => {
+                    let collections = manifest
+                        .at("collections")
+                        .and_then(Value::as_map)
+                        .cloned()
+                        .unwrap_or_default();
+                    for (name, state) in collections {
+                        for entry in state.as_array().unwrap_or(&[]) {
+                            let Some(spec) = index_spec_from_state(entry) else {
+                                if options.strict {
+                                    return Err(DbError::CorruptRecord {
+                                        path: manifest_path.display().to_string(),
+                                        detail: format!("bad index entry for collection {name}"),
+                                    });
+                                }
+                                report.skipped_documents += 1;
+                                continue;
+                            };
+                            let path = spec.path.clone();
+                            match db.collection(&name).ensure_index(spec) {
+                                Ok(()) => report.indexes_rebuilt += 1,
+                                Err(err) if options.strict => return Err(err),
+                                Err(_) => report.divergent.push(format!("{name}/#index:{path}")),
+                            }
+                        }
+                    }
+                }
+                Err(err) => {
+                    if options.strict {
+                        return Err(DbError::CorruptRecord {
+                            path: manifest_path.display().to_string(),
+                            detail: err.to_string(),
+                        });
+                    }
+                    report.skipped_documents += 1;
+                }
+            }
+        }
         // Replay the journal on top of the checkpoint. The database is
         // not yet attached, so replay never re-journals itself.
         let replay = journal::read_journal(dir)?;
@@ -549,9 +633,37 @@ impl Database {
                     self.blobs.remove(key);
                 }
             }
+            JournalOp::EnsureIndex { collection, spec } => {
+                let target = self.collection(&collection);
+                // Replays over a manifest-rebuilt index are expected;
+                // only genuinely new declarations count as rebuilds.
+                if target.index_specs().contains(&spec) {
+                    return Ok(());
+                }
+                let path = spec.path.clone();
+                match target.ensure_index(spec) {
+                    Ok(()) => report.indexes_rebuilt += 1,
+                    Err(err) if options.strict => return Err(err),
+                    Err(_) => report.divergent.push(format!("{collection}/#index:{path}")),
+                }
+            }
         }
         Ok(())
     }
+}
+
+/// File name of the secondary-index manifest inside a database
+/// directory (index specs + their rendered entries at save time).
+pub const INDEX_MANIFEST_FILE: &str = "indexes.json";
+
+/// Decodes one manifest / [`Collection::index_state`] entry back into
+/// its [`IndexSpec`]; `None` when fields are missing or malformed.
+fn index_spec_from_state(entry: &Value) -> Option<IndexSpec> {
+    Some(IndexSpec {
+        path: entry.at("path")?.as_str()?.to_owned(),
+        kind: IndexKind::parse(entry.at("kind")?.as_str()?)?,
+        unique: entry.at("unique")?.as_bool()?,
+    })
 }
 
 /// Files in `dir` (non-recursive) with the given extension.
@@ -1024,6 +1136,100 @@ mod tests {
         db.save(&dir).unwrap();
         let restored = Database::load(&dir).unwrap();
         assert!(restored.collection_names().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn indexes_survive_save_and_load_via_manifest() {
+        let dir = temp_dir("index-manifest");
+        let db = Database::in_memory();
+        let runs = db.collection("runs");
+        runs.ensure_index(IndexSpec::hash("status")).unwrap();
+        runs.ensure_index(IndexSpec::ordered("ticks")).unwrap();
+        for i in 0..6i64 {
+            runs.insert(Value::map([
+                ("_id", Value::from(format!("r{i}"))),
+                (
+                    "status",
+                    Value::from(if i % 2 == 0 { "done" } else { "new" }),
+                ),
+                ("ticks", Value::from(i * 10)),
+            ]))
+            .unwrap();
+        }
+        db.save(&dir).unwrap();
+        assert!(dir.join(INDEX_MANIFEST_FILE).is_file());
+
+        let (restored, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(report.indexes_rebuilt, 2);
+        let rruns = restored.collection("runs");
+        assert_eq!(rruns.index_specs().len(), 2);
+        assert_eq!(rruns.index_state(), runs.index_state());
+        assert!(rruns.verify_indexes().is_empty());
+        // Dropping every index removes the manifest again.
+        fs::remove_dir_all(&dir).unwrap();
+        Database::in_memory().save(&dir).unwrap();
+        assert!(!dir.join(INDEX_MANIFEST_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_replays_index_declarations_without_a_manifest() {
+        let dir = temp_dir("index-journal");
+        {
+            let db = Database::open(&dir).unwrap();
+            let runs = db.collection("runs");
+            runs.insert(Value::map([
+                ("_id", Value::from("r1")),
+                ("status", Value::from("done")),
+            ]))
+            .unwrap();
+            runs.ensure_index(IndexSpec::hash("status")).unwrap();
+            runs.insert(Value::map([
+                ("_id", Value::from("r2")),
+                ("status", Value::from("new")),
+            ]))
+            .unwrap();
+            // No save: only the journal carries the declaration.
+        }
+        assert!(!dir.join(INDEX_MANIFEST_FILE).exists());
+        let (restored, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(report.indexes_rebuilt, 1);
+        let runs = restored.collection("runs");
+        assert_eq!(runs.index_specs(), vec![IndexSpec::hash("status")]);
+        assert!(runs.verify_indexes().is_empty());
+        assert_eq!(runs.count(&Filter::eq("status", "new")), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_index_declarations_into_the_manifest() {
+        let dir = temp_dir("index-checkpoint");
+        let db = Database::open(&dir).unwrap();
+        let runs = db.collection("runs");
+        runs.ensure_unique("hash").unwrap();
+        runs.insert(Value::map([
+            ("_id", Value::from("r1")),
+            ("hash", Value::from("h1")),
+        ]))
+        .unwrap();
+        db.checkpoint().unwrap();
+        assert!(dir.join(INDEX_MANIFEST_FILE).is_file());
+        drop(db);
+
+        let (restored, report) = Database::load_with(&dir, &LoadOptions::default()).unwrap();
+        // The manifest installs it once; the (already folded) journal
+        // adds nothing on top.
+        assert_eq!(report.indexes_rebuilt, 1);
+        let runs = restored.collection("runs");
+        assert_eq!(runs.index_specs(), vec![IndexSpec::hash("hash").unique()]);
+        assert!(matches!(
+            runs.insert(Value::map([
+                ("_id", Value::from("r2")),
+                ("hash", Value::from("h1")),
+            ])),
+            Err(DbError::UniqueViolation { .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,13 @@ pub enum DbError {
         /// Rendered value that collided.
         value: String,
     },
+    /// A different index already covers the path being declared.
+    IndexConflict {
+        /// Collection name.
+        collection: String,
+        /// The contested field path.
+        path: String,
+    },
     /// Document rejected because it is not a map or lacks an `_id` string.
     InvalidDocument {
         /// Why the document was rejected.
@@ -76,6 +83,10 @@ impl fmt::Display for DbError {
             } => write!(
                 f,
                 "unique constraint on {collection:?}.{field} violated by value {value}"
+            ),
+            DbError::IndexConflict { collection, path } => write!(
+                f,
+                "an index with a different spec already covers {collection:?}.{path}"
             ),
             DbError::InvalidDocument { reason } => {
                 write!(f, "invalid document: {reason}")

@@ -102,6 +102,15 @@ pub enum JournalOp {
         /// Hex form of the removed blob's key.
         key: String,
     },
+    /// A secondary index was declared on a collection. Journaling the
+    /// definition (not the entries — indexes are rebuilt from the
+    /// documents) lets declarations survive checkpoint compaction.
+    EnsureIndex {
+        /// Collection name.
+        collection: String,
+        /// The declared index.
+        spec: crate::collection::IndexSpec,
+    },
 }
 
 impl JournalOp {
@@ -134,6 +143,13 @@ impl JournalOp {
             JournalOp::BlobRemove { key } => Value::map([
                 ("op", Value::from("blobrm")),
                 ("key", Value::from(key.clone())),
+            ]),
+            JournalOp::EnsureIndex { collection, spec } => Value::map([
+                ("op", Value::from("idx")),
+                ("c", Value::from(collection.clone())),
+                ("p", Value::from(spec.path.clone())),
+                ("k", Value::from(spec.kind.as_str())),
+                ("u", Value::from(spec.unique)),
             ]),
         };
         json::to_json(&value)
@@ -177,6 +193,18 @@ impl JournalOp {
                 Ok(JournalOp::BlobPut { data })
             }
             "blobrm" => Ok(JournalOp::BlobRemove { key: field("key")? }),
+            "idx" => Ok(JournalOp::EnsureIndex {
+                collection: field("c")?,
+                spec: crate::collection::IndexSpec {
+                    path: field("p")?,
+                    kind: crate::collection::IndexKind::parse(&field("k")?)
+                        .ok_or_else(|| "journal index record has unknown kind".to_owned())?,
+                    unique: value
+                        .at("u")
+                        .and_then(Value::as_bool)
+                        .ok_or_else(|| "journal record lacks `u`".to_owned())?,
+                },
+            }),
             other => Err(format!("unknown journal op `{other}`")),
         }
     }
@@ -601,6 +629,14 @@ mod tests {
                 data: vec![0, 1, 2, 0xff],
             },
             JournalOp::BlobRemove { key: "00ff".into() },
+            JournalOp::EnsureIndex {
+                collection: "artifacts".into(),
+                spec: crate::collection::IndexSpec::hash("hash").unique(),
+            },
+            JournalOp::EnsureIndex {
+                collection: "runs".into(),
+                spec: crate::collection::IndexSpec::ordered("ticks"),
+            },
         ];
         for op in ops {
             let text = op.to_payload();

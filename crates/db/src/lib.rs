@@ -11,8 +11,9 @@
 //!
 //! * [`Value`] — a JSON-like document model with its own text
 //!   serialization (used for on-disk persistence);
-//! * [`Collection`] — ordered document storage with unique-id and
-//!   secondary unique-key constraints plus a [`Filter`] query engine;
+//! * [`Collection`] — sharded, ordered document storage with declared
+//!   secondary indexes ([`IndexSpec`]), copy-on-write [`Snapshot`]
+//!   reads, and a [`Filter`] query engine with an index-aware planner;
 //! * [`BlobStore`] — content-addressed byte storage (the GridFS
 //!   analogue) that deduplicates identical uploads;
 //! * [`Database`] — a named set of collections plus a blob store, with
@@ -57,8 +58,8 @@ mod value;
 pub use aggregate::{group_reduce, reduce, Reduce};
 pub use artifact_store::ArtifactStore;
 pub use blobstore::{BlobKey, BlobStore};
-pub use collection::Collection;
-pub use database::{Database, LoadOptions, LoadReport};
+pub use collection::{Collection, IndexDivergence, IndexKind, IndexSpec, Snapshot};
+pub use database::{Database, LoadOptions, LoadReport, INDEX_MANIFEST_FILE};
 pub use error::DbError;
 pub use journal::{
     prefix_crc, read_journal, read_journal_from, JournalCursor, JournalOp, JournalReplay,

@@ -130,6 +130,93 @@ impl Filter {
         Filter::Not(Box::new(self))
     }
 
+    /// The query planner: decomposes this filter into index-answerable
+    /// probes, best-first (`_id` lookups, then equality, membership,
+    /// and finally ranges). The caller executes the first probe an
+    /// index can serve and re-applies the *full* filter to the
+    /// candidates, so probes only ever need to over-approximate —
+    /// `Or`/`Not` subtrees and residual conjuncts simply contribute no
+    /// probes. Range conjuncts on one path are merged to their tightest
+    /// bounds. Probes against `Null` are never emitted (a missing field
+    /// equals `Null`, and indexes are sparse).
+    pub(crate) fn probes(&self) -> Vec<Probe<'_>> {
+        let mut out = Vec::new();
+        self.collect_probes(&mut out);
+        // Merge every range conjunct on the same path into one probe.
+        let mut merged: Vec<Probe<'_>> = Vec::new();
+        for probe in out {
+            if let Probe::Range { path, lower, upper } = &probe {
+                if let Some(Probe::Range {
+                    lower: mlower,
+                    upper: mupper,
+                    ..
+                }) = merged
+                    .iter_mut()
+                    .find(|p| matches!(p, Probe::Range { path: mpath, .. } if mpath == path))
+                {
+                    *mlower = tighter_bound(*mlower, *lower, true);
+                    *mupper = tighter_bound(*mupper, *upper, false);
+                    continue;
+                }
+            }
+            merged.push(probe);
+        }
+        merged.sort_by_key(Probe::priority);
+        merged
+    }
+
+    fn collect_probes<'a>(&'a self, out: &mut Vec<Probe<'a>>) {
+        match self {
+            Filter::Eq(path, value) if path == "_id" => {
+                // A string matches exactly that id; any other value can
+                // never equal a (string) `_id`, so the candidate set is
+                // exactly empty — which is still a valid probe.
+                out.push(Probe::Ids(match value {
+                    Value::Str(id) => vec![id.as_str()],
+                    _ => Vec::new(),
+                }));
+            }
+            Filter::Eq(path, value) if !value.is_null() => out.push(Probe::Eq { path, value }),
+            Filter::ElemMatch(path, value) if !value.is_null() => {
+                out.push(Probe::Elem { path, value });
+            }
+            Filter::In(path, values) if path == "_id" => {
+                // Non-string members can never match an `_id`.
+                out.push(Probe::Ids(
+                    values.iter().filter_map(Value::as_str).collect(),
+                ));
+            }
+            Filter::In(path, values) if !values.iter().any(Value::is_null) => {
+                out.push(Probe::In { path, values });
+            }
+            Filter::Gt(path, value) => out.push(Probe::Range {
+                path,
+                lower: Some((value, false)),
+                upper: None,
+            }),
+            Filter::Gte(path, value) => out.push(Probe::Range {
+                path,
+                lower: Some((value, true)),
+                upper: None,
+            }),
+            Filter::Lt(path, value) => out.push(Probe::Range {
+                path,
+                lower: None,
+                upper: Some((value, false)),
+            }),
+            Filter::Lte(path, value) => out.push(Probe::Range {
+                path,
+                lower: None,
+                upper: Some((value, true)),
+            }),
+            Filter::And(a, b) => {
+                a.collect_probes(out);
+                b.collect_probes(out);
+            }
+            _ => {}
+        }
+    }
+
     /// Evaluates the filter against a document.
     pub fn matches(&self, doc: &Value) -> bool {
         use std::cmp::Ordering;
@@ -163,6 +250,80 @@ impl Filter {
             Filter::And(a, b) => a.matches(doc) && b.matches(doc),
             Filter::Or(a, b) => a.matches(doc) || b.matches(doc),
             Filter::Not(inner) => !inner.matches(doc),
+        }
+    }
+}
+
+/// One index-answerable constraint extracted by [`Filter::probes`].
+/// Borrowed from the filter; bounds are `(value, inclusive)`.
+#[derive(Debug)]
+pub(crate) enum Probe<'a> {
+    /// Direct primary-key candidates (needs no declared index).
+    Ids(Vec<&'a str>),
+    /// Equality on a non-null value.
+    Eq {
+        /// Constrained field path.
+        path: &'a str,
+        /// The value the field must equal.
+        value: &'a Value,
+    },
+    /// Array membership of a non-null element.
+    Elem {
+        /// Constrained field path.
+        path: &'a str,
+        /// The element the array must contain.
+        value: &'a Value,
+    },
+    /// Membership in a null-free value list.
+    In {
+        /// Constrained field path.
+        path: &'a str,
+        /// The allowed values.
+        values: &'a [Value],
+    },
+    /// An ordered range with optional bounds.
+    Range {
+        /// Constrained field path.
+        path: &'a str,
+        /// Lower bound, if any.
+        lower: Option<(&'a Value, bool)>,
+        /// Upper bound, if any.
+        upper: Option<(&'a Value, bool)>,
+    },
+}
+
+impl Probe<'_> {
+    /// Selectivity rank; the planner tries lower ranks first.
+    fn priority(&self) -> u8 {
+        match self {
+            Probe::Ids(_) => 0,
+            Probe::Eq { .. } => 1,
+            Probe::Elem { .. } => 2,
+            Probe::In { .. } => 3,
+            Probe::Range { .. } => 4,
+        }
+    }
+}
+
+/// Keeps the tighter of two optional range bounds. For a lower bound
+/// the larger value is tighter; for an upper bound the smaller. On
+/// compare-equal values the exclusive bound wins (the conjunction of
+/// both constraints is the exclusive one).
+fn tighter_bound<'a>(
+    a: Option<(&'a Value, bool)>,
+    b: Option<(&'a Value, bool)>,
+    lower: bool,
+) -> Option<(&'a Value, bool)> {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, other) | (other, None) => other,
+        (Some((va, ia)), Some((vb, ib))) => {
+            let keep_a = match va.compare(vb) {
+                Ordering::Equal => return Some((va, ia && ib)),
+                Ordering::Greater => lower,
+                Ordering::Less => !lower,
+            };
+            Some(if keep_a { (va, ia) } else { (vb, ib) })
         }
     }
 }

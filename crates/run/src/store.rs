@@ -29,13 +29,20 @@ impl RunStore {
     /// Collection used for run documents.
     pub const COLLECTION: &'static str = "runs";
 
-    /// Wraps a database, installing the run-hash uniqueness constraint.
+    /// Wraps a database, installing the run-hash uniqueness constraint
+    /// plus the status and inputs lookup indexes behind
+    /// [`find_by_status`](Self::find_by_status) and
+    /// [`find_by_artifact`](Self::find_by_artifact).
     ///
     /// # Errors
     ///
     /// Fails if existing documents already violate uniqueness.
     pub fn new(db: &Database) -> Result<RunStore, RunError> {
-        db.collection(Self::COLLECTION).ensure_unique("hash")?;
+        let collection = db.collection(Self::COLLECTION);
+        collection.ensure_unique("hash")?;
+        collection.ensure_index(simart_db::IndexSpec::hash("status"))?;
+        collection.ensure_index(simart_db::IndexSpec::hash("inputs"))?;
+        collection.ensure_index(simart_db::IndexSpec::ordered("results.simTicks"))?;
         Ok(RunStore { db: db.clone() })
     }
 

@@ -69,10 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!("launched: {summary:?}\n");
 
-    // Query + aggregate: mean simulated time per application.
+    // Query + aggregate: mean simulated time per application. The
+    // aggregation reads a copy-on-write snapshot, so every stage sees
+    // one consistent cut of the collection.
     let runs_collection = experiment.database().collection("runs");
     let means = aggregate::group_reduce(
-        &runs_collection,
+        &runs_collection.snapshot(),
         &Filter::eq("status", "done"),
         "params.0",
         "results.simTicks",
