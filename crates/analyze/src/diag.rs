@@ -106,6 +106,13 @@ pub enum LintCode {
     /// hand-edited (or a write path has a bug), and queries planned
     /// through the index may silently miss documents.
     IndexDivergence,
+    /// SA0018: a run's remote-delivery journal shows a resumed worker
+    /// session diverging from the coordinator — an ack for a delivery
+    /// the coordinator never dispatched, or the same delivery acked
+    /// under two different generations. Either is the signature of a
+    /// split-brain resume: two incarnations of a session both believe
+    /// they own the delivery.
+    SessionResumeDivergence,
     /// SA0101: the race detector found conflicting unsynchronized
     /// accesses in a recorded trace.
     DataRace,
@@ -130,6 +137,7 @@ pub const ALL_CODES: &[LintCode] = &[
     LintCode::OrphanedRemoteAttempt,
     LintCode::StaleCheckpoint,
     LintCode::IndexDivergence,
+    LintCode::SessionResumeDivergence,
     LintCode::DataRace,
 ];
 
@@ -154,6 +162,7 @@ impl LintCode {
             LintCode::OrphanedRemoteAttempt => "SA0015",
             LintCode::StaleCheckpoint => "SA0016",
             LintCode::IndexDivergence => "SA0017",
+            LintCode::SessionResumeDivergence => "SA0018",
             LintCode::DataRace => "SA0101",
         }
     }
@@ -178,6 +187,7 @@ impl LintCode {
             LintCode::OrphanedRemoteAttempt => "orphaned-remote-attempt",
             LintCode::StaleCheckpoint => "stale-checkpoint",
             LintCode::IndexDivergence => "index-divergence",
+            LintCode::SessionResumeDivergence => "session-resume-divergence",
             LintCode::DataRace => "data-race",
         }
     }

@@ -73,6 +73,10 @@ pub fn self_test() -> Result<String, String> {
             "remote-dispatch:2:g2",
             "status:running",
             "remote-ack:2:g2",
+            // A session reconnect that resumes the same generation is
+            // fine (SA0018 control) — the ack above still pairs with
+            // its own dispatch.
+            "remote-reconnect:7:g2",
             // Checkpoint controls: a restore (or first-boot save) under
             // the key the run's own configuration declared is fine.
             "checkpoint-key:00f0e1d2c3b4a596",
@@ -195,6 +199,25 @@ pub fn self_test() -> Result<String, String> {
             "status:done",
         ],
     );
+    // SA0018: session-resume divergence — the same delivery acked under
+    // two worker generations (split-brain: two incarnations of one
+    // session both believed they owned the work). The second ack also
+    // pairs with no dispatch, the other half of the signature.
+    seed_run(
+        &db,
+        "run-10",
+        "rh-10",
+        "done",
+        &[],
+        &[
+            "status:queued",
+            "status:running",
+            "remote-dispatch:1:g1",
+            "remote-ack:1:g1",
+            "remote-ack:1:g2",
+            "status:done",
+        ],
+    );
     // SA0017: a secondary-index entry pointing at a run that does not
     // exist (the write paths can never produce this; the injection
     // stands in for a code or hand-edit bug corrupting maintenance).
@@ -220,6 +243,7 @@ pub fn self_test() -> Result<String, String> {
         LintCode::OrphanedRemoteAttempt,
         LintCode::StaleCheckpoint,
         LintCode::IndexDivergence,
+        LintCode::SessionResumeDivergence,
     ];
     for code in expect {
         if !diags.iter().any(|d| d.code == code) {
@@ -481,6 +505,66 @@ mod tests {
         assert!(diags.is_empty(), "{diags:?}");
         // No remote events at all: nothing to flag.
         assert!(scan(&["status:queued", "status:running", "status:done"]).is_empty());
+    }
+
+    #[test]
+    fn session_resume_divergence_is_flagged_but_consistent_resumes_are_not() {
+        use crate::lints::lint_session_resume;
+        fn scan(events: &[&str]) -> Vec<Diagnostic> {
+            let doc = Value::map([(
+                "events",
+                Value::array(events.iter().map(|e| Value::from(*e))),
+            )]);
+            let mut diags = Vec::new();
+            lint_session_resume(&doc, "run:t", &mut diags);
+            diags
+        }
+        // An ack pairing with its own dispatch is clean, including
+        // across a reconnect of the same session/generation.
+        assert!(scan(&["remote-dispatch:1:g1", "remote-ack:1:g1"]).is_empty());
+        assert!(scan(&[
+            "remote-dispatch:1:g1",
+            "remote-reconnect:7:g1",
+            "remote-ack:1:g1",
+        ])
+        .is_empty());
+        // A redelivery acked under its own (bumped) generation is clean.
+        assert!(scan(&[
+            "remote-dispatch:1:g1",
+            "remote-dispatch:2:g2",
+            "remote-ack:2:g2",
+        ])
+        .is_empty());
+        // No remote events at all: nothing to flag.
+        assert!(scan(&["status:queued", "status:done"]).is_empty());
+        // An ack the coordinator never dispatched is divergence.
+        let diags = scan(&["remote-dispatch:1:g1", "remote-ack:1:g2"]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::SessionResumeDivergence);
+        assert!(
+            diags[0].message.contains("no matching"),
+            "{}",
+            diags[0].message
+        );
+        // The same delivery acked under two generations is split-brain
+        // (the second ack here also pairs with a real dispatch, so only
+        // the two-generations arm fires).
+        let diags = scan(&[
+            "remote-dispatch:1:g1",
+            "remote-ack:1:g1",
+            "remote-dispatch:1:g2",
+            "remote-ack:1:g2",
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, LintCode::SessionResumeDivergence);
+        assert!(
+            diags[0].message.contains("two worker"),
+            "{}",
+            diags[0].message
+        );
+        // Re-acking under the SAME generation is idempotent delivery,
+        // not divergence (first-report-wins absorbs it).
+        assert!(scan(&["remote-dispatch:1:g1", "remote-ack:1:g1", "remote-ack:1:g1",]).is_empty());
     }
 
     #[test]

@@ -966,6 +966,7 @@ impl RunLogLint {
         replay_events(doc, &subject, &mut diags);
         lint_remote_attempts(doc, &subject, &mut diags);
         lint_checkpoint_events(doc, &subject, &mut diags);
+        lint_session_resume(doc, &subject, &mut diags);
         if diags.is_empty() {
             self.findings.remove(id);
         } else {
@@ -1946,6 +1947,62 @@ pub(crate) fn lint_checkpoint_events(
                 ),
             )),
             Some(_) => {}
+        }
+    }
+}
+
+/// Scans a run's event log for session-resume divergence (SA0018): every
+/// `remote-ack:<delivery>:g<generation>` must pair with a prior
+/// `remote-dispatch` of the *same* delivery under the *same* generation,
+/// and no delivery may be acked under two different generations. A
+/// resumed session acking a delivery the coordinator never dispatched,
+/// or the same delivery acked by two worker generations, is the
+/// split-brain signature: two incarnations of one session both believed
+/// they owned the work, so the run's recorded output cannot be
+/// attributed to a single delivery.
+pub(crate) fn lint_session_resume(doc: &Value, subject: &str, diagnostics: &mut Vec<Diagnostic>) {
+    let mut dispatched: Vec<(&str, &str)> = Vec::new();
+    let mut acked: Vec<(&str, &str)> = Vec::new();
+    for event in doc.at("events").and_then(Value::as_array).unwrap_or(&[]) {
+        let Some(event) = event.as_str() else {
+            continue;
+        };
+        if let Some(dispatch) = event.strip_prefix("remote-dispatch:") {
+            if let Some(pair) = dispatch.split_once(":g") {
+                dispatched.push(pair);
+            }
+        } else if let Some(ack) = event.strip_prefix("remote-ack:") {
+            let Some((delivery, generation)) = ack.split_once(":g") else {
+                continue;
+            };
+            if !dispatched.contains(&(delivery, generation)) {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::SessionResumeDivergence,
+                    subject.to_owned(),
+                    format!(
+                        "remote-ack for delivery {delivery} under worker \
+                         generation {generation} has no matching \
+                         remote-dispatch — a resumed session acked work the \
+                         coordinator never handed it (split-brain?)"
+                    ),
+                ));
+            }
+            if let Some(&(_, earlier)) = acked
+                .iter()
+                .find(|(d, g)| *d == delivery && *g != generation)
+            {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::SessionResumeDivergence,
+                    subject.to_owned(),
+                    format!(
+                        "delivery {delivery} was acked under two worker \
+                         generations ({earlier} and {generation}) — two \
+                         incarnations of the session both completed the same \
+                         delivery (split-brain)"
+                    ),
+                ));
+            }
+            acked.push((delivery, generation));
         }
     }
 }

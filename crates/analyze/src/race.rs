@@ -15,6 +15,11 @@
 //! * `RemoteDispatch(t)` → the matching `RemoteAck(t)` (the
 //!   coordinator's state up to writing the dispatch frame is visible
 //!   to whoever accepts the worker's result);
+//! * `RemoteReconnect(s)` is a join-then-publish barrier on session
+//!   `s`: each reconnect observes everything every earlier
+//!   `RemoteReconnect(s)` had seen and publishes its own state for
+//!   later ones (connection hand-offs of one session are totally
+//!   ordered);
 //! * `LeaseGrant(t)` → the matching `LeaseRevoke(t)` (same FIFO
 //!   pairing: the worker's state up to taking the lease is visible to
 //!   the supervisor that revokes it);
@@ -83,6 +88,7 @@ pub fn check(events: &[Event]) -> Vec<Race> {
     let mut lock_release: HashMap<ObjectId, VClock> = HashMap::new();
     let mut queued: HashMap<ObjectId, VecDeque<VClock>> = HashMap::new();
     let mut task_origin: HashMap<ObjectId, VClock> = HashMap::new();
+    let mut session_origin: HashMap<ObjectId, VClock> = HashMap::new();
     let mut accesses: HashMap<ObjectId, Vec<Access>> = HashMap::new();
     let mut races = Vec::new();
 
@@ -104,6 +110,11 @@ pub fn check(events: &[Event]) -> Vec<Race> {
                 if let Some(sent) = queued.get_mut(&o).and_then(VecDeque::pop_front) {
                     vc.join(&sent);
                 }
+            }
+            Op::RemoteReconnect(o) => {
+                let origin = session_origin.entry(o).or_default();
+                vc.join(&origin.clone());
+                origin.join(&vc);
             }
             Op::TaskSubmit(o) | Op::TaskRequeue(o) | Op::TaskFinish(o) => {
                 task_origin.entry(o).or_default().join(&vc);
@@ -378,6 +389,29 @@ mod tests {
             ev(0, 0, Op::Write(7)),
             ev(1, 1, Op::RemoteAck(4)),
             ev(2, 1, Op::Read(7)),
+        ];
+        assert_eq!(check(&unordered).len(), 1);
+    }
+
+    #[test]
+    fn remote_reconnect_orders_session_handoffs() {
+        // The thread that served the session's first connection writes
+        // shared state and hits the reconnect barrier; the thread that
+        // resumes the session hits the same barrier before reading —
+        // ordered, no race.
+        let trace = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::RemoteReconnect(9)),
+            ev(2, 1, Op::RemoteReconnect(9)),
+            ev(3, 1, Op::Read(7)),
+        ];
+        assert!(check(&trace).is_empty());
+        // A reconnect barrier on a *different* session does not order.
+        let unordered = [
+            ev(0, 0, Op::Write(7)),
+            ev(1, 0, Op::RemoteReconnect(9)),
+            ev(2, 1, Op::RemoteReconnect(8)),
+            ev(3, 1, Op::Read(7)),
         ];
         assert_eq!(check(&unordered).len(), 1);
     }

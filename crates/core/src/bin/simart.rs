@@ -33,7 +33,7 @@ use simart::sim::ticks::format_ticks;
 use simart::sim::workload::{gapbs_profile, npb_profile, parsec_profile, InputSize};
 use simart::tasks::{
     BrokerScheduler, FaultInjector, PoolScheduler, RemoteConfig, RemoteScheduler, RetryPolicy,
-    SupervisorConfig, WorkerCommand,
+    SupervisorConfig, TransportKind, WorkerCommand,
 };
 use simart::{ExecOutcome, Experiment, LaunchOptions, LaunchSummary};
 use std::sync::Arc;
@@ -41,9 +41,16 @@ use std::sync::Arc;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        // Hidden subcommand: run as a remote campaign worker. Stdout
-        // is the wire — the handler registry must never print to it.
-        Some("worker") => simart::tasks::worker_main(&simart::remote::campaign_registry()),
+        // Hidden subcommand: run as a remote campaign worker. Over
+        // pipes stdout is the wire — the handler registry must never
+        // print to it; with --connect the socket is the wire instead.
+        Some("worker") => {
+            let registry = simart::remote::campaign_registry();
+            match flag(&args[1..], "--connect") {
+                Some(addr) => simart::tasks::worker_main_connect(&registry, &addr),
+                None => simart::tasks::worker_main(&registry),
+            }
+        }
         Some("catalog") => catalog(),
         Some("boot") => boot(&args[1..]),
         Some("parsec") => workload_cmd(&args[1..], "parsec"),
@@ -68,6 +75,7 @@ fn main() {
                  \u{20}                 --fault-rate R --fault-seed S (deterministic fault injection)\n\
                  \u{20}                 --scheduler pool|broker|remote  --workers N\n\
                  \u{20}                 --max-redeliveries N  --kill-rate R\n\
+                 \u{20}                 --transport pipe|tcp  --partition-rate R (network chaos, tcp only)\n\
                  \u{20}                 --checkpoint-dir DIR (boot once, restore many)\n\
                  \u{20}                 --check (lint the database after the campaign)\n\
                  metrics options:  --db DIR  --format text|json\n\
@@ -334,9 +342,33 @@ fn campaign(args: &[String]) -> i32 {
     let kill_rate: f64 = flag(args, "--kill-rate")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
+    let partition_rate: f64 = flag(args, "--partition-rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
     let scheduler_kind = flag(args, "--scheduler").unwrap_or_else(|| "pool".to_owned());
     if !["pool", "broker", "remote"].contains(&scheduler_kind.as_str()) {
         eprintln!("error: unknown scheduler `{scheduler_kind}` (expected pool, broker, or remote)");
+        return 2;
+    }
+    let transport: TransportKind = match flag(args, "--transport")
+        .as_deref()
+        .unwrap_or("pipe")
+        .parse()
+    {
+        Ok(kind) => kind,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if transport == TransportKind::Tcp && scheduler_kind != "remote" {
+        eprintln!("error: --transport tcp requires --scheduler remote");
+        return 2;
+    }
+    // Network chaos injects faults on real worker connections; only
+    // the TCP transport has connections to partition.
+    if partition_rate > 0.0 && transport != TransportKind::Tcp {
+        eprintln!("error: --partition-rate requires --transport tcp");
         return 2;
     }
     let workers: usize = flag(args, "--workers")
@@ -471,14 +503,25 @@ fn campaign(args: &[String]) -> i32 {
         };
         let mut config = RemoteConfig {
             supervisor,
+            transport,
             ..RemoteConfig::default()
         };
-        if kill_rate > 0.0 {
-            // Real SIGKILLs against real worker PIDs, same seed
-            // discipline as the in-process injectors.
-            config.fault = Some(Arc::new(
-                FaultInjector::new(fault_seed).worker_kills(kill_rate),
-            ));
+        if kill_rate > 0.0 || partition_rate > 0.0 {
+            // Real SIGKILLs against real worker PIDs and real faults on
+            // real worker connections, same seed discipline as the
+            // in-process injectors.
+            let mut injector = FaultInjector::new(fault_seed);
+            if kill_rate > 0.0 {
+                injector = injector.worker_kills(kill_rate);
+            }
+            if partition_rate > 0.0 {
+                injector = injector
+                    .net_partitions(partition_rate)
+                    .net_resets(partition_rate / 2.0)
+                    .net_corruption(partition_rate / 4.0)
+                    .net_latency(partition_rate, std::time::Duration::from_millis(2));
+            }
+            config.fault = Some(Arc::new(injector));
         }
         let command = WorkerCommand::new(program).arg("worker");
         let remote = match RemoteScheduler::with_config(command, workers, config) {

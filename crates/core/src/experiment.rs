@@ -560,7 +560,10 @@ impl Experiment {
     /// `remote-dispatch:<delivery>:g<generation>` and
     /// `remote-ack:<delivery>:g<generation>` events — the trail
     /// `simart check`'s SA0015 audits for attempts orphaned by a
-    /// coordinator crash.
+    /// coordinator crash — plus, over the TCP transport,
+    /// `remote-reconnect:<session>:g<generation>` events whenever a
+    /// worker session resumes while holding the run's lease (audited
+    /// by SA0018 for session-resume divergence).
     ///
     /// `options.retry_policy`, `options.fault`, and
     /// `options.worker_fault` are ignored: across a process boundary,
@@ -618,6 +621,19 @@ impl Experiment {
             } => {
                 if let Some(&id) = ids.get(task) {
                     let _ = store.log_event(id, &format!("remote-ack:{delivery}:g{generation}"));
+                }
+            }
+            RemoteEvent::Reconnected {
+                task,
+                session,
+                generation,
+            } => {
+                // A worker session resumed over a fresh TCP connection
+                // while holding this run's lease; journal the resume so
+                // SA0018 can audit acks against live sessions.
+                if let Some(&id) = ids.get(task) {
+                    let _ =
+                        store.log_event(id, &format!("remote-reconnect:{session}:g{generation}"));
                 }
             }
             RemoteEvent::Redelivered { .. } | RemoteEvent::DeadLettered { .. } => {}

@@ -562,6 +562,54 @@ fn tampered_checkpoint_is_an_index_divergence() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SA0018: a run whose event log shows the same delivery acked under
+/// two worker generations — the split-brain signature a diverged
+/// session resume leaves behind. The second ack also pairs with no
+/// dispatch, so both arms of the lint fire; the text report must match
+/// the golden rendering byte for byte.
+#[test]
+fn session_resume_divergence_is_reported() {
+    let dir = temp_dir("sa0018");
+    let db = Database::in_memory();
+    seed_run(
+        &db,
+        "run-split",
+        "rh-split",
+        "done",
+        &[],
+        &[
+            "status:queued",
+            "status:running",
+            "remote-dispatch:1:g1",
+            "remote-ack:1:g1",
+            "remote-reconnect:4:g2",
+            "remote-ack:1:g2",
+            "status:done",
+        ],
+    );
+    db.save(&dir).expect("save fixture");
+
+    let out = run_check(&dir, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = "error[SA0018] session-resume-divergence: delivery 1 was acked under two worker \
+         generations (1 and 2) — two incarnations of the session both completed the same \
+         delivery (split-brain) (run:run-split)\n\
+         error[SA0018] session-resume-divergence: remote-ack for delivery 1 under worker \
+         generation 2 has no matching remote-dispatch — a resumed session acked work the \
+         coordinator never handed it (split-brain?) (run:run-split)\n\
+         check: 2 errors, 0 warnings\n";
+    assert_eq!(stdout, golden);
+
+    let json = run_check(&dir, &["--format", "json"]);
+    assert_eq!(json.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&json.stdout).contains("\"code\":\"SA0018\""),
+        "{json:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn self_test_subcommand_passes() {
     let out = Command::new(env!("CARGO_BIN_EXE_simart"))

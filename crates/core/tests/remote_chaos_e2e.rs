@@ -109,6 +109,94 @@ fn remote_chaos_campaign_completes_with_zero_lost_runs() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The full network-chaos gauntlet over TCP: workers join the
+/// coordinator over sockets while the seeded injector SIGKILLs live
+/// PIDs *and* drops, resets, corrupts, and delays coordinator→worker
+/// frames. The campaign must still complete with zero lost runs, the
+/// reconnect/partition counters must record the chaos, and the lint
+/// (including the SA0018 session-resume audit) must come back clean —
+/// twice, because the fault *schedule* is a pure function of the seed
+/// (`fault.rs` and `transport.rs` unit-test that purity directly;
+/// which draws get consumed shifts with OS scheduling, so this test
+/// asserts the invariant outcome, not raw counter equality).
+#[test]
+fn tcp_campaign_survives_partitions_resets_and_kills() {
+    for tag in ["a", "b"] {
+        let dir = std::env::temp_dir().join(format!(
+            "simart-remote-tcp-chaos-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db_arg = dir.to_str().unwrap().to_owned();
+        let (stdout, stderr, code) = simart(&[
+            "campaign",
+            "--db",
+            &db_arg,
+            "--scheduler",
+            "remote",
+            "--transport",
+            "tcp",
+            "--workers",
+            "3",
+            "--partition-rate",
+            "0.25",
+            "--kill-rate",
+            "0.4",
+            "--fault-seed",
+            "7",
+            "--max-redeliveries",
+            "12",
+        ]);
+        assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+        assert!(
+            stdout.contains("done 6, failed 0, timed out 0, quarantined 0"),
+            "{stdout}"
+        );
+
+        let (metrics, _, code) = simart(&["metrics", "--db", &db_arg]);
+        assert_eq!(code, 0);
+        let counter = |name: &str| -> u64 {
+            metrics
+                .lines()
+                .find(|l| l.contains(name))
+                .and_then(|l| l.rsplit('=').next())
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("no {name} counter in:\n{metrics}"))
+        };
+        // The network chaos was real: connections were lost, sessions
+        // resumed over fresh sockets, and the SIGKILL carnage ran on
+        // top — yet every run completed exactly once.
+        assert!(counter("broker.remote_partitions") >= 1, "{metrics}");
+        assert!(counter("broker.remote_reconnects") >= 1, "{metrics}");
+        assert!(counter("broker.remote_kills") >= 1, "{metrics}");
+        assert_eq!(counter("broker.remote_acks"), 6, "{metrics}");
+
+        // Every run is Done with a full provenance trail, and the
+        // linter — SA0015 orphaned attempts and SA0018 session-resume
+        // divergence included — finds nothing.
+        let (_db, runs) = open_runs(&dir);
+        let done = runs.find_by_status(RunStatus::Done).unwrap();
+        assert_eq!(done.len(), 6);
+        for run in &done {
+            let events = runs.events(run.id());
+            assert!(
+                events.iter().any(|e| e.starts_with("remote-dispatch:")),
+                "no dispatch event on {}: {events:?}",
+                run.id()
+            );
+            assert!(
+                events.iter().any(|e| e.starts_with("remote-ack:")),
+                "no ack event on {}: {events:?}",
+                run.id()
+            );
+        }
+        let (check, _, code) = simart(&["check", "--db", &db_arg]);
+        assert_eq!(code, 0, "{check}");
+        assert!(check.contains("0 errors, 0 warnings"), "{check}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Every delivery killed: the cap is exhausted cross-process, the runs
 /// land in the persistent quarantine, `--resume` refuses to touch
 /// them, and an explicit `simart quarantine --release` re-queues one

@@ -25,9 +25,12 @@ impl ArtifactStore {
     /// Collection name used for artifact documents.
     pub const COLLECTION: &'static str = "artifacts";
 
-    /// Wraps a database, installing the hash-uniqueness constraint and
-    /// the lookup indexes behind [`find_by_name`](Self::find_by_name)
-    /// and [`find_by_kind`](Self::find_by_kind).
+    /// Wraps a database, installing the hash-uniqueness constraint, the
+    /// lookup indexes behind [`find_by_name`](Self::find_by_name) and
+    /// [`find_by_kind`](Self::find_by_kind), and the multikey `inputs`
+    /// index the provenance-DAG walks ([`dependents`](Self::dependents),
+    /// [`dependent_closure`](Self::dependent_closure)) probe instead of
+    /// scanning the collection.
     ///
     /// # Errors
     ///
@@ -38,6 +41,7 @@ impl ArtifactStore {
         collection.ensure_unique("hash")?;
         collection.ensure_index(crate::IndexSpec::hash("name"))?;
         collection.ensure_index(crate::IndexSpec::hash("kind"))?;
+        collection.ensure_index(crate::IndexSpec::hash("inputs"))?;
         Ok(store)
     }
 
@@ -102,6 +106,77 @@ impl ArtifactStore {
             .iter()
             .map(doc_to_artifact)
             .collect()
+    }
+
+    /// Direct dependents of an artifact: every stored artifact that
+    /// lists `id` among its `inputs`. One probe of the multikey
+    /// `inputs` index (`db.query_planned_index`), never a collection
+    /// scan.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidDocument`] when a stored document is malformed.
+    pub fn dependents(&self, id: ArtifactId) -> Result<Vec<Artifact>, DbError> {
+        self.collection()
+            .find(&Filter::elem_match("inputs", id.to_string()))
+            .iter()
+            .map(doc_to_artifact)
+            .collect()
+    }
+
+    /// Transitive dependents of an artifact (the impact set: everything
+    /// whose provenance includes `id`), breadth-first, nearest layer
+    /// first and `_id`-ordered within a layer. Each frontier step is an
+    /// indexed `inputs` probe, so the walk touches only the reachable
+    /// region of the DAG — not the whole collection.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidDocument`] when a stored document is malformed.
+    pub fn dependent_closure(&self, id: ArtifactId) -> Result<Vec<Artifact>, DbError> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut frontier = std::collections::VecDeque::from([id]);
+        let mut out = Vec::new();
+        while let Some(node) = frontier.pop_front() {
+            let mut layer = self.dependents(node)?;
+            layer.sort_by_key(Artifact::id);
+            for artifact in layer {
+                if seen.insert(artifact.id()) {
+                    frontier.push_back(artifact.id());
+                    out.push(artifact);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transitive inputs of an artifact (its reproduction closure as
+    /// stored), breadth-first from `id` itself. Each step is a primary
+    /// key lookup; inputs referencing unstored artifacts are skipped —
+    /// the linter (SA0003) reports them, a walk should not fail on
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] when `id` itself is not stored;
+    /// [`DbError::InvalidDocument`] when a stored document is malformed.
+    pub fn input_closure(&self, id: ArtifactId) -> Result<Vec<Artifact>, DbError> {
+        let mut seen = std::collections::BTreeSet::from([id]);
+        let mut frontier = vec![self.load(id)?];
+        let mut out = Vec::new();
+        while let Some(artifact) = frontier.pop() {
+            for &input in artifact.inputs() {
+                if seen.insert(input) {
+                    match self.load(input) {
+                        Ok(found) => frontier.push(found),
+                        Err(DbError::NotFound { .. }) => {}
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
+            out.push(artifact);
+        }
+        Ok(out)
     }
 
     /// Number of stored artifacts.
@@ -309,6 +384,112 @@ mod tests {
             .find_by_kind(&ArtifactKind::Kernel)
             .unwrap()
             .is_empty());
+    }
+
+    /// A diamond provenance DAG: repo → {bin, script} → results.
+    fn diamond() -> (ArtifactStore, [Artifact; 4]) {
+        let mut registry = ArtifactRegistry::new();
+        let repo = registry
+            .register(
+                Artifact::builder("repo", ArtifactKind::GitRepo)
+                    .documentation("sources")
+                    .content(ContentSource::git("https://example.org/x.git", "rev1")),
+            )
+            .unwrap();
+        let bin = registry
+            .register(
+                Artifact::builder("bin", ArtifactKind::Binary)
+                    .documentation("binary")
+                    .content(ContentSource::bytes(b"elf".to_vec()))
+                    .input(repo.id()),
+            )
+            .unwrap();
+        let script = registry
+            .register(
+                Artifact::builder("script", ArtifactKind::RunScript)
+                    .documentation("script")
+                    .content(ContentSource::bytes(b"#!/bin/sh".to_vec()))
+                    .input(repo.id()),
+            )
+            .unwrap();
+        let results = registry
+            .register(
+                Artifact::builder("results", ArtifactKind::Results)
+                    .documentation("stats")
+                    .content(ContentSource::bytes(b"stats".to_vec()))
+                    .input(bin.id())
+                    .input(script.id()),
+            )
+            .unwrap();
+        let db = Database::in_memory();
+        let store = ArtifactStore::new(&db).unwrap();
+        let arts = [
+            (*repo).clone(),
+            (*bin).clone(),
+            (*script).clone(),
+            (*results).clone(),
+        ];
+        for artifact in &arts {
+            store.save(artifact, None).unwrap();
+        }
+        (store, arts)
+    }
+
+    #[test]
+    fn dependency_walks_cover_the_reachable_region() {
+        let (store, [repo, bin, script, results]) = diamond();
+        // Direct dependents of the root: the middle layer only.
+        let direct: Vec<_> = store
+            .dependents(repo.id())
+            .unwrap()
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect();
+        assert_eq!(direct.len(), 2);
+        assert!(direct.contains(&"bin".to_owned()));
+        assert!(direct.contains(&"script".to_owned()));
+        // Transitive dependents of the root: everything else, each
+        // exactly once despite the diamond.
+        let impact = store.dependent_closure(repo.id()).unwrap();
+        assert_eq!(impact.len(), 3);
+        assert!(impact.iter().any(|a| a.id() == results.id()));
+        // A leaf has no dependents.
+        assert!(store.dependents(results.id()).unwrap().is_empty());
+        // Input closure from the sink reaches the whole diamond once.
+        let closure = store.input_closure(results.id()).unwrap();
+        assert_eq!(closure.len(), 4);
+        assert!(closure.iter().any(|a| a.id() == repo.id()));
+        assert!(closure.iter().any(|a| a.id() == bin.id()));
+        assert!(closure.iter().any(|a| a.id() == script.id()));
+    }
+
+    /// The DAG walks must ride the multikey `inputs` index: with
+    /// observability compiled in, a dependent-closure walk bumps
+    /// `db.query_planned_index` on every frontier step and never falls
+    /// back to a `db.query_scans` collection scan.
+    #[cfg(feature = "observe")]
+    #[test]
+    fn dependency_walks_ride_the_inputs_index() {
+        use simart_observe as observe;
+        let (store, [repo, _, _, results]) = diamond();
+        observe::reset();
+        observe::enable();
+        let impact = store.dependent_closure(repo.id()).unwrap();
+        let closure = store.input_closure(results.id()).unwrap();
+        observe::disable();
+        assert_eq!(impact.len(), 3);
+        assert_eq!(closure.len(), 4);
+        let snapshot = observe::snapshot();
+        let counter = |name: &str| match snapshot.metrics.get(name) {
+            Some(observe::MetricValue::Counter(n)) => *n,
+            _ => 0,
+        };
+        // Frontier probes: repo, bin, script, results — one indexed
+        // `inputs` probe each (the input walk uses primary-key gets,
+        // which are neither planned nor scans).
+        assert_eq!(counter("db.query_planned_index"), 4);
+        assert_eq!(counter("db.query_scans"), 0);
+        observe::reset();
     }
 
     #[test]

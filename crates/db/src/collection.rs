@@ -1060,10 +1060,23 @@ impl Collection {
 
     /// Applies `update` to every matching document (the `_id` field is
     /// protected). Returns how many documents changed. The whole batch
-    /// runs under the index lock, so no writer interleaves; updates are
-    /// not re-validated against unique indexes (declared unique fields
-    /// should not be rewritten through `update_many`).
-    pub fn update_many(&self, filter: &Filter, update: impl Fn(&mut Value)) -> usize {
+    /// runs under the index lock, so no writer interleaves, and unique
+    /// indexes are re-enforced at commit: every rewritten document is
+    /// checked (including against the other rewrites in the batch)
+    /// before anything is journaled or stored, so a rejected batch
+    /// leaves the collection exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UniqueViolation`] when any rewritten document would
+    /// collide with an existing document or another rewrite on a
+    /// declared unique index; the whole batch is rejected and no state
+    /// changes.
+    pub fn update_many(
+        &self,
+        filter: &Filter,
+        update: impl Fn(&mut Value),
+    ) -> Result<usize, DbError> {
         let mut indexes = self.inner.indexes.write();
         let ids = {
             let mut ids = Vec::new();
@@ -1096,25 +1109,51 @@ impl Collection {
             }
             ids
         };
+        // Stage every rewrite first — nothing is journaled or stored
+        // until the whole batch validates.
+        let mut staged: Vec<(String, Value, Value)> = Vec::with_capacity(ids.len());
         for id in &ids {
-            let mut shard = self.inner.shards[shard_of(id)].write();
-            let Some(mut doc) = shard.docs.get(id).cloned() else {
+            let shard = self.inner.shards[shard_of(id)].read();
+            let Some(old) = shard.docs.get(id).cloned() else {
                 continue;
             };
-            indexes.remove_doc(id, &doc);
-            update(&mut doc);
-            doc.set_at("_id", Value::Str(id.clone()));
+            let mut new = old.clone();
+            update(&mut new);
+            new.set_at("_id", Value::Str(id.clone()));
+            staged.push((id.clone(), old, new));
+        }
+        // Trial-apply against the index state we hold exclusively:
+        // retract every old document, then admit the rewrites one by
+        // one so batch-internal collisions are caught too. On a
+        // violation, undo the trial — the caller sees unchanged state.
+        for (id, old, _) in &staged {
+            indexes.remove_doc(id, old);
+        }
+        for (admitted, (id, _, new)) in staged.iter().enumerate() {
+            if let Err(err) = indexes.check_unique(&self.name, id, new) {
+                for (id, _, new) in &staged[..admitted] {
+                    indexes.remove_doc(id, new);
+                }
+                for (id, old, _) in &staged {
+                    indexes.add_doc(id, old);
+                }
+                return Err(err);
+            }
+            indexes.add_doc(id, new);
+        }
+        let changed = staged.len();
+        for (id, _, new) in staged {
+            let mut shard = self.inner.shards[shard_of(&id)].write();
             journal::append_best_effort(
                 &self.journal,
                 &JournalOp::Upsert {
                     collection: self.name.clone(),
-                    doc: doc.clone(),
+                    doc: new.clone(),
                 },
             );
-            indexes.add_doc(id, &doc);
-            Arc::make_mut(&mut shard.docs).insert(id.clone(), doc);
+            Arc::make_mut(&mut shard.docs).insert(id, new);
         }
-        ids.len()
+        Ok(changed)
     }
 
     /// Number of documents.
@@ -1309,17 +1348,84 @@ mod tests {
             [("k", Value::from("v1")), ("status", Value::from("running"))],
         ))
         .unwrap();
-        let n = c.update_many(&Filter::eq("status", "running"), |d| {
-            d.set_at("status", Value::from("done"));
-            d.set_at("k", Value::from("v2"));
-            d.set_at("_id", Value::from("hacked"));
-        });
+        let n = c
+            .update_many(&Filter::eq("status", "running"), |d| {
+                d.set_at("status", Value::from("done"));
+                d.set_at("k", Value::from("v2"));
+                d.set_at("_id", Value::from("hacked"));
+            })
+            .unwrap();
         assert_eq!(n, 1);
         let got = c.get("a").expect("_id update must be ignored");
         assert_eq!(got.at("status").and_then(Value::as_str), Some("done"));
         // Old key freed, new key owned.
         c.insert(doc("b", [("k", Value::from("v1"))])).unwrap();
         assert!(c.insert(doc("c", [("k", Value::from("v2"))])).is_err());
+    }
+
+    #[test]
+    fn update_many_rejects_unique_violations_leaving_state_unchanged() {
+        let c = Collection::new("x");
+        c.ensure_unique("k").unwrap();
+        c.insert(doc(
+            "a",
+            [("k", Value::from("v1")), ("g", Value::from(1i64))],
+        ))
+        .unwrap();
+        c.insert(doc(
+            "b",
+            [("k", Value::from("v2")), ("g", Value::from(1i64))],
+        ))
+        .unwrap();
+        c.insert(doc(
+            "c",
+            [("k", Value::from("v3")), ("g", Value::from(2i64))],
+        ))
+        .unwrap();
+        // Collision with a document outside the batch: rejected whole.
+        let err = c
+            .update_many(&Filter::eq("g", 1i64), |d| {
+                d.set_at("k", Value::from("v3"));
+                d.set_at("touched", Value::from(true));
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Batch-internal collision: both rewrites target the same key.
+        let err = c
+            .update_many(&Filter::eq("g", 1i64), |d| {
+                d.set_at("k", Value::from("fresh"));
+                d.set_at("touched", Value::from(true));
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Nothing changed: no document was touched, every original key
+        // is still owned, and the index still serves the old keys.
+        for (id, key) in [("a", "v1"), ("b", "v2"), ("c", "v3")] {
+            let got = c.get(id).unwrap();
+            assert!(got.at("touched").is_none(), "{id} was rewritten");
+            assert_eq!(got.at("k").and_then(Value::as_str), Some(key));
+            assert!(c.insert(doc("dup", [("k", Value::from(key))])).is_err());
+        }
+        // Swapping values within the batch is legal: the trial retracts
+        // the old keys before admitting the rewrites.
+        let n = c
+            .update_many(&Filter::eq("g", 1i64), |d| {
+                let next = match d.at("k").and_then(Value::as_str) {
+                    Some("v1") => "v2",
+                    _ => "v1",
+                };
+                d.set_at("k", Value::from(next));
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            c.get("a").unwrap().at("k").and_then(Value::as_str),
+            Some("v2")
+        );
+        assert_eq!(
+            c.get("b").unwrap().at("k").and_then(Value::as_str),
+            Some("v1")
+        );
     }
 
     #[test]
@@ -1353,7 +1459,8 @@ mod tests {
         c.delete("d3");
         c.update_many(&Filter::All, |d| {
             d.set_at("n", Value::from(-1i64));
-        });
+        })
+        .unwrap();
         assert_eq!(snap.len(), 20);
         assert!(snap.get("later").is_none());
         assert_eq!(
@@ -1557,7 +1664,8 @@ mod tests {
         c.delete("d3");
         c.update_many(&Filter::eq("app", "a"), |d| {
             d.set_at("t", Value::from(99i64));
-        });
+        })
+        .unwrap();
         let rebuilt = Collection::new("x");
         // Declare in reverse order: index_state sorts by path.
         rebuilt.ensure_index(IndexSpec::ordered("t")).unwrap();

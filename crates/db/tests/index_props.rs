@@ -58,12 +58,15 @@ fn apply(collection: &Collection, ops: &[Op]) {
             2 => {
                 collection.delete(&id);
             }
-            // Bulk rewrite of every indexed field on a tag group.
+            // Bulk rewrite of every indexed field on a tag group
+            // (no unique index declared here, so it cannot reject).
             _ => {
-                collection.update_many(&Filter::eq("tag", format!("t{tag}")), |d| {
-                    d.set_at("n", Value::from(n % 7));
-                    d.set_at("refs", Value::array([Value::from("rewritten")]));
-                });
+                collection
+                    .update_many(&Filter::eq("tag", format!("t{tag}")), |d| {
+                        d.set_at("n", Value::from(n % 7));
+                        d.set_at("refs", Value::array([Value::from("rewritten")]));
+                    })
+                    .expect("no unique index to violate");
             }
         }
     }
@@ -116,6 +119,65 @@ proptest! {
         let range = Filter::lt("n", 50i64);
         let by_scan = collection.all().iter().filter(|d| range.matches(d)).count();
         prop_assert_eq!(collection.count(&range), by_scan);
+    }
+}
+
+proptest! {
+    /// Commit-time unique enforcement: a bulk rewrite that would land
+    /// two documents on one unique key — whether colliding with a
+    /// bystander outside the batch or with another rewrite inside it —
+    /// is rejected whole, and the collection (documents *and* index
+    /// state) renders byte-identical to the moment before the call.
+    /// Accepted batches still match a scratch rebuild.
+    #[test]
+    fn rejected_update_many_batches_leave_state_unchanged(
+        docs in proptest::collection::btree_map(0u8..12, (0u8..6, 0u8..4), 1..12),
+        target in 0u8..6,
+        group in 0u8..4,
+    ) {
+        let collection = Database::in_memory().collection("uniq");
+        collection.ensure_unique("u").expect("unique index");
+        for (&slot, &(u, g)) in &docs {
+            // Seed at most one owner per unique key.
+            let _ = collection.insert(Value::map([
+                ("_id", Value::from(format!("d{slot}"))),
+                ("u", Value::from(format!("u{u}"))),
+                ("g", Value::from(i64::from(g))),
+            ]));
+        }
+        let before_docs = json::to_json(&Value::array(collection.all()));
+        let before_index = json::to_json(&collection.index_state());
+
+        let result = collection.update_many(&Filter::eq("g", i64::from(group)), |d| {
+            d.set_at("u", Value::from(format!("u{target}")));
+            d.set_at("touched", Value::from(true));
+        });
+
+        match result {
+            Err(_) => {
+                // Rejected: nothing moved.
+                prop_assert_eq!(
+                    json::to_json(&Value::array(collection.all())),
+                    before_docs
+                );
+                prop_assert_eq!(
+                    json::to_json(&collection.index_state()),
+                    before_index
+                );
+            }
+            Ok(n) => {
+                // Accepted: every rewrite targeted the same key, so an
+                // accepted batch can hold at most one document — and
+                // afterwards at most one document owns that key.
+                prop_assert!(n <= 1);
+                prop_assert!(collection.count(&Filter::eq("u", format!("u{target}"))) <= 1);
+            }
+        }
+        prop_assert!(collection.verify_indexes().is_empty());
+        prop_assert_eq!(
+            json::to_json(&collection.index_state()),
+            json::to_json(&rebuild(&collection))
+        );
     }
 }
 

@@ -102,7 +102,7 @@ impl RunStore {
                 doc.set_at("status", Value::from(status.to_string()));
                 push_event(doc, &format!("status:{status}"));
             },
-        );
+        )?;
         if n == 0 {
             return Err(RunError::Db(simart_db::DbError::NotFound {
                 query: id.to_string(),
@@ -126,7 +126,7 @@ impl RunStore {
             |doc| {
                 push_event(doc, event);
             },
-        );
+        )?;
         if n == 0 {
             return Err(RunError::Db(simart_db::DbError::NotFound {
                 query: id.to_string(),
@@ -188,7 +188,7 @@ impl RunStore {
                 doc.set_at("attempts", Value::array(attempts));
                 push_event(doc, &format!("attempt:{count}:{disposition}"));
             },
-        );
+        )?;
         if n == 0 {
             return Err(RunError::Db(simart_db::DbError::NotFound {
                 query: id.to_string(),
@@ -291,7 +291,7 @@ impl RunStore {
                 doc.set_at("results.outcome", Value::from(outcome));
                 doc.set_at("results.payload", Value::from(key.to_hex()));
             },
-        );
+        )?;
         if n == 0 {
             return Err(RunError::Db(simart_db::DbError::NotFound {
                 query: id.to_string(),

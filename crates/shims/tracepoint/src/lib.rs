@@ -65,6 +65,11 @@ pub enum Op {
     /// The remote coordinator accepted a worker process's result for
     /// a dispatched task (observes it, like a channel recv).
     RemoteAck(ObjectId),
+    /// A remote worker session reconnected over a fresh transport
+    /// connection and the coordinator resumed it (observes everything
+    /// the old connection published, then re-publishes for frames sent
+    /// on the new connection — a join-then-send barrier).
+    RemoteReconnect(ObjectId),
     /// A shared object (run record, task state) was read.
     Read(ObjectId),
     /// A shared object (run record, task state) was written.
@@ -89,6 +94,7 @@ impl Op {
             | Op::LeaseRevoke(o)
             | Op::RemoteDispatch(o)
             | Op::RemoteAck(o)
+            | Op::RemoteReconnect(o)
             | Op::Read(o)
             | Op::Write(o) => o,
         }
@@ -112,6 +118,7 @@ impl fmt::Display for Op {
             Op::LeaseRevoke(o) => write!(f, "lease-revoke({o})"),
             Op::RemoteDispatch(o) => write!(f, "remote-dispatch({o})"),
             Op::RemoteAck(o) => write!(f, "remote-ack({o})"),
+            Op::RemoteReconnect(o) => write!(f, "remote-reconnect({o})"),
             Op::Read(o) => write!(f, "read({o})"),
             Op::Write(o) => write!(f, "write({o})"),
         }

@@ -54,6 +54,36 @@ impl fmt::Display for Fault {
     }
 }
 
+/// A single injected network fault, applied per frame by the chaos
+/// transport wrapper (`transport::ChaosTransport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The frame is delayed in flight by the given duration.
+    Latency(Duration),
+    /// One byte of the frame is flipped in flight (the CRC layer
+    /// detects it and the connection is dropped).
+    Corrupt,
+    /// The frame is silently dropped — a one-way partition: the sender
+    /// believes it went out, the receiver never sees it, and only
+    /// heartbeat loss reveals the split.
+    Partition,
+    /// The connection is severed after the frame is dropped, as if the
+    /// peer's host reset the TCP stream; reconnecting transports dial
+    /// back in with backoff.
+    Reset,
+}
+
+impl fmt::Display for NetFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFault::Latency(d) => write!(f, "net-latency({d:?})"),
+            NetFault::Corrupt => f.write_str("net-corrupt"),
+            NetFault::Partition => f.write_str("net-partition"),
+            NetFault::Reset => f.write_str("net-reset"),
+        }
+    }
+}
+
 /// Deterministic, seeded fault injector.
 ///
 /// Rates are probabilities in [0, 1] per attempt; they are evaluated in
@@ -69,11 +99,20 @@ pub struct FaultInjector {
     max_stall: Duration,
     kill_rate: f64,
     kill_limit: u64,
+    net_latency_rate: f64,
+    max_net_latency: Duration,
+    net_corrupt_rate: f64,
+    net_partition_rate: f64,
+    net_reset_rate: f64,
     injected_panics: AtomicU64,
     injected_errors: AtomicU64,
     injected_delays: AtomicU64,
     injected_stalls: AtomicU64,
     injected_kills: AtomicU64,
+    injected_latencies: AtomicU64,
+    injected_corruptions: AtomicU64,
+    injected_partitions: AtomicU64,
+    injected_resets: AtomicU64,
 }
 
 impl FaultInjector {
@@ -90,11 +129,20 @@ impl FaultInjector {
             max_stall: Duration::ZERO,
             kill_rate: 0.0,
             kill_limit: u64::MAX,
+            net_latency_rate: 0.0,
+            max_net_latency: Duration::ZERO,
+            net_corrupt_rate: 0.0,
+            net_partition_rate: 0.0,
+            net_reset_rate: 0.0,
             injected_panics: AtomicU64::new(0),
             injected_errors: AtomicU64::new(0),
             injected_delays: AtomicU64::new(0),
             injected_stalls: AtomicU64::new(0),
             injected_kills: AtomicU64::new(0),
+            injected_latencies: AtomicU64::new(0),
+            injected_corruptions: AtomicU64::new(0),
+            injected_partitions: AtomicU64::new(0),
+            injected_resets: AtomicU64::new(0),
         }
     }
 
@@ -141,9 +189,44 @@ impl FaultInjector {
         self
     }
 
+    /// Delays a fraction `rate` of frames in flight by up to
+    /// `max_latency`.
+    pub fn net_latency(mut self, rate: f64, max_latency: Duration) -> FaultInjector {
+        self.net_latency_rate = rate.clamp(0.0, 1.0);
+        self.max_net_latency = max_latency;
+        self
+    }
+
+    /// Flips a byte in a fraction `rate` of frames in flight.
+    pub fn net_corruption(mut self, rate: f64) -> FaultInjector {
+        self.net_corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Silently drops a fraction `rate` of frames (one-way partition).
+    pub fn net_partitions(mut self, rate: f64) -> FaultInjector {
+        self.net_partition_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Severs the connection on a fraction `rate` of frames.
+    pub fn net_resets(mut self, rate: f64) -> FaultInjector {
+        self.net_reset_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
     /// The injector's seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Whether any network fault kind is enabled (lets transports skip
+    /// the chaos wrapper entirely when the answer is no).
+    pub fn net_faults_enabled(&self) -> bool {
+        self.net_latency_rate > 0.0
+            || self.net_corrupt_rate > 0.0
+            || self.net_partition_rate > 0.0
+            || self.net_reset_rate > 0.0
     }
 
     /// The fault (if any) for this `(task, attempt)` pair. Pure: equal
@@ -245,6 +328,70 @@ impl FaultInjector {
         }
     }
 
+    /// The network fault (if any) for the `frame`-th frame of worker
+    /// session `session`. Pure, like [`Self::fault_for`], and drawn
+    /// from a third stream salted away from both the attempt and the
+    /// worker streams: enabling network chaos never changes which task
+    /// or worker faults fire. Rates are evaluated in the order
+    /// latency → corrupt → partition → reset from one uniform draw.
+    pub fn net_fault_for(&self, session: u64, frame: u64) -> Option<NetFault> {
+        let stream = self.seed ^ mix(session) ^ NET_STREAM_SALT;
+        let category = unit_draw(stream, frame << 1);
+        let latency_edge = self.net_latency_rate;
+        let corrupt_edge = latency_edge + self.net_corrupt_rate;
+        let partition_edge = corrupt_edge + self.net_partition_rate;
+        let reset_edge = partition_edge + self.net_reset_rate;
+        if category < latency_edge {
+            let magnitude = unit_draw(stream, (frame << 1) | 1);
+            Some(NetFault::Latency(Duration::from_secs_f64(
+                self.max_net_latency.as_secs_f64() * magnitude,
+            )))
+        } else if category < corrupt_edge {
+            Some(NetFault::Corrupt)
+        } else if category < partition_edge {
+            Some(NetFault::Partition)
+        } else if category < reset_edge {
+            Some(NetFault::Reset)
+        } else {
+            None
+        }
+    }
+
+    /// Claims the network fault for this frame, counting it. Returns
+    /// the fault for the transport wrapper to act on.
+    pub fn take_net_fault(&self, session: u64, frame: u64) -> Option<NetFault> {
+        let fault = self.net_fault_for(session, frame);
+        match fault {
+            Some(NetFault::Latency(_)) => {
+                self.injected_latencies.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(NetFault::Corrupt) => {
+                self.injected_corruptions.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(NetFault::Partition) => {
+                self.injected_partitions.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(NetFault::Reset) => {
+                self.injected_resets.fetch_add(1, Ordering::SeqCst);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// Deterministic read-chunk size in `[1, max]` for the `read`-th
+    /// read of worker session `session` — the chaos transport uses it
+    /// to re-chunk the byte stream at arbitrary boundaries, modelling
+    /// TCP segmentation. Pure, from the network stream.
+    pub fn net_chunk_len(&self, session: u64, read: u64, max: usize) -> usize {
+        if max <= 1 {
+            return max;
+        }
+        let stream = self.seed ^ mix(session) ^ NET_STREAM_SALT;
+        let draw = unit_draw(stream, CHUNK_COUNTER_BASE | read);
+        1 + (draw * (max as f64 - 1.0)) as usize
+    }
+
     /// Panics injected so far.
     pub fn injected_panics(&self) -> u64 {
         self.injected_panics.load(Ordering::SeqCst)
@@ -270,13 +417,38 @@ impl FaultInjector {
         self.injected_kills.load(Ordering::SeqCst)
     }
 
-    /// Total faults injected so far, worker faults included.
+    /// Frame latencies injected so far.
+    pub fn injected_latencies(&self) -> u64 {
+        self.injected_latencies.load(Ordering::SeqCst)
+    }
+
+    /// Frame corruptions injected so far.
+    pub fn injected_corruptions(&self) -> u64 {
+        self.injected_corruptions.load(Ordering::SeqCst)
+    }
+
+    /// Frame drops (one-way partitions) injected so far.
+    pub fn injected_partitions(&self) -> u64 {
+        self.injected_partitions.load(Ordering::SeqCst)
+    }
+
+    /// Connection resets injected so far.
+    pub fn injected_resets(&self) -> u64 {
+        self.injected_resets.load(Ordering::SeqCst)
+    }
+
+    /// Total faults injected so far, worker and network faults
+    /// included.
     pub fn injected_total(&self) -> u64 {
         self.injected_panics()
             + self.injected_errors()
             + self.injected_delays()
             + self.injected_stalls()
             + self.injected_kills()
+            + self.injected_latencies()
+            + self.injected_corruptions()
+            + self.injected_partitions()
+            + self.injected_resets()
     }
 }
 
@@ -296,6 +468,24 @@ impl fmt::Debug for FaultInjector {
 /// Salt separating the worker-fault stream from the per-attempt fault
 /// stream for the same `(seed, task)` pair.
 const WORKER_STREAM_SALT: u64 = 0x574F_524B_4552_2121; // "WORKER!!"
+
+/// Salt separating the network-fault stream from both other streams.
+const NET_STREAM_SALT: u64 = 0x4E45_5457_4F52_4B21; // "NETWORK!"
+
+/// High bit separating chunk-size draws from frame-fault draws within
+/// the network stream (frame counters stay far below 2^63).
+const CHUNK_COUNTER_BASE: u64 = 1 << 63;
+
+/// SplitMix64 finalizer: spreads a session token over the whole u64
+/// space before it is xored into the stream seed (tokens are small
+/// sequential integers, which would otherwise collide with the
+/// task-name hash space only trivially perturbed).
+fn mix(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// FNV-1a over the task name, mixing it into the per-task stream.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -451,6 +641,95 @@ mod tests {
         assert!(a.take_worker_fault("t", 1).is_some());
         assert_eq!(a.injected_stalls(), 1);
         assert_eq!(a.injected_total(), 1);
+    }
+
+    #[test]
+    fn net_faults_use_a_third_stream() {
+        let plain = FaultInjector::new(42)
+            .errors(0.4)
+            .worker_kills(0.5)
+            .worker_stalls(0.2, Duration::from_millis(5));
+        let with_net = FaultInjector::new(42)
+            .errors(0.4)
+            .worker_kills(0.5)
+            .worker_stalls(0.2, Duration::from_millis(5))
+            .net_latency(0.2, Duration::from_millis(5))
+            .net_corruption(0.2)
+            .net_partitions(0.2)
+            .net_resets(0.2);
+        // Enabling network chaos must not perturb the attempt plan or
+        // the worker-fault plan.
+        for n in 1..64 {
+            assert_eq!(plain.fault_for("t", n), with_net.fault_for("t", n));
+            assert_eq!(
+                plain.worker_fault_for("t", n),
+                with_net.worker_fault_for("t", n)
+            );
+        }
+        // And injectors without network rates never produce net faults.
+        for frame in 0..64 {
+            assert_eq!(plain.net_fault_for(1, frame), None);
+        }
+        assert!(!plain.net_faults_enabled());
+        assert!(with_net.net_faults_enabled());
+    }
+
+    #[test]
+    fn net_faults_are_deterministic_per_seed_and_session() {
+        let a = FaultInjector::new(9).net_partitions(0.3).net_resets(0.3);
+        let b = FaultInjector::new(9).net_partitions(0.3).net_resets(0.3);
+        let c = FaultInjector::new(10).net_partitions(0.3).net_resets(0.3);
+        let plan = |inj: &FaultInjector, session: u64| -> Vec<Option<NetFault>> {
+            (0..64)
+                .map(|frame| inj.net_fault_for(session, frame))
+                .collect()
+        };
+        assert_eq!(plan(&a, 1), plan(&b, 1));
+        assert_ne!(plan(&a, 1), plan(&c, 1));
+        assert_ne!(plan(&a, 1), plan(&a, 2), "sessions draw distinct streams");
+    }
+
+    #[test]
+    fn taking_net_faults_counts_them() {
+        let injector = FaultInjector::new(12)
+            .net_latency(0.25, Duration::from_millis(2))
+            .net_corruption(0.25)
+            .net_partitions(0.25)
+            .net_resets(0.25);
+        for frame in 0..400 {
+            let took = injector.take_net_fault(3, frame);
+            assert_eq!(took, injector.net_fault_for(3, frame));
+            if let Some(NetFault::Latency(d)) = took {
+                assert!(d <= Duration::from_millis(2));
+            }
+        }
+        assert!(injector.injected_latencies() > 0);
+        assert!(injector.injected_corruptions() > 0);
+        assert!(injector.injected_partitions() > 0);
+        assert!(injector.injected_resets() > 0);
+        assert_eq!(
+            injector.injected_total(),
+            injector.injected_latencies()
+                + injector.injected_corruptions()
+                + injector.injected_partitions()
+                + injector.injected_resets()
+        );
+    }
+
+    #[test]
+    fn chunk_lengths_are_bounded_deterministic_and_varied() {
+        let a = FaultInjector::new(13).net_partitions(0.1);
+        let b = FaultInjector::new(13).net_partitions(0.1);
+        let mut distinct = std::collections::HashSet::new();
+        for read in 0..256 {
+            let len = a.net_chunk_len(5, read, 512);
+            assert_eq!(len, b.net_chunk_len(5, read, 512));
+            assert!((1..=512).contains(&len));
+            distinct.insert(len);
+        }
+        assert!(distinct.len() > 16, "chunk sizes should spread");
+        assert_eq!(a.net_chunk_len(5, 0, 1), 1);
+        assert_eq!(a.net_chunk_len(5, 0, 0), 0);
     }
 
     #[test]

@@ -58,19 +58,21 @@ mod serial;
 mod supervise;
 mod task;
 pub(crate) mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use broker::BrokerScheduler;
-pub use fault::{Fault, FaultInjector};
+pub use fault::{Fault, FaultInjector, NetFault};
 pub use pool::PoolScheduler;
 pub use remote::{
-    worker_main, HandlerRegistry, RemoteConfig, RemoteEvent, RemoteScheduler, RemoteStats,
-    RemoteTaskSpec, SubmitError, WorkerCommand, WorkerJob,
+    worker_main, worker_main_connect, HandlerRegistry, RemoteConfig, RemoteEvent, RemoteScheduler,
+    RemoteStats, RemoteTaskSpec, SubmitError, WorkerCommand, WorkerJob,
 };
 pub use retry::{Backoff, RetryPolicy};
 pub use serial::SerialScheduler;
 pub use supervise::SupervisorConfig;
 pub use task::{AttemptDisposition, AttemptRecord, Task, TaskHandle, TaskReport, TaskState};
+pub use transport::{ChaosReader, ChaosWriter, TransportKind, WORKER_SESSION_ENV};
 
 /// A task scheduler: accepts tasks, returns handles to their results.
 pub trait Scheduler {

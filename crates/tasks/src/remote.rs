@@ -5,9 +5,22 @@
 //! worker *threads* in the coordinator's address space, the remote
 //! scheduler spawns worker *processes* (the hidden `simart worker`
 //! subcommand) and speaks the CRC-framed wire protocol of
-//! [`crate::wire`] over each child's stdin/stdout pipes. A segfaulting
+//! [`crate::wire`] over a [`crate::transport`] byte stream per worker
+//! — stdin/stdout pipes by default, or loopback TCP with
+//! session-resume reconnects ([`TransportKind::Tcp`]). A segfaulting
 //! or SIGKILLed simulation can therefore never take the coordinator
 //! down — the deployment shape of the paper's Celery workers.
+//!
+//! Over TCP the *connection* can die while the *process* lives. The
+//! Hello handshake carries a session token; a worker that loses its
+//! connection redials with capped exponential backoff and resumes its
+//! session. On resume the coordinator reconciles in-flight work: the
+//! lease it granted stays granted (the worker may still be computing),
+//! an unsent result is re-sent by the worker and deduplicated by
+//! first-report-wins, and a dispatch frame lost in flight resolves
+//! through ordinary lease expiry and redelivery. When *no* worker is
+//! reachable past [`RemoteConfig::unreachable_deadline`] while work is
+//! pending, the coordinator fails that work loudly instead of hanging.
 //!
 //! The delivery contract is the broker's supervision contract,
 //! verbatim:
@@ -34,18 +47,23 @@
 //! of the protocol is [`worker_main`].
 
 use crate::fault::{Fault, FaultInjector};
+use crate::retry::RetryPolicy;
 use crate::supervise::SupervisorConfig;
 use crate::task::{AttemptDisposition, AttemptRecord, TaskHandle, TaskReport, TaskState};
 use crate::trace;
+use crate::transport::{
+    self, ChaosReader, ChaosWriter, Duplex, Transport, TransportKind, WORKER_SESSION_ENV,
+};
 use crate::wire::{FrameDecoder, Message, PROTOCOL_VERSION};
 use crossbeam::channel::{bounded, Sender};
 use simart_observe as observe;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -84,7 +102,9 @@ impl WorkerCommand {
         self
     }
 
-    fn command(&self) -> Command {
+    /// Spawns the worker with its stdin/stdout piped to the
+    /// coordinator (the pipe transport).
+    pub(crate) fn spawn_piped(&self) -> std::io::Result<Child> {
         let mut cmd = Command::new(&self.program);
         cmd.args(&self.args)
             .stdin(Stdio::piped())
@@ -92,7 +112,24 @@ impl WorkerCommand {
         for (key, value) in &self.envs {
             cmd.env(key, value);
         }
-        cmd
+        cmd.spawn()
+    }
+
+    /// Spawns the worker pointed at a TCP coordinator: `--connect
+    /// ADDR` is appended and the session token rides in
+    /// [`WORKER_SESSION_ENV`]. Stdio is left alone — the socket is
+    /// the protocol, stdout is free for logs.
+    pub(crate) fn spawn_connected(&self, addr: &str, session: u64) -> std::io::Result<Child> {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .arg("--connect")
+            .arg(addr)
+            .env(WORKER_SESSION_ENV, session.to_string())
+            .stdin(Stdio::null());
+        for (key, value) in &self.envs {
+            cmd.env(key, value);
+        }
+        cmd.spawn()
     }
 }
 
@@ -114,7 +151,16 @@ pub struct RemoteConfig {
     pub drain_deadline: Duration,
     /// Chaos injector consulted once per dispatch; a
     /// [`Fault::WorkerKill`] draw SIGKILLs the worker's real PID.
+    /// With network-fault rates configured (and the TCP transport),
+    /// worker connections are additionally wrapped in
+    /// [`ChaosWriter`]/[`ChaosReader`].
     pub fault: Option<Arc<FaultInjector>>,
+    /// Which byte stream workers speak the wire protocol over.
+    pub transport: TransportKind,
+    /// TCP only: how long the coordinator tolerates queued or
+    /// in-flight work with *no* reachable worker before failing that
+    /// work loudly (`workers-unreachable`) instead of hanging.
+    pub unreachable_deadline: Duration,
 }
 
 impl Default for RemoteConfig {
@@ -125,6 +171,8 @@ impl Default for RemoteConfig {
             submit_deadline: Duration::from_secs(30),
             drain_deadline: Duration::from_secs(60),
             fault: None,
+            transport: TransportKind::Pipe,
+            unreachable_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -137,6 +185,8 @@ impl fmt::Debug for RemoteConfig {
             .field("submit_deadline", &self.submit_deadline)
             .field("drain_deadline", &self.drain_deadline)
             .field("fault", &self.fault.is_some())
+            .field("transport", &self.transport)
+            .field("unreachable_deadline", &self.unreachable_deadline)
             .finish()
     }
 }
@@ -234,7 +284,7 @@ pub enum RemoteEvent {
         /// The delivery whose lease was revoked.
         delivery: u32,
         /// Revocation cause (`worker-died`, `heartbeat-lost`,
-        /// `lease-expired`, `torn-frame`).
+        /// `lease-expired`, `torn-frame`, `dispatch-lost`).
         cause: String,
     },
     /// The task was dead-lettered (cap exhausted or unrecoverable).
@@ -243,6 +293,18 @@ pub enum RemoteEvent {
         task: String,
         /// Final revocation cause.
         cause: String,
+    },
+    /// A worker session reconnected over a fresh TCP connection while
+    /// holding this task's lease; the coordinator resumed the session
+    /// and kept the lease (emitted once per in-flight task per
+    /// reconnect, for `remote-reconnect:<session>:g<gen>` provenance).
+    Reconnected {
+        /// Task whose lease survived the reconnect.
+        task: String,
+        /// Session token that resumed.
+        session: u64,
+        /// Generation of the resuming worker.
+        generation: u64,
     },
 }
 
@@ -270,6 +332,15 @@ pub struct RemoteStats {
     pub chaos_kills: u64,
     /// Jobs stolen from a busy worker's queue by an idle one.
     pub steals: u64,
+    /// TCP sessions that reconnected and resumed after losing their
+    /// connection.
+    pub reconnects: u64,
+    /// Worker connections lost while the process stayed alive
+    /// (partitions, resets, broken dispatch writes).
+    pub partitions: u64,
+    /// In-flight leases reconciled (kept granted) across a session
+    /// resume.
+    pub resume_reconciled: u64,
     /// Jobs queued but not yet dispatched.
     pub backlog: usize,
     /// Jobs dispatched and awaiting a result (live leases).
@@ -286,6 +357,9 @@ struct StatCounters {
     frame_errors: AtomicU64,
     chaos_kills: AtomicU64,
     steals: AtomicU64,
+    reconnects: AtomicU64,
+    partitions: AtomicU64,
+    resume_reconciled: AtomicU64,
 }
 
 impl StatCounters {
@@ -300,6 +374,9 @@ impl StatCounters {
             frame_errors: AtomicU64::new(0),
             chaos_kills: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            partitions: AtomicU64::new(0),
+            resume_reconciled: AtomicU64::new(0),
         }
     }
 }
@@ -321,12 +398,17 @@ struct RemoteJob {
 struct RemoteLease {
     job: RemoteJob,
     deadline: Option<Instant>,
+    /// When the dispatch frame was written, for the lost-dispatch
+    /// reconciliation in the heartbeat handler.
+    granted: Instant,
 }
 
 struct Slot {
     generation: u64,
     child: Option<Child>,
-    stdin: Option<ChildStdin>,
+    /// Writer half of the worker's connection (`None` while a TCP
+    /// worker is between connections).
+    writer: Option<Box<dyn Write + Send>>,
     pid: u32,
     /// Handshake complete (Hello seen, HelloAck sent).
     ready: bool,
@@ -336,6 +418,21 @@ struct Slot {
     last_seen: Instant,
     queue: VecDeque<RemoteJob>,
     reader: Option<JoinHandle<()>>,
+    /// Session token minted at spawn; a reconnecting TCP worker
+    /// presents it in its Hello to resume this slot.
+    session: u64,
+    /// Trace object for the session's reconnect barrier edges.
+    session_trace: u64,
+    /// Monotonic id of the currently attached connection (`0` before
+    /// the first attach); stale readers carry an older epoch.
+    conn_epoch: u64,
+    /// A connection has been attached at least once — the next attach
+    /// is a *resume*, not the initial join.
+    had_conn: bool,
+    /// Lifetime chaos-frame counter for this session, shared with the
+    /// [`ChaosWriter`] of every connection so reconnects continue the
+    /// session's fault stream instead of replaying frame 0.
+    net_frames: Arc<AtomicU64>,
 }
 
 struct CoordState {
@@ -344,6 +441,11 @@ struct CoordState {
     retired_readers: Vec<JoinHandle<()>>,
     next_job: u64,
     next_generation: u64,
+    next_session: u64,
+    next_epoch: u64,
+    /// When pending work first found no reachable worker (drives the
+    /// loud `workers-unreachable` degradation).
+    unreachable_since: Option<Instant>,
     /// Queued-but-undispatched jobs across all slot queues.
     backlog: usize,
     /// No new submits accepted.
@@ -358,6 +460,7 @@ struct CoordState {
 struct Shared {
     command: WorkerCommand,
     config: RemoteConfig,
+    transport: Box<dyn Transport>,
     state: Mutex<CoordState>,
     /// Signalled when queue space frees, leases resolve, or shutdown
     /// progresses — submitters and the draining shutdown wait here.
@@ -382,6 +485,7 @@ impl Shared {
 pub struct RemoteScheduler {
     shared: Arc<Shared>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl RemoteScheduler {
@@ -407,15 +511,20 @@ impl RemoteScheduler {
         config: RemoteConfig,
     ) -> std::io::Result<RemoteScheduler> {
         let workers = workers.max(1);
+        let transport = transport::make_transport(config.transport)?;
         let shared = Arc::new(Shared {
             command,
             config,
+            transport,
             state: Mutex::new(CoordState {
                 slots: Vec::new(),
                 leases: HashMap::new(),
                 retired_readers: Vec::new(),
                 next_job: 0,
                 next_generation: 0,
+                next_session: 0,
+                next_epoch: 0,
+                unreachable_since: None,
                 backlog: 0,
                 shutdown: false,
                 abandoned: false,
@@ -434,19 +543,8 @@ impl RemoteScheduler {
             for index in 0..workers {
                 st.next_generation += 1;
                 let generation = st.next_generation;
-                match spawn_process(&shared, index, generation) {
-                    Ok((child, stdin, pid, reader)) => st.slots.push(Slot {
-                        generation,
-                        child: Some(child),
-                        stdin: Some(stdin),
-                        pid,
-                        ready: false,
-                        exiting: false,
-                        busy: None,
-                        last_seen: Instant::now(),
-                        queue: VecDeque::new(),
-                        reader: Some(reader),
-                    }),
+                match spawn_worker(&shared, &mut st, index, generation) {
+                    Ok(slot) => st.slots.push(slot),
                     Err(err) => {
                         spawn_error = Some(err);
                         st.slots.push(dead_slot(generation));
@@ -455,6 +553,7 @@ impl RemoteScheduler {
             }
         }
         if shared.lock().slots.iter().all(|s| s.child.is_none()) {
+            shared.transport.close();
             return Err(
                 spawn_error.unwrap_or_else(|| std::io::Error::other("no worker process started"))
             );
@@ -463,9 +562,16 @@ impl RemoteScheduler {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || supervise_loop(&shared))
         };
+        let acceptor = if shared.transport.joins() {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || accept_loop(&shared)))
+        } else {
+            None
+        };
         Ok(RemoteScheduler {
             shared,
             supervisor: Mutex::new(Some(supervisor)),
+            acceptor: Mutex::new(acceptor),
         })
     }
 
@@ -552,18 +658,33 @@ impl RemoteScheduler {
         st.drained_clean = clean;
         st.abandoned = true;
         discard_pending(&self.shared, &mut st);
+        let tcp = self.shared.transport.joins();
         for slot in &mut st.slots {
-            if let Some(stdin) = slot.stdin.as_mut() {
-                let _ = stdin
-                    .write_all(&Message::Drain.to_frame())
-                    .and_then(|()| stdin.flush());
+            match slot.writer.as_mut() {
+                Some(writer) => {
+                    let _ = writer
+                        .write_all(&Message::Drain.to_frame())
+                        .and_then(|()| writer.flush());
+                }
+                // A disconnected TCP worker cannot hear the Drain;
+                // kill it so the reap below does not wait out its
+                // whole grace.
+                None if tcp => {
+                    if let Some(child) = slot.child.as_mut() {
+                        let _ = child.kill();
+                    }
+                }
+                None => {}
             }
-            // Closing stdin makes even a worker that missed the Drain
-            // frame exit on EOF.
-            slot.stdin = None;
+            // Dropping the pipe writer closes the worker's stdin, so
+            // even a worker that missed the Drain frame exits on EOF.
+            slot.writer = None;
             slot.exiting = true;
         }
         drop(st);
+        // No further joins: reconnecting workers exhaust their dial
+        // budget and exit.
+        self.shared.transport.close();
         self.reap_children(Duration::from_secs(5));
         self.stop_supervisor();
         clean
@@ -587,10 +708,11 @@ impl RemoteScheduler {
             if let Some(child) = slot.child.as_mut() {
                 let _ = child.kill();
             }
-            slot.stdin = None;
+            slot.writer = None;
             slot.exiting = true;
         }
         drop(st);
+        self.shared.transport.close();
         self.shared.space.notify_all();
         self.reap_children(Duration::ZERO);
         self.stop_supervisor();
@@ -612,9 +734,18 @@ impl RemoteScheduler {
             frame_errors: s.frame_errors.load(Ordering::SeqCst),
             chaos_kills: s.chaos_kills.load(Ordering::SeqCst),
             steals: s.steals.load(Ordering::SeqCst),
+            reconnects: s.reconnects.load(Ordering::SeqCst),
+            partitions: s.partitions.load(Ordering::SeqCst),
+            resume_reconciled: s.resume_reconciled.load(Ordering::SeqCst),
             backlog: st.backlog,
             in_flight: st.leases.len(),
         }
+    }
+
+    /// The coordinator's bound listener address, when the transport
+    /// has one (`--transport tcp`).
+    pub fn listen_addr(&self) -> Option<std::net::SocketAddr> {
+        self.shared.transport.listen_addr()
     }
 
     /// OS PIDs of the currently live worker processes (for tests that
@@ -675,6 +806,14 @@ impl RemoteScheduler {
         if let Some(handle) = handle {
             let _ = handle.join();
         }
+        let acceptor = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(acceptor) = acceptor {
+            let _ = acceptor.join();
+        }
     }
 }
 
@@ -699,7 +838,7 @@ fn dead_slot(generation: u64) -> Slot {
     Slot {
         generation,
         child: None,
-        stdin: None,
+        writer: None,
         pid: 0,
         ready: false,
         exiting: false,
@@ -707,6 +846,11 @@ fn dead_slot(generation: u64) -> Slot {
         last_seen: Instant::now(),
         queue: VecDeque::new(),
         reader: None,
+        session: 0,
+        session_trace: 0,
+        conn_epoch: 0,
+        had_conn: false,
+        net_frames: Arc::new(AtomicU64::new(0)),
     }
 }
 
@@ -721,30 +865,75 @@ fn emit(shared: &Shared, event: RemoteEvent) {
     }
 }
 
-fn spawn_process(
+/// Spawns a worker process on the configured transport and builds its
+/// slot. Pipe workers come back with their connection attached and a
+/// reader thread running; TCP workers dial in later and attach via
+/// [`attach_connection`]. Must run under the state lock (the reader
+/// thread indexes `st.slots[slot_idx]`, which may not be pushed yet).
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    st: &mut CoordState,
+    slot_idx: usize,
+    generation: u64,
+) -> std::io::Result<Slot> {
+    st.next_session += 1;
+    let session = st.next_session;
+    let (child, duplex) = shared.transport.spawn(&shared.command, session)?;
+    let pid = child.id();
+    let mut slot = Slot {
+        generation,
+        child: Some(child),
+        writer: None,
+        pid,
+        ready: false,
+        exiting: false,
+        busy: None,
+        last_seen: Instant::now(),
+        queue: VecDeque::new(),
+        reader: None,
+        session,
+        session_trace: trace::fresh_id(),
+        conn_epoch: 0,
+        had_conn: false,
+        net_frames: Arc::new(AtomicU64::new(0)),
+    };
+    if let Some(duplex) = duplex {
+        st.next_epoch += 1;
+        let epoch = st.next_epoch;
+        slot.writer = Some(duplex.writer);
+        slot.conn_epoch = epoch;
+        slot.had_conn = true;
+        let reader = duplex.reader;
+        let shared = Arc::clone(shared);
+        slot.reader = Some(std::thread::spawn(move || {
+            reader_loop(&shared, slot_idx, generation, epoch, reader)
+        }));
+    }
+    Ok(slot)
+}
+
+/// Per-worker reader thread: pumps the worker's byte stream through
+/// the frame decoder until EOF or a hard decode error.
+fn reader_loop(
     shared: &Arc<Shared>,
     slot_idx: usize,
     generation: u64,
-) -> std::io::Result<(Child, ChildStdin, u32, JoinHandle<()>)> {
-    let mut child = shared.command.command().spawn()?;
-    let stdin = child.stdin.take().expect("worker stdin is piped");
-    let stdout = child.stdout.take().expect("worker stdout is piped");
-    let pid = child.id();
-    let reader = {
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || reader_loop(&shared, slot_idx, generation, stdout))
-    };
-    Ok((child, stdin, pid, reader))
-}
-
-/// Per-worker reader thread: pumps the worker's stdout through the
-/// frame decoder until EOF or a hard decode error.
-fn reader_loop(shared: &Arc<Shared>, slot_idx: usize, generation: u64, mut stdout: ChildStdout) {
+    epoch: u64,
+    mut input: Box<dyn Read + Send>,
+) {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 8192];
     loop {
-        let n = match stdout.read(&mut buf) {
-            Ok(0) | Err(_) => return, // EOF: supervisor reaps and respawns
+        let n = match input.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                // Pipe EOF means a dead process: the supervisor reaps
+                // and respawns. TCP EOF means a dead *connection*: mark
+                // it lost so the session can resume on reconnect.
+                if shared.transport.joins() {
+                    conn_lost(shared, slot_idx, generation, epoch);
+                }
+                return;
+            }
             Ok(n) => n,
         };
         decoder.feed(&buf[..n]);
@@ -754,12 +943,12 @@ fn reader_loop(shared: &Arc<Shared>, slot_idx: usize, generation: u64, mut stdou
                 Ok(Some(payload)) => match Message::decode(&payload) {
                     Ok(message) => handle_message(shared, slot_idx, generation, message),
                     Err(err) => {
-                        on_frame_error(shared, slot_idx, generation, &err.to_string());
+                        on_frame_error(shared, slot_idx, generation, epoch, &err.to_string());
                         return;
                     }
                 },
                 Err(err) => {
-                    on_frame_error(shared, slot_idx, generation, &err.to_string());
+                    on_frame_error(shared, slot_idx, generation, epoch, &err.to_string());
                     return;
                 }
             }
@@ -767,9 +956,189 @@ fn reader_loop(shared: &Arc<Shared>, slot_idx: usize, generation: u64, mut stdou
     }
 }
 
+/// A TCP worker's connection died while its process (presumably)
+/// lives: drop the writer, keep the lease — the session resumes when
+/// the worker redials, and a worker that never does goes stale and is
+/// recycled by the heartbeat-lost supervision path.
+fn conn_lost(shared: &Arc<Shared>, slot_idx: usize, generation: u64, epoch: u64) {
+    let mut st = shared.lock();
+    if st.abandoned || st.reaped {
+        return;
+    }
+    let slot = &mut st.slots[slot_idx];
+    if slot.generation != generation || slot.conn_epoch != epoch || slot.exiting {
+        return; // a stale reader of a replaced connection or worker
+    }
+    if slot.child.is_none() || (slot.writer.is_none() && !slot.ready) {
+        return; // already marked lost (e.g. by a failed dispatch write)
+    }
+    slot.writer = None;
+    slot.ready = false;
+    shared.stats.partitions.fetch_add(1, Ordering::SeqCst);
+    observe::count("broker.remote_partitions", 1);
+    drop(st);
+    shared.space.notify_all();
+}
+
+/// Acceptor thread (joining transports only): polls for worker
+/// connections and attaches each to its session's slot.
+fn accept_loop(shared: &Arc<Shared>) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        match shared.transport.poll_join() {
+            Some(duplex) => attach_connection(shared, duplex),
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Runs the coordinator side of the handshake on a freshly joined
+/// connection and wires it into the slot whose session token the
+/// worker presented. A second attach for a session is a *resume*:
+/// the in-flight lease is reconciled (kept granted), the reconnect is
+/// counted, and the race detector gets its join-then-send barrier.
+fn attach_connection(shared: &Arc<Shared>, mut duplex: Duplex) {
+    // Handshake outside the state lock, under a read timeout so a
+    // client that never speaks cannot wedge the acceptor. The worker
+    // sends nothing after Hello until it sees the HelloAck, so the
+    // throwaway decoder below cannot swallow post-handshake frames.
+    if let Some(stream) = duplex.stream.as_ref() {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    }
+    let mut handshake = WireReader::new();
+    let hello = handshake.next(&mut duplex.reader);
+    if let Some(stream) = duplex.stream.as_ref() {
+        let _ = stream.set_read_timeout(None);
+    }
+    let (protocol, pid, session) = match hello {
+        Ok(Some(Message::Hello {
+            protocol,
+            pid,
+            session,
+        })) => (protocol, pid, session),
+        _ => return, // gone or garbled before the handshake: ignore
+    };
+    let mut st = shared.lock();
+    if st.abandoned || st.reaped {
+        return;
+    }
+    let Some(slot_idx) = st
+        .slots
+        .iter()
+        .position(|s| s.session == session && s.session != 0 && s.child.is_some() && !s.exiting)
+    else {
+        // Unknown or retired session (e.g. recycled while the worker
+        // was dialing): drop the connection; the worker exhausts its
+        // retry budget and exits.
+        return;
+    };
+    if protocol != PROTOCOL_VERSION {
+        eprintln!(
+            "simart-tasks: worker pid {pid} speaks protocol {protocol}, \
+             coordinator speaks {PROTOCOL_VERSION}; dropping it"
+        );
+        let slot = &mut st.slots[slot_idx];
+        slot.exiting = true; // reap without respawn: same binary would loop
+        if let Some(child) = slot.child.as_mut() {
+            let _ = child.kill();
+        }
+        return;
+    }
+    let generation = st.slots[slot_idx].generation;
+    let resumed = st.slots[slot_idx].had_conn;
+    let _span = resumed.then(|| observe::span(|| "remote.reconnect".to_owned()));
+    let chaos = shared
+        .config
+        .fault
+        .as_ref()
+        .filter(|injector| injector.net_faults_enabled())
+        .cloned();
+    let (reader, mut writer): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match chaos {
+        Some(injector) => {
+            let sever = duplex.stream.as_ref().and_then(|s| s.try_clone().ok());
+            (
+                Box::new(ChaosReader::new(
+                    duplex.reader,
+                    Arc::clone(&injector),
+                    session,
+                )),
+                Box::new(
+                    ChaosWriter::new(duplex.writer, sever, injector, session)
+                        .share_frames(&st.slots[slot_idx].net_frames),
+                ),
+            )
+        }
+        None => (duplex.reader, duplex.writer),
+    };
+    let heartbeat_ms = (shared.config.supervisor.heartbeat.as_millis() as u64).max(1);
+    let ack = Message::HelloAck {
+        generation,
+        heartbeat_ms,
+        session,
+    };
+    if writer
+        .write_all(&ack.to_frame())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return; // connection already dead (or chaos reset it): the worker redials
+    }
+    st.next_epoch += 1;
+    let epoch = st.next_epoch;
+    if let Some(old_reader) = st.slots[slot_idx].reader.take() {
+        st.retired_readers.push(old_reader);
+    }
+    let reader_handle = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || reader_loop(&shared, slot_idx, generation, epoch, reader))
+    };
+    let session_trace = st.slots[slot_idx].session_trace;
+    {
+        let slot = &mut st.slots[slot_idx];
+        slot.writer = Some(writer);
+        slot.conn_epoch = epoch;
+        slot.ready = true;
+        slot.last_seen = Instant::now();
+        slot.had_conn = true;
+        slot.reader = Some(reader_handle);
+    }
+    if resumed {
+        shared.stats.reconnects.fetch_add(1, Ordering::SeqCst);
+        observe::count("broker.remote_reconnects", 1);
+        trace::remote_reconnect(session_trace);
+        // Reconcile in-flight work: the lease stays granted (the
+        // worker may still be computing; its re-sent result dedups
+        // under first-report-wins, and a dispatch lost in flight
+        // resolves through lease expiry).
+        let reconciled = st.slots[slot_idx]
+            .busy
+            .and_then(|job_id| st.leases.get(&job_id))
+            .map(|lease| lease.job.spec.name.clone());
+        if let Some(task) = reconciled {
+            shared
+                .stats
+                .resume_reconciled
+                .fetch_add(1, Ordering::SeqCst);
+            observe::count("broker.remote_resume_reconciled", 1);
+            emit(
+                shared,
+                RemoteEvent::Reconnected {
+                    task,
+                    session,
+                    generation,
+                },
+            );
+        }
+    }
+    pump(shared, &mut st);
+    drop(st);
+    shared.space.notify_all();
+}
+
 fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, message: Message) {
     match message {
-        Message::Hello { protocol, pid } => {
+        // Pipe transport only: a TCP worker's Hello is consumed by
+        // [`attach_connection`] before its reader thread starts.
+        Message::Hello { protocol, pid, .. } => {
             let mut st = shared.lock();
             if st.slots[slot_idx].generation != generation {
                 return; // stale reader of a replaced worker
@@ -790,13 +1159,14 @@ fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, messag
             let ack = Message::HelloAck {
                 generation,
                 heartbeat_ms,
+                session: st.slots[slot_idx].session,
             };
             let slot = &mut st.slots[slot_idx];
             slot.last_seen = Instant::now();
-            let sent = match slot.stdin.as_mut() {
-                Some(stdin) => stdin
+            let sent = match slot.writer.as_mut() {
+                Some(writer) => writer
                     .write_all(&ack.to_frame())
-                    .and_then(|()| stdin.flush())
+                    .and_then(|()| writer.flush())
                     .is_ok(),
                 None => false,
             };
@@ -805,11 +1175,45 @@ fn handle_message(shared: &Arc<Shared>, slot_idx: usize, generation: u64, messag
                 pump(shared, &mut st);
             }
         }
-        Message::Heartbeat { .. } => {
+        Message::Heartbeat { busy, .. } => {
             observe::count("broker.remote_heartbeats", 1);
             let mut st = shared.lock();
-            if st.slots[slot_idx].generation == generation {
-                st.slots[slot_idx].last_seen = Instant::now();
+            if st.slots[slot_idx].generation != generation {
+                return;
+            }
+            st.slots[slot_idx].last_seen = Instant::now();
+            // Lost-dispatch reconciliation: the worker reports which
+            // job it is running (0 = idle). Frames on one stream are
+            // processed in order, so an *idle* heartbeat arriving a
+            // full staleness budget after the lease was granted means
+            // the dispatch frame never arrived (a silent one-way
+            // partition ate it) — redeliver now instead of waiting
+            // out the task's full lease.
+            let stale_after = shared.config.supervisor.remote_stale_after();
+            let lost = st.slots[slot_idx].busy.filter(|&job_id| {
+                busy != job_id
+                    && st
+                        .leases
+                        .get(&job_id)
+                        .is_some_and(|lease| lease.granted.elapsed() >= stale_after)
+            });
+            if let Some(job_id) = lost {
+                st.slots[slot_idx].busy = None;
+                if let Some(mut lease) = st.leases.remove(&job_id) {
+                    observe::count("broker.remote_lost_dispatches", 1);
+                    trace::lease_revoke(lease.job.trace_id);
+                    lease
+                        .job
+                        .lease_events
+                        .push(format!("delivery:{}:dispatch-lost", lease.job.delivery));
+                    // The job never reached a worker, so this is a
+                    // re-send of the *same* delivery, not a redelivery
+                    // — it spends no budget from the cap (mirroring
+                    // the requeue of a failed pipe dispatch write).
+                    enqueue_job(shared, &mut st, lease.job);
+                }
+                pump(shared, &mut st);
+                shared.space.notify_all();
             }
         }
         Message::TaskResult {
@@ -912,11 +1316,11 @@ fn deliver_ack(
 /// coordinator. Log it, kill + reap the worker, revoke its lease
 /// (redelivering the task), and respawn — the pipe-level mirror of
 /// the journal's torn-tail tolerance.
-fn on_frame_error(shared: &Arc<Shared>, slot_idx: usize, generation: u64, why: &str) {
+fn on_frame_error(shared: &Arc<Shared>, slot_idx: usize, generation: u64, epoch: u64, why: &str) {
     shared.stats.frame_errors.fetch_add(1, Ordering::SeqCst);
     observe::count("broker.remote_frame_errors", 1);
     let mut st = shared.lock();
-    if st.slots[slot_idx].generation != generation {
+    if st.slots[slot_idx].generation != generation || st.slots[slot_idx].conn_epoch != epoch {
         return;
     }
     eprintln!(
@@ -938,7 +1342,7 @@ fn recycle_slot(shared: &Arc<Shared>, st: &mut CoordState, slot_idx: usize, caus
     if let Some(mut child) = st.slots[slot_idx].child.take() {
         let _ = child.wait(); // immediate after SIGKILL; reaps the PID
     }
-    st.slots[slot_idx].stdin = None;
+    st.slots[slot_idx].writer = None;
     st.slots[slot_idx].ready = false;
     let busy = st.slots[slot_idx].busy.take();
     if let Some(job_id) = busy {
@@ -959,24 +1363,22 @@ fn respawn_slot(shared: &Arc<Shared>, st: &mut CoordState, slot_idx: usize) {
     }
     st.next_generation += 1;
     let generation = st.next_generation;
-    match spawn_process(shared, slot_idx, generation) {
-        Ok((child, stdin, pid, reader)) => {
-            let slot = &mut st.slots[slot_idx];
-            slot.generation = generation;
-            slot.child = Some(child);
-            slot.stdin = Some(stdin);
-            slot.pid = pid;
-            slot.ready = false;
-            slot.exiting = false;
-            slot.busy = None;
-            slot.last_seen = Instant::now();
-            slot.reader = Some(reader);
+    // Queued jobs ride over to the replacement worker; the old
+    // session token is retired, so a zombie connection of the killed
+    // process can never attach to the new slot.
+    let queue = std::mem::take(&mut st.slots[slot_idx].queue);
+    match spawn_worker(shared, st, slot_idx, generation) {
+        Ok(mut slot) => {
+            slot.queue = queue;
+            st.slots[slot_idx] = slot;
             shared.stats.respawns.fetch_add(1, Ordering::SeqCst);
             observe::count("broker.remote_respawns", 1);
         }
         Err(err) => {
             eprintln!("simart-tasks: failed to respawn remote worker: {err}");
-            st.slots[slot_idx].generation = generation;
+            let mut dead = dead_slot(generation);
+            dead.queue = queue;
+            st.slots[slot_idx] = dead;
         }
     }
 }
@@ -1039,6 +1441,15 @@ fn dead_letter(shared: &Arc<Shared>, _st: &mut CoordState, job: RemoteJob, cause
         (
             TaskState::Failed,
             "no live worker processes remain; task cannot be delivered".to_owned(),
+        )
+    } else if cause == "workers-unreachable" {
+        (
+            TaskState::Failed,
+            format!(
+                "no remote worker reachable past the unreachable deadline ({:?}); \
+                 the coordinator degraded loudly instead of hanging",
+                shared.config.unreachable_deadline
+            ),
         )
     } else {
         (
@@ -1147,17 +1558,25 @@ fn dispatch(shared: &Arc<Shared>, st: &mut CoordState, i: usize, job: RemoteJob)
         payload: job.spec.payload.clone(),
         timeout_ms: job.spec.timeout.map_or(0, |t| t.as_millis() as u64),
     };
-    let written = match st.slots[i].stdin.as_mut() {
-        Some(stdin) => stdin
+    let written = match st.slots[i].writer.as_mut() {
+        Some(writer) => writer
             .write_all(&message.to_frame())
-            .and_then(|()| stdin.flush())
+            .and_then(|()| writer.flush())
             .is_ok(),
         None => false,
     };
     if !written {
         st.slots[i].queue.push_front(job);
         st.backlog += 1;
-        if let Some(child) = st.slots[i].child.as_mut() {
+        if shared.transport.joins() {
+            // The connection broke, not (necessarily) the process:
+            // drop it and let the session resume on redial.
+            if st.slots[i].writer.take().is_some() {
+                st.slots[i].ready = false;
+                shared.stats.partitions.fetch_add(1, Ordering::SeqCst);
+                observe::count("broker.remote_partitions", 1);
+            }
+        } else if let Some(child) = st.slots[i].child.as_mut() {
             let _ = child.kill(); // supervisor reaps and respawns
         }
         return false;
@@ -1190,7 +1609,14 @@ fn dispatch(shared: &Arc<Shared>, st: &mut CoordState, i: usize, job: RemoteJob)
         .map(|t| Instant::now() + t + shared.config.supervisor.grace);
     let job_id = job.job_id;
     st.slots[i].busy = Some(job_id);
-    st.leases.insert(job_id, RemoteLease { job, deadline });
+    st.leases.insert(
+        job_id,
+        RemoteLease {
+            job,
+            deadline,
+            granted: Instant::now(),
+        },
+    );
     if chaos_kill {
         shared.stats.chaos_kills.fetch_add(1, Ordering::SeqCst);
         observe::count("broker.remote_kills", 1);
@@ -1257,7 +1683,7 @@ fn tick(shared: &Arc<Shared>, st: &mut CoordState) {
             // try_wait() already reaped the PID; drop the handle.
             let was_exiting = st.slots[i].exiting;
             st.slots[i].child = None;
-            st.slots[i].stdin = None;
+            st.slots[i].writer = None;
             st.slots[i].ready = false;
             let busy = st.slots[i].busy.take();
             if let Some(job_id) = busy {
@@ -1300,6 +1726,52 @@ fn tick(shared: &Arc<Shared>, st: &mut CoordState) {
         for job in stranded {
             dead_letter(shared, st, job, "no-workers");
         }
+    }
+    // Loud degradation: work is pending but no worker is reachable
+    // (children may be alive yet disconnected — a total partition).
+    // Past the deadline, fail everything queued *and* in flight
+    // rather than hanging silently.
+    let pending = st.backlog > 0 || !st.leases.is_empty();
+    let any_ready = st
+        .slots
+        .iter()
+        .any(|s| s.child.is_some() && s.ready && !s.exiting);
+    if !st.abandoned && pending && !any_ready {
+        let since = *st.unreachable_since.get_or_insert(now);
+        if now.duration_since(since) >= shared.config.unreachable_deadline {
+            eprintln!(
+                "simart-tasks: no remote worker reachable for {:?} with {} queued and {} \
+                 in-flight jobs; failing them (workers-unreachable)",
+                shared.config.unreachable_deadline,
+                st.backlog,
+                st.leases.len()
+            );
+            let mut stranded = Vec::new();
+            for slot in &mut st.slots {
+                slot.busy = None;
+                while let Some(job) = slot.queue.pop_front() {
+                    stranded.push(job);
+                }
+            }
+            st.backlog = 0;
+            let in_flight: Vec<u64> = st.leases.keys().copied().collect();
+            for job_id in in_flight {
+                if let Some(mut lease) = st.leases.remove(&job_id) {
+                    trace::lease_revoke(lease.job.trace_id);
+                    lease.job.lease_events.push(format!(
+                        "delivery:{}:workers-unreachable",
+                        lease.job.delivery
+                    ));
+                    stranded.push(lease.job);
+                }
+            }
+            for job in stranded {
+                dead_letter(shared, st, job, "workers-unreachable");
+            }
+            st.unreachable_since = None;
+        }
+    } else {
+        st.unreachable_since = None;
     }
     pump(shared, st);
 }
@@ -1408,8 +1880,8 @@ impl WireReader {
     }
 }
 
-fn send_frame(stdout: &Mutex<std::io::Stdout>, message: &Message) -> std::io::Result<()> {
-    let mut out = stdout.lock().unwrap_or_else(|p| p.into_inner());
+fn send_frame<W: Write>(out: &Mutex<W>, message: &Message) -> std::io::Result<()> {
+    let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
     out.write_all(&message.to_frame())?;
     out.flush()
 }
@@ -1437,6 +1909,7 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
         &Message::Hello {
             protocol: PROTOCOL_VERSION,
             pid,
+            session: 0, // pipes have no reconnect, hence no session
         },
     )
     .is_err()
@@ -1449,6 +1922,7 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
         Ok(Some(Message::HelloAck {
             generation,
             heartbeat_ms,
+            ..
         })) => (generation, heartbeat_ms),
         Ok(None) => return 0, // coordinator vanished before the handshake
         _ => return 2,
@@ -1490,7 +1964,6 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
                     generation,
                 };
                 let result = registry.run(&work);
-                busy.store(0, Ordering::SeqCst);
                 let (ok, output, error) = match result {
                     Ok(output) => (true, output, String::new()),
                     Err(error) => (false, String::new(), error),
@@ -1503,7 +1976,12 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
                     output,
                     error,
                 };
-                if send_frame(&stdout, &reply).is_err() {
+                let sent = send_frame(&stdout, &reply);
+                // Only report idle once the result is on the wire: an
+                // idle heartbeat overtaking the result would read as a
+                // lost dispatch to the coordinator.
+                busy.store(0, Ordering::SeqCst);
+                if sent.is_err() {
                     return 1;
                 }
             }
@@ -1514,6 +1992,190 @@ pub fn worker_main(registry: &HandlerRegistry) -> i32 {
             Ok(Some(_)) => {}
         }
     }
+}
+
+/// How many consecutive failed dials (or failed handshakes) a TCP
+/// worker tolerates before giving up and exiting.
+const MAX_DIAL_FAILURES: u32 = 8;
+
+enum SessionEnd {
+    /// The coordinator drained us: exit gracefully.
+    Drained,
+    /// The connection died. `handshook` distinguishes a session that
+    /// was live (reset the failure budget and redial immediately)
+    /// from a dial that never completed the handshake (burn budget).
+    Lost { handshook: bool },
+}
+
+/// Runs the worker side of the protocol over TCP: dials `addr`,
+/// presents the session token from [`WORKER_SESSION_ENV`] in its
+/// [`Message::Hello`], and — because over TCP the *connection* can die
+/// while the process lives — redials with capped exponential backoff
+/// on any connection loss, resuming the same session. A
+/// [`Message::TaskResult`] the dead connection failed to carry is
+/// re-sent first on the new one; the coordinator's first-report-wins
+/// dedup makes any duplicate harmless.
+///
+/// Returns the process exit code: `0` after a [`Message::Drain`],
+/// non-zero once the consecutive-dial-failure budget is exhausted
+/// (coordinator gone for good).
+pub fn worker_main_connect(registry: &HandlerRegistry, addr: &str) -> i32 {
+    let session = std::env::var(WORKER_SESSION_ENV)
+        .ok()
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .unwrap_or(0);
+    let backoff = RetryPolicy::exponential(Duration::from_millis(20))
+        .cap(Duration::from_millis(400))
+        .max_attempts(MAX_DIAL_FAILURES + 1);
+    let mut pending: Option<Message> = None;
+    let mut failures = 0u32;
+    loop {
+        if failures >= MAX_DIAL_FAILURES {
+            eprintln!(
+                "simart-tasks: worker gave up on coordinator {addr} after \
+                 {MAX_DIAL_FAILURES} consecutive failed dials"
+            );
+            return 1;
+        }
+        // delay_before(1) is zero: the first dial (and the redial
+        // right after a live session drops) is immediate.
+        std::thread::sleep(backoff.delay_before(failures + 1));
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(_) => {
+                failures += 1;
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        match run_connected_session(registry, &stream, session, &mut pending) {
+            SessionEnd::Drained => return 0,
+            SessionEnd::Lost { handshook: true } => failures = 1,
+            SessionEnd::Lost { handshook: false } => failures += 1,
+        }
+    }
+}
+
+/// One connection's worth of the TCP worker protocol; see
+/// [`worker_main_connect`]. `pending` carries an unsent result across
+/// connections.
+fn run_connected_session(
+    registry: &HandlerRegistry,
+    stream: &TcpStream,
+    session: u64,
+    pending: &mut Option<Message>,
+) -> SessionEnd {
+    let pid = u64::from(std::process::id());
+    let (writer, mut input) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(writer), Ok(input)) => (Arc::new(Mutex::new(writer)), input),
+        _ => return SessionEnd::Lost { handshook: false },
+    };
+    let hello = Message::Hello {
+        protocol: PROTOCOL_VERSION,
+        pid,
+        session,
+    };
+    if send_frame(&writer, &hello).is_err() {
+        return SessionEnd::Lost { handshook: false };
+    }
+    // Handshake under a read timeout: a HelloAck lost to a chaos
+    // partition must not wedge the worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut reader = WireReader::new();
+    let (generation, heartbeat_ms) = match reader.next(&mut input) {
+        Ok(Some(Message::HelloAck {
+            generation,
+            heartbeat_ms,
+            ..
+        })) => (generation, heartbeat_ms),
+        _ => return SessionEnd::Lost { handshook: false },
+    };
+    let _ = stream.set_read_timeout(None);
+    // Resume: re-send the result the previous connection failed to
+    // deliver before taking new work.
+    if let Some(reply) = pending.as_ref() {
+        if send_frame(&writer, reply).is_err() {
+            return SessionEnd::Lost { handshook: true };
+        }
+    }
+    *pending = None;
+    let busy = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeats = {
+        let writer = Arc::clone(&writer);
+        let busy = Arc::clone(&busy);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(heartbeat_ms.max(1)));
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let beat = Message::Heartbeat {
+                pid,
+                busy: busy.load(Ordering::SeqCst),
+            };
+            if send_frame(&writer, &beat).is_err() {
+                return; // connection gone; main loop sees EOF
+            }
+        })
+    };
+    let end = loop {
+        match reader.next(&mut input) {
+            // EOF *and* corrupt streams end the connection, not the
+            // process: chaos-corrupted coordinator frames are healed
+            // by a reconnect.
+            Ok(None) | Err(()) => break SessionEnd::Lost { handshook: true },
+            Ok(Some(Message::Dispatch {
+                job,
+                delivery,
+                name,
+                kind,
+                payload,
+                ..
+            })) => {
+                busy.store(job, Ordering::SeqCst);
+                let work = WorkerJob {
+                    job,
+                    name,
+                    kind,
+                    payload,
+                    delivery: delivery as u32,
+                    generation,
+                };
+                let result = registry.run(&work);
+                let (ok, output, error) = match result {
+                    Ok(output) => (true, output, String::new()),
+                    Err(error) => (false, String::new(), error),
+                };
+                let reply = Message::TaskResult {
+                    job,
+                    delivery,
+                    generation,
+                    ok,
+                    output,
+                    error,
+                };
+                let sent = send_frame(&writer, &reply);
+                // Only report idle once the result is on the wire: an
+                // idle heartbeat overtaking the result would read as a
+                // lost dispatch to the coordinator.
+                busy.store(0, Ordering::SeqCst);
+                if sent.is_err() {
+                    *pending = Some(reply);
+                    break SessionEnd::Lost { handshook: true };
+                }
+            }
+            Ok(Some(Message::Drain)) => {
+                let _ = send_frame(&writer, &Message::Bye { pid });
+                break SessionEnd::Drained;
+            }
+            Ok(Some(_)) => {}
+        }
+    };
+    stop.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = heartbeats.join();
+    end
 }
 
 #[cfg(test)]
@@ -1545,7 +2207,10 @@ mod tests {
         assert!(config.submit_deadline > Duration::ZERO);
         assert!(config.drain_deadline > Duration::ZERO);
         assert!(config.fault.is_none());
+        assert_eq!(config.transport, TransportKind::Pipe);
+        assert!(config.unreachable_deadline > Duration::ZERO);
         assert!(format!("{config:?}").contains("queue_capacity"));
+        assert!(format!("{config:?}").contains("transport"));
     }
 
     #[test]

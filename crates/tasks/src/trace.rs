@@ -81,6 +81,16 @@ pub(crate) fn remote_ack(_id: u64) {
     tracepoint::record(tracepoint::Op::RemoteAck(_id));
 }
 
+/// A remote worker session reconnected over a fresh transport
+/// connection (join-then-send barrier: the coordinator observes all
+/// frames the old connection delivered before any frame it writes on
+/// the new one).
+#[inline(always)]
+pub(crate) fn remote_reconnect(_id: u64) {
+    #[cfg(feature = "race-trace")]
+    tracepoint::record(tracepoint::Op::RemoteReconnect(_id));
+}
+
 /// A job entered a pool/broker work queue.
 #[inline(always)]
 pub(crate) fn enqueue(_queue: u64) {

@@ -170,12 +170,20 @@ impl FrameDecoder {
 /// shutdown.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
-    /// Worker → coordinator, first message after spawn.
+    /// Worker → coordinator, first message after spawn (and, over
+    /// reconnecting transports, after every fresh connection).
     Hello {
         /// Protocol version the worker speaks.
         protocol: u64,
         /// The worker's OS process id.
         pid: u64,
+        /// Session token. `0` on a worker's first connection (the
+        /// coordinator assigns one in [`Message::HelloAck`]); a
+        /// reconnecting worker echoes its token so the coordinator
+        /// can resume the session instead of treating the connection
+        /// as a stranger. Pre-session peers simply omit the field —
+        /// it decodes as `0`.
+        session: u64,
     },
     /// Coordinator → worker handshake completion.
     HelloAck {
@@ -185,6 +193,10 @@ pub enum Message {
         generation: u64,
         /// Interval at which the worker must send [`Message::Heartbeat`].
         heartbeat_ms: u64,
+        /// Session token the coordinator assigned (stable across
+        /// reconnects of the same worker; echoed in the worker's next
+        /// [`Message::Hello`]). `0` from pre-session coordinators.
+        session: u64,
     },
     /// Coordinator → worker task delivery.
     Dispatch {
@@ -269,18 +281,25 @@ impl Message {
     fn fields(&self) -> Vec<(&'static str, JsonValue)> {
         use JsonValue::{Bool, Num, Str};
         match self {
-            Message::Hello { protocol, pid } => vec![
+            Message::Hello {
+                protocol,
+                pid,
+                session,
+            } => vec![
                 ("type", Str("hello".into())),
                 ("protocol", Num(*protocol)),
                 ("pid", Num(*pid)),
+                ("session", Num(*session)),
             ],
             Message::HelloAck {
                 generation,
                 heartbeat_ms,
+                session,
             } => vec![
                 ("type", Str("hello-ack".into())),
                 ("generation", Num(*generation)),
                 ("heartbeatMs", Num(*heartbeat_ms)),
+                ("session", Num(*session)),
             ],
             Message::Dispatch {
                 job,
@@ -364,14 +383,24 @@ impl Message {
                 ))),
             }
         };
+        // `session` arrived with the TCP transport; frames from
+        // pre-session peers omit it, which decodes as token 0.
+        let opt_num_field = |name: &str| -> u64 {
+            match fields.get(name) {
+                Some(JsonValue::Num(n)) => *n,
+                _ => 0,
+            }
+        };
         match str_field("type")?.as_str() {
             "hello" => Ok(Message::Hello {
                 protocol: num_field("protocol")?,
                 pid: num_field("pid")?,
+                session: opt_num_field("session"),
             }),
             "hello-ack" => Ok(Message::HelloAck {
                 generation: num_field("generation")?,
                 heartbeat_ms: num_field("heartbeatMs")?,
+                session: opt_num_field("session"),
             }),
             "dispatch" => Ok(Message::Dispatch {
                 job: num_field("job")?,
@@ -565,10 +594,12 @@ mod tests {
             Message::Hello {
                 protocol: PROTOCOL_VERSION,
                 pid: 4242,
+                session: 3,
             },
             Message::HelloAck {
                 generation: 7,
                 heartbeat_ms: 20,
+                session: 3,
             },
             Message::Dispatch {
                 job: 9,
@@ -734,7 +765,33 @@ mod tests {
             msg,
             Message::Hello {
                 protocol: 1,
-                pid: 12
+                pid: 12,
+                session: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pre_session_frames_decode_with_token_zero() {
+        // Frames from peers that predate the session field must still
+        // parse: the token defaults to 0 (= "no session").
+        let hello = Message::decode(b"{\"type\":\"hello\",\"protocol\":1,\"pid\":7}").unwrap();
+        assert_eq!(
+            hello,
+            Message::Hello {
+                protocol: 1,
+                pid: 7,
+                session: 0
+            }
+        );
+        let ack = Message::decode(b"{\"type\":\"hello-ack\",\"generation\":2,\"heartbeatMs\":20}")
+            .unwrap();
+        assert_eq!(
+            ack,
+            Message::HelloAck {
+                generation: 2,
+                heartbeat_ms: 20,
+                session: 0
             }
         );
     }

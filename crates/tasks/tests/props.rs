@@ -1,8 +1,10 @@
 //! Property-based tests: every scheduler delivers exactly one report
 //! per task under arbitrary workloads of successes, failures, and
-//! panics.
+//! panics — and the wire frame layer decodes identically under any
+//! stream re-chunking (TCP does not preserve write boundaries).
 
 use proptest::prelude::*;
+use simart_tasks::wire::{FrameDecoder, Message};
 use simart_tasks::{run_all, BrokerScheduler, PoolScheduler, SerialScheduler, Task, TaskState};
 
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +28,73 @@ fn make_task(index: usize, behavior: Behavior) -> Task {
         Behavior::Fail => Err(format!("err-{index}")),
         Behavior::Panic => panic!("panic-{index}"),
     })
+}
+
+/// Arbitrary protocol messages spanning every variant, with free-form
+/// (including empty and non-ASCII) strings in the string-bearing
+/// fields — the JSON escaping must round-trip them too.
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let text = || {
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+            const PALETTE: [char; 12] = [
+                'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', 'é', '→', '🦀',
+            ];
+            bytes
+                .iter()
+                .map(|&b| PALETTE[b as usize % PALETTE.len()])
+                .collect::<String>()
+        })
+    };
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(protocol, pid, session)| {
+            Message::Hello {
+                protocol,
+                pid,
+                session,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(generation, heartbeat_ms, session)| Message::HelloAck {
+                generation,
+                heartbeat_ms,
+                session,
+            }
+        ),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (text(), text(), text(), any::<u64>()),
+        )
+            .prop_map(
+                |((job, delivery, generation), (name, kind, payload, timeout_ms))| {
+                    Message::Dispatch {
+                        job,
+                        delivery,
+                        generation,
+                        name,
+                        kind,
+                        payload,
+                        timeout_ms,
+                    }
+                }
+            ),
+        (any::<u64>(), any::<u64>()).prop_map(|(pid, busy)| Message::Heartbeat { pid, busy }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+            (text(), text()),
+        )
+            .prop_map(|((job, delivery, generation, ok), (output, error))| {
+                Message::TaskResult {
+                    job,
+                    delivery,
+                    generation,
+                    ok,
+                    output,
+                    error,
+                }
+            }),
+        Just(Message::Drain),
+        any::<u64>().prop_map(|pid| Message::Bye { pid }),
+    ]
 }
 
 proptest! {
@@ -65,6 +134,51 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Stream re-chunking invariance: however a valid frame sequence
+    /// is split into read chunks — byte by byte or at arbitrary
+    /// proptest-chosen boundaries — the decoder yields the identical
+    /// message sequence. This is the property the TCP transport leans
+    /// on: a socket may deliver any re-segmentation of the writer's
+    /// frames (and the chaos [`ChaosReader`] deliberately does).
+    ///
+    /// [`ChaosReader`]: simart_tasks::ChaosReader
+    #[test]
+    fn any_rechunking_decodes_the_same_message_sequence(
+        messages in proptest::collection::vec(message_strategy(), 1..8),
+        cuts in proptest::collection::vec(any::<u16>(), 0..32),
+    ) {
+        let stream: Vec<u8> = messages.iter().flat_map(Message::to_frame).collect();
+
+        // Byte-by-byte: the worst re-segmentation TCP can produce.
+        let mut decoder = FrameDecoder::new();
+        let mut one_by_one = Vec::new();
+        for &byte in &stream {
+            decoder.feed(&[byte]);
+            while let Some(payload) = decoder.next_frame().expect("valid stream") {
+                one_by_one.push(Message::decode(&payload).expect("valid payload"));
+            }
+        }
+        prop_assert_eq!(decoder.pending(), 0);
+        prop_assert_eq!(&one_by_one, &messages);
+
+        // Arbitrary split points drawn by proptest.
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| c as usize % (stream.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(stream.len());
+        bounds.sort_unstable();
+        let mut decoder = FrameDecoder::new();
+        let mut rechunked = Vec::new();
+        for window in bounds.windows(2) {
+            decoder.feed(&stream[window[0]..window[1]]);
+            while let Some(payload) = decoder.next_frame().expect("valid stream") {
+                rechunked.push(Message::decode(&payload).expect("valid payload"));
+            }
+        }
+        prop_assert_eq!(decoder.pending(), 0);
+        prop_assert_eq!(&rechunked, &messages);
     }
 
     /// Retries always converge: a task that succeeds on attempt k ≤

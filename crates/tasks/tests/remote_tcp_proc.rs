@@ -1,0 +1,285 @@
+//! Cross-process tests for the TCP transport: real worker processes
+//! joining the coordinator over real sockets, with deterministic
+//! chaos (connection resets, one-way partitions) injected on the
+//! coordinator side.
+//!
+//! Like `remote_proc.rs`, this binary is its own worker program: when
+//! spawned with `SIMART_REMOTE_WORKER` set it runs the worker loop —
+//! [`worker_main_connect`] when the coordinator handed it a
+//! `--connect HOST:PORT`, plain [`worker_main`] otherwise (hence
+//! `harness = false` in Cargo.toml).
+
+use simart_tasks::{
+    worker_main, worker_main_connect, FaultInjector, HandlerRegistry, RemoteConfig,
+    RemoteScheduler, RemoteTaskSpec, SupervisorConfig, TaskState, TransportKind, WorkerCommand,
+    WorkerJob,
+};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry() -> HandlerRegistry {
+    let mut registry = HandlerRegistry::new();
+    registry.register("echo", |job: &WorkerJob| Ok(job.payload.clone()));
+    registry.register("fail", |job: &WorkerJob| Err(job.payload.clone()));
+    registry.register("sleep-ms", |job: &WorkerJob| {
+        let ms: u64 = job
+            .payload
+            .parse()
+            .map_err(|_| "bad sleep payload".to_owned())?;
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok("slept".to_owned())
+    });
+    registry
+}
+
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand::new(std::env::current_exe().expect("own path")).env("SIMART_REMOTE_WORKER", "1")
+}
+
+/// Fast supervision over TCP: 15 ms heartbeat, 100 ms grace.
+fn config(max_redeliveries: u32) -> RemoteConfig {
+    RemoteConfig {
+        supervisor: SupervisorConfig {
+            heartbeat: Duration::from_millis(15),
+            grace: Duration::from_millis(100),
+            max_redeliveries,
+            ..SupervisorConfig::default()
+        },
+        transport: TransportKind::Tcp,
+        ..RemoteConfig::default()
+    }
+}
+
+/// After shutdown the worker PID must be fully reaped: either gone
+/// from /proc or (PID since reused) no longer a zombie child of us.
+fn assert_reaped(pid: u32) {
+    let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return; // no such PID: reaped and recycled
+    };
+    let Some(close) = stat.rfind(')') else { return };
+    let mut fields = stat[close + 1..].split_whitespace();
+    let state = fields.next().unwrap_or("");
+    let ppid = fields.next().unwrap_or("");
+    assert!(
+        !(state == "Z" && ppid == std::process::id().to_string()),
+        "worker pid {pid} left behind as a zombie"
+    );
+}
+
+/// The listener must be gone after shutdown: a fresh connect to the
+/// coordinator's old address is refused (nobody accepts).
+fn assert_listener_closed(addr: std::net::SocketAddr) {
+    // Give the OS a beat to tear the socket down, then the port must
+    // refuse (or at minimum nobody ever completes the TCP handshake
+    // from our side with an accept on the other).
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => return,
+            Ok(_) if Instant::now() >= deadline => {
+                panic!("listener at {addr} still accepting after shutdown")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Plain TCP round trip: workers join over sockets, tasks complete,
+/// shutdown drains, reaps every PID, and closes the listener.
+fn tcp_round_trip_reaps_and_closes_listener() {
+    let remote = RemoteScheduler::with_config(worker_cmd(), 2, config(0)).unwrap();
+    let addr = remote.listen_addr().expect("tcp transport listens");
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            remote
+                .submit(RemoteTaskSpec::new(
+                    format!("ok-{i}"),
+                    "echo",
+                    format!("payload-{i}"),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let report = handle.wait();
+        assert_eq!(
+            report.state,
+            TaskState::Succeeded,
+            "ok-{i}: {:?}",
+            report.error
+        );
+        assert_eq!(
+            report.output.as_deref(),
+            Some(format!("payload-{i}").as_str())
+        );
+    }
+    let pids = remote.worker_pids();
+    assert!(remote.shutdown(), "drain completes cleanly over tcp");
+    for pid in pids {
+        assert_reaped(pid);
+    }
+    assert_listener_closed(addr);
+}
+
+/// Seeded connection resets: the chaos writer severs live sockets, the
+/// worker redials with its session token, the coordinator resumes the
+/// session, and every task still completes exactly once.
+fn reset_storm_reconnects_and_resumes() {
+    let mut config = config(8);
+    config.fault = Some(Arc::new(FaultInjector::new(11).net_resets(0.45)));
+    let remote = RemoteScheduler::with_config(worker_cmd(), 2, config).unwrap();
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            remote
+                .submit(
+                    RemoteTaskSpec::new(format!("t-{i}"), "echo", format!("p-{i}"))
+                        .timeout(Duration::from_millis(500)),
+                )
+                .unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let report = handle.wait();
+        assert_eq!(
+            report.state,
+            TaskState::Succeeded,
+            "t-{i}: {:?} (lease history {:?})",
+            report.error,
+            report.lease_events
+        );
+        assert_eq!(report.output.as_deref(), Some(format!("p-{i}").as_str()));
+    }
+    let stats = remote.stats();
+    assert!(
+        stats.reconnects >= 1,
+        "severed sessions were resumed: {stats:?}"
+    );
+    assert!(
+        stats.partitions >= 1,
+        "lost connections were counted: {stats:?}"
+    );
+    let pids = remote.worker_pids();
+    remote.shutdown();
+    for pid in pids {
+        assert_reaped(pid);
+    }
+}
+
+/// Satellite: coordinator shutdown during an *active partition* — the
+/// chaos writer drops every coordinator→worker frame, so no worker
+/// ever completes a handshake, yet `shutdown_now` must still reap
+/// every child PID and close the listener with zero zombies.
+fn shutdown_during_partition_reaps_everything() {
+    let mut config = config(0);
+    config.fault = Some(Arc::new(FaultInjector::new(7).net_partitions(1.0)));
+    let remote = RemoteScheduler::with_config(worker_cmd(), 3, config).unwrap();
+    let addr = remote.listen_addr().expect("tcp transport listens");
+    // Work submitted into the partition: it can never be delivered.
+    let stuck = remote
+        .submit(RemoteTaskSpec::new("stuck", "echo", "never-delivered"))
+        .unwrap();
+    // Let workers dial in and lose their HelloAck to the partition.
+    std::thread::sleep(Duration::from_millis(300));
+    let pids = remote.worker_pids();
+    assert_eq!(pids.len(), 3);
+    let started = Instant::now();
+    remote.shutdown_now();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abandon does not hang on a partition"
+    );
+    assert_eq!(stuck.wait().state, TaskState::Failed);
+    for pid in pids {
+        assert_reaped(pid);
+    }
+    assert_listener_closed(addr);
+
+    // Same partition, graceful path: drain must also terminate (the
+    // Drain frames are dropped by the partition, so the coordinator
+    // falls back to killing the unreachable children) and reap.
+    let mut config = self::config(0);
+    config.fault = Some(Arc::new(FaultInjector::new(7).net_partitions(1.0)));
+    let remote = RemoteScheduler::with_config(worker_cmd(), 2, config).unwrap();
+    let addr = remote.listen_addr().expect("tcp transport listens");
+    std::thread::sleep(Duration::from_millis(200));
+    let pids = remote.worker_pids();
+    let started = Instant::now();
+    remote.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain does not hang on a partition"
+    );
+    for pid in pids {
+        assert_reaped(pid);
+    }
+    assert_listener_closed(addr);
+}
+
+/// When every worker stays unreachable past the configured deadline —
+/// here a crash-looping worker binary that dies before ever dialing
+/// the coordinator — the coordinator degrades loudly: queued work is
+/// dead-lettered with a `workers-unreachable` cause instead of
+/// hanging forever.
+fn unreachable_deadline_degrades_loudly() {
+    let mut config = config(0);
+    config.unreachable_deadline = Duration::from_millis(400);
+    let broken = WorkerCommand::new(std::env::current_exe().expect("own path"))
+        .env("SIMART_REMOTE_WORKER", "1")
+        .env("SIMART_TCP_EXIT_EARLY", "1");
+    let remote = RemoteScheduler::with_config(broken, 1, config).unwrap();
+    let report = remote
+        .submit(RemoteTaskSpec::new("doomed", "echo", "x"))
+        .unwrap()
+        .wait();
+    assert_eq!(report.state, TaskState::Failed, "degraded, not hung");
+    let error = report.error.unwrap();
+    assert!(
+        error.contains("unreachable"),
+        "failure names the degradation: {error}"
+    );
+    let pids = remote.worker_pids();
+    remote.shutdown_now();
+    for pid in pids {
+        assert_reaped(pid);
+    }
+}
+
+fn main() {
+    if std::env::var_os("SIMART_REMOTE_WORKER").is_some() {
+        if std::env::var_os("SIMART_TCP_EXIT_EARLY").is_some() {
+            // Unreachable-worker fixture: die before ever dialing.
+            std::process::exit(1);
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let code = match args.iter().position(|a| a == "--connect") {
+            Some(i) => worker_main_connect(&registry(), &args[i + 1]),
+            None => worker_main(&registry()),
+        };
+        std::process::exit(code);
+    }
+    let tests: &[(&str, fn())] = &[
+        (
+            "tcp_round_trip_reaps_and_closes_listener",
+            tcp_round_trip_reaps_and_closes_listener,
+        ),
+        (
+            "reset_storm_reconnects_and_resumes",
+            reset_storm_reconnects_and_resumes,
+        ),
+        (
+            "shutdown_during_partition_reaps_everything",
+            shutdown_during_partition_reaps_everything,
+        ),
+        (
+            "unreachable_deadline_degrades_loudly",
+            unreachable_deadline_degrades_loudly,
+        ),
+    ];
+    for (name, test) in tests {
+        eprintln!("test remote_tcp_proc::{name} ...");
+        test();
+        eprintln!("test remote_tcp_proc::{name} ... ok");
+    }
+    println!("remote_tcp_proc: {} tests passed", tests.len());
+}
